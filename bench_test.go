@@ -1,0 +1,171 @@
+// Benchmarks regenerating every derived table and figure (DESIGN.md
+// experiment index) at Quick scale, plus the engine micro-benchmarks
+// behind T12. `go test -bench=. -benchmem` runs the lot;
+// `cmd/ivrbench` prints the full-scale tables these summarise.
+package repro_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/index"
+	"repro/internal/search"
+	"repro/internal/text"
+)
+
+// benchExperiment runs one experiment per iteration at Quick scale.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	p := experiments.Quick()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id, p); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+// One bench per derived table/figure.
+
+func BenchmarkExpT1SystemComparison(b *testing.B)  { benchExperiment(b, "T1") }
+func BenchmarkExpT1aMixAblation(b *testing.B)      { benchExperiment(b, "T1a") }
+func BenchmarkExpT2IndicatorValue(b *testing.B)    { benchExperiment(b, "T2") }
+func BenchmarkExpT3WeightingSchemes(b *testing.B)  { benchExperiment(b, "T3") }
+func BenchmarkExpT3aExpansionTerms(b *testing.B)   { benchExperiment(b, "T3a") }
+func BenchmarkExpF4OstensiveDecay(b *testing.B)    { benchExperiment(b, "F4") }
+func BenchmarkExpT5Environments(b *testing.B)      { benchExperiment(b, "T5") }
+func BenchmarkExpF6DwellReliability(b *testing.B)  { benchExperiment(b, "F6") }
+func BenchmarkExpT7ImplicitGraph(b *testing.B)     { benchExperiment(b, "T7") }
+func BenchmarkExpT7aGraphAlgorithms(b *testing.B)  { benchExperiment(b, "T7a") }
+func BenchmarkExpF8SessionAdaptation(b *testing.B) { benchExperiment(b, "F8") }
+func BenchmarkExpT9ASRSensitivity(b *testing.B)    { benchExperiment(b, "T9") }
+func BenchmarkExpT10ConceptAccuracy(b *testing.B)  { benchExperiment(b, "T10") }
+func BenchmarkExpT11SimulationFidelity(b *testing.B) {
+	benchExperiment(b, "T11")
+}
+
+// T12: engine micro-benchmarks over a realistic archive.
+
+func benchArchiveSystem(b *testing.B) (*repro.Archive, *core.System) {
+	b.Helper()
+	arch, err := repro.GenerateArchive(repro.TinyArchive(), 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := repro.NewAdaptiveSystem(arch, repro.ImplicitOnly())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return arch, sys
+}
+
+// BenchmarkIndexing measures end-to-end collection indexing.
+func BenchmarkIndexing(b *testing.B) {
+	arch, err := repro.GenerateArchive(repro.TinyArchive(), 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	an := text.NewAnalyzer()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildIndex(arch.Collection, an); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryBM25 measures one ranked query.
+func BenchmarkQueryBM25(b *testing.B) {
+	arch, sys := benchArchiveSystem(b)
+	q := arch.Truth.SearchTopics[0].Query
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.SearchOnce(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryAdapted measures an adapted query (expansion active).
+func BenchmarkQueryAdapted(b *testing.B) {
+	arch, sys := benchArchiveSystem(b)
+	topic := arch.Truth.SearchTopics[0]
+	sess := sys.NewSession("bench", nil)
+	res, err := sess.Query(topic.Query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	judg := repro.TopicJudgments(arch, topic.ID)
+	fed := 0
+	for rank, h := range res.Hits {
+		if judg[h.ID] >= 1 && fed < 3 {
+			fed++
+			if err := sess.Observe(repro.ClickEvent("bench", h.ID, rank)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Query(topic.Query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPersistence measures index serialise + deserialise.
+func BenchmarkPersistence(b *testing.B) {
+	arch, err := repro.GenerateArchive(repro.TinyArchive(), 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := core.BuildIndex(arch.Collection, text.NewAnalyzer())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := ix.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := index.Read(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFusion measures CombSUM fusion of two 100-hit lists.
+func BenchmarkFusion(b *testing.B) {
+	arch, sys := benchArchiveSystem(b)
+	topic := arch.Truth.SearchTopics[0]
+	engine := sys.Engine()
+	tq := engine.ParseText(topic.Query)
+	tr, err := engine.Search(tq, search.Options{K: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	topicT := arch.Truth.Topics[topic.TopicID]
+	concepts := make([]string, len(topicT.Concepts))
+	for i, c := range topicT.Concepts {
+		concepts[i] = string(c)
+	}
+	cr, err := engine.Search(search.ConceptQuery(concepts...), search.Options{K: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lists := [][]search.Hit{tr.Hits, cr.Hits}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		search.Fuse(search.CombSUM{}, lists, 100)
+	}
+}

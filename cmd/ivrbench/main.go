@@ -1,0 +1,70 @@
+// Command ivrbench runs the derived experiment suite (DESIGN.md) and
+// prints paper-style tables. EXPERIMENTS.md records its full-scale
+// output.
+//
+// Usage:
+//
+//	ivrbench                  # run everything at full scale
+//	ivrbench -exp T1,T5       # selected experiments
+//	ivrbench -scale quick     # reduced scale (fast smoke run)
+//	ivrbench -seed 7          # change the master seed
+//	ivrbench -list            # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		scaleFlag = flag.String("scale", "full", "experiment scale: full or quick")
+		seedFlag  = flag.Int64("seed", 0, "override the master seed (0 = keep default)")
+		listFlag  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, id := range experiments.IDs() {
+			title, _ := experiments.Title(id)
+			fmt.Printf("%-5s %s\n", id, title)
+		}
+		return
+	}
+	var p experiments.Params
+	switch *scaleFlag {
+	case "full":
+		p = experiments.Default()
+	case "quick":
+		p = experiments.Quick()
+	default:
+		fmt.Fprintf(os.Stderr, "ivrbench: unknown scale %q (want full or quick)\n", *scaleFlag)
+		os.Exit(2)
+	}
+	if *seedFlag != 0 {
+		p.Seed = *seedFlag
+	}
+	ids := experiments.IDs()
+	if *expFlag != "" {
+		ids = strings.Split(*expFlag, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		table, err := experiments.Run(id, p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ivrbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(table.String())
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,123 @@
+// Command ivreval scores TREC-format run files against qrels — a
+// trec_eval-style tool over the library's metric layer, so runs
+// produced by ivrsim (or any external system) can be compared and
+// significance-tested.
+//
+// Usage:
+//
+//	ivreval -run sys.run -qrels qrels.txt
+//	ivreval -run a.run -run2 b.run -qrels qrels.txt    # paired comparison
+//	ivreval -run sys.run -qrels qrels.txt -perquery
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	var (
+		runPath  = flag.String("run", "", "run file (required)")
+		run2Path = flag.String("run2", "", "second run for paired significance tests")
+		qrelPath = flag.String("qrels", "", "qrels file (required)")
+		perQuery = flag.Bool("perquery", false, "print per-query AP")
+	)
+	flag.Parse()
+	if *runPath == "" || *qrelPath == "" {
+		fail("need -run and -qrels")
+	}
+	qs := loadQrels(*qrelPath)
+	run := loadRun(*runPath)
+	perQ, mean, skipped := eval.EvaluateRun(run, qs)
+	fmt.Printf("run %q: %d queries scored, %d without judgements\n\n",
+		run.Tag, len(perQ), len(skipped))
+	printMetrics(mean)
+	if *perQuery {
+		fmt.Println("\nper-query AP:")
+		for _, qid := range run.QueryIDs() {
+			if m, ok := perQ[qid]; ok {
+				fmt.Printf("  %-24s %.4f\n", qid, m.AP)
+			}
+		}
+	}
+	if *run2Path == "" {
+		return
+	}
+	run2 := loadRun(*run2Path)
+	perQ2, mean2, _ := eval.EvaluateRun(run2, qs)
+	fmt.Printf("\nrun %q:\n", run2.Tag)
+	printMetrics(mean2)
+	// Paired vectors over the common judged queries.
+	var a, b []float64
+	for _, qid := range run.QueryIDs() {
+		m1, ok1 := perQ[qid]
+		m2, ok2 := perQ2[qid]
+		if ok1 && ok2 {
+			a = append(a, m1.AP)
+			b = append(b, m2.AP)
+		}
+	}
+	if len(a) < 2 {
+		fmt.Println("\n(too few common queries for significance tests)")
+		return
+	}
+	tt, err := eval.PairedTTest(a, b)
+	if err != nil {
+		fail("t-test: %v", err)
+	}
+	wx, err := eval.WilcoxonSignedRank(a, b)
+	if err != nil {
+		fail("wilcoxon: %v", err)
+	}
+	rz, err := eval.RandomizationTest(a, b, 10000, 1)
+	if err != nil {
+		fail("randomisation: %v", err)
+	}
+	fmt.Printf("\npaired comparison over %d common queries (%s -> %s):\n", len(a), run.Tag, run2.Tag)
+	fmt.Printf("  MAP %-7.4f -> %-7.4f (%+.1f%%)\n",
+		mean.AP, mean2.AP, eval.RelImprovement(mean.AP, mean2.AP))
+	fmt.Printf("  paired t-test:     %s\n", tt)
+	fmt.Printf("  wilcoxon:          %s\n", wx)
+	fmt.Printf("  randomisation:     %s\n", rz)
+}
+
+func printMetrics(m eval.Metrics) {
+	fmt.Printf("  MAP      %.4f\n", m.AP)
+	fmt.Printf("  P@5      %.4f    P@10   %.4f    P@20  %.4f\n", m.P5, m.P10, m.P20)
+	fmt.Printf("  nDCG@10  %.4f    MRR    %.4f    bpref %.4f\n", m.NDCG10, m.RR, m.Bpref)
+	fmt.Printf("  R@10     %.4f    R@100  %.4f\n", m.R10, m.R100)
+}
+
+func loadRun(path string) *eval.Run {
+	f, err := os.Open(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+	run, err := eval.ReadRun(f)
+	if err != nil {
+		fail("%v", err)
+	}
+	return run
+}
+
+func loadQrels(path string) eval.QrelSet {
+	f, err := os.Open(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+	qs, err := eval.ReadQrels(f)
+	if err != nil {
+		fail("%v", err)
+	}
+	return qs
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ivreval: "+format+"\n", args...)
+	os.Exit(1)
+}

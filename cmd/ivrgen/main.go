@@ -1,0 +1,109 @@
+// Command ivrgen generates a synthetic news-video archive to disk: the
+// collection index (binary, checksummed), the search topics and qrels
+// (TREC-style text files), and a summary.
+//
+// Usage:
+//
+//	ivrgen -out ./archive                  # default month-scale archive
+//	ivrgen -out ./archive -days 10 -wer 0.3 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/store"
+	"repro/internal/synth"
+	"repro/internal/text"
+)
+
+func main() {
+	var (
+		outDir = flag.String("out", "archive", "output directory")
+		days   = flag.Int("days", 0, "override broadcast days")
+		wer    = flag.Float64("wer", -1, "override ASR word error rate")
+		topics = flag.Int("topics", 0, "override number of search topics")
+		seed   = flag.Int64("seed", 2008, "generation seed")
+		tiny   = flag.Bool("tiny", false, "use the tiny test-scale configuration")
+	)
+	flag.Parse()
+
+	cfg := synth.DefaultConfig()
+	if *tiny {
+		cfg = synth.TinyConfig()
+	}
+	if *days > 0 {
+		cfg.Days = *days
+	}
+	if *wer >= 0 {
+		cfg.WER = *wer
+	}
+	if *topics > 0 {
+		cfg.NumSearchTopics = *topics
+	}
+	arch, err := synth.Generate(cfg, *seed)
+	if err != nil {
+		fail("generate: %v", err)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fail("mkdir: %v", err)
+	}
+	// Full archive container (collection + ground truth).
+	arcPath := filepath.Join(*outDir, "archive.ivrarc")
+	if err := store.Save(arcPath, arch); err != nil {
+		fail("save archive: %v", err)
+	}
+	// Index.
+	an := text.NewAnalyzer()
+	ix, err := core.BuildIndex(arch.Collection, an)
+	if err != nil {
+		fail("index: %v", err)
+	}
+	idxPath := filepath.Join(*outDir, "archive.ivridx")
+	if err := ix.Save(idxPath); err != nil {
+		fail("save index: %v", err)
+	}
+	// Topics file.
+	var topicsSB strings.Builder
+	for _, st := range arch.Truth.SearchTopics {
+		fmt.Fprintf(&topicsSB, "%d\t%s\t%s\t%s\n", st.ID, st.Category, st.Query, st.Verbose)
+	}
+	if err := os.WriteFile(filepath.Join(*outDir, "topics.tsv"), []byte(topicsSB.String()), 0o644); err != nil {
+		fail("write topics: %v", err)
+	}
+	// Qrels file (TREC format: topic 0 doc grade).
+	var qrelsSB strings.Builder
+	topicIDs := make([]int, 0, len(arch.Truth.Qrels))
+	for id := range arch.Truth.Qrels {
+		topicIDs = append(topicIDs, id)
+	}
+	sort.Ints(topicIDs)
+	for _, tid := range topicIDs {
+		for _, shot := range arch.Truth.Qrels.Relevant(tid, 1) {
+			fmt.Fprintf(&qrelsSB, "%d 0 %s %d\n", tid, shot, arch.Truth.Qrels.Grade(tid, shot))
+		}
+	}
+	if err := os.WriteFile(filepath.Join(*outDir, "qrels.txt"), []byte(qrelsSB.String()), 0o644); err != nil {
+		fail("write qrels: %v", err)
+	}
+	stats := arch.Collection.ComputeStats()
+	fmt.Printf("archive written to %s\n", *outDir)
+	fmt.Printf("  container: %s\n", arcPath)
+	fmt.Printf("  videos:  %d\n", stats.Videos)
+	fmt.Printf("  stories: %d\n", stats.Stories)
+	fmt.Printf("  shots:   %d (mean %.1fs, %.1f transcript terms)\n",
+		stats.Shots, stats.MeanShotSeconds, stats.MeanTranscriptTerms)
+	fmt.Printf("  topics:  %d with qrels\n", len(arch.Truth.SearchTopics))
+	fmt.Printf("  index:   %s (%d docs, %d text terms)\n",
+		idxPath, ix.NumDocs(), ix.NumTerms(0))
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ivrgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command ivrlogs analyses interaction logs: per-indicator statistics,
+// per-session volumes, and dwell-time distribution — the logfile
+// analysis step of the paper's methodology. When the log came from a
+// known archive seed, relevance-aware statistics (indicator precision)
+// are computed against the regenerated qrels.
+//
+// Usage:
+//
+//	ivrlogs -log study.jsonl                  # volumes only
+//	ivrlogs -log study.jsonl -seed 2008       # + indicator precision vs qrels
+//	ivrlogs -log study.jsonl -seed 2008 -full # full-scale archive ground truth
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/collection"
+	"repro/internal/ilog"
+	"repro/internal/store"
+	"repro/internal/synth"
+)
+
+func main() {
+	var (
+		logPath  = flag.String("log", "study.jsonl", "interaction log (JSONL)")
+		seed     = flag.Int64("seed", 0, "archive seed for ground-truth relevance (0 = skip)")
+		full     = flag.Bool("full", false, "ground-truth archive is full-scale")
+		archPath = flag.String("archive", "", "saved archive container (.ivrarc) for ground truth")
+	)
+	flag.Parse()
+
+	events, err := ilog.LoadFile(*logPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("%d events in %s\n\n", len(events), *logPath)
+
+	// Session volumes.
+	sessions := ilog.AnalyzeSessions(events)
+	imp, exp, q := ilog.MeanEventsPerSession(sessions)
+	fmt.Printf("sessions: %d  (per session: %.1f implicit, %.1f explicit, %.1f queries)\n\n",
+		len(sessions), imp, exp, q)
+
+	var oracle ilog.RelevanceOracle
+	var arch *synth.Archive
+	switch {
+	case *archPath != "":
+		arch, err = store.Load(*archPath)
+		if err != nil {
+			fail("load archive: %v", err)
+		}
+	case *seed != 0:
+		cfg := synth.TinyConfig()
+		if *full {
+			cfg = synth.DefaultConfig()
+		}
+		arch, err = synth.Generate(cfg, *seed)
+		if err != nil {
+			fail("regenerate archive: %v", err)
+		}
+	}
+	if arch != nil {
+		oracle = func(topicID int, shotID string) bool {
+			return arch.Truth.Qrels.Grade(topicID, collection.ShotID(shotID)) >= 1
+		}
+	}
+
+	fmt.Println("per-indicator statistics:")
+	fmt.Printf("%-16s %8s %8s %10s %10s %9s\n", "action", "events", "on-rel", "precision", "mean-sec", "mean-rank")
+	for _, st := range ilog.AnalyzeIndicators(events, oracle) {
+		fmt.Printf("%-16s %8d %8d %10.3f %10.2f %9.2f\n",
+			st.Action, st.Count, st.OnRelevant, st.Precision, st.MeanSeconds, st.MeanRank)
+	}
+	if oracle == nil {
+		fmt.Println("(pass -seed to compute precision against regenerated qrels)")
+	}
+
+	// Dwell distribution.
+	buckets, err := ilog.DwellAnalysis(events, oracle, []float64{0, 2, 5, 10, 20, 60, 1e9})
+	if err != nil {
+		fail("dwell: %v", err)
+	}
+	fmt.Println("\ndwell-time distribution (play events):")
+	for _, b := range buckets {
+		hi := fmt.Sprintf("%gs", b.Hi)
+		if b.Hi >= 1e9 {
+			hi = "inf"
+		}
+		fmt.Printf("  [%4gs, %5s)  %6d plays   precision %.3f\n", b.Lo, hi, b.Count, b.Precision)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ivrlogs: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,178 @@
+// Command ivrsearch runs queries against a synthetic archive with
+// optional implicit-feedback adaptation, demonstrating the retrieval
+// side of the system from the shell.
+//
+// Usage:
+//
+//	ivrsearch -query "paboasts gound"            # plain search on a fresh tiny archive
+//	ivrsearch -topic 0                           # use a generated evaluation topic (+AP)
+//	ivrsearch -topic 0 -feedback 3               # click the top-3 results, re-rank, compare
+//	ivrsearch -index archive/archive.ivridx -query "..."   # search a saved index
+//	ivrsearch -scorer tfidf -k 5 -topic 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/ilog"
+	"repro/internal/index"
+	"repro/internal/search"
+	"repro/internal/store"
+	"repro/internal/synth"
+	"repro/internal/text"
+)
+
+func main() {
+	var (
+		indexPath   = flag.String("index", "", "saved index file (ivrgen output); disables adaptation")
+		queryStr    = flag.String("query", "", "free-text query")
+		topicNum    = flag.Int("topic", -1, "use generated search topic N as the query (enables AP report)")
+		feedback    = flag.Int("feedback", 0, "simulate clicks+plays on the top-N results, then re-query")
+		scorer      = flag.String("scorer", "bm25", "ranking function: bm25, tfidf, dirichlet-lm")
+		k           = flag.Int("k", 10, "results to display")
+		seed        = flag.Int64("seed", 2008, "archive seed")
+		full        = flag.Bool("full", false, "use the full-scale archive (slower)")
+		archivePath = flag.String("archive", "", "saved archive container (.ivrarc) to search")
+	)
+	flag.Parse()
+
+	var sc search.Scorer
+	switch *scorer {
+	case "bm25":
+		sc = search.BM25{}
+	case "tfidf":
+		sc = search.TFIDF{}
+	case "dirichlet-lm":
+		sc = search.DirichletLM{}
+	default:
+		fail("unknown scorer %q", *scorer)
+	}
+
+	// Saved-index mode: plain engine search, no collection metadata.
+	if *indexPath != "" {
+		if *queryStr == "" {
+			fail("-index mode requires -query")
+		}
+		ix, err := index.Load(*indexPath)
+		if err != nil {
+			fail("load index: %v", err)
+		}
+		engine := search.NewEngine(ix, text.NewAnalyzer())
+		res, err := engine.Search(engine.ParseText(*queryStr), search.Options{K: *k, Scorer: sc})
+		if err != nil {
+			fail("search: %v", err)
+		}
+		fmt.Printf("%d candidates for %q\n", res.Candidates, *queryStr)
+		for i, h := range res.Hits {
+			fmt.Printf("%3d. %-18s %.4f\n", i+1, h.ID, h.Score)
+		}
+		return
+	}
+
+	var arch *synth.Archive
+	var err error
+	if *archivePath != "" {
+		arch, err = store.Load(*archivePath)
+		if err != nil {
+			fail("load archive: %v", err)
+		}
+	} else {
+		cfg := synth.TinyConfig()
+		if *full {
+			cfg = synth.DefaultConfig()
+		}
+		arch, err = synth.Generate(cfg, *seed)
+		if err != nil {
+			fail("generate: %v", err)
+		}
+	}
+	sys, err := core.NewSystemFromCollection(arch.Collection, core.Config{
+		UseImplicit: *feedback > 0,
+		K:           100,
+		Scorer:      sc,
+	})
+	if err != nil {
+		fail("system: %v", err)
+	}
+
+	query := *queryStr
+	var judg eval.Judgments
+	if *topicNum >= 0 {
+		if *topicNum >= len(arch.Truth.SearchTopics) {
+			fail("topic %d out of range (have %d)", *topicNum, len(arch.Truth.SearchTopics))
+		}
+		st := arch.Truth.SearchTopics[*topicNum]
+		query = st.Query
+		judg = eval.Judgments{}
+		for shot, g := range arch.Truth.Qrels[st.ID] {
+			judg[string(shot)] = g
+		}
+		fmt.Printf("topic %d (%s): %q, %d relevant shots\n", st.ID, st.Category, query, judg.NumRelevant(1))
+	}
+	if query == "" {
+		fail("need -query or -topic")
+	}
+
+	sess := sys.NewSession("cli", nil)
+	res, err := sess.Query(query)
+	if err != nil {
+		fail("search: %v", err)
+	}
+	printResults("initial ranking", res, judg, *k, arch)
+
+	if *feedback > 0 {
+		n := *feedback
+		if n > len(res.Hits) {
+			n = len(res.Hits)
+		}
+		fmt.Printf("\nsimulating click+play on the top %d results...\n", n)
+		for i := 0; i < n; i++ {
+			id := res.Hits[i].ID
+			events := []ilog.Event{
+				{SessionID: "cli", Action: ilog.ActionClickKeyframe, ShotID: id, Rank: i},
+				{SessionID: "cli", Action: ilog.ActionPlay, ShotID: id, Rank: i, Seconds: 15},
+			}
+			if err := sess.ObserveAll(events); err != nil {
+				fail("observe: %v", err)
+			}
+		}
+		adapted, err := sess.Query(query)
+		if err != nil {
+			fail("adapted search: %v", err)
+		}
+		fmt.Println()
+		printResults("adapted ranking", adapted, judg, *k, arch)
+	}
+}
+
+func printResults(label string, res search.Results, judg eval.Judgments, k int, arch *synth.Archive) {
+	fmt.Printf("%s (%d candidates):\n", label, res.Candidates)
+	for i, h := range res.Hits {
+		if i >= k {
+			break
+		}
+		mark := " "
+		if judg != nil && judg[h.ID] >= 1 {
+			mark = "*"
+		}
+		title := ""
+		if story := arch.Collection.StoryOfShot(collection.ShotID(h.ID)); story != nil {
+			title = fmt.Sprintf("  [%s] %s", story.Category, story.Title)
+		}
+		fmt.Printf("%3d.%s %-16s %8.4f%s\n", i+1, mark, h.ID, h.Score, title)
+	}
+	if judg != nil {
+		m := eval.Compute(res.IDs(), judg)
+		fmt.Printf("     AP=%.3f P@10=%.2f nDCG@10=%.3f\n", m.AP, m.P10, m.NDCG10)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ivrsearch: "+format+"\n", args...)
+	os.Exit(1)
+}

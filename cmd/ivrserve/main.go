@@ -1,0 +1,79 @@
+// Command ivrserve hosts the adaptive retrieval system as an HTTP/JSON
+// service — the backend a desktop or iTV front-end would talk to.
+//
+// Usage:
+//
+//	ivrserve                                  # tiny archive on :8080
+//	ivrserve -addr :9090 -preset combined -full
+//	ivrserve -archive archive.ivrarc          # serve a saved archive
+//
+// Example exchange:
+//
+//	curl -s -X POST localhost:8080/api/sessions \
+//	     -d '{"user_id":"alice","interests":{"sports":0.9}}'
+//	curl -s 'localhost:8080/api/search?session=s1&q=cup+final'
+//	curl -s -X POST localhost:8080/api/events -d '{"session_id":"s1",
+//	     "events":[{"action":"click_keyframe","shot":"v0001_s003","rank":0,
+//	                "session":"s1","t":"2008-01-01T12:00:00Z","topic":-1}]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/store"
+	"repro/internal/synth"
+	"repro/internal/webapi"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		preset   = flag.String("preset", "combined", "system preset: baseline, profile, implicit, combined")
+		archPath = flag.String("archive", "", "saved archive (.ivrarc) to serve; default generates one")
+		seed     = flag.Int64("seed", 2008, "generation seed when no -archive is given")
+		full     = flag.Bool("full", false, "generate the full-scale archive")
+	)
+	flag.Parse()
+
+	cfg, err := core.Preset(*preset)
+	if err != nil {
+		fail("%v", err)
+	}
+	var arch *synth.Archive
+	if *archPath != "" {
+		arch, err = store.Load(*archPath)
+		if err != nil {
+			fail("load archive: %v", err)
+		}
+	} else {
+		acfg := synth.TinyConfig()
+		if *full {
+			acfg = synth.DefaultConfig()
+		}
+		arch, err = synth.Generate(acfg, *seed)
+		if err != nil {
+			fail("generate: %v", err)
+		}
+	}
+	sys, err := core.NewSystemFromCollection(arch.Collection, cfg)
+	if err != nil {
+		fail("system: %v", err)
+	}
+	srv, err := webapi.NewServer(sys)
+	if err != nil {
+		fail("server: %v", err)
+	}
+	fmt.Printf("ivrserve: %s system over %d shots, listening on %s\n",
+		*preset, arch.Collection.NumShots(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ivrserve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Command ivrsim runs a simulated user study and writes the
+// interaction log, the paper's proposed evaluation methodology as a
+// shell tool.
+//
+// Usage:
+//
+//	ivrsim -out study.jsonl                      # default: 3 users x 6 topics, desktop
+//	ivrsim -iface tv -users 5 -iterations 4
+//	ivrsim -preset combined -out study.jsonl     # adaptive system under study
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/ilog"
+	"repro/internal/simulation"
+	"repro/internal/synth"
+	"repro/internal/ui"
+)
+
+func main() {
+	var (
+		out        = flag.String("out", "study.jsonl", "interaction log output path")
+		ifaceName  = flag.String("iface", "desktop", "interface: desktop or tv")
+		preset     = flag.String("preset", "combined", "system preset: baseline, profile, implicit, combined")
+		users      = flag.Int("users", 3, "number of simulated users")
+		topics     = flag.Int("topics", 6, "number of evaluation topics (0 = all)")
+		iterations = flag.Int("iterations", 3, "query iterations per session")
+		seed       = flag.Int64("seed", 2008, "seed")
+		full       = flag.Bool("full", false, "use the full-scale archive")
+		runOut     = flag.String("run", "", "also write a TREC run file of final rankings")
+		qrelsOut   = flag.String("qrels", "", "also write the matching TREC qrels file")
+	)
+	flag.Parse()
+
+	iface, err := ui.ByName(*ifaceName)
+	if err != nil {
+		fail("%v", err)
+	}
+	cfg, err := core.Preset(*preset)
+	if err != nil {
+		fail("%v", err)
+	}
+	archCfg := synth.TinyConfig()
+	if *full {
+		archCfg = synth.DefaultConfig()
+	}
+	arch, err := synth.Generate(archCfg, *seed)
+	if err != nil {
+		fail("generate: %v", err)
+	}
+	sys, err := core.NewSystemFromCollection(arch.Collection, cfg)
+	if err != nil {
+		fail("system: %v", err)
+	}
+	topicSet := arch.Truth.SearchTopics
+	if *topics > 0 && *topics < len(topicSet) {
+		topicSet = topicSet[:*topics]
+	}
+	study, err := simulation.RunStudy(arch, sys, iface,
+		simulation.MakeUsers(*users), topicSet, *iterations, *seed)
+	if err != nil {
+		fail("study: %v", err)
+	}
+	if err := ilog.SaveFile(*out, study.Events); err != nil {
+		fail("save: %v", err)
+	}
+	if *runOut != "" {
+		f, err := os.Create(*runOut)
+		if err != nil {
+			fail("run file: %v", err)
+		}
+		if err := eval.WriteRun(f, study.ToRun(*preset)); err != nil {
+			f.Close()
+			fail("run file: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("run file: %v", err)
+		}
+		fmt.Printf("  run file:   %s\n", *runOut)
+	}
+	if *qrelsOut != "" {
+		f, err := os.Create(*qrelsOut)
+		if err != nil {
+			fail("qrels file: %v", err)
+		}
+		if err := eval.WriteQrels(f, study.ToQrels(arch.Truth.Qrels)); err != nil {
+			f.Close()
+			fail("qrels file: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("qrels file: %v", err)
+		}
+		fmt.Printf("  qrels file: %s\n", *qrelsOut)
+	}
+	imp, exp, q := ilog.MeanEventsPerSession(ilog.AnalyzeSessions(study.Events))
+	fmt.Printf("study complete: %d sessions, %d events -> %s\n", len(study.Sessions), len(study.Events), *out)
+	fmt.Printf("  system:     %s on %s\n", *preset, iface.Name)
+	fmt.Printf("  per session: %.1f implicit, %.1f explicit, %.1f queries\n", imp, exp, q)
+	fmt.Printf("  MAP first iteration: %.3f   final: %.3f\n", study.MeanFirst.AP, study.MeanFinal.AP)
+	fmt.Printf("  mean distinct shots examined: %.1f\n", study.MeanDistinctSeen)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ivrsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+// Evaluation: the complete research workflow the paper proposes, as a
+// program — simulate two systems over the same user population, export
+// TREC-format runs, score them, and significance-test the difference.
+// This is the methodology loop (simulate → log → evaluate) that
+// replaces a laboratory user study.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/eval"
+)
+
+func main() {
+	arch, err := repro.GenerateArchive(repro.TinyArchive(), 2008)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topics := arch.Truth.SearchTopics
+	fmt.Printf("collection: %d shots, %d evaluation topics\n\n",
+		arch.Collection.NumShots(), len(topics))
+
+	// Two systems under test, same participants, same tasks.
+	systems := []struct {
+		name string
+		cfg  repro.SystemConfig
+	}{
+		{"baseline", repro.Baseline()},
+		{"combined", repro.Combined()},
+	}
+	runs := make(map[string]*eval.Run)
+	var qrels eval.QrelSet
+	for _, s := range systems {
+		sys, err := repro.NewAdaptiveSystem(arch, s.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		study, err := repro.RunStudy(arch, sys, repro.Desktop(), 3, topics, 3, 77)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runs[s.name] = study.ToRun(s.name)
+		if qrels == nil {
+			qrels = study.ToQrels(arch.Truth.Qrels)
+		}
+		fmt.Printf("%-9s MAP(first)=%.3f  MAP(final)=%.3f  (%d sessions, %d logged events)\n",
+			s.name, study.MeanFirst.AP, study.MeanFinal.AP,
+			len(study.Sessions), len(study.Events))
+	}
+
+	// Score both runs against the shared qrels.
+	perBase, meanBase, _ := eval.EvaluateRun(runs["baseline"], qrels)
+	perComb, meanComb, _ := eval.EvaluateRun(runs["combined"], qrels)
+	fmt.Printf("\nrun evaluation (TREC pipeline):\n")
+	fmt.Printf("  baseline: MAP %.4f  P@10 %.4f  nDCG@10 %.4f\n", meanBase.AP, meanBase.P10, meanBase.NDCG10)
+	fmt.Printf("  combined: MAP %.4f  P@10 %.4f  nDCG@10 %.4f\n", meanComb.AP, meanComb.P10, meanComb.NDCG10)
+	fmt.Printf("  relative MAP improvement: %+.1f%%\n",
+		eval.RelImprovement(meanBase.AP, meanComb.AP))
+
+	// Paired significance over the common session-queries.
+	var a, b []float64
+	for _, qid := range runs["baseline"].QueryIDs() {
+		m1, ok1 := perBase[qid]
+		m2, ok2 := perComb[qid]
+		if ok1 && ok2 {
+			a = append(a, m1.AP)
+			b = append(b, m2.AP)
+		}
+	}
+	tt, err := eval.PairedTTest(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wx, err := eval.WilcoxonSignedRank(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rz, err := eval.RandomizationTest(a, b, 10000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsignificance over %d paired sessions:\n", len(a))
+	fmt.Printf("  paired t-test:  %s\n", tt)
+	fmt.Printf("  wilcoxon:       %s\n", wx)
+	fmt.Printf("  randomisation:  %s\n", rz)
+	if tt.Significant(0.05) && wx.Significant(0.05) {
+		fmt.Println("\nconclusion: the combined adaptive model significantly outperforms")
+		fmt.Println("the non-adaptive baseline under simulated evaluation — the outcome")
+		fmt.Println("the paper's research programme set out to establish.")
+	} else {
+		fmt.Println("\nconclusion: no significant difference at this scale.")
+	}
+}

@@ -1,0 +1,59 @@
+// Userstudy: the paper's evaluation methodology end-to-end — simulate
+// a user population on both interaction environments, collect the
+// interaction logs, and analyse which interface features were reliable
+// implicit indicators of relevance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/collection"
+	"repro/internal/ilog"
+)
+
+func main() {
+	arch, err := repro.GenerateArchive(repro.TinyArchive(), 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := repro.NewAdaptiveSystem(arch, repro.Combined())
+	if err != nil {
+		log.Fatal(err)
+	}
+	topics := arch.Truth.SearchTopics[:4]
+	oracle := func(topicID int, shotID string) bool {
+		return arch.Truth.Qrels.Grade(topicID, collection.ShotID(shotID)) >= 1
+	}
+
+	fmt.Println("== simulated user study: desktop vs interactive TV ==")
+	fmt.Printf("population: 3 stereotype users x %d topics x 3 query iterations\n\n", len(topics))
+
+	for _, iface := range []*repro.Interface{repro.Desktop(), repro.TV()} {
+		study, err := repro.RunStudy(arch, sys, iface, 3, topics, 3, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sessions := ilog.AnalyzeSessions(study.Events)
+		implicit, explicit, queries := ilog.MeanEventsPerSession(sessions)
+
+		fmt.Printf("--- %s ---\n", iface.Name)
+		fmt.Printf("sessions: %d   events: %d\n", len(study.Sessions), len(study.Events))
+		fmt.Printf("per session: %.1f implicit, %.1f explicit, %.1f queries\n",
+			implicit, explicit, queries)
+		fmt.Printf("retrieval: MAP %.3f (first) -> %.3f (final)\n\n",
+			study.MeanFirst.AP, study.MeanFinal.AP)
+
+		fmt.Println("which actions indicated relevance? (per-indicator precision)")
+		fmt.Printf("  %-16s %7s %10s\n", "action", "events", "precision")
+		for _, st := range ilog.AnalyzeIndicators(study.Events, oracle) {
+			fmt.Printf("  %-16s %7d %10.3f\n", st.Action, st.Count, st.Precision)
+		}
+		fmt.Println()
+	}
+	fmt.Println("reading: keyframe clicks and long plays are strong indicators on both")
+	fmt.Println("environments; browsing past something is weak evidence; the desktop")
+	fmt.Println("yields several times more implicit feedback, while the TV viewer")
+	fmt.Println("compensates with the remote's explicit rating keys.")
+}

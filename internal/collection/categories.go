@@ -1,0 +1,118 @@
+package collection
+
+import "fmt"
+
+// Category is a coarse news desk category. Static user profiles in the
+// paper express interest at exactly this granularity ("politics",
+// "sports", "science" are the paper's own examples).
+type Category uint8
+
+// News categories. NumCategories bounds loops over the category space.
+const (
+	CatPolitics Category = iota
+	CatSports
+	CatBusiness
+	CatScience
+	CatHealth
+	CatEntertainment
+	CatWeather
+	CatInternational
+	CatTechnology
+	CatCrime
+	NumCategories int = iota
+)
+
+var categoryNames = [...]string{
+	"politics", "sports", "business", "science", "health",
+	"entertainment", "weather", "international", "technology", "crime",
+}
+
+// String returns the lower-case category name.
+func (c Category) String() string {
+	if int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return fmt.Sprintf("Category(%d)", uint8(c))
+}
+
+// ParseCategory maps a name back to its Category.
+func ParseCategory(name string) (Category, error) {
+	for i, n := range categoryNames {
+		if n == name {
+			return Category(i), nil
+		}
+	}
+	return 0, fmt.Errorf("collection: unknown category %q", name)
+}
+
+// AllCategories returns every category in declaration order.
+func AllCategories() []Category {
+	out := make([]Category, NumCategories)
+	for i := range out {
+		out[i] = Category(i)
+	}
+	return out
+}
+
+// ConceptVocabulary is the fixed high-level concept lexicon, modelled
+// on the TRECVID/LSCOM-lite sets the paper's TRECVID discussion refers
+// to. Detector simulations and topic definitions draw from this list.
+var ConceptVocabulary = []Concept{
+	"anchor_person", "studio_setting", "outdoor", "indoor", "crowd",
+	"face", "person", "government_leader", "politician", "podium",
+	"flag", "building", "cityscape", "road", "vehicle", "aircraft",
+	"boat_ship", "military", "weapon", "explosion_fire", "natural_disaster",
+	"sports_venue", "football_match", "athlete", "stadium", "scoreboard",
+	"weather_map", "charts", "maps", "computer_screen", "animal",
+	"vegetation", "sky", "snow", "waterscape", "mountain", "desert",
+	"court_room", "hospital", "classroom", "press_conference",
+	"demonstration_protest", "meeting", "interview_setting", "graphics_text",
+}
+
+// conceptIndex maps concepts to their vocabulary positions.
+var conceptIndex = func() map[Concept]int {
+	m := make(map[Concept]int, len(ConceptVocabulary))
+	for i, c := range ConceptVocabulary {
+		m[c] = i
+	}
+	return m
+}()
+
+// ConceptIndex returns the vocabulary position of c and whether c is a
+// known concept.
+func ConceptIndex(c Concept) (int, bool) {
+	i, ok := conceptIndex[c]
+	return i, ok
+}
+
+// categoryConcepts associates each category with the concepts that
+// plausibly co-occur with its stories. The synthetic generator samples
+// ground-truth shot concepts from these pools (plus the generic pool).
+var categoryConcepts = map[Category][]Concept{
+	CatPolitics:      {"government_leader", "politician", "podium", "flag", "press_conference", "meeting", "building"},
+	CatSports:        {"sports_venue", "football_match", "athlete", "stadium", "scoreboard", "crowd"},
+	CatBusiness:      {"charts", "building", "computer_screen", "meeting", "cityscape"},
+	CatScience:       {"computer_screen", "charts", "classroom", "graphics_text", "sky"},
+	CatHealth:        {"hospital", "person", "indoor", "interview_setting"},
+	CatEntertainment: {"crowd", "face", "indoor", "person", "interview_setting"},
+	CatWeather:       {"weather_map", "maps", "sky", "snow", "graphics_text"},
+	CatInternational: {"flag", "cityscape", "military", "aircraft", "demonstration_protest", "road"},
+	CatTechnology:    {"computer_screen", "graphics_text", "charts", "indoor"},
+	CatCrime:         {"court_room", "weapon", "building", "person", "road"},
+}
+
+// genericConcepts occur across all categories.
+var genericConcepts = []Concept{
+	"anchor_person", "studio_setting", "face", "person", "outdoor", "indoor",
+}
+
+// CategoryConcepts returns the concept pool for a category: its
+// specific concepts followed by the generic pool. The returned slice is
+// fresh on every call.
+func CategoryConcepts(c Category) []Concept {
+	spec := categoryConcepts[c]
+	out := make([]Concept, 0, len(spec)+len(genericConcepts))
+	out = append(out, spec...)
+	out = append(out, genericConcepts...)
+	return out
+}

@@ -1,0 +1,299 @@
+package collection
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Collection is an in-memory news-video archive with referential
+// integrity between videos, stories and shots. It is the substrate the
+// indexer, the interfaces and the simulator all read from.
+//
+// A Collection is built once (AddVideo/AddStory/AddShot or via the
+// synth generator) and is read-only afterwards; reads are safe for
+// concurrent use once building is complete.
+type Collection struct {
+	videos  map[VideoID]*Video
+	stories map[StoryID]*Story
+	shots   map[ShotID]*Shot
+
+	// order preserves insertion order for deterministic iteration.
+	videoOrder []VideoID
+	storyOrder []StoryID
+	shotOrder  []ShotID
+}
+
+// New returns an empty Collection ready for building.
+func New() *Collection {
+	return &Collection{
+		videos:  make(map[VideoID]*Video),
+		stories: make(map[StoryID]*Story),
+		shots:   make(map[ShotID]*Shot),
+	}
+}
+
+// Errors returned by the builder methods.
+var (
+	ErrDuplicateID = errors.New("collection: duplicate id")
+	ErrUnknownID   = errors.New("collection: unknown id")
+	ErrInvalid     = errors.New("collection: invalid record")
+)
+
+// AddVideo inserts a video shell. Stories and shots are attached later
+// and must reference the video by ID.
+func (c *Collection) AddVideo(v *Video) error {
+	if v.ID == "" {
+		return fmt.Errorf("%w: video with empty id", ErrInvalid)
+	}
+	if _, ok := c.videos[v.ID]; ok {
+		return fmt.Errorf("%w: video %q", ErrDuplicateID, v.ID)
+	}
+	c.videos[v.ID] = v
+	c.videoOrder = append(c.videoOrder, v.ID)
+	return nil
+}
+
+// AddStory inserts a story and links it to its video.
+func (c *Collection) AddStory(s *Story) error {
+	if s.ID == "" {
+		return fmt.Errorf("%w: story with empty id", ErrInvalid)
+	}
+	if _, ok := c.stories[s.ID]; ok {
+		return fmt.Errorf("%w: story %q", ErrDuplicateID, s.ID)
+	}
+	v, ok := c.videos[s.VideoID]
+	if !ok {
+		return fmt.Errorf("%w: story %q references video %q", ErrUnknownID, s.ID, s.VideoID)
+	}
+	c.stories[s.ID] = s
+	c.storyOrder = append(c.storyOrder, s.ID)
+	v.Stories = append(v.Stories, s.ID)
+	return nil
+}
+
+// AddShot inserts a shot and links it to its story and video.
+func (c *Collection) AddShot(s *Shot) error {
+	if s.ID == "" {
+		return fmt.Errorf("%w: shot with empty id", ErrInvalid)
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("%w: shot %q has non-positive duration", ErrInvalid, s.ID)
+	}
+	if _, ok := c.shots[s.ID]; ok {
+		return fmt.Errorf("%w: shot %q", ErrDuplicateID, s.ID)
+	}
+	v, ok := c.videos[s.VideoID]
+	if !ok {
+		return fmt.Errorf("%w: shot %q references video %q", ErrUnknownID, s.ID, s.VideoID)
+	}
+	st, ok := c.stories[s.StoryID]
+	if !ok {
+		return fmt.Errorf("%w: shot %q references story %q", ErrUnknownID, s.ID, s.StoryID)
+	}
+	if st.VideoID != s.VideoID {
+		return fmt.Errorf("%w: shot %q story %q belongs to video %q, not %q",
+			ErrInvalid, s.ID, s.StoryID, st.VideoID, s.VideoID)
+	}
+	c.shots[s.ID] = s
+	c.shotOrder = append(c.shotOrder, s.ID)
+	v.Shots = append(v.Shots, s.ID)
+	st.Shots = append(st.Shots, s.ID)
+	return nil
+}
+
+// Video returns the video with the given ID, or nil.
+func (c *Collection) Video(id VideoID) *Video { return c.videos[id] }
+
+// Story returns the story with the given ID, or nil.
+func (c *Collection) Story(id StoryID) *Story { return c.stories[id] }
+
+// Shot returns the shot with the given ID, or nil.
+func (c *Collection) Shot(id ShotID) *Shot { return c.shots[id] }
+
+// StoryOfShot returns the story a shot belongs to, or nil.
+func (c *Collection) StoryOfShot(id ShotID) *Story {
+	s := c.shots[id]
+	if s == nil {
+		return nil
+	}
+	return c.stories[s.StoryID]
+}
+
+// NumVideos, NumStories and NumShots report collection sizes.
+func (c *Collection) NumVideos() int  { return len(c.videos) }
+func (c *Collection) NumStories() int { return len(c.stories) }
+func (c *Collection) NumShots() int   { return len(c.shots) }
+
+// Videos iterates videos in insertion order.
+func (c *Collection) Videos(fn func(*Video) bool) {
+	for _, id := range c.videoOrder {
+		if !fn(c.videos[id]) {
+			return
+		}
+	}
+}
+
+// Stories iterates stories in insertion order.
+func (c *Collection) Stories(fn func(*Story) bool) {
+	for _, id := range c.storyOrder {
+		if !fn(c.stories[id]) {
+			return
+		}
+	}
+}
+
+// Shots iterates shots in insertion order.
+func (c *Collection) Shots(fn func(*Shot) bool) {
+	for _, id := range c.shotOrder {
+		if !fn(c.shots[id]) {
+			return
+		}
+	}
+}
+
+// ShotIDs returns all shot IDs in insertion order (a fresh slice).
+func (c *Collection) ShotIDs() []ShotID {
+	out := make([]ShotID, len(c.shotOrder))
+	copy(out, c.shotOrder)
+	return out
+}
+
+// StoryIDs returns all story IDs in insertion order (a fresh slice).
+func (c *Collection) StoryIDs() []StoryID {
+	out := make([]StoryID, len(c.storyOrder))
+	copy(out, c.storyOrder)
+	return out
+}
+
+// VideoIDs returns all video IDs in insertion order (a fresh slice).
+func (c *Collection) VideoIDs() []VideoID {
+	out := make([]VideoID, len(c.videoOrder))
+	copy(out, c.videoOrder)
+	return out
+}
+
+// Stats summarises a collection.
+type Stats struct {
+	Videos, Stories, Shots int
+	ShotsPerCategory       map[Category]int
+	MeanShotSeconds        float64
+	MeanTranscriptTerms    float64
+}
+
+// ComputeStats walks the collection once and returns summary statistics.
+func (c *Collection) ComputeStats() Stats {
+	st := Stats{
+		Videos:           len(c.videos),
+		Stories:          len(c.stories),
+		Shots:            len(c.shots),
+		ShotsPerCategory: make(map[Category]int),
+	}
+	var totalSec float64
+	var totalTerms int
+	for _, id := range c.shotOrder {
+		s := c.shots[id]
+		totalSec += s.Duration.Seconds()
+		totalTerms += approxTermCount(s.Transcript)
+		if story := c.stories[s.StoryID]; story != nil {
+			st.ShotsPerCategory[story.Category]++
+		}
+	}
+	if len(c.shots) > 0 {
+		st.MeanShotSeconds = totalSec / float64(len(c.shots))
+		st.MeanTranscriptTerms = float64(totalTerms) / float64(len(c.shots))
+	}
+	return st
+}
+
+// approxTermCount counts whitespace-separated fields without allocating.
+func approxTermCount(s string) int {
+	n := 0
+	inField := false
+	for i := 0; i < len(s); i++ {
+		isSpace := s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r'
+		if !isSpace && !inField {
+			n++
+		}
+		inField = !isSpace
+	}
+	return n
+}
+
+// Validate checks full referential integrity: every cross-reference
+// resolves, shot orderings are consistent, and every shot has at least
+// one keyframe. It returns all problems found, joined.
+func (c *Collection) Validate() error {
+	var errs []error
+	for _, id := range c.videoOrder {
+		v := c.videos[id]
+		for _, sid := range v.Stories {
+			if st := c.stories[sid]; st == nil {
+				errs = append(errs, fmt.Errorf("video %q lists missing story %q", id, sid))
+			} else if st.VideoID != id {
+				errs = append(errs, fmt.Errorf("video %q lists story %q owned by %q", id, sid, st.VideoID))
+			}
+		}
+		for _, shid := range v.Shots {
+			if sh := c.shots[shid]; sh == nil {
+				errs = append(errs, fmt.Errorf("video %q lists missing shot %q", id, shid))
+			}
+		}
+	}
+	for _, id := range c.storyOrder {
+		st := c.stories[id]
+		if len(st.Shots) == 0 {
+			errs = append(errs, fmt.Errorf("story %q has no shots", id))
+		}
+		for _, shid := range st.Shots {
+			sh := c.shots[shid]
+			if sh == nil {
+				errs = append(errs, fmt.Errorf("story %q lists missing shot %q", id, shid))
+				continue
+			}
+			if sh.StoryID != id {
+				errs = append(errs, fmt.Errorf("story %q lists shot %q owned by %q", id, shid, sh.StoryID))
+			}
+		}
+	}
+	for _, id := range c.shotOrder {
+		sh := c.shots[id]
+		if len(sh.Keyframes) == 0 {
+			errs = append(errs, fmt.Errorf("shot %q has no keyframes", id))
+		}
+		for _, kf := range sh.Keyframes {
+			if kf.ShotID != id {
+				errs = append(errs, fmt.Errorf("shot %q keyframe references %q", id, kf.ShotID))
+			}
+			if kf.Offset < 0 || kf.Offset > sh.Duration {
+				errs = append(errs, fmt.Errorf("shot %q keyframe offset %v outside [0,%v]", id, kf.Offset, sh.Duration))
+			}
+		}
+		for _, cs := range sh.Concepts {
+			if cs.Confidence < 0 || cs.Confidence > 1 {
+				errs = append(errs, fmt.Errorf("shot %q concept %q confidence %v outside [0,1]", id, cs.Concept, cs.Confidence))
+			}
+		}
+	}
+	// Shots within each video must be ordered by Index and have
+	// non-overlapping, increasing time extents.
+	for _, vid := range c.videoOrder {
+		v := c.videos[vid]
+		shots := make([]*Shot, 0, len(v.Shots))
+		for _, shid := range v.Shots {
+			if sh := c.shots[shid]; sh != nil {
+				shots = append(shots, sh)
+			}
+		}
+		sort.Slice(shots, func(i, j int) bool { return shots[i].Index < shots[j].Index })
+		for i := 1; i < len(shots); i++ {
+			if shots[i].Index == shots[i-1].Index {
+				errs = append(errs, fmt.Errorf("video %q has duplicate shot index %d", vid, shots[i].Index))
+			}
+			if shots[i].Start < shots[i-1].End() {
+				errs = append(errs, fmt.Errorf("video %q shots %q and %q overlap", vid, shots[i-1].ID, shots[i].ID))
+			}
+		}
+	}
+	return errors.Join(errs...)
+}

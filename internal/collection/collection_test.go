@@ -1,0 +1,292 @@
+package collection
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTiny constructs a two-video, three-story, five-shot collection
+// used across the tests.
+func buildTiny(t *testing.T) *Collection {
+	t.Helper()
+	c := New()
+	mustAdd := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("add: %v", err)
+		}
+	}
+	mustAdd(c.AddVideo(&Video{ID: "v1", Title: "News Mon", Channel: "BBC1", Broadcast: time.Date(2007, 3, 5, 13, 0, 0, 0, time.UTC)}))
+	mustAdd(c.AddVideo(&Video{ID: "v2", Title: "News Tue", Channel: "BBC1", Broadcast: time.Date(2007, 3, 6, 13, 0, 0, 0, time.UTC)}))
+	mustAdd(c.AddStory(&Story{ID: "st1", VideoID: "v1", Index: 0, Title: "Budget vote", Category: CatPolitics, TopicID: 1}))
+	mustAdd(c.AddStory(&Story{ID: "st2", VideoID: "v1", Index: 1, Title: "Cup final", Category: CatSports, TopicID: 2}))
+	mustAdd(c.AddStory(&Story{ID: "st3", VideoID: "v2", Index: 0, Title: "Flu outbreak", Category: CatHealth, TopicID: 3}))
+	addShot := func(id ShotID, vid VideoID, sid StoryID, idx int, start, dur time.Duration, txt string) {
+		t.Helper()
+		mustAdd(c.AddShot(&Shot{
+			ID: id, VideoID: vid, StoryID: sid, Index: idx,
+			Start: start, Duration: dur, Transcript: txt,
+			Keyframes:    []Keyframe{{ShotID: id, Offset: dur / 2}},
+			Concepts:     []ConceptScore{{Concept: "anchor_person", Confidence: 0.9}},
+			TrueConcepts: []Concept{"anchor_person"},
+		}))
+	}
+	addShot("sh1", "v1", "st1", 0, 0, 10*time.Second, "the chancellor announced the budget")
+	addShot("sh2", "v1", "st1", 1, 10*time.Second, 12*time.Second, "opposition reaction to the vote")
+	addShot("sh3", "v1", "st2", 2, 22*time.Second, 8*time.Second, "the cup final kicked off at wembley")
+	addShot("sh4", "v2", "st3", 0, 0, 15*time.Second, "hospitals report rising flu cases")
+	addShot("sh5", "v2", "st3", 1, 15*time.Second, 9*time.Second, "vaccination campaign begins")
+	return c
+}
+
+func TestBuildAndLookup(t *testing.T) {
+	c := buildTiny(t)
+	if c.NumVideos() != 2 || c.NumStories() != 3 || c.NumShots() != 5 {
+		t.Fatalf("sizes = %d/%d/%d, want 2/3/5", c.NumVideos(), c.NumStories(), c.NumShots())
+	}
+	if v := c.Video("v1"); v == nil || v.Title != "News Mon" {
+		t.Errorf("Video(v1) = %+v", v)
+	}
+	if s := c.Story("st2"); s == nil || s.Category != CatSports {
+		t.Errorf("Story(st2) = %+v", s)
+	}
+	if sh := c.Shot("sh4"); sh == nil || sh.StoryID != "st3" {
+		t.Errorf("Shot(sh4) = %+v", sh)
+	}
+	if c.Video("nope") != nil || c.Story("nope") != nil || c.Shot("nope") != nil {
+		t.Error("lookups of missing ids should return nil")
+	}
+	if st := c.StoryOfShot("sh3"); st == nil || st.ID != "st2" {
+		t.Errorf("StoryOfShot(sh3) = %+v", st)
+	}
+	if c.StoryOfShot("nope") != nil {
+		t.Error("StoryOfShot(missing) should be nil")
+	}
+}
+
+func TestLinkMaintenance(t *testing.T) {
+	c := buildTiny(t)
+	v1 := c.Video("v1")
+	if len(v1.Stories) != 2 || len(v1.Shots) != 3 {
+		t.Errorf("v1 has %d stories, %d shots; want 2, 3", len(v1.Stories), len(v1.Shots))
+	}
+	st1 := c.Story("st1")
+	if len(st1.Shots) != 2 {
+		t.Errorf("st1 has %d shots, want 2", len(st1.Shots))
+	}
+}
+
+func TestDuplicateAndMissingRefs(t *testing.T) {
+	c := buildTiny(t)
+	if err := c.AddVideo(&Video{ID: "v1"}); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("dup video err = %v", err)
+	}
+	if err := c.AddStory(&Story{ID: "st1", VideoID: "v1"}); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("dup story err = %v", err)
+	}
+	if err := c.AddStory(&Story{ID: "stX", VideoID: "vX"}); !errors.Is(err, ErrUnknownID) {
+		t.Errorf("story missing video err = %v", err)
+	}
+	if err := c.AddShot(&Shot{ID: "sh1", VideoID: "v1", StoryID: "st1", Duration: time.Second}); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("dup shot err = %v", err)
+	}
+	if err := c.AddShot(&Shot{ID: "shX", VideoID: "vX", StoryID: "st1", Duration: time.Second}); !errors.Is(err, ErrUnknownID) {
+		t.Errorf("shot missing video err = %v", err)
+	}
+	if err := c.AddShot(&Shot{ID: "shX", VideoID: "v1", StoryID: "stX", Duration: time.Second}); !errors.Is(err, ErrUnknownID) {
+		t.Errorf("shot missing story err = %v", err)
+	}
+	// Story belongs to v1; attaching its shot to v2 must fail.
+	if err := c.AddShot(&Shot{ID: "shX", VideoID: "v2", StoryID: "st1", Duration: time.Second}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("cross-video shot err = %v", err)
+	}
+	if err := c.AddVideo(&Video{}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("empty video id err = %v", err)
+	}
+	if err := c.AddShot(&Shot{ID: "shZ", VideoID: "v1", StoryID: "st1", Duration: 0}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("zero duration err = %v", err)
+	}
+}
+
+func TestIterationOrderDeterministic(t *testing.T) {
+	c := buildTiny(t)
+	var ids []ShotID
+	c.Shots(func(s *Shot) bool {
+		ids = append(ids, s.ID)
+		return true
+	})
+	want := []ShotID{"sh1", "sh2", "sh3", "sh4", "sh5"}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("iteration order %v, want %v", ids, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	c.Shots(func(*Shot) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("early stop visited %d, want 2", n)
+	}
+}
+
+func TestIDSlicesAreCopies(t *testing.T) {
+	c := buildTiny(t)
+	ids := c.ShotIDs()
+	ids[0] = "mutated"
+	if c.ShotIDs()[0] != "sh1" {
+		t.Error("ShotIDs returned aliased storage")
+	}
+}
+
+func TestValidateClean(t *testing.T) {
+	c := buildTiny(t)
+	if err := c.Validate(); err != nil {
+		t.Errorf("Validate on clean collection: %v", err)
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	c := buildTiny(t)
+	// Corrupt: keyframe pointing elsewhere, bad confidence, overlap.
+	sh := c.Shot("sh2")
+	sh.Keyframes[0].ShotID = "other"
+	sh.Concepts[0].Confidence = 1.5
+	sh.Start = 5 * time.Second // overlaps sh1 (0-10s)
+	err := c.Validate()
+	if err == nil {
+		t.Fatal("Validate should fail on corrupted collection")
+	}
+	msg := err.Error()
+	for _, frag := range []string{"keyframe references", "confidence", "overlap"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("Validate error %q missing %q", msg, frag)
+		}
+	}
+}
+
+func TestValidateEmptyStory(t *testing.T) {
+	c := New()
+	if err := c.AddVideo(&Video{ID: "v"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddStory(&Story{ID: "s", VideoID: "v"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "no shots") {
+		t.Errorf("Validate = %v, want no-shots error", err)
+	}
+}
+
+func TestShotHelpers(t *testing.T) {
+	c := buildTiny(t)
+	sh := c.Shot("sh1")
+	if sh.End() != 10*time.Second {
+		t.Errorf("End = %v", sh.End())
+	}
+	if !sh.HasTrueConcept("anchor_person") || sh.HasTrueConcept("weapon") {
+		t.Error("HasTrueConcept wrong")
+	}
+	if conf := sh.DetectorConfidence("anchor_person"); conf != 0.9 {
+		t.Errorf("DetectorConfidence = %v", conf)
+	}
+	if conf := sh.DetectorConfidence("weapon"); conf != 0 {
+		t.Errorf("DetectorConfidence(missing) = %v", conf)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	c := buildTiny(t)
+	st := c.ComputeStats()
+	if st.Videos != 2 || st.Stories != 3 || st.Shots != 5 {
+		t.Errorf("stats sizes wrong: %+v", st)
+	}
+	if st.ShotsPerCategory[CatPolitics] != 2 || st.ShotsPerCategory[CatHealth] != 2 || st.ShotsPerCategory[CatSports] != 1 {
+		t.Errorf("per-category counts wrong: %v", st.ShotsPerCategory)
+	}
+	wantMean := (10.0 + 12 + 8 + 15 + 9) / 5
+	if st.MeanShotSeconds != wantMean {
+		t.Errorf("MeanShotSeconds = %v, want %v", st.MeanShotSeconds, wantMean)
+	}
+	if st.MeanTranscriptTerms <= 0 {
+		t.Errorf("MeanTranscriptTerms = %v", st.MeanTranscriptTerms)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	st := New().ComputeStats()
+	if st.MeanShotSeconds != 0 || st.Shots != 0 {
+		t.Errorf("empty stats: %+v", st)
+	}
+}
+
+func TestCategories(t *testing.T) {
+	if len(AllCategories()) != NumCategories {
+		t.Fatal("AllCategories size mismatch")
+	}
+	for _, cat := range AllCategories() {
+		name := cat.String()
+		got, err := ParseCategory(name)
+		if err != nil || got != cat {
+			t.Errorf("round trip %v -> %q -> %v, err=%v", cat, name, got, err)
+		}
+	}
+	if _, err := ParseCategory("astrology"); err == nil {
+		t.Error("ParseCategory should reject unknown names")
+	}
+	if s := Category(200).String(); !strings.Contains(s, "200") {
+		t.Errorf("out-of-range String = %q", s)
+	}
+}
+
+func TestShotKindString(t *testing.T) {
+	names := map[ShotKind]string{
+		ShotAnchor: "anchor", ShotReport: "report", ShotInterview: "interview",
+		ShotGraphics: "graphics", ShotWeather: "weather",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if s := ShotKind(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("unknown kind String = %q", s)
+	}
+}
+
+func TestConceptVocabulary(t *testing.T) {
+	seen := map[Concept]bool{}
+	for _, c := range ConceptVocabulary {
+		if seen[c] {
+			t.Errorf("duplicate concept %q", c)
+		}
+		seen[c] = true
+		if i, ok := ConceptIndex(c); !ok || ConceptVocabulary[i] != c {
+			t.Errorf("ConceptIndex(%q) broken", c)
+		}
+	}
+	if _, ok := ConceptIndex("no_such_concept"); ok {
+		t.Error("ConceptIndex should miss unknown concepts")
+	}
+}
+
+func TestCategoryConceptsCoverAllCategories(t *testing.T) {
+	for _, cat := range AllCategories() {
+		pool := CategoryConcepts(cat)
+		if len(pool) == 0 {
+			t.Errorf("category %v has empty concept pool", cat)
+		}
+		for _, c := range pool {
+			if _, ok := ConceptIndex(c); !ok {
+				t.Errorf("category %v references unknown concept %q", cat, c)
+			}
+		}
+	}
+	// Returned slices must be independent.
+	a := CategoryConcepts(CatSports)
+	a[0] = "mutated"
+	if CategoryConcepts(CatSports)[0] == "mutated" {
+		t.Error("CategoryConcepts returned shared storage")
+	}
+}

@@ -1,0 +1,153 @@
+// Package collection defines the news-video data model the rest of the
+// system operates on: broadcast videos segmented into stories, stories
+// into shots, shots carrying keyframes, ASR transcripts and (noisy)
+// high-level concept annotations.
+//
+// The retrieval unit throughout the system is the Shot, matching the
+// TRECVID evaluation convention the paper builds on; Story and Video
+// provide the grouping and metadata layers the interfaces expose
+// (result lists group shots by story, the TV interface browses at story
+// granularity).
+package collection
+
+import (
+	"fmt"
+	"time"
+)
+
+// VideoID identifies a recorded broadcast (e.g. one One O'Clock News
+// bulletin).
+type VideoID string
+
+// StoryID identifies a news story within a broadcast.
+type StoryID string
+
+// ShotID identifies a single shot, the retrieval unit.
+type ShotID string
+
+// Concept is a high-level semantic concept label in the style of the
+// TRECVID/LSCOM vocabularies ("anchor_person", "sports_venue", ...).
+type Concept string
+
+// ShotKind describes the production role of a shot inside a news story.
+type ShotKind uint8
+
+// Shot kinds, in the order a typical story cycles through them.
+const (
+	ShotAnchor    ShotKind = iota // anchor person in studio
+	ShotReport                    // field report footage
+	ShotInterview                 // interview / talking head
+	ShotGraphics                  // maps, charts, stills
+	ShotWeather                   // weather segment footage
+	numShotKinds
+)
+
+// String returns the lower-case name of the shot kind.
+func (k ShotKind) String() string {
+	switch k {
+	case ShotAnchor:
+		return "anchor"
+	case ShotReport:
+		return "report"
+	case ShotInterview:
+		return "interview"
+	case ShotGraphics:
+		return "graphics"
+	case ShotWeather:
+		return "weather"
+	}
+	return fmt.Sprintf("ShotKind(%d)", uint8(k))
+}
+
+// ConceptScore is a detector output: a concept with a confidence in
+// [0,1]. Detector outputs are intentionally distinct from ground truth
+// (Shot.TrueConcepts) so experiments can sweep detector quality.
+type ConceptScore struct {
+	Concept    Concept
+	Confidence float64
+}
+
+// Keyframe is a representative still extracted from a shot. Interfaces
+// display keyframes in result lists; clicking one is a core implicit
+// indicator in the paper.
+type Keyframe struct {
+	ShotID ShotID
+	// Offset is the keyframe's time offset from the shot start.
+	Offset time.Duration
+}
+
+// Shot is the retrieval unit: a contiguous camera take with its ASR
+// transcript and concept annotations.
+type Shot struct {
+	ID      ShotID
+	VideoID VideoID
+	StoryID StoryID
+	// Index is the zero-based position of the shot within its video.
+	Index int
+	Kind  ShotKind
+	// Start is the shot's offset from the beginning of the video.
+	Start    time.Duration
+	Duration time.Duration
+	// Transcript is the ASR output for the shot: in synthetic
+	// collections this is the ground-truth text passed through a
+	// word-error channel.
+	Transcript string
+	// Keyframes extracted from the shot; never empty for a valid shot.
+	Keyframes []Keyframe
+	// Concepts are detector outputs (noisy).
+	Concepts []ConceptScore
+	// TrueConcepts is the ground-truth concept set. It exists only to
+	// drive simulation and evaluation; retrieval code must not read it.
+	TrueConcepts []Concept
+}
+
+// End returns the shot's end offset within its video.
+func (s *Shot) End() time.Duration { return s.Start + s.Duration }
+
+// HasTrueConcept reports whether c is in the shot's ground truth.
+func (s *Shot) HasTrueConcept(c Concept) bool {
+	for _, tc := range s.TrueConcepts {
+		if tc == c {
+			return true
+		}
+	}
+	return false
+}
+
+// DetectorConfidence returns the detector confidence for c, or 0 if the
+// detector did not fire for this shot.
+func (s *Shot) DetectorConfidence(c Concept) float64 {
+	for _, cs := range s.Concepts {
+		if cs.Concept == c {
+			return cs.Confidence
+		}
+	}
+	return 0
+}
+
+// Story is an editorially coherent news item: a headline, a category,
+// and a run of shots.
+type Story struct {
+	ID      StoryID
+	VideoID VideoID
+	// Index is the zero-based position of the story within its video.
+	Index    int
+	Title    string
+	Category Category
+	// TopicID links the story to the ground-truth topic that generated
+	// it; used for qrels construction, never by retrieval code.
+	TopicID int
+	Shots   []ShotID
+}
+
+// Video is one recorded broadcast.
+type Video struct {
+	ID      VideoID
+	Title   string
+	Channel string
+	// Broadcast is the air date/time.
+	Broadcast time.Time
+	Duration  time.Duration
+	Stories   []StoryID
+	Shots     []ShotID
+}

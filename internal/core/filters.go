@@ -1,0 +1,69 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/collection"
+)
+
+// ShotFilter is a retrieval-time predicate over shot IDs (true keeps
+// the shot). Filters express the facet browsing both studied
+// interfaces offer: "only sports", "only this week's bulletins".
+type ShotFilter func(shotID string) bool
+
+// CategoryFilter keeps shots whose story belongs to any of the given
+// categories.
+func (s *System) CategoryFilter(cats ...collection.Category) ShotFilter {
+	want := make(map[collection.Category]bool, len(cats))
+	for _, c := range cats {
+		want[c] = true
+	}
+	return func(id string) bool {
+		story := s.coll.StoryOfShot(collection.ShotID(id))
+		return story != nil && want[story.Category]
+	}
+}
+
+// BroadcastWindowFilter keeps shots from videos aired in [from, to).
+// A zero 'to' means no upper bound; a zero 'from' no lower bound.
+func (s *System) BroadcastWindowFilter(from, to time.Time) ShotFilter {
+	return func(id string) bool {
+		shot := s.coll.Shot(collection.ShotID(id))
+		if shot == nil {
+			return false
+		}
+		video := s.coll.Video(shot.VideoID)
+		if video == nil {
+			return false
+		}
+		if !from.IsZero() && video.Broadcast.Before(from) {
+			return false
+		}
+		if !to.IsZero() && !video.Broadcast.Before(to) {
+			return false
+		}
+		return true
+	}
+}
+
+// CombineFilters conjoins filters; nil entries are skipped. A nil or
+// empty combination keeps everything.
+func CombineFilters(filters ...ShotFilter) ShotFilter {
+	active := filters[:0:0]
+	for _, f := range filters {
+		if f != nil {
+			active = append(active, f)
+		}
+	}
+	if len(active) == 0 {
+		return nil
+	}
+	return func(id string) bool {
+		for _, f := range active {
+			if !f(id) {
+				return false
+			}
+		}
+		return true
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/collection"
+)
+
+func TestCategoryFilter(t *testing.T) {
+	arch, sys := fixture(t, Config{})
+	st := arch.Truth.SearchTopics[0]
+	// Unfiltered vs filtered on the topic's own category.
+	sess := sys.NewSession("f", nil)
+	res, err := sess.QueryFiltered(st.Query, sys.CategoryFilter(st.Category))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) == 0 {
+		t.Fatal("category filter removed everything")
+	}
+	for _, h := range res.Hits {
+		story := arch.Collection.StoryOfShot(collection.ShotID(h.ID))
+		if story == nil || story.Category != st.Category {
+			t.Fatalf("hit %s outside category %s", h.ID, st.Category)
+		}
+	}
+	// Filtering on a different category excludes the topic's stories.
+	other := (st.Category + 1) % collection.Category(collection.NumCategories)
+	resOther, err := sys.NewSession("f2", nil).QueryFiltered(st.Query, sys.CategoryFilter(other))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range resOther.Hits {
+		story := arch.Collection.StoryOfShot(collection.ShotID(h.ID))
+		if story.Category != other {
+			t.Fatalf("hit %s outside category %s", h.ID, other)
+		}
+	}
+}
+
+func TestBroadcastWindowFilter(t *testing.T) {
+	arch, sys := fixture(t, Config{})
+	st := arch.Truth.SearchTopics[0]
+	// Window covering only the first day.
+	first := arch.Collection.Video(arch.Collection.VideoIDs()[0])
+	from := first.Broadcast
+	to := from.Add(24 * time.Hour)
+	res, err := sys.NewSession("w", nil).QueryFiltered(st.Query, sys.BroadcastWindowFilter(from, to))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range res.Hits {
+		shot := arch.Collection.Shot(collection.ShotID(h.ID))
+		video := arch.Collection.Video(shot.VideoID)
+		if video.Broadcast.Before(from) || !video.Broadcast.Before(to) {
+			t.Fatalf("hit %s aired outside window", h.ID)
+		}
+	}
+	// Zero bounds keep everything a plain query returns.
+	all, err := sys.NewSession("w2", nil).QueryFiltered(st.Query, sys.BroadcastWindowFilter(time.Time{}, time.Time{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := sys.SearchOnce(st.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Hits) != len(plain.Hits) {
+		t.Errorf("zero-bound window changed results: %d vs %d", len(all.Hits), len(plain.Hits))
+	}
+}
+
+func TestCombineFilters(t *testing.T) {
+	arch, sys := fixture(t, Config{})
+	st := arch.Truth.SearchTopics[0]
+	combined := CombineFilters(
+		nil,
+		sys.CategoryFilter(st.Category),
+		func(id string) bool { return id != "" },
+	)
+	res, err := sys.NewSession("c", nil).QueryFiltered(st.Query, combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range res.Hits {
+		story := arch.Collection.StoryOfShot(collection.ShotID(h.ID))
+		if story.Category != st.Category {
+			t.Fatal("combined filter leaked")
+		}
+	}
+	if CombineFilters(nil, nil) != nil {
+		t.Error("all-nil combination should be nil")
+	}
+}

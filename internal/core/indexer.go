@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/collection"
+	"repro/internal/index"
+	"repro/internal/search"
+	"repro/internal/text"
+)
+
+// BuildIndex indexes a collection: each shot becomes one document with
+// its ASR transcript plus its story title in the text field (titles
+// are what interfaces display, so they are searchable), and its
+// detector concepts in the concept field with confidence encoded as
+// integer weight (conf 0.73 -> tf 7), so concept retrieval ranks by
+// detector confidence.
+func BuildIndex(coll *collection.Collection, an *text.Analyzer) (*index.Index, error) {
+	if coll == nil {
+		return nil, fmt.Errorf("core: nil collection")
+	}
+	if an == nil {
+		an = text.NewAnalyzer()
+	}
+	b := index.NewBuilder()
+	var buildErr error
+	coll.Shots(func(s *collection.Shot) bool {
+		doc := index.NewDocument(string(s.ID))
+		doc.AddTerms(index.FieldText, an.Terms(s.Transcript)...)
+		if story := coll.Story(s.StoryID); story != nil {
+			doc.AddTerms(index.FieldText, an.Terms(story.Title)...)
+		}
+		for _, cs := range s.Concepts {
+			w := int(math.Round(cs.Confidence * 10))
+			if w < 1 {
+				w = 1
+			}
+			doc.SetTermCount(index.FieldConcept, string(cs.Concept), w)
+		}
+		if err := b.AddDocument(doc); err != nil {
+			buildErr = fmt.Errorf("core: indexing shot %s: %w", s.ID, err)
+			return false
+		}
+		return true
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	return b.Build(), nil
+}
+
+// NewSystemFromCollection is the one-call constructor: analyse, index
+// and wire a System over coll.
+func NewSystemFromCollection(coll *collection.Collection, cfg Config) (*System, error) {
+	an := text.NewAnalyzer()
+	ix, err := BuildIndex(coll, an)
+	if err != nil {
+		return nil, err
+	}
+	return NewSystem(search.NewEngine(ix, an), coll, cfg)
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/feedback"
+	"repro/internal/ilog"
+	"repro/internal/profile"
+)
+
+// sessionSnapshot is the JSON form of a session's durable state. The
+// schema is versioned so future fields can be added compatibly.
+type sessionSnapshot struct {
+	Version   int                `json:"v"`
+	ID        string             `json:"id"`
+	Step      int                `json:"step"`
+	LastQuery string             `json:"last_query,omitempty"`
+	Seen      []string           `json:"seen,omitempty"`
+	Evidence  []evidenceSnapshot `json:"evidence,omitempty"`
+	Profile   json.RawMessage    `json:"profile,omitempty"`
+}
+
+// evidenceSnapshot mirrors feedback.Evidence with stable JSON names.
+type evidenceSnapshot struct {
+	ShotID      string      `json:"shot"`
+	Action      ilog.Action `json:"action"`
+	Seconds     float64     `json:"seconds,omitempty"`
+	ShotSeconds float64     `json:"shot_seconds,omitempty"`
+	Rating      int         `json:"rating,omitempty"`
+	Step        int         `json:"step"`
+}
+
+const snapshotVersion = 1
+
+// Snapshot serialises the session's durable state (profile, evidence,
+// seen set, clocks) to JSON so it can be restored across process
+// restarts. The owning System is not part of the snapshot; restore
+// against a system over the same collection.
+func (sess *Session) Snapshot() ([]byte, error) {
+	snap := sessionSnapshot{
+		Version:   snapshotVersion,
+		ID:        sess.id,
+		Step:      sess.step,
+		LastQuery: sess.lastQuery,
+	}
+	snap.Seen = make([]string, 0, len(sess.seen))
+	for id := range sess.seen {
+		snap.Seen = append(snap.Seen, id)
+	}
+	sort.Strings(snap.Seen)
+	for _, ev := range sess.acc.Evidence() {
+		snap.Evidence = append(snap.Evidence, evidenceSnapshot{
+			ShotID: ev.ShotID, Action: ev.Action, Seconds: ev.Seconds,
+			ShotSeconds: ev.ShotSeconds, Rating: ev.Rating, Step: ev.Step,
+		})
+	}
+	if sess.user != nil {
+		raw, err := json.Marshal(sess.user)
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot profile: %w", err)
+		}
+		snap.Profile = raw
+	}
+	data, err := json.Marshal(&snap)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot: %w", err)
+	}
+	return data, nil
+}
+
+// RestoreSession rebuilds a session from a Snapshot against this
+// system. The session resumes with the same evidence, seen set,
+// iteration clock and (possibly drifted) profile.
+func (s *System) RestoreSession(data []byte) (*Session, error) {
+	var snap sessionSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("core: restore: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: restore: unsupported snapshot version %d", snap.Version)
+	}
+	if snap.ID == "" {
+		return nil, fmt.Errorf("core: restore: snapshot without session id")
+	}
+	var user *profile.Profile
+	if len(snap.Profile) > 0 {
+		user = &profile.Profile{}
+		if err := json.Unmarshal(snap.Profile, user); err != nil {
+			return nil, fmt.Errorf("core: restore profile: %w", err)
+		}
+	}
+	sess := s.NewSession(snap.ID, user)
+	sess.step = snap.Step
+	sess.lastQuery = snap.LastQuery
+	for _, id := range snap.Seen {
+		sess.seen[id] = true
+	}
+	for i, evs := range snap.Evidence {
+		ev := feedback.Evidence{
+			ShotID: evs.ShotID, Action: evs.Action, Seconds: evs.Seconds,
+			ShotSeconds: evs.ShotSeconds, Rating: evs.Rating, Step: evs.Step,
+		}
+		if !ev.Action.Valid() {
+			return nil, fmt.Errorf("core: restore: evidence %d has unknown action %q", i, ev.Action)
+		}
+		if err := sess.acc.Observe(ev); err != nil {
+			return nil, fmt.Errorf("core: restore: evidence %d: %w", i, err)
+		}
+	}
+	// Align the accumulator clock with the restored session clock so
+	// ostensive ages match the original session exactly.
+	sess.acc.SetStep(snap.Step)
+	if sess.acc.Step() > sess.step {
+		sess.step = sess.acc.Step()
+	}
+	return sess, nil
+}

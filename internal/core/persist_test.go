@@ -1,0 +1,148 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/feedback"
+	"repro/internal/ilog"
+	"repro/internal/profile"
+	"repro/internal/synth"
+)
+
+func TestSessionSnapshotRoundTrip(t *testing.T) {
+	arch, sys := fixture(t, Config{UseImplicit: true, UseProfile: true, ProfileLearnRate: 0.2})
+	st := arch.Truth.SearchTopics[0]
+	user := profile.New("snapuser").SetInterest(st.Category, 0.8)
+	sess := sys.NewSession("snap-1", user)
+	if _, err := sess.Query(st.Query); err != nil {
+		t.Fatal(err)
+	}
+	rel := arch.Truth.Qrels.Relevant(st.ID, 1)
+	for i := 0; i < 3 && i < len(rel); i++ {
+		err := sess.Observe(ilog.Event{
+			SessionID: "snap-1", Action: ilog.ActionClickKeyframe,
+			ShotID: string(rel[i]), TopicID: st.ID, Rank: i,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sess.Query(st.Query); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := sess.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := sys.RestoreSession(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.ID() != sess.ID() || restored.Step() != sess.Step() {
+		t.Errorf("identity/step mismatch: %s/%d vs %s/%d",
+			restored.ID(), restored.Step(), sess.ID(), sess.Step())
+	}
+	if restored.LastQuery() != sess.LastQuery() {
+		t.Error("last query lost")
+	}
+	if restored.EvidenceCount() != sess.EvidenceCount() {
+		t.Errorf("evidence %d vs %d", restored.EvidenceCount(), sess.EvidenceCount())
+	}
+	if restored.SeenShots() != sess.SeenShots() {
+		t.Errorf("seen %d vs %d", restored.SeenShots(), sess.SeenShots())
+	}
+	if !reflect.DeepEqual(restored.Mass(), sess.Mass()) {
+		t.Error("evidence mass differs after restore")
+	}
+	// The drifted profile came along.
+	if restored.User().Interest(st.Category) != sess.User().Interest(st.Category) {
+		t.Error("profile state lost")
+	}
+	// And the restored session continues identically.
+	a, err := sess.Query(st.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := restored.Query(st.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.IDs(), b.IDs()) {
+		t.Error("restored session ranks differently")
+	}
+}
+
+func TestSessionSnapshotEmpty(t *testing.T) {
+	_, sys := fixture(t, Config{})
+	sess := sys.NewSession("empty", nil)
+	data, err := sess.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := sys.RestoreSession(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Step() != 0 || restored.EvidenceCount() != 0 {
+		t.Error("empty session restore not empty")
+	}
+}
+
+func TestRestoreRejectsBadData(t *testing.T) {
+	_, sys := fixture(t, Config{})
+	cases := []string{
+		`not json`,
+		`{"v":99,"id":"x"}`,
+		`{"v":1}`,
+		`{"v":1,"id":"x","evidence":[{"shot":"s","action":"bogus","step":0}]}`,
+		`{"v":1,"id":"x","evidence":[{"shot":"","action":"play","step":0}]}`,
+		`{"v":1,"id":"x","profile":{"interests":{"astrology":1}}}`,
+	}
+	for i, c := range cases {
+		if _, err := sys.RestoreSession([]byte(c)); err == nil {
+			t.Errorf("bad snapshot %d accepted", i)
+		}
+	}
+}
+
+func TestRestoredOstensiveAges(t *testing.T) {
+	arch, err := synth.Generate(synth.TinyConfig(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ost, err := feedback.NewOstensive(nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystemFromCollection(arch.Collection, Config{UseImplicit: true, Scheme: ost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := sys.NewSession("ost", nil)
+	shot := string(arch.Collection.ShotIDs()[0])
+	if err := sess.Observe(ilog.Event{SessionID: "ost", Action: ilog.ActionPlay, ShotID: shot, Seconds: 5}); err != nil {
+		t.Fatal(err)
+	}
+	// Age the evidence by three query steps.
+	st := arch.Truth.SearchTopics[0]
+	for i := 0; i < 3; i++ {
+		if _, err := sess.Query(st.Query); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := sess.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := sys.RestoreSession(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(restored.Mass(), sess.Mass()) {
+		t.Errorf("ostensive mass differs: %v vs %v", restored.Mass(), sess.Mass())
+	}
+	_ = collection.ShotID(shot)
+}

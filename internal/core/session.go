@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/feedback"
+	"repro/internal/ilog"
+	"repro/internal/profile"
+	"repro/internal/search"
+)
+
+// Session is one user's search session against a System: it holds the
+// user's static profile, the implicit evidence observed so far, and
+// the iteration clock that drives ostensive decay. Sessions are not
+// safe for concurrent use; create one per goroutine.
+type Session struct {
+	sys  *System
+	id   string
+	user *profile.Profile
+	acc  *feedback.Accumulator
+	// step counts query iterations; evidence is stamped with the step
+	// it arrived in.
+	step int
+	// seen records every shot returned to the user, for exploration
+	// metrics and optional filtering.
+	seen map[string]bool
+	// lastQuery remembers the most recent query text.
+	lastQuery string
+}
+
+// NewSession starts a session. A nil user gets a fresh neutral
+// profile (profile re-ranking then has no effect until drift occurs).
+func (s *System) NewSession(id string, user *profile.Profile) *Session {
+	if user == nil {
+		user = profile.New(id)
+	}
+	return &Session{
+		sys:  s,
+		id:   id,
+		user: user,
+		acc:  feedback.NewAccumulator(s.config.Scheme),
+		seen: make(map[string]bool),
+	}
+}
+
+// ID returns the session identifier.
+func (sess *Session) ID() string { return sess.id }
+
+// User returns the session's profile (live; drift mutates it).
+func (sess *Session) User() *profile.Profile { return sess.user }
+
+// Step returns the current query-iteration count.
+func (sess *Session) Step() int { return sess.step }
+
+// EvidenceCount reports how much implicit evidence has been observed.
+func (sess *Session) EvidenceCount() int { return sess.acc.Len() }
+
+// SeenShots returns how many distinct shots have been shown.
+func (sess *Session) SeenShots() int { return len(sess.seen) }
+
+// HasSeen reports whether a shot was already returned in this session.
+func (sess *Session) HasSeen(shotID string) bool { return sess.seen[shotID] }
+
+// Query runs one adapted retrieval iteration:
+//
+//  1. parse the text query;
+//  2. if implicit adaptation is on, expand it with terms Rocchio-mined
+//     from positively-weighted shots (mass under the configured
+//     weighting scheme, ostensive decay applied at the current step);
+//  3. rank with the configured scorer;
+//  4. if profile adaptation is on, rescore by the profile's category
+//     boost, scaled to ProfileAlpha of the top retrieval score.
+//
+// Each call advances the session step.
+func (sess *Session) Query(queryText string) (search.Results, error) {
+	return sess.QueryFiltered(queryText, nil)
+}
+
+// QueryFiltered is Query with a metadata filter restricting the
+// candidate shots (see System.CategoryFilter and friends).
+func (sess *Session) QueryFiltered(queryText string, filter ShotFilter) (search.Results, error) {
+	sys := sess.sys
+	q := sys.engine.ParseText(queryText)
+	if sys.config.UseImplicit {
+		mass := sess.acc.Mass()
+		// Confidence-scaled expansion: adaptation strength grows with
+		// the accumulated positive evidence mass and saturates.
+		var totalPos float64
+		for _, m := range mass {
+			if m > 0 {
+				totalPos += m
+			}
+		}
+		beta := sys.config.ExpandBeta
+		if sat := sys.config.ExpandMassSaturation; sat > 0 && totalPos < sat {
+			beta *= totalPos / sat
+		}
+		q = sys.expander.Expand(q, mass, sys.config.ExpandTerms, beta)
+	}
+	res, err := sys.engine.Search(q, search.Options{
+		K:      sys.config.K,
+		Scorer: sys.config.Scorer,
+		Filter: filter,
+	})
+	if err != nil {
+		return search.Results{}, err
+	}
+	if sys.config.UseProfile && len(res.Hits) > 0 {
+		scale := sys.config.ProfileAlpha * res.Hits[0].Score
+		res.Hits = search.Rescore(res.Hits, scale, func(id string) float64 {
+			cat, ok := sys.shotCategory(id)
+			if !ok {
+				return 0
+			}
+			return sess.user.Boost(cat)
+		})
+	}
+	for _, h := range res.Hits {
+		sess.seen[h.ID] = true
+	}
+	sess.lastQuery = queryText
+	sess.step++
+	sess.acc.AdvanceStep()
+	return res, nil
+}
+
+// LastQuery returns the most recent query text ("" before any query).
+func (sess *Session) LastQuery() string { return sess.lastQuery }
+
+// Observe feeds one interaction event into the session: the event
+// becomes weighted implicit evidence, and (when ProfileLearnRate > 0)
+// positive evidence drifts the profile toward the shot's category.
+// Events without a shot target (queries, browses without target) are
+// recorded as no-ops.
+func (sess *Session) Observe(e ilog.Event) error {
+	if err := e.Validate(); err != nil {
+		return fmt.Errorf("core: observe: %w", err)
+	}
+	// Stamp the event with the session clock if the caller didn't.
+	if e.Step == 0 && sess.step > 0 {
+		e.Step = sess.step - 1
+	}
+	ev, ok := feedback.FromEvent(e, sess.sys.shotSeconds(e.ShotID))
+	if !ok {
+		return nil
+	}
+	if err := sess.acc.Observe(ev); err != nil {
+		return err
+	}
+	lr := sess.sys.config.ProfileLearnRate
+	if lr > 0 {
+		if cat, ok := sess.sys.shotCategory(e.ShotID); ok {
+			w := sess.acc.Scheme().Weight(ev, sess.acc.Step())
+			switch {
+			case w > 0:
+				sess.user.Update(cat, 1, lr*minf(w, 1))
+			case w < 0:
+				sess.user.Update(cat, 0, lr*minf(-w, 1))
+			}
+		}
+	}
+	return nil
+}
+
+// ObserveAll feeds a batch of events, stopping at the first error.
+func (sess *Session) ObserveAll(events []ilog.Event) error {
+	for i, e := range events {
+		if err := sess.Observe(e); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Mass exposes the current per-shot implicit relevance mass (a copy).
+func (sess *Session) Mass() map[string]float64 { return sess.acc.Mass() }
+
+// Reset clears evidence, the seen set and the step clock, keeping the
+// profile (a new task for the same user).
+func (sess *Session) Reset() {
+	sess.acc.Reset()
+	sess.seen = make(map[string]bool)
+	sess.step = 0
+	sess.lastQuery = ""
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

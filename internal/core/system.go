@@ -1,0 +1,280 @@
+// Package core implements the paper's primary contribution: an
+// adaptive video retrieval model that combines a ranked-retrieval
+// engine with (a) static user profiles and (b) implicit relevance
+// feedback accumulated from interface interactions, per the paper's
+// RQ3 ("how both static user profiles and implicit relevance feedback
+// should be combined to adapt to the users need").
+//
+// The model is packaged as a System (the wiring plus adaptation
+// switches) producing Sessions (per-user, per-task state machines).
+// Turning both switches off yields the non-adaptive baseline the
+// experiments compare against.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/collection"
+	"repro/internal/feedback"
+	"repro/internal/search"
+	"repro/internal/text"
+)
+
+// Config selects and parameterises the adaptation behaviours.
+type Config struct {
+	// UseProfile enables static-profile re-ranking.
+	UseProfile bool
+	// UseImplicit enables implicit-feedback query expansion.
+	UseImplicit bool
+
+	// Scorer ranks candidates (default BM25).
+	Scorer search.Scorer
+	// K is the result-list depth (default search.DefaultK).
+	K int
+
+	// ProfileAlpha scales the profile boost relative to the top
+	// retrieval score (0.2 means a fully-liked category can gain 20%
+	// of the top score). Default 0.2.
+	ProfileAlpha float64
+	// ProfileLearnRate drifts the profile from positive implicit
+	// evidence (0 disables drift). Default 0.
+	ProfileLearnRate float64
+
+	// Scheme weighs implicit evidence (default graded).
+	Scheme feedback.Scheme
+	// ExpandTerms and ExpandBeta control Rocchio expansion (defaults
+	// 10 terms, beta 0.4).
+	ExpandTerms int
+	ExpandBeta  float64
+	// ExpandMassSaturation scales expansion strength by evidence
+	// confidence: the effective beta is ExpandBeta *
+	// min(1, totalPositiveMass/ExpandMassSaturation), so a session
+	// with one tentative click adapts gently while an evidence-rich
+	// session adapts at full strength. Default 2 (about two
+	// full-quality interactions).
+	ExpandMassSaturation float64
+}
+
+// withDefaults fills zero values.
+func (c Config) withDefaults() Config {
+	if c.Scorer == nil {
+		c.Scorer = search.BM25{}
+	}
+	if c.K == 0 {
+		c.K = search.DefaultK
+	}
+	if c.ProfileAlpha == 0 {
+		c.ProfileAlpha = 0.2
+	}
+	if c.Scheme == nil {
+		c.Scheme = feedback.DefaultGraded()
+	}
+	if c.ExpandTerms == 0 {
+		c.ExpandTerms = 10
+	}
+	if c.ExpandBeta == 0 {
+		c.ExpandBeta = 0.4
+	}
+	if c.ExpandMassSaturation == 0 {
+		c.ExpandMassSaturation = 2
+	}
+	return c
+}
+
+// validate rejects incoherent configurations.
+func (c Config) validate() error {
+	switch {
+	case c.K < 0:
+		return fmt.Errorf("core: negative K")
+	case c.ProfileAlpha < 0:
+		return fmt.Errorf("core: negative ProfileAlpha")
+	case c.ProfileLearnRate < 0 || c.ProfileLearnRate > 1:
+		return fmt.Errorf("core: ProfileLearnRate %v outside [0,1]", c.ProfileLearnRate)
+	case c.ExpandTerms < 0:
+		return fmt.Errorf("core: negative ExpandTerms")
+	case c.ExpandBeta < 0:
+		return fmt.Errorf("core: negative ExpandBeta")
+	case c.ExpandMassSaturation < 0:
+		return fmt.Errorf("core: negative ExpandMassSaturation")
+	}
+	return nil
+}
+
+// Preset names for the four systems the T1 experiment compares.
+const (
+	PresetBaseline = "baseline"
+	PresetProfile  = "profile"
+	PresetImplicit = "implicit"
+	PresetCombined = "combined"
+)
+
+// Preset returns the named adaptation configuration.
+func Preset(name string) (Config, error) {
+	switch name {
+	case PresetBaseline:
+		return Config{}, nil
+	case PresetProfile:
+		return Config{UseProfile: true}, nil
+	case PresetImplicit:
+		return Config{UseImplicit: true}, nil
+	case PresetCombined:
+		return Config{UseProfile: true, UseImplicit: true}, nil
+	}
+	return Config{}, fmt.Errorf("core: unknown preset %q", name)
+}
+
+// Presets lists the four system names in comparison order.
+func Presets() []string {
+	return []string{PresetBaseline, PresetProfile, PresetImplicit, PresetCombined}
+}
+
+// System is the wired adaptive retrieval model over one collection.
+// It is immutable after construction and safe for concurrent Sessions.
+type System struct {
+	engine   *search.Engine
+	coll     *collection.Collection
+	config   Config
+	expander *feedback.Expander
+}
+
+// NewSystem wires a system. engine and coll must be non-nil and built
+// over the same collection (shot IDs are the join key).
+func NewSystem(engine *search.Engine, coll *collection.Collection, cfg Config) (*System, error) {
+	if engine == nil || coll == nil {
+		return nil, fmt.Errorf("core: engine and collection are required")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	s := &System{engine: engine, coll: coll, config: cfg}
+	s.expander = feedback.ExpanderForIndex(engine.Index(), engine.Analyzer(),
+		func(id string) (string, bool) {
+			shot := coll.Shot(collection.ShotID(id))
+			if shot == nil {
+				return "", false
+			}
+			return shot.Transcript, true
+		})
+	return s, nil
+}
+
+// Config returns the system's effective configuration.
+func (s *System) Config() Config { return s.config }
+
+// Engine exposes the underlying search engine.
+func (s *System) Engine() *search.Engine { return s.engine }
+
+// Collection exposes the underlying collection.
+func (s *System) Collection() *collection.Collection { return s.coll }
+
+// Analyzer returns the text pipeline shared by indexing and querying.
+func (s *System) Analyzer() *text.Analyzer { return s.engine.Analyzer() }
+
+// shotCategory resolves a shot's news category (ok=false for unknown
+// shots).
+func (s *System) shotCategory(id string) (collection.Category, bool) {
+	st := s.coll.StoryOfShot(collection.ShotID(id))
+	if st == nil {
+		return 0, false
+	}
+	return st.Category, true
+}
+
+// shotSeconds returns a shot's duration in seconds (0 for unknown).
+func (s *System) shotSeconds(id string) float64 {
+	shot := s.coll.Shot(collection.ShotID(id))
+	if shot == nil {
+		return 0
+	}
+	return shot.Duration.Seconds()
+}
+
+// SearchOnce runs a plain, non-adapted query: the stateless baseline.
+func (s *System) SearchOnce(queryText string) (search.Results, error) {
+	q := s.engine.ParseText(queryText)
+	return s.engine.Search(q, search.Options{K: s.config.K, Scorer: s.config.Scorer})
+}
+
+// SearchWithConcepts combines the text query with concept-detector
+// evidence (used by the semantic-gap experiments, where concepts
+// complement degraded ASR). The combination is asymmetric, reflecting
+// the era's reliability gap between the two modalities:
+//
+//   - text hits are *rescored*: each gains conceptWeight x its
+//     normalised concept score relative to the top text score, so
+//     concept agreement reorders but never ejects text evidence;
+//   - concept-only hits (shots whose transcript lost the query terms)
+//     are *backfilled* after the text hits, recovering recall that ASR
+//     errors destroyed.
+func (s *System) SearchWithConcepts(queryText string, concepts []string, conceptWeight float64) (search.Results, error) {
+	if conceptWeight < 0 || conceptWeight > 1 {
+		return search.Results{}, fmt.Errorf("core: concept weight %v outside [0,1]", conceptWeight)
+	}
+	tq := s.engine.ParseText(queryText)
+	tr, err := s.engine.Search(tq, search.Options{K: s.config.K, Scorer: s.config.Scorer})
+	if err != nil {
+		return search.Results{}, err
+	}
+	if len(concepts) == 0 || conceptWeight == 0 {
+		return tr, nil
+	}
+	cr, err := s.engine.Search(search.ConceptQuery(concepts...), search.Options{K: s.config.K, Scorer: s.config.Scorer})
+	if err != nil {
+		return search.Results{}, err
+	}
+	if len(cr.Hits) == 0 {
+		return tr, nil
+	}
+	// Normalised concept score per shot.
+	topConcept := cr.Hits[0].Score
+	cscore := make(map[string]float64, len(cr.Hits))
+	for _, h := range cr.Hits {
+		if topConcept > 0 {
+			cscore[h.ID] = h.Score / topConcept
+		}
+	}
+	inText := make(map[string]bool, len(tr.Hits))
+	var fused []search.Hit
+	var scale float64
+	if len(tr.Hits) > 0 {
+		scale = conceptWeight * tr.Hits[0].Score
+	}
+	for _, h := range tr.Hits {
+		inText[h.ID] = true
+		h.Score += scale * cscore[h.ID]
+		fused = append(fused, h)
+	}
+	sortHits(fused)
+	// Backfill concept-only candidates below the weakest text hit.
+	floor := 0.0
+	if len(fused) > 0 {
+		floor = fused[len(fused)-1].Score
+	}
+	for _, h := range cr.Hits {
+		if inText[h.ID] {
+			continue
+		}
+		fused = append(fused, search.Hit{
+			ID:    h.ID,
+			Doc:   h.Doc,
+			Score: floor - 1 + conceptWeight*cscore[h.ID],
+		})
+	}
+	if len(fused) > s.config.K {
+		fused = fused[:s.config.K]
+	}
+	return search.Results{Hits: fused, Candidates: len(fused)}, nil
+}
+
+// sortHits orders by descending score with ID ties ascending (the
+// engine's canonical order).
+func sortHits(hits []search.Hit) {
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].ID < hits[j].ID
+	})
+}

@@ -1,0 +1,441 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestComputePerfectRanking(t *testing.T) {
+	judg := Judgments{"a": 2, "b": 2, "c": 1}
+	m := Compute([]string{"a", "b", "c", "x", "y"}, judg)
+	approx(t, "AP", m.AP, 1, 1e-12)
+	approx(t, "RR", m.RR, 1, 1e-12)
+	approx(t, "NDCG10", m.NDCG10, 1, 1e-12)
+	approx(t, "P5", m.P5, 3.0/5, 1e-12)
+	approx(t, "R10", m.R10, 1, 1e-12)
+	approx(t, "Success1", m.Success1, 1, 1e-12)
+}
+
+func TestComputeWorstRanking(t *testing.T) {
+	judg := Judgments{"a": 1}
+	m := Compute([]string{"x", "y", "z"}, judg)
+	if m.AP != 0 || m.RR != 0 || m.NDCG10 != 0 || m.Success10 != 0 {
+		t.Errorf("all-zero expected, got %+v", m)
+	}
+}
+
+func TestComputeKnownAP(t *testing.T) {
+	// Relevant at ranks 1 and 3, R=2: AP = (1/1 + 2/3)/2 = 5/6.
+	judg := Judgments{"a": 1, "b": 1}
+	m := Compute([]string{"a", "x", "b"}, judg)
+	approx(t, "AP", m.AP, 5.0/6, 1e-12)
+	approx(t, "RR", m.RR, 1, 1e-12)
+}
+
+func TestComputeAPCountsUnretrievedRelevant(t *testing.T) {
+	// R=4 but only 1 retrieved at rank 1: AP = (1/1)/4.
+	judg := Judgments{"a": 1, "b": 1, "c": 1, "d": 1}
+	m := Compute([]string{"a"}, judg)
+	approx(t, "AP", m.AP, 0.25, 1e-12)
+}
+
+func TestComputeMRRSecondPosition(t *testing.T) {
+	judg := Judgments{"rel": 1}
+	m := Compute([]string{"x", "rel"}, judg)
+	approx(t, "RR", m.RR, 0.5, 1e-12)
+	approx(t, "Success1", m.Success1, 0, 1e-12)
+	approx(t, "Success5", m.Success5, 1, 1e-12)
+}
+
+func TestComputeShortRanking(t *testing.T) {
+	judg := Judgments{"a": 1, "b": 1}
+	m := Compute([]string{"a"}, judg) // shorter than every cutoff
+	approx(t, "P5", m.P5, 1.0/5, 1e-12)
+	approx(t, "P10", m.P10, 1.0/10, 1e-12)
+	approx(t, "P20", m.P20, 1.0/20, 1e-12)
+	approx(t, "R10", m.R10, 0.5, 1e-12)
+	approx(t, "R100", m.R100, 0.5, 1e-12)
+}
+
+func TestComputeEmptyRanking(t *testing.T) {
+	m := Compute(nil, Judgments{"a": 1})
+	if m.AP != 0 || m.P10 != 0 || m.Success10 != 0 {
+		t.Errorf("empty ranking should zero everything: %+v", m)
+	}
+}
+
+func TestComputeNoJudgments(t *testing.T) {
+	m := Compute([]string{"a", "b"}, Judgments{})
+	if m.AP != 0 || m.NDCG10 != 0 {
+		t.Errorf("no judgments should zero AP/nDCG: %+v", m)
+	}
+}
+
+func TestNDCGPrefersGradedOrder(t *testing.T) {
+	judg := Judgments{"hi": 2, "lo": 1}
+	good := Compute([]string{"hi", "lo"}, judg)
+	bad := Compute([]string{"lo", "hi"}, judg)
+	if good.NDCG10 <= bad.NDCG10 {
+		t.Errorf("nDCG(graded-correct)=%v should beat swapped=%v", good.NDCG10, bad.NDCG10)
+	}
+	approx(t, "good NDCG", good.NDCG10, 1, 1e-12)
+}
+
+func TestBprefJudgedNonRelevant(t *testing.T) {
+	// One relevant after one judged non-relevant: bpref = 1 - 1/1 = 0.
+	judg := Judgments{"rel": 1, "bad": 0}
+	m := Compute([]string{"bad", "rel"}, judg)
+	approx(t, "Bpref", m.Bpref, 0, 1e-12)
+	// Relevant first: bpref = 1.
+	m = Compute([]string{"rel", "bad"}, judg)
+	approx(t, "Bpref", m.Bpref, 1, 1e-12)
+	// Unjudged docs between do not hurt bpref.
+	m = Compute([]string{"unjudged", "rel", "bad"}, judg)
+	approx(t, "Bpref", m.Bpref, 1, 1e-12)
+}
+
+// Property: every metric stays in [0,1] for random rankings/judgments.
+func TestPropertyMetricsBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ids := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+		judg := Judgments{}
+		for _, id := range ids {
+			if r.Float64() < 0.5 {
+				judg[id] = r.Intn(3)
+			}
+		}
+		perm := r.Perm(len(ids))
+		ranking := make([]string, 0, len(ids))
+		for _, i := range perm {
+			if r.Float64() < 0.8 {
+				ranking = append(ranking, ids[i])
+			}
+		}
+		m := Compute(ranking, judg)
+		for _, v := range []float64{m.AP, m.RR, m.NDCG10, m.P5, m.P10, m.P20, m.R10, m.R100, m.Bpref, m.Success1, m.Success5, m.Success10} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: moving a relevant document strictly earlier never lowers AP.
+func TestPropertyAPMonotoneUnderPromotion(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(10)
+		ranking := make([]string, n)
+		judg := Judgments{}
+		relIdx := []int{}
+		for i := range ranking {
+			ranking[i] = string(rune('a' + i))
+			if r.Float64() < 0.4 {
+				judg[ranking[i]] = 1
+				relIdx = append(relIdx, i)
+			}
+		}
+		if len(relIdx) == 0 {
+			return true
+		}
+		before := Compute(ranking, judg).AP
+		// Promote the last relevant document one position.
+		i := relIdx[len(relIdx)-1]
+		if i == 0 {
+			return true
+		}
+		ranking[i-1], ranking[i] = ranking[i], ranking[i-1]
+		after := Compute(ranking, judg).AP
+		return after >= before-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AP equals 1 exactly when every relevant document is
+// retrieved and ranked above every non-relevant one.
+func TestPropertyAPPerfectIffSeparated(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(10)
+		ranking := make([]string, n)
+		judg := Judgments{}
+		nRel := 1 + r.Intn(n-1)
+		for i := range ranking {
+			ranking[i] = string(rune('a' + i))
+			if i < nRel {
+				judg[ranking[i]] = 1
+			}
+		}
+		// Shuffle sometimes to create imperfect rankings.
+		shuffled := r.Float64() < 0.5
+		if shuffled {
+			r.Shuffle(n, func(i, j int) { ranking[i], ranking[j] = ranking[j], ranking[i] })
+		}
+		separated := true
+		seenNonRel := false
+		for _, id := range ranking {
+			if judg[id] >= 1 {
+				if seenNonRel {
+					separated = false
+				}
+			} else {
+				seenNonRel = true
+			}
+		}
+		ap := Compute(ranking, judg).AP
+		if separated && math.Abs(ap-1) > 1e-12 {
+			return false
+		}
+		if !separated && ap >= 1-1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: nDCG never exceeds 1 and equals its own recomputation
+// (pure function).
+func TestPropertyNDCGStable(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ids := []string{"a", "b", "c", "d", "e", "f"}
+		judg := Judgments{}
+		for _, id := range ids {
+			if r.Float64() < 0.6 {
+				judg[id] = r.Intn(3)
+			}
+		}
+		perm := r.Perm(len(ids))
+		ranking := make([]string, len(ids))
+		for i, p := range perm {
+			ranking[i] = ids[p]
+		}
+		m1 := Compute(ranking, judg)
+		m2 := Compute(ranking, judg)
+		return m1 == m2 && m1.NDCG10 <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	ms := []Metrics{{AP: 0.2, P10: 0.4}, {AP: 0.6, P10: 0.8}}
+	m := Mean(ms)
+	approx(t, "mean AP", m.AP, 0.4, 1e-12)
+	approx(t, "mean P10", m.P10, 0.6, 1e-12)
+	empty := Mean(nil)
+	if empty.AP != 0 {
+		t.Error("Mean(nil) should be zero")
+	}
+}
+
+func TestAPsAndRelImprovement(t *testing.T) {
+	aps := APs([]Metrics{{AP: 0.1}, {AP: 0.3}})
+	if len(aps) != 2 || aps[1] != 0.3 {
+		t.Errorf("APs = %v", aps)
+	}
+	approx(t, "RelImprovement", RelImprovement(0.2, 0.25), 25, 1e-9)
+	if RelImprovement(0, 1) != 0 {
+		t.Error("RelImprovement with zero base should be 0")
+	}
+}
+
+func TestPairedTTestKnownCase(t *testing.T) {
+	// Constant improvement of 0.1 with small noise: strongly significant.
+	a := []float64{0.30, 0.25, 0.40, 0.35, 0.28, 0.33, 0.27, 0.38, 0.31, 0.29}
+	b := make([]float64, len(a))
+	for i := range a {
+		b[i] = a[i] + 0.1 + 0.001*float64(i%3)
+	}
+	res, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 0.001 {
+		t.Errorf("p = %v, want < 0.001", res.P)
+	}
+	if res.Statistic <= 0 {
+		t.Errorf("t = %v, want positive for improvement", res.Statistic)
+	}
+}
+
+func TestPairedTTestNoDifference(t *testing.T) {
+	a := []float64{0.1, 0.5, 0.3, 0.7, 0.2}
+	res, err := PairedTTest(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.99 {
+		t.Errorf("identical samples: p = %v, want ~1", res.P)
+	}
+}
+
+func TestPairedTTestSymmetricNoise(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	a := make([]float64, 40)
+	b := make([]float64, 40)
+	for i := range a {
+		a[i] = r.Float64()
+		b[i] = a[i] + (r.Float64()-0.5)*0.02 // zero-mean noise
+	}
+	res, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.05 {
+		t.Errorf("zero-mean noise flagged significant: p=%v", res.P)
+	}
+}
+
+func TestPairedTTestErrors(t *testing.T) {
+	if _, err := PairedTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PairedTTest([]float64{1}, []float64{2}); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestStudentTSFAgainstKnownValues(t *testing.T) {
+	// t=2.262, df=9 is the classic 0.05 two-sided critical value.
+	p := 2 * studentTSF(2.262, 9)
+	approx(t, "p(2.262,df9)", p, 0.05, 0.002)
+	// t=1.96, df -> large approximates the normal.
+	p = 2 * studentTSF(1.96, 10000)
+	approx(t, "p(1.96,df1e4)", p, 0.05, 0.002)
+}
+
+func TestWilcoxonDetectsShift(t *testing.T) {
+	a := make([]float64, 20)
+	b := make([]float64, 20)
+	r := rand.New(rand.NewSource(3))
+	for i := range a {
+		a[i] = r.Float64()
+		b[i] = a[i] + 0.2 + 0.01*r.Float64()
+	}
+	res, err := WilcoxonSignedRank(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 0.01 {
+		t.Errorf("clear shift: p = %v", res.P)
+	}
+}
+
+func TestWilcoxonAllZeroDiffs(t *testing.T) {
+	a := []float64{1, 2, 3}
+	res, err := WilcoxonSignedRank(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 || res.N != 0 {
+		t.Errorf("all-zero diffs: %+v", res)
+	}
+}
+
+func TestWilcoxonLengthMismatch(t *testing.T) {
+	if _, err := WilcoxonSignedRank([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestRandomizationTest(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	a := make([]float64, 25)
+	b := make([]float64, 25)
+	for i := range a {
+		a[i] = r.Float64()
+		b[i] = a[i] + 0.15
+	}
+	res, err := RandomizationTest(a, b, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 0.01 {
+		t.Errorf("constant shift: p = %v", res.P)
+	}
+	// Deterministic in seed.
+	res2, _ := RandomizationTest(a, b, 2000, 7)
+	if res.P != res2.P {
+		t.Error("randomisation test not deterministic in seed")
+	}
+	// Identical samples: p ~ 1.
+	resSame, _ := RandomizationTest(a, a, 500, 7)
+	if resSame.P < 0.9 {
+		t.Errorf("identical samples: p = %v", resSame.P)
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	tau, err := KendallTau([]float64{1, 2, 3, 4}, []float64{10, 20, 30, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "tau identical order", tau, 1, 1e-12)
+	tau, _ = KendallTau([]float64{1, 2, 3, 4}, []float64{40, 30, 20, 10})
+	approx(t, "tau reversed", tau, -1, 1e-12)
+	tau, _ = KendallTau([]float64{1, 2, 3}, []float64{5, 5, 5})
+	approx(t, "tau all ties", tau, 0, 1e-12)
+	if _, err := KendallTau([]float64{1}, []float64{1}); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := KendallTau([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestTestResultString(t *testing.T) {
+	r := TestResult{Statistic: 2.5, P: 0.003}
+	if s := r.String(); s == "" || !r.Significant(0.05) {
+		t.Errorf("String/Significant broken: %q", s)
+	}
+	weak := TestResult{Statistic: 0.5, P: 0.5}
+	if weak.Significant(0.05) {
+		t.Error("p=0.5 should not be significant")
+	}
+}
+
+func TestJudgmentsNumRelevant(t *testing.T) {
+	j := Judgments{"a": 2, "b": 1, "c": 0}
+	if j.NumRelevant(1) != 2 || j.NumRelevant(2) != 1 {
+		t.Errorf("NumRelevant wrong: %d/%d", j.NumRelevant(1), j.NumRelevant(2))
+	}
+}
+
+func BenchmarkCompute(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	ranking := make([]string, 1000)
+	judg := Judgments{}
+	for i := range ranking {
+		id := string(rune('a'+i%26)) + string(rune('0'+i%10)) + string(rune('A'+i%13))
+		ranking[i] = id
+		if r.Float64() < 0.05 {
+			judg[id] = 1 + r.Intn(2)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compute(ranking, judg)
+	}
+}

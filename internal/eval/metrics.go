@@ -1,0 +1,257 @@
+// Package eval implements the TRECVID-style evaluation layer: graded
+// relevance judgements, rank metrics (AP, P@k, recall, nDCG, MRR,
+// bpref) and statistical significance tests (paired t-test, Wilcoxon
+// signed-rank, randomisation) used by every experiment table.
+package eval
+
+import (
+	"math"
+	"sort"
+)
+
+// Judgments holds the graded relevance assessments for one query:
+// document ID -> grade. Grade 0 entries are explicitly-judged
+// non-relevant; absent documents are unjudged (treated as
+// non-relevant by the binary metrics, per TREC convention).
+type Judgments map[string]int
+
+// NumRelevant counts documents with grade >= minGrade.
+func (j Judgments) NumRelevant(minGrade int) int {
+	n := 0
+	for _, g := range j {
+		if g >= minGrade {
+			n++
+		}
+	}
+	return n
+}
+
+// Metrics is the fixed bundle of rank metrics every experiment
+// reports. Cutoffs follow TRECVID practice.
+type Metrics struct {
+	AP     float64 // average precision (binary at MinGrade)
+	RR     float64 // reciprocal rank of first relevant
+	NDCG10 float64 // graded nDCG at 10
+	P5     float64
+	P10    float64
+	P20    float64
+	R10    float64 // recall at 10
+	R100   float64 // recall at 100
+	Bpref  float64
+	// Success1/5/10: 1 if a relevant document appears in the top k.
+	Success1, Success5, Success10 float64
+}
+
+// MinGrade is the binarisation threshold: grades >= MinGrade count as
+// relevant for the binary metrics. The synthetic qrels grade field
+// footage 2 and lead-ins 1, so the default of 1 counts both.
+const MinGrade = 1
+
+// Compute evaluates one ranked list against judgments. Rankings may
+// contain unjudged documents; those count as non-relevant.
+func Compute(ranking []string, judg Judgments) Metrics {
+	var m Metrics
+	totalRel := judg.NumRelevant(MinGrade)
+
+	relAt := func(i int) bool { return judg[ranking[i]] >= MinGrade }
+
+	// Precision/recall style metrics in one pass.
+	relSeen := 0
+	sumPrec := 0.0
+	for i := range ranking {
+		if relAt(i) {
+			relSeen++
+			sumPrec += float64(relSeen) / float64(i+1)
+			if m.RR == 0 {
+				m.RR = 1 / float64(i+1)
+			}
+		}
+		switch i + 1 {
+		case 1:
+			m.Success1 = b2f(relSeen > 0)
+		case 5:
+			m.P5 = float64(relSeen) / 5
+			m.Success5 = b2f(relSeen > 0)
+		case 10:
+			m.P10 = float64(relSeen) / 10
+			m.Success10 = b2f(relSeen > 0)
+			if totalRel > 0 {
+				m.R10 = float64(relSeen) / float64(totalRel)
+			}
+		case 20:
+			m.P20 = float64(relSeen) / 20
+		case 100:
+			if totalRel > 0 {
+				m.R100 = float64(relSeen) / float64(totalRel)
+			}
+		}
+	}
+	// Short rankings: fill the cutoffs the loop never reached.
+	fillShortCutoffs(&m, ranking, relSeen, totalRel)
+	if totalRel > 0 {
+		m.AP = sumPrec / float64(totalRel)
+	}
+	m.NDCG10 = ndcgAt(10, ranking, judg)
+	m.Bpref = bpref(ranking, judg)
+	return m
+}
+
+// fillShortCutoffs computes cutoff metrics when len(ranking) < cutoff:
+// precision denominators stay at the cutoff (TREC convention), recall
+// and success use everything retrieved.
+func fillShortCutoffs(m *Metrics, ranking []string, relSeen, totalRel int) {
+	n := len(ranking)
+	any := relSeen > 0
+	if n < 1 {
+		m.Success1 = 0
+	}
+	if n < 5 {
+		m.P5 = float64(relSeen) / 5
+		m.Success5 = b2f(any)
+	}
+	if n < 10 {
+		m.P10 = float64(relSeen) / 10
+		m.Success10 = b2f(any)
+		if totalRel > 0 {
+			m.R10 = float64(relSeen) / float64(totalRel)
+		}
+	}
+	if n < 20 {
+		m.P20 = float64(relSeen) / 20
+	}
+	if n < 100 && totalRel > 0 {
+		m.R100 = float64(relSeen) / float64(totalRel)
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ndcgAt computes graded nDCG with exponential gain 2^g-1 and log2
+// position discount.
+func ndcgAt(k int, ranking []string, judg Judgments) float64 {
+	dcg := 0.0
+	for i := 0; i < k && i < len(ranking); i++ {
+		g := judg[ranking[i]]
+		if g > 0 {
+			dcg += (math.Pow(2, float64(g)) - 1) / math.Log2(float64(i)+2)
+		}
+	}
+	// Ideal ranking: all judged grades, descending.
+	grades := make([]int, 0, len(judg))
+	for _, g := range judg {
+		if g > 0 {
+			grades = append(grades, g)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(grades)))
+	idcg := 0.0
+	for i := 0; i < k && i < len(grades); i++ {
+		idcg += (math.Pow(2, float64(grades[i])) - 1) / math.Log2(float64(i)+2)
+	}
+	if idcg == 0 {
+		return 0
+	}
+	return dcg / idcg
+}
+
+// bpref implements Buckley & Voorhees' bpref: robust to incomplete
+// judgements. Only explicitly judged non-relevant documents (grade 0
+// present in the map) count against relevant ones.
+func bpref(ranking []string, judg Judgments) float64 {
+	r := judg.NumRelevant(MinGrade)
+	if r == 0 {
+		return 0
+	}
+	numJudgedNonRel := 0
+	for _, g := range judg {
+		if g < MinGrade {
+			numJudgedNonRel++
+		}
+	}
+	denom := float64(min(r, numJudgedNonRel))
+	sum := 0.0
+	nonRelSeen := 0
+	for _, id := range ranking {
+		g, judged := judg[id]
+		if !judged {
+			continue
+		}
+		if g >= MinGrade {
+			if denom == 0 {
+				sum += 1
+			} else {
+				frac := float64(min(nonRelSeen, int(denom))) / denom
+				sum += 1 - frac
+			}
+		} else {
+			nonRelSeen++
+		}
+	}
+	return sum / float64(r)
+}
+
+// Mean averages metric bundles; empty input yields zeros.
+func Mean(ms []Metrics) Metrics {
+	var out Metrics
+	if len(ms) == 0 {
+		return out
+	}
+	for _, m := range ms {
+		out.AP += m.AP
+		out.RR += m.RR
+		out.NDCG10 += m.NDCG10
+		out.P5 += m.P5
+		out.P10 += m.P10
+		out.P20 += m.P20
+		out.R10 += m.R10
+		out.R100 += m.R100
+		out.Bpref += m.Bpref
+		out.Success1 += m.Success1
+		out.Success5 += m.Success5
+		out.Success10 += m.Success10
+	}
+	n := float64(len(ms))
+	out.AP /= n
+	out.RR /= n
+	out.NDCG10 /= n
+	out.P5 /= n
+	out.P10 /= n
+	out.P20 /= n
+	out.R10 /= n
+	out.R100 /= n
+	out.Bpref /= n
+	out.Success1 /= n
+	out.Success5 /= n
+	out.Success10 /= n
+	return out
+}
+
+// APs extracts the AP column from a per-query metric slice (the usual
+// input to the significance tests).
+func APs(ms []Metrics) []float64 {
+	out := make([]float64, len(ms))
+	for i, m := range ms {
+		out[i] = m.AP
+	}
+	return out
+}
+
+// RelImprovement returns (b-a)/a as a percentage; 0 when a is 0.
+func RelImprovement(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (b - a) / a * 100
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

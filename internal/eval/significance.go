@@ -1,0 +1,319 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// TestResult reports one significance test.
+type TestResult struct {
+	// Statistic is the test statistic (t, W, or observed mean diff).
+	Statistic float64
+	// P is the two-sided p-value.
+	P float64
+	// N is the number of pairs used (zero-difference pairs may be
+	// dropped by Wilcoxon).
+	N int
+}
+
+// Significant reports whether P < alpha.
+func (r TestResult) Significant(alpha float64) bool { return r.P < alpha }
+
+// String formats the result compactly for experiment tables.
+func (r TestResult) String() string {
+	star := ""
+	if r.P < 0.01 {
+		star = "**"
+	} else if r.P < 0.05 {
+		star = "*"
+	}
+	return fmt.Sprintf("stat=%.4f p=%.4f%s", r.Statistic, r.P, star)
+}
+
+// PairedTTest runs the two-sided paired Student t-test on equal-length
+// samples. It returns an error for n < 2 or mismatched lengths.
+func PairedTTest(a, b []float64) (TestResult, error) {
+	if len(a) != len(b) {
+		return TestResult{}, fmt.Errorf("eval: paired t-test needs equal lengths (%d vs %d)", len(a), len(b))
+	}
+	n := len(a)
+	if n < 2 {
+		return TestResult{}, fmt.Errorf("eval: paired t-test needs n >= 2, got %d", n)
+	}
+	diffs := make([]float64, n)
+	for i := range a {
+		diffs[i] = b[i] - a[i]
+	}
+	mean := meanOf(diffs)
+	sd := math.Sqrt(varianceOf(diffs, mean))
+	if sd == 0 {
+		// All differences identical: degenerate; p=1 when diff 0, else ~0.
+		p := 1.0
+		if mean != 0 {
+			p = 0
+		}
+		return TestResult{Statistic: math.Inf(sign(mean)), P: p, N: n}, nil
+	}
+	t := mean / (sd / math.Sqrt(float64(n)))
+	df := float64(n - 1)
+	p := 2 * studentTSF(math.Abs(t), df)
+	if p > 1 {
+		p = 1
+	}
+	return TestResult{Statistic: t, P: p, N: n}, nil
+}
+
+// WilcoxonSignedRank runs the two-sided Wilcoxon signed-rank test with
+// the normal approximation (with tie and zero corrections); suitable
+// for the n >= 10 query sets used in the experiments.
+func WilcoxonSignedRank(a, b []float64) (TestResult, error) {
+	if len(a) != len(b) {
+		return TestResult{}, fmt.Errorf("eval: wilcoxon needs equal lengths (%d vs %d)", len(a), len(b))
+	}
+	type pair struct {
+		abs  float64
+		sign float64
+	}
+	var pairs []pair
+	for i := range a {
+		d := b[i] - a[i]
+		if d == 0 {
+			continue // standard practice: drop zero differences
+		}
+		pairs = append(pairs, pair{abs: math.Abs(d), sign: sign2(d)})
+	}
+	n := len(pairs)
+	if n < 1 {
+		return TestResult{Statistic: 0, P: 1, N: 0}, nil
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].abs < pairs[j].abs })
+	// Average ranks for ties.
+	ranks := make([]float64, n)
+	tieCorrection := 0.0
+	for i := 0; i < n; {
+		j := i
+		for j < n && pairs[j].abs == pairs[i].abs {
+			j++
+		}
+		avg := float64(i+1+j) / 2 // mean of ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		t := float64(j - i)
+		tieCorrection += t*t*t - t
+		i = j
+	}
+	var wPlus float64
+	for i, p := range pairs {
+		if p.sign > 0 {
+			wPlus += ranks[i]
+		}
+	}
+	nf := float64(n)
+	mu := nf * (nf + 1) / 4
+	sigma2 := nf*(nf+1)*(2*nf+1)/24 - tieCorrection/48
+	if sigma2 <= 0 {
+		return TestResult{Statistic: wPlus, P: 1, N: n}, nil
+	}
+	z := (wPlus - mu) / math.Sqrt(sigma2)
+	p := 2 * normalSF(math.Abs(z))
+	if p > 1 {
+		p = 1
+	}
+	return TestResult{Statistic: wPlus, P: p, N: n}, nil
+}
+
+// RandomizationTest runs Fisher's paired randomisation (sign-flip)
+// test: the gold standard for IR system comparison. iters controls
+// precision (10k gives ~0.01 resolution); the test is deterministic in
+// seed.
+func RandomizationTest(a, b []float64, iters int, seed int64) (TestResult, error) {
+	if len(a) != len(b) {
+		return TestResult{}, fmt.Errorf("eval: randomisation test needs equal lengths (%d vs %d)", len(a), len(b))
+	}
+	if iters <= 0 {
+		iters = 10000
+	}
+	n := len(a)
+	if n == 0 {
+		return TestResult{Statistic: 0, P: 1, N: 0}, nil
+	}
+	diffs := make([]float64, n)
+	for i := range a {
+		diffs[i] = b[i] - a[i]
+	}
+	observed := math.Abs(meanOf(diffs))
+	r := rand.New(rand.NewSource(seed))
+	asExtreme := 0
+	for it := 0; it < iters; it++ {
+		var sum float64
+		for _, d := range diffs {
+			if r.Intn(2) == 0 {
+				sum += d
+			} else {
+				sum -= d
+			}
+		}
+		if math.Abs(sum/float64(n)) >= observed-1e-15 {
+			asExtreme++
+		}
+	}
+	return TestResult{
+		Statistic: meanOf(diffs),
+		P:         float64(asExtreme+1) / float64(iters+1),
+		N:         n,
+	}, nil
+}
+
+// KendallTau computes the Kendall rank correlation between two score
+// vectors (e.g. two system orderings of the same set). Ties count
+// neither concordant nor discordant (tau-a over untied pairs).
+func KendallTau(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("eval: kendall tau needs equal lengths (%d vs %d)", len(a), len(b))
+	}
+	n := len(a)
+	if n < 2 {
+		return 0, fmt.Errorf("eval: kendall tau needs n >= 2, got %d", n)
+	}
+	concordant, discordant := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			da := a[i] - a[j]
+			db := b[i] - b[j]
+			prod := da * db
+			switch {
+			case prod > 0:
+				concordant++
+			case prod < 0:
+				discordant++
+			}
+		}
+	}
+	total := concordant + discordant
+	if total == 0 {
+		return 0, nil
+	}
+	return float64(concordant-discordant) / float64(total), nil
+}
+
+func meanOf(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func varianceOf(xs []float64, mean float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		d := x - mean
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+func sign2(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// normalSF is the standard normal survival function P(Z > z).
+func normalSF(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// studentTSF is the survival function P(T > t) of Student's t with df
+// degrees of freedom, via the regularised incomplete beta function.
+func studentTSF(t, df float64) float64 {
+	x := df / (df + t*t)
+	return 0.5 * regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularised incomplete beta I_x(a,b) using
+// the continued-fraction expansion (Numerical Recipes betacf).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(math.Log(x)*a + math.Log(1-x)*b + lbeta)
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betacf evaluates the continued fraction for the incomplete beta
+// function by the modified Lentz method.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		mf := float64(m)
+		m2 := 2 * mf
+		aa := mf * (b - mf) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + mf) * (qab + mf) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

@@ -1,0 +1,179 @@
+package eval
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TREC interchange formats, so runs and judgements can be exchanged
+// with standard tooling (trec_eval and friends):
+//
+//	run file:   qid Q0 docid rank score tag
+//	qrels file: qid 0 docid grade
+//
+// Query IDs are strings in the files; the synthetic topics use their
+// integer IDs formatted in decimal.
+
+// Run holds one system's ranked results for a set of queries.
+type Run struct {
+	// Tag names the system (the sixth run-file column).
+	Tag string
+	// Rankings maps query ID -> doc IDs in rank order.
+	Rankings map[string][]string
+}
+
+// NewRun creates an empty run with the given tag.
+func NewRun(tag string) *Run {
+	return &Run{Tag: tag, Rankings: make(map[string][]string)}
+}
+
+// Add appends a ranking for a query, replacing any previous one.
+func (r *Run) Add(queryID string, ranking []string) {
+	cp := make([]string, len(ranking))
+	copy(cp, ranking)
+	r.Rankings[queryID] = cp
+}
+
+// QueryIDs returns the run's query IDs, sorted.
+func (r *Run) QueryIDs() []string {
+	out := make([]string, 0, len(r.Rankings))
+	for qid := range r.Rankings {
+		out = append(out, qid)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteRun emits the run in TREC format. Scores are synthesised from
+// ranks (descending) since rank order is what matters downstream.
+func WriteRun(w io.Writer, r *Run) error {
+	bw := bufio.NewWriter(w)
+	for _, qid := range r.QueryIDs() {
+		ranking := r.Rankings[qid]
+		for rank, doc := range ranking {
+			score := float64(len(ranking) - rank)
+			if _, err := fmt.Fprintf(bw, "%s Q0 %s %d %g %s\n", qid, doc, rank+1, score, r.Tag); err != nil {
+				return fmt.Errorf("eval: write run: %w", err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("eval: write run: %w", err)
+	}
+	return nil
+}
+
+// ReadRun parses a TREC run file. Documents are ordered by the rank
+// column; ties and gaps in ranks follow file order.
+func ReadRun(rd io.Reader) (*Run, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	run := NewRun("")
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 6 {
+			return nil, fmt.Errorf("eval: run line %d: want 6 fields, got %d", line, len(fields))
+		}
+		qid, doc, tag := fields[0], fields[2], fields[5]
+		if run.Tag == "" {
+			run.Tag = tag
+		}
+		run.Rankings[qid] = append(run.Rankings[qid], doc)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("eval: read run: %w", err)
+	}
+	return run, nil
+}
+
+// QrelSet maps query ID -> judgments.
+type QrelSet map[string]Judgments
+
+// WriteQrels emits judgements in TREC qrels format, sorted for
+// deterministic bytes.
+func WriteQrels(w io.Writer, qs QrelSet) error {
+	bw := bufio.NewWriter(w)
+	qids := make([]string, 0, len(qs))
+	for qid := range qs {
+		qids = append(qids, qid)
+	}
+	sort.Strings(qids)
+	for _, qid := range qids {
+		judg := qs[qid]
+		docs := make([]string, 0, len(judg))
+		for doc := range judg {
+			docs = append(docs, doc)
+		}
+		sort.Strings(docs)
+		for _, doc := range docs {
+			if _, err := fmt.Fprintf(bw, "%s 0 %s %d\n", qid, doc, judg[doc]); err != nil {
+				return fmt.Errorf("eval: write qrels: %w", err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("eval: write qrels: %w", err)
+	}
+	return nil
+}
+
+// ReadQrels parses a TREC qrels file.
+func ReadQrels(rd io.Reader) (QrelSet, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	qs := QrelSet{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("eval: qrels line %d: want 4 fields, got %d", line, len(fields))
+		}
+		grade, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("eval: qrels line %d: bad grade %q", line, fields[3])
+		}
+		qid, doc := fields[0], fields[2]
+		if qs[qid] == nil {
+			qs[qid] = Judgments{}
+		}
+		qs[qid][doc] = grade
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("eval: read qrels: %w", err)
+	}
+	return qs, nil
+}
+
+// EvaluateRun scores a run against a qrel set: per-query metrics plus
+// the mean, skipping queries without judgements (their IDs are
+// returned in skipped).
+func EvaluateRun(run *Run, qs QrelSet) (perQuery map[string]Metrics, mean Metrics, skipped []string) {
+	perQuery = make(map[string]Metrics)
+	var ms []Metrics
+	for _, qid := range run.QueryIDs() {
+		judg, ok := qs[qid]
+		if !ok || len(judg) == 0 {
+			skipped = append(skipped, qid)
+			continue
+		}
+		m := Compute(run.Rankings[qid], judg)
+		perQuery[qid] = m
+		ms = append(ms, m)
+	}
+	return perQuery, Mean(ms), skipped
+}

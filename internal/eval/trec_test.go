@@ -1,0 +1,120 @@
+package eval
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRunRoundTrip(t *testing.T) {
+	run := NewRun("sysA")
+	run.Add("1", []string{"d3", "d1", "d2"})
+	run.Add("2", []string{"d9"})
+	var buf bytes.Buffer
+	if err := WriteRun(&buf, run); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRun(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tag != "sysA" {
+		t.Errorf("tag = %q", got.Tag)
+	}
+	if !reflect.DeepEqual(got.Rankings["1"], []string{"d3", "d1", "d2"}) {
+		t.Errorf("q1 ranking = %v", got.Rankings["1"])
+	}
+	if !reflect.DeepEqual(got.Rankings["2"], []string{"d9"}) {
+		t.Errorf("q2 ranking = %v", got.Rankings["2"])
+	}
+}
+
+func TestRunAddCopies(t *testing.T) {
+	run := NewRun("x")
+	src := []string{"a", "b"}
+	run.Add("1", src)
+	src[0] = "mutated"
+	if run.Rankings["1"][0] != "a" {
+		t.Error("Add aliased caller storage")
+	}
+}
+
+func TestReadRunRejectsShortLines(t *testing.T) {
+	if _, err := ReadRun(strings.NewReader("1 Q0 d1 1\n")); err == nil {
+		t.Error("short line accepted")
+	}
+	// Blank lines and comments are fine.
+	run, err := ReadRun(strings.NewReader("\n# comment\n1 Q0 d1 1 5.0 tag\n"))
+	if err != nil || len(run.Rankings["1"]) != 1 {
+		t.Errorf("comment handling broken: %v %v", run, err)
+	}
+}
+
+func TestQrelsRoundTrip(t *testing.T) {
+	qs := QrelSet{
+		"1": Judgments{"d1": 2, "d2": 0},
+		"7": Judgments{"d5": 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteQrels(&buf, qs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadQrels(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, qs) {
+		t.Errorf("round trip: got %v want %v", got, qs)
+	}
+}
+
+func TestQrelsDeterministicBytes(t *testing.T) {
+	qs := QrelSet{"1": Judgments{"b": 1, "a": 2, "c": 0}}
+	var a, b bytes.Buffer
+	if err := WriteQrels(&a, qs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteQrels(&b, qs); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("qrels serialisation not deterministic")
+	}
+}
+
+func TestReadQrelsRejectsBadLines(t *testing.T) {
+	if _, err := ReadQrels(strings.NewReader("1 0 d1\n")); err == nil {
+		t.Error("3-field line accepted")
+	}
+	if _, err := ReadQrels(strings.NewReader("1 0 d1 notanumber\n")); err == nil {
+		t.Error("bad grade accepted")
+	}
+}
+
+func TestEvaluateRun(t *testing.T) {
+	run := NewRun("sys")
+	run.Add("1", []string{"rel", "non"})
+	run.Add("2", []string{"non2", "rel2"})
+	run.Add("unjudged", []string{"x"})
+	qs := QrelSet{
+		"1": Judgments{"rel": 1},
+		"2": Judgments{"rel2": 1},
+	}
+	perQuery, mean, skipped := EvaluateRun(run, qs)
+	if len(perQuery) != 2 {
+		t.Fatalf("scored %d queries", len(perQuery))
+	}
+	if perQuery["1"].AP != 1 {
+		t.Errorf("q1 AP = %v", perQuery["1"].AP)
+	}
+	if perQuery["2"].AP != 0.5 {
+		t.Errorf("q2 AP = %v", perQuery["2"].AP)
+	}
+	if mean.AP != 0.75 {
+		t.Errorf("mean AP = %v", mean.AP)
+	}
+	if len(skipped) != 1 || skipped[0] != "unjudged" {
+		t.Errorf("skipped = %v", skipped)
+	}
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestTableFormatting checks the renderer independent of any runner.
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{
+		ID:     "TX",
+		Title:  "demo",
+		Header: []string{"name", "value"},
+	}
+	tab.AddRow("alpha", "1.000")
+	tab.AddRow("beta-long-name", "2.000")
+	tab.AddNote("a note with %d", 42)
+	s := tab.String()
+	for _, want := range []string{"TX — demo", "alpha", "beta-long-name", "note: a note with 42"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(s, "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+}
+
+func TestFormattersStable(t *testing.T) {
+	if f3(0.12345) != "0.123" || f1(3.27) != "3.3" {
+		t.Error("numeric formatting wrong")
+	}
+	if pct(12.3) != "+12.3%" || pct(-5) != "-5.0%" {
+		t.Errorf("pct formatting wrong: %s %s", pct(12.3), pct(-5))
+	}
+	if !strings.HasSuffix(pv(0.001), "**") || !strings.HasSuffix(pv(0.03), "*") || strings.HasSuffix(pv(0.5), "*") {
+		t.Error("p-value stars wrong")
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	bad := []Params{
+		{Users: 0, Iterations: 1},
+		{Users: 1, Iterations: 0},
+		{Users: 1, Iterations: 1, Topics: -1},
+	}
+	for i, p := range bad {
+		p.Archive = Quick().Archive
+		if _, err := setup(p); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(catalogue) {
+		t.Fatal("IDs incomplete")
+	}
+	for _, id := range ids {
+		if _, err := Title(id); err != nil {
+			t.Errorf("Title(%s): %v", id, err)
+		}
+	}
+	if _, err := Title("T99"); err == nil {
+		t.Error("unknown title accepted")
+	}
+	if _, err := Run("T99", Quick()); err == nil {
+		t.Error("unknown runner accepted")
+	}
+}
+
+func TestApVector(t *testing.T) {
+	v := apVector(map[int]float64{3: 0.3, 1: 0.1, 2: 0.2})
+	if len(v) != 3 || v[0] != 0.1 || v[1] != 0.2 || v[2] != 0.3 {
+		t.Errorf("apVector = %v", v)
+	}
+}
+
+// Each runner executes at Quick scale and produces a well-formed
+// table. These are integration tests across the whole stack, so they
+// are grouped into one test with subtests for -run filtering.
+func TestRunnersQuickScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runners are slow")
+	}
+	p := Quick()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tab, err := Run(id, p)
+			if err != nil {
+				t.Fatalf("%s failed: %v", id, err)
+			}
+			if tab.ID == "" || len(tab.Header) == 0 || len(tab.Rows) == 0 {
+				t.Fatalf("%s produced malformed table: %+v", id, tab)
+			}
+			for ri, row := range tab.Rows {
+				if len(row) != len(tab.Header) {
+					t.Errorf("%s row %d has %d cells for %d columns", id, ri, len(row), len(tab.Header))
+				}
+			}
+			// Every numeric cell parses.
+			for _, row := range tab.Rows {
+				for _, cell := range row[1:] {
+					c := strings.TrimSuffix(strings.TrimPrefix(cell, "+"), "%")
+					c = strings.TrimSuffix(c, "*")
+					c = strings.TrimSuffix(c, "*")
+					if c == "-" || c == "no decay" {
+						continue
+					}
+					c = strings.TrimSuffix(c, "%")
+					if _, err := strconv.ParseFloat(c, 64); err != nil {
+						t.Errorf("%s: unparseable cell %q", id, cell)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRunnersDeterministic re-runs one cheap runner and compares
+// output byte-for-byte.
+func TestRunnersDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	p := Quick()
+	a, err := Run("T9", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("T9", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("T9 not deterministic")
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/feedback"
+	"repro/internal/simulation"
+	"repro/internal/ui"
+)
+
+// OstensiveDecay (F4) reproduces the ostensive-model motivation
+// (Campbell & van Rijsbergen): the user's need drifts mid-session from
+// topic A to topic B; evidence from the A phase pollutes adaptation
+// unless discounted. Sweeping the half-life should give an inverted-U:
+// very fast decay forgets useful fresh evidence, no decay drags stale
+// interest into the drifted phase.
+func OstensiveDecay(p Params) (*Table, error) {
+	c, err := setup(p)
+	if err != nil {
+		return nil, err
+	}
+	if len(c.topics) < 2 {
+		return nil, fmt.Errorf("experiments: F4 needs >= 2 topics")
+	}
+	halfLives := []float64{0.5, 1, 2, 4, 8, math.Inf(1)}
+	table := &Table{
+		ID:     "F4",
+		Title:  "Ostensive decay half-life vs post-drift MAP (need shifts topic mid-session)",
+		Header: []string{"half-life (steps)", "MAP(topic B phase)", "P@10"},
+	}
+	// Evidence is deliberately scarce (few examinations and clicks per
+	// iteration): with plentiful per-step evidence the freshest step
+	// alone suffices and decay can only help; scarcity is what makes
+	// multi-step accumulation — and hence the decay trade-off — real.
+	scarce := simulation.Casual()
+	scarce.Name = "scarce"
+	scarce.Patience = 4
+	scarce.ClickRel = 0.12
+	scarce.ClickNonRel = 0.03
+	best, bestHL := -1.0, 0.0
+	var first, last float64
+	for hi, hl := range halfLives {
+		var scheme feedback.Scheme
+		label := fmt.Sprintf("%g", hl)
+		if math.IsInf(hl, 1) {
+			scheme = feedback.DefaultGraded() // no decay
+			label = "no decay"
+		} else {
+			ost, err := feedback.NewOstensive(feedback.DefaultGraded(), hl)
+			if err != nil {
+				return nil, err
+			}
+			scheme = ost
+		}
+		sys, err := c.system(core.Config{UseImplicit: true, Scheme: scheme})
+		if err != nil {
+			return nil, err
+		}
+		var ms []eval.Metrics
+		seq := 0
+		for ti := range c.topics {
+			topicA := c.topics[ti]
+			topicB := c.topics[(ti+1)%len(c.topics)]
+			for ui2 := range c.users {
+				sim, err := simulation.New(c.arch, sys, ui.Desktop(), scarce,
+					p.Seed+401+int64(seq)*131)
+				if err != nil {
+					return nil, err
+				}
+				sid := fmt.Sprintf("f4-h%d-t%02d-u%02d", hi, ti, ui2)
+				sr, err := sim.RunDriftSession(sid, nil, topicA, topicB, p.Iterations, p.Iterations)
+				if err != nil {
+					return nil, err
+				}
+				seq++
+				ms = append(ms, sr.Final)
+			}
+		}
+		m := eval.Mean(ms)
+		table.AddRow(label, f3(m.AP), f3(m.P10))
+		if m.AP > best {
+			best, bestHL = m.AP, hl
+		}
+		if hi == 0 {
+			first = m.AP
+		}
+		last = m.AP
+	}
+	interior := !math.IsInf(bestHL, 1) && bestHL > halfLives[0]
+	table.AddNote("best half-life: %g (MAP %.3f); inverted-U (interior optimum beats both extremes): %v",
+		bestHL, best, interior && best >= first && best >= last)
+	return table, nil
+}

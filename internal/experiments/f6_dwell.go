@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/ilog"
+	"repro/internal/simulation"
+	"repro/internal/ui"
+)
+
+// DwellReliability (F6) reproduces Kelly & Belkin's negative result:
+// the precision of "dwell time above threshold implies relevance"
+// varies strongly with the information-seeking task, so no single
+// threshold works across contexts. Three task types (fact-find,
+// background, leisure) modulate the same stereotype's dwell behaviour.
+func DwellReliability(p Params) (*Table, error) {
+	c, err := setup(p)
+	if err != nil {
+		return nil, err
+	}
+	oracle := func(topicID int, shotID string) bool {
+		return c.arch.Truth.Qrels.Grade(topicID, collection.ShotID(shotID)) >= 1
+	}
+	thresholds := []float64{2, 5, 10, 20}
+	header := []string{"task type"}
+	for _, t := range thresholds {
+		header = append(header, fmt.Sprintf("P(rel|dwell>=%gs)", t))
+	}
+	header = append(header, "plays")
+	table := &Table{
+		ID:     "F6",
+		Title:  "Dwell-time reliability across task types (precision of dwell-threshold rule)",
+		Header: header,
+	}
+	sys, err := c.system(core.Config{UseImplicit: true})
+	if err != nil {
+		return nil, err
+	}
+	// bestThreshold[task] tracks which threshold wins per task.
+	bestThreshold := map[string]float64{}
+	for ti, tt := range simulation.TaskTypes() {
+		st := tt.Apply(simulation.Casual())
+		var events []ilog.Event
+		seq := 0
+		for _, topic := range c.topics {
+			for range c.users {
+				sim, err := simulation.New(c.arch, sys, ui.Desktop(), st, p.Seed+601+int64(ti*1000+seq)*17)
+				if err != nil {
+					return nil, err
+				}
+				sr, err := sim.RunSession(fmt.Sprintf("f6-%s-%d", tt.Name, seq), nil, topic, p.Iterations)
+				if err != nil {
+					return nil, err
+				}
+				seq++
+				events = append(events, sr.Events...)
+			}
+		}
+		row := []string{tt.Name}
+		plays := 0
+		bestP, bestT := -1.0, 0.0
+		for _, thr := range thresholds {
+			total, rel := 0, 0
+			for _, e := range events {
+				if e.Action != ilog.ActionPlay || e.Seconds < thr {
+					continue
+				}
+				total++
+				if oracle(e.TopicID, e.ShotID) {
+					rel++
+				}
+			}
+			prec := 0.0
+			if total > 0 {
+				prec = float64(rel) / float64(total)
+			}
+			if prec > bestP {
+				bestP, bestT = prec, thr
+			}
+			row = append(row, f3(prec))
+		}
+		for _, e := range events {
+			if e.Action == ilog.ActionPlay {
+				plays++
+			}
+		}
+		row = append(row, itoa(plays))
+		table.AddRow(row...)
+		bestThreshold[tt.Name] = bestT
+	}
+	allSame := true
+	var ref float64
+	first := true
+	for _, thr := range bestThreshold {
+		if first {
+			ref, first = thr, false
+			continue
+		}
+		if thr != ref {
+			allSame = false
+		}
+	}
+	table.AddNote("Kelly & Belkin shape (no single threshold dominates across tasks): %v", !allSame)
+	return table, nil
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/simulation"
+	"repro/internal/ui"
+)
+
+// SessionAdaptation (F8) operationalises the paper's §1 claim that an
+// adaptive model "can be useful to significantly reduce the number of
+// steps the user has to perform before he retrieves satisfying search
+// results": per-iteration metric trajectories for the baseline (flat —
+// same query, same ranking) vs the combined adaptive system (rising),
+// plus the mean iterations until a relevant shot tops the list.
+func SessionAdaptation(p Params) (*Table, error) {
+	c, err := setup(p)
+	if err != nil {
+		return nil, err
+	}
+	type traj struct {
+		perIter []eval.Metrics // means per iteration
+		toFirst float64        // mean iterations to Success@1 (penalised at max+1)
+	}
+	run := func(cfg core.Config, seedOff int64) (traj, error) {
+		sums := make([]eval.Metrics, p.Iterations)
+		counts := make([]int, p.Iterations)
+		var toFirstSum float64
+		var sessions int
+		sys, err := c.system(cfg)
+		if err != nil {
+			return traj{}, err
+		}
+		seq := 0
+		for _, topic := range c.topics {
+			for ui2, user := range c.users {
+				sim, err := simulation.New(c.arch, sys, ui.Desktop(), user.Stereotype,
+					p.Seed+seedOff+int64(seq)*61)
+				if err != nil {
+					return traj{}, err
+				}
+				sr, err := sim.RunSession(fmt.Sprintf("f8-%02d-%02d", topic.ID, ui2), nil, topic, p.Iterations)
+				if err != nil {
+					return traj{}, err
+				}
+				seq++
+				sessions++
+				first := float64(p.Iterations + 1)
+				for it, m := range sr.PerIteration {
+					if it < p.Iterations {
+						sums[it] = addMetrics(sums[it], m)
+						counts[it]++
+					}
+					if m.Success1 > 0 && float64(it+1) < first {
+						first = float64(it + 1)
+					}
+				}
+				toFirstSum += first
+			}
+		}
+		out := traj{perIter: make([]eval.Metrics, p.Iterations)}
+		for i := range sums {
+			if counts[i] > 0 {
+				out.perIter[i] = divMetrics(sums[i], float64(counts[i]))
+			}
+		}
+		if sessions > 0 {
+			out.toFirst = toFirstSum / float64(sessions)
+		}
+		return out, nil
+	}
+	base, err := run(core.Config{}, 801)
+	if err != nil {
+		return nil, err
+	}
+	adapt, err := run(core.Config{UseProfile: true, UseImplicit: true}, 801)
+	if err != nil {
+		return nil, err
+	}
+	table := &Table{
+		ID:     "F8",
+		Title:  "Adaptation over session iterations (P@10 / R@100 trajectories)",
+		Header: []string{"iteration", "base P@10", "adapt P@10", "base R@100", "adapt R@100"},
+	}
+	for it := 0; it < p.Iterations; it++ {
+		table.AddRow(itoa(it+1),
+			f3(base.perIter[it].P10), f3(adapt.perIter[it].P10),
+			f3(base.perIter[it].R100), f3(adapt.perIter[it].R100))
+	}
+	table.AddNote("mean iterations to first relevant-at-rank-1: base %.2f vs adaptive %.2f (lower is better)",
+		base.toFirst, adapt.toFirst)
+	gapFirst := adapt.perIter[0].P10 - base.perIter[0].P10
+	gapLast := adapt.perIter[p.Iterations-1].P10 - base.perIter[p.Iterations-1].P10
+	table.AddNote("P@10 gap grows with iterations: first %+0.3f vs last %+0.3f (expected widening)", gapFirst, gapLast)
+	return table, nil
+}
+
+func addMetrics(a, b eval.Metrics) eval.Metrics {
+	a.AP += b.AP
+	a.RR += b.RR
+	a.NDCG10 += b.NDCG10
+	a.P5 += b.P5
+	a.P10 += b.P10
+	a.P20 += b.P20
+	a.R10 += b.R10
+	a.R100 += b.R100
+	a.Bpref += b.Bpref
+	a.Success1 += b.Success1
+	a.Success5 += b.Success5
+	a.Success10 += b.Success10
+	return a
+}
+
+func divMetrics(a eval.Metrics, n float64) eval.Metrics {
+	a.AP /= n
+	a.RR /= n
+	a.NDCG10 /= n
+	a.P5 /= n
+	a.P10 /= n
+	a.P20 /= n
+	a.R10 /= n
+	a.R100 /= n
+	a.Bpref /= n
+	a.Success1 /= n
+	a.Success5 /= n
+	a.Success10 /= n
+	return a
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/simulation"
+	"repro/internal/synth"
+)
+
+// Params scales an experiment run. Every runner is deterministic in
+// its Params value.
+type Params struct {
+	// Seed drives archive generation and all simulations.
+	Seed int64
+	// Archive is the synthetic collection configuration.
+	Archive synth.Config
+	// Users is the simulated participant count.
+	Users int
+	// Topics caps how many search topics are evaluated (0 = all).
+	Topics int
+	// Iterations is the query cycles per session.
+	Iterations int
+}
+
+// Default returns the full-scale parameters used for EXPERIMENTS.md.
+func Default() Params {
+	return Params{
+		Seed:       2008,
+		Archive:    synth.DefaultConfig(),
+		Users:      6,
+		Topics:     0,
+		Iterations: 4,
+	}
+}
+
+// Quick returns reduced parameters for tests and smoke runs.
+func Quick() Params {
+	return Params{
+		Seed:       2008,
+		Archive:    synth.TinyConfig(),
+		Users:      3,
+		Topics:     6,
+		Iterations: 3,
+	}
+}
+
+// validate rejects unusable parameter sets.
+func (p Params) validate() error {
+	if p.Users <= 0 {
+		return fmt.Errorf("experiments: Users must be positive")
+	}
+	if p.Iterations <= 0 {
+		return fmt.Errorf("experiments: Iterations must be positive")
+	}
+	if p.Topics < 0 {
+		return fmt.Errorf("experiments: negative Topics")
+	}
+	return nil
+}
+
+// context is the shared setup most runners need.
+type context struct {
+	p      Params
+	arch   *synth.Archive
+	topics []*synth.SearchTopic
+	users  []*simulation.StudyUser
+}
+
+// setup generates the archive and the participant population.
+func setup(p Params) (*context, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	arch, err := synth.Generate(p.Archive, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	topics := arch.Truth.SearchTopics
+	if p.Topics > 0 && p.Topics < len(topics) {
+		topics = topics[:p.Topics]
+	}
+	return &context{
+		p:      p,
+		arch:   arch,
+		topics: topics,
+		users:  simulation.MakeUsers(p.Users),
+	}, nil
+}
+
+// system builds an adaptive system over the context's archive.
+func (c *context) system(cfg core.Config) (*core.System, error) {
+	return core.NewSystemFromCollection(c.arch.Collection, cfg)
+}
+
+// judgments converts one topic's qrels.
+func (c *context) judgments(topicID int) eval.Judgments {
+	j := eval.Judgments{}
+	for shot, g := range c.arch.Truth.Qrels[topicID] {
+		j[string(shot)] = g
+	}
+	return j
+}
+
+// apVector flattens a per-topic AP map into a vector ordered by topic
+// ID, aligned across systems for paired significance tests.
+func apVector(perTopic map[int]float64) []float64 {
+	ids := make([]int, 0, len(perTopic))
+	for id := range perTopic {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]float64, len(ids))
+	for i, id := range ids {
+		out[i] = perTopic[id]
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment at the given scale.
+type Runner func(Params) (*Table, error)
+
+// entry pairs a runner with its catalogue metadata.
+type entry struct {
+	id     string
+	title  string
+	runner Runner
+}
+
+// catalogue lists every experiment in DESIGN.md order.
+var catalogue = []entry{
+	{"T1", "System comparison: baseline / profile / implicit / combined", SystemComparison},
+	{"T1a", "Combined-system alpha x beta ablation", T1Ablation},
+	{"T2", "Per-indicator value (RQ1)", IndicatorValue},
+	{"T3", "Feature weighting schemes (RQ2)", WeightingSchemes},
+	{"T3a", "Expansion-term count ablation", T3Ablation},
+	{"F4", "Ostensive decay half-life sweep", OstensiveDecay},
+	{"T5", "Desktop vs interactive TV environments", Environments},
+	{"F6", "Dwell-time reliability across task types", DwellReliability},
+	{"T7", "Community implicit graph recommendation", ImplicitGraph},
+	{"T7a", "Graph traversal ablation: spreading activation vs PPR", GraphAlgorithms},
+	{"F8", "Adaptation trajectory over session iterations", SessionAdaptation},
+	{"T9", "ASR word-error-rate sensitivity", ASRSensitivity},
+	{"T10", "Concept-detector accuracy sweep", ConceptAccuracy},
+	{"T11", "Simulation fidelity (Kendall tau)", SimulationFidelity},
+}
+
+// IDs returns the experiment identifiers in catalogue order.
+func IDs() []string {
+	out := make([]string, len(catalogue))
+	for i, e := range catalogue {
+		out[i] = e.id
+	}
+	return out
+}
+
+// Title returns an experiment's catalogue title.
+func Title(id string) (string, error) {
+	for _, e := range catalogue {
+		if e.id == id {
+			return e.title, nil
+		}
+	}
+	return "", fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// Run executes one experiment by ID.
+func Run(id string, p Params) (*Table, error) {
+	for _, e := range catalogue {
+		if e.id == id {
+			return e.runner(p)
+		}
+	}
+	known := IDs()
+	sort.Strings(known)
+	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, known)
+}
+
+// RunAll executes the full catalogue, returning tables in order. It
+// stops at the first failure.
+func RunAll(p Params) ([]*Table, error) {
+	out := make([]*Table, 0, len(catalogue))
+	for _, e := range catalogue {
+		t, err := e.runner(p)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s: %w", e.id, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/feedback"
+	"repro/internal/ilog"
+	"repro/internal/simulation"
+	"repro/internal/ui"
+)
+
+// WeightingSchemes (T3) answers RQ2: how should the indicators be
+// weighted? Five schemes run the same study: binary, graded,
+// dwell-normalised, ostensive-decayed graded, and weights learned from
+// a held-out training log. Expected shape: graded/ostensive > binary;
+// learned >= any fixed scheme.
+func WeightingSchemes(p Params) (*Table, error) {
+	c, err := setup(p)
+	if err != nil {
+		return nil, err
+	}
+	oracle := func(topicID int, shotID string) bool {
+		return c.arch.Truth.Qrels.Grade(topicID, collection.ShotID(shotID)) >= 1
+	}
+	// Training pass for the learned scheme: log a study under the
+	// graded default, learn per-indicator precisions, shift by the
+	// base examination rate (browse precision ~= prior of examined
+	// shots being relevant).
+	trainSys, err := c.system(core.Config{UseImplicit: true})
+	if err != nil {
+		return nil, err
+	}
+	train, err := simulation.RunStudy(c.arch, trainSys, ui.Desktop(), c.users, c.topics, p.Iterations, p.Seed+301)
+	if err != nil {
+		return nil, err
+	}
+	baseRate := examinationBaseRate(train, oracle)
+	learned := feedback.LearnWeights(train.Events, oracle, baseRate)
+
+	ost, err := feedback.NewOstensive(feedback.DefaultGraded(), 2)
+	if err != nil {
+		return nil, err
+	}
+	schemes := []feedback.Scheme{
+		feedback.Binary{},
+		feedback.DefaultGraded(),
+		feedback.NewDwellNormalised(),
+		ost,
+		learned,
+	}
+	table := &Table{
+		ID:     "T3",
+		Title:  "Feature weighting schemes (implicit-only adaptation)",
+		Header: []string{"scheme", "MAP", "P@10", "nDCG@10", "dMAP vs binary", "p(t-test)"},
+	}
+	var binAPs []float64
+	var binMAP float64
+	mapOf := map[string]float64{}
+	for i, scheme := range schemes {
+		sys, err := c.system(core.Config{UseImplicit: true, Scheme: scheme})
+		if err != nil {
+			return nil, err
+		}
+		study, err := simulation.RunStudy(c.arch, sys, ui.Desktop(), c.users, c.topics, p.Iterations, p.Seed+302)
+		if err != nil {
+			return nil, err
+		}
+		aps := apVector(study.PerTopicAP)
+		mapVal := meanFloat(aps)
+		mapOf[scheme.Name()] = mapVal
+		m := study.MeanFinal
+		if i == 0 {
+			binAPs, binMAP = aps, mapVal
+			table.AddRow(scheme.Name(), f3(mapVal), f3(m.P10), f3(m.NDCG10), "-", "-")
+			continue
+		}
+		tt, err := eval.PairedTTest(binAPs, aps)
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow(scheme.Name(), f3(mapVal), f3(m.P10), f3(m.NDCG10),
+			pct(eval.RelImprovement(binMAP, mapVal)), pv(tt.P))
+	}
+	table.AddNote("learned-weight base rate (examined-shot relevance prior): %.3f", baseRate)
+	table.AddNote("graded beats binary: %v; learned >= graded: %v",
+		mapOf["graded"] >= binMAP,
+		mapOf[learned.Name()] >= mapOf["graded"]-0.02)
+	return table, nil
+}
+
+// T3Ablation sweeps the expansion-term clip (the Rocchio topN
+// parameter), the second DESIGN.md ablation.
+func T3Ablation(p Params) (*Table, error) {
+	c, err := setup(p)
+	if err != nil {
+		return nil, err
+	}
+	table := &Table{
+		ID:     "T3a",
+		Title:  "Expansion-term count ablation (graded scheme)",
+		Header: []string{"expansion terms", "MAP", "P@10"},
+	}
+	for _, n := range []int{2, 5, 10, 20, 40} {
+		sys, err := c.system(core.Config{UseImplicit: true, ExpandTerms: n})
+		if err != nil {
+			return nil, err
+		}
+		study, err := simulation.RunStudy(c.arch, sys, ui.Desktop(), c.users, c.topics, p.Iterations, p.Seed+303)
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow(itoa(n), f3(study.MeanFinal.AP), f3(study.MeanFinal.P10))
+	}
+	return table, nil
+}
+
+// examinationBaseRate estimates the prior probability that an examined
+// (browsed-past) shot is relevant, from browse events.
+func examinationBaseRate(study *simulation.StudyResult, oracle func(int, string) bool) float64 {
+	total, rel := 0, 0
+	for _, e := range study.Events {
+		if e.Action != ilog.ActionBrowse || e.ShotID == "" {
+			continue
+		}
+		total++
+		if oracle(e.TopicID, e.ShotID) {
+			rel++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(rel) / float64(total)
+}

@@ -1,0 +1,108 @@
+// Package experiments implements the derived experiment suite of
+// DESIGN.md: one runner per table/figure, each reproducing a research
+// question of the paper or a quantitative claim it cites, over the
+// synthetic archive. Runners are deterministic in their Params.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a paper-style results table: what cmd/ivrbench prints and
+// EXPERIMENTS.md records.
+type Table struct {
+	// ID is the experiment identifier from DESIGN.md ("T1", "F4", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows hold the formatted cells.
+	Rows [][]string
+	// Notes carry shape findings and significance annotations.
+	Notes []string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a note line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned monospace text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			// Right-align numeric-looking cells, left-align labels.
+			if i == 0 {
+				sb.WriteString(c)
+				sb.WriteString(strings.Repeat(" ", pad))
+			} else {
+				sb.WriteString(strings.Repeat(" ", pad))
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Cell formatting helpers shared by all runners.
+
+// f3 formats a metric to three decimals.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// f1 formats to one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// pct formats a relative improvement percentage.
+func pct(v float64) string { return fmt.Sprintf("%+.1f%%", v) }
+
+// pv formats a p-value with significance stars.
+func pv(p float64) string {
+	switch {
+	case p < 0.01:
+		return fmt.Sprintf("%.4f**", p)
+	case p < 0.05:
+		return fmt.Sprintf("%.4f*", p)
+	}
+	return fmt.Sprintf("%.4f", p)
+}

@@ -1,0 +1,152 @@
+// Package feedback implements the implicit-relevance-feedback core of
+// the paper: interaction evidence, the weighting schemes that turn
+// indicators into relevance mass (RQ1/RQ2), and Rocchio-style query
+// expansion from that mass.
+package feedback
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ilog"
+)
+
+// Evidence is one piece of interaction evidence about a shot, derived
+// from a logged event plus the shot metadata needed for normalisation.
+type Evidence struct {
+	ShotID string
+	Action ilog.Action
+	// Seconds is the play duration or slide span.
+	Seconds float64
+	// ShotSeconds is the target shot's full duration, for dwell
+	// normalisation (0 when unknown).
+	ShotSeconds float64
+	// Rating is the explicit judgement (±1) for ActionRate events.
+	Rating int
+	// Step is the session iteration at which the evidence was
+	// observed; the ostensive scheme discounts by age in steps.
+	Step int
+}
+
+// FromEvent converts a logged event into evidence. Events without a
+// shot target (queries) return ok=false.
+func FromEvent(e ilog.Event, shotSeconds float64) (Evidence, bool) {
+	if e.ShotID == "" {
+		return Evidence{}, false
+	}
+	return Evidence{
+		ShotID:      e.ShotID,
+		Action:      e.Action,
+		Seconds:     e.Seconds,
+		ShotSeconds: shotSeconds,
+		Rating:      e.Value,
+		Step:        e.Step,
+	}, true
+}
+
+// Accumulator gathers evidence across a session and converts it into
+// per-shot relevance mass under a weighting scheme. Mass is recomputed
+// on demand so step-dependent schemes (ostensive decay) always see the
+// current session step.
+type Accumulator struct {
+	scheme   Scheme
+	evidence []Evidence
+	step     int
+}
+
+// NewAccumulator creates an accumulator under the given scheme.
+func NewAccumulator(scheme Scheme) *Accumulator {
+	if scheme == nil {
+		scheme = DefaultGraded()
+	}
+	return &Accumulator{scheme: scheme}
+}
+
+// Scheme returns the accumulator's weighting scheme.
+func (a *Accumulator) Scheme() Scheme { return a.scheme }
+
+// Observe records one piece of evidence.
+func (a *Accumulator) Observe(ev Evidence) error {
+	if ev.ShotID == "" {
+		return fmt.Errorf("feedback: evidence without shot id")
+	}
+	if ev.Step > a.step {
+		a.step = ev.Step
+	}
+	a.evidence = append(a.evidence, ev)
+	return nil
+}
+
+// AdvanceStep moves the session clock forward one iteration.
+func (a *Accumulator) AdvanceStep() { a.step++ }
+
+// SetStep positions the session clock explicitly (used when restoring
+// persisted sessions). Steps before already-observed evidence are
+// clamped up so ages never go negative.
+func (a *Accumulator) SetStep(n int) {
+	for _, ev := range a.evidence {
+		if ev.Step > n {
+			n = ev.Step
+		}
+	}
+	a.step = n
+}
+
+// Step returns the current session step.
+func (a *Accumulator) Step() int { return a.step }
+
+// Len reports how much evidence has been observed.
+func (a *Accumulator) Len() int { return len(a.evidence) }
+
+// Reset clears all evidence and the step clock.
+func (a *Accumulator) Reset() {
+	a.evidence = a.evidence[:0]
+	a.step = 0
+}
+
+// Evidence returns a copy of all observed evidence in observation
+// order (used for session persistence and graph building).
+func (a *Accumulator) Evidence() []Evidence {
+	out := make([]Evidence, len(a.evidence))
+	copy(out, a.evidence)
+	return out
+}
+
+// Mass returns the accumulated relevance mass per shot at the current
+// step. Shots whose net mass is zero are omitted; negative mass (from
+// explicit negative ratings) is preserved so downstream consumers can
+// demote.
+func (a *Accumulator) Mass() map[string]float64 {
+	m := make(map[string]float64)
+	for _, ev := range a.evidence {
+		w := a.scheme.Weight(ev, a.step)
+		if w != 0 {
+			m[ev.ShotID] += w
+		}
+	}
+	for id, w := range m {
+		if w == 0 {
+			delete(m, id)
+		}
+	}
+	return m
+}
+
+// PositiveShots returns the shot IDs with positive mass, strongest
+// first (ties by ID for determinism).
+func (a *Accumulator) PositiveShots() []string {
+	mass := a.Mass()
+	ids := make([]string, 0, len(mass))
+	for id, w := range mass {
+		if w > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if mass[ids[i]] != mass[ids[j]] {
+			return mass[ids[i]] > mass[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}

@@ -1,0 +1,128 @@
+package feedback
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/search"
+	"repro/internal/text"
+)
+
+// Expander performs Rocchio-style query expansion from implicit
+// relevance mass: terms characteristic of positively-weighted shots
+// are added to the query with fractional weights, adapting the
+// retrieval model to the inferred interest.
+type Expander struct {
+	analyzer *text.Analyzer
+	// docText resolves a shot's transcript.
+	docText func(shotID string) (string, bool)
+	// df and numDocs supply idf statistics (typically backed by the
+	// index).
+	df      func(term string) int
+	numDocs int
+}
+
+// NewExpander wires an expander. analyzer may be nil (default
+// pipeline). docText and df must be non-nil.
+func NewExpander(analyzer *text.Analyzer, docText func(string) (string, bool),
+	df func(string) int, numDocs int) *Expander {
+	if analyzer == nil {
+		analyzer = text.NewAnalyzer()
+	}
+	return &Expander{analyzer: analyzer, docText: docText, df: df, numDocs: numDocs}
+}
+
+// ExpanderForIndex builds the usual expander over an index and a
+// transcript lookup.
+func ExpanderForIndex(ix *index.Index, analyzer *text.Analyzer,
+	docText func(string) (string, bool)) *Expander {
+	return NewExpander(analyzer, docText,
+		func(term string) int { return ix.DocFreq(index.FieldText, term) },
+		ix.NumDocs())
+}
+
+// ExpansionTerm is one candidate expansion term with its Rocchio
+// score (pre-normalisation).
+type ExpansionTerm struct {
+	Term  string
+	Score float64
+}
+
+// Candidates scores expansion candidates from the per-shot mass map:
+// score(t) = Σ_shots mass(s) · (1+log tf(t,s)) · idf(t), excluding
+// terms already present in base. Results are sorted by descending
+// score, ties by term.
+func (x *Expander) Candidates(base search.Query, mass map[string]float64) []ExpansionTerm {
+	inBase := make(map[string]bool, len(base.Terms))
+	for _, t := range base.Terms {
+		inBase[t.Term] = true
+	}
+	scores := map[string]float64{}
+	// Deterministic shot order.
+	ids := make([]string, 0, len(mass))
+	for id := range mass {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		m := mass[id]
+		if m == 0 {
+			continue
+		}
+		txt, ok := x.docText(id)
+		if !ok {
+			continue
+		}
+		for term, tf := range x.analyzer.TermCounts(txt) {
+			if inBase[term] {
+				continue
+			}
+			df := x.df(term)
+			if df == 0 {
+				continue
+			}
+			idf := math.Log(float64(x.numDocs+1) / float64(df))
+			scores[term] += m * (1 + math.Log(float64(tf))) * idf
+		}
+	}
+	out := make([]ExpansionTerm, 0, len(scores))
+	for t, s := range scores {
+		out = append(out, ExpansionTerm{Term: t, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Term < out[j].Term
+	})
+	return out
+}
+
+// Expand returns a new query: the base terms (weights untouched) plus
+// up to topN positive expansion terms, their weights normalised so the
+// strongest carries beta. Terms with non-positive Rocchio scores are
+// never added. beta <= 0 or topN <= 0 returns the base unchanged.
+func (x *Expander) Expand(base search.Query, mass map[string]float64, topN int, beta float64) search.Query {
+	out := search.Query{Field: base.Field, Terms: append([]search.WeightedTerm(nil), base.Terms...)}
+	if topN <= 0 || beta <= 0 || len(mass) == 0 {
+		return out
+	}
+	cands := x.Candidates(base, mass)
+	if len(cands) == 0 || cands[0].Score <= 0 {
+		return out
+	}
+	maxScore := cands[0].Score
+	added := 0
+	for _, c := range cands {
+		if added >= topN || c.Score <= 0 {
+			break
+		}
+		out.Terms = append(out.Terms, search.WeightedTerm{
+			Term:   c.Term,
+			Weight: beta * c.Score / maxScore,
+		})
+		added++
+	}
+	return out
+}

@@ -1,0 +1,420 @@
+package feedback
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ilog"
+	"repro/internal/index"
+	"repro/internal/search"
+	"repro/internal/text"
+)
+
+func ev(action ilog.Action, shot string, step int) Evidence {
+	return Evidence{ShotID: shot, Action: action, Step: step, Seconds: 5, ShotSeconds: 10}
+}
+
+func TestFromEvent(t *testing.T) {
+	e := ilog.Event{SessionID: "s", Action: ilog.ActionPlay, ShotID: "sh1", Seconds: 7, Step: 2, Value: 0}
+	evd, ok := FromEvent(e, 14)
+	if !ok || evd.ShotID != "sh1" || evd.Seconds != 7 || evd.ShotSeconds != 14 || evd.Step != 2 {
+		t.Errorf("FromEvent = %+v, %v", evd, ok)
+	}
+	if _, ok := FromEvent(ilog.Event{Action: ilog.ActionQuery, Query: "x", SessionID: "s"}, 0); ok {
+		t.Error("query event should not convert")
+	}
+}
+
+func TestBinaryScheme(t *testing.T) {
+	b := Binary{}
+	if b.Weight(ev(ilog.ActionClickKeyframe, "s", 0), 0) != 1 {
+		t.Error("click weight != 1")
+	}
+	if b.Weight(ev(ilog.ActionBrowse, "s", 0), 0) != 1 {
+		t.Error("browse weight != 1")
+	}
+	neg := Evidence{ShotID: "s", Action: ilog.ActionRate, Rating: -1}
+	if b.Weight(neg, 0) != -1 {
+		t.Error("negative rating weight != -1")
+	}
+}
+
+func TestGradedOrdering(t *testing.T) {
+	g := DefaultGraded()
+	click := g.Weight(ev(ilog.ActionClickKeyframe, "s", 0), 0)
+	play := g.Weight(ev(ilog.ActionPlay, "s", 0), 0)
+	browse := g.Weight(ev(ilog.ActionBrowse, "s", 0), 0)
+	if !(click > browse && play > browse) {
+		t.Errorf("expected click/play >> browse: %v %v %v", click, play, browse)
+	}
+	pos := Evidence{ShotID: "s", Action: ilog.ActionRate, Rating: 1}
+	if g.Weight(pos, 0) <= click {
+		t.Error("explicit positive should outweigh any implicit")
+	}
+}
+
+func TestDwellNormalised(t *testing.T) {
+	d := NewDwellNormalised()
+	full := Evidence{ShotID: "s", Action: ilog.ActionPlay, Seconds: 10, ShotSeconds: 10}
+	tenth := Evidence{ShotID: "s", Action: ilog.ActionPlay, Seconds: 1, ShotSeconds: 10}
+	over := Evidence{ShotID: "s", Action: ilog.ActionPlay, Seconds: 50, ShotSeconds: 10}
+	if d.Weight(full, 0) <= d.Weight(tenth, 0) {
+		t.Error("watching more should weigh more")
+	}
+	if d.Weight(over, 0) != d.Weight(full, 0) {
+		t.Error("overplay should cap at full weight")
+	}
+	// Non-play actions pass through.
+	if d.Weight(ev(ilog.ActionClickKeyframe, "s", 0), 0) != DefaultGraded().Weight(ev(ilog.ActionClickKeyframe, "s", 0), 0) {
+		t.Error("non-play should match graded")
+	}
+	// Unknown shot length falls back to the 10s assumption.
+	unk := Evidence{ShotID: "s", Action: ilog.ActionPlay, Seconds: 5, ShotSeconds: 0}
+	if w := d.Weight(unk, 0); w <= 0 {
+		t.Errorf("unknown length weight = %v", w)
+	}
+}
+
+func TestOstensiveDecay(t *testing.T) {
+	o, err := NewOstensive(Binary{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := o.Weight(ev(ilog.ActionClickKeyframe, "s", 5), 5)
+	aged2 := o.Weight(ev(ilog.ActionClickKeyframe, "s", 3), 5)
+	aged4 := o.Weight(ev(ilog.ActionClickKeyframe, "s", 1), 5)
+	if math.Abs(fresh-1) > 1e-12 {
+		t.Errorf("fresh = %v, want 1", fresh)
+	}
+	if math.Abs(aged2-0.5) > 1e-12 {
+		t.Errorf("one half-life = %v, want 0.5", aged2)
+	}
+	if math.Abs(aged4-0.25) > 1e-12 {
+		t.Errorf("two half-lives = %v, want 0.25", aged4)
+	}
+	// Future evidence (clock skew) is not amplified.
+	future := o.Weight(ev(ilog.ActionClickKeyframe, "s", 9), 5)
+	if future > 1 {
+		t.Errorf("future evidence weight = %v", future)
+	}
+	if _, err := NewOstensive(nil, 0); err == nil {
+		t.Error("zero half-life accepted")
+	}
+	if o2, _ := NewOstensive(nil, 1); o2.Inner == nil {
+		t.Error("nil inner should default")
+	}
+}
+
+// Property: ostensive weight decays monotonically with age.
+func TestPropertyOstensiveMonotone(t *testing.T) {
+	o, _ := NewOstensive(Binary{}, 3)
+	f := func(age1, age2 uint8) bool {
+		a1, a2 := int(age1%50), int(age2%50)
+		if a1 > a2 {
+			a1, a2 = a2, a1
+		}
+		w1 := o.Weight(ev(ilog.ActionPlay, "s", 100-a1), 100)
+		w2 := o.Weight(ev(ilog.ActionPlay, "s", 100-a2), 100)
+		return w1 >= w2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLearnWeights(t *testing.T) {
+	events := []ilog.Event{
+		{SessionID: "s", Action: ilog.ActionClickKeyframe, ShotID: "rel1", TopicID: 0},
+		{SessionID: "s", Action: ilog.ActionClickKeyframe, ShotID: "rel2", TopicID: 0},
+		{SessionID: "s", Action: ilog.ActionClickKeyframe, ShotID: "non1", TopicID: 0},
+		{SessionID: "s", Action: ilog.ActionBrowse, ShotID: "non1", TopicID: 0},
+		{SessionID: "s", Action: ilog.ActionBrowse, ShotID: "non2", TopicID: 0},
+		{SessionID: "s", Action: ilog.ActionBrowse, ShotID: "rel1", TopicID: 0},
+	}
+	oracle := func(_ int, shot string) bool { return strings.HasPrefix(shot, "rel") }
+	l := LearnWeights(events, oracle, 0)
+	if l.Weights[ilog.ActionClickKeyframe] <= l.Weights[ilog.ActionBrowse] {
+		t.Errorf("click %v should outweigh browse %v",
+			l.Weights[ilog.ActionClickKeyframe], l.Weights[ilog.ActionBrowse])
+	}
+	// Baseline shift can zero weak indicators but never goes negative.
+	l = LearnWeights(events, oracle, 0.5)
+	for a, w := range l.Weights {
+		if w < 0 {
+			t.Errorf("negative learned weight for %s: %v", a, w)
+		}
+	}
+	if l.Name() == "" {
+		t.Error("empty name")
+	}
+	neg := Evidence{ShotID: "s", Action: ilog.ActionRate, Rating: -1}
+	if l.Weight(neg, 0) >= 0 {
+		t.Error("learned scheme should pass through explicit negatives")
+	}
+}
+
+func TestAccumulatorMass(t *testing.T) {
+	a := NewAccumulator(Binary{})
+	if err := a.Observe(ev(ilog.ActionClickKeyframe, "sh1", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Observe(ev(ilog.ActionPlay, "sh1", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Observe(ev(ilog.ActionBrowse, "sh2", 0)); err != nil {
+		t.Fatal(err)
+	}
+	mass := a.Mass()
+	if mass["sh1"] != 2 || mass["sh2"] != 1 {
+		t.Errorf("mass = %v", mass)
+	}
+	if a.Len() != 3 {
+		t.Errorf("Len = %d", a.Len())
+	}
+	if err := a.Observe(Evidence{}); err == nil {
+		t.Error("empty evidence accepted")
+	}
+	a.Reset()
+	if a.Len() != 0 || len(a.Mass()) != 0 || a.Step() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestAccumulatorNegativeCancels(t *testing.T) {
+	a := NewAccumulator(Binary{})
+	a.Observe(ev(ilog.ActionClickKeyframe, "sh1", 0))
+	a.Observe(Evidence{ShotID: "sh1", Action: ilog.ActionRate, Rating: -1})
+	if m := a.Mass(); len(m) != 0 {
+		t.Errorf("cancelled shot still has mass: %v", m)
+	}
+}
+
+func TestAccumulatorStepTracking(t *testing.T) {
+	a := NewAccumulator(nil) // default graded
+	a.Observe(ev(ilog.ActionPlay, "sh1", 3))
+	if a.Step() != 3 {
+		t.Errorf("step should follow evidence: %d", a.Step())
+	}
+	a.AdvanceStep()
+	if a.Step() != 4 {
+		t.Errorf("AdvanceStep: %d", a.Step())
+	}
+}
+
+func TestAccumulatorOstensiveRecency(t *testing.T) {
+	o, _ := NewOstensive(Binary{}, 1)
+	a := NewAccumulator(o)
+	a.Observe(ev(ilog.ActionClickKeyframe, "old", 0))
+	a.Observe(ev(ilog.ActionClickKeyframe, "new", 4))
+	mass := a.Mass()
+	if mass["new"] <= mass["old"] {
+		t.Errorf("recent evidence should dominate: %v", mass)
+	}
+}
+
+func TestPositiveShotsOrdering(t *testing.T) {
+	a := NewAccumulator(Binary{})
+	a.Observe(ev(ilog.ActionClickKeyframe, "b", 0))
+	a.Observe(ev(ilog.ActionClickKeyframe, "b", 0))
+	a.Observe(ev(ilog.ActionClickKeyframe, "a", 0))
+	a.Observe(ev(ilog.ActionClickKeyframe, "c", 0))
+	a.Observe(Evidence{ShotID: "neg", Action: ilog.ActionRate, Rating: -1})
+	got := a.PositiveShots()
+	want := []string{"b", "a", "c"}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("PositiveShots = %v, want %v", got, want)
+	}
+}
+
+// ---- expansion ----
+
+func expanderFixture(t *testing.T) (*Expander, *search.Engine, map[string]string) {
+	t.Helper()
+	docs := map[string]string{
+		"sh1": "stadium goal striker celebration wembley",
+		"sh2": "stadium crowd singing anthem",
+		"sh3": "budget chancellor treasury deficit",
+		"sh4": "goal replay referee whistle",
+	}
+	an := text.NewAnalyzer()
+	b := index.NewBuilder()
+	ids := make([]string, 0, len(docs))
+	for id := range docs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if err := b.AddDocument(index.NewDocument(id).AddTerms(index.FieldText, an.Terms(docs[id])...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := b.Build()
+	e := search.NewEngine(ix, an)
+	x := ExpanderForIndex(ix, an, func(id string) (string, bool) {
+		s, ok := docs[id]
+		return s, ok
+	})
+	return x, e, docs
+}
+
+func TestExpandAddsTopicalTerms(t *testing.T) {
+	x, e, _ := expanderFixture(t)
+	base := e.ParseText("football")
+	mass := map[string]float64{"sh1": 1.0, "sh4": 0.5}
+	q := x.Expand(base, mass, 4, 0.5)
+	if len(q.Terms) != len(base.Terms)+4 {
+		t.Fatalf("expanded to %d terms, want %d", len(q.Terms), len(base.Terms)+4)
+	}
+	terms := map[string]float64{}
+	maxW := 0.0
+	for _, wt := range q.Terms[len(base.Terms):] {
+		terms[wt.Term] = wt.Weight
+		if wt.Weight > maxW {
+			maxW = wt.Weight
+		}
+	}
+	// "goal" appears in both positive shots: must be among the top-4
+	// expansions (the positive shots' singleton terms may outscore it
+	// on idf, but it cannot be outside the top 4).
+	if w, ok := terms[text.Stem("goal")]; !ok {
+		t.Errorf("goal not added: %v", terms)
+	} else if w <= 0 || w > 0.5+1e-12 {
+		t.Errorf("goal weight = %v, want in (0, 0.5]", w)
+	}
+	// The strongest expansion term is normalised to exactly beta.
+	if math.Abs(maxW-0.5) > 1e-12 {
+		t.Errorf("strongest expansion weight = %v, want 0.5", maxW)
+	}
+	// Budget vocabulary must not appear.
+	if _, ok := terms[text.Stem("chancellor")]; ok {
+		t.Error("unrelated term added")
+	}
+}
+
+func TestExpandExcludesBaseTerms(t *testing.T) {
+	x, e, _ := expanderFixture(t)
+	base := e.ParseText("goal")
+	q := x.Expand(base, map[string]float64{"sh1": 1}, 5, 0.5)
+	seen := map[string]int{}
+	for _, wt := range q.Terms {
+		seen[wt.Term]++
+	}
+	if seen[text.Stem("goal")] != 1 {
+		t.Errorf("base term duplicated: %v", seen)
+	}
+}
+
+func TestExpandNoOpCases(t *testing.T) {
+	x, e, _ := expanderFixture(t)
+	base := e.ParseText("goal stadium")
+	for _, q := range []search.Query{
+		x.Expand(base, nil, 5, 0.5),
+		x.Expand(base, map[string]float64{"sh1": 1}, 0, 0.5),
+		x.Expand(base, map[string]float64{"sh1": 1}, 5, 0),
+		x.Expand(base, map[string]float64{"missing": 1}, 5, 0.5),
+	} {
+		if len(q.Terms) != len(base.Terms) {
+			t.Errorf("no-op expansion changed query: %+v", q.Terms)
+		}
+	}
+	// Base query must not be mutated by expansion.
+	_ = x.Expand(base, map[string]float64{"sh1": 1}, 5, 0.5)
+	if len(base.Terms) != 2 {
+		t.Error("Expand mutated base query")
+	}
+}
+
+func TestExpandNegativeMassSuppresses(t *testing.T) {
+	x, e, _ := expanderFixture(t)
+	base := e.ParseText("football")
+	// sh3 negative: its unique vocabulary must not be suggested.
+	q := x.Expand(base, map[string]float64{"sh1": 1, "sh3": -2}, 10, 0.5)
+	for _, wt := range q.Terms {
+		if wt.Term == text.Stem("treasury") || wt.Term == text.Stem("deficit") {
+			t.Errorf("negatively-massed vocabulary added: %s", wt.Term)
+		}
+		if wt.Weight < 0 {
+			t.Errorf("negative expansion weight: %+v", wt)
+		}
+	}
+}
+
+func TestCandidatesDeterministic(t *testing.T) {
+	x, e, _ := expanderFixture(t)
+	base := e.ParseText("football")
+	mass := map[string]float64{"sh1": 1, "sh2": 1, "sh4": 1}
+	a := x.Candidates(base, mass)
+	b := x.Candidates(base, mass)
+	if len(a) == 0 {
+		t.Fatal("no candidates")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("candidate order unstable")
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i-1].Score < a[i].Score {
+			t.Error("candidates not sorted by score")
+		}
+	}
+}
+
+// Property: expanded query retains base weights exactly and never
+// exceeds topN additions, and expansion weights are in (0, beta].
+func TestPropertyExpandBounds(t *testing.T) {
+	x, e, docs := expanderFixture(t)
+	ids := make([]string, 0, len(docs))
+	for id := range docs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	f := func(massBits uint8, topN8 uint8, betaRaw uint8) bool {
+		base := e.ParseText("football goal")
+		mass := map[string]float64{}
+		for i, id := range ids {
+			if massBits&(1<<i) != 0 {
+				mass[id] = float64(i + 1)
+			}
+		}
+		topN := int(topN8 % 6)
+		beta := float64(betaRaw%10) / 10
+		q := x.Expand(base, mass, topN, beta)
+		if len(q.Terms) < len(base.Terms) || len(q.Terms) > len(base.Terms)+topN {
+			return false
+		}
+		for i, wt := range q.Terms[:len(base.Terms)] {
+			if wt != base.Terms[i] {
+				return false
+			}
+		}
+		for _, wt := range q.Terms[len(base.Terms):] {
+			if wt.Weight <= 0 || wt.Weight > beta+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAccumulatorMass(b *testing.B) {
+	o, _ := NewOstensive(nil, 2)
+	a := NewAccumulator(o)
+	for i := 0; i < 500; i++ {
+		a.Observe(Evidence{
+			ShotID: "sh" + string(rune('a'+i%26)), Action: ilog.ActionPlay,
+			Seconds: 5, ShotSeconds: 10, Step: i / 50,
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Mass()
+	}
+}

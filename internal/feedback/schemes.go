@@ -1,0 +1,214 @@
+package feedback
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/ilog"
+)
+
+// Scheme converts one piece of evidence into relevance mass. Schemes
+// are the object of the paper's RQ2 ("how these features have to be
+// weighted"); the T3 experiment sweeps the implementations below.
+type Scheme interface {
+	// Name identifies the scheme in experiment tables.
+	Name() string
+	// Weight returns the relevance mass of ev when the session is at
+	// currentStep. Positive favours the shot; negative demotes it.
+	Weight(ev Evidence, currentStep int) float64
+}
+
+// Binary weighs every shot-directed indicator equally (the naive
+// baseline scheme): any implicit action counts 1, explicit ratings
+// count ±1.
+type Binary struct{}
+
+// Name implements Scheme.
+func (Binary) Name() string { return "binary" }
+
+// Weight implements Scheme.
+func (Binary) Weight(ev Evidence, _ int) float64 {
+	switch ev.Action {
+	case ilog.ActionRate:
+		return float64(sign(ev.Rating))
+	case ActionSkip:
+		return -1
+	}
+	return 1
+}
+
+// Graded assigns each indicator a fixed weight reflecting its assumed
+// reliability. The default table encodes the qualitative ordering of
+// the paper's §2.1 discussion: starting playback from a keyframe is
+// strong, browsing past something is barely evidence.
+type Graded struct {
+	// Weights maps implicit actions to their mass; explicit ratings
+	// use RateWeight * sign.
+	Weights    map[ilog.Action]float64
+	RateWeight float64
+	name       string
+}
+
+// DefaultGraded returns the default graded scheme. The skip-above
+// entry only fires on evidence synthesised by ApplySkipAbove.
+func DefaultGraded() *Graded {
+	return &Graded{
+		Weights: map[ilog.Action]float64{
+			ilog.ActionClickKeyframe: 0.8,
+			ilog.ActionPlay:          0.7,
+			ilog.ActionHighlight:     0.5,
+			ilog.ActionSlide:         0.4,
+			ilog.ActionBrowse:        0.1,
+			ActionSkip:               -0.2,
+		},
+		RateWeight: 1.5,
+		name:       "graded",
+	}
+}
+
+// Name implements Scheme.
+func (g *Graded) Name() string {
+	if g.name == "" {
+		return "graded(custom)"
+	}
+	return g.name
+}
+
+// Weight implements Scheme.
+func (g *Graded) Weight(ev Evidence, _ int) float64 {
+	if ev.Action == ilog.ActionRate {
+		return g.RateWeight * float64(sign(ev.Rating))
+	}
+	return g.Weights[ev.Action]
+}
+
+// DwellNormalised refines the graded scheme for play events: mass
+// scales with the fraction of the shot actually watched, addressing
+// the Kelly & Belkin critique that absolute dwell time is misleading.
+type DwellNormalised struct {
+	Base *Graded
+}
+
+// NewDwellNormalised wraps the default graded table.
+func NewDwellNormalised() *DwellNormalised {
+	return &DwellNormalised{Base: DefaultGraded()}
+}
+
+// Name implements Scheme.
+func (d *DwellNormalised) Name() string { return "dwell-normalised" }
+
+// Weight implements Scheme.
+func (d *DwellNormalised) Weight(ev Evidence, step int) float64 {
+	w := d.Base.Weight(ev, step)
+	if ev.Action != ilog.ActionPlay {
+		return w
+	}
+	var frac float64
+	if ev.ShotSeconds > 0 {
+		frac = ev.Seconds / ev.ShotSeconds
+	} else {
+		// Unknown shot length: assume a typical 10s news shot.
+		frac = ev.Seconds / 10
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	return w * frac
+}
+
+// Ostensive applies Campbell & van Rijsbergen's ostensive discount on
+// top of an inner scheme: evidence loses half its mass every HalfLife
+// session steps, modelling drifting information needs.
+type Ostensive struct {
+	Inner Scheme
+	// HalfLife is the evidence half-life in session steps; must be
+	// positive.
+	HalfLife float64
+}
+
+// NewOstensive wraps inner (nil selects the default graded scheme).
+func NewOstensive(inner Scheme, halfLife float64) (*Ostensive, error) {
+	if halfLife <= 0 {
+		return nil, fmt.Errorf("feedback: ostensive half-life must be positive, got %v", halfLife)
+	}
+	if inner == nil {
+		inner = DefaultGraded()
+	}
+	return &Ostensive{Inner: inner, HalfLife: halfLife}, nil
+}
+
+// Name implements Scheme.
+func (o *Ostensive) Name() string {
+	return fmt.Sprintf("ostensive(h=%g,%s)", o.HalfLife, o.Inner.Name())
+}
+
+// Weight implements Scheme.
+func (o *Ostensive) Weight(ev Evidence, currentStep int) float64 {
+	age := float64(currentStep - ev.Step)
+	if age < 0 {
+		age = 0
+	}
+	return o.Inner.Weight(ev, currentStep) * math.Pow(0.5, age/o.HalfLife)
+}
+
+// Learned weights indicators by their measured reliability: the
+// per-indicator precision from analysed logs, optionally shifted by a
+// baseline so uninformative indicators get zero mass. This is the
+// "which features are stronger" answer operationalised.
+type Learned struct {
+	Weights    map[ilog.Action]float64
+	RateWeight float64
+}
+
+// LearnWeights estimates indicator weights from a log and a relevance
+// oracle: weight = max(0, precision - baseline). baseline is typically
+// the prior probability that a random examined shot is relevant
+// (pass 0 for raw precisions).
+func LearnWeights(events []ilog.Event, oracle ilog.RelevanceOracle, baseline float64) *Learned {
+	stats := ilog.AnalyzeIndicators(events, oracle)
+	l := &Learned{Weights: map[ilog.Action]float64{}, RateWeight: 1.5}
+	for _, st := range stats {
+		if st.Action == ilog.ActionRate {
+			continue
+		}
+		w := st.Precision - baseline
+		if w < 0 {
+			w = 0
+		}
+		l.Weights[st.Action] = w
+	}
+	return l
+}
+
+// Name implements Scheme.
+func (l *Learned) Name() string {
+	parts := make([]string, 0, len(l.Weights))
+	for a := range l.Weights {
+		parts = append(parts, string(a))
+	}
+	sort.Strings(parts)
+	return "learned(" + strings.Join(parts, ",") + ")"
+}
+
+// Weight implements Scheme.
+func (l *Learned) Weight(ev Evidence, _ int) float64 {
+	if ev.Action == ilog.ActionRate {
+		return l.RateWeight * float64(sign(ev.Rating))
+	}
+	return l.Weights[ev.Action]
+}
+
+func sign(v int) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}

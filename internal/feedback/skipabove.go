@@ -1,0 +1,78 @@
+package feedback
+
+import (
+	"sort"
+
+	"repro/internal/ilog"
+)
+
+// ActionSkip is a *synthesised* evidence kind produced by
+// ApplySkipAbove — it never appears in raw interaction logs. It
+// represents Joachims' "click > skip above" heuristic: a result the
+// user demonstrably examined (browsed past) at a rank above one they
+// then clicked carries negative relevance evidence.
+const ActionSkip ilog.Action = "skip_above"
+
+// ApplySkipAbove reinterprets a session's event stream under the
+// skip-above heuristic and returns the derived evidence list:
+//
+//   - browse events at ranks above the step's deepest click, whose
+//     shot was not itself clicked in that step, become ActionSkip
+//     evidence (negative under the schemes);
+//   - every other shot-directed event converts as usual.
+//
+// shotSeconds resolves shot durations for dwell normalisation (may be
+// nil). The input order is preserved within each step.
+func ApplySkipAbove(events []ilog.Event, shotSeconds func(string) float64) []Evidence {
+	secs := shotSeconds
+	if secs == nil {
+		secs = func(string) float64 { return 0 }
+	}
+	// Group indices by step, preserving order.
+	steps := map[int][]int{}
+	for i, e := range events {
+		steps[e.Step] = append(steps[e.Step], i)
+	}
+	stepKeys := make([]int, 0, len(steps))
+	for s := range steps {
+		stepKeys = append(stepKeys, s)
+	}
+	sort.Ints(stepKeys)
+
+	var out []Evidence
+	for _, step := range stepKeys {
+		idxs := steps[step]
+		// Deepest clicked rank and the clicked shots of this step.
+		deepestClick := -1
+		clicked := map[string]bool{}
+		for _, i := range idxs {
+			e := events[i]
+			if e.Action == ilog.ActionClickKeyframe && e.ShotID != "" {
+				clicked[e.ShotID] = true
+				if e.Rank > deepestClick {
+					deepestClick = e.Rank
+				}
+			}
+		}
+		for _, i := range idxs {
+			e := events[i]
+			if e.ShotID == "" {
+				continue
+			}
+			if e.Action == ilog.ActionBrowse && deepestClick >= 0 &&
+				e.Rank >= 0 && e.Rank < deepestClick && !clicked[e.ShotID] {
+				out = append(out, Evidence{
+					ShotID:      e.ShotID,
+					Action:      ActionSkip,
+					ShotSeconds: secs(e.ShotID),
+					Step:        e.Step,
+				})
+				continue
+			}
+			if ev, ok := FromEvent(e, secs(e.ShotID)); ok {
+				out = append(out, ev)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package feedback
+
+import (
+	"testing"
+
+	"repro/internal/ilog"
+)
+
+func skipFixtureEvents() []ilog.Event {
+	// Step 0: user browses ranks 0..3, clicks rank 2.
+	// -> ranks 0 and 1 are skips; rank 2 click+browse; rank 3 plain browse.
+	return []ilog.Event{
+		{SessionID: "s", Step: 0, Action: ilog.ActionBrowse, ShotID: "a", Rank: 0},
+		{SessionID: "s", Step: 0, Action: ilog.ActionBrowse, ShotID: "b", Rank: 1},
+		{SessionID: "s", Step: 0, Action: ilog.ActionBrowse, ShotID: "c", Rank: 2},
+		{SessionID: "s", Step: 0, Action: ilog.ActionClickKeyframe, ShotID: "c", Rank: 2},
+		{SessionID: "s", Step: 0, Action: ilog.ActionPlay, ShotID: "c", Rank: 2, Seconds: 9},
+		{SessionID: "s", Step: 0, Action: ilog.ActionBrowse, ShotID: "d", Rank: 3},
+		// Step 1: browsing with no click at all -> no skips.
+		{SessionID: "s", Step: 1, Action: ilog.ActionBrowse, ShotID: "e", Rank: 0},
+	}
+}
+
+func TestApplySkipAboveReinterpretation(t *testing.T) {
+	evidence := ApplySkipAbove(skipFixtureEvents(), func(string) float64 { return 10 })
+	byShot := map[string][]ilog.Action{}
+	for _, ev := range evidence {
+		byShot[ev.ShotID] = append(byShot[ev.ShotID], ev.Action)
+	}
+	for _, shot := range []string{"a", "b"} {
+		if len(byShot[shot]) != 1 || byShot[shot][0] != ActionSkip {
+			t.Errorf("shot %s should be a single skip, got %v", shot, byShot[shot])
+		}
+	}
+	// The clicked shot keeps its positive evidence (browse+click+play).
+	if len(byShot["c"]) != 3 {
+		t.Errorf("clicked shot evidence = %v", byShot["c"])
+	}
+	for _, a := range byShot["c"] {
+		if a == ActionSkip {
+			t.Error("clicked shot marked as skip")
+		}
+	}
+	// Below the click: plain browse.
+	if len(byShot["d"]) != 1 || byShot["d"][0] != ilog.ActionBrowse {
+		t.Errorf("below-click shot = %v", byShot["d"])
+	}
+	// Step without clicks: browse stays browse.
+	if len(byShot["e"]) != 1 || byShot["e"][0] != ilog.ActionBrowse {
+		t.Errorf("clickless step shot = %v", byShot["e"])
+	}
+}
+
+func TestSkipEvidenceIsNegativeUnderSchemes(t *testing.T) {
+	skip := Evidence{ShotID: "x", Action: ActionSkip}
+	if w := (Binary{}).Weight(skip, 0); w >= 0 {
+		t.Errorf("binary skip weight = %v", w)
+	}
+	if w := DefaultGraded().Weight(skip, 0); w >= 0 {
+		t.Errorf("graded skip weight = %v", w)
+	}
+}
+
+func TestSkipAboveAccumulatesNegativeMass(t *testing.T) {
+	acc := NewAccumulator(DefaultGraded())
+	for _, ev := range ApplySkipAbove(skipFixtureEvents(), nil) {
+		if err := acc.Observe(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mass := acc.Mass()
+	if mass["a"] >= 0 || mass["b"] >= 0 {
+		t.Errorf("skipped shots should carry negative mass: %v", mass)
+	}
+	if mass["c"] <= 0 {
+		t.Errorf("clicked shot should stay positive: %v", mass)
+	}
+	pos := acc.PositiveShots()
+	for _, id := range pos {
+		if id == "a" || id == "b" {
+			t.Error("skipped shot in positive set")
+		}
+	}
+}
+
+func TestApplySkipAboveEmptyAndNil(t *testing.T) {
+	if out := ApplySkipAbove(nil, nil); len(out) != 0 {
+		t.Errorf("nil events produced evidence: %v", out)
+	}
+	// Query events (no shot) are dropped.
+	out := ApplySkipAbove([]ilog.Event{
+		{SessionID: "s", Action: ilog.ActionQuery, Query: "x", Rank: -1},
+	}, nil)
+	if len(out) != 0 {
+		t.Errorf("query event produced evidence: %v", out)
+	}
+}
+
+func TestApplySkipAboveStepIsolation(t *testing.T) {
+	// A click in step 1 must not convert step 0 browses into skips.
+	events := []ilog.Event{
+		{SessionID: "s", Step: 0, Action: ilog.ActionBrowse, ShotID: "a", Rank: 0},
+		{SessionID: "s", Step: 1, Action: ilog.ActionClickKeyframe, ShotID: "b", Rank: 5},
+	}
+	out := ApplySkipAbove(events, nil)
+	for _, ev := range out {
+		if ev.ShotID == "a" && ev.Action == ActionSkip {
+			t.Error("cross-step skip synthesised")
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package ilog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IndicatorStats summarises how well one action type predicted
+// relevance in a log: of all events of this action, how many targeted
+// a truly relevant shot. This per-indicator precision is the paper's
+// RQ1 quantity ("which implicit feedback ... can be considered as a
+// positive indicator of relevance").
+type IndicatorStats struct {
+	Action     Action
+	Count      int
+	OnRelevant int
+	// Precision = OnRelevant / Count.
+	Precision float64
+	// MeanSeconds is the mean Seconds over the action's events (play
+	// durations, slide spans); zero when not applicable.
+	MeanSeconds float64
+	// MeanRank is the mean result rank at which the action occurred.
+	MeanRank float64
+}
+
+// RelevanceOracle answers whether a shot is relevant to a topic; the
+// experiment harness backs it with the synthetic qrels.
+type RelevanceOracle func(topicID int, shotID string) bool
+
+// AnalyzeIndicators computes per-action statistics over a log. Events
+// without a shot target (queries) are skipped. Results are ordered by
+// descending precision then action name, matching the paper-style
+// "which indicators are strongest" table.
+func AnalyzeIndicators(events []Event, oracle RelevanceOracle) []IndicatorStats {
+	type agg struct {
+		count, rel int
+		seconds    float64
+		rankSum    float64
+	}
+	aggs := map[Action]*agg{}
+	for _, e := range events {
+		if e.ShotID == "" {
+			continue
+		}
+		a := aggs[e.Action]
+		if a == nil {
+			a = &agg{}
+			aggs[e.Action] = a
+		}
+		a.count++
+		if oracle != nil && oracle(e.TopicID, e.ShotID) {
+			a.rel++
+		}
+		a.seconds += e.Seconds
+		a.rankSum += float64(e.Rank)
+	}
+	out := make([]IndicatorStats, 0, len(aggs))
+	for action, a := range aggs {
+		st := IndicatorStats{Action: action, Count: a.count, OnRelevant: a.rel}
+		if a.count > 0 {
+			st.Precision = float64(a.rel) / float64(a.count)
+			st.MeanSeconds = a.seconds / float64(a.count)
+			st.MeanRank = a.rankSum / float64(a.count)
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Precision != out[j].Precision {
+			return out[i].Precision > out[j].Precision
+		}
+		return out[i].Action < out[j].Action
+	})
+	return out
+}
+
+// SessionStats summarises one session's interaction volume: the
+// quantity axis on which the paper contrasts desktop and TV.
+type SessionStats struct {
+	SessionID      string
+	UserID         string
+	Interface      string
+	TopicID        int
+	Queries        int
+	ImplicitEvents int
+	ExplicitEvents int
+	TotalEvents    int
+	PlaySeconds    float64
+	Steps          int
+}
+
+// AnalyzeSessions computes per-session interaction statistics, keyed
+// and ordered by session ID.
+func AnalyzeSessions(events []Event) []SessionStats {
+	keys, groups := BySession(events)
+	out := make([]SessionStats, 0, len(keys))
+	for _, k := range keys {
+		st := SessionStats{SessionID: k, TopicID: -1}
+		maxStep := -1
+		for _, e := range groups[k] {
+			st.UserID = e.UserID
+			st.Interface = e.Interface
+			st.TopicID = e.TopicID
+			st.TotalEvents++
+			switch e.Action {
+			case ActionQuery:
+				st.Queries++
+			case ActionRate:
+				st.ExplicitEvents++
+			default:
+				st.ImplicitEvents++
+			}
+			if e.Action == ActionPlay {
+				st.PlaySeconds += e.Seconds
+			}
+			if e.Step > maxStep {
+				maxStep = e.Step
+			}
+		}
+		st.Steps = maxStep + 1
+		out = append(out, st)
+	}
+	return out
+}
+
+// MeanEventsPerSession averages interaction volumes over sessions,
+// returning (implicit, explicit, queries) means. Empty input is all
+// zeros.
+func MeanEventsPerSession(stats []SessionStats) (implicit, explicit, queries float64) {
+	if len(stats) == 0 {
+		return 0, 0, 0
+	}
+	for _, s := range stats {
+		implicit += float64(s.ImplicitEvents)
+		explicit += float64(s.ExplicitEvents)
+		queries += float64(s.Queries)
+	}
+	n := float64(len(stats))
+	return implicit / n, explicit / n, queries / n
+}
+
+// DwellBucket aggregates play events whose duration falls in
+// [Lo, Hi) seconds.
+type DwellBucket struct {
+	Lo, Hi     float64
+	Count      int
+	OnRelevant int
+	Precision  float64
+}
+
+// DwellAnalysis buckets play durations and measures, per bucket, how
+// often long-enough dwells indicate relevance — the Kelly & Belkin
+// question (F6).
+func DwellAnalysis(events []Event, oracle RelevanceOracle, edges []float64) ([]DwellBucket, error) {
+	if len(edges) < 2 {
+		return nil, fmt.Errorf("ilog: dwell analysis needs >= 2 bucket edges")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			return nil, fmt.Errorf("ilog: bucket edges must increase")
+		}
+	}
+	buckets := make([]DwellBucket, len(edges)-1)
+	for i := range buckets {
+		buckets[i] = DwellBucket{Lo: edges[i], Hi: edges[i+1]}
+	}
+	for _, e := range events {
+		if e.Action != ActionPlay {
+			continue
+		}
+		for i := range buckets {
+			if e.Seconds >= buckets[i].Lo && e.Seconds < buckets[i].Hi {
+				buckets[i].Count++
+				if oracle != nil && oracle(e.TopicID, e.ShotID) {
+					buckets[i].OnRelevant++
+				}
+				break
+			}
+		}
+	}
+	for i := range buckets {
+		if buckets[i].Count > 0 {
+			buckets[i].Precision = float64(buckets[i].OnRelevant) / float64(buckets[i].Count)
+		}
+	}
+	return buckets, nil
+}

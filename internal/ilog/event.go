@@ -1,0 +1,128 @@
+// Package ilog defines the interaction-log substrate: the event
+// vocabulary interfaces emit, a JSONL log format with reader/writer,
+// and the log analytics used to study which interface features are
+// implicit indicators of relevance — the paper's central methodology
+// ("to monitor the users' interactions and to analyse the resulting
+// logfiles").
+package ilog
+
+import (
+	"fmt"
+	"time"
+)
+
+// Action is one kind of user interaction with a retrieval interface.
+// The implicit set mirrors the indicator catalogue the paper takes
+// from Hopfgartner & Jose's interface survey; ActionRate is the
+// explicit channel (the TV remote's relevance keys).
+type Action string
+
+// The action vocabulary.
+const (
+	// ActionQuery: the user issued a text query.
+	ActionQuery Action = "query"
+	// ActionBrowse: the user browsed/paged through a result list.
+	ActionBrowse Action = "browse"
+	// ActionClickKeyframe: the user clicked a result keyframe to start
+	// playback — the strongest implicit indicator candidate.
+	ActionClickKeyframe Action = "click_keyframe"
+	// ActionPlay: the user played a shot; Seconds records for how long.
+	ActionPlay Action = "play"
+	// ActionSlide: the user scrubbed/slid through a video's timeline.
+	ActionSlide Action = "slide"
+	// ActionHighlight: the user highlighted/expanded additional
+	// metadata of a result entry.
+	ActionHighlight Action = "highlight"
+	// ActionRate: explicit relevance feedback; Value is +1/-1.
+	ActionRate Action = "rate"
+)
+
+// Actions lists the full vocabulary in a fixed order.
+func Actions() []Action {
+	return []Action{
+		ActionQuery, ActionBrowse, ActionClickKeyframe,
+		ActionPlay, ActionSlide, ActionHighlight, ActionRate,
+	}
+}
+
+// ImplicitActions lists the shot-directed implicit indicators (the
+// subject of RQ1).
+func ImplicitActions() []Action {
+	return []Action{
+		ActionBrowse, ActionClickKeyframe, ActionPlay,
+		ActionSlide, ActionHighlight,
+	}
+}
+
+// Valid reports whether a is part of the vocabulary.
+func (a Action) Valid() bool {
+	switch a {
+	case ActionQuery, ActionBrowse, ActionClickKeyframe, ActionPlay,
+		ActionSlide, ActionHighlight, ActionRate:
+		return true
+	}
+	return false
+}
+
+// Event is one logged interaction. JSON field names form the stable
+// log schema.
+type Event struct {
+	// Time of the interaction.
+	Time time.Time `json:"t"`
+	// SessionID groups the events of one search session.
+	SessionID string `json:"session"`
+	// UserID identifies the (simulated) user.
+	UserID string `json:"user"`
+	// Interface is the environment name ("desktop", "tv").
+	Interface string `json:"iface"`
+	// TopicID is the evaluation topic of the session (-1 outside
+	// evaluations).
+	TopicID int `json:"topic"`
+	// Step is the session iteration (query cycle) the event belongs to.
+	Step int `json:"step"`
+	// Action is the interaction kind.
+	Action Action `json:"action"`
+	// Query carries the query string for ActionQuery events.
+	Query string `json:"query,omitempty"`
+	// ShotID is the target shot for shot-directed actions.
+	ShotID string `json:"shot,omitempty"`
+	// Rank is the zero-based result-list rank of the target when the
+	// action occurred (-1 when not applicable).
+	Rank int `json:"rank"`
+	// Seconds is the duration for ActionPlay (how long the user
+	// watched) and ActionSlide (scrub span).
+	Seconds float64 `json:"seconds,omitempty"`
+	// Value is the explicit rating for ActionRate: +1 or -1.
+	Value int `json:"value,omitempty"`
+}
+
+// Validate checks schema invariants.
+func (e *Event) Validate() error {
+	if !e.Action.Valid() {
+		return fmt.Errorf("ilog: unknown action %q", e.Action)
+	}
+	if e.SessionID == "" {
+		return fmt.Errorf("ilog: event without session id")
+	}
+	switch e.Action {
+	case ActionQuery:
+		if e.Query == "" {
+			return fmt.Errorf("ilog: query event without query text")
+		}
+	case ActionRate:
+		if e.Value != 1 && e.Value != -1 {
+			return fmt.Errorf("ilog: rate event with value %d (want ±1)", e.Value)
+		}
+		if e.ShotID == "" {
+			return fmt.Errorf("ilog: rate event without shot id")
+		}
+	case ActionClickKeyframe, ActionPlay, ActionSlide, ActionHighlight:
+		if e.ShotID == "" {
+			return fmt.Errorf("ilog: %s event without shot id", e.Action)
+		}
+		if e.Seconds < 0 {
+			return fmt.Errorf("ilog: %s event with negative seconds", e.Action)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,287 @@
+package ilog
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func evt(session string, step int, action Action, shot string, mutate ...func(*Event)) Event {
+	e := Event{
+		Time:      time.Date(2007, 11, 5, 13, 0, 0, 0, time.UTC),
+		SessionID: session,
+		UserID:    "u1",
+		Interface: "desktop",
+		TopicID:   3,
+		Step:      step,
+		Action:    action,
+		ShotID:    shot,
+		Rank:      2,
+	}
+	if action == ActionQuery {
+		e.Query = "budget vote"
+		e.ShotID = ""
+	}
+	if action == ActionRate {
+		e.Value = 1
+	}
+	for _, m := range mutate {
+		m(&e)
+	}
+	return e
+}
+
+func TestEventValidate(t *testing.T) {
+	good := []Event{
+		evt("s1", 0, ActionQuery, ""),
+		evt("s1", 0, ActionClickKeyframe, "sh1"),
+		evt("s1", 0, ActionPlay, "sh1", func(e *Event) { e.Seconds = 12 }),
+		evt("s1", 0, ActionRate, "sh1"),
+		evt("s1", 0, ActionBrowse, ""),
+	}
+	for i, e := range good {
+		if err := e.Validate(); err != nil {
+			t.Errorf("good event %d rejected: %v", i, err)
+		}
+	}
+	bad := []Event{
+		evt("s1", 0, Action("bogus"), "sh1"),
+		evt("", 0, ActionQuery, ""),
+		evt("s1", 0, ActionQuery, "", func(e *Event) { e.Query = "" }),
+		evt("s1", 0, ActionRate, "sh1", func(e *Event) { e.Value = 3 }),
+		evt("s1", 0, ActionRate, "", func(e *Event) { e.ShotID = "" }),
+		evt("s1", 0, ActionPlay, ""),
+		evt("s1", 0, ActionPlay, "sh1", func(e *Event) { e.Seconds = -4 }),
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("bad event %d accepted", i)
+		}
+	}
+}
+
+func TestActionsVocabulary(t *testing.T) {
+	for _, a := range Actions() {
+		if !a.Valid() {
+			t.Errorf("listed action %q not valid", a)
+		}
+	}
+	for _, a := range ImplicitActions() {
+		if a == ActionQuery || a == ActionRate {
+			t.Errorf("implicit set contains %q", a)
+		}
+	}
+	if Action("nope").Valid() {
+		t.Error("invalid action passes Valid")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	events := []Event{
+		evt("s1", 0, ActionQuery, ""),
+		evt("s1", 0, ActionClickKeyframe, "sh1"),
+		evt("s1", 1, ActionPlay, "sh1", func(e *Event) { e.Seconds = 8.5 }),
+		evt("s2", 0, ActionRate, "sh9", func(e *Event) { e.Value = -1; e.Interface = "tv" }),
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteAll(events); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != len(events) {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, events)
+	}
+}
+
+func TestWriterRejectsInvalid(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	if err := w.Write(Event{}); err == nil {
+		t.Error("invalid event written")
+	}
+	err := w.WriteAll([]Event{evt("s", 0, ActionQuery, ""), {}})
+	if err == nil || !strings.Contains(err.Error(), "event 1") {
+		t.Errorf("WriteAll error = %v", err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{not json\n")); err == nil {
+		t.Error("garbage line accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"action":"bogus","session":"s"}` + "\n")); err == nil {
+		t.Error("invalid event accepted")
+	}
+	got, err := Read(strings.NewReader("\n\n"))
+	if err != nil || len(got) != 0 {
+		t.Errorf("blank lines: %v %v", got, err)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	events := []Event{evt("s1", 0, ActionQuery, ""), evt("s1", 0, ActionBrowse, "")}
+	path := filepath.Join(t.TempDir(), "log.jsonl")
+	if err := SaveFile(path, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("loaded %d events", len(got))
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestBySession(t *testing.T) {
+	events := []Event{
+		evt("s2", 0, ActionQuery, ""),
+		evt("s1", 0, ActionQuery, ""),
+		evt("s2", 1, ActionBrowse, ""),
+	}
+	keys, groups := BySession(events)
+	if !reflect.DeepEqual(keys, []string{"s1", "s2"}) {
+		t.Errorf("keys = %v", keys)
+	}
+	if len(groups["s2"]) != 2 || groups["s2"][1].Action != ActionBrowse {
+		t.Errorf("s2 group = %+v", groups["s2"])
+	}
+}
+
+func oracleRelOdd(topic int, shot string) bool {
+	// shots named sh<odd> are relevant
+	return len(shot) > 2 && (shot[len(shot)-1]-'0')%2 == 1
+}
+
+func TestAnalyzeIndicators(t *testing.T) {
+	events := []Event{
+		evt("s1", 0, ActionClickKeyframe, "sh1"), // relevant
+		evt("s1", 0, ActionClickKeyframe, "sh3"), // relevant
+		evt("s1", 0, ActionClickKeyframe, "sh2"), // not
+		evt("s1", 0, ActionHighlight, "sh2"),     // not
+		evt("s1", 0, ActionPlay, "sh1", func(e *Event) { e.Seconds = 10 }),
+		evt("s1", 0, ActionPlay, "sh2", func(e *Event) { e.Seconds = 2 }),
+	}
+	stats := AnalyzeIndicators(events, oracleRelOdd)
+	byAction := map[Action]IndicatorStats{}
+	for _, s := range stats {
+		byAction[s.Action] = s
+	}
+	click := byAction[ActionClickKeyframe]
+	if click.Count != 3 || click.OnRelevant != 2 {
+		t.Errorf("click stats = %+v", click)
+	}
+	if click.Precision < 0.66 || click.Precision > 0.67 {
+		t.Errorf("click precision = %v", click.Precision)
+	}
+	play := byAction[ActionPlay]
+	if play.MeanSeconds != 6 {
+		t.Errorf("play mean seconds = %v", play.MeanSeconds)
+	}
+	hl := byAction[ActionHighlight]
+	if hl.Precision != 0 {
+		t.Errorf("highlight precision = %v", hl.Precision)
+	}
+	// Sorted by precision descending.
+	for i := 1; i < len(stats); i++ {
+		if stats[i-1].Precision < stats[i].Precision {
+			t.Error("indicator stats not sorted")
+		}
+	}
+}
+
+func TestAnalyzeIndicatorsNilOracle(t *testing.T) {
+	events := []Event{evt("s1", 0, ActionClickKeyframe, "sh1")}
+	stats := AnalyzeIndicators(events, nil)
+	if len(stats) != 1 || stats[0].OnRelevant != 0 {
+		t.Errorf("nil oracle stats = %+v", stats)
+	}
+}
+
+func TestAnalyzeSessions(t *testing.T) {
+	events := []Event{
+		evt("s1", 0, ActionQuery, ""),
+		evt("s1", 0, ActionClickKeyframe, "sh1"),
+		evt("s1", 1, ActionPlay, "sh1", func(e *Event) { e.Seconds = 7 }),
+		evt("s1", 1, ActionRate, "sh1"),
+		evt("s2", 0, ActionQuery, "", func(e *Event) { e.Interface = "tv" }),
+	}
+	stats := AnalyzeSessions(events)
+	if len(stats) != 2 {
+		t.Fatalf("got %d sessions", len(stats))
+	}
+	s1 := stats[0]
+	if s1.SessionID != "s1" || s1.Queries != 1 || s1.ImplicitEvents != 2 || s1.ExplicitEvents != 1 {
+		t.Errorf("s1 stats = %+v", s1)
+	}
+	if s1.PlaySeconds != 7 || s1.Steps != 2 || s1.TotalEvents != 4 {
+		t.Errorf("s1 stats = %+v", s1)
+	}
+	imp, exp, q := MeanEventsPerSession(stats)
+	if imp != 1 || exp != 0.5 || q != 1 {
+		t.Errorf("means = %v %v %v", imp, exp, q)
+	}
+	i0, e0, q0 := MeanEventsPerSession(nil)
+	if i0 != 0 || e0 != 0 || q0 != 0 {
+		t.Error("empty means nonzero")
+	}
+}
+
+func TestDwellAnalysis(t *testing.T) {
+	events := []Event{
+		evt("s1", 0, ActionPlay, "sh1", func(e *Event) { e.Seconds = 2 }),  // rel, short
+		evt("s1", 0, ActionPlay, "sh2", func(e *Event) { e.Seconds = 3 }),  // not, short
+		evt("s1", 0, ActionPlay, "sh3", func(e *Event) { e.Seconds = 20 }), // rel, long
+		evt("s1", 0, ActionClickKeyframe, "sh1"),                           // ignored
+	}
+	buckets, err := DwellAnalysis(events, oracleRelOdd, []float64{0, 10, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buckets[0].Count != 2 || buckets[0].OnRelevant != 1 {
+		t.Errorf("bucket0 = %+v", buckets[0])
+	}
+	if buckets[1].Count != 1 || buckets[1].Precision != 1 {
+		t.Errorf("bucket1 = %+v", buckets[1])
+	}
+	if _, err := DwellAnalysis(events, oracleRelOdd, []float64{5}); err == nil {
+		t.Error("single edge accepted")
+	}
+	if _, err := DwellAnalysis(events, oracleRelOdd, []float64{5, 5}); err == nil {
+		t.Error("non-increasing edges accepted")
+	}
+}
+
+func BenchmarkWriteRead(b *testing.B) {
+	events := make([]Event, 500)
+	for i := range events {
+		events[i] = evt("s1", i/10, ActionClickKeyframe, "sh1")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteAll(events); err != nil {
+			b.Fatal(err)
+		}
+		w.Flush()
+		if _, err := Read(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package ilog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Writer streams events to an io.Writer as JSON Lines. It buffers;
+// call Flush (or Close on the convenience FileWriter) when done.
+type Writer struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write validates and appends one event.
+func (w *Writer) Write(e Event) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	if err := w.enc.Encode(&e); err != nil {
+		return fmt.Errorf("ilog: encode: %w", err)
+	}
+	w.n++
+	return nil
+}
+
+// WriteAll appends a batch, stopping at the first invalid event.
+func (w *Writer) WriteAll(events []Event) error {
+	for i, e := range events {
+		if err := w.Write(e); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Count reports how many events have been written.
+func (w *Writer) Count() int { return w.n }
+
+// Flush drains the buffer to the underlying writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Read parses a JSONL event stream, validating every event.
+func Read(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("ilog: line %d: %w", line, err)
+		}
+		if err := e.Validate(); err != nil {
+			return nil, fmt.Errorf("ilog: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ilog: read: %w", err)
+	}
+	return out, nil
+}
+
+// SaveFile writes events to path (atomically via temp file + rename).
+func SaveFile(path string, events []Event) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".ivrlog-*")
+	if err != nil {
+		return fmt.Errorf("ilog: save: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := NewWriter(tmp)
+	if err := w.WriteAll(events); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ilog: save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ilog: save: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("ilog: save: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads an event log from disk.
+func LoadFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ilog: load: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// BySession groups events by session ID; within each group the
+// original order is preserved. Group keys are returned sorted for
+// deterministic iteration.
+func BySession(events []Event) (keys []string, groups map[string][]Event) {
+	groups = make(map[string][]Event)
+	for _, e := range events {
+		groups[e.SessionID] = append(groups[e.SessionID], e)
+	}
+	keys = make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, groups
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

@@ -1,0 +1,77 @@
+package index
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestReadCorruptionFuzz flips random bits across serialised indexes
+// and requires Read to fail cleanly — an error, never a panic, and
+// never silent acceptance of payload damage.
+func TestReadCorruptionFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	ix, _ := randomIndex(r, 40, 30)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for trial := 0; trial < 200; trial++ {
+		corrupt := make([]byte, len(raw))
+		copy(corrupt, raw)
+		pos := r.Intn(len(corrupt))
+		corrupt[pos] ^= byte(1 << r.Intn(8))
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d: Read panicked on corruption at %d: %v", trial, pos, p)
+				}
+			}()
+			_, err := Read(bytes.NewReader(corrupt))
+			if pos >= len(magic) && pos < len(raw)-4 && err == nil {
+				t.Fatalf("trial %d: payload corruption at %d accepted", trial, pos)
+			}
+		}()
+	}
+}
+
+// TestReadRandomBytesFuzz feeds entirely random byte strings with a
+// valid magic prefix: decoding must never panic.
+func TestReadRandomBytesFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 12 + r.Intn(300)
+		data := make([]byte, n)
+		r.Read(data)
+		copy(data, magic[:])
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d: Read panicked on random bytes: %v", trial, p)
+				}
+			}()
+			// Random bytes virtually never carry a valid checksum, and
+			// even if they did, structural validation must hold.
+			_, _ = Read(bytes.NewReader(data))
+		}()
+	}
+}
+
+// TestPostingsIteratorTruncatedBuffer exercises the iterator's
+// defensive paths directly.
+func TestPostingsIteratorTruncatedBuffer(t *testing.T) {
+	// A buffer that ends mid-varint.
+	it := &PostingsIterator{buf: []byte{0x80}, remaining: 3}
+	if it.Next() {
+		t.Error("truncated varint yielded a posting")
+	}
+	if it.Next() {
+		t.Error("iterator did not stay exhausted")
+	}
+	// A doc delta present but tf missing.
+	it = &PostingsIterator{buf: []byte{0x01}, remaining: 1}
+	if it.Next() {
+		t.Error("posting with missing tf yielded")
+	}
+}

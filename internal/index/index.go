@@ -1,0 +1,206 @@
+// Package index implements the inverted-index storage engine under the
+// retrieval system: a field-aware dictionary, varint-compressed posting
+// lists, a document store mapping external IDs to dense internal doc
+// IDs, and a versioned, checksummed on-disk format.
+//
+// An Index is immutable once built (Builder.Build) or loaded (Load);
+// all read methods are safe for concurrent use.
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DocID is a dense internal document identifier assigned by the
+// Builder in insertion order.
+type DocID uint32
+
+// Field identifies an indexed field. The engine indexes the ASR
+// transcript text and the detector concept labels separately so they
+// can be scored and fused independently.
+type Field uint8
+
+// The indexed fields.
+const (
+	FieldText Field = iota
+	FieldConcept
+	numFields
+)
+
+// String names the field.
+func (f Field) String() string {
+	switch f {
+	case FieldText:
+		return "text"
+	case FieldConcept:
+		return "concept"
+	}
+	return fmt.Sprintf("Field(%d)", uint8(f))
+}
+
+// termInfo locates one term's postings inside a field's blob.
+type termInfo struct {
+	df  uint32 // document frequency
+	cf  uint64 // collection frequency (sum of tf)
+	off uint64 // byte offset into blob
+	n   uint64 // byte length in blob
+}
+
+// fieldIndex holds one field's dictionary and postings.
+type fieldIndex struct {
+	terms    map[string]int32 // term -> index into infos/termList
+	infos    []termInfo
+	termList []string // sorted unique terms
+	blob     []byte   // concatenated varint postings
+	docLens  []uint32 // per-doc token count in this field
+	totalLen uint64   // sum of docLens
+}
+
+// Index is the immutable inverted index.
+type Index struct {
+	fields [numFields]fieldIndex
+	extIDs []string
+	ext2id map[string]DocID
+}
+
+// NumDocs returns the number of indexed documents.
+func (ix *Index) NumDocs() int { return len(ix.extIDs) }
+
+// ExternalID maps an internal DocID back to the caller's identifier.
+// It panics if d is out of range (programmer error).
+func (ix *Index) ExternalID(d DocID) string { return ix.extIDs[d] }
+
+// DocIDOf maps an external identifier to its internal DocID.
+func (ix *Index) DocIDOf(ext string) (DocID, bool) {
+	d, ok := ix.ext2id[ext]
+	return d, ok
+}
+
+// DocLen returns the token count of document d in field f.
+func (ix *Index) DocLen(f Field, d DocID) int {
+	fi := &ix.fields[f]
+	if int(d) >= len(fi.docLens) {
+		return 0
+	}
+	return int(fi.docLens[d])
+}
+
+// AvgDocLen returns the mean token count of field f across documents.
+func (ix *Index) AvgDocLen(f Field) float64 {
+	if len(ix.extIDs) == 0 {
+		return 0
+	}
+	return float64(ix.fields[f].totalLen) / float64(len(ix.extIDs))
+}
+
+// TotalFieldLen returns the total token count in field f.
+func (ix *Index) TotalFieldLen(f Field) int64 { return int64(ix.fields[f].totalLen) }
+
+// NumTerms returns the vocabulary size of field f.
+func (ix *Index) NumTerms(f Field) int { return len(ix.fields[f].termList) }
+
+// Terms returns the sorted vocabulary of field f (a fresh copy).
+func (ix *Index) Terms(f Field) []string {
+	out := make([]string, len(ix.fields[f].termList))
+	copy(out, ix.fields[f].termList)
+	return out
+}
+
+// DocFreq returns the number of documents containing term in field f.
+func (ix *Index) DocFreq(f Field, term string) int {
+	fi := &ix.fields[f]
+	if i, ok := fi.terms[term]; ok {
+		return int(fi.infos[i].df)
+	}
+	return 0
+}
+
+// CollectionFreq returns the total occurrences of term in field f.
+func (ix *Index) CollectionFreq(f Field, term string) int64 {
+	fi := &ix.fields[f]
+	if i, ok := fi.terms[term]; ok {
+		return int64(fi.infos[i].cf)
+	}
+	return 0
+}
+
+// Postings returns an iterator over the (doc, tf) postings of term in
+// field f, in ascending DocID order. A term absent from the dictionary
+// yields an exhausted iterator, never nil.
+func (ix *Index) Postings(f Field, term string) *PostingsIterator {
+	fi := &ix.fields[f]
+	i, ok := fi.terms[term]
+	if !ok {
+		return &PostingsIterator{}
+	}
+	info := fi.infos[i]
+	return &PostingsIterator{
+		buf:       fi.blob[info.off : info.off+info.n],
+		remaining: int(info.df),
+	}
+}
+
+// PostingsIterator decodes a delta/varint-compressed posting list.
+// Usage:
+//
+//	it := ix.Postings(index.FieldText, "goal")
+//	for it.Next() {
+//	    use(it.Doc(), it.TF())
+//	}
+type PostingsIterator struct {
+	buf       []byte
+	remaining int
+	cur       DocID
+	tf        uint64
+	started   bool
+}
+
+// Next advances to the next posting; it returns false when exhausted.
+func (it *PostingsIterator) Next() bool {
+	if it.remaining <= 0 || len(it.buf) == 0 {
+		it.remaining = 0
+		return false
+	}
+	delta, n := binary.Uvarint(it.buf)
+	if n <= 0 {
+		it.remaining = 0
+		return false
+	}
+	it.buf = it.buf[n:]
+	tf, n := binary.Uvarint(it.buf)
+	if n <= 0 {
+		it.remaining = 0
+		return false
+	}
+	it.buf = it.buf[n:]
+	if it.started {
+		it.cur += DocID(delta)
+	} else {
+		it.cur = DocID(delta)
+		it.started = true
+	}
+	it.tf = tf
+	it.remaining--
+	return true
+}
+
+// Doc returns the current posting's document. Valid after Next()==true.
+func (it *PostingsIterator) Doc() DocID { return it.cur }
+
+// TF returns the current posting's term frequency.
+func (it *PostingsIterator) TF() int { return int(it.tf) }
+
+// Remaining reports how many postings have not yet been consumed.
+func (it *PostingsIterator) Remaining() int { return it.remaining }
+
+// finish freezes a fieldIndex: sorts the dictionary and rewrites the
+// term->index map to the sorted order.
+func (fi *fieldIndex) finishTermList() {
+	fi.termList = make([]string, 0, len(fi.terms))
+	for t := range fi.terms {
+		fi.termList = append(fi.termList, t)
+	}
+	sort.Strings(fi.termList)
+}

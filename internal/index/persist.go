@@ -1,0 +1,276 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// On-disk format (version 1):
+//
+//	magic     8 bytes  "IVRIDX\x00\x01"
+//	payload   N bytes  (varint-encoded sections, see below)
+//	checksum  4 bytes  big-endian CRC-32 (IEEE) of payload
+//
+// Payload layout:
+//
+//	numDocs, then per doc: extID (len-prefixed)
+//	per field: docLens[], totalLen, numTerms,
+//	           per term: term, df, cf, postingsLen,
+//	           then the field's postings blob.
+//
+// The format is self-contained and position-independent; readers
+// reject wrong magic, truncation, and checksum mismatches.
+var magic = [8]byte{'I', 'V', 'R', 'I', 'D', 'X', 0, 1}
+
+// Errors surfaced by the persistence layer.
+var (
+	ErrBadFormat = errors.New("index: not an index file or unsupported version")
+	ErrChecksum  = errors.New("index: checksum mismatch (file corrupt)")
+)
+
+type payloadWriter struct {
+	buf     bytes.Buffer
+	scratch [binary.MaxVarintLen64]byte
+}
+
+func (p *payloadWriter) uvarint(v uint64) {
+	n := binary.PutUvarint(p.scratch[:], v)
+	p.buf.Write(p.scratch[:n])
+}
+
+func (p *payloadWriter) str(s string) {
+	p.uvarint(uint64(len(s)))
+	p.buf.WriteString(s)
+}
+
+// WriteTo serialises the index. It implements io.WriterTo.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	var p payloadWriter
+	p.uvarint(uint64(len(ix.extIDs)))
+	for _, ext := range ix.extIDs {
+		p.str(ext)
+	}
+	for f := Field(0); f < numFields; f++ {
+		fi := &ix.fields[f]
+		p.uvarint(uint64(len(fi.docLens)))
+		for _, l := range fi.docLens {
+			p.uvarint(uint64(l))
+		}
+		p.uvarint(fi.totalLen)
+		p.uvarint(uint64(len(fi.termList)))
+		for _, t := range fi.termList {
+			info := fi.infos[fi.terms[t]]
+			p.str(t)
+			p.uvarint(uint64(info.df))
+			p.uvarint(info.cf)
+			p.uvarint(info.n)
+		}
+		p.uvarint(uint64(len(fi.blob)))
+		p.buf.Write(fi.blob)
+	}
+	payload := p.buf.Bytes()
+	var total int64
+	n, err := w.Write(magic[:])
+	total += int64(n)
+	if err != nil {
+		return total, fmt.Errorf("index: write header: %w", err)
+	}
+	n, err = w.Write(payload)
+	total += int64(n)
+	if err != nil {
+		return total, fmt.Errorf("index: write payload: %w", err)
+	}
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	n, err = w.Write(crc[:])
+	total += int64(n)
+	if err != nil {
+		return total, fmt.Errorf("index: write checksum: %w", err)
+	}
+	return total, nil
+}
+
+type payloadReader struct {
+	buf []byte
+	off int
+}
+
+func (p *payloadReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(p.buf[p.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint at offset %d", ErrBadFormat, p.off)
+	}
+	p.off += n
+	return v, nil
+}
+
+func (p *payloadReader) str() (string, error) {
+	l, err := p.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if p.off+int(l) > len(p.buf) {
+		return "", fmt.Errorf("%w: truncated string at offset %d", ErrBadFormat, p.off)
+	}
+	s := string(p.buf[p.off : p.off+int(l)])
+	p.off += int(l)
+	return s, nil
+}
+
+func (p *payloadReader) bytes(n uint64) ([]byte, error) {
+	if p.off+int(n) > len(p.buf) {
+		return nil, fmt.Errorf("%w: truncated blob at offset %d", ErrBadFormat, p.off)
+	}
+	b := p.buf[p.off : p.off+int(n)]
+	p.off += int(n)
+	return b, nil
+}
+
+// Read deserialises an index from r, verifying magic and checksum.
+func Read(r io.Reader) (*Index, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("index: read: %w", err)
+	}
+	if len(raw) < len(magic)+4 {
+		return nil, ErrBadFormat
+	}
+	if !bytes.Equal(raw[:len(magic)], magic[:]) {
+		return nil, ErrBadFormat
+	}
+	payload := raw[len(magic) : len(raw)-4]
+	want := binary.BigEndian.Uint32(raw[len(raw)-4:])
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, ErrChecksum
+	}
+	p := &payloadReader{buf: payload}
+	numDocs, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		extIDs: make([]string, numDocs),
+		ext2id: make(map[string]DocID, numDocs),
+	}
+	for i := uint64(0); i < numDocs; i++ {
+		ext, err := p.str()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := ix.ext2id[ext]; dup {
+			return nil, fmt.Errorf("%w: duplicate doc id %q", ErrBadFormat, ext)
+		}
+		ix.extIDs[i] = ext
+		ix.ext2id[ext] = DocID(i)
+	}
+	for f := Field(0); f < numFields; f++ {
+		fi := &ix.fields[f]
+		nLens, err := p.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nLens != numDocs {
+			return nil, fmt.Errorf("%w: field %v has %d doc lengths for %d docs", ErrBadFormat, f, nLens, numDocs)
+		}
+		fi.docLens = make([]uint32, nLens)
+		for i := range fi.docLens {
+			v, err := p.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			fi.docLens[i] = uint32(v)
+		}
+		if fi.totalLen, err = p.uvarint(); err != nil {
+			return nil, err
+		}
+		nTerms, err := p.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		fi.termList = make([]string, nTerms)
+		fi.infos = make([]termInfo, nTerms)
+		fi.terms = make(map[string]int32, nTerms)
+		var off uint64
+		for i := uint64(0); i < nTerms; i++ {
+			term, err := p.str()
+			if err != nil {
+				return nil, err
+			}
+			df, err := p.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			cf, err := p.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			blen, err := p.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			fi.termList[i] = term
+			fi.infos[i] = termInfo{df: uint32(df), cf: cf, off: off, n: blen}
+			fi.terms[term] = int32(i)
+			off += blen
+		}
+		blobLen, err := p.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if blobLen != off {
+			return nil, fmt.Errorf("%w: field %v blob length %d != postings extent %d", ErrBadFormat, f, blobLen, off)
+		}
+		if fi.blob, err = p.bytes(blobLen); err != nil {
+			return nil, err
+		}
+	}
+	if p.off != len(p.buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadFormat, len(p.buf)-p.off)
+	}
+	return ix, nil
+}
+
+// Save writes the index atomically: to a temp file in the same
+// directory, then rename.
+func (ix *Index) Save(path string) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".ivridx-*")
+	if err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := ix.WriteTo(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads an index file written by Save/WriteTo.
+func Load(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: load: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

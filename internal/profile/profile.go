@@ -1,0 +1,173 @@
+// Package profile implements static user profiles: the declared,
+// registration-time interest model the paper contrasts with implicit
+// feedback ("users have to provide personal information such as
+// demographics, preferences or ratings, i.e. when they register for a
+// service"). A profile scores news categories; the adaptive model uses
+// those scores to re-rank, and can slowly drift the profile from
+// observed behaviour.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/collection"
+)
+
+// Profile is one user's static interest model. Interests are in
+// [0, 1] per category, where 0.5 is neutral: boosts are computed
+// relative to neutrality so an all-0.5 profile changes nothing.
+type Profile struct {
+	UserID string
+	// interests maps categories to [0,1]; missing = Neutral.
+	interests map[collection.Category]float64
+	// Keywords are declared interest terms ("football", "elections"),
+	// usable for profile-side query augmentation.
+	Keywords []string
+}
+
+// Neutral is the no-preference interest level.
+const Neutral = 0.5
+
+// New creates a neutral profile.
+func New(userID string) *Profile {
+	return &Profile{
+		UserID:    userID,
+		interests: make(map[collection.Category]float64),
+	}
+}
+
+// SetInterest declares the user's interest in a category; v is clamped
+// to [0,1].
+func (p *Profile) SetInterest(cat collection.Category, v float64) *Profile {
+	p.interests[cat] = clamp01(v)
+	return p
+}
+
+// Interest returns the interest in cat (Neutral when undeclared).
+func (p *Profile) Interest(cat collection.Category) float64 {
+	if v, ok := p.interests[cat]; ok {
+		return v
+	}
+	return Neutral
+}
+
+// Boost maps interest to a signed boost in [-1, 1]: positive for
+// liked categories, negative for disliked, zero for neutral.
+func (p *Profile) Boost(cat collection.Category) float64 {
+	return 2 * (p.Interest(cat) - Neutral)
+}
+
+// Categories returns the declared categories in a fixed order.
+func (p *Profile) Categories() []collection.Category {
+	out := make([]collection.Category, 0, len(p.interests))
+	for c := range p.interests {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TopCategories returns up to n categories by descending interest
+// among the declared ones (ties by category order).
+func (p *Profile) TopCategories(n int) []collection.Category {
+	cats := p.Categories()
+	sort.SliceStable(cats, func(i, j int) bool {
+		return p.Interest(cats[i]) > p.Interest(cats[j])
+	})
+	if n < len(cats) {
+		cats = cats[:n]
+	}
+	return cats
+}
+
+// Update drifts the interest in cat toward signal (in [0,1]) with
+// learning rate lr: the mechanism by which observed behaviour slowly
+// reshapes the static profile. lr is clamped to [0,1].
+func (p *Profile) Update(cat collection.Category, signal, lr float64) {
+	lr = clamp01(lr)
+	cur := p.Interest(cat)
+	p.interests[cat] = clamp01(cur + lr*(clamp01(signal)-cur))
+}
+
+// Decay relaxes every declared interest toward Neutral by factor
+// f in [0,1] (0 = no change, 1 = fully neutral), modelling interest
+// staleness between sessions.
+func (p *Profile) Decay(f float64) {
+	f = clamp01(f)
+	for c, v := range p.interests {
+		p.interests[c] = v + f*(Neutral-v)
+	}
+}
+
+// CosineSimilarity compares two profiles over the full category space
+// using their boost vectors; it returns 0 when either profile is
+// entirely neutral. Used to find like-minded users for the community
+// recommendation graph.
+func CosineSimilarity(a, b *Profile) float64 {
+	var dot, na, nb float64
+	for _, cat := range collection.AllCategories() {
+		x, y := a.Boost(cat), b.Boost(cat)
+		dot += x * y
+		na += x * x
+		nb += y * y
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// profileJSON is the serialised form: category names as keys.
+type profileJSON struct {
+	UserID    string             `json:"user"`
+	Interests map[string]float64 `json:"interests"`
+	Keywords  []string           `json:"keywords,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p *Profile) MarshalJSON() ([]byte, error) {
+	pj := profileJSON{
+		UserID:    p.UserID,
+		Interests: make(map[string]float64, len(p.interests)),
+		Keywords:  p.Keywords,
+	}
+	for c, v := range p.interests {
+		pj.Interests[c.String()] = v
+	}
+	return json.Marshal(pj)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *Profile) UnmarshalJSON(data []byte) error {
+	var pj profileJSON
+	if err := json.Unmarshal(data, &pj); err != nil {
+		return fmt.Errorf("profile: %w", err)
+	}
+	p.UserID = pj.UserID
+	p.Keywords = pj.Keywords
+	p.interests = make(map[collection.Category]float64, len(pj.Interests))
+	for name, v := range pj.Interests {
+		cat, err := collection.ParseCategory(name)
+		if err != nil {
+			return fmt.Errorf("profile: %w", err)
+		}
+		if v < 0 || v > 1 {
+			return fmt.Errorf("profile: interest %q=%v outside [0,1]", name, v)
+		}
+		p.interests[cat] = v
+	}
+	return nil
+}
+
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	}
+	return v
+}

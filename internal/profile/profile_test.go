@@ -1,0 +1,173 @@
+package profile
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/collection"
+)
+
+func TestNewNeutral(t *testing.T) {
+	p := New("u1")
+	for _, c := range collection.AllCategories() {
+		if p.Interest(c) != Neutral {
+			t.Errorf("undeclared interest %v != Neutral", c)
+		}
+		if p.Boost(c) != 0 {
+			t.Errorf("neutral boost %v != 0", c)
+		}
+	}
+}
+
+func TestSetInterestAndBoost(t *testing.T) {
+	p := New("u1").
+		SetInterest(collection.CatSports, 1.0).
+		SetInterest(collection.CatPolitics, 0.0).
+		SetInterest(collection.CatHealth, 0.5)
+	if p.Boost(collection.CatSports) != 1 {
+		t.Errorf("boost(sports) = %v", p.Boost(collection.CatSports))
+	}
+	if p.Boost(collection.CatPolitics) != -1 {
+		t.Errorf("boost(politics) = %v", p.Boost(collection.CatPolitics))
+	}
+	if p.Boost(collection.CatHealth) != 0 {
+		t.Errorf("boost(health) = %v", p.Boost(collection.CatHealth))
+	}
+	// Clamping.
+	p.SetInterest(collection.CatCrime, 7)
+	if p.Interest(collection.CatCrime) != 1 {
+		t.Error("SetInterest should clamp to 1")
+	}
+	p.SetInterest(collection.CatCrime, -7)
+	if p.Interest(collection.CatCrime) != 0 {
+		t.Error("SetInterest should clamp to 0")
+	}
+}
+
+func TestCategoriesAndTop(t *testing.T) {
+	p := New("u").
+		SetInterest(collection.CatSports, 0.9).
+		SetInterest(collection.CatWeather, 0.2).
+		SetInterest(collection.CatScience, 0.7)
+	cats := p.Categories()
+	if len(cats) != 3 {
+		t.Fatalf("Categories = %v", cats)
+	}
+	for i := 1; i < len(cats); i++ {
+		if cats[i-1] >= cats[i] {
+			t.Error("Categories not sorted")
+		}
+	}
+	top := p.TopCategories(2)
+	if len(top) != 2 || top[0] != collection.CatSports || top[1] != collection.CatScience {
+		t.Errorf("TopCategories = %v", top)
+	}
+	if got := p.TopCategories(100); len(got) != 3 {
+		t.Errorf("TopCategories(100) = %v", got)
+	}
+}
+
+func TestUpdateDrift(t *testing.T) {
+	p := New("u")
+	p.Update(collection.CatSports, 1.0, 0.5)
+	if got := p.Interest(collection.CatSports); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("after update = %v, want 0.75", got)
+	}
+	p.Update(collection.CatSports, 1.0, 0.5)
+	if got := p.Interest(collection.CatSports); math.Abs(got-0.875) > 1e-12 {
+		t.Errorf("after 2nd update = %v, want 0.875", got)
+	}
+	// lr clamped; out-of-range signal clamped.
+	p.Update(collection.CatSports, 5, 5)
+	if p.Interest(collection.CatSports) != 1 {
+		t.Errorf("clamped update = %v", p.Interest(collection.CatSports))
+	}
+}
+
+func TestDecayTowardNeutral(t *testing.T) {
+	p := New("u").SetInterest(collection.CatSports, 1.0).SetInterest(collection.CatPolitics, 0.0)
+	p.Decay(0.5)
+	if got := p.Interest(collection.CatSports); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("decayed high = %v", got)
+	}
+	if got := p.Interest(collection.CatPolitics); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("decayed low = %v", got)
+	}
+	p.Decay(1)
+	if p.Interest(collection.CatSports) != Neutral {
+		t.Error("full decay should neutralise")
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	a := New("a").SetInterest(collection.CatSports, 1).SetInterest(collection.CatPolitics, 0)
+	b := New("b").SetInterest(collection.CatSports, 1).SetInterest(collection.CatPolitics, 0)
+	c := New("c").SetInterest(collection.CatSports, 0).SetInterest(collection.CatPolitics, 1)
+	if got := CosineSimilarity(a, b); math.Abs(got-1) > 1e-12 {
+		t.Errorf("identical profiles sim = %v", got)
+	}
+	if got := CosineSimilarity(a, c); math.Abs(got+1) > 1e-12 {
+		t.Errorf("opposite profiles sim = %v", got)
+	}
+	neutral := New("n")
+	if got := CosineSimilarity(a, neutral); got != 0 {
+		t.Errorf("neutral sim = %v", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := New("u42").SetInterest(collection.CatSports, 0.9).SetInterest(collection.CatWeather, 0.1)
+	p.Keywords = []string{"football", "cup"}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Profile
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.UserID != "u42" {
+		t.Errorf("UserID = %q", got.UserID)
+	}
+	if got.Interest(collection.CatSports) != 0.9 || got.Interest(collection.CatWeather) != 0.1 {
+		t.Error("interests lost in round trip")
+	}
+	if len(got.Keywords) != 2 {
+		t.Errorf("keywords = %v", got.Keywords)
+	}
+}
+
+func TestUnmarshalRejectsBadData(t *testing.T) {
+	var p Profile
+	if err := json.Unmarshal([]byte(`{"user":"u","interests":{"astrology":0.5}}`), &p); err == nil {
+		t.Error("unknown category accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"user":"u","interests":{"sports":1.5}}`), &p); err == nil {
+		t.Error("out-of-range interest accepted")
+	}
+	if err := json.Unmarshal([]byte(`{broken`), &p); err == nil {
+		t.Error("broken json accepted")
+	}
+}
+
+// Property: Update keeps interests in [0,1] and moves toward signal.
+func TestPropertyUpdateBounded(t *testing.T) {
+	f := func(start, signal, lr float64) bool {
+		p := New("u").SetInterest(collection.CatCrime, start)
+		before := p.Interest(collection.CatCrime)
+		p.Update(collection.CatCrime, signal, lr)
+		after := p.Interest(collection.CatCrime)
+		if after < 0 || after > 1 {
+			return false
+		}
+		s := clamp01(signal)
+		// After must lie between before and the clamped signal.
+		lo, hi := math.Min(before, s), math.Max(before, s)
+		return after >= lo-1e-12 && after <= hi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,185 @@
+// Package recommend implements the community implicit-feedback graph
+// of Vallet, Hopfgartner & Jose (ECIR'08), which the paper reports
+// using "community based implicit feedback mined from the interactions
+// of previous users ... to aid users in their search tasks": a typed,
+// weighted graph over users, queries and shots, built from interaction
+// logs, queried by spreading activation to recommend shots.
+package recommend
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeKind types a graph node.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	NodeUser NodeKind = iota
+	NodeQuery
+	NodeShot
+)
+
+// String names the kind.
+func (k NodeKind) String() string {
+	switch k {
+	case NodeUser:
+		return "user"
+	case NodeQuery:
+		return "query"
+	case NodeShot:
+		return "shot"
+	}
+	return fmt.Sprintf("NodeKind(%d)", uint8(k))
+}
+
+// NodeID identifies a node: a kind plus the domain key (user ID,
+// normalised query string, shot ID).
+type NodeID struct {
+	Kind NodeKind
+	Key  string
+}
+
+// UserNode, QueryNode and ShotNode build typed node IDs.
+func UserNode(id string) NodeID     { return NodeID{Kind: NodeUser, Key: id} }
+func QueryNode(query string) NodeID { return NodeID{Kind: NodeQuery, Key: query} }
+func ShotNode(id string) NodeID     { return NodeID{Kind: NodeShot, Key: id} }
+
+// Graph is a weighted directed graph accumulated from interaction
+// histories. Building is single-goroutine; a built graph may be read
+// concurrently.
+type Graph struct {
+	adj   map[NodeID]map[NodeID]float64
+	edges int
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{adj: make(map[NodeID]map[NodeID]float64)}
+}
+
+// NumNodes counts nodes with at least one incident edge.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges counts distinct directed edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// AddEdge accumulates weight onto the directed edge from->to (and
+// registers both endpoints). Non-positive weights are rejected.
+func (g *Graph) AddEdge(from, to NodeID, w float64) error {
+	if w <= 0 {
+		return fmt.Errorf("recommend: edge weight must be positive, got %v", w)
+	}
+	if from == to {
+		return fmt.Errorf("recommend: self-edge on %v:%s", from.Kind, from.Key)
+	}
+	m := g.adj[from]
+	if m == nil {
+		m = make(map[NodeID]float64)
+		g.adj[from] = m
+	}
+	if _, existed := m[to]; !existed {
+		g.edges++
+	}
+	m[to] += w
+	if g.adj[to] == nil {
+		g.adj[to] = make(map[NodeID]float64)
+	}
+	return nil
+}
+
+// EdgeWeight returns the accumulated weight of from->to (0 if absent).
+func (g *Graph) EdgeWeight(from, to NodeID) float64 { return g.adj[from][to] }
+
+// WeightedShot is a shot with the implicit relevance mass a session
+// assigned to it.
+type WeightedShot struct {
+	ShotID string
+	Mass   float64
+}
+
+// ObserveSession folds one session's implicit history into the graph:
+//
+//	user -> query            (the user issued the query)
+//	query <-> shot           (the shot attracted evidence under the query)
+//	user -> shot             (direct interest edge)
+//	shot_i <-> shot_{i+1}    (co-session transition, geometric-mean weight)
+//
+// Shots with non-positive mass are skipped.
+func (g *Graph) ObserveSession(userID, query string, shots []WeightedShot) error {
+	u := UserNode(userID)
+	q := QueryNode(query)
+	if userID != "" && query != "" {
+		if err := g.AddEdge(u, q, 1); err != nil {
+			return err
+		}
+	}
+	var prev *WeightedShot
+	for i := range shots {
+		s := shots[i]
+		if s.Mass <= 0 {
+			continue
+		}
+		sn := ShotNode(s.ShotID)
+		if query != "" {
+			if err := g.AddEdge(q, sn, s.Mass); err != nil {
+				return err
+			}
+			if err := g.AddEdge(sn, q, s.Mass/2); err != nil {
+				return err
+			}
+		}
+		if userID != "" {
+			if err := g.AddEdge(u, sn, s.Mass); err != nil {
+				return err
+			}
+		}
+		if prev != nil && prev.ShotID != s.ShotID {
+			w := geoMean(prev.Mass, s.Mass)
+			if err := g.AddEdge(ShotNode(prev.ShotID), sn, w); err != nil {
+				return err
+			}
+			if err := g.AddEdge(sn, ShotNode(prev.ShotID), w); err != nil {
+				return err
+			}
+		}
+		prev = &shots[i]
+	}
+	return nil
+}
+
+func geoMean(a, b float64) float64 {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	// sqrt(a*b) without importing math for one call would be silly;
+	// use the obvious form.
+	return sqrt(a * b)
+}
+
+// sortedNeighbors returns the out-neighbours of n in deterministic
+// order along with the total out-weight.
+func (g *Graph) sortedNeighbors(n NodeID) ([]NodeID, float64) {
+	m := g.adj[n]
+	if len(m) == 0 {
+		return nil, 0
+	}
+	out := make([]NodeID, 0, len(m))
+	for to := range m {
+		out = append(out, to)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Key < out[j].Key
+	})
+	// Sum in sorted order: float addition is not associative, and the
+	// spread must be bit-for-bit deterministic across runs.
+	var total float64
+	for _, to := range out {
+		total += m[to]
+	}
+	return out, total
+}

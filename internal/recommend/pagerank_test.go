@@ -1,0 +1,185 @@
+package recommend
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func chainGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph()
+	// q -> s1 <-> s2 <-> s3 chain plus a user.
+	if err := g.ObserveSession("u1", "q", []WeightedShot{
+		{ShotID: "s1", Mass: 1}, {ShotID: "s2", Mass: 1}, {ShotID: "s3", Mass: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPPRSumsToOne(t *testing.T) {
+	g := chainGraph(t)
+	x, err := g.PersonalizedPageRank([]Seed{{Node: UserNode("u1"), Mass: 1}}, PPROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range x {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("stationary mass sums to %v, want 1", sum)
+	}
+}
+
+func TestPPRProximityOrdering(t *testing.T) {
+	g := chainGraph(t)
+	x, err := g.PersonalizedPageRank([]Seed{{Node: ShotNode("s1"), Mass: 1}}, PPROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[ShotNode("s2")] <= x[ShotNode("s3")] {
+		t.Errorf("nearer node should rank higher: s2=%v s3=%v",
+			x[ShotNode("s2")], x[ShotNode("s3")])
+	}
+	if x[ShotNode("s1")] <= 0 {
+		t.Error("seed lost all mass")
+	}
+}
+
+func TestPPRDanglingMassRecycled(t *testing.T) {
+	g := NewGraph()
+	// One directed edge into a dangling node.
+	if err := g.AddEdge(QueryNode("q"), ShotNode("sink"), 1); err != nil {
+		t.Fatal(err)
+	}
+	x, err := g.PersonalizedPageRank([]Seed{{Node: QueryNode("q"), Mass: 1}}, PPROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range x {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("dangling graph mass sums to %v", sum)
+	}
+}
+
+func TestPPRValidation(t *testing.T) {
+	g := chainGraph(t)
+	if _, err := g.PersonalizedPageRank([]Seed{{Node: UserNode("u"), Mass: 0}}, PPROptions{}); err == nil {
+		t.Error("zero seed mass accepted")
+	}
+	if _, err := g.PersonalizedPageRank(nil, PPROptions{Damping: 1.5}); err == nil {
+		t.Error("bad damping accepted")
+	}
+	if _, err := g.PersonalizedPageRank(nil, PPROptions{MaxIter: -1}); err == nil {
+		t.Error("negative iterations accepted")
+	}
+	x, err := g.PersonalizedPageRank(nil, PPROptions{})
+	if err != nil || len(x) != 0 {
+		t.Errorf("no seeds should give empty result: %v %v", x, err)
+	}
+}
+
+func TestPPRDeterministic(t *testing.T) {
+	build := func() *Graph {
+		g := NewGraph()
+		r := rand.New(rand.NewSource(17))
+		for u := 0; u < 8; u++ {
+			shots := []WeightedShot{
+				{ShotID: fmt.Sprintf("s%02d", r.Intn(20)), Mass: 0.5 + r.Float64()},
+				{ShotID: fmt.Sprintf("s%02d", r.Intn(20)), Mass: 0.5 + r.Float64()},
+			}
+			if shots[0].ShotID == shots[1].ShotID {
+				shots = shots[:1]
+			}
+			if err := g.ObserveSession(fmt.Sprintf("u%d", u), fmt.Sprintf("q%d", u%3), shots); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return g
+	}
+	a, err := build().RecommendShotsPPR(
+		[]Seed{{Node: QueryNode("q1"), Mass: 1}}, Options{K: 10}, PPROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := build().RecommendShotsPPR(
+		[]Seed{{Node: QueryNode("q1"), Mass: 1}}, Options{K: 10}, PPROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("PPR recommendations not deterministic")
+	}
+	if len(a) == 0 {
+		t.Error("no recommendations from populated graph")
+	}
+}
+
+func TestRecommendShotsPPRExcludes(t *testing.T) {
+	g := chainGraph(t)
+	recs, err := g.RecommendShotsPPR(
+		[]Seed{{Node: ShotNode("s1"), Mass: 1}},
+		Options{K: 5, Exclude: func(id string) bool { return id == "s2" }},
+		PPROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.ShotID == "s1" || r.ShotID == "s2" {
+			t.Errorf("excluded/seed shot recommended: %s", r.ShotID)
+		}
+	}
+}
+
+func TestPPRAndSpreadAgreeOnChainOrder(t *testing.T) {
+	g := chainGraph(t)
+	seeds := []Seed{{Node: QueryNode("q"), Mass: 1}}
+	sa, err := g.RecommendShots(seeds, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := g.RecommendShotsPPR(seeds, Options{K: 3}, PPROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sa) == 0 || len(pr) == 0 {
+		t.Fatal("empty recommendations")
+	}
+	if sa[0].ShotID != pr[0].ShotID {
+		t.Errorf("top recommendation disagrees: spread=%s ppr=%s", sa[0].ShotID, pr[0].ShotID)
+	}
+}
+
+func BenchmarkPPR(b *testing.B) {
+	g := NewGraph()
+	r := rand.New(rand.NewSource(3))
+	for u := 0; u < 40; u++ {
+		for s := 0; s < 8; s++ {
+			shots := []WeightedShot{
+				{ShotID: fmt.Sprintf("s%03d", r.Intn(200)), Mass: 0.5 + r.Float64()},
+				{ShotID: fmt.Sprintf("s%03d", r.Intn(200)), Mass: 0.5 + r.Float64()},
+			}
+			if shots[0].ShotID == shots[1].ShotID {
+				shots = shots[:1]
+			}
+			if err := g.ObserveSession(fmt.Sprintf("u%d", u), fmt.Sprintf("q%d", r.Intn(12)), shots); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	seeds := []Seed{{Node: QueryNode("q3"), Mass: 1}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.RecommendShotsPPR(seeds, Options{K: 10}, PPROptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package recommend
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddEdgeAccumulates(t *testing.T) {
+	g := NewGraph()
+	a, b := UserNode("u"), ShotNode("s")
+	if err := g.AddEdge(a, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(a, b, 2); err != nil {
+		t.Fatal(err)
+	}
+	if w := g.EdgeWeight(a, b); w != 3 {
+		t.Errorf("weight = %v, want 3", w)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("edges = %d, want 1", g.NumEdges())
+	}
+	if g.NumNodes() != 2 {
+		t.Errorf("nodes = %d, want 2", g.NumNodes())
+	}
+}
+
+func TestAddEdgeRejects(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddEdge(UserNode("u"), ShotNode("s"), 0); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if err := g.AddEdge(UserNode("u"), UserNode("u"), 1); err == nil {
+		t.Error("self edge accepted")
+	}
+}
+
+func TestObserveSessionTopology(t *testing.T) {
+	g := NewGraph()
+	err := g.ObserveSession("u1", "football", []WeightedShot{
+		{ShotID: "s1", Mass: 1.0},
+		{ShotID: "s2", Mass: 0.5},
+		{ShotID: "skip", Mass: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, q := UserNode("u1"), QueryNode("football")
+	if g.EdgeWeight(u, q) != 1 {
+		t.Error("user->query edge missing")
+	}
+	if g.EdgeWeight(q, ShotNode("s1")) != 1 {
+		t.Error("query->shot edge missing")
+	}
+	if g.EdgeWeight(ShotNode("s1"), q) != 0.5 {
+		t.Error("shot->query back edge missing")
+	}
+	if g.EdgeWeight(u, ShotNode("s2")) != 0.5 {
+		t.Error("user->shot edge missing")
+	}
+	if g.EdgeWeight(ShotNode("s1"), ShotNode("s2")) == 0 {
+		t.Error("co-session edge missing")
+	}
+	if g.EdgeWeight(ShotNode("s2"), ShotNode("s1")) == 0 {
+		t.Error("co-session edge not symmetric")
+	}
+	if g.EdgeWeight(q, ShotNode("skip")) != 0 {
+		t.Error("zero-mass shot added")
+	}
+}
+
+func TestSpreadReachesCommunityShots(t *testing.T) {
+	g := NewGraph()
+	// Two users issue the same query; u1 watched s1, u2 watched s2.
+	if err := g.ObserveSession("u1", "cup final", []WeightedShot{{ShotID: "s1", Mass: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ObserveSession("u2", "cup final", []WeightedShot{{ShotID: "s2", Mass: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := g.RecommendForUser("u1", "cup final", Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range recs {
+		if r.ShotID == "s2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("community shot s2 not recommended: %v", recs)
+	}
+}
+
+func TestRecommendExcludes(t *testing.T) {
+	g := NewGraph()
+	g.ObserveSession("u1", "q", []WeightedShot{{ShotID: "seen", Mass: 1}, {ShotID: "new", Mass: 1}})
+	recs, err := g.RecommendForUser("u1", "q", Options{
+		K:       5,
+		Exclude: func(id string) bool { return id == "seen" },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.ShotID == "seen" {
+			t.Error("excluded shot recommended")
+		}
+	}
+}
+
+func TestRecommendShotSeedsExcluded(t *testing.T) {
+	g := NewGraph()
+	g.ObserveSession("u1", "q", []WeightedShot{{ShotID: "a", Mass: 1}, {ShotID: "b", Mass: 1}})
+	recs, err := g.RecommendShots([]Seed{{Node: ShotNode("a"), Mass: 1}}, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.ShotID == "a" {
+			t.Error("seed shot recommended back")
+		}
+	}
+	if len(recs) == 0 || recs[0].ShotID != "b" {
+		t.Errorf("expected co-session shot b, got %v", recs)
+	}
+}
+
+func TestSpreadValidation(t *testing.T) {
+	g := NewGraph()
+	if _, err := g.Spread([]Seed{{Node: UserNode("u"), Mass: 0}}, Options{}); err == nil {
+		t.Error("zero seed mass accepted")
+	}
+	if _, err := g.Spread(nil, Options{Steps: -1}); err == nil {
+		t.Error("negative steps accepted")
+	}
+	if _, err := g.Spread(nil, Options{Damping: 2}); err == nil {
+		t.Error("damping > 1 accepted")
+	}
+	if _, err := g.RecommendShots(nil, Options{K: -1}); err == nil {
+		t.Error("negative K accepted")
+	}
+}
+
+func TestSpreadDampingDiminishes(t *testing.T) {
+	g := NewGraph()
+	// Chain: q -> s1 <-> s2 <-> s3.
+	g.ObserveSession("", "q", []WeightedShot{
+		{ShotID: "s1", Mass: 1}, {ShotID: "s2", Mass: 1}, {ShotID: "s3", Mass: 1},
+	})
+	act, err := g.Spread([]Seed{{Node: ShotNode("s1"), Mass: 1}}, Options{Steps: 4, Damping: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act[ShotNode("s2")] <= act[ShotNode("s3")] {
+		t.Errorf("nearer node should be more activated: s2=%v s3=%v",
+			act[ShotNode("s2")], act[ShotNode("s3")])
+	}
+}
+
+func TestRecommendDeterministic(t *testing.T) {
+	build := func() *Graph {
+		g := NewGraph()
+		r := rand.New(rand.NewSource(42))
+		for u := 0; u < 10; u++ {
+			for s := 0; s < 5; s++ {
+				shots := []WeightedShot{
+					{ShotID: fmt.Sprintf("s%02d", r.Intn(30)), Mass: 0.5 + r.Float64()},
+					{ShotID: fmt.Sprintf("s%02d", r.Intn(30)), Mass: 0.5 + r.Float64()},
+				}
+				if shots[0].ShotID == shots[1].ShotID {
+					shots = shots[:1]
+				}
+				if err := g.ObserveSession(fmt.Sprintf("u%d", u), fmt.Sprintf("q%d", r.Intn(6)), shots); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return g
+	}
+	g1, g2 := build(), build()
+	r1, err := g1.RecommendForUser("u3", "q2", Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := g2.RecommendForUser("u3", "q2", Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("recommendations not deterministic")
+	}
+	if len(r1) == 0 {
+		t.Error("no recommendations from a populated graph")
+	}
+}
+
+func TestRecommendEmptyGraph(t *testing.T) {
+	g := NewGraph()
+	recs, err := g.RecommendForUser("ghost", "nothing", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("empty graph recommended %v", recs)
+	}
+}
+
+// Property: recommendation scores are positive, sorted descending, and
+// the list never exceeds K.
+func TestPropertyRecommendWellFormed(t *testing.T) {
+	f := func(seed int64, k8 uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		for u := 0; u < 5; u++ {
+			shots := []WeightedShot{}
+			for s := 0; s < 1+r.Intn(4); s++ {
+				shots = append(shots, WeightedShot{
+					ShotID: fmt.Sprintf("s%d", r.Intn(12)),
+					Mass:   0.1 + r.Float64(),
+				})
+			}
+			// Drop accidental consecutive duplicates (self-edges).
+			clean := shots[:1]
+			for _, s := range shots[1:] {
+				if s.ShotID != clean[len(clean)-1].ShotID {
+					clean = append(clean, s)
+				}
+			}
+			if err := g.ObserveSession(fmt.Sprintf("u%d", u), fmt.Sprintf("q%d", r.Intn(3)), clean); err != nil {
+				return false
+			}
+		}
+		k := 1 + int(k8%10)
+		recs, err := g.RecommendForUser("u0", "q0", Options{K: k})
+		if err != nil {
+			return false
+		}
+		if len(recs) > k {
+			return false
+		}
+		for i, rec := range recs {
+			if rec.Score <= 0 {
+				return false
+			}
+			if i > 0 && recs[i-1].Score < rec.Score {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	if NodeUser.String() != "user" || NodeQuery.String() != "query" || NodeShot.String() != "shot" {
+		t.Error("kind names wrong")
+	}
+	if NodeKind(9).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+func BenchmarkSpread(b *testing.B) {
+	g := NewGraph()
+	r := rand.New(rand.NewSource(7))
+	for u := 0; u < 50; u++ {
+		for s := 0; s < 10; s++ {
+			shots := []WeightedShot{
+				{ShotID: fmt.Sprintf("s%03d", r.Intn(300)), Mass: 0.5 + r.Float64()},
+				{ShotID: fmt.Sprintf("s%03d", r.Intn(300)), Mass: 0.5 + r.Float64()},
+				{ShotID: fmt.Sprintf("s%03d", r.Intn(300)), Mass: 0.5 + r.Float64()},
+			}
+			clean := shots[:1]
+			for _, sh := range shots[1:] {
+				if sh.ShotID != clean[len(clean)-1].ShotID {
+					clean = append(clean, sh)
+				}
+			}
+			if err := g.ObserveSession(fmt.Sprintf("u%d", u), fmt.Sprintf("q%d", r.Intn(20)), clean); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.RecommendForUser("u7", "q3", Options{K: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

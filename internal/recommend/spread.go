@@ -1,0 +1,161 @@
+package recommend
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+
+// Seed is a starting point for spreading activation with its initial
+// mass.
+type Seed struct {
+	Node NodeID
+	Mass float64
+}
+
+// Options tunes spreading activation.
+type Options struct {
+	// Steps is the number of propagation rounds; zero selects 3 (two
+	// hops reach user->query->shot plus one co-session hop).
+	Steps int
+	// Damping in (0,1] scales how much activation survives each hop;
+	// zero selects 0.85.
+	Damping float64
+	// K bounds the recommendation list; zero selects 10.
+	K int
+	// Exclude drops shots (e.g. those the user already saw) from the
+	// final recommendation, not from propagation.
+	Exclude func(shotID string) bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Steps == 0 {
+		o.Steps = 3
+	}
+	if o.Damping == 0 {
+		o.Damping = 0.85
+	}
+	if o.K == 0 {
+		o.K = 10
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Steps < 0 {
+		return fmt.Errorf("recommend: negative steps")
+	}
+	if o.Damping < 0 || o.Damping > 1 {
+		return fmt.Errorf("recommend: damping %v outside (0,1]", o.Damping)
+	}
+	if o.K < 0 {
+		return fmt.Errorf("recommend: negative K")
+	}
+	return nil
+}
+
+// Scored is one recommended shot.
+type Scored struct {
+	ShotID string
+	Score  float64
+}
+
+// Spread runs spreading activation from the seeds and returns the
+// activation of every reached node. The computation is deterministic:
+// propagation visits nodes in sorted order.
+func (g *Graph) Spread(seeds []Seed, opts Options) (map[NodeID]float64, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	activation := make(map[NodeID]float64)
+	frontier := make(map[NodeID]float64)
+	for _, s := range seeds {
+		if s.Mass <= 0 {
+			return nil, fmt.Errorf("recommend: seed %v:%s with non-positive mass %v",
+				s.Node.Kind, s.Node.Key, s.Mass)
+		}
+		activation[s.Node] += s.Mass
+		frontier[s.Node] += s.Mass
+	}
+	for step := 0; step < opts.Steps && len(frontier) > 0; step++ {
+		next := make(map[NodeID]float64)
+		// Deterministic frontier order.
+		nodes := make([]NodeID, 0, len(frontier))
+		for n := range frontier {
+			nodes = append(nodes, n)
+		}
+		sort.Slice(nodes, func(i, j int) bool {
+			if nodes[i].Kind != nodes[j].Kind {
+				return nodes[i].Kind < nodes[j].Kind
+			}
+			return nodes[i].Key < nodes[j].Key
+		})
+		for _, n := range nodes {
+			mass := frontier[n]
+			neighbors, total := g.sortedNeighbors(n)
+			if total == 0 {
+				continue
+			}
+			for _, to := range neighbors {
+				share := opts.Damping * mass * g.adj[n][to] / total
+				if share <= 0 {
+					continue
+				}
+				next[to] += share
+				activation[to] += share
+			}
+		}
+		frontier = next
+	}
+	return activation, nil
+}
+
+// RecommendShots spreads activation and returns the top-K activated
+// shot nodes (excluding seeds' own shot nodes and anything Exclude
+// rejects), ordered by descending score with ID ties ascending.
+func (g *Graph) RecommendShots(seeds []Seed, opts Options) ([]Scored, error) {
+	opts = opts.withDefaults()
+	activation, err := g.Spread(seeds, opts)
+	if err != nil {
+		return nil, err
+	}
+	seedShots := make(map[string]bool)
+	for _, s := range seeds {
+		if s.Node.Kind == NodeShot {
+			seedShots[s.Node.Key] = true
+		}
+	}
+	out := make([]Scored, 0, len(activation))
+	for n, score := range activation {
+		if n.Kind != NodeShot || seedShots[n.Key] {
+			continue
+		}
+		if opts.Exclude != nil && opts.Exclude(n.Key) {
+			continue
+		}
+		out = append(out, Scored{ShotID: n.Key, Score: score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ShotID < out[j].ShotID
+	})
+	if len(out) > opts.K {
+		out = out[:opts.K]
+	}
+	return out, nil
+}
+
+// RecommendForUser is the common call: seed from the user node plus
+// their current query.
+func (g *Graph) RecommendForUser(userID, query string, opts Options) ([]Scored, error) {
+	seeds := []Seed{{Node: UserNode(userID), Mass: 1}}
+	if query != "" {
+		seeds = append(seeds, Seed{Node: QueryNode(query), Mass: 1})
+	}
+	return g.RecommendShots(seeds, opts)
+}

@@ -1,0 +1,197 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/text"
+)
+
+// WeightedTerm is an analyzed query term with a query-side weight.
+// Plain user terms carry weight 1; relevance-feedback expansion terms
+// carry fractional weights.
+type WeightedTerm struct {
+	Term   string
+	Weight float64
+}
+
+// Query is a fully analysed, executable query against one field.
+type Query struct {
+	Field index.Field
+	Terms []WeightedTerm
+}
+
+// SumWeights returns the total query weight (the LM doc-score mass).
+func (q Query) SumWeights() float64 {
+	var s float64
+	for _, t := range q.Terms {
+		s += t.Weight
+	}
+	return s
+}
+
+// Hit is one retrieved document.
+type Hit struct {
+	Doc index.DocID
+	// ID is the external (shot) identifier.
+	ID    string
+	Score float64
+}
+
+// Results is a ranked result list.
+type Results struct {
+	Hits []Hit
+	// Candidates is the number of documents that matched at least one
+	// query term (before top-k truncation).
+	Candidates int
+}
+
+// IDs returns the hit IDs in rank order.
+func (r Results) IDs() []string {
+	out := make([]string, len(r.Hits))
+	for i, h := range r.Hits {
+		out[i] = h.ID
+	}
+	return out
+}
+
+// Options configures one search call.
+type Options struct {
+	// K bounds the result list; zero selects DefaultK.
+	K int
+	// Scorer defaults to BM25{}.
+	Scorer Scorer
+	// Filter, when non-nil, drops documents for which it returns false
+	// before ranking (used e.g. to exclude already-seen shots).
+	Filter func(id string) bool
+}
+
+// DefaultK is the default result-list depth, sized to a result page of
+// keyframes in the desktop interface.
+const DefaultK = 100
+
+// Engine executes queries against an index. It is safe for concurrent
+// use; all state is read-only.
+type Engine struct {
+	ix       *index.Index
+	analyzer *text.Analyzer
+}
+
+// NewEngine wraps an index with the analysis pipeline used at query
+// time. analyzer may be nil, selecting the default pipeline; it must
+// match the pipeline used at indexing time for text retrieval to work.
+func NewEngine(ix *index.Index, analyzer *text.Analyzer) *Engine {
+	if analyzer == nil {
+		analyzer = text.NewAnalyzer()
+	}
+	return &Engine{ix: ix, analyzer: analyzer}
+}
+
+// Index exposes the underlying index (read-only use).
+func (e *Engine) Index() *index.Index { return e.ix }
+
+// Analyzer exposes the query analysis pipeline.
+func (e *Engine) Analyzer() *text.Analyzer { return e.analyzer }
+
+// ParseText analyses free text into a text-field query with unit
+// weights. Duplicate terms accumulate weight.
+func (e *Engine) ParseText(queryText string) Query {
+	counts := e.analyzer.TermCounts(queryText)
+	terms := make([]WeightedTerm, 0, len(counts))
+	for t, c := range counts {
+		terms = append(terms, WeightedTerm{Term: t, Weight: float64(c)})
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i].Term < terms[j].Term })
+	return Query{Field: index.FieldText, Terms: terms}
+}
+
+// ConceptQuery builds a concept-field query from concept names.
+func ConceptQuery(concepts ...string) Query {
+	terms := make([]WeightedTerm, 0, len(concepts))
+	for _, c := range concepts {
+		terms = append(terms, WeightedTerm{Term: c, Weight: 1})
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i].Term < terms[j].Term })
+	return Query{Field: index.FieldConcept, Terms: terms}
+}
+
+// Search executes q and returns the top-K hits ordered by descending
+// score, ties broken by ascending external ID for reproducibility.
+func (e *Engine) Search(q Query, opts Options) (Results, error) {
+	if len(q.Terms) == 0 {
+		return Results{}, nil
+	}
+	k := opts.K
+	if k <= 0 {
+		k = DefaultK
+	}
+	scorer := opts.Scorer
+	if scorer == nil {
+		scorer = BM25{}
+	}
+	for _, t := range q.Terms {
+		if t.Weight < 0 {
+			return Results{}, fmt.Errorf("search: negative weight %v for term %q", t.Weight, t.Term)
+		}
+	}
+	n := e.ix.NumDocs()
+	avgdl := e.ix.AvgDocLen(q.Field)
+	totalLen := e.ix.TotalFieldLen(q.Field)
+
+	acc := make(map[index.DocID]float64)
+	for _, t := range q.Terms {
+		df := e.ix.DocFreq(q.Field, t.Term)
+		if df == 0 || t.Weight == 0 {
+			continue
+		}
+		st := TermStats{
+			N: n, AvgDocLen: avgdl, TotalLen: totalLen,
+			DF: df, CF: e.ix.CollectionFreq(q.Field, t.Term),
+			Weight: t.Weight,
+		}
+		it := e.ix.Postings(q.Field, t.Term)
+		for it.Next() {
+			doc := it.Doc()
+			acc[doc] += scorer.TermScore(st, it.TF(), e.ix.DocLen(q.Field, doc))
+		}
+	}
+	sumW := q.SumWeights()
+	top := newTopK(k)
+	candidates := 0
+	for doc, score := range acc {
+		id := e.ix.ExternalID(doc)
+		if opts.Filter != nil && !opts.Filter(id) {
+			continue
+		}
+		candidates++
+		score += scorer.DocScore(sumW, e.ix.DocLen(q.Field, doc))
+		top.offer(Hit{Doc: doc, ID: id, Score: score})
+	}
+	return Results{Hits: top.ranked(), Candidates: candidates}, nil
+}
+
+// SearchMultiField runs the same information need against several
+// field queries and fuses the ranked lists. A nil fuser selects
+// CombSUM with min-max normalisation.
+func (e *Engine) SearchMultiField(queries []Query, opts Options, fuser Fuser) (Results, error) {
+	if fuser == nil {
+		fuser = CombSUM{}
+	}
+	lists := make([][]Hit, 0, len(queries))
+	for _, q := range queries {
+		r, err := e.Search(q, opts)
+		if err != nil {
+			return Results{}, err
+		}
+		if len(r.Hits) > 0 {
+			lists = append(lists, r.Hits)
+		}
+	}
+	k := opts.K
+	if k <= 0 {
+		k = DefaultK
+	}
+	fused := Fuse(fuser, lists, k)
+	return Results{Hits: fused, Candidates: len(fused)}, nil
+}

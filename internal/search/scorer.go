@@ -1,0 +1,129 @@
+// Package search implements ranked retrieval over the inverted index:
+// BM25, TF-IDF and Dirichlet language-model scoring, term-at-a-time
+// query execution with a deterministic top-k, and rank fusion
+// operators (CombSUM, CombMNZ, Borda, RRF) used to merge text, concept
+// and personalised evidence.
+package search
+
+import "math"
+
+// TermStats carries the collection statistics a scorer needs for one
+// query term.
+type TermStats struct {
+	// N is the number of documents in the index.
+	N int
+	// AvgDocLen is the mean field length.
+	AvgDocLen float64
+	// TotalLen is the total token count of the field.
+	TotalLen int64
+	// DF and CF are the term's document and collection frequencies.
+	DF int
+	CF int64
+	// Weight is the query-side term weight (1 for plain queries;
+	// expansion terms carry fractional weights).
+	Weight float64
+}
+
+// Scorer turns per-term and per-document statistics into additive
+// relevance scores. Implementations must be stateless and safe for
+// concurrent use.
+type Scorer interface {
+	// Name identifies the scorer in run metadata and experiment tables.
+	Name() string
+	// TermScore returns the score contribution of one matching term
+	// occurrence set (tf > 0) in a document.
+	TermScore(st TermStats, tf, docLen int) float64
+	// DocScore returns a per-document additive correction applied once
+	// per candidate document (used by language models to account for
+	// unmatched query mass). sumWeights is the total query weight.
+	DocScore(sumWeights float64, docLen int) float64
+}
+
+// BM25 is the Okapi BM25 ranking function.
+type BM25 struct {
+	// K1 controls term-frequency saturation; B controls length
+	// normalisation. Zero values select the standard 1.2 / 0.75.
+	K1, B float64
+}
+
+// Name implements Scorer.
+func (s BM25) Name() string { return "bm25" }
+
+func (s BM25) params() (k1, b float64) {
+	k1, b = s.K1, s.B
+	if k1 == 0 {
+		k1 = 1.2
+	}
+	if b == 0 {
+		b = 0.75
+	}
+	return k1, b
+}
+
+// TermScore implements Scorer.
+func (s BM25) TermScore(st TermStats, tf, docLen int) float64 {
+	k1, b := s.params()
+	idf := math.Log(1 + (float64(st.N)-float64(st.DF)+0.5)/(float64(st.DF)+0.5))
+	norm := k1 * (1 - b + b*float64(docLen)/math.Max(st.AvgDocLen, 1e-9))
+	return st.Weight * idf * (float64(tf) * (k1 + 1)) / (float64(tf) + norm)
+}
+
+// DocScore implements Scorer (no per-document correction for BM25).
+func (s BM25) DocScore(float64, int) float64 { return 0 }
+
+// TFIDF is a classic log-tf × idf weighting with square-root length
+// normalisation, the family of the vector-space systems the paper's
+// era compared against.
+type TFIDF struct{}
+
+// Name implements Scorer.
+func (TFIDF) Name() string { return "tfidf" }
+
+// TermScore implements Scorer.
+func (TFIDF) TermScore(st TermStats, tf, docLen int) float64 {
+	if st.DF == 0 {
+		return 0
+	}
+	idf := math.Log(float64(st.N+1) / float64(st.DF))
+	ltf := 1 + math.Log(float64(tf))
+	return st.Weight * ltf * idf / math.Sqrt(math.Max(float64(docLen), 1))
+}
+
+// DocScore implements Scorer.
+func (TFIDF) DocScore(float64, int) float64 { return 0 }
+
+// DirichletLM is query-likelihood retrieval with Dirichlet-prior
+// smoothing.
+type DirichletLM struct {
+	// Mu is the smoothing mass; zero selects the standard 2000 scaled
+	// down for short shot transcripts (250).
+	Mu float64
+}
+
+// Name implements Scorer.
+func (s DirichletLM) Name() string { return "dirichlet-lm" }
+
+func (s DirichletLM) mu() float64 {
+	if s.Mu == 0 {
+		return 250
+	}
+	return s.Mu
+}
+
+// TermScore implements Scorer. Uses the rank-equivalent decomposition
+// log(1 + tf/(mu*p(t|C))), with the document-dependent remainder in
+// DocScore.
+func (s DirichletLM) TermScore(st TermStats, tf, docLen int) float64 {
+	if st.CF == 0 || st.TotalLen == 0 {
+		return 0
+	}
+	pc := float64(st.CF) / float64(st.TotalLen)
+	return st.Weight * math.Log(1+float64(tf)/(s.mu()*pc))
+}
+
+// DocScore implements Scorer: the |q|·log(mu/(dl+mu)) term shared by
+// all query terms.
+func (s DirichletLM) DocScore(sumWeights float64, docLen int) float64 {
+	mu := s.mu()
+	return sumWeights * math.Log(mu/(float64(docLen)+mu))
+}

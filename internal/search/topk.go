@@ -1,0 +1,69 @@
+package search
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// hitLess orders hits for final ranking: higher score first, then
+// ascending ID so equal-scored runs are reproducible across processes.
+func hitLess(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
+}
+
+// topK is a bounded min-heap keeping the K best hits seen so far.
+type topK struct {
+	k    int
+	heap hitHeap
+}
+
+func newTopK(k int) *topK { return &topK{k: k} }
+
+// offer considers one hit.
+func (t *topK) offer(h Hit) {
+	if t.k <= 0 {
+		return
+	}
+	if len(t.heap) < t.k {
+		heap.Push(&t.heap, h)
+		return
+	}
+	// The heap root is the current worst of the kept set; replace it
+	// when the candidate ranks strictly better.
+	if hitLess(h, t.heap[0]) {
+		t.heap[0] = h
+		heap.Fix(&t.heap, 0)
+	}
+}
+
+// ranked extracts the kept hits in final rank order.
+func (t *topK) ranked() []Hit {
+	out := make([]Hit, len(t.heap))
+	copy(out, t.heap)
+	sort.Slice(out, func(i, j int) bool { return hitLess(out[i], out[j]) })
+	return out
+}
+
+// hitHeap is a min-heap by rank quality: the root is the *worst* kept
+// hit, so it can be evicted cheaply.
+type hitHeap []Hit
+
+func (h hitHeap) Len() int { return len(h) }
+
+// Less inverts hitLess: the heap keeps the worst-ranked element on top.
+func (h hitHeap) Less(i, j int) bool { return hitLess(h[j], h[i]) }
+
+func (h hitHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *hitHeap) Push(x any) { *h = append(*h, x.(Hit)) }
+
+func (h *hitHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,372 @@
+package simulation
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/ilog"
+	"repro/internal/profile"
+	"repro/internal/synth"
+	"repro/internal/ui"
+)
+
+// Simulator drives stereotype users through search sessions against an
+// adaptive system, producing interaction logs and per-iteration
+// metrics. One Simulator is bound to one archive + system + interface;
+// it is not safe for concurrent use (it owns a PRNG).
+type Simulator struct {
+	arch  *synth.Archive
+	sys   *core.System
+	iface *ui.Interface
+	st    Stereotype
+	r     *rand.Rand
+	clock time.Time
+}
+
+// New wires a simulator. seed fixes the behaviour stream.
+func New(arch *synth.Archive, sys *core.System, iface *ui.Interface, st Stereotype, seed int64) (*Simulator, error) {
+	if arch == nil || sys == nil || iface == nil {
+		return nil, fmt.Errorf("simulation: archive, system and interface are required")
+	}
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	if err := iface.Validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{
+		arch:  arch,
+		sys:   sys,
+		iface: iface,
+		st:    st,
+		r:     rand.New(rand.NewSource(seed)),
+		clock: arch.Config.StartDate.AddDate(0, 1, 0), // study period after recording
+	}, nil
+}
+
+// SessionResult is the outcome of one simulated session.
+type SessionResult struct {
+	SessionID string
+	UserID    string
+	TopicID   int
+	Interface string
+	// Events is the full interaction log of the session.
+	Events []ilog.Event
+	// PerIteration holds the metrics of the ranking shown at each
+	// query iteration.
+	PerIteration []eval.Metrics
+	// Final is the last iteration's metrics.
+	Final eval.Metrics
+	// FinalRanking is the shot ranking of the last query iteration
+	// (for TREC run-file export).
+	FinalRanking []string
+	// DistinctSeen counts distinct shots the user examined (the
+	// exploration measure of the Vallet study).
+	DistinctSeen int
+	// EffortSpent is the interaction effort consumed (interface cost
+	// units).
+	EffortSpent float64
+}
+
+// relevant answers true relevance from the ground-truth qrels.
+func (s *Simulator) relevant(topicID int, shotID string) bool {
+	return s.arch.Truth.Qrels.Grade(topicID, collection.ShotID(shotID)) >= 1
+}
+
+// judgments converts a topic's qrels to eval form.
+func (s *Simulator) judgments(topicID int) eval.Judgments {
+	j := eval.Judgments{}
+	for shot, g := range s.arch.Truth.Qrels[topicID] {
+		j[string(shot)] = g
+	}
+	return j
+}
+
+// tick advances the simulated wall clock.
+func (s *Simulator) tick(d time.Duration) time.Time {
+	s.clock = s.clock.Add(d)
+	return s.clock
+}
+
+// RunSession simulates one user performing one search task for up to
+// maxIterations query cycles or until the interface effort budget runs
+// out. user may be nil (neutral profile).
+func (s *Simulator) RunSession(sessionID string, user *profile.Profile,
+	topic *synth.SearchTopic, maxIterations int) (*SessionResult, error) {
+
+	if topic == nil {
+		return nil, fmt.Errorf("simulation: nil topic")
+	}
+	if maxIterations <= 0 {
+		return nil, fmt.Errorf("simulation: maxIterations must be positive")
+	}
+	userID := "anon"
+	if user != nil {
+		userID = user.UserID
+	}
+	res := &SessionResult{
+		SessionID: sessionID,
+		UserID:    userID,
+		TopicID:   topic.ID,
+		Interface: s.iface.Name,
+	}
+	sess := s.sys.NewSession(sessionID, user)
+	judg := s.judgments(topic.ID)
+	budget := s.iface.SessionBudget
+	seen := map[string]bool{}
+
+	emit := func(e ilog.Event) error {
+		e.Time = s.tick(time.Second + time.Duration(s.r.Intn(3000))*time.Millisecond)
+		e.SessionID = sessionID
+		e.UserID = userID
+		e.Interface = s.iface.Name
+		e.TopicID = topic.ID
+		res.Events = append(res.Events, e)
+		return sess.Observe(e)
+	}
+
+	queryText := topic.Query
+	for it := 0; it < maxIterations; it++ {
+		// Persistent users may reformulate to the verbose form after
+		// an unsatisfying first pass. The probability check is guarded
+		// so non-reformulating stereotypes consume no randomness here.
+		if s.st.ReformulateProb > 0 && it > 0 && queryText == topic.Query &&
+			topic.Verbose != "" && s.r.Float64() < s.st.ReformulateProb {
+			queryText = topic.Verbose
+		}
+		qCost := s.iface.QueryCost(len(queryText))
+		if budget < qCost {
+			break
+		}
+		budget -= qCost
+		if err := emit(ilog.Event{Action: ilog.ActionQuery, Query: queryText, Step: it, Rank: -1}); err != nil {
+			return nil, err
+		}
+		results, err := sess.Query(queryText)
+		if err != nil {
+			return nil, err
+		}
+		res.PerIteration = append(res.PerIteration, eval.Compute(results.IDs(), judg))
+		res.FinalRanking = results.IDs()
+
+		if err := s.examine(results.IDs(), it, judg, seen, &budget, emit); err != nil {
+			return nil, err
+		}
+	}
+	if n := len(res.PerIteration); n > 0 {
+		res.Final = res.PerIteration[n-1]
+	}
+	res.DistinctSeen = len(seen)
+	res.EffortSpent = s.iface.SessionBudget - budget
+	return res, nil
+}
+
+// RunDriftSession simulates the mid-session interest change the
+// ostensive model targets (Campbell & van Rijsbergen, cited in §1):
+// the user works on topicA for itersA iterations, then their need
+// shifts to topicB for itersB iterations *within the same session*, so
+// stale topicA evidence pollutes adaptation unless it is discounted.
+// Returned metrics cover only the topicB phase, judged against topicB.
+func (s *Simulator) RunDriftSession(sessionID string, user *profile.Profile,
+	topicA, topicB *synth.SearchTopic, itersA, itersB int) (*SessionResult, error) {
+
+	if topicA == nil || topicB == nil {
+		return nil, fmt.Errorf("simulation: nil topic")
+	}
+	if itersA <= 0 || itersB <= 0 {
+		return nil, fmt.Errorf("simulation: drift session needs positive iteration counts")
+	}
+	userID := "anon"
+	if user != nil {
+		userID = user.UserID
+	}
+	res := &SessionResult{
+		SessionID: sessionID,
+		UserID:    userID,
+		TopicID:   topicB.ID,
+		Interface: s.iface.Name,
+	}
+	sess := s.sys.NewSession(sessionID, user)
+	budget := s.iface.SessionBudget * 2 // two tasks' worth of attention
+	seen := map[string]bool{}
+
+	phase := func(topic *synth.SearchTopic, iters, stepBase int, record bool) error {
+		judg := s.judgments(topic.ID)
+		emit := func(e ilog.Event) error {
+			e.Time = s.tick(time.Second + time.Duration(s.r.Intn(3000))*time.Millisecond)
+			e.SessionID = sessionID
+			e.UserID = userID
+			e.Interface = s.iface.Name
+			e.TopicID = topic.ID
+			res.Events = append(res.Events, e)
+			return sess.Observe(e)
+		}
+		for it := 0; it < iters; it++ {
+			step := stepBase + it
+			qCost := s.iface.QueryCost(len(topic.Query))
+			if budget < qCost {
+				return nil
+			}
+			budget -= qCost
+			if err := emit(ilog.Event{Action: ilog.ActionQuery, Query: topic.Query, Step: step, Rank: -1}); err != nil {
+				return err
+			}
+			results, err := sess.Query(topic.Query)
+			if err != nil {
+				return err
+			}
+			if record {
+				res.PerIteration = append(res.PerIteration, eval.Compute(results.IDs(), judg))
+			}
+			if err := s.examine(results.IDs(), step, judg, seen, &budget, emit); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := phase(topicA, itersA, 0, false); err != nil {
+		return nil, err
+	}
+	if err := phase(topicB, itersB, itersA, true); err != nil {
+		return nil, err
+	}
+	if n := len(res.PerIteration); n > 0 {
+		res.Final = res.PerIteration[n-1]
+	}
+	res.DistinctSeen = len(seen)
+	return res, nil
+}
+
+// examine walks the user down the result list, generating interaction
+// events under the stereotype until patience or budget is exhausted.
+func (s *Simulator) examine(ids []string, step int, judg eval.Judgments,
+	seen map[string]bool, budget *float64, emit func(ilog.Event) error) error {
+
+	browseCost := s.iface.ActionCost(ilog.ActionBrowse)
+	for rank, id := range ids {
+		if rank >= s.st.Patience {
+			break
+		}
+		// Paging: every PageSize results costs one browse action.
+		if rank > 0 && rank%s.iface.PageSize == 0 {
+			if *budget < browseCost {
+				break
+			}
+			*budget -= browseCost
+		}
+		seen[id] = true
+		truth := judg[id] >= 1
+		// The examined item leaves a (weak) browse trace.
+		if err := emit(ilog.Event{Action: ilog.ActionBrowse, ShotID: id, Step: step, Rank: rank}); err != nil {
+			return err
+		}
+		// Perception of relevance from keyframe + title.
+		perceived := truth
+		if s.r.Float64() > s.st.Accuracy {
+			perceived = !perceived
+		}
+		clickP := s.st.ClickNonRel
+		if perceived {
+			clickP = s.st.ClickRel
+		}
+		if s.r.Float64() >= clickP {
+			continue
+		}
+		// Highlight metadata before committing to playback.
+		if s.iface.Supports(ilog.ActionHighlight) && s.r.Float64() < s.st.HighlightProb {
+			cost := s.iface.ActionCost(ilog.ActionHighlight)
+			if *budget >= cost {
+				*budget -= cost
+				if err := emit(ilog.Event{Action: ilog.ActionHighlight, ShotID: id, Step: step, Rank: rank}); err != nil {
+					return err
+				}
+			}
+		}
+		// Click to start playback.
+		clickCost := s.iface.ActionCost(ilog.ActionClickKeyframe)
+		if *budget < clickCost {
+			break
+		}
+		*budget -= clickCost
+		if err := emit(ilog.Event{Action: ilog.ActionClickKeyframe, ShotID: id, Step: step, Rank: rank}); err != nil {
+			return err
+		}
+		// Play: dwell governed by true relevance (the user finds out).
+		playCost := s.iface.ActionCost(ilog.ActionPlay)
+		if *budget < playCost {
+			break
+		}
+		*budget -= playCost
+		frac := s.st.PlayFracNonRel
+		if truth {
+			frac = s.st.PlayFracRel
+		}
+		// Jitter ±25% of the mean fraction, clamped to [0.02, 1].
+		frac *= 0.75 + s.r.Float64()*0.5
+		if frac > 1 {
+			frac = 1
+		}
+		if frac < 0.02 {
+			frac = 0.02
+		}
+		shotSecs := s.shotSeconds(id)
+		if err := emit(ilog.Event{
+			Action: ilog.ActionPlay, ShotID: id, Step: step, Rank: rank,
+			Seconds: frac * shotSecs,
+		}); err != nil {
+			return err
+		}
+		// Slide/scrub within the playing video.
+		if s.iface.Supports(ilog.ActionSlide) && s.r.Float64() < s.st.SlideProb {
+			cost := s.iface.ActionCost(ilog.ActionSlide)
+			if *budget >= cost {
+				*budget -= cost
+				if err := emit(ilog.Event{
+					Action: ilog.ActionSlide, ShotID: id, Step: step, Rank: rank,
+					Seconds: shotSecs * 0.3,
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		// Explicit rating after viewing; propensity scales with how
+		// prominent the rating affordance is in this environment.
+		rateP := s.st.RateProb * s.iface.RateAffinity
+		if rateP > 1 {
+			rateP = 1
+		}
+		if s.iface.Supports(ilog.ActionRate) && s.r.Float64() < rateP {
+			cost := s.iface.ActionCost(ilog.ActionRate)
+			if *budget >= cost {
+				*budget -= cost
+				verdict := truth
+				if s.r.Float64() > s.st.RateAccuracy {
+					verdict = !verdict
+				}
+				value := -1
+				if verdict {
+					value = 1
+				}
+				if err := emit(ilog.Event{
+					Action: ilog.ActionRate, ShotID: id, Step: step, Rank: rank, Value: value,
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// shotSeconds resolves a shot's duration.
+func (s *Simulator) shotSeconds(id string) float64 {
+	shot := s.arch.Collection.Shot(collection.ShotID(id))
+	if shot == nil {
+		return 0
+	}
+	return shot.Duration.Seconds()
+}

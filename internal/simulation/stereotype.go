@@ -1,0 +1,146 @@
+// Package simulation implements the simulated-user evaluation
+// framework the paper proposes (§2.2): GUMS-style stereotype behaviour
+// models interacting with interface capability models over the
+// synthetic archive, emitting interaction logs and per-iteration
+// retrieval metrics. Simulation replaces the laboratory user study —
+// "a cheap and repeatable methodology to fine tune video retrieval
+// systems".
+package simulation
+
+import (
+	"fmt"
+)
+
+// Stereotype is a probabilistic user behaviour model ("simple
+// stereotype user behaviour" in Finin's GUMS sense). All probabilities
+// are in [0,1].
+type Stereotype struct {
+	Name string
+	// Accuracy is the probability the user correctly perceives a
+	// result's relevance from its keyframe/title before clicking.
+	Accuracy float64
+	// ClickRel / ClickNonRel: probability of clicking a keyframe given
+	// the result is perceived relevant / non-relevant.
+	ClickRel, ClickNonRel float64
+	// PlayFracRel / PlayFracNonRel: mean fraction of a clicked shot the
+	// user plays, given its true relevance (users discover the truth
+	// while watching).
+	PlayFracRel, PlayFracNonRel float64
+	// HighlightProb: probability of highlighting a result's metadata
+	// while examining it (when the interface affords it).
+	HighlightProb float64
+	// SlideProb: probability of scrubbing within a played video.
+	SlideProb float64
+	// RateProb: probability of rating a shot after playing it (explicit
+	// feedback; cheap on TV).
+	RateProb float64
+	// RateAccuracy: probability the post-viewing rating matches true
+	// relevance (watching is nearly reliable).
+	RateAccuracy float64
+	// Patience is the maximum results examined per query iteration.
+	Patience int
+	// ReformulateProb: per-iteration probability (after the first)
+	// that the user reformulates to the topic's verbose description —
+	// adding the deeper terms a persistent searcher recalls. The
+	// built-in stereotypes leave this at 0; studies that model
+	// reformulating users opt in.
+	ReformulateProb float64
+}
+
+// Validate checks all fields are in range.
+func (s Stereotype) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("simulation: stereotype without name")
+	}
+	probs := map[string]float64{
+		"Accuracy": s.Accuracy, "ClickRel": s.ClickRel, "ClickNonRel": s.ClickNonRel,
+		"PlayFracRel": s.PlayFracRel, "PlayFracNonRel": s.PlayFracNonRel,
+		"HighlightProb": s.HighlightProb, "SlideProb": s.SlideProb,
+		"RateProb": s.RateProb, "RateAccuracy": s.RateAccuracy,
+		"ReformulateProb": s.ReformulateProb,
+	}
+	for name, v := range probs {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("simulation: %s: %s=%v outside [0,1]", s.Name, name, v)
+		}
+	}
+	if s.Patience <= 0 {
+		return fmt.Errorf("simulation: %s: patience must be positive", s.Name)
+	}
+	return nil
+}
+
+// Diligent is a focused, careful searcher: reliable perception, deep
+// examination, watches relevant material through.
+func Diligent() Stereotype {
+	return Stereotype{
+		Name: "diligent", Accuracy: 0.9,
+		ClickRel: 0.75, ClickNonRel: 0.05,
+		PlayFracRel: 0.85, PlayFracNonRel: 0.20,
+		HighlightProb: 0.30, SlideProb: 0.20,
+		RateProb: 0.30, RateAccuracy: 0.95,
+		Patience: 30,
+	}
+}
+
+// Casual is the average non-expert user the paper wants studied.
+func Casual() Stereotype {
+	return Stereotype{
+		Name: "casual", Accuracy: 0.75,
+		ClickRel: 0.50, ClickNonRel: 0.10,
+		PlayFracRel: 0.65, PlayFracNonRel: 0.25,
+		HighlightProb: 0.15, SlideProb: 0.10,
+		RateProb: 0.10, RateAccuracy: 0.90,
+		Patience: 12,
+	}
+}
+
+// Sloppy is an inattentive user producing noisy implicit signals.
+func Sloppy() Stereotype {
+	return Stereotype{
+		Name: "sloppy", Accuracy: 0.6,
+		ClickRel: 0.40, ClickNonRel: 0.20,
+		PlayFracRel: 0.50, PlayFracNonRel: 0.35,
+		HighlightProb: 0.10, SlideProb: 0.05,
+		RateProb: 0.05, RateAccuracy: 0.80,
+		Patience: 8,
+	}
+}
+
+// Stereotypes returns the built-in population in a fixed order.
+func Stereotypes() []Stereotype {
+	return []Stereotype{Diligent(), Casual(), Sloppy()}
+}
+
+// TaskType modulates dwell behaviour by information-seeking task, the
+// contextual factor Kelly & Belkin showed confounds display time as an
+// indicator. It overrides the stereotype's play fractions.
+type TaskType struct {
+	Name string
+	// PlayFracRel / PlayFracNonRel replace the stereotype's values.
+	PlayFracRel, PlayFracNonRel float64
+}
+
+// TaskTypes returns the three studied task contexts:
+//
+//   - fact-find: the user verifies a specific fact and bails out
+//     quickly even from relevant footage;
+//   - background: the user gathers context and watches almost
+//     everything for a while, relevant or not;
+//   - leisure: mixed viewing, dwell moderately correlated with
+//     relevance.
+func TaskTypes() []TaskType {
+	return []TaskType{
+		{Name: "fact-find", PlayFracRel: 0.30, PlayFracNonRel: 0.10},
+		{Name: "background", PlayFracRel: 0.90, PlayFracNonRel: 0.65},
+		{Name: "leisure", PlayFracRel: 0.70, PlayFracNonRel: 0.30},
+	}
+}
+
+// Apply returns a copy of st with the task's dwell behaviour.
+func (tt TaskType) Apply(st Stereotype) Stereotype {
+	st.Name = st.Name + "/" + tt.Name
+	st.PlayFracRel = tt.PlayFracRel
+	st.PlayFracNonRel = tt.PlayFracNonRel
+	return st
+}

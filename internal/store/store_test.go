@@ -1,0 +1,240 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func makeArchive(t testing.TB, seed int64) *synth.Archive {
+	t.Helper()
+	arch, err := synth.Generate(synth.TinyConfig(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arch
+}
+
+func TestRoundTrip(t *testing.T) {
+	arch := makeArchive(t, 1)
+	var buf bytes.Buffer
+	if _, err := Write(&buf, arch); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertArchivesEqual(t, arch, got)
+}
+
+func TestSaveLoad(t *testing.T) {
+	arch := makeArchive(t, 2)
+	path := filepath.Join(t.TempDir(), "a.ivrarc")
+	if err := Save(path, arch); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertArchivesEqual(t, arch, got)
+}
+
+func assertArchivesEqual(t *testing.T, want, got *synth.Archive) {
+	t.Helper()
+	// Config round-trips exactly.
+	if !reflect.DeepEqual(want.Config, got.Config) {
+		t.Errorf("config mismatch:\n got %+v\nwant %+v", got.Config, want.Config)
+	}
+	// Collection: same sizes, same IDs in order, same shot payloads.
+	if got.Collection.NumVideos() != want.Collection.NumVideos() ||
+		got.Collection.NumStories() != want.Collection.NumStories() ||
+		got.Collection.NumShots() != want.Collection.NumShots() {
+		t.Fatalf("collection sizes differ")
+	}
+	if !reflect.DeepEqual(got.Collection.ShotIDs(), want.Collection.ShotIDs()) {
+		t.Fatal("shot ID order differs")
+	}
+	for _, id := range want.Collection.ShotIDs() {
+		ws, gs := want.Collection.Shot(id), got.Collection.Shot(id)
+		if ws.Transcript != gs.Transcript || ws.Kind != gs.Kind ||
+			ws.Start != gs.Start || ws.Duration != gs.Duration || ws.Index != gs.Index {
+			t.Fatalf("shot %s basic fields differ", id)
+		}
+		if !reflect.DeepEqual(ws.Keyframes, gs.Keyframes) {
+			t.Fatalf("shot %s keyframes differ", id)
+		}
+		if !reflect.DeepEqual(ws.Concepts, gs.Concepts) {
+			t.Fatalf("shot %s concepts differ", id)
+		}
+		if !reflect.DeepEqual(ws.TrueConcepts, gs.TrueConcepts) {
+			t.Fatalf("shot %s true concepts differ", id)
+		}
+	}
+	for _, id := range want.Collection.StoryIDs() {
+		wst, gst := want.Collection.Story(id), got.Collection.Story(id)
+		if wst.Title != gst.Title || wst.Category != gst.Category || wst.TopicID != gst.TopicID {
+			t.Fatalf("story %s differs", id)
+		}
+		if !reflect.DeepEqual(wst.Shots, gst.Shots) {
+			t.Fatalf("story %s shot list differs", id)
+		}
+	}
+	for _, id := range want.Collection.VideoIDs() {
+		wv, gv := want.Collection.Video(id), got.Collection.Video(id)
+		if wv.Title != gv.Title || !wv.Broadcast.Equal(gv.Broadcast) || wv.Duration != gv.Duration {
+			t.Fatalf("video %s differs", id)
+		}
+	}
+	// Truth.
+	if !reflect.DeepEqual(want.Truth.Qrels, got.Truth.Qrels) {
+		t.Error("qrels differ")
+	}
+	if !reflect.DeepEqual(want.Truth.StoryTopic, got.Truth.StoryTopic) {
+		t.Error("story-topic map differs")
+	}
+	if !reflect.DeepEqual(want.Truth.CleanTranscript, got.Truth.CleanTranscript) {
+		t.Error("clean transcripts differ")
+	}
+	if len(want.Truth.Topics) != len(got.Truth.Topics) {
+		t.Fatal("topic counts differ")
+	}
+	for i := range want.Truth.Topics {
+		if !reflect.DeepEqual(want.Truth.Topics[i], got.Truth.Topics[i]) {
+			t.Fatalf("topic %d differs", i)
+		}
+	}
+	for i := range want.Truth.SearchTopics {
+		if !reflect.DeepEqual(want.Truth.SearchTopics[i], got.Truth.SearchTopics[i]) {
+			t.Fatalf("search topic %d differs", i)
+		}
+	}
+}
+
+func TestDeterministicBytes(t *testing.T) {
+	arch := makeArchive(t, 3)
+	var a, b bytes.Buffer
+	if _, err := Write(&a, arch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Write(&b, arch); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("serialisation is not byte-deterministic")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("definitely not an archive")); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("garbage: %v", err)
+	}
+	if _, err := Read(strings.NewReader("")); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("empty: %v", err)
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	arch := makeArchive(t, 4)
+	var buf bytes.Buffer
+	if _, err := Write(&buf, arch); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	corrupt := make([]byte, len(raw))
+	copy(corrupt, raw)
+	corrupt[len(magic)+10] ^= 0x55
+	if _, err := Read(bytes.NewReader(corrupt)); !errors.Is(err, ErrChecksum) {
+		t.Errorf("bit flip: %v, want ErrChecksum", err)
+	}
+	if _, err := Read(bytes.NewReader(raw[:len(raw)*2/3])); err == nil {
+		t.Error("truncation accepted")
+	}
+}
+
+// TestCorruptionFuzz flips random bytes throughout the file and
+// requires Read to fail cleanly (error, never panic, never silently
+// succeed with altered payload bytes).
+func TestCorruptionFuzz(t *testing.T) {
+	arch := makeArchive(t, 5)
+	var buf bytes.Buffer
+	if _, err := Write(&buf, arch); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		corrupt := make([]byte, len(raw))
+		copy(corrupt, raw)
+		pos := r.Intn(len(corrupt))
+		bit := byte(1 << r.Intn(8))
+		corrupt[pos] ^= bit
+		_, err := Read(bytes.NewReader(corrupt))
+		if pos >= len(magic) && pos < len(raw)-4 {
+			// Payload flip must be caught by the checksum.
+			if err == nil {
+				t.Fatalf("trial %d: payload corruption at %d accepted", trial, pos)
+			}
+		} else if err == nil {
+			t.Fatalf("trial %d: header/footer corruption at %d accepted", trial, pos)
+		}
+	}
+}
+
+func TestWriteRejectsIncomplete(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Write(&buf, nil); err == nil {
+		t.Error("nil archive accepted")
+	}
+	if _, err := Write(&buf, &synth.Archive{}); err == nil {
+		t.Error("empty archive accepted")
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "none.ivrarc")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadedArchiveIsUsable(t *testing.T) {
+	arch := makeArchive(t, 6)
+	var buf bytes.Buffer
+	if _, err := Write(&buf, arch); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded archive supports the standard evaluation path.
+	if got.Collection.Validate() != nil {
+		t.Fatal("loaded collection invalid")
+	}
+	for _, st := range got.Truth.SearchTopics {
+		if got.Truth.Qrels.NumRelevant(st.ID, 1) == 0 {
+			t.Errorf("topic %d lost its qrels", st.ID)
+		}
+	}
+}
+
+func BenchmarkWriteRead(b *testing.B) {
+	arch := makeArchive(b, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := Write(&buf, arch); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Read(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/collection"
+)
+
+// ASRChannel is a word-error channel simulating automatic speech
+// recognition over broadcast audio. It degrades ground-truth text with
+// substitutions, deletions and insertions at a configurable overall
+// word error rate, reproducing the paper's premise that "textual
+// sources of video clips, i.e. speech transcripts, are often not
+// reliable enough".
+type ASRChannel struct {
+	// WER is the total word error rate in [0,1): the probability that
+	// any given word participates in an error.
+	WER float64
+	// SubFrac, DelFrac, InsFrac split WER among error kinds; they are
+	// normalised internally, so only ratios matter. Zero values fall
+	// back to the empirical broadcast-ASR split 60/25/15.
+	SubFrac, DelFrac, InsFrac float64
+	// Lexicon supplies substitute/inserted words; typically the
+	// background vocabulary. Must be non-empty when WER > 0.
+	Lexicon []string
+}
+
+// normalised returns the per-word probabilities of each error kind.
+func (a *ASRChannel) normalised() (sub, del, ins float64) {
+	s, d, i := a.SubFrac, a.DelFrac, a.InsFrac
+	if s == 0 && d == 0 && i == 0 {
+		s, d, i = 0.60, 0.25, 0.15
+	}
+	tot := s + d + i
+	return a.WER * s / tot, a.WER * d / tot, a.WER * i / tot
+}
+
+// Corrupt passes text through the channel. With WER == 0 the input is
+// returned unchanged (fast path).
+func (a *ASRChannel) Corrupt(r *rand.Rand, text string) string {
+	if a.WER <= 0 {
+		return text
+	}
+	words := strings.Fields(text)
+	if len(words) == 0 {
+		return text
+	}
+	sub, del, ins := a.normalised()
+	out := make([]string, 0, len(words)+2)
+	for _, w := range words {
+		p := r.Float64()
+		switch {
+		case p < sub:
+			out = append(out, a.Lexicon[r.Intn(len(a.Lexicon))])
+		case p < sub+del:
+			// dropped
+		case p < sub+del+ins:
+			out = append(out, w, a.Lexicon[r.Intn(len(a.Lexicon))])
+		default:
+			out = append(out, w)
+		}
+	}
+	return strings.Join(out, " ")
+}
+
+// CorruptArchive rebuilds an archive's collection with the clean
+// transcripts passed through a fresh ASR channel at the given WER.
+// Everything else (structure, stories, concepts, keyframes, qrels) is
+// preserved, so sweeps over WER isolate transcript quality — the T9
+// experiment's requirement. The source archive is not modified.
+func CorruptArchive(arch *Archive, wer float64, seed int64) (*collection.Collection, error) {
+	if wer < 0 || wer >= 1 {
+		return nil, fmt.Errorf("synth: WER %v outside [0,1)", wer)
+	}
+	r := rand.New(rand.NewSource(seed))
+	// Rebuild the lexicon deterministically from the archive config so
+	// substitutions come from the same background vocabulary.
+	vr := rand.New(rand.NewSource(seed + 1))
+	vocab, err := NewVocabulary(vr, arch.Config.BackgroundVocab, collection.NumCategories,
+		arch.Config.TermsPerCategory, arch.Config.NumTopics*arch.Config.TermsPerTopic)
+	if err != nil {
+		return nil, err
+	}
+	ch := ASRChannel{WER: wer, Lexicon: vocab.Background}
+	out := collection.New()
+	var buildErr error
+	arch.Collection.Videos(func(v *collection.Video) bool {
+		nv := *v
+		nv.Stories = nil
+		nv.Shots = nil
+		buildErr = out.AddVideo(&nv)
+		return buildErr == nil
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	arch.Collection.Stories(func(st *collection.Story) bool {
+		ns := *st
+		ns.Shots = nil
+		buildErr = out.AddStory(&ns)
+		return buildErr == nil
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	arch.Collection.Shots(func(sh *collection.Shot) bool {
+		nsh := *sh
+		clean, ok := arch.Truth.CleanTranscript[sh.ID]
+		if !ok {
+			buildErr = fmt.Errorf("synth: no clean transcript for %s", sh.ID)
+			return false
+		}
+		nsh.Transcript = ch.Corrupt(r, clean)
+		buildErr = out.AddShot(&nsh)
+		return buildErr == nil
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	return out, nil
+}
+
+// MeasureWER computes the standard word error rate of hypothesis
+// against reference: the word-level Levenshtein distance (substitutions
+// + deletions + insertions) divided by the reference length. It is used
+// by tests and the T9 experiment to verify the channel is calibrated.
+func MeasureWER(reference, hypothesis string) float64 {
+	ref := strings.Fields(reference)
+	hyp := strings.Fields(hypothesis)
+	if len(ref) == 0 {
+		return 0
+	}
+	// Two-row dynamic program over the (ref x hyp) edit lattice.
+	prev := make([]int, len(hyp)+1)
+	cur := make([]int, len(hyp)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ref); i++ {
+		cur[0] = i
+		for j := 1; j <= len(hyp); j++ {
+			sub := prev[j-1]
+			if ref[i-1] != hyp[j-1] {
+				sub++
+			}
+			del := prev[j] + 1
+			ins := cur[j-1] + 1
+			m := sub
+			if del < m {
+				m = del
+			}
+			if ins < m {
+				m = ins
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return float64(prev[len(hyp)]) / float64(len(ref))
+}

@@ -1,0 +1,159 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/collection"
+)
+
+// DetectorModel simulates a bank of high-level concept detectors in the
+// TRECVID style. For every (shot, concept) pair the simulated detector
+// fires with probability TPR when the concept is truly present and FPR
+// when it is absent; fired detections carry a confidence score whose
+// distribution also depends on ground truth, so confidence thresholds
+// behave the way real detector scores do.
+type DetectorModel struct {
+	// TPR is the true-positive (hit) rate in [0,1].
+	TPR float64
+	// FPR is the false-positive (false alarm) rate in [0,1].
+	FPR float64
+}
+
+// DefaultDetector reflects mid-2000s TRECVID detector quality: useful
+// but far from reliable — the semantic gap the paper describes.
+func DefaultDetector() DetectorModel { return DetectorModel{TPR: 0.65, FPR: 0.05} }
+
+// confidence draws a detection confidence: present concepts score
+// Beta-like high, absent ones low, with heavy overlap at mid-range.
+func (d DetectorModel) confidence(r *rand.Rand, present bool) float64 {
+	// Sum of two uniforms gives a cheap triangular distribution.
+	tri := (r.Float64() + r.Float64()) / 2
+	if present {
+		return 0.5 + tri/2 // [0.5, 1), peak at 0.75
+	}
+	return tri / 2 // [0, 0.5), peak at 0.25
+}
+
+// Detect produces the noisy detector output for a shot given its
+// ground-truth concepts. Output order follows the global concept
+// vocabulary, so it is deterministic.
+func (d DetectorModel) Detect(r *rand.Rand, truth []collection.Concept) []collection.ConceptScore {
+	truthSet := make(map[collection.Concept]bool, len(truth))
+	for _, c := range truth {
+		truthSet[c] = true
+	}
+	var out []collection.ConceptScore
+	for _, c := range collection.ConceptVocabulary {
+		present := truthSet[c]
+		var fire bool
+		if present {
+			fire = r.Float64() < d.TPR
+		} else {
+			fire = r.Float64() < d.FPR
+		}
+		if fire {
+			out = append(out, collection.ConceptScore{
+				Concept:    c,
+				Confidence: d.confidence(r, present),
+			})
+		}
+	}
+	return out
+}
+
+// RedetectArchive rebuilds an archive's collection with detector
+// outputs regenerated at the given quality over the *same* ground
+// truth. Transcripts, structure and qrels are untouched, so detector
+// sweeps isolate concept quality — the T10 experiment's requirement.
+// The source archive is not modified.
+func RedetectArchive(arch *Archive, d DetectorModel, seed int64) (*collection.Collection, error) {
+	if d.TPR < 0 || d.TPR > 1 || d.FPR < 0 || d.FPR > 1 {
+		return nil, fmt.Errorf("synth: detector rates outside [0,1]: %+v", d)
+	}
+	r := rand.New(rand.NewSource(seed))
+	out := collection.New()
+	var buildErr error
+	arch.Collection.Videos(func(v *collection.Video) bool {
+		nv := *v
+		nv.Stories = nil
+		nv.Shots = nil
+		buildErr = out.AddVideo(&nv)
+		return buildErr == nil
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	arch.Collection.Stories(func(st *collection.Story) bool {
+		ns := *st
+		ns.Shots = nil
+		buildErr = out.AddStory(&ns)
+		return buildErr == nil
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	arch.Collection.Shots(func(sh *collection.Shot) bool {
+		nsh := *sh
+		nsh.Concepts = d.Detect(r, sh.TrueConcepts)
+		buildErr = out.AddShot(&nsh)
+		return buildErr == nil
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	return out, nil
+}
+
+// Accuracy summarises detector output quality against ground truth over
+// a set of shots; used by the T10 experiment harness.
+type Accuracy struct {
+	TruePositives, FalsePositives int
+	FalseNegatives, TrueNegatives int
+}
+
+// Precision of the detections.
+func (a Accuracy) Precision() float64 {
+	d := a.TruePositives + a.FalsePositives
+	if d == 0 {
+		return 0
+	}
+	return float64(a.TruePositives) / float64(d)
+}
+
+// Recall of the detections.
+func (a Accuracy) Recall() float64 {
+	d := a.TruePositives + a.FalseNegatives
+	if d == 0 {
+		return 0
+	}
+	return float64(a.TruePositives) / float64(d)
+}
+
+// MeasureDetector accumulates detector accuracy over shots.
+func MeasureDetector(shots []*collection.Shot) Accuracy {
+	var acc Accuracy
+	for _, s := range shots {
+		fired := make(map[collection.Concept]bool, len(s.Concepts))
+		for _, cs := range s.Concepts {
+			fired[cs.Concept] = true
+		}
+		truth := make(map[collection.Concept]bool, len(s.TrueConcepts))
+		for _, c := range s.TrueConcepts {
+			truth[c] = true
+		}
+		for _, c := range collection.ConceptVocabulary {
+			switch {
+			case truth[c] && fired[c]:
+				acc.TruePositives++
+			case truth[c] && !fired[c]:
+				acc.FalseNegatives++
+			case !truth[c] && fired[c]:
+				acc.FalsePositives++
+			default:
+				acc.TrueNegatives++
+			}
+		}
+	}
+	return acc
+}

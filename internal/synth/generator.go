@@ -1,0 +1,516 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/collection"
+)
+
+// Config parameterises archive generation. The zero value is not
+// usable; start from DefaultConfig.
+type Config struct {
+	// Days is the number of daily bulletins to record.
+	Days int
+	// StoriesPerVideo is the number of stories per bulletin.
+	StoriesPerVideo int
+	// MinShotsPerStory/MaxShotsPerStory bound story length in shots.
+	MinShotsPerStory, MaxShotsPerStory int
+	// MinWordsPerShot/MaxWordsPerShot bound ground-truth transcript length.
+	MinWordsPerShot, MaxWordsPerShot int
+	// NumTopics is the number of ground-truth news topics.
+	NumTopics int
+	// NumSearchTopics is how many evaluation queries to emit (<= NumTopics).
+	NumSearchTopics int
+	// Vocabulary partition sizes.
+	BackgroundVocab, TermsPerTopic, TermsPerCategory int
+	// TopicMix/CategoryMix are the probabilities that a generated word
+	// is drawn from the story's topic / category vocabulary; the rest
+	// is Zipfian background.
+	TopicMix, CategoryMix float64
+	// LeakMix is the probability that a word is drawn from a *random
+	// other* topic's vocabulary, simulating the polysemy and shared
+	// vocabulary that make real news retrieval non-separable (the
+	// semantic gap's textual face). Without leakage, topic queries
+	// would be trivially perfect.
+	LeakMix float64
+	// WER is the simulated ASR word error rate.
+	WER float64
+	// Detector simulates concept detection quality.
+	Detector DetectorModel
+	// MinShotSeconds/MaxShotSeconds bound shot duration.
+	MinShotSeconds, MaxShotSeconds float64
+	// MaxKeyframesPerShot bounds keyframes (>=1 always emitted).
+	MaxKeyframesPerShot int
+	// Channel and StartDate label the generated broadcasts.
+	Channel   string
+	StartDate time.Time
+}
+
+// DefaultConfig models a month of one-per-day half-hour bulletins: the
+// scale of the news-archive scenario in the paper's framework proposal.
+func DefaultConfig() Config {
+	return Config{
+		Days:                30,
+		StoriesPerVideo:     10,
+		MinShotsPerStory:    3,
+		MaxShotsPerStory:    8,
+		MinWordsPerShot:     25,
+		MaxWordsPerShot:     70,
+		NumTopics:           120,
+		NumSearchTopics:     25,
+		BackgroundVocab:     4000,
+		TermsPerTopic:       12,
+		TermsPerCategory:    30,
+		TopicMix:            0.18,
+		CategoryMix:         0.15,
+		LeakMix:             0.15,
+		WER:                 0.20,
+		Detector:            DefaultDetector(),
+		MinShotSeconds:      4,
+		MaxShotSeconds:      30,
+		MaxKeyframesPerShot: 3,
+		Channel:             "SYN1",
+		StartDate:           time.Date(2007, 11, 5, 13, 0, 0, 0, time.UTC),
+	}
+}
+
+// TinyConfig is a fast configuration for tests and examples.
+func TinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Days = 6
+	cfg.StoriesPerVideo = 5
+	cfg.NumTopics = 24
+	cfg.NumSearchTopics = 8
+	cfg.BackgroundVocab = 800
+	return cfg
+}
+
+// validate rejects incoherent configurations early.
+func (c Config) validate() error {
+	switch {
+	case c.Days <= 0 || c.StoriesPerVideo <= 0:
+		return fmt.Errorf("synth: Days and StoriesPerVideo must be positive")
+	case c.MinShotsPerStory <= 0 || c.MaxShotsPerStory < c.MinShotsPerStory:
+		return fmt.Errorf("synth: bad shots-per-story range [%d,%d]", c.MinShotsPerStory, c.MaxShotsPerStory)
+	case c.MinWordsPerShot <= 0 || c.MaxWordsPerShot < c.MinWordsPerShot:
+		return fmt.Errorf("synth: bad words-per-shot range [%d,%d]", c.MinWordsPerShot, c.MaxWordsPerShot)
+	case c.NumTopics <= 0:
+		return fmt.Errorf("synth: NumTopics must be positive")
+	case c.NumSearchTopics < 0 || c.NumSearchTopics > c.NumTopics:
+		return fmt.Errorf("synth: NumSearchTopics %d outside [0,%d]", c.NumSearchTopics, c.NumTopics)
+	case c.NumSearchTopics > c.Days*c.StoriesPerVideo:
+		return fmt.Errorf("synth: %d search topics cannot all air in %d story slots",
+			c.NumSearchTopics, c.Days*c.StoriesPerVideo)
+	case c.TopicMix < 0 || c.CategoryMix < 0 || c.LeakMix < 0 || c.TopicMix+c.CategoryMix+c.LeakMix >= 1:
+		return fmt.Errorf("synth: TopicMix+CategoryMix+LeakMix must stay below 1")
+	case c.WER < 0 || c.WER >= 1:
+		return fmt.Errorf("synth: WER %v outside [0,1)", c.WER)
+	case c.MinShotSeconds <= 0 || c.MaxShotSeconds < c.MinShotSeconds:
+		return fmt.Errorf("synth: bad shot seconds range [%v,%v]", c.MinShotSeconds, c.MaxShotSeconds)
+	case c.MaxKeyframesPerShot < 1:
+		return fmt.Errorf("synth: MaxKeyframesPerShot must be >= 1")
+	}
+	return nil
+}
+
+// GroundTruth carries everything the evaluation and simulation layers
+// need but retrieval code must never see.
+type GroundTruth struct {
+	Topics       []*Topic
+	SearchTopics []*SearchTopic
+	Qrels        Qrels
+	// StoryTopic maps each story to the topic that generated it.
+	StoryTopic map[collection.StoryID]int
+	// CleanTranscript is the pre-ASR text of each shot.
+	CleanTranscript map[collection.ShotID]string
+}
+
+// Archive bundles a generated collection with its ground truth.
+type Archive struct {
+	Collection *collection.Collection
+	Truth      *GroundTruth
+	Config     Config
+}
+
+// Generate builds a complete synthetic archive. The same (cfg, seed)
+// always produces the identical archive.
+func Generate(cfg Config, seed int64) (*Archive, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	vocab, err := NewVocabulary(r, cfg.BackgroundVocab, collection.NumCategories,
+		cfg.TermsPerCategory, cfg.NumTopics*cfg.TermsPerTopic)
+	if err != nil {
+		return nil, err
+	}
+	topics := generateTopics(r, vocab, cfg.NumTopics, cfg.TermsPerTopic)
+	searchTopics := makeSearchTopics(r, topics, cfg.NumSearchTopics)
+
+	g := &generator{
+		cfg:    cfg,
+		r:      r,
+		vocab:  vocab,
+		topics: topics,
+		zipf:   newZipfSampler(r, cfg.BackgroundVocab),
+		asr: ASRChannel{
+			WER:     cfg.WER,
+			Lexicon: vocab.Background,
+		},
+		coll: collection.New(),
+		truth: &GroundTruth{
+			Topics:          topics,
+			SearchTopics:    searchTopics,
+			Qrels:           make(Qrels),
+			StoryTopic:      make(map[collection.StoryID]int),
+			CleanTranscript: make(map[collection.ShotID]string),
+		},
+	}
+	if err := g.run(); err != nil {
+		return nil, err
+	}
+	g.buildQrels()
+	if err := g.coll.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: generated collection failed validation: %w", err)
+	}
+	return &Archive{Collection: g.coll, Truth: g.truth, Config: cfg}, nil
+}
+
+type generator struct {
+	cfg    Config
+	r      *rand.Rand
+	vocab  *Vocabulary
+	topics []*Topic
+	zipf   *zipfSampler
+	asr    ASRChannel
+	coll   *collection.Collection
+	truth  *GroundTruth
+	// uncovered tracks evaluated topics that have not yet aired;
+	// slotsLeft counts remaining story slots. Together they let the
+	// scheduler guarantee that every search topic has relevant
+	// material in the archive.
+	uncovered map[int]bool
+	slotsLeft int
+}
+
+func (g *generator) run() error {
+	g.uncovered = make(map[int]bool, len(g.truth.SearchTopics))
+	for _, st := range g.truth.SearchTopics {
+		g.uncovered[st.TopicID] = true
+	}
+	g.slotsLeft = g.cfg.Days * g.cfg.StoriesPerVideo
+	for day := 0; day < g.cfg.Days; day++ {
+		if err := g.makeVideo(day); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickTopic selects a topic for a story slot. Half the slots follow
+// topic popularity (lead stories recur); the other half rotate through
+// the topic list so minor topics cycle through bulletins. When the
+// remaining slot budget just covers the still-unaired evaluation
+// topics, those are force-scheduled so qrels are never empty.
+func (g *generator) pickTopic(day, slot int, used map[int]bool) *Topic {
+	g.slotsLeft--
+	if len(g.uncovered) > g.slotsLeft {
+		// Must cover an unaired evaluation topic now; take the lowest
+		// ID for determinism.
+		best := -1
+		for id := range g.uncovered {
+			if best == -1 || id < best {
+				best = id
+			}
+		}
+		delete(g.uncovered, best)
+		return g.topics[best]
+	}
+	pick := func(t *Topic) *Topic {
+		delete(g.uncovered, t.ID)
+		return t
+	}
+	rotation := (day*g.cfg.StoriesPerVideo + slot) % len(g.topics)
+	if !used[rotation] && g.r.Float64() < 0.5 {
+		return pick(g.topics[rotation])
+	}
+	// Popularity-weighted sampling with a few retries to avoid
+	// duplicate topics inside one bulletin.
+	var total float64
+	for _, t := range g.topics {
+		total += t.Popularity
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		x := g.r.Float64() * total
+		for _, t := range g.topics {
+			x -= t.Popularity
+			if x <= 0 {
+				if !used[t.ID] {
+					return pick(t)
+				}
+				break
+			}
+		}
+	}
+	return pick(g.topics[rotation])
+}
+
+func (g *generator) makeVideo(day int) error {
+	vid := collection.VideoID(fmt.Sprintf("v%04d", day))
+	date := g.cfg.StartDate.AddDate(0, 0, day)
+	video := &collection.Video{
+		ID:        vid,
+		Title:     fmt.Sprintf("%s News %s", g.cfg.Channel, date.Format("2006-01-02")),
+		Channel:   g.cfg.Channel,
+		Broadcast: date,
+	}
+	if err := g.coll.AddVideo(video); err != nil {
+		return err
+	}
+	var cursor time.Duration
+	shotIndex := 0
+	used := make(map[int]bool, g.cfg.StoriesPerVideo)
+	for slot := 0; slot < g.cfg.StoriesPerVideo; slot++ {
+		topic := g.pickTopic(day, slot, used)
+		used[topic.ID] = true
+		aspect := g.sampleAspect(topic)
+		sid := collection.StoryID(fmt.Sprintf("%s_t%02d", vid, slot))
+		// The headline is written from the story's own vocabulary, not
+		// the canonical topic terms — editors phrase stories their own
+		// way, which is what makes title indexing non-trivial.
+		titleLen := 3
+		if titleLen > len(aspect) {
+			titleLen = len(aspect)
+		}
+		story := &collection.Story{
+			ID:       sid,
+			VideoID:  vid,
+			Index:    slot,
+			Title:    strings.Join(aspect[:titleLen], " "),
+			Category: topic.Category,
+			TopicID:  topic.ID,
+		}
+		if err := g.coll.AddStory(story); err != nil {
+			return err
+		}
+		g.truth.StoryTopic[sid] = topic.ID
+		nShots := g.cfg.MinShotsPerStory + g.r.Intn(g.cfg.MaxShotsPerStory-g.cfg.MinShotsPerStory+1)
+		for s := 0; s < nShots; s++ {
+			shot, err := g.makeShot(vid, sid, topic, aspect, shotIndex, s, nShots, cursor)
+			if err != nil {
+				return err
+			}
+			cursor = shot.End()
+			shotIndex++
+		}
+	}
+	video.Duration = cursor
+	return nil
+}
+
+// shotKind assigns a production role: stories open on the anchor, then
+// cut between report, interview and graphics footage; weather stories
+// use weather footage.
+func (g *generator) shotKind(topic *Topic, pos, total int) collection.ShotKind {
+	if pos == 0 {
+		return collection.ShotAnchor
+	}
+	if topic.Category == collection.CatWeather {
+		return collection.ShotWeather
+	}
+	switch p := g.r.Float64(); {
+	case p < 0.55:
+		return collection.ShotReport
+	case p < 0.80:
+		return collection.ShotInterview
+	default:
+		return collection.ShotGraphics
+	}
+}
+
+// sampleAspect picks the vocabulary "aspect" one story uses: a
+// rank-biased subset of its topic's terms. Different stories on the
+// same topic phrase it differently, so a keyword query reaches only
+// the stories sharing its vocabulary — the query/content mismatch that
+// gives relevance feedback something to bridge.
+func (g *generator) sampleAspect(topic *Topic) []string {
+	k := len(topic.Terms) / 3
+	if k < 3 {
+		k = 3
+	}
+	if k > len(topic.Terms) {
+		k = len(topic.Terms)
+	}
+	// Uniform subset: any story is about as likely to use deep
+	// vocabulary as headline vocabulary, so a short query reaches only
+	// the stories that happen to share its words. Keep topic-rank
+	// order so the within-story frequency bias still favours the
+	// story's most characteristic terms.
+	perm := g.r.Perm(len(topic.Terms))[:k]
+	sort.Ints(perm)
+	aspect := make([]string, k)
+	for i, idx := range perm {
+		aspect[i] = topic.Terms[idx]
+	}
+	return aspect
+}
+
+// shotText draws the ground-truth transcript for one shot. Anchor
+// shots lean generic (the anchor frames the story); field footage is
+// denser in topical vocabulary. The topical draw uses the story's
+// aspect, not the full topic vocabulary.
+func (g *generator) shotText(topic *Topic, aspect []string, kind collection.ShotKind, nWords int) string {
+	topicMix := g.cfg.TopicMix
+	if kind == collection.ShotAnchor {
+		topicMix /= 2
+	}
+	catTerms := g.vocab.Category[topic.Category]
+	words := make([]string, nWords)
+	for i := range words {
+		switch p := g.r.Float64(); {
+		case p < topicMix:
+			// Aspect terms follow a within-story rank bias: earlier
+			// terms are more characteristic and more frequent.
+			k := g.r.Intn(len(aspect))
+			if j := g.r.Intn(len(aspect)); j < k {
+				k = j
+			}
+			words[i] = aspect[k]
+		case p < topicMix+g.cfg.CategoryMix:
+			words[i] = catTerms[g.r.Intn(len(catTerms))]
+		case p < topicMix+g.cfg.CategoryMix+g.cfg.LeakMix && len(g.topics) > 1:
+			// Cross-topic leakage: vocabulary shared with another
+			// topic (polysemy). Rank-biased like the topical draw.
+			other := g.topics[g.r.Intn(len(g.topics))]
+			if other.ID == topic.ID {
+				words[i] = g.vocab.Background[g.zipf.rank()]
+				break
+			}
+			k := g.r.Intn(len(other.Terms))
+			if j := g.r.Intn(len(other.Terms)); j < k {
+				k = j
+			}
+			words[i] = other.Terms[k]
+		default:
+			words[i] = g.vocab.Background[g.zipf.rank()]
+		}
+	}
+	return strings.Join(words, " ")
+}
+
+func (g *generator) makeShot(vid collection.VideoID, sid collection.StoryID, topic *Topic,
+	aspect []string, videoShotIdx, storyPos, storyLen int, start time.Duration) (*collection.Shot, error) {
+
+	id := collection.ShotID(fmt.Sprintf("%s_s%03d", vid, videoShotIdx))
+	kind := g.shotKind(topic, storyPos, storyLen)
+	secs := g.cfg.MinShotSeconds + g.r.Float64()*(g.cfg.MaxShotSeconds-g.cfg.MinShotSeconds)
+	dur := time.Duration(secs * float64(time.Second))
+
+	nWords := g.cfg.MinWordsPerShot + g.r.Intn(g.cfg.MaxWordsPerShot-g.cfg.MinWordsPerShot+1)
+	clean := g.shotText(topic, aspect, kind, nWords)
+	noisy := g.asr.Corrupt(g.r, clean)
+
+	truthConcepts := g.trueConcepts(topic, kind)
+	shot := &collection.Shot{
+		ID:           id,
+		VideoID:      vid,
+		StoryID:      sid,
+		Index:        videoShotIdx,
+		Kind:         kind,
+		Start:        start,
+		Duration:     dur,
+		Transcript:   noisy,
+		TrueConcepts: truthConcepts,
+		Concepts:     g.cfg.Detector.Detect(g.r, truthConcepts),
+	}
+	nKF := 1
+	if g.cfg.MaxKeyframesPerShot > 1 {
+		nKF += g.r.Intn(g.cfg.MaxKeyframesPerShot)
+	}
+	for k := 0; k < nKF; k++ {
+		off := time.Duration(float64(dur) * (float64(k) + 0.5) / float64(nKF))
+		shot.Keyframes = append(shot.Keyframes, collection.Keyframe{ShotID: id, Offset: off})
+	}
+	if err := g.coll.AddShot(shot); err != nil {
+		return nil, err
+	}
+	g.truth.CleanTranscript[id] = clean
+	return shot, nil
+}
+
+// trueConcepts composes ground truth: kind-determined concepts plus a
+// sample of the topic's concept signature.
+func (g *generator) trueConcepts(topic *Topic, kind collection.ShotKind) []collection.Concept {
+	set := map[collection.Concept]bool{}
+	switch kind {
+	case collection.ShotAnchor:
+		set["anchor_person"] = true
+		set["studio_setting"] = true
+		set["face"] = true
+	case collection.ShotWeather:
+		set["weather_map"] = true
+		set["graphics_text"] = true
+	case collection.ShotGraphics:
+		set["graphics_text"] = true
+		set["charts"] = true
+	case collection.ShotInterview:
+		set["interview_setting"] = true
+		set["face"] = true
+		set["person"] = true
+	case collection.ShotReport:
+		set["person"] = true
+		if g.r.Float64() < 0.5 {
+			set["outdoor"] = true
+		} else {
+			set["indoor"] = true
+		}
+	}
+	// Field footage carries the topic signature; anchor shots only
+	// sometimes (a cutaway graphic behind the anchor).
+	signatureP := 0.8
+	if kind == collection.ShotAnchor {
+		signatureP = 0.25
+	}
+	for _, c := range topic.Concepts {
+		if g.r.Float64() < signatureP {
+			set[c] = true
+		}
+	}
+	out := make([]collection.Concept, 0, len(set))
+	for _, c := range collection.ConceptVocabulary { // deterministic order
+		if set[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// buildQrels derives graded relevance from story topics: field footage
+// of a story on the query topic is fully relevant (2); the anchor
+// lead-in and graphics are marginal (1).
+func (g *generator) buildQrels() {
+	byTopic := map[int][]*collection.Shot{}
+	g.coll.Shots(func(s *collection.Shot) bool {
+		tid, ok := g.truth.StoryTopic[s.StoryID]
+		if ok {
+			byTopic[tid] = append(byTopic[tid], s)
+		}
+		return true
+	})
+	for _, st := range g.truth.SearchTopics {
+		m := make(map[collection.ShotID]int)
+		for _, s := range byTopic[st.TopicID] {
+			switch s.Kind {
+			case collection.ShotReport, collection.ShotInterview, collection.ShotWeather:
+				m[s.ID] = 2
+			default:
+				m[s.ID] = 1
+			}
+		}
+		g.truth.Qrels[st.ID] = m
+	}
+}

@@ -1,0 +1,550 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/collection"
+)
+
+func TestVocabularyPartition(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	v, err := NewVocabulary(r, 100, 5, 10, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Background) != 100 || len(v.Category) != 5 || len(v.TopicPool) != 60 {
+		t.Fatalf("partition sizes wrong: %d/%d/%d", len(v.Background), len(v.Category), len(v.TopicPool))
+	}
+	seen := map[string]bool{}
+	check := func(words []string) {
+		for _, w := range words {
+			if len(w) < 3 {
+				t.Errorf("word %q too short", w)
+			}
+			if seen[w] {
+				t.Errorf("duplicate word %q across partitions", w)
+			}
+			seen[w] = true
+		}
+	}
+	check(v.Background)
+	for _, c := range v.Category {
+		if len(c) != 10 {
+			t.Errorf("category partition size %d, want 10", len(c))
+		}
+		check(c)
+	}
+	check(v.TopicPool)
+}
+
+func TestVocabularyDeterministic(t *testing.T) {
+	a, err := NewVocabulary(rand.New(rand.NewSource(7)), 50, 3, 5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewVocabulary(rand.New(rand.NewSource(7)), 50, 3, 5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different vocabularies")
+	}
+}
+
+func TestVocabularyRejectsBadSizes(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if _, err := NewVocabulary(r, 0, 1, 1, 1); err == nil {
+		t.Error("want error for zero background size")
+	}
+}
+
+func TestASRZeroWERIdentity(t *testing.T) {
+	ch := ASRChannel{WER: 0}
+	in := "the quick brown fox"
+	if got := ch.Corrupt(rand.New(rand.NewSource(1)), in); got != in {
+		t.Errorf("WER=0 changed text: %q", got)
+	}
+}
+
+func TestASRCalibration(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	lex := make([]string, 200)
+	for i := range lex {
+		lex[i] = makeWord(r)
+	}
+	ref := strings.Repeat("alpha beta gamma delta epsilon ", 400)
+	for _, wer := range []float64{0.1, 0.3, 0.5} {
+		ch := ASRChannel{WER: wer, Lexicon: lex}
+		hyp := ch.Corrupt(r, ref)
+		measured := MeasureWER(ref, hyp)
+		if math.Abs(measured-wer) > 0.05 {
+			t.Errorf("target WER %v, measured %v", wer, measured)
+		}
+	}
+}
+
+func TestMeasureWEREdgeCases(t *testing.T) {
+	if MeasureWER("", "anything") != 0 {
+		t.Error("empty reference should measure 0")
+	}
+	if got := MeasureWER("a b c", "a b c"); got != 0 {
+		t.Errorf("identical strings measure %v", got)
+	}
+	if got := MeasureWER("a b c d", ""); got != 1 {
+		t.Errorf("total deletion measures %v, want 1", got)
+	}
+}
+
+func TestDetectorRates(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	d := DetectorModel{TPR: 0.7, FPR: 0.1}
+	truth := []collection.Concept{"anchor_person", "face", "outdoor"}
+	var tp, fn, fp, tn int
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		out := d.Detect(r, truth)
+		fired := map[collection.Concept]bool{}
+		for _, cs := range out {
+			fired[cs.Concept] = true
+			present := false
+			for _, c := range truth {
+				if c == cs.Concept {
+					present = true
+				}
+			}
+			if present && cs.Confidence < 0.5 {
+				t.Fatalf("present concept confidence %v < 0.5", cs.Confidence)
+			}
+			if !present && cs.Confidence >= 0.5 {
+				t.Fatalf("absent concept confidence %v >= 0.5", cs.Confidence)
+			}
+		}
+		for _, c := range collection.ConceptVocabulary {
+			present := c == "anchor_person" || c == "face" || c == "outdoor"
+			switch {
+			case present && fired[c]:
+				tp++
+			case present && !fired[c]:
+				fn++
+			case !present && fired[c]:
+				fp++
+			default:
+				tn++
+			}
+		}
+	}
+	gotTPR := float64(tp) / float64(tp+fn)
+	gotFPR := float64(fp) / float64(fp+tn)
+	if math.Abs(gotTPR-0.7) > 0.03 {
+		t.Errorf("TPR = %v, want ~0.7", gotTPR)
+	}
+	if math.Abs(gotFPR-0.1) > 0.02 {
+		t.Errorf("FPR = %v, want ~0.1", gotFPR)
+	}
+}
+
+func TestGenerateTiny(t *testing.T) {
+	arch, err := Generate(TinyConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := arch.Collection
+	cfg := arch.Config
+	if c.NumVideos() != cfg.Days {
+		t.Errorf("videos = %d, want %d", c.NumVideos(), cfg.Days)
+	}
+	if c.NumStories() != cfg.Days*cfg.StoriesPerVideo {
+		t.Errorf("stories = %d, want %d", c.NumStories(), cfg.Days*cfg.StoriesPerVideo)
+	}
+	if got := c.NumShots(); got < cfg.Days*cfg.StoriesPerVideo*cfg.MinShotsPerStory {
+		t.Errorf("too few shots: %d", got)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("generated collection invalid: %v", err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(TinyConfig(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(TinyConfig(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idsA, idsB := a.Collection.ShotIDs(), b.Collection.ShotIDs()
+	if !reflect.DeepEqual(idsA, idsB) {
+		t.Fatal("shot ID sequences differ across identical seeds")
+	}
+	for _, id := range idsA {
+		if a.Collection.Shot(id).Transcript != b.Collection.Shot(id).Transcript {
+			t.Fatalf("transcripts differ for %s", id)
+		}
+	}
+	if !reflect.DeepEqual(a.Truth.Qrels, b.Truth.Qrels) {
+		t.Error("qrels differ across identical seeds")
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	a, _ := Generate(TinyConfig(), 1)
+	b, _ := Generate(TinyConfig(), 2)
+	same := true
+	for _, id := range a.Collection.ShotIDs() {
+		sb := b.Collection.Shot(id)
+		if sb == nil || a.Collection.Shot(id).Transcript != sb.Transcript {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical transcripts")
+	}
+}
+
+func TestEverySearchTopicHasRelevantShots(t *testing.T) {
+	arch, err := Generate(TinyConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range arch.Truth.SearchTopics {
+		if n := arch.Truth.Qrels.NumRelevant(st.ID, 1); n == 0 {
+			t.Errorf("search topic %d (%q) has no relevant shots", st.ID, st.Query)
+		}
+	}
+}
+
+func TestQrelsGrading(t *testing.T) {
+	arch, err := Generate(TinyConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := arch.Truth.Qrels
+	c := arch.Collection
+	for _, st := range arch.Truth.SearchTopics {
+		for shotID, grade := range q[st.ID] {
+			shot := c.Shot(shotID)
+			if shot == nil {
+				t.Fatalf("qrels references missing shot %s", shotID)
+			}
+			story := c.Story(shot.StoryID)
+			if arch.Truth.StoryTopic[story.ID] != st.TopicID {
+				t.Errorf("qrels topic %d includes shot of topic %d", st.TopicID, arch.Truth.StoryTopic[story.ID])
+			}
+			switch shot.Kind {
+			case collection.ShotReport, collection.ShotInterview, collection.ShotWeather:
+				if grade != 2 {
+					t.Errorf("field shot %s graded %d, want 2", shotID, grade)
+				}
+			default:
+				if grade != 1 {
+					t.Errorf("lead-in shot %s graded %d, want 1", shotID, grade)
+				}
+			}
+		}
+		// Relevant() respects minGrade and is sorted.
+		all := q.Relevant(st.ID, 1)
+		strong := q.Relevant(st.ID, 2)
+		if len(strong) > len(all) {
+			t.Error("minGrade filter inverted")
+		}
+		for i := 1; i < len(all); i++ {
+			if all[i-1] >= all[i] {
+				t.Error("Relevant output not sorted")
+			}
+		}
+	}
+}
+
+func TestTopicTermsDisjoint(t *testing.T) {
+	arch, err := Generate(TinyConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, topic := range arch.Truth.Topics {
+		for _, term := range topic.Terms {
+			if prev, dup := seen[term]; dup {
+				t.Errorf("term %q shared by topics %d and %d", term, prev, topic.ID)
+			}
+			seen[term] = topic.ID
+		}
+	}
+}
+
+func TestTranscriptsCarryTopicSignal(t *testing.T) {
+	cfg := TinyConfig()
+	cfg.WER = 0
+	arch, err := Generate(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each topic, its stories' concatenated field-shot text should
+	// contain at least one of the topic's terms far more often than a
+	// random other topic's terms.
+	c := arch.Collection
+	for _, topic := range arch.Truth.Topics[:4] {
+		own, other := 0, 0
+		otherTerms := arch.Truth.Topics[(topic.ID+1)%len(arch.Truth.Topics)].Terms
+		c.Shots(func(s *collection.Shot) bool {
+			if arch.Truth.StoryTopic[s.StoryID] != topic.ID {
+				return true
+			}
+			for _, w := range strings.Fields(s.Transcript) {
+				for _, tw := range topic.Terms {
+					if w == tw {
+						own++
+					}
+				}
+				for _, ow := range otherTerms {
+					if w == ow {
+						other++
+					}
+				}
+			}
+			return true
+		})
+		if own <= other*3 {
+			t.Errorf("topic %d: own-term count %d not >> other-term count %d", topic.ID, own, other)
+		}
+	}
+}
+
+func TestCleanTranscriptRecorded(t *testing.T) {
+	cfg := TinyConfig()
+	cfg.WER = 0.3
+	arch, err := Generate(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	arch.Collection.Shots(func(s *collection.Shot) bool {
+		clean, ok := arch.Truth.CleanTranscript[s.ID]
+		if !ok || clean == "" {
+			t.Fatalf("missing clean transcript for %s", s.ID)
+		}
+		if clean != s.Transcript {
+			n++
+		}
+		return true
+	})
+	if n == 0 {
+		t.Error("WER=0.3 left every transcript untouched")
+	}
+}
+
+func TestCorruptArchive(t *testing.T) {
+	cfg := TinyConfig()
+	cfg.WER = 0
+	arch, err := Generate(cfg, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := CorruptArchive(arch, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coll.Validate(); err != nil {
+		t.Fatalf("corrupted collection invalid: %v", err)
+	}
+	if coll.NumShots() != arch.Collection.NumShots() {
+		t.Fatal("shot count changed")
+	}
+	// Structure preserved, transcripts changed, realised WER near target.
+	var werSum float64
+	changed := 0
+	n := 0
+	coll.Shots(func(s *collection.Shot) bool {
+		orig := arch.Collection.Shot(s.ID)
+		if s.Kind != orig.Kind || s.StoryID != orig.StoryID || s.Duration != orig.Duration {
+			t.Fatalf("shot %s structure changed", s.ID)
+		}
+		clean := arch.Truth.CleanTranscript[s.ID]
+		if s.Transcript != clean {
+			changed++
+		}
+		werSum += MeasureWER(clean, s.Transcript)
+		n++
+		return true
+	})
+	if changed == 0 {
+		t.Error("WER 0.3 changed nothing")
+	}
+	if avg := werSum / float64(n); math.Abs(avg-0.3) > 0.05 {
+		t.Errorf("realised WER %v, want ~0.3", avg)
+	}
+	// Source untouched.
+	arch.Collection.Shots(func(s *collection.Shot) bool {
+		if s.Transcript != arch.Truth.CleanTranscript[s.ID] {
+			t.Fatal("CorruptArchive mutated the source archive")
+		}
+		return true
+	})
+	// Validation.
+	if _, err := CorruptArchive(arch, 1.0, 7); err == nil {
+		t.Error("WER 1.0 accepted")
+	}
+	if _, err := CorruptArchive(arch, -0.1, 7); err == nil {
+		t.Error("negative WER accepted")
+	}
+}
+
+func TestRedetectArchive(t *testing.T) {
+	arch, err := Generate(TinyConfig(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := RedetectArchive(arch, DetectorModel{TPR: 0.95, FPR: 0.01}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coll.Validate(); err != nil {
+		t.Fatalf("redetected collection invalid: %v", err)
+	}
+	// Transcripts and ground truth are untouched; detections improved.
+	var before, after Accuracy
+	shotsB := make([]*collection.Shot, 0, arch.Collection.NumShots())
+	arch.Collection.Shots(func(s *collection.Shot) bool {
+		shotsB = append(shotsB, s)
+		return true
+	})
+	before = MeasureDetector(shotsB)
+	shotsA := make([]*collection.Shot, 0, coll.NumShots())
+	coll.Shots(func(s *collection.Shot) bool {
+		orig := arch.Collection.Shot(s.ID)
+		if s.Transcript != orig.Transcript {
+			t.Fatal("RedetectArchive changed a transcript")
+		}
+		shotsA = append(shotsA, s)
+		return true
+	})
+	after = MeasureDetector(shotsA)
+	if after.Recall() <= before.Recall() {
+		t.Errorf("TPR 0.95 should beat default recall: %v vs %v", after.Recall(), before.Recall())
+	}
+	if after.Precision() <= before.Precision() {
+		t.Errorf("FPR 0.01 should beat default precision: %v vs %v", after.Precision(), before.Precision())
+	}
+	if _, err := RedetectArchive(arch, DetectorModel{TPR: 2}, 9); err == nil {
+		t.Error("bad detector rates accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Days = 0 },
+		func(c *Config) { c.MinShotsPerStory = 5; c.MaxShotsPerStory = 2 },
+		func(c *Config) { c.MinWordsPerShot = 0 },
+		func(c *Config) { c.NumTopics = 0 },
+		func(c *Config) { c.NumSearchTopics = 1000 },
+		func(c *Config) { c.Days = 1; c.StoriesPerVideo = 2; c.NumSearchTopics = 8 },
+		func(c *Config) { c.TopicMix = 0.9; c.CategoryMix = 0.3 },
+		func(c *Config) { c.WER = 1.0 },
+		func(c *Config) { c.MinShotSeconds = 0 },
+		func(c *Config) { c.MaxKeyframesPerShot = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := TinyConfig()
+		mutate(&cfg)
+		if _, err := Generate(cfg, 1); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// Property: any valid small config generates a collection that passes
+// validation and covers every emitted search topic with >= 1 relevant.
+func TestGeneratePropertyValid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property generation is slow")
+	}
+	f := func(seed int64, daysRaw, storiesRaw uint8) bool {
+		cfg := TinyConfig()
+		cfg.Days = 2 + int(daysRaw%5)
+		cfg.StoriesPerVideo = 3 + int(storiesRaw%4)
+		if slots := cfg.Days * cfg.StoriesPerVideo; cfg.NumSearchTopics > slots {
+			cfg.NumSearchTopics = slots
+		}
+		arch, err := Generate(cfg, seed)
+		if err != nil {
+			return false
+		}
+		if arch.Collection.Validate() != nil {
+			return false
+		}
+		for _, st := range arch.Truth.SearchTopics {
+			if arch.Truth.Qrels.NumRelevant(st.ID, 1) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	cfgq := &quick.Config{MaxCount: 10}
+	if err := quick.Check(f, cfgq); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSearchTopicQueries(t *testing.T) {
+	arch, err := Generate(TinyConfig(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range arch.Truth.SearchTopics {
+		if st.Query == "" {
+			t.Errorf("topic %d has empty query", st.ID)
+		}
+		if len(strings.Fields(st.Verbose)) < len(strings.Fields(st.Query)) {
+			t.Errorf("topic %d verbose shorter than query", st.ID)
+		}
+		topic := arch.Truth.Topics[st.TopicID]
+		for _, qw := range strings.Fields(st.Query) {
+			found := false
+			for _, tw := range topic.Terms {
+				if qw == tw {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("query term %q not in topic %d vocabulary", qw, st.TopicID)
+			}
+		}
+	}
+}
+
+func TestShotKindDistribution(t *testing.T) {
+	arch, err := Generate(TinyConfig(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[collection.ShotKind]int{}
+	arch.Collection.Stories(func(story *collection.Story) bool {
+		first := arch.Collection.Shot(story.Shots[0])
+		if first.Kind != collection.ShotAnchor {
+			t.Errorf("story %s does not open on anchor shot", story.ID)
+		}
+		for _, id := range story.Shots {
+			counts[arch.Collection.Shot(id).Kind]++
+		}
+		return true
+	})
+	if counts[collection.ShotReport] == 0 || counts[collection.ShotInterview] == 0 {
+		t.Errorf("missing field footage kinds: %v", counts)
+	}
+}
+
+func BenchmarkGenerateTiny(b *testing.B) {
+	cfg := TinyConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

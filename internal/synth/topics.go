@@ -1,0 +1,159 @@
+package synth
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/collection"
+)
+
+// Topic is a ground-truth news topic: a recurring subject (an election,
+// a cup run, an epidemic) that spawns stories across broadcasts. Topics
+// are the unit relevance is defined against.
+type Topic struct {
+	ID       int
+	Category collection.Category
+	// Terms is the topic's characteristic vocabulary, most
+	// characteristic first. Story text and search queries draw from it.
+	Terms []string
+	// Concepts ground-truth visual concepts associated with the topic.
+	Concepts []collection.Concept
+	// Popularity weights how often the topic is scheduled into
+	// bulletins; Zipf-ish across topics.
+	Popularity float64
+}
+
+// Title renders a human-readable pseudo-headline for the topic.
+func (t *Topic) Title() string {
+	n := 3
+	if len(t.Terms) < n {
+		n = len(t.Terms)
+	}
+	return strings.Join(t.Terms[:n], " ")
+}
+
+// SearchTopic is a TREC-style evaluation topic: a query plus the
+// ground-truth topic it targets. Qrels are derived from story TopicIDs.
+type SearchTopic struct {
+	ID      int
+	TopicID int
+	// Query is the short keyword query a user would issue.
+	Query string
+	// Verbose is a longer "description" field, used by simulated users
+	// who reformulate.
+	Verbose  string
+	Category collection.Category
+}
+
+// Qrels maps search-topic ID -> shot ID -> relevance grade.
+// Grades: 0 unjudged/non-relevant, 1 marginally relevant (anchor lead-in
+// shots of a relevant story), 2 fully relevant (report/interview footage
+// of a relevant story).
+type Qrels map[int]map[collection.ShotID]int
+
+// Relevant returns the IDs of shots with grade >= minGrade for a topic,
+// in deterministic (sorted) order.
+func (q Qrels) Relevant(searchTopic, minGrade int) []collection.ShotID {
+	m := q[searchTopic]
+	out := make([]collection.ShotID, 0, len(m))
+	for id, g := range m {
+		if g >= minGrade {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Grade returns the relevance grade of a shot for a search topic.
+func (q Qrels) Grade(searchTopic int, shot collection.ShotID) int {
+	return q[searchTopic][shot]
+}
+
+// NumRelevant counts shots with grade >= minGrade.
+func (q Qrels) NumRelevant(searchTopic, minGrade int) int {
+	n := 0
+	for _, g := range q[searchTopic] {
+		if g >= minGrade {
+			n++
+		}
+	}
+	return n
+}
+
+// generateTopics allocates per-topic vocabulary and concepts.
+func generateTopics(r *rand.Rand, v *Vocabulary, numTopics, termsPerTopic int) []*Topic {
+	topics := make([]*Topic, numTopics)
+	for i := 0; i < numTopics; i++ {
+		cat := collection.Category(i % collection.NumCategories)
+		start := i * termsPerTopic
+		end := start + termsPerTopic
+		if end > len(v.TopicPool) {
+			end = len(v.TopicPool)
+		}
+		terms := make([]string, end-start)
+		copy(terms, v.TopicPool[start:end])
+		pool := collection.CategoryConcepts(cat)
+		nc := 2 + r.Intn(3)
+		if nc > len(pool) {
+			nc = len(pool)
+		}
+		perm := r.Perm(len(pool))
+		concepts := make([]collection.Concept, nc)
+		for j := 0; j < nc; j++ {
+			concepts[j] = pool[perm[j]]
+		}
+		topics[i] = &Topic{
+			ID:       i,
+			Category: cat,
+			Terms:    terms,
+			Concepts: concepts,
+			// Zipf-ish popularity: topic 0 is the running lead story.
+			Popularity: 1.0 / float64(1+i),
+		}
+	}
+	return topics
+}
+
+// makeSearchTopics builds one evaluation query per selected topic.
+// Topics are stride-sampled across the popularity range so the
+// evaluation set spans running lead stories and rare one-off items,
+// like a TREC topic set spans frequency bands.
+func makeSearchTopics(r *rand.Rand, topics []*Topic, n int) []*SearchTopic {
+	if n > len(topics) {
+		n = len(topics)
+	}
+	stride := 1
+	if n > 0 {
+		stride = len(topics) / n
+		if stride < 1 {
+			stride = 1
+		}
+	}
+	out := make([]*SearchTopic, 0, n)
+	for i := 0; i < n; i++ {
+		t := topics[i*stride]
+		// Keyword query: 2-3 of the topic's most characteristic terms.
+		qn := 2 + r.Intn(2)
+		if qn > len(t.Terms) {
+			qn = len(t.Terms)
+		}
+		query := strings.Join(t.Terms[:qn], " ")
+		// Verbose form adds deeper topical terms, as a TREC
+		// "description" would.
+		vn := qn + 2
+		if vn > len(t.Terms) {
+			vn = len(t.Terms)
+		}
+		verbose := strings.Join(t.Terms[:vn], " ")
+		out = append(out, &SearchTopic{
+			ID:       i,
+			TopicID:  t.ID,
+			Query:    query,
+			Verbose:  verbose,
+			Category: t.Category,
+		})
+	}
+	return out
+}

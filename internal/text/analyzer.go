@@ -1,0 +1,87 @@
+package text
+
+// Analyzer is the full lexical pipeline: tokenise, drop stopwords,
+// stem. The zero value is NOT ready to use; construct with NewAnalyzer
+// so the stopword set is populated. An Analyzer is safe for concurrent
+// use: all of its state is read-only after construction.
+type Analyzer struct {
+	tokenizer Tokenizer
+	stops     StopSet
+	stem      bool
+}
+
+// AnalyzerOption customises an Analyzer.
+type AnalyzerOption func(*Analyzer)
+
+// WithoutStemming disables the Porter stemming stage.
+func WithoutStemming() AnalyzerOption {
+	return func(a *Analyzer) { a.stem = false }
+}
+
+// WithStopSet replaces the default stopword set. Pass an empty StopSet
+// to disable stopping entirely.
+func WithStopSet(s StopSet) AnalyzerOption {
+	return func(a *Analyzer) { a.stops = s }
+}
+
+// WithMaxTokenLen overrides the tokeniser's maximum token length.
+func WithMaxTokenLen(n int) AnalyzerOption {
+	return func(a *Analyzer) { a.tokenizer.MaxTokenLen = n }
+}
+
+// NewAnalyzer builds the default news-transcript pipeline: lower-case
+// word tokenisation, English stopword removal, Porter stemming.
+func NewAnalyzer(opts ...AnalyzerOption) *Analyzer {
+	a := &Analyzer{
+		stops: DefaultStopSet(),
+		stem:  true,
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+// Analyze runs the pipeline and returns the surviving tokens. Positions
+// are re-numbered over the surviving tokens so downstream consumers see
+// a dense position space; Offset still points into the original text.
+func (a *Analyzer) Analyze(input string) []Token {
+	raw := a.tokenizer.Tokenize(input)
+	out := raw[:0]
+	pos := 0
+	for _, tk := range raw {
+		if a.stops.Contains(tk.Term) {
+			continue
+		}
+		if a.stem {
+			tk.Term = Stem(tk.Term)
+		}
+		if tk.Term == "" {
+			continue
+		}
+		tk.Position = pos
+		pos++
+		out = append(out, tk)
+	}
+	return out
+}
+
+// Terms runs the pipeline and returns only the surviving term strings.
+func (a *Analyzer) Terms(input string) []string {
+	toks := a.Analyze(input)
+	terms := make([]string, len(toks))
+	for i, tk := range toks {
+		terms[i] = tk.Term
+	}
+	return terms
+}
+
+// TermCounts runs the pipeline and returns a term-frequency map, the
+// representation the indexer and the feedback models consume.
+func (a *Analyzer) TermCounts(input string) map[string]int {
+	counts := make(map[string]int)
+	for _, tk := range a.Analyze(input) {
+		counts[tk.Term]++
+	}
+	return counts
+}

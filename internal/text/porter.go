@@ -1,0 +1,271 @@
+package text
+
+// Porter stemming algorithm (M.F. Porter, "An algorithm for suffix
+// stripping", Program 14(3), 1980), including the two commonly adopted
+// revisions (BLI->BLE replaced by ABLI->ABLE kept as in the original;
+// LOGI->LOG added). The implementation operates on lower-case ASCII
+// words; words containing non-ASCII bytes are returned unchanged.
+
+// Stem returns the Porter stem of word. Words of length <= 2 are
+// returned unchanged, per the original algorithm.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		if c < 'a' || c > 'z' {
+			if c >= '0' && c <= '9' {
+				// Mixed alphanumerics (e.g. "g8", "2008") are
+				// identifiers, not English words: do not stem.
+				return word
+			}
+			return word
+		}
+	}
+	w := stemState{b: []byte(word)}
+	w.step1a()
+	w.step1b()
+	w.step1c()
+	w.step2()
+	w.step3()
+	w.step4()
+	w.step5a()
+	w.step5b()
+	return string(w.b)
+}
+
+type stemState struct {
+	b []byte
+}
+
+// isConsonant reports whether the byte at index i is a consonant per
+// Porter's definition: a letter other than a,e,i,o,u, with y counting
+// as a consonant only when it follows a vowel-position consonant.
+func (s *stemState) isConsonant(i int) bool {
+	switch s.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !s.isConsonant(i - 1)
+	}
+	return true
+}
+
+// measure computes m, the number of VC sequences in s.b[:end].
+func (s *stemState) measure(end int) int {
+	m := 0
+	i := 0
+	// Skip initial consonants.
+	for i < end && s.isConsonant(i) {
+		i++
+	}
+	for i < end {
+		// In a vowel run.
+		for i < end && !s.isConsonant(i) {
+			i++
+		}
+		if i >= end {
+			break
+		}
+		m++
+		for i < end && s.isConsonant(i) {
+			i++
+		}
+	}
+	return m
+}
+
+// hasVowel reports whether s.b[:end] contains a vowel.
+func (s *stemState) hasVowel(end int) bool {
+	for i := 0; i < end; i++ {
+		if !s.isConsonant(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// doubleConsonant reports whether s.b[:end] ends in a double consonant.
+func (s *stemState) doubleConsonant(end int) bool {
+	if end < 2 {
+		return false
+	}
+	if s.b[end-1] != s.b[end-2] {
+		return false
+	}
+	return s.isConsonant(end - 1)
+}
+
+// cvc reports whether s.b[:end] ends consonant-vowel-consonant where the
+// final consonant is not w, x or y (Porter's *o condition).
+func (s *stemState) cvc(end int) bool {
+	if end < 3 {
+		return false
+	}
+	if !s.isConsonant(end-1) || s.isConsonant(end-2) || !s.isConsonant(end-3) {
+		return false
+	}
+	switch s.b[end-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// hasSuffix reports whether the current word ends with suf.
+func (s *stemState) hasSuffix(suf string) bool {
+	n := len(s.b)
+	if len(suf) > n {
+		return false
+	}
+	return string(s.b[n-len(suf):]) == suf
+}
+
+// replaceSuffix unconditionally swaps suf (assumed present) for rep.
+func (s *stemState) replaceSuffix(suf, rep string) {
+	s.b = append(s.b[:len(s.b)-len(suf)], rep...)
+}
+
+// replaceIfMeasure swaps suf for rep when m measured over the stem
+// preceding suf exceeds minM-1 (i.e. m > minM-1, so pass 1 for m>0).
+func (s *stemState) replaceIfMeasure(suf, rep string, minM int) bool {
+	if !s.hasSuffix(suf) {
+		return false
+	}
+	stemEnd := len(s.b) - len(suf)
+	if s.measure(stemEnd) >= minM {
+		s.replaceSuffix(suf, rep)
+	}
+	return true
+}
+
+func (s *stemState) step1a() {
+	switch {
+	case s.hasSuffix("sses"):
+		s.replaceSuffix("sses", "ss")
+	case s.hasSuffix("ies"):
+		s.replaceSuffix("ies", "i")
+	case s.hasSuffix("ss"):
+		// unchanged
+	case s.hasSuffix("s"):
+		s.replaceSuffix("s", "")
+	}
+}
+
+func (s *stemState) step1b() {
+	if s.hasSuffix("eed") {
+		if s.measure(len(s.b)-3) > 0 {
+			s.replaceSuffix("eed", "ee")
+		}
+		return
+	}
+	fired := false
+	if s.hasSuffix("ed") && s.hasVowel(len(s.b)-2) {
+		s.replaceSuffix("ed", "")
+		fired = true
+	} else if s.hasSuffix("ing") && s.hasVowel(len(s.b)-3) {
+		s.replaceSuffix("ing", "")
+		fired = true
+	}
+	if !fired {
+		return
+	}
+	switch {
+	case s.hasSuffix("at"):
+		s.replaceSuffix("at", "ate")
+	case s.hasSuffix("bl"):
+		s.replaceSuffix("bl", "ble")
+	case s.hasSuffix("iz"):
+		s.replaceSuffix("iz", "ize")
+	case s.doubleConsonant(len(s.b)):
+		switch s.b[len(s.b)-1] {
+		case 'l', 's', 'z':
+			// keep double letter
+		default:
+			s.b = s.b[:len(s.b)-1]
+		}
+	case s.measure(len(s.b)) == 1 && s.cvc(len(s.b)):
+		s.b = append(s.b, 'e')
+	}
+}
+
+func (s *stemState) step1c() {
+	if s.hasSuffix("y") && s.hasVowel(len(s.b)-1) {
+		s.b[len(s.b)-1] = 'i'
+	}
+}
+
+var step2Rules = []struct{ suf, rep string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+	{"anci", "ance"}, {"izer", "ize"}, {"abli", "able"}, {"alli", "al"},
+	{"entli", "ent"}, {"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"},
+	{"ation", "ate"}, {"ator", "ate"}, {"alism", "al"},
+	{"iveness", "ive"}, {"fulness", "ful"}, {"ousness", "ous"},
+	{"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"}, {"logi", "log"},
+}
+
+func (s *stemState) step2() {
+	for _, r := range step2Rules {
+		if s.replaceIfMeasure(r.suf, r.rep, 1) {
+			return
+		}
+	}
+}
+
+var step3Rules = []struct{ suf, rep string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func (s *stemState) step3() {
+	for _, r := range step3Rules {
+		if s.replaceIfMeasure(r.suf, r.rep, 1) {
+			return
+		}
+	}
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func (s *stemState) step4() {
+	for _, suf := range step4Suffixes {
+		if !s.hasSuffix(suf) {
+			continue
+		}
+		stemEnd := len(s.b) - len(suf)
+		if suf == "ion" {
+			if stemEnd > 0 && (s.b[stemEnd-1] == 's' || s.b[stemEnd-1] == 't') && s.measure(stemEnd) > 1 {
+				s.replaceSuffix(suf, "")
+			}
+			return
+		}
+		if s.measure(stemEnd) > 1 {
+			s.replaceSuffix(suf, "")
+		}
+		return
+	}
+}
+
+func (s *stemState) step5a() {
+	if !s.hasSuffix("e") {
+		return
+	}
+	stemEnd := len(s.b) - 1
+	m := s.measure(stemEnd)
+	if m > 1 || (m == 1 && !s.cvc(stemEnd)) {
+		s.b = s.b[:stemEnd]
+	}
+}
+
+func (s *stemState) step5b() {
+	if s.measure(len(s.b)) > 1 && s.doubleConsonant(len(s.b)) && s.b[len(s.b)-1] == 'l' {
+		s.b = s.b[:len(s.b)-1]
+	}
+}

@@ -1,0 +1,69 @@
+package text
+
+// stopwordList is a compact English stopword list tuned for broadcast
+// news transcripts: the standard SMART-style function words plus the
+// fillers that dominate anchor speech ("good", "evening", "welcome" are
+// deliberately NOT stopped — they are content-bearing in news search).
+var stopwordList = []string{
+	"a", "about", "above", "after", "again", "against", "all", "am", "an",
+	"and", "any", "are", "aren't", "as", "at", "be", "because", "been",
+	"before", "being", "below", "between", "both", "but", "by", "can",
+	"cannot", "could", "couldn't", "did", "didn't", "do", "does",
+	"doesn't", "doing", "don't", "down", "during", "each", "few", "for",
+	"from", "further", "had", "hadn't", "has", "hasn't", "have",
+	"haven't", "having", "he", "he'd", "he'll", "he's", "her", "here",
+	"here's", "hers", "herself", "him", "himself", "his", "how", "how's",
+	"i", "i'd", "i'll", "i'm", "i've", "if", "in", "into", "is", "isn't",
+	"it", "it's", "its", "itself", "let's", "me", "more", "most",
+	"mustn't", "my", "myself", "no", "nor", "not", "of", "off", "on",
+	"once", "only", "or", "other", "ought", "our", "ours", "ourselves",
+	"out", "over", "own", "same", "shan't", "she", "she'd", "she'll",
+	"she's", "should", "shouldn't", "so", "some", "such", "than", "that",
+	"that's", "the", "their", "theirs", "them", "themselves", "then",
+	"there", "there's", "these", "they", "they'd", "they'll", "they're",
+	"they've", "this", "those", "through", "to", "too", "under", "until",
+	"up", "very", "was", "wasn't", "we", "we'd", "we'll", "we're",
+	"we've", "were", "weren't", "what", "what's", "when", "when's",
+	"where", "where's", "which", "while", "who", "who's", "whom", "why",
+	"why's", "with", "won't", "would", "wouldn't", "you", "you'd",
+	"you'll", "you're", "you've", "your", "yours", "yourself",
+	"yourselves",
+	// Transcript fillers common in ASR output of live speech.
+	"uh", "um", "er", "erm", "mm", "hmm", "yeah", "okay", "ok",
+}
+
+// StopSet is a set of stopword terms. The zero value is an empty set
+// that stops nothing.
+type StopSet map[string]struct{}
+
+// DefaultStopSet returns a fresh copy of the built-in English news
+// stopword set. Callers may add or remove entries without affecting
+// other users.
+func DefaultStopSet() StopSet {
+	s := make(StopSet, len(stopwordList))
+	for _, w := range stopwordList {
+		s[w] = struct{}{}
+	}
+	return s
+}
+
+// Contains reports whether term is a stopword. Terms are expected to be
+// lower-case already (the Tokenizer lower-cases).
+func (s StopSet) Contains(term string) bool {
+	_, ok := s[term]
+	return ok
+}
+
+// Add inserts terms into the set.
+func (s StopSet) Add(terms ...string) {
+	for _, t := range terms {
+		s[t] = struct{}{}
+	}
+}
+
+// Remove deletes terms from the set; missing terms are ignored.
+func (s StopSet) Remove(terms ...string) {
+	for _, t := range terms {
+		delete(s, t)
+	}
+}

@@ -1,0 +1,376 @@
+package text
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	var tk Tokenizer
+	got := tk.Terms("The Prime Minister visited Glasgow, Scotland on 12 March!")
+	want := []string{"the", "prime", "minister", "visited", "glasgow", "scotland", "on", "12", "march"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Terms = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeApostropheAndHyphen(t *testing.T) {
+	var tk Tokenizer
+	got := tk.Terms("BBC One O'Clock News covers build-up to the vote")
+	want := []string{"bbc", "one", "oclock", "news", "covers", "buildup", "to", "the", "vote"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Terms = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeLeadingPunctDoesNotJoin(t *testing.T) {
+	var tk Tokenizer
+	got := tk.Terms("-start 'quote end-")
+	want := []string{"start", "quote", "end"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Terms = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizePositionsAndOffsets(t *testing.T) {
+	var tk Tokenizer
+	toks := tk.Tokenize("goal: football")
+	if len(toks) != 2 {
+		t.Fatalf("got %d tokens, want 2", len(toks))
+	}
+	if toks[0].Position != 0 || toks[1].Position != 1 {
+		t.Errorf("positions = %d,%d want 0,1", toks[0].Position, toks[1].Position)
+	}
+	if toks[0].Offset != 0 {
+		t.Errorf("first offset = %d, want 0", toks[0].Offset)
+	}
+	if toks[1].Offset != len("goal: ") {
+		t.Errorf("second offset = %d, want %d", toks[1].Offset, len("goal: "))
+	}
+}
+
+func TestTokenizeEmptyAndPunctOnly(t *testing.T) {
+	var tk Tokenizer
+	if got := tk.Terms(""); len(got) != 0 {
+		t.Errorf("empty input produced tokens: %v", got)
+	}
+	if got := tk.Terms("...!!! --- ''"); len(got) != 0 {
+		t.Errorf("punct-only input produced tokens: %v", got)
+	}
+}
+
+func TestTokenizeMaxLen(t *testing.T) {
+	tk := Tokenizer{MaxTokenLen: 4}
+	got := tk.Terms("abcdefgh xy")
+	want := []string{"abcd", "xy"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Terms = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	var tk Tokenizer
+	got := tk.Terms("Müller scored; 日本 wins")
+	want := []string{"müller", "scored", "日本", "wins"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Terms = %v, want %v", got, want)
+	}
+}
+
+// Property: every produced term is non-empty, lower-case, and contains
+// only letters and digits.
+func TestTokenizePropertyWellFormed(t *testing.T) {
+	var tk Tokenizer
+	f := func(s string) bool {
+		for _, tok := range tk.Tokenize(s) {
+			if tok.Term == "" {
+				return false
+			}
+			for _, r := range tok.Term {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					return false
+				}
+				if r != unicode.ToLower(r) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tokenisation is idempotent on its own output joined by
+// spaces (a second pass yields the same terms).
+func TestTokenizePropertyIdempotent(t *testing.T) {
+	var tk Tokenizer
+	f := func(s string) bool {
+		first := tk.Terms(s)
+		second := tk.Terms(strings.Join(first, " "))
+		return reflect.DeepEqual(first, second)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStemKnownVectors(t *testing.T) {
+	// Vectors from Porter's published examples and the canonical
+	// voc/output test pairs.
+	cases := map[string]string{
+		"caresses":       "caress",
+		"ponies":         "poni",
+		"ties":           "ti",
+		"caress":         "caress",
+		"cats":           "cat",
+		"feed":           "feed",
+		"agreed":         "agre",
+		"plastered":      "plaster",
+		"bled":           "bled",
+		"motoring":       "motor",
+		"sing":           "sing",
+		"conflated":      "conflat",
+		"troubled":       "troubl",
+		"sized":          "size",
+		"hopping":        "hop",
+		"tanned":         "tan",
+		"falling":        "fall",
+		"hissing":        "hiss",
+		"fizzed":         "fizz",
+		"failing":        "fail",
+		"filing":         "file",
+		"happy":          "happi",
+		"sky":            "sky",
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		"triplicate":     "triplic",
+		"formative":      "form",
+		"formalize":      "formal",
+		"electriciti":    "electr",
+		"electrical":     "electr",
+		"hopeful":        "hope",
+		"goodness":       "good",
+		"revival":        "reviv",
+		"allowance":      "allow",
+		"inference":      "infer",
+		"airliner":       "airlin",
+		"gyroscopic":     "gyroscop",
+		"adjustable":     "adjust",
+		"defensible":     "defens",
+		"irritant":       "irrit",
+		"replacement":    "replac",
+		"adjustment":     "adjust",
+		"dependent":      "depend",
+		"adoption":       "adopt",
+		"homologou":      "homolog",
+		"communism":      "commun",
+		"activate":       "activ",
+		"angulariti":     "angular",
+		"homologous":     "homolog",
+		"effective":      "effect",
+		"bowdlerize":     "bowdler",
+		"probate":        "probat",
+		"rate":           "rate",
+		"cease":          "ceas",
+		"controll":       "control",
+		"roll":           "roll",
+		"retrieval":      "retriev",
+		"video":          "video",
+		"videos":         "video",
+		"news":           "new",
+		"football":       "footbal",
+		"politics":       "polit",
+		"interaction":    "interact",
+		"implicit":       "implicit",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortWordsUnchanged(t *testing.T) {
+	for _, w := range []string{"", "a", "is", "go", "tv"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemNonAlphaUnchanged(t *testing.T) {
+	for _, w := range []string{"2008", "g8", "mp3s", "über", "naïve"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+// Property: stems never grow beyond input length + 1 (step1b can add an
+// 'e') and are always a prefix-preserving transformation (first letter
+// unchanged) for pure ASCII lowercase words.
+func TestStemPropertyBounded(t *testing.T) {
+	f := func(s string) bool {
+		// Build a plausible lowercase ASCII word from the input.
+		var sb strings.Builder
+		for _, r := range s {
+			if r >= 'a' && r <= 'z' {
+				sb.WriteRune(r)
+			}
+		}
+		w := sb.String()
+		if len(w) == 0 {
+			return true
+		}
+		got := Stem(w)
+		if len(got) > len(w)+1 {
+			return false
+		}
+		if len(got) == 0 || got[0] != w[0] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStopSet(t *testing.T) {
+	s := DefaultStopSet()
+	for _, w := range []string{"the", "and", "of", "uh"} {
+		if !s.Contains(w) {
+			t.Errorf("DefaultStopSet should contain %q", w)
+		}
+	}
+	for _, w := range []string{"football", "news", "goal", "minister"} {
+		if s.Contains(w) {
+			t.Errorf("DefaultStopSet should not contain %q", w)
+		}
+	}
+	s.Add("bbc")
+	if !s.Contains("bbc") {
+		t.Error("Add failed")
+	}
+	s.Remove("bbc", "never-there")
+	if s.Contains("bbc") {
+		t.Error("Remove failed")
+	}
+}
+
+func TestDefaultStopSetIsolation(t *testing.T) {
+	a := DefaultStopSet()
+	a.Add("zzz")
+	b := DefaultStopSet()
+	if b.Contains("zzz") {
+		t.Error("DefaultStopSet copies share state")
+	}
+}
+
+func TestAnalyzerPipeline(t *testing.T) {
+	a := NewAnalyzer()
+	got := a.Terms("The footballers were running towards the goals")
+	want := []string{"footbal", "run", "toward", "goal"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Terms = %v, want %v", got, want)
+	}
+}
+
+func TestAnalyzerNoStem(t *testing.T) {
+	a := NewAnalyzer(WithoutStemming())
+	got := a.Terms("running goals")
+	want := []string{"running", "goals"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Terms = %v, want %v", got, want)
+	}
+}
+
+func TestAnalyzerCustomStops(t *testing.T) {
+	s := StopSet{}
+	s.Add("football")
+	a := NewAnalyzer(WithStopSet(s), WithoutStemming())
+	got := a.Terms("the football news")
+	want := []string{"the", "news"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Terms = %v, want %v", got, want)
+	}
+}
+
+func TestAnalyzerPositionsDense(t *testing.T) {
+	a := NewAnalyzer()
+	toks := a.Analyze("the minister and the parliament")
+	for i, tk := range toks {
+		if tk.Position != i {
+			t.Errorf("token %d has position %d", i, tk.Position)
+		}
+	}
+}
+
+func TestAnalyzerTermCounts(t *testing.T) {
+	a := NewAnalyzer()
+	counts := a.TermCounts("goal goal goals the")
+	if counts["goal"] != 3 {
+		t.Errorf("count[goal] = %d, want 3", counts["goal"])
+	}
+	if len(counts) != 1 {
+		t.Errorf("len(counts) = %d, want 1 (%v)", len(counts), counts)
+	}
+}
+
+func TestAnalyzerConcurrentUse(t *testing.T) {
+	a := NewAnalyzer()
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 100; j++ {
+				a.Terms("the footballers were running towards the goals")
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	a := NewAnalyzer()
+	input := strings.Repeat("the prime minister announced a new policy on football stadium funding today ", 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Terms(input)
+	}
+}
+
+func BenchmarkStem(b *testing.B) {
+	words := []string{"relational", "vietnamization", "football", "adjustable", "goal"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Stem(words[i%len(words)])
+	}
+}

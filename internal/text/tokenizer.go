@@ -1,0 +1,91 @@
+// Package text provides the lexical analysis pipeline used by the
+// retrieval engine: tokenisation, stopword filtering and Porter stemming.
+//
+// The pipeline is deliberately self-contained (stdlib only) and
+// deterministic: the same input always yields the same token stream, a
+// property the simulation and experiment harnesses rely on.
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is a single lexical unit produced by the Tokenizer. Position is
+// the zero-based index of the token in the token stream (after any
+// filtering performed upstream of the consumer), and Offset is the byte
+// offset of the token's first byte in the original input.
+type Token struct {
+	Term     string
+	Position int
+	Offset   int
+}
+
+// Tokenizer splits text into lower-cased word tokens. It treats letter
+// and digit runs as token constituents, splits on everything else, and
+// preserves intra-word apostrophes and hyphens by dropping them rather
+// than splitting (so "o'clock" becomes "oclock" and "one-o-clock"
+// becomes "oneoclock"), which keeps broadcast-news vocabulary such as
+// programme names stable under noisy punctuation.
+type Tokenizer struct {
+	// MaxTokenLen truncates pathological tokens; zero means the
+	// DefaultMaxTokenLen is applied.
+	MaxTokenLen int
+}
+
+// DefaultMaxTokenLen bounds a single token's length in bytes.
+const DefaultMaxTokenLen = 64
+
+// Tokenize returns the token stream for the input text.
+func (t Tokenizer) Tokenize(text string) []Token {
+	maxLen := t.MaxTokenLen
+	if maxLen <= 0 {
+		maxLen = DefaultMaxTokenLen
+	}
+	var (
+		tokens []Token
+		sb     strings.Builder
+		start  = -1
+		pos    = 0
+	)
+	flush := func(end int) {
+		if sb.Len() == 0 {
+			start = -1
+			return
+		}
+		term := sb.String()
+		sb.Reset()
+		if len(term) > maxLen {
+			term = term[:maxLen]
+		}
+		tokens = append(tokens, Token{Term: term, Position: pos, Offset: start})
+		pos++
+		start = -1
+		_ = end
+	}
+	for i, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			if start < 0 {
+				start = i
+			}
+			sb.WriteRune(unicode.ToLower(r))
+		case (r == '\'' || r == '-') && sb.Len() > 0:
+			// Join pieces across intra-word apostrophes/hyphens.
+		default:
+			flush(i)
+		}
+	}
+	flush(len(text))
+	return tokens
+}
+
+// Terms is a convenience wrapper returning only the token terms.
+func (t Tokenizer) Terms(text string) []string {
+	toks := t.Tokenize(text)
+	out := make([]string, len(toks))
+	for i, tk := range toks {
+		out[i] = tk.Term
+	}
+	return out
+}

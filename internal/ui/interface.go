@@ -1,0 +1,168 @@
+// Package ui models the interaction environments the paper contrasts:
+// a desktop video-search interface (keyboard + mouse, rich implicit
+// interaction, cheap text entry) and an interactive-TV interface
+// (remote control, expensive text entry, cheap explicit rating keys).
+//
+// An Interface here is a *capability and cost model*, not a widget
+// tree: it describes which actions the environment affords, what each
+// costs in user effort, and the result-page geometry. Simulated users
+// spend an effort budget against these costs, which is what produces
+// the environment-dependent feedback volumes the paper predicts
+// ("users will possibly avoid to enter key words" on TV).
+package ui
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ilog"
+)
+
+// Interface is an interaction-environment model.
+type Interface struct {
+	// Name labels logs and tables ("desktop", "tv").
+	Name string
+	// PageSize is the number of results shown per page.
+	PageSize int
+	// Affordances lists the actions this environment supports.
+	Affordances map[ilog.Action]bool
+	// Cost is the effort price of each afforded action, in abstract
+	// effort units (1.0 = one casual mouse click).
+	Cost map[ilog.Action]float64
+	// TextEntryCostPerChar prices query typing; dominates on TV.
+	TextEntryCostPerChar float64
+	// SessionBudget is the default effort a user will spend in one
+	// session in this environment before giving up.
+	SessionBudget float64
+	// RateAffinity scales the user's base propensity to rate in this
+	// environment: >1 where rating is a primary affordance (dedicated
+	// remote keys), <1 where it is buried in the UI.
+	RateAffinity float64
+}
+
+// Supports reports whether the environment affords action a.
+func (f *Interface) Supports(a ilog.Action) bool { return f.Affordances[a] }
+
+// ActionCost returns the effort price of a (infinite when unsupported,
+// so budget arithmetic naturally forbids it).
+func (f *Interface) ActionCost(a ilog.Action) float64 {
+	if !f.Affordances[a] {
+		return math.Inf(1)
+	}
+	return f.Cost[a]
+}
+
+// QueryCost prices issuing a text query of the given length: the base
+// query action cost plus per-character entry cost.
+func (f *Interface) QueryCost(queryLen int) float64 {
+	return f.ActionCost(ilog.ActionQuery) + float64(queryLen)*f.TextEntryCostPerChar
+}
+
+// Validate checks internal consistency: every afforded action must be
+// priced, costs must be positive and finite.
+func (f *Interface) Validate() error {
+	if f.Name == "" {
+		return fmt.Errorf("ui: interface without name")
+	}
+	if f.PageSize <= 0 {
+		return fmt.Errorf("ui: %s: page size must be positive", f.Name)
+	}
+	if f.SessionBudget <= 0 {
+		return fmt.Errorf("ui: %s: session budget must be positive", f.Name)
+	}
+	for a, on := range f.Affordances {
+		if !on {
+			continue
+		}
+		c, ok := f.Cost[a]
+		if !ok {
+			return fmt.Errorf("ui: %s: afforded action %q has no cost", f.Name, a)
+		}
+		if c <= 0 || math.IsInf(c, 0) || math.IsNaN(c) {
+			return fmt.Errorf("ui: %s: action %q has invalid cost %v", f.Name, a, c)
+		}
+	}
+	if f.TextEntryCostPerChar < 0 {
+		return fmt.Errorf("ui: %s: negative text entry cost", f.Name)
+	}
+	if f.RateAffinity < 0 {
+		return fmt.Errorf("ui: %s: negative rate affinity", f.Name)
+	}
+	return nil
+}
+
+// Desktop returns the desktop environment: full affordance set, cheap
+// typing, 20-keyframe result pages — "the highest amount of possible
+// implicit relevance feedback" in the paper's words.
+func Desktop() *Interface {
+	return &Interface{
+		Name:     "desktop",
+		PageSize: 20,
+		Affordances: map[ilog.Action]bool{
+			ilog.ActionQuery:         true,
+			ilog.ActionBrowse:        true,
+			ilog.ActionClickKeyframe: true,
+			ilog.ActionPlay:          true,
+			ilog.ActionSlide:         true,
+			ilog.ActionHighlight:     true,
+			ilog.ActionRate:          true, // possible, but priced high: desktop users rarely rate
+		},
+		Cost: map[ilog.Action]float64{
+			ilog.ActionQuery:         1.0,
+			ilog.ActionBrowse:        0.5,
+			ilog.ActionClickKeyframe: 1.0,
+			ilog.ActionPlay:          1.0,
+			ilog.ActionSlide:         1.5,
+			ilog.ActionHighlight:     0.8,
+			ilog.ActionRate:          4.0,
+		},
+		TextEntryCostPerChar: 0.05,
+		SessionBudget:        120,
+		RateAffinity:         0.3, // rating is a buried menu action
+	}
+}
+
+// TV returns the interactive-TV environment: story-granularity
+// browsing on a small page, no metadata highlighting or scrubbing,
+// text entry via channel keys priced an order of magnitude above the
+// desktop, and cheap explicit rating keys on the remote.
+func TV() *Interface {
+	return &Interface{
+		Name:     "tv",
+		PageSize: 6,
+		Affordances: map[ilog.Action]bool{
+			ilog.ActionQuery:         true,
+			ilog.ActionBrowse:        true,
+			ilog.ActionClickKeyframe: true, // select + OK on the remote
+			ilog.ActionPlay:          true,
+			ilog.ActionSlide:         false,
+			ilog.ActionHighlight:     false,
+			ilog.ActionRate:          true, // dedicated +/- keys
+		},
+		Cost: map[ilog.Action]float64{
+			ilog.ActionQuery:         2.0,
+			ilog.ActionBrowse:        1.5, // per-page stepping with arrow keys
+			ilog.ActionClickKeyframe: 2.0, // navigate-to-cell + OK
+			ilog.ActionPlay:          1.5,
+			ilog.ActionRate:          0.8,
+		},
+		TextEntryCostPerChar: 1.2, // multi-tap on channel keys
+		SessionBudget:        60,  // lean-back sessions are shorter
+		RateAffinity:         3.0, // dedicated +/- keys on the remote
+	}
+}
+
+// Environments returns the two studied environments in a fixed order.
+func Environments() []*Interface {
+	return []*Interface{Desktop(), TV()}
+}
+
+// ByName resolves an environment by its log label.
+func ByName(name string) (*Interface, error) {
+	for _, f := range Environments() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("ui: unknown interface %q", name)
+}

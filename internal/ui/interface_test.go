@@ -1,0 +1,94 @@
+package ui
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ilog"
+)
+
+func TestBuiltinsValid(t *testing.T) {
+	for _, f := range Environments() {
+		if err := f.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", f.Name, err)
+		}
+	}
+}
+
+func TestDesktopAffordsMoreImplicit(t *testing.T) {
+	d, tv := Desktop(), TV()
+	dCount, tvCount := 0, 0
+	for _, a := range ilog.ImplicitActions() {
+		if d.Supports(a) {
+			dCount++
+		}
+		if tv.Supports(a) {
+			tvCount++
+		}
+	}
+	if dCount <= tvCount {
+		t.Errorf("desktop affords %d implicit actions, tv %d; want desktop > tv", dCount, tvCount)
+	}
+	if tv.Supports(ilog.ActionSlide) || tv.Supports(ilog.ActionHighlight) {
+		t.Error("tv should not afford slide/highlight")
+	}
+}
+
+func TestTVExplicitCheaperDesktopTextCheaper(t *testing.T) {
+	d, tv := Desktop(), TV()
+	if tv.ActionCost(ilog.ActionRate) >= d.ActionCost(ilog.ActionRate) {
+		t.Error("explicit rating should be cheaper on tv")
+	}
+	if d.QueryCost(12) >= tv.QueryCost(12) {
+		t.Error("text query should be cheaper on desktop")
+	}
+}
+
+func TestActionCostUnsupportedIsInfinite(t *testing.T) {
+	tv := TV()
+	if !math.IsInf(tv.ActionCost(ilog.ActionSlide), 1) {
+		t.Error("unsupported action should cost +Inf")
+	}
+}
+
+func TestQueryCostScalesWithLength(t *testing.T) {
+	d := Desktop()
+	if d.QueryCost(40) <= d.QueryCost(4) {
+		t.Error("longer queries should cost more")
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	cases := []func(*Interface){
+		func(f *Interface) { f.Name = "" },
+		func(f *Interface) { f.PageSize = 0 },
+		func(f *Interface) { f.SessionBudget = 0 },
+		func(f *Interface) { delete(f.Cost, ilog.ActionPlay) },
+		func(f *Interface) { f.Cost[ilog.ActionPlay] = -1 },
+		func(f *Interface) { f.Cost[ilog.ActionPlay] = math.Inf(1) },
+		func(f *Interface) { f.TextEntryCostPerChar = -0.1 },
+	}
+	for i, mutate := range cases {
+		f := Desktop()
+		mutate(f)
+		if err := f.Validate(); err == nil {
+			t.Errorf("case %d: invalid interface accepted", i)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	f, err := ByName("tv")
+	if err != nil || f.Name != "tv" {
+		t.Errorf("ByName(tv) = %v, %v", f, err)
+	}
+	if _, err := ByName("holodeck"); err == nil {
+		t.Error("unknown interface accepted")
+	}
+}
+
+func TestPageSizes(t *testing.T) {
+	if Desktop().PageSize <= TV().PageSize {
+		t.Error("desktop page should show more results than tv")
+	}
+}

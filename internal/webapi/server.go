@@ -1,0 +1,341 @@
+// Package webapi exposes the adaptive retrieval system over HTTP/JSON:
+// the concrete "desktop interface" backend the paper's framework
+// proposal sketches. A front-end creates a session, searches, and
+// streams interaction events back; the server adapts subsequent
+// rankings per session.
+//
+// Routes:
+//
+//	POST   /api/sessions              create a session (optional profile)
+//	GET    /api/sessions/{id}         session state
+//	DELETE /api/sessions/{id}         end a session
+//	GET    /api/search?session=&q=    adapted search
+//	POST   /api/events                feed interaction events
+//	GET    /api/shots/{id}            shot metadata
+//	GET    /api/healthz               liveness
+package webapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/ilog"
+	"repro/internal/profile"
+)
+
+// Server hosts sessions over one adaptive system. Safe for concurrent
+// use: the session table and each session are guarded by one mutex
+// (sessions are cheap; contention is not a concern at interface
+// scale).
+type Server struct {
+	sys *core.System
+
+	mu       sync.Mutex
+	sessions map[string]*core.Session
+	seq      int
+}
+
+// NewServer wraps a system.
+func NewServer(sys *core.System) (*Server, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("webapi: nil system")
+	}
+	return &Server{sys: sys, sessions: make(map[string]*core.Session)}, nil
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/sessions", s.handleCreateSession)
+	mux.HandleFunc("GET /api/sessions/{id}", s.handleGetSession)
+	mux.HandleFunc("DELETE /api/sessions/{id}", s.handleDeleteSession)
+	mux.HandleFunc("GET /api/search", s.handleSearch)
+	mux.HandleFunc("POST /api/events", s.handleEvents)
+	mux.HandleFunc("GET /api/shots/{id}", s.handleShot)
+	mux.HandleFunc("GET /api/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// httpError is the uniform error body.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors past the header cannot be reported; the JSON
+	// values here are all marshal-safe.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, httpError{Error: fmt.Sprintf(format, args...)})
+}
+
+// createSessionRequest optionally declares a static profile.
+type createSessionRequest struct {
+	UserID string `json:"user_id"`
+	// Interests maps category names ("sports") to [0,1].
+	Interests map[string]float64 `json:"interests,omitempty"`
+}
+
+type createSessionResponse struct {
+	SessionID string `json:"session_id"`
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req createSessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	var user *profile.Profile
+	if req.UserID != "" || len(req.Interests) > 0 {
+		uid := req.UserID
+		if uid == "" {
+			uid = "anonymous"
+		}
+		user = profile.New(uid)
+		for name, v := range req.Interests {
+			cat, err := collection.ParseCategory(name)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			if v < 0 || v > 1 {
+				writeErr(w, http.StatusBadRequest, "interest %q=%v outside [0,1]", name, v)
+				return
+			}
+			user.SetInterest(cat, v)
+		}
+	}
+	s.mu.Lock()
+	s.seq++
+	id := "s" + strconv.Itoa(s.seq)
+	s.sessions[id] = s.sys.NewSession(id, user)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, createSessionResponse{SessionID: id})
+}
+
+// sessionState reports a session's public state.
+type sessionState struct {
+	SessionID string             `json:"session_id"`
+	Step      int                `json:"step"`
+	Evidence  int                `json:"evidence"`
+	SeenShots int                `json:"seen_shots"`
+	LastQuery string             `json:"last_query,omitempty"`
+	Interests map[string]float64 `json:"interests,omitempty"`
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	state := sessionState{
+		SessionID: id,
+		Step:      sess.Step(),
+		Evidence:  sess.EvidenceCount(),
+		SeenShots: sess.SeenShots(),
+		LastQuery: sess.LastQuery(),
+		Interests: map[string]float64{},
+	}
+	for _, cat := range sess.User().Categories() {
+		state.Interests[cat.String()] = sess.User().Interest(cat)
+	}
+	writeJSON(w, http.StatusOK, state)
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// searchHit is one result entry with display metadata.
+type searchHit struct {
+	ShotID   string  `json:"shot_id"`
+	Score    float64 `json:"score"`
+	StoryID  string  `json:"story_id,omitempty"`
+	Title    string  `json:"title,omitempty"`
+	Category string  `json:"category,omitempty"`
+	Seconds  float64 `json:"seconds,omitempty"`
+}
+
+type searchResponse struct {
+	SessionID  string      `json:"session_id"`
+	Query      string      `json:"query"`
+	Step       int         `json:"step"`
+	Candidates int         `json:"candidates"`
+	Hits       []searchHit `json:"hits"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("session")
+	q := r.URL.Query().Get("q")
+	if id == "" || q == "" {
+		writeErr(w, http.StatusBadRequest, "need session and q parameters")
+		return
+	}
+	k := 20
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		v, err := strconv.Atoi(ks)
+		if err != nil || v <= 0 || v > 1000 {
+			writeErr(w, http.StatusBadRequest, "bad k %q", ks)
+			return
+		}
+		k = v
+	}
+	// Optional category facet: ?cat=sports,politics
+	var filter core.ShotFilter
+	if cs := r.URL.Query().Get("cat"); cs != "" {
+		var cats []collection.Category
+		for _, name := range strings.Split(cs, ",") {
+			cat, err := collection.ParseCategory(strings.TrimSpace(name))
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			cats = append(cats, cat)
+		}
+		filter = s.sys.CategoryFilter(cats...)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	res, err := sess.QueryFiltered(q, filter)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "search: %v", err)
+		return
+	}
+	resp := searchResponse{
+		SessionID:  id,
+		Query:      q,
+		Step:       sess.Step(),
+		Candidates: res.Candidates,
+	}
+	coll := s.sys.Collection()
+	for i, h := range res.Hits {
+		if i >= k {
+			break
+		}
+		hit := searchHit{ShotID: h.ID, Score: h.Score}
+		if shot := coll.Shot(collection.ShotID(h.ID)); shot != nil {
+			hit.Seconds = shot.Duration.Seconds()
+			if story := coll.Story(shot.StoryID); story != nil {
+				hit.StoryID = string(story.ID)
+				hit.Title = story.Title
+				hit.Category = story.Category.String()
+			}
+		}
+		resp.Hits = append(resp.Hits, hit)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// eventsRequest feeds a batch of interaction events into a session.
+type eventsRequest struct {
+	SessionID string       `json:"session_id"`
+	Events    []ilog.Event `json:"events"`
+}
+
+type eventsResponse struct {
+	Observed int `json:"observed"`
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	var req eventsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if req.SessionID == "" || len(req.Events) == 0 {
+		writeErr(w, http.StatusBadRequest, "need session_id and events")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[req.SessionID]
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown session %q", req.SessionID)
+		return
+	}
+	for i := range req.Events {
+		e := req.Events[i]
+		e.SessionID = req.SessionID // server-authoritative
+		if err := sess.Observe(e); err != nil {
+			writeErr(w, http.StatusBadRequest, "event %d: %v", i, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, eventsResponse{Observed: len(req.Events)})
+}
+
+// shotResponse is the shot metadata a front-end renders.
+type shotResponse struct {
+	ShotID     string   `json:"shot_id"`
+	VideoID    string   `json:"video_id"`
+	StoryID    string   `json:"story_id"`
+	Title      string   `json:"title"`
+	Category   string   `json:"category"`
+	Kind       string   `json:"kind"`
+	Seconds    float64  `json:"seconds"`
+	Transcript string   `json:"transcript"`
+	Keyframes  int      `json:"keyframes"`
+	Concepts   []string `json:"concepts,omitempty"`
+}
+
+func (s *Server) handleShot(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	coll := s.sys.Collection()
+	shot := coll.Shot(collection.ShotID(id))
+	if shot == nil {
+		writeErr(w, http.StatusNotFound, "unknown shot %q", id)
+		return
+	}
+	resp := shotResponse{
+		ShotID:     string(shot.ID),
+		VideoID:    string(shot.VideoID),
+		StoryID:    string(shot.StoryID),
+		Kind:       shot.Kind.String(),
+		Seconds:    shot.Duration.Seconds(),
+		Transcript: shot.Transcript,
+		Keyframes:  len(shot.Keyframes),
+	}
+	if story := coll.Story(shot.StoryID); story != nil {
+		resp.Title = story.Title
+		resp.Category = story.Category.String()
+	}
+	for _, cs := range shot.Concepts {
+		resp.Concepts = append(resp.Concepts, string(cs.Concept))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ErrServerClosed re-exports for callers wiring graceful shutdown.
+var ErrServerClosed = errors.New("webapi: server closed")

@@ -1,0 +1,287 @@
+package webapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *synth.Archive) {
+	t.Helper()
+	arch, err := synth.Generate(synth.TinyConfig(), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystemFromCollection(arch.Collection, core.Config{UseImplicit: true, UseProfile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, arch
+}
+
+func doJSON(t *testing.T, method, url string, body any, wantStatus int, out any) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var e map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("%s %s: status %d, want %d (%v)", method, url, resp.StatusCode, wantStatus, e)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+}
+
+func createSession(t *testing.T, ts *httptest.Server, body any) string {
+	t.Helper()
+	var resp struct {
+		SessionID string `json:"session_id"`
+	}
+	doJSON(t, "POST", ts.URL+"/api/sessions", body, http.StatusCreated, &resp)
+	if resp.SessionID == "" {
+		t.Fatal("empty session id")
+	}
+	return resp.SessionID
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var out map[string]string
+	doJSON(t, "GET", ts.URL+"/api/healthz", nil, http.StatusOK, &out)
+	if out["status"] != "ok" {
+		t.Errorf("healthz = %v", out)
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	ts, _ := newTestServer(t)
+	id := createSession(t, ts, map[string]any{
+		"user_id":   "alice",
+		"interests": map[string]float64{"sports": 0.9},
+	})
+	var state struct {
+		SessionID string             `json:"session_id"`
+		Step      int                `json:"step"`
+		Interests map[string]float64 `json:"interests"`
+	}
+	doJSON(t, "GET", ts.URL+"/api/sessions/"+id, nil, http.StatusOK, &state)
+	if state.SessionID != id || state.Step != 0 {
+		t.Errorf("state = %+v", state)
+	}
+	if state.Interests["sports"] != 0.9 {
+		t.Errorf("interests = %v", state.Interests)
+	}
+	doJSON(t, "DELETE", ts.URL+"/api/sessions/"+id, nil, http.StatusNoContent, nil)
+	doJSON(t, "GET", ts.URL+"/api/sessions/"+id, nil, http.StatusNotFound, nil)
+	doJSON(t, "DELETE", ts.URL+"/api/sessions/"+id, nil, http.StatusNotFound, nil)
+}
+
+func TestCreateSessionValidation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	req, _ := http.NewRequest("POST", ts.URL+"/api/sessions", strings.NewReader("{broken"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("broken JSON: %d", resp.StatusCode)
+	}
+	doJSON(t, "POST", ts.URL+"/api/sessions",
+		map[string]any{"user_id": "x", "interests": map[string]float64{"astrology": 0.5}},
+		http.StatusBadRequest, nil)
+	doJSON(t, "POST", ts.URL+"/api/sessions",
+		map[string]any{"user_id": "x", "interests": map[string]float64{"sports": 1.5}},
+		http.StatusBadRequest, nil)
+}
+
+func TestSearchAndAdapt(t *testing.T) {
+	ts, arch := newTestServer(t)
+	id := createSession(t, ts, map[string]any{})
+	topic := arch.Truth.SearchTopics[0]
+
+	var res struct {
+		Step int `json:"step"`
+		Hits []struct {
+			ShotID   string  `json:"shot_id"`
+			Score    float64 `json:"score"`
+			Category string  `json:"category"`
+		} `json:"hits"`
+	}
+	url := fmt.Sprintf("%s/api/search?session=%s&q=%s&k=5", ts.URL, id, strings.ReplaceAll(topic.Query, " ", "+"))
+	doJSON(t, "GET", url, nil, http.StatusOK, &res)
+	if len(res.Hits) == 0 || res.Step != 1 {
+		t.Fatalf("search response: %+v", res)
+	}
+	if res.Hits[0].Category == "" {
+		t.Error("hits missing story metadata")
+	}
+	// Feed clicks on the first hits.
+	events := []map[string]any{
+		{"action": "click_keyframe", "shot": res.Hits[0].ShotID, "rank": 0, "topic": -1, "t": "2008-01-01T00:00:00Z"},
+		{"action": "play", "shot": res.Hits[0].ShotID, "rank": 0, "seconds": 12.0, "topic": -1, "t": "2008-01-01T00:00:01Z"},
+	}
+	var evResp struct {
+		Observed int `json:"observed"`
+	}
+	doJSON(t, "POST", ts.URL+"/api/events",
+		map[string]any{"session_id": id, "events": events}, http.StatusOK, &evResp)
+	if evResp.Observed != 2 {
+		t.Errorf("observed = %d", evResp.Observed)
+	}
+	// Second search: step advances, session state reflects evidence.
+	doJSON(t, "GET", url, nil, http.StatusOK, &res)
+	if res.Step != 2 {
+		t.Errorf("step = %d, want 2", res.Step)
+	}
+	var state struct {
+		Evidence int `json:"evidence"`
+	}
+	doJSON(t, "GET", ts.URL+"/api/sessions/"+id, nil, http.StatusOK, &state)
+	if state.Evidence != 2 {
+		t.Errorf("evidence = %d", state.Evidence)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	doJSON(t, "GET", ts.URL+"/api/search?q=x", nil, http.StatusBadRequest, nil)
+	doJSON(t, "GET", ts.URL+"/api/search?session=ghost&q=x", nil, http.StatusNotFound, nil)
+	id := createSession(t, ts, map[string]any{})
+	doJSON(t, "GET", ts.URL+"/api/search?session="+id+"&q=x&k=0", nil, http.StatusBadRequest, nil)
+	doJSON(t, "GET", ts.URL+"/api/search?session="+id+"&q=x&k=abc", nil, http.StatusBadRequest, nil)
+}
+
+func TestEventsValidation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	id := createSession(t, ts, map[string]any{})
+	doJSON(t, "POST", ts.URL+"/api/events", map[string]any{"session_id": id}, http.StatusBadRequest, nil)
+	doJSON(t, "POST", ts.URL+"/api/events",
+		map[string]any{"session_id": "ghost", "events": []map[string]any{{"action": "browse"}}},
+		http.StatusNotFound, nil)
+	// Invalid event inside the batch.
+	doJSON(t, "POST", ts.URL+"/api/events",
+		map[string]any{"session_id": id, "events": []map[string]any{
+			{"action": "rate", "shot": "x", "value": 7},
+		}}, http.StatusBadRequest, nil)
+}
+
+func TestSearchCategoryFacet(t *testing.T) {
+	ts, arch := newTestServer(t)
+	id := createSession(t, ts, map[string]any{})
+	topic := arch.Truth.SearchTopics[0]
+	var res struct {
+		Hits []struct {
+			Category string `json:"category"`
+		} `json:"hits"`
+	}
+	url := fmt.Sprintf("%s/api/search?session=%s&q=%s&cat=%s", ts.URL, id,
+		strings.ReplaceAll(topic.Query, " ", "+"), topic.Category.String())
+	doJSON(t, "GET", url, nil, http.StatusOK, &res)
+	for _, h := range res.Hits {
+		if h.Category != topic.Category.String() {
+			t.Fatalf("facet leaked category %q", h.Category)
+		}
+	}
+	// Unknown category rejected.
+	bad := fmt.Sprintf("%s/api/search?session=%s&q=x&cat=astrology", ts.URL, id)
+	doJSON(t, "GET", bad, nil, http.StatusBadRequest, nil)
+}
+
+func TestShotMetadata(t *testing.T) {
+	ts, arch := newTestServer(t)
+	shotID := string(arch.Collection.ShotIDs()[0])
+	var shot struct {
+		ShotID     string  `json:"shot_id"`
+		Title      string  `json:"title"`
+		Seconds    float64 `json:"seconds"`
+		Transcript string  `json:"transcript"`
+		Keyframes  int     `json:"keyframes"`
+	}
+	doJSON(t, "GET", ts.URL+"/api/shots/"+shotID, nil, http.StatusOK, &shot)
+	if shot.ShotID != shotID || shot.Seconds <= 0 || shot.Transcript == "" || shot.Keyframes == 0 {
+		t.Errorf("shot = %+v", shot)
+	}
+	doJSON(t, "GET", ts.URL+"/api/shots/nope", nil, http.StatusNotFound, nil)
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	ts, arch := newTestServer(t)
+	topic := arch.Truth.SearchTopics[0]
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			done <- func() error {
+				var created struct {
+					SessionID string `json:"session_id"`
+				}
+				data, _ := json.Marshal(map[string]any{})
+				resp, err := http.Post(ts.URL+"/api/sessions", "application/json", bytes.NewReader(data))
+				if err != nil {
+					return err
+				}
+				defer resp.Body.Close()
+				if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+					return err
+				}
+				url := fmt.Sprintf("%s/api/search?session=%s&q=%s", ts.URL, created.SessionID,
+					strings.ReplaceAll(topic.Query, " ", "+"))
+				for j := 0; j < 5; j++ {
+					r, err := http.Get(url)
+					if err != nil {
+						return err
+					}
+					r.Body.Close()
+					if r.StatusCode != http.StatusOK {
+						return fmt.Errorf("search status %d", r.StatusCode)
+					}
+				}
+				return nil
+			}()
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNewServerNil(t *testing.T) {
+	if _, err := NewServer(nil); err == nil {
+		t.Error("nil system accepted")
+	}
+}

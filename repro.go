@@ -1,0 +1,211 @@
+// Package repro is the public facade of the adaptive video retrieval
+// library reproducing Hopfgartner, "Studying Interaction Methodologies
+// in Video Retrieval" (VLDB 2008).
+//
+// The library builds everything the paper's research programme needs:
+//
+//   - a synthetic news-video archive with ground-truth topics and
+//     relevance judgements (the stand-in for BBC/TRECVID data);
+//   - an inverted-index search engine (BM25 / TF-IDF / Dirichlet LM)
+//     with checksummed persistence;
+//   - the adaptive retrieval model combining static user profiles with
+//     implicit relevance feedback (the paper's contribution);
+//   - interface capability models for the desktop and interactive-TV
+//     environments, and the interaction-log machinery around them;
+//   - a simulated-user evaluation framework (stereotypes, studies, log
+//     replay) and a TREC-style metrics/significance layer;
+//   - the community implicit-feedback recommendation graph.
+//
+// Quick start:
+//
+//	arch, _ := repro.GenerateArchive(repro.TinyArchive(), 1)
+//	sys, _ := repro.NewAdaptiveSystem(arch, repro.Combined())
+//	sess := sys.NewSession("s1", nil)
+//	res, _ := sess.Query("some topic terms")
+//	_ = sess.Observe(repro.ClickEvent("s1", res.Hits[0].ID, 0))
+//	adapted, _ := sess.Query("some topic terms")
+//
+// The subsystems live in internal/ packages; this package re-exports
+// the types and constructors a downstream user needs. See DESIGN.md
+// for the system inventory and EXPERIMENTS.md for the reproduced
+// evaluation.
+package repro
+
+import (
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/feedback"
+	"repro/internal/ilog"
+	"repro/internal/profile"
+	"repro/internal/recommend"
+	"repro/internal/search"
+	"repro/internal/simulation"
+	"repro/internal/store"
+	"repro/internal/synth"
+	"repro/internal/ui"
+)
+
+// Re-exported core types. These aliases are the library's public
+// vocabulary; the internal packages carry the implementations.
+type (
+	// Archive is a generated news-video collection plus ground truth.
+	Archive = synth.Archive
+	// ArchiveConfig parameterises synthetic archive generation.
+	ArchiveConfig = synth.Config
+	// SearchTopic is a TREC-style evaluation topic.
+	SearchTopic = synth.SearchTopic
+
+	// Collection is the news-video data model.
+	Collection = collection.Collection
+	// Shot is the retrieval unit.
+	Shot = collection.Shot
+	// Category is a news desk category.
+	Category = collection.Category
+
+	// SystemConfig selects and parameterises adaptation behaviour.
+	SystemConfig = core.Config
+	// System is the wired adaptive retrieval model.
+	System = core.System
+	// Session is one user's adaptive search session.
+	Session = core.Session
+
+	// Results is a ranked result list.
+	Results = search.Results
+	// Hit is one retrieved shot.
+	Hit = search.Hit
+
+	// Profile is a static user interest profile.
+	Profile = profile.Profile
+
+	// Event is one logged interaction.
+	Event = ilog.Event
+	// Action is an interaction kind.
+	Action = ilog.Action
+
+	// Interface is an interaction-environment model.
+	Interface = ui.Interface
+
+	// Stereotype is a simulated-user behaviour model.
+	Stereotype = simulation.Stereotype
+	// StudyResult aggregates a simulated user study.
+	StudyResult = simulation.StudyResult
+
+	// Metrics is the rank-metric bundle (AP, P@k, nDCG, ...).
+	Metrics = eval.Metrics
+	// Judgments holds graded relevance assessments for one query.
+	Judgments = eval.Judgments
+
+	// Graph is the community implicit-feedback graph.
+	Graph = recommend.Graph
+
+	// WeightingScheme converts interaction evidence to relevance mass.
+	WeightingScheme = feedback.Scheme
+)
+
+// The interaction vocabulary (see ilog for semantics).
+const (
+	ActionQuery         = ilog.ActionQuery
+	ActionBrowse        = ilog.ActionBrowse
+	ActionClickKeyframe = ilog.ActionClickKeyframe
+	ActionPlay          = ilog.ActionPlay
+	ActionSlide         = ilog.ActionSlide
+	ActionHighlight     = ilog.ActionHighlight
+	ActionRate          = ilog.ActionRate
+)
+
+// DefaultArchive returns the month-scale archive configuration.
+func DefaultArchive() ArchiveConfig { return synth.DefaultConfig() }
+
+// TinyArchive returns the fast test-scale configuration.
+func TinyArchive() ArchiveConfig { return synth.TinyConfig() }
+
+// GenerateArchive builds a synthetic archive; identical (cfg, seed)
+// pairs produce identical archives.
+func GenerateArchive(cfg ArchiveConfig, seed int64) (*Archive, error) {
+	return synth.Generate(cfg, seed)
+}
+
+// Baseline returns the non-adaptive system configuration.
+func Baseline() SystemConfig { return SystemConfig{} }
+
+// ProfileOnly returns static-profile re-ranking only.
+func ProfileOnly() SystemConfig { return SystemConfig{UseProfile: true} }
+
+// ImplicitOnly returns implicit-feedback adaptation only.
+func ImplicitOnly() SystemConfig { return SystemConfig{UseImplicit: true} }
+
+// Combined returns the full adaptive model (profile + implicit).
+func Combined() SystemConfig {
+	return SystemConfig{UseProfile: true, UseImplicit: true}
+}
+
+// NewAdaptiveSystem indexes an archive's collection and wires the
+// adaptive retrieval model over it.
+func NewAdaptiveSystem(arch *Archive, cfg SystemConfig) (*System, error) {
+	return core.NewSystemFromCollection(arch.Collection, cfg)
+}
+
+// NewSystemOverCollection wires a system over an externally built
+// collection.
+func NewSystemOverCollection(coll *Collection, cfg SystemConfig) (*System, error) {
+	return core.NewSystemFromCollection(coll, cfg)
+}
+
+// NewProfile creates a neutral static profile for a user.
+func NewProfile(userID string) *Profile { return profile.New(userID) }
+
+// Desktop and TV return the two studied interaction environments.
+func Desktop() *Interface { return ui.Desktop() }
+func TV() *Interface      { return ui.TV() }
+
+// Stereotypes returns the built-in simulated-user population.
+func Stereotypes() []Stereotype { return simulation.Stereotypes() }
+
+// RunStudy simulates users (one per stereotype rotation) performing
+// every topic on the given system and interface.
+func RunStudy(arch *Archive, sys *System, iface *Interface,
+	numUsers int, topics []*SearchTopic, iterations int, seed int64) (*StudyResult, error) {
+	return simulation.RunStudy(arch, sys, iface, simulation.MakeUsers(numUsers), topics, iterations, seed)
+}
+
+// TopicJudgments converts a search topic's ground-truth qrels into the
+// evaluation layer's form.
+func TopicJudgments(arch *Archive, topicID int) Judgments {
+	j := Judgments{}
+	for shot, g := range arch.Truth.Qrels[topicID] {
+		j[string(shot)] = g
+	}
+	return j
+}
+
+// Evaluate computes the metric bundle of a ranking against judgments.
+func Evaluate(ranking []string, judg Judgments) Metrics {
+	return eval.Compute(ranking, judg)
+}
+
+// ClickEvent builds a keyframe-click event (the strongest implicit
+// indicator) for feeding Session.Observe.
+func ClickEvent(sessionID, shotID string, rank int) Event {
+	return Event{SessionID: sessionID, Action: ActionClickKeyframe, ShotID: shotID, Rank: rank}
+}
+
+// PlayEvent builds a playback event with the watched duration.
+func PlayEvent(sessionID, shotID string, rank int, seconds float64) Event {
+	return Event{SessionID: sessionID, Action: ActionPlay, ShotID: shotID, Rank: rank, Seconds: seconds}
+}
+
+// RateEvent builds an explicit rating event (value must be +1 or -1).
+func RateEvent(sessionID, shotID string, value int) Event {
+	return Event{SessionID: sessionID, Action: ActionRate, ShotID: shotID, Rank: -1, Value: value}
+}
+
+// NewGraph returns an empty community implicit-feedback graph.
+func NewGraph() *Graph { return recommend.NewGraph() }
+
+// SaveArchive persists a complete archive (collection + ground truth)
+// to a versioned, checksummed container file.
+func SaveArchive(path string, arch *Archive) error { return store.Save(path, arch) }
+
+// LoadArchive reopens a container written by SaveArchive.
+func LoadArchive(path string) (*Archive, error) { return store.Load(path) }

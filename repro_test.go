@@ -1,0 +1,227 @@
+package repro_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/ilog"
+	"repro/internal/index"
+	"repro/internal/search"
+	"repro/internal/simulation"
+	"repro/internal/text"
+)
+
+// TestFacadeEndToEnd drives the public API through the paper's core
+// loop: generate, index, search, feed implicit evidence, adapt.
+func TestFacadeEndToEnd(t *testing.T) {
+	arch, err := repro.GenerateArchive(repro.TinyArchive(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := repro.NewAdaptiveSystem(arch, repro.ImplicitOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	improvedTopics, total := 0, 0
+	for _, topic := range arch.Truth.SearchTopics {
+		judg := repro.TopicJudgments(arch, topic.ID)
+		sess := sys.NewSession("e2e", nil)
+		res, err := sess.Query(topic.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := repro.Evaluate(res.IDs(), judg)
+		fed := 0
+		for rank, h := range res.Hits {
+			if judg[h.ID] >= 1 && fed < 3 {
+				fed++
+				if err := sess.Observe(repro.ClickEvent("e2e", h.ID, rank)); err != nil {
+					t.Fatal(err)
+				}
+				if err := sess.Observe(repro.PlayEvent("e2e", h.ID, rank, 15)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if fed == 0 {
+			continue
+		}
+		adapted, err := sess.Query(topic.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := repro.Evaluate(adapted.IDs(), judg)
+		total++
+		if after.AP >= before.AP {
+			improvedTopics++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no topic produced feedback")
+	}
+	if improvedTopics*2 < total {
+		t.Errorf("adaptation improved only %d/%d topics", improvedTopics, total)
+	}
+}
+
+// TestFacadeStudyAndReplay runs a small simulated study through the
+// facade and replays its log.
+func TestFacadeStudyAndReplay(t *testing.T) {
+	arch, err := repro.GenerateArchive(repro.TinyArchive(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := repro.NewAdaptiveSystem(arch, repro.Combined())
+	if err != nil {
+		t.Fatal(err)
+	}
+	study, err := repro.RunStudy(arch, sys, repro.Desktop(), 2, arch.Truth.SearchTopics[:2], 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study.Sessions) != 4 || len(study.Events) == 0 {
+		t.Fatalf("study shape wrong: %d sessions, %d events", len(study.Sessions), len(study.Events))
+	}
+	// Log round trip through disk.
+	path := filepath.Join(t.TempDir(), "log.jsonl")
+	if err := ilog.SaveFile(path, study.Events); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ilog.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(study.Events) {
+		t.Fatalf("log round trip lost events: %d vs %d", len(events), len(study.Events))
+	}
+	ms, err := simulation.Replay(sys, events, arch.Truth.Qrels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(study.Sessions) {
+		t.Errorf("replay covered %d of %d sessions", len(ms), len(study.Sessions))
+	}
+}
+
+// TestIndexPersistenceAcrossEngine verifies a built index round-trips
+// through disk and serves identical rankings.
+func TestIndexPersistenceAcrossEngine(t *testing.T) {
+	arch, err := repro.GenerateArchive(repro.TinyArchive(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := text.NewAnalyzer()
+	ix, err := core.BuildIndex(arch.Collection, an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ix.ivridx")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := index.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := search.NewEngine(ix, an)
+	e2 := search.NewEngine(loaded, an)
+	for _, topic := range arch.Truth.SearchTopics[:3] {
+		r1, err := e1.Search(e1.ParseText(topic.Query), search.Options{K: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := e2.Search(e2.ParseText(topic.Query), search.Options{K: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r1.Hits) != len(r2.Hits) {
+			t.Fatalf("hit counts differ after reload")
+		}
+		for i := range r1.Hits {
+			if r1.Hits[i].ID != r2.Hits[i].ID || r1.Hits[i].Score != r2.Hits[i].Score {
+				t.Fatalf("ranking differs after reload at %d", i)
+			}
+		}
+	}
+}
+
+// TestPresetsThroughFacade checks the four preset configurations wire
+// correctly and order sanely on one topic.
+func TestPresetsThroughFacade(t *testing.T) {
+	arch, err := repro.GenerateArchive(repro.TinyArchive(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []repro.SystemConfig{
+		repro.Baseline(), repro.ProfileOnly(), repro.ImplicitOnly(), repro.Combined(),
+	} {
+		sys, err := repro.NewAdaptiveSystem(arch, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess := sys.NewSession("p", repro.NewProfile("u"))
+		if _, err := sess.Query(arch.Truth.SearchTopics[0].Query); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFacadeArchivePersistence exercises Save/LoadArchive through the
+// facade.
+func TestFacadeArchivePersistence(t *testing.T) {
+	arch, err := repro.GenerateArchive(repro.TinyArchive(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "a.ivrarc")
+	if err := repro.SaveArchive(path, arch); err != nil {
+		t.Fatal(err)
+	}
+	got, err := repro.LoadArchive(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Collection.NumShots() != arch.Collection.NumShots() {
+		t.Error("archive round trip lost shots")
+	}
+	// The reloaded archive drives a working system.
+	sys, err := repro.NewAdaptiveSystem(got, repro.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.SearchOnce(got.Truth.SearchTopics[0].Query); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeEnvironmentsAndStereotypes covers the remaining surface.
+func TestFacadeEnvironmentsAndStereotypes(t *testing.T) {
+	if repro.Desktop().Name != "desktop" || repro.TV().Name != "tv" {
+		t.Error("environment constructors wrong")
+	}
+	if len(repro.Stereotypes()) < 3 {
+		t.Error("stereotype population too small")
+	}
+	g := repro.NewGraph()
+	if g.NumNodes() != 0 {
+		t.Error("fresh graph not empty")
+	}
+	if repro.DefaultArchive().Days <= repro.TinyArchive().Days {
+		t.Error("default archive should be larger than tiny")
+	}
+}
+
+// TestEventConstructors checks the facade event helpers validate.
+func TestEventConstructors(t *testing.T) {
+	for _, e := range []repro.Event{
+		repro.ClickEvent("s", "shot", 0),
+		repro.PlayEvent("s", "shot", 1, 12.5),
+		repro.RateEvent("s", "shot", -1),
+	} {
+		if err := e.Validate(); err != nil {
+			t.Errorf("constructor produced invalid event: %v", err)
+		}
+	}
+}
