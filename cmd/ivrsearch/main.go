@@ -1,6 +1,8 @@
 // Command ivrsearch runs queries against a synthetic archive with
 // optional implicit-feedback adaptation, demonstrating the retrieval
-// side of the system from the shell.
+// side of the system from the shell. With -server it becomes a remote
+// front-end: the same loop driven through the typed /api/v1 client
+// SDK against a running ivrserve.
 //
 // Usage:
 //
@@ -9,13 +11,17 @@
 //	ivrsearch -topic 0 -feedback 3               # click the top-3 results, re-rank, compare
 //	ivrsearch -index archive/archive.ivridx -query "..."   # search a saved index
 //	ivrsearch -scorer tfidf -k 5 -topic 2
+//	ivrsearch -server http://localhost:8080 -query "cup final" -feedback 3
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"repro/internal/client"
 	"repro/internal/collection"
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -38,8 +44,20 @@ func main() {
 		seed        = flag.Int64("seed", 2008, "archive seed")
 		full        = flag.Bool("full", false, "use the full-scale archive (slower)")
 		archivePath = flag.String("archive", "", "saved archive container (.ivrarc) to search")
+		serverURL   = flag.String("server", "", "ivrserve base URL; search remotely via the /api/v1 client SDK")
 	)
 	flag.Parse()
+
+	// Remote mode: the whole loop over the wire through the SDK.
+	if *serverURL != "" {
+		if *queryStr == "" {
+			fail("-server mode requires -query")
+		}
+		if err := runRemote(*serverURL, *queryStr, *k, *feedback); err != nil {
+			fail("%v", err)
+		}
+		return
+	}
 
 	var sc search.Scorer
 	switch *scorer {
@@ -147,6 +165,72 @@ func main() {
 		}
 		fmt.Println()
 		printResults("adapted ranking", adapted, judg, *k, arch)
+	}
+}
+
+// runRemote drives the adaptive loop against a running ivrserve: one
+// session, a search, simulated click+play feedback on the top hits,
+// and the adapted re-ranking — all through the typed client.
+func runRemote(serverURL, query string, k, feedback int) error {
+	c, err := client.New(serverURL,
+		client.WithTimeout(30*time.Second),
+		client.WithRetry(2, 200*time.Millisecond))
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if _, err := c.Healthz(ctx); err != nil {
+		return fmt.Errorf("server not reachable: %w", err)
+	}
+	id, err := c.CreateSession(ctx, client.CreateSessionRequest{UserID: "ivrsearch"})
+	if err != nil {
+		return fmt.Errorf("create session: %w", err)
+	}
+	defer c.DeleteSession(ctx, id)
+
+	page, err := c.Search(ctx, client.SearchRequest{SessionID: id, Query: query, Limit: k})
+	if err != nil {
+		return fmt.Errorf("search: %w", err)
+	}
+	printRemotePage("initial ranking", page)
+
+	if feedback <= 0 || len(page.Hits) == 0 {
+		return nil
+	}
+	n := feedback
+	if n > len(page.Hits) {
+		n = len(page.Hits)
+	}
+	fmt.Printf("\nsimulating click+play on the top %d results...\n", n)
+	var events []ilog.Event
+	for i := 0; i < n; i++ {
+		h := page.Hits[i]
+		events = append(events,
+			ilog.Event{Action: ilog.ActionClickKeyframe, ShotID: h.ShotID, Rank: i},
+			ilog.Event{Action: ilog.ActionPlay, ShotID: h.ShotID, Rank: i, Seconds: 15},
+		)
+	}
+	if _, err := c.SendEvents(ctx, id, events); err != nil {
+		return fmt.Errorf("send events: %w", err)
+	}
+	adapted, err := c.Search(ctx, client.SearchRequest{SessionID: id, Query: query, Limit: k})
+	if err != nil {
+		return fmt.Errorf("adapted search: %w", err)
+	}
+	fmt.Println()
+	printRemotePage("adapted ranking", adapted)
+	return nil
+}
+
+func printRemotePage(label string, page *client.SearchPage) {
+	fmt.Printf("%s (%d candidates, %d ranked, step %d):\n",
+		label, page.Candidates, page.Total, page.Step)
+	for _, h := range page.Hits {
+		title := ""
+		if h.Title != "" {
+			title = fmt.Sprintf("  [%s] %s", h.Category, h.Title)
+		}
+		fmt.Printf("%3d. %-16s %8.4f%s\n", h.Rank+1, h.ShotID, h.Score, title)
 	}
 }
 

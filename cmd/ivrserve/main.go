@@ -1,28 +1,39 @@
-// Command ivrserve hosts the adaptive retrieval system as an HTTP/JSON
-// service — the backend a desktop or iTV front-end would talk to.
+// Command ivrserve hosts the adaptive retrieval system as a versioned
+// HTTP/JSON service — the backend a desktop or iTV front-end talks to
+// via /api/v1 (see internal/webapi for the route table and
+// internal/client for the typed Go SDK).
 //
 // Usage:
 //
 //	ivrserve                                  # tiny archive on :8080
 //	ivrserve -addr :9090 -preset combined -full
 //	ivrserve -archive archive.ivrarc          # serve a saved archive
+//	ivrserve -session-ttl 30m -max-sessions 10000
 //
 // Example exchange:
 //
-//	curl -s -X POST localhost:8080/api/sessions \
+//	curl -s -X POST localhost:8080/api/v1/sessions \
 //	     -d '{"user_id":"alice","interests":{"sports":0.9}}'
-//	curl -s 'localhost:8080/api/search?session=s1&q=cup+final'
-//	curl -s -X POST localhost:8080/api/events -d '{"session_id":"s1",
+//	curl -s 'localhost:8080/api/v1/search?session=SID&q=cup+final&limit=5'
+//	curl -s 'localhost:8080/api/v1/search/stream?session=SID&q=cup+final'
+//	curl -s -X POST localhost:8080/api/v1/events -d '{"session_id":"SID",
 //	     "events":[{"action":"click_keyframe","shot":"v0001_s003","rank":0,
-//	                "session":"s1","t":"2008-01-01T12:00:00Z","topic":-1}]}'
+//	                "session":"SID","t":"2008-01-01T12:00:00Z","topic":-1}]}'
+//
+// Unversioned /api/... paths answer 308 redirects to /api/v1.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/store"
@@ -32,11 +43,15 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		preset   = flag.String("preset", "combined", "system preset: baseline, profile, implicit, combined")
-		archPath = flag.String("archive", "", "saved archive (.ivrarc) to serve; default generates one")
-		seed     = flag.Int64("seed", 2008, "generation seed when no -archive is given")
-		full     = flag.Bool("full", false, "generate the full-scale archive")
+		addr        = flag.String("addr", ":8080", "listen address")
+		preset      = flag.String("preset", "combined", "system preset: baseline, profile, implicit, combined")
+		archPath    = flag.String("archive", "", "saved archive (.ivrarc) to serve; default generates one")
+		seed        = flag.Int64("seed", 2008, "generation seed when no -archive is given")
+		full        = flag.Bool("full", false, "generate the full-scale archive")
+		depth       = flag.Int("depth", 200, "ranking depth per query (bounds search pagination)")
+		sessionTTL  = flag.Duration("session-ttl", 30*time.Minute, "evict sessions idle this long (0 disables)")
+		maxSessions = flag.Int("max-sessions", 0, "cap on live sessions (0 = unbounded)")
+		quiet       = flag.Bool("quiet", false, "suppress per-request logs")
 	)
 	flag.Parse()
 
@@ -44,6 +59,7 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	cfg.K = *depth
 	var arch *synth.Archive
 	if *archPath != "" {
 		arch, err = store.Load(*archPath)
@@ -64,13 +80,42 @@ func main() {
 	if err != nil {
 		fail("system: %v", err)
 	}
-	srv, err := webapi.NewServer(sys)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if *quiet {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	srv, err := webapi.NewServer(sys,
+		webapi.WithLogger(logger),
+		webapi.WithSessionTTL(*sessionTTL),
+		webapi.WithMaxSessions(*maxSessions),
+	)
 	if err != nil {
 		fail("server: %v", err)
 	}
-	fmt.Printf("ivrserve: %s system over %d shots, listening on %s\n",
-		*preset, arch.Collection.NumShots(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	fmt.Printf("ivrserve: %s system over %d shots, /api/v1 on %s (session ttl %s)\n",
+		*preset, arch.Collection.NumShots(), *addr, *sessionTTL)
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail("serve: %v", err)
+		}
+	case <-ctx.Done():
+		fmt.Println("ivrserve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fail("shutdown: %v", err)
+		}
+	}
 }
 
 func fail(format string, args ...any) {

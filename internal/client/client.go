@@ -1,0 +1,494 @@
+// Package client is the typed Go SDK for the webapi /api/v1 surface.
+// Every consumer of the retrieval service — CLI tools, examples,
+// simulators, load generators — talks through a Client instead of
+// hand-rolling HTTP, so the wire contract lives in exactly two places
+// (webapi encodes it, client decodes it).
+//
+// Usage:
+//
+//	c, _ := client.New("http://localhost:8080",
+//	        client.WithTimeout(5*time.Second),
+//	        client.WithRetry(3, 200*time.Millisecond))
+//	id, _ := c.CreateSession(ctx, client.CreateSessionRequest{UserID: "alice"})
+//	page, _ := c.Search(ctx, client.SearchRequest{SessionID: id, Query: "cup final"})
+//	_, _ = c.SendEvents(ctx, id, []ilog.Event{ /* clicks, plays */ })
+//
+// Server-side errors decode into *APIError carrying the envelope's
+// code and message; IsNotFound distinguishes missing sessions/shots.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/ilog"
+)
+
+// Client calls one webapi server. Safe for concurrent use.
+type Client struct {
+	baseURL    string
+	httpClient *http.Client
+	retries    int
+	backoff    time.Duration
+	userAgent  string
+}
+
+// Option configures a Client.
+type Option func(*options)
+
+type options struct {
+	httpClient *http.Client
+	timeout    time.Duration
+	retries    int
+	backoff    time.Duration
+	userAgent  string
+}
+
+// WithHTTPClient substitutes the underlying *http.Client (default: a
+// dedicated client with a 30s timeout).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(o *options) { o.httpClient = hc }
+}
+
+// WithTimeout bounds each HTTP attempt (default 30s). Ignored when
+// WithHTTPClient is given, regardless of option order.
+func WithTimeout(d time.Duration) Option {
+	return func(o *options) { o.timeout = d }
+}
+
+// WithRetry retries side-effect-free requests (session state, shot
+// metadata, healthz) up to n extra times on network errors and 5xx
+// responses, sleeping backoff, 2x backoff, ... between attempts.
+// Search is never retried automatically — every search advances the
+// session's adaptation step, so a blind replay would double-adapt.
+// Default: no retries.
+func WithRetry(n int, backoff time.Duration) Option {
+	return func(o *options) {
+		o.retries = n
+		o.backoff = backoff
+	}
+}
+
+// WithUserAgent sets the User-Agent header (default "repro-client/1").
+func WithUserAgent(ua string) Option {
+	return func(o *options) { o.userAgent = ua }
+}
+
+// New builds a client for a server base URL such as
+// "http://localhost:8080" (any path suffix is stripped of one
+// trailing slash; "/api/v1" is appended per call).
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: invalid base URL %q", baseURL)
+	}
+	o := options{userAgent: "repro-client/1"}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.retries < 0 {
+		return nil, fmt.Errorf("client: negative retry count")
+	}
+	hc := o.httpClient
+	if hc == nil {
+		timeout := o.timeout
+		if timeout == 0 {
+			timeout = 30 * time.Second
+		}
+		hc = &http.Client{Timeout: timeout}
+	}
+	return &Client{
+		baseURL:    strings.TrimSuffix(baseURL, "/"),
+		httpClient: hc,
+		retries:    o.retries,
+		backoff:    o.backoff,
+		userAgent:  o.userAgent,
+	}, nil
+}
+
+// APIError is a non-2xx server response decoded from the error
+// envelope {"error":{"code","message"}}.
+type APIError struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Code is the machine-readable envelope code ("not_found", ...).
+	Code string
+	// Message is the human-readable envelope message.
+	Message string
+	// RequestID echoes the X-Request-Id header for log correlation.
+	RequestID string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("api: %d %s: %s", e.StatusCode, e.Code, e.Message)
+}
+
+// IsNotFound reports whether err is a 404 APIError (unknown session,
+// shot, or route).
+func IsNotFound(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound
+}
+
+// CreateSessionRequest optionally declares a static user profile.
+type CreateSessionRequest struct {
+	UserID string `json:"user_id"`
+	// Interests maps category names ("sports") to [0,1].
+	Interests map[string]float64 `json:"interests,omitempty"`
+}
+
+// SessionState is a session's public state.
+type SessionState struct {
+	SessionID string             `json:"session_id"`
+	Step      int                `json:"step"`
+	Evidence  int                `json:"evidence"`
+	SeenShots int                `json:"seen_shots"`
+	LastQuery string             `json:"last_query"`
+	Interests map[string]float64 `json:"interests"`
+}
+
+// Hit is one ranked result with display metadata.
+type Hit struct {
+	Rank     int     `json:"rank"`
+	ShotID   string  `json:"shot_id"`
+	Score    float64 `json:"score"`
+	StoryID  string  `json:"story_id"`
+	Title    string  `json:"title"`
+	Category string  `json:"category"`
+	Seconds  float64 `json:"seconds"`
+}
+
+// SearchRequest parameterises one adapted-search iteration.
+type SearchRequest struct {
+	SessionID string
+	Query     string
+	// Offset/Limit window the ranking (Limit 0 = server default).
+	Offset int
+	Limit  int
+	// Categories facets results ("sports", "politics", ...).
+	Categories []string
+}
+
+// SearchPage is one page of an adapted ranking.
+type SearchPage struct {
+	SessionID  string `json:"session_id"`
+	Query      string `json:"query"`
+	Step       int    `json:"step"`
+	Candidates int    `json:"candidates"`
+	Total      int    `json:"total"`
+	Offset     int    `json:"offset"`
+	Limit      int    `json:"limit"`
+	Hits       []Hit  `json:"hits"`
+}
+
+// StreamSummary closes a streamed search.
+type StreamSummary struct {
+	SessionID  string `json:"session_id"`
+	Query      string `json:"query"`
+	Step       int    `json:"step"`
+	Candidates int    `json:"candidates"`
+	Total      int    `json:"total"`
+}
+
+// Shot is the shot metadata a front-end renders.
+type Shot struct {
+	ShotID     string   `json:"shot_id"`
+	VideoID    string   `json:"video_id"`
+	StoryID    string   `json:"story_id"`
+	Title      string   `json:"title"`
+	Category   string   `json:"category"`
+	Kind       string   `json:"kind"`
+	Seconds    float64  `json:"seconds"`
+	Transcript string   `json:"transcript"`
+	Keyframes  int      `json:"keyframes"`
+	Concepts   []string `json:"concepts"`
+}
+
+// Health is the liveness body with session-table stats.
+type Health struct {
+	Status   string `json:"status"`
+	Sessions int    `json:"sessions"`
+	Created  int64  `json:"sessions_created"`
+	Evicted  int64  `json:"sessions_evicted"`
+}
+
+// CreateSession starts a server-side session and returns its ID.
+func (c *Client) CreateSession(ctx context.Context, req CreateSessionRequest) (string, error) {
+	var resp struct {
+		SessionID string `json:"session_id"`
+	}
+	if err := c.do(ctx, http.MethodPost, "/sessions", nil, req, &resp, retryNever); err != nil {
+		return "", err
+	}
+	return resp.SessionID, nil
+}
+
+// Session fetches a session's state.
+func (c *Client) Session(ctx context.Context, id string) (*SessionState, error) {
+	var st SessionState
+	if err := c.do(ctx, http.MethodGet, "/sessions/"+url.PathEscape(id), nil, nil, &st, retryOK); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// DeleteSession ends a session.
+func (c *Client) DeleteSession(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/sessions/"+url.PathEscape(id), nil, nil, nil, retryNever)
+}
+
+// searchQuery encodes the shared search parameters.
+func searchQuery(req SearchRequest) (url.Values, error) {
+	if req.SessionID == "" || req.Query == "" {
+		return nil, fmt.Errorf("client: search needs SessionID and Query")
+	}
+	q := url.Values{}
+	q.Set("session", req.SessionID)
+	q.Set("q", req.Query)
+	if req.Offset > 0 {
+		q.Set("offset", strconv.Itoa(req.Offset))
+	}
+	if req.Limit > 0 {
+		q.Set("limit", strconv.Itoa(req.Limit))
+	}
+	if len(req.Categories) > 0 {
+		q.Set("cat", strings.Join(req.Categories, ","))
+	}
+	return q, nil
+}
+
+// Search runs one adapted retrieval iteration and returns the
+// requested page. Each call advances the session's adaptation step.
+func (c *Client) Search(ctx context.Context, req SearchRequest) (*SearchPage, error) {
+	q, err := searchQuery(req)
+	if err != nil {
+		return nil, err
+	}
+	var page SearchPage
+	if err := c.do(ctx, http.MethodGet, "/search", q, nil, &page, retryNever); err != nil {
+		return nil, err
+	}
+	return &page, nil
+}
+
+// SearchStream runs the same iteration as Search but consumes the
+// NDJSON stream, calling fn for every hit as it arrives. A non-nil fn
+// error aborts the stream and is returned. The closing summary is
+// returned on success.
+func (c *Client) SearchStream(ctx context.Context, req SearchRequest, fn func(Hit) error) (*StreamSummary, error) {
+	q, err := searchQuery(req)
+	if err != nil {
+		return nil, err
+	}
+	httpReq, err := c.newRequest(ctx, http.MethodGet, "/search/stream", q, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient.Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var summary *StreamSummary
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var l struct {
+			Type string `json:"type"`
+			Hit  *Hit   `json:"hit"`
+			StreamSummary
+		}
+		if err := json.Unmarshal(line, &l); err != nil {
+			return nil, fmt.Errorf("client: bad stream line: %w", err)
+		}
+		switch l.Type {
+		case "hit":
+			if l.Hit == nil {
+				return nil, fmt.Errorf("client: hit line without hit")
+			}
+			if fn != nil {
+				if err := fn(*l.Hit); err != nil {
+					return nil, err
+				}
+			}
+		case "summary":
+			s := l.StreamSummary
+			summary = &s
+		default:
+			return nil, fmt.Errorf("client: unknown stream line type %q", l.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if summary == nil {
+		return nil, fmt.Errorf("client: stream ended without summary")
+	}
+	return summary, nil
+}
+
+// SendEvents feeds a batch of interaction events into a session and
+// returns how many the server observed. Event SessionID fields are
+// overridden server-side by sessionID.
+func (c *Client) SendEvents(ctx context.Context, sessionID string, events []ilog.Event) (int, error) {
+	if sessionID == "" || len(events) == 0 {
+		return 0, fmt.Errorf("client: SendEvents needs a session id and events")
+	}
+	body := struct {
+		SessionID string       `json:"session_id"`
+		Events    []ilog.Event `json:"events"`
+	}{sessionID, events}
+	var resp struct {
+		Observed int `json:"observed"`
+	}
+	if err := c.do(ctx, http.MethodPost, "/events", nil, body, &resp, retryNever); err != nil {
+		return 0, err
+	}
+	return resp.Observed, nil
+}
+
+// Shot fetches one shot's metadata.
+func (c *Client) Shot(ctx context.Context, id string) (*Shot, error) {
+	var sh Shot
+	if err := c.do(ctx, http.MethodGet, "/shots/"+url.PathEscape(id), nil, nil, &sh, retryOK); err != nil {
+		return nil, err
+	}
+	return &sh, nil
+}
+
+// Healthz checks liveness and returns session-table stats.
+func (c *Client) Healthz(ctx context.Context) (*Health, error) {
+	var h Health
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, nil, &h, retryOK); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// newRequest builds one /api/v1 request.
+func (c *Client) newRequest(ctx context.Context, method, path string, query url.Values, body any) (*http.Request, error) {
+	u := c.baseURL + "/api/v1" + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return nil, fmt.Errorf("client: encode body: %w", err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("User-Agent", c.userAgent)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return req, nil
+}
+
+// Call-site retry classes. Only side-effect-free reads replay
+// safely: a retried Search would advance the session's adaptation
+// step again, and a retried DeleteSession whose first attempt
+// succeeded would surface a spurious 404.
+const (
+	retryNever = false
+	retryOK    = true
+)
+
+// do runs one API call, retrying when the call site marked it safe,
+// decoding a 2xx body into out and everything else into *APIError.
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, body, out any, retry bool) error {
+	attempts := 1
+	if retry {
+		attempts += c.retries
+	}
+	backoff := c.backoff
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if backoff > 0 {
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-time.After(backoff):
+				}
+				backoff *= 2
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+		}
+		// The body is re-marshalled per attempt (only nil-body methods
+		// retry, but keep this correct regardless).
+		req, err := c.newRequest(ctx, method, path, query, body)
+		if err != nil {
+			return err
+		}
+		resp, err := c.httpClient.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			lastErr = decodeAPIError(resp)
+			resp.Body.Close()
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode < 200 || resp.StatusCode > 299 {
+			return decodeAPIError(resp)
+		}
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				return fmt.Errorf("client: decode response: %w", err)
+			}
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// decodeAPIError turns a non-2xx response into *APIError, tolerating
+// bodies that are not the JSON envelope.
+func decodeAPIError(resp *http.Response) error {
+	ae := &APIError{
+		StatusCode: resp.StatusCode,
+		Code:       "unknown",
+		RequestID:  resp.Header.Get("X-Request-Id"),
+	}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(data, &env); err == nil && env.Error.Code != "" {
+		ae.Code = env.Error.Code
+		ae.Message = env.Error.Message
+	} else {
+		ae.Message = strings.TrimSpace(string(data))
+	}
+	return ae
+}

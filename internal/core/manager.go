@@ -1,0 +1,387 @@
+package core
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/profile"
+)
+
+// Manager errors. Callers (the web API, load generators) branch on
+// these with errors.Is.
+var (
+	// ErrSessionNotFound reports an unknown, deleted, or expired session.
+	ErrSessionNotFound = errors.New("core: session not found")
+	// ErrTooManySessions reports that MaxSessions is reached.
+	ErrTooManySessions = errors.New("core: too many sessions")
+	// ErrManagerClosed reports use after Close.
+	ErrManagerClosed = errors.New("core: session manager closed")
+)
+
+// numShards splits the session table so concurrent session creation,
+// lookup and eviction contend on 1/numShards of the keyspace instead
+// of one global mutex. Must be a power of two.
+const numShards = 32
+
+// ManagerOptions tunes a SessionManager. The zero value means: no
+// idle eviction, unbounded sessions, no background sweeper.
+type ManagerOptions struct {
+	// TTL evicts sessions idle for longer than this. 0 disables
+	// expiry entirely.
+	TTL time.Duration
+	// SweepInterval is how often the background sweeper scans for
+	// expired sessions. 0 defaults to TTL/4 (no sweeper runs when TTL
+	// is 0). Expired sessions are also rejected lazily on access, so
+	// the sweeper only bounds the memory held by abandoned sessions.
+	SweepInterval time.Duration
+	// MaxSessions caps live sessions (0 = unbounded). Create returns
+	// ErrTooManySessions at the cap.
+	MaxSessions int
+	// Now overrides the clock (test hook; nil = time.Now).
+	Now func() time.Time
+}
+
+// SessionManager owns the session table for a System: it creates
+// sessions with unique IDs, routes callers to them under per-session
+// locks, and expires idle ones. Unlike a bare map+mutex, two sessions
+// never serialize on each other's queries: the table is sharded and
+// each session carries its own lock, so thousands of sessions can
+// search concurrently while each individual Session still sees the
+// single-threaded access it requires. Safe for concurrent use.
+type SessionManager struct {
+	sys  *System
+	opts ManagerOptions
+	now  func() time.Time
+
+	shards [numShards]managerShard
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	sweepWG   sync.WaitGroup
+
+	// live counts resident sessions; the MaxSessions cap is enforced
+	// on it with compare-and-swap so concurrent Creates cannot
+	// overshoot.
+	live atomic.Int64
+
+	stats struct {
+		sync.Mutex
+		created int64
+		evicted int64
+	}
+}
+
+// managerShard is one slice of the session table.
+type managerShard struct {
+	mu       sync.RWMutex
+	sessions map[string]*managedSession
+}
+
+// managedSession pairs a Session with its own lock. The inner Session
+// is only touched while holding mu; lastUsed and gone are guarded by
+// it too.
+type managedSession struct {
+	mu       sync.Mutex
+	sess     *Session
+	lastUsed time.Time
+	gone     bool
+}
+
+// ManagerStats is a point-in-time counter snapshot.
+type ManagerStats struct {
+	// Live is the number of resident sessions (may include expired
+	// ones the sweeper has not collected yet).
+	Live int
+	// Created counts sessions ever created.
+	Created int64
+	// Evicted counts sessions removed by TTL expiry (not by Delete).
+	Evicted int64
+}
+
+// NewSessionManager builds a manager over a system and starts the
+// background sweeper when opts.TTL is set. Callers should Close it to
+// stop the sweeper.
+func NewSessionManager(sys *System, opts ManagerOptions) (*SessionManager, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("core: nil system")
+	}
+	if opts.TTL < 0 || opts.SweepInterval < 0 || opts.MaxSessions < 0 {
+		return nil, fmt.Errorf("core: negative manager option")
+	}
+	m := &SessionManager{sys: sys, opts: opts, closed: make(chan struct{})}
+	m.now = opts.Now
+	if m.now == nil {
+		m.now = time.Now
+	}
+	for i := range m.shards {
+		m.shards[i].sessions = make(map[string]*managedSession)
+	}
+	if opts.TTL > 0 {
+		interval := opts.SweepInterval
+		if interval == 0 {
+			interval = opts.TTL / 4
+		}
+		if interval <= 0 {
+			interval = time.Second
+		}
+		m.sweepWG.Add(1)
+		go m.sweepLoop(interval)
+	}
+	return m, nil
+}
+
+// System returns the system sessions are created against.
+func (m *SessionManager) System() *System { return m.sys }
+
+// shardOf routes an ID to its shard.
+func (m *SessionManager) shardOf(id string) *managerShard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id))
+	return &m.shards[h.Sum32()&(numShards-1)]
+}
+
+// newSessionID draws a random 128-bit identifier.
+func newSessionID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("core: session id: %w", err)
+	}
+	return "s" + hex.EncodeToString(b[:]), nil
+}
+
+// isClosed reports whether Close has been called.
+func (m *SessionManager) isClosed() bool {
+	select {
+	case <-m.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// reserveSlot claims one unit of MaxSessions capacity with a CAS
+// loop, so racing Creates can never overshoot the cap.
+func (m *SessionManager) reserveSlot() bool {
+	max := int64(m.opts.MaxSessions)
+	if max <= 0 {
+		m.live.Add(1)
+		return true
+	}
+	for {
+		n := m.live.Load()
+		if n >= max {
+			return false
+		}
+		if m.live.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Create starts a session for user (nil = fresh neutral profile) and
+// returns its ID.
+func (m *SessionManager) Create(user *profile.Profile) (string, error) {
+	if m.isClosed() {
+		return "", ErrManagerClosed
+	}
+	if !m.reserveSlot() {
+		// Give abandoned sessions a chance to make room before
+		// refusing.
+		if m.Sweep() == 0 || !m.reserveSlot() {
+			return "", ErrTooManySessions
+		}
+	}
+	id, err := newSessionID()
+	if err != nil {
+		m.live.Add(-1)
+		return "", err
+	}
+	ms := &managedSession{sess: m.sys.NewSession(id, user), lastUsed: m.now()}
+	sh := m.shardOf(id)
+	sh.mu.Lock()
+	sh.sessions[id] = ms
+	sh.mu.Unlock()
+	m.stats.Lock()
+	m.stats.created++
+	m.stats.Unlock()
+	return id, nil
+}
+
+// lookup finds a live managed session, collecting it instead when it
+// has expired.
+func (m *SessionManager) lookup(id string) (*managedSession, error) {
+	sh := m.shardOf(id)
+	sh.mu.RLock()
+	ms := sh.sessions[id]
+	sh.mu.RUnlock()
+	if ms == nil {
+		return nil, ErrSessionNotFound
+	}
+	if ttl := m.opts.TTL; ttl > 0 {
+		ms.mu.Lock()
+		expired := !ms.gone && m.now().Sub(ms.lastUsed) > ttl
+		if expired {
+			ms.gone = true
+		}
+		ms.mu.Unlock()
+		if expired {
+			sh.mu.Lock()
+			if sh.sessions[id] == ms {
+				delete(sh.sessions, id)
+				m.live.Add(-1)
+			}
+			sh.mu.Unlock()
+			m.stats.Lock()
+			m.stats.evicted++
+			m.stats.Unlock()
+			return nil, ErrSessionNotFound
+		}
+	}
+	return ms, nil
+}
+
+// With runs fn holding id's per-session lock; the *Session must not
+// escape fn. Touches the idle clock. Returns ErrSessionNotFound for
+// unknown, deleted, or expired sessions, otherwise fn's error.
+func (m *SessionManager) With(id string, fn func(*Session) error) error {
+	if m.isClosed() {
+		return ErrManagerClosed
+	}
+	ms, err := m.lookup(id)
+	if err != nil {
+		return err
+	}
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if ms.gone {
+		return ErrSessionNotFound
+	}
+	ms.lastUsed = m.now()
+	return fn(ms.sess)
+}
+
+// Delete ends a session. Concurrent operations already inside With
+// finish first (they hold the session lock).
+func (m *SessionManager) Delete(id string) error {
+	if m.isClosed() {
+		return ErrManagerClosed
+	}
+	ms, err := m.lookup(id)
+	if err != nil {
+		return err
+	}
+	ms.mu.Lock()
+	wasGone := ms.gone
+	ms.gone = true
+	ms.mu.Unlock()
+	if wasGone {
+		return ErrSessionNotFound
+	}
+	sh := m.shardOf(id)
+	sh.mu.Lock()
+	if sh.sessions[id] == ms {
+		delete(sh.sessions, id)
+		m.live.Add(-1)
+	}
+	sh.mu.Unlock()
+	return nil
+}
+
+// Len reports the number of resident sessions (expired-but-unswept
+// sessions count until collected).
+func (m *SessionManager) Len() int {
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		n += len(sh.sessions)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Stats snapshots the manager's counters.
+func (m *SessionManager) Stats() ManagerStats {
+	m.stats.Lock()
+	defer m.stats.Unlock()
+	return ManagerStats{Live: m.Len(), Created: m.stats.created, Evicted: m.stats.evicted}
+}
+
+// Sweep collects every expired session now and reports how many it
+// removed. A no-op (returning 0) when TTL is disabled.
+func (m *SessionManager) Sweep() int {
+	ttl := m.opts.TTL
+	if ttl <= 0 {
+		return 0
+	}
+	now := m.now()
+	removed := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		// Collect candidates under the read lock using TryLock: a
+		// session whose lock is held is mid-operation — by definition
+		// not idle — so skipping it is correct and keeps the sweeper
+		// from stalling the shard behind a long-running query.
+		sh.mu.RLock()
+		var stale []*managedSession
+		var staleIDs []string
+		for id, ms := range sh.sessions {
+			if !ms.mu.TryLock() {
+				continue
+			}
+			if !ms.gone && now.Sub(ms.lastUsed) > ttl {
+				ms.gone = true
+				stale = append(stale, ms)
+				staleIDs = append(staleIDs, id)
+			}
+			ms.mu.Unlock()
+		}
+		sh.mu.RUnlock()
+		if len(stale) == 0 {
+			continue
+		}
+		sh.mu.Lock()
+		for j, id := range staleIDs {
+			if sh.sessions[id] == stale[j] {
+				delete(sh.sessions, id)
+				m.live.Add(-1)
+				removed++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if removed > 0 {
+		m.stats.Lock()
+		m.stats.evicted += int64(removed)
+		m.stats.Unlock()
+	}
+	return removed
+}
+
+// sweepLoop periodically collects expired sessions until Close.
+func (m *SessionManager) sweepLoop(interval time.Duration) {
+	defer m.sweepWG.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.closed:
+			return
+		case <-t.C:
+			m.Sweep()
+		}
+	}
+}
+
+// Close stops the sweeper and rejects further operations. Idempotent.
+func (m *SessionManager) Close() error {
+	m.closeOnce.Do(func() { close(m.closed) })
+	m.sweepWG.Wait()
+	return nil
+}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ilog"
+	"repro/internal/profile"
+)
+
+func newTestManager(t testing.TB, opts ManagerOptions) *SessionManager {
+	t.Helper()
+	_, sys := fixture(t, Config{UseImplicit: true, UseProfile: true})
+	m, err := NewSessionManager(sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+func TestManagerCreateWithLifecycle(t *testing.T) {
+	m := newTestManager(t, ManagerOptions{})
+	user := profile.New("alice")
+	id, err := m.Create(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == "" {
+		t.Fatal("empty session id")
+	}
+	if got := m.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+	err = m.With(id, func(sess *Session) error {
+		if sess.ID() != id {
+			t.Errorf("session id %q, want %q", sess.ID(), id)
+		}
+		if sess.User() != user {
+			t.Error("session lost its profile")
+		}
+		_, err := sess.Query("first query terms")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete(id); !errors.Is(err, ErrSessionNotFound) {
+		t.Errorf("second delete = %v, want ErrSessionNotFound", err)
+	}
+	if err := m.With(id, func(*Session) error { return nil }); !errors.Is(err, ErrSessionNotFound) {
+		t.Errorf("With after delete = %v, want ErrSessionNotFound", err)
+	}
+	if got := m.Len(); got != 0 {
+		t.Fatalf("Len after delete = %d, want 0", got)
+	}
+}
+
+func TestManagerUnknownSession(t *testing.T) {
+	m := newTestManager(t, ManagerOptions{})
+	if err := m.With("ghost", func(*Session) error { return nil }); !errors.Is(err, ErrSessionNotFound) {
+		t.Errorf("With(ghost) = %v", err)
+	}
+	if err := m.Delete("ghost"); !errors.Is(err, ErrSessionNotFound) {
+		t.Errorf("Delete(ghost) = %v", err)
+	}
+}
+
+func TestManagerWithPropagatesError(t *testing.T) {
+	m := newTestManager(t, ManagerOptions{})
+	id, err := m.Create(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("boom")
+	if err := m.With(id, func(*Session) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Errorf("With error = %v, want sentinel", err)
+	}
+}
+
+func TestManagerMaxSessions(t *testing.T) {
+	m := newTestManager(t, ManagerOptions{MaxSessions: 3})
+	ids := make([]string, 3)
+	for i := range ids {
+		id, err := m.Create(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	if _, err := m.Create(nil); !errors.Is(err, ErrTooManySessions) {
+		t.Fatalf("Create at cap = %v, want ErrTooManySessions", err)
+	}
+	if err := m.Delete(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create(nil); err != nil {
+		t.Fatalf("Create after delete = %v", err)
+	}
+}
+
+// TestManagerMaxSessionsConcurrent races many creates against a small
+// cap: the CAS-guarded slot reservation must never overshoot.
+func TestManagerMaxSessionsConcurrent(t *testing.T) {
+	const cap = 5
+	m := newTestManager(t, ManagerOptions{MaxSessions: cap})
+	var wg sync.WaitGroup
+	var created atomic.Int64
+	for g := 0; g < 20; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := m.Create(nil); err == nil {
+				created.Add(1)
+			} else if !errors.Is(err, ErrTooManySessions) {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := created.Load(); got != cap {
+		t.Errorf("created = %d, want exactly %d", got, cap)
+	}
+	if got := m.Len(); got != cap {
+		t.Errorf("Len = %d, want %d", got, cap)
+	}
+}
+
+// TestManagerTTLEviction drives expiry with a fake clock: idle
+// sessions vanish (lazily on access and in bulk via Sweep), active
+// sessions survive because use touches the idle clock.
+func TestManagerTTLEviction(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1_200_000_000, 0)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+	m := newTestManager(t, ManagerOptions{TTL: time.Minute, Now: clock})
+
+	idle, err := m.Create(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active, err := m.Create(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep one session active across the idle session's TTL.
+	for i := 0; i < 3; i++ {
+		advance(30 * time.Second)
+		if err := m.With(active, func(*Session) error { return nil }); err != nil {
+			t.Fatalf("active session at +%ds: %v", (i+1)*30, err)
+		}
+	}
+	// 90s elapsed: the idle session is expired and rejected on access.
+	if err := m.With(idle, func(*Session) error { return nil }); !errors.Is(err, ErrSessionNotFound) {
+		t.Fatalf("idle session after TTL = %v, want ErrSessionNotFound", err)
+	}
+	if got := m.Len(); got != 1 {
+		t.Fatalf("Len after lazy eviction = %d, want 1", got)
+	}
+	// Sweep collects the remaining session once it idles past TTL.
+	advance(2 * time.Minute)
+	if removed := m.Sweep(); removed != 1 {
+		t.Fatalf("Sweep removed %d, want 1", removed)
+	}
+	if got := m.Len(); got != 0 {
+		t.Fatalf("Len after sweep = %d, want 0", got)
+	}
+	st := m.Stats()
+	if st.Created != 2 || st.Evicted != 2 {
+		t.Errorf("stats = %+v, want Created=2 Evicted=2", st)
+	}
+}
+
+func TestManagerClose(t *testing.T) {
+	_, sys := fixture(t, Config{})
+	m, err := NewSessionManager(sys, ManagerOptions{TTL: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := m.Create(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal("second close:", err)
+	}
+	if _, err := m.Create(nil); !errors.Is(err, ErrManagerClosed) {
+		t.Errorf("Create after close = %v", err)
+	}
+	if err := m.With(id, func(*Session) error { return nil }); !errors.Is(err, ErrManagerClosed) {
+		t.Errorf("With after close = %v", err)
+	}
+}
+
+func TestManagerOptionValidation(t *testing.T) {
+	_, sys := fixture(t, Config{})
+	if _, err := NewSessionManager(nil, ManagerOptions{}); err == nil {
+		t.Error("nil system accepted")
+	}
+	if _, err := NewSessionManager(sys, ManagerOptions{TTL: -time.Second}); err == nil {
+		t.Error("negative TTL accepted")
+	}
+	if _, err := NewSessionManager(sys, ManagerOptions{MaxSessions: -1}); err == nil {
+		t.Error("negative MaxSessions accepted")
+	}
+}
+
+// TestManagerConcurrentHammer exercises the full surface from many
+// goroutines — create, search, observe, state reads, deletes, sweeps —
+// and relies on -race to catch table or session races. Every session
+// is private to one goroutine's iteration, so all fn errors are real
+// failures.
+func TestManagerConcurrentHammer(t *testing.T) {
+	m := newTestManager(t, ManagerOptions{TTL: time.Hour})
+	const (
+		goroutines = 16
+		iterations = 8
+	)
+	var searches atomic.Int64
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				id, err := m.Create(profile.New(fmt.Sprintf("u%d", g)))
+				if err != nil {
+					errc <- err
+					return
+				}
+				var top string
+				err = m.With(id, func(sess *Session) error {
+					res, err := sess.Query("report on events")
+					if err != nil {
+						return err
+					}
+					if len(res.Hits) > 0 {
+						top = res.Hits[0].ID
+					}
+					searches.Add(1)
+					return nil
+				})
+				if err != nil {
+					errc <- fmt.Errorf("search: %w", err)
+					return
+				}
+				if top != "" {
+					err = m.With(id, func(sess *Session) error {
+						return sess.ObserveAll([]ilog.Event{
+							{SessionID: id, Action: ilog.ActionClickKeyframe, ShotID: top, Rank: 0},
+							{SessionID: id, Action: ilog.ActionPlay, ShotID: top, Rank: 0, Seconds: 12},
+						})
+					})
+					if err != nil {
+						errc <- fmt.Errorf("observe: %w", err)
+						return
+					}
+				}
+				err = m.With(id, func(sess *Session) error {
+					if sess.Step() != 1 {
+						return fmt.Errorf("step = %d, want 1", sess.Step())
+					}
+					_, err := sess.Query("report on events")
+					return err
+				})
+				if err != nil {
+					errc <- fmt.Errorf("requery: %w", err)
+					return
+				}
+				// Half the sessions end explicitly; the rest idle out.
+				if i%2 == 0 {
+					if err := m.Delete(id); err != nil {
+						errc <- fmt.Errorf("delete: %w", err)
+						return
+					}
+				}
+				if i%3 == 0 {
+					m.Sweep()
+					m.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if got := searches.Load(); got != goroutines*iterations {
+		t.Errorf("searches = %d, want %d", got, goroutines*iterations)
+	}
+	st := m.Stats()
+	if st.Created != goroutines*iterations {
+		t.Errorf("created = %d, want %d", st.Created, goroutines*iterations)
+	}
+}

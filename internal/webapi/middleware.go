@@ -1,0 +1,94 @@
+package webapi
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// RequestIDHeader carries the request correlation ID. Incoming values
+// are honoured (so a front-end can stitch its own traces); otherwise
+// the server mints one. The response always echoes it.
+const RequestIDHeader = "X-Request-Id"
+
+type ctxKey int
+
+const requestIDKey ctxKey = 0
+
+// RequestID returns the correlation ID of an in-flight request (""
+// outside the middleware chain).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// newRequestID mints a 64-bit random correlation ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "r0"
+	}
+	return "r" + hex.EncodeToString(b[:])
+}
+
+// statusRecorder captures the status code for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(p)
+}
+
+// Flush forwards streaming flushes (the NDJSON endpoint needs it).
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withMiddleware wraps next with the server's standard chain:
+// request-ID propagation, request logging, and panic recovery into a
+// 500 error envelope.
+func (s *Server) withMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get(RequestIDHeader)
+		if reqID == "" {
+			reqID = newRequestID()
+		}
+		w.Header().Set(RequestIDHeader, reqID)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, reqID))
+
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				s.log.Error("panic serving request",
+					"request_id", reqID, "method", r.Method, "path", r.URL.Path, "panic", p)
+				// Headers may already be out; writeCode is then a no-op
+				// on the status but the connection is torn down by the
+				// deferred write error anyway.
+				if rec.status == 0 {
+					writeCode(rec, http.StatusInternalServerError, codeInternal, "internal error")
+				}
+				return
+			}
+			s.log.Log(r.Context(), slog.LevelInfo, "request",
+				"request_id", reqID, "method", r.Method, "path", r.URL.Path,
+				"status", rec.status, "duration", time.Since(start))
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}

@@ -1,28 +1,41 @@
-// Package webapi exposes the adaptive retrieval system over HTTP/JSON:
-// the concrete "desktop interface" backend the paper's framework
-// proposal sketches. A front-end creates a session, searches, and
-// streams interaction events back; the server adapts subsequent
-// rankings per session.
+// Package webapi exposes the adaptive retrieval system over a
+// versioned HTTP/JSON API: the concrete "desktop interface" backend
+// the paper's framework proposal sketches. A front-end creates a
+// session, searches (with pagination or NDJSON streaming), and feeds
+// interaction events back; the server adapts subsequent rankings per
+// session. Session ownership lives in core.SessionManager, so many
+// front-ends can search concurrently without serializing on a global
+// lock.
 //
-// Routes:
+// Routes (all JSON; errors use the envelope
+// {"error":{"code":"...","message":"..."}}):
 //
-//	POST   /api/sessions              create a session (optional profile)
-//	GET    /api/sessions/{id}         session state
-//	DELETE /api/sessions/{id}         end a session
-//	GET    /api/search?session=&q=    adapted search
-//	POST   /api/events                feed interaction events
-//	GET    /api/shots/{id}            shot metadata
-//	GET    /api/healthz               liveness
+//	POST   /api/v1/sessions                       create a session (optional profile)
+//	GET    /api/v1/sessions/{id}                  session state
+//	DELETE /api/v1/sessions/{id}                  end a session
+//	GET    /api/v1/search?session=&q=             adapted search; &offset=&limit= paginate,
+//	                                              &cat=a,b facets by category
+//	GET    /api/v1/search/stream?session=&q=      same search, streamed as NDJSON
+//	                                              ({"type":"hit"}... then {"type":"summary"})
+//	POST   /api/v1/events                         feed a batch of interaction events
+//	GET    /api/v1/shots/{id}                     shot metadata
+//	GET    /api/v1/healthz                        liveness + session stats
+//
+// Legacy unversioned /api/... paths respond 308 Permanent Redirect to
+// the /api/v1 equivalent. Every response carries an X-Request-Id
+// header (honouring the client's, minting one otherwise).
 package webapi
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
+	"time"
 
 	"repro/internal/collection"
 	"repro/internal/core"
@@ -30,44 +43,148 @@ import (
 	"repro/internal/profile"
 )
 
-// Server hosts sessions over one adaptive system. Safe for concurrent
-// use: the session table and each session are guarded by one mutex
-// (sessions are cheap; contention is not a concern at interface
-// scale).
-type Server struct {
-	sys *core.System
+// Error codes in the envelope; stable API vocabulary for clients.
+const (
+	codeInvalid  = "invalid_request"
+	codeNotFound = "not_found"
+	codeInternal = "internal"
+	codeTooMany  = "too_many_sessions"
+)
 
-	mu       sync.Mutex
-	sessions map[string]*core.Session
-	seq      int
+// Pagination bounds.
+const (
+	defaultLimit = 20
+	maxLimit     = 1000
+)
+
+// Server hosts the versioned API over one adaptive system. Safe for
+// concurrent use; per-session serialization is the SessionManager's
+// job. Close releases the manager's sweeper when the server owns it.
+type Server struct {
+	sys     *core.System
+	mgr     *core.SessionManager
+	log     *slog.Logger
+	ownsMgr bool
+	handler http.Handler
 }
 
-// NewServer wraps a system.
-func NewServer(sys *core.System) (*Server, error) {
+// Option configures a Server.
+type Option func(*serverConfig)
+
+type serverConfig struct {
+	logger      *slog.Logger
+	mgr         *core.SessionManager
+	sessionTTL  time.Duration
+	maxSessions int
+}
+
+// WithLogger routes request and error logs (default: discard).
+func WithLogger(l *slog.Logger) Option {
+	return func(c *serverConfig) { c.logger = l }
+}
+
+// WithSessionTTL evicts sessions idle longer than ttl (default: no
+// eviction). Ignored when WithSessionManager is given.
+func WithSessionTTL(ttl time.Duration) Option {
+	return func(c *serverConfig) { c.sessionTTL = ttl }
+}
+
+// WithMaxSessions caps live sessions (default: unbounded). Ignored
+// when WithSessionManager is given.
+func WithMaxSessions(n int) Option {
+	return func(c *serverConfig) { c.maxSessions = n }
+}
+
+// WithSessionManager serves an externally owned manager; the caller
+// keeps responsibility for closing it.
+func WithSessionManager(m *core.SessionManager) Option {
+	return func(c *serverConfig) { c.mgr = m }
+}
+
+// NewServer wraps a system, building (and owning) a SessionManager
+// unless one is supplied.
+func NewServer(sys *core.System, opts ...Option) (*Server, error) {
 	if sys == nil {
 		return nil, fmt.Errorf("webapi: nil system")
 	}
-	return &Server{sys: sys, sessions: make(map[string]*core.Session)}, nil
+	var cfg serverConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := &Server{sys: sys, mgr: cfg.mgr, log: cfg.logger}
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
+	}
+	if s.mgr == nil {
+		m, err := core.NewSessionManager(sys, core.ManagerOptions{
+			TTL:         cfg.sessionTTL,
+			MaxSessions: cfg.maxSessions,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.mgr = m
+		s.ownsMgr = true
+	}
+	s.handler = s.withMiddleware(s.routes())
+	return s, nil
 }
 
-// Handler returns the route table.
-func (s *Server) Handler() http.Handler {
+// Manager exposes the session manager (ops and tests).
+func (s *Server) Manager() *core.SessionManager { return s.mgr }
+
+// Close stops the session manager when the server owns it.
+func (s *Server) Close() error {
+	if s.ownsMgr {
+		return s.mgr.Close()
+	}
+	return nil
+}
+
+// Handler returns the middleware-wrapped route table.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// routes builds the versioned route table plus the legacy redirect.
+func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/sessions", s.handleCreateSession)
-	mux.HandleFunc("GET /api/sessions/{id}", s.handleGetSession)
-	mux.HandleFunc("DELETE /api/sessions/{id}", s.handleDeleteSession)
-	mux.HandleFunc("GET /api/search", s.handleSearch)
-	mux.HandleFunc("POST /api/events", s.handleEvents)
-	mux.HandleFunc("GET /api/shots/{id}", s.handleShot)
-	mux.HandleFunc("GET /api/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	mux.HandleFunc("POST /api/v1/sessions", s.handleCreateSession)
+	mux.HandleFunc("GET /api/v1/sessions/{id}", s.handleGetSession)
+	mux.HandleFunc("DELETE /api/v1/sessions/{id}", s.handleDeleteSession)
+	mux.HandleFunc("GET /api/v1/search", s.handleSearch)
+	mux.HandleFunc("GET /api/v1/search/stream", s.handleSearchStream)
+	mux.HandleFunc("POST /api/v1/events", s.handleEvents)
+	mux.HandleFunc("GET /api/v1/shots/{id}", s.handleShot)
+	mux.HandleFunc("GET /api/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/api/", s.handleLegacy)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeCode(w, http.StatusNotFound, codeNotFound, "no route %s %s", r.Method, r.URL.Path)
 	})
 	return mux
 }
 
-// httpError is the uniform error body.
-type httpError struct {
-	Error string `json:"error"`
+// handleLegacy redirects unversioned /api/... paths to /api/v1/...
+// with 308 (method and body preserved), and turns unknown /api/v1
+// routes into envelope 404s instead of the mux's plain-text default.
+func (s *Server) handleLegacy(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, "/api/v1/") || r.URL.Path == "/api/v1" {
+		writeCode(w, http.StatusNotFound, codeNotFound, "no route %s %s", r.Method, r.URL.Path)
+		return
+	}
+	target := "/api/v1/" + strings.TrimPrefix(r.URL.Path, "/api/")
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	http.Redirect(w, r, target, http.StatusPermanentRedirect)
+}
+
+// errorEnvelope is the uniform error body: {"error":{"code","message"}}.
+type errorEnvelope struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -78,8 +195,23 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, httpError{Error: fmt.Sprintf(format, args...)})
+func writeCode(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorEnvelope{Error: errorDetail{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+// writeManagerErr maps SessionManager errors onto the envelope.
+func writeManagerErr(w http.ResponseWriter, err error, sessionID string) {
+	switch {
+	case errors.Is(err, core.ErrSessionNotFound):
+		writeCode(w, http.StatusNotFound, codeNotFound, "unknown session %q", sessionID)
+	case errors.Is(err, core.ErrTooManySessions):
+		writeCode(w, http.StatusServiceUnavailable, codeTooMany, "session capacity reached")
+	default:
+		writeCode(w, http.StatusInternalServerError, codeInternal, "%v", err)
+	}
 }
 
 // createSessionRequest optionally declares a static profile.
@@ -95,8 +227,8 @@ type createSessionResponse struct {
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	var req createSessionRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+	if err := decodeBody(r.Body, &req); err != nil {
+		writeCode(w, http.StatusBadRequest, codeInvalid, "invalid JSON: %v", err)
 		return
 	}
 	var user *profile.Profile
@@ -109,22 +241,32 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		for name, v := range req.Interests {
 			cat, err := collection.ParseCategory(name)
 			if err != nil {
-				writeErr(w, http.StatusBadRequest, "%v", err)
+				writeCode(w, http.StatusBadRequest, codeInvalid, "%v", err)
 				return
 			}
 			if v < 0 || v > 1 {
-				writeErr(w, http.StatusBadRequest, "interest %q=%v outside [0,1]", name, v)
+				writeCode(w, http.StatusBadRequest, codeInvalid, "interest %q=%v outside [0,1]", name, v)
 				return
 			}
 			user.SetInterest(cat, v)
 		}
 	}
-	s.mu.Lock()
-	s.seq++
-	id := "s" + strconv.Itoa(s.seq)
-	s.sessions[id] = s.sys.NewSession(id, user)
-	s.mu.Unlock()
+	id, err := s.mgr.Create(user)
+	if err != nil {
+		writeManagerErr(w, err, "")
+		return
+	}
 	writeJSON(w, http.StatusCreated, createSessionResponse{SessionID: id})
+}
+
+// decodeBody decodes one JSON value, tolerating an empty body (the
+// create endpoint treats it as the zero request).
+func decodeBody(body io.Reader, v any) error {
+	err := json.NewDecoder(body).Decode(v)
+	if errors.Is(err, io.EOF) {
+		return nil
+	}
+	return err
 }
 
 // sessionState reports a session's public state.
@@ -139,35 +281,32 @@ type sessionState struct {
 
 func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sess, ok := s.sessions[id]
-	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown session %q", id)
+	var state sessionState
+	err := s.mgr.With(id, func(sess *core.Session) error {
+		state = sessionState{
+			SessionID: id,
+			Step:      sess.Step(),
+			Evidence:  sess.EvidenceCount(),
+			SeenShots: sess.SeenShots(),
+			LastQuery: sess.LastQuery(),
+			Interests: map[string]float64{},
+		}
+		for _, cat := range sess.User().Categories() {
+			state.Interests[cat.String()] = sess.User().Interest(cat)
+		}
+		return nil
+	})
+	if err != nil {
+		writeManagerErr(w, err, id)
 		return
-	}
-	state := sessionState{
-		SessionID: id,
-		Step:      sess.Step(),
-		Evidence:  sess.EvidenceCount(),
-		SeenShots: sess.SeenShots(),
-		LastQuery: sess.LastQuery(),
-		Interests: map[string]float64{},
-	}
-	for _, cat := range sess.User().Categories() {
-		state.Interests[cat.String()] = sess.User().Interest(cat)
 	}
 	writeJSON(w, http.StatusOK, state)
 }
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	_, ok := s.sessions[id]
-	delete(s.sessions, id)
-	s.mu.Unlock()
-	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown session %q", id)
+	if err := s.mgr.Delete(id); err != nil {
+		writeManagerErr(w, err, id)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -175,6 +314,7 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 
 // searchHit is one result entry with display metadata.
 type searchHit struct {
+	Rank     int     `json:"rank"`
 	ShotID   string  `json:"shot_id"`
 	Score    float64 `json:"score"`
 	StoryID  string  `json:"story_id,omitempty"`
@@ -183,79 +323,187 @@ type searchHit struct {
 	Seconds  float64 `json:"seconds,omitempty"`
 }
 
-type searchResponse struct {
-	SessionID  string      `json:"session_id"`
-	Query      string      `json:"query"`
-	Step       int         `json:"step"`
-	Candidates int         `json:"candidates"`
-	Hits       []searchHit `json:"hits"`
+// searchPage is one page of an adapted ranking.
+type searchPage struct {
+	SessionID string `json:"session_id"`
+	Query     string `json:"query"`
+	Step      int    `json:"step"`
+	// Candidates counts shots matching the query before ranking cuts.
+	Candidates int `json:"candidates"`
+	// Total counts ranked hits available for paging (bounded by the
+	// system's configured ranking depth).
+	Total  int         `json:"total"`
+	Offset int         `json:"offset"`
+	Limit  int         `json:"limit"`
+	Hits   []searchHit `json:"hits"`
 }
 
-func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	id := r.URL.Query().Get("session")
-	q := r.URL.Query().Get("q")
-	if id == "" || q == "" {
-		writeErr(w, http.StatusBadRequest, "need session and q parameters")
-		return
+// searchParams carries the parsed, validated query of both search
+// endpoints.
+type searchParams struct {
+	sessionID string
+	query     string
+	offset    int
+	limit     int
+	filter    core.ShotFilter
+}
+
+// parseSearchParams validates the common search query string; on
+// error it has already written the 400 envelope.
+func (s *Server) parseSearchParams(w http.ResponseWriter, r *http.Request) (searchParams, bool) {
+	p := searchParams{
+		sessionID: r.URL.Query().Get("session"),
+		query:     r.URL.Query().Get("q"),
+		limit:     defaultLimit,
 	}
-	k := 20
-	if ks := r.URL.Query().Get("k"); ks != "" {
-		v, err := strconv.Atoi(ks)
-		if err != nil || v <= 0 || v > 1000 {
-			writeErr(w, http.StatusBadRequest, "bad k %q", ks)
-			return
+	if p.sessionID == "" || p.query == "" {
+		writeCode(w, http.StatusBadRequest, codeInvalid, "need session and q parameters")
+		return p, false
+	}
+	if os := r.URL.Query().Get("offset"); os != "" {
+		v, err := strconv.Atoi(os)
+		if err != nil || v < 0 {
+			writeCode(w, http.StatusBadRequest, codeInvalid, "bad offset %q", os)
+			return p, false
 		}
-		k = v
+		p.offset = v
+	}
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		v, err := strconv.Atoi(ls)
+		if err != nil || v <= 0 || v > maxLimit {
+			writeCode(w, http.StatusBadRequest, codeInvalid, "bad limit %q (1..%d)", ls, maxLimit)
+			return p, false
+		}
+		p.limit = v
 	}
 	// Optional category facet: ?cat=sports,politics
-	var filter core.ShotFilter
 	if cs := r.URL.Query().Get("cat"); cs != "" {
 		var cats []collection.Category
 		for _, name := range strings.Split(cs, ",") {
 			cat, err := collection.ParseCategory(strings.TrimSpace(name))
 			if err != nil {
-				writeErr(w, http.StatusBadRequest, "%v", err)
-				return
+				writeCode(w, http.StatusBadRequest, codeInvalid, "%v", err)
+				return p, false
 			}
 			cats = append(cats, cat)
 		}
-		filter = s.sys.CategoryFilter(cats...)
+		p.filter = s.sys.CategoryFilter(cats...)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sess, ok := s.sessions[id]
-	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown session %q", id)
-		return
+	return p, true
+}
+
+// runSearch executes one adapted iteration and returns the requested
+// [offset, offset+limit) page. Only the windowed hits are decorated
+// with collection metadata, keeping per-request work proportional to
+// the page, not the ranking depth.
+func (s *Server) runSearch(p searchParams) (searchPage, error) {
+	page := searchPage{
+		SessionID: p.sessionID,
+		Query:     p.query,
+		Offset:    p.offset,
+		Limit:     p.limit,
+		Hits:      []searchHit{},
 	}
-	res, err := sess.QueryFiltered(q, filter)
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "search: %v", err)
-		return
-	}
-	resp := searchResponse{
-		SessionID:  id,
-		Query:      q,
-		Step:       sess.Step(),
-		Candidates: res.Candidates,
-	}
-	coll := s.sys.Collection()
-	for i, h := range res.Hits {
-		if i >= k {
-			break
+	err := s.mgr.With(p.sessionID, func(sess *core.Session) error {
+		res, err := sess.QueryFiltered(p.query, p.filter)
+		if err != nil {
+			return err
 		}
-		hit := searchHit{ShotID: h.ID, Score: h.Score}
-		if shot := coll.Shot(collection.ShotID(h.ID)); shot != nil {
-			hit.Seconds = shot.Duration.Seconds()
-			if story := coll.Story(shot.StoryID); story != nil {
-				hit.StoryID = string(story.ID)
-				hit.Title = story.Title
-				hit.Category = story.Category.String()
+		page.Step = sess.Step()
+		page.Candidates = res.Candidates
+		page.Total = len(res.Hits)
+		if p.offset >= len(res.Hits) {
+			return nil
+		}
+		win := res.Hits[p.offset:]
+		if len(win) > p.limit {
+			win = win[:p.limit]
+		}
+		coll := s.sys.Collection()
+		page.Hits = make([]searchHit, 0, len(win))
+		for i, h := range win {
+			hit := searchHit{Rank: p.offset + i, ShotID: h.ID, Score: h.Score}
+			if shot := coll.Shot(collection.ShotID(h.ID)); shot != nil {
+				hit.Seconds = shot.Duration.Seconds()
+				if story := coll.Story(shot.StoryID); story != nil {
+					hit.StoryID = string(story.ID)
+					hit.Title = story.Title
+					hit.Category = story.Category.String()
+				}
 			}
+			page.Hits = append(page.Hits, hit)
 		}
-		resp.Hits = append(resp.Hits, hit)
+		return nil
+	})
+	return page, err
+}
+
+// handleSearch serves one paginated adapted-search iteration. Every
+// call advances the session's adaptation step, so page fetches after
+// new evidence may legitimately reorder.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	p, ok := s.parseSearchParams(w, r)
+	if !ok {
+		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	page, err := s.runSearch(p)
+	if err != nil {
+		writeManagerErr(w, err, p.sessionID)
+		return
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+// streamLine is one NDJSON line of the streaming search endpoint:
+// a sequence of {"type":"hit"} lines closed by one {"type":"summary"}.
+type streamLine struct {
+	Type string `json:"type"`
+	// Hit is set on "hit" lines.
+	Hit *searchHit `json:"hit,omitempty"`
+	// Summary fields, set on the final "summary" line.
+	SessionID  string `json:"session_id,omitempty"`
+	Query      string `json:"query,omitempty"`
+	Step       int    `json:"step,omitempty"`
+	Candidates int    `json:"candidates,omitempty"`
+	Total      int    `json:"total,omitempty"`
+}
+
+// handleSearchStream serves the same ranking as handleSearch but as
+// NDJSON, flushing per hit so a front-end can paint results as they
+// arrive (offset/limit window the stream too).
+func (s *Server) handleSearchStream(w http.ResponseWriter, r *http.Request) {
+	p, ok := s.parseSearchParams(w, r)
+	if !ok {
+		return
+	}
+	page, err := s.runSearch(p)
+	if err != nil {
+		writeManagerErr(w, err, p.sessionID)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	for i := range page.Hits {
+		if err := enc.Encode(streamLine{Type: "hit", Hit: &page.Hits[i]}); err != nil {
+			return // client went away
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_ = enc.Encode(streamLine{
+		Type:       "summary",
+		SessionID:  page.SessionID,
+		Query:      page.Query,
+		Step:       page.Step,
+		Candidates: page.Candidates,
+		Total:      page.Total,
+	})
+	if flusher != nil {
+		flusher.Flush()
+	}
 }
 
 // eventsRequest feeds a batch of interaction events into a session.
@@ -268,30 +516,40 @@ type eventsResponse struct {
 	Observed int `json:"observed"`
 }
 
+// errBadEvent marks a client-side event validation failure inside the
+// manager callback so the handler can map it to 400 instead of 500.
+type errBadEvent struct{ err error }
+
+func (e errBadEvent) Error() string { return e.err.Error() }
+
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	var req eventsRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		writeCode(w, http.StatusBadRequest, codeInvalid, "invalid JSON: %v", err)
 		return
 	}
 	if req.SessionID == "" || len(req.Events) == 0 {
-		writeErr(w, http.StatusBadRequest, "need session_id and events")
+		writeCode(w, http.StatusBadRequest, codeInvalid, "need session_id and events")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sess, ok := s.sessions[req.SessionID]
-	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown session %q", req.SessionID)
-		return
-	}
-	for i := range req.Events {
-		e := req.Events[i]
-		e.SessionID = req.SessionID // server-authoritative
-		if err := sess.Observe(e); err != nil {
-			writeErr(w, http.StatusBadRequest, "event %d: %v", i, err)
+	err := s.mgr.With(req.SessionID, func(sess *core.Session) error {
+		for i := range req.Events {
+			e := req.Events[i]
+			e.SessionID = req.SessionID // server-authoritative
+			if err := sess.Observe(e); err != nil {
+				return errBadEvent{fmt.Errorf("event %d: %w", i, err)}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		var bad errBadEvent
+		if errors.As(err, &bad) {
+			writeCode(w, http.StatusBadRequest, codeInvalid, "%v", bad.err)
 			return
 		}
+		writeManagerErr(w, err, req.SessionID)
+		return
 	}
 	writeJSON(w, http.StatusOK, eventsResponse{Observed: len(req.Events)})
 }
@@ -315,7 +573,7 @@ func (s *Server) handleShot(w http.ResponseWriter, r *http.Request) {
 	coll := s.sys.Collection()
 	shot := coll.Shot(collection.ShotID(id))
 	if shot == nil {
-		writeErr(w, http.StatusNotFound, "unknown shot %q", id)
+		writeCode(w, http.StatusNotFound, codeNotFound, "unknown shot %q", id)
 		return
 	}
 	resp := shotResponse{
@@ -335,6 +593,25 @@ func (s *Server) handleShot(w http.ResponseWriter, r *http.Request) {
 		resp.Concepts = append(resp.Concepts, string(cs.Concept))
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// healthzResponse is the liveness body, with session-table stats for
+// dashboards.
+type healthzResponse struct {
+	Status   string `json:"status"`
+	Sessions int    `json:"sessions"`
+	Created  int64  `json:"sessions_created"`
+	Evicted  int64  `json:"sessions_evicted"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	st := s.mgr.Stats()
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:   "ok",
+		Sessions: st.Live,
+		Created:  st.Created,
+		Evicted:  st.Evicted,
+	})
 }
 
 // ErrServerClosed re-exports for callers wiring graceful shutdown.

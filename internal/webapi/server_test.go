@@ -1,19 +1,22 @@
 package webapi
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/synth"
 )
 
-func newTestServer(t *testing.T) (*httptest.Server, *synth.Archive) {
+func newTestServer(t *testing.T, opts ...Option) (*httptest.Server, *synth.Archive, *Server) {
 	t.Helper()
 	arch, err := synth.Generate(synth.TinyConfig(), 31)
 	if err != nil {
@@ -23,16 +26,22 @@ func newTestServer(t *testing.T) (*httptest.Server, *synth.Archive) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := NewServer(sys)
+	srv, err := NewServer(sys, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { srv.Close() })
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
-	return ts, arch
+	return ts, arch, srv
 }
 
-func doJSON(t *testing.T, method, url string, body any, wantStatus int, out any) {
+// noRedirectClient surfaces 3xx responses instead of following them.
+var noRedirectClient = &http.Client{
+	CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+}
+
+func doJSON(t *testing.T, method, url string, body any, wantStatus int, out any) *http.Response {
 	t.Helper()
 	var rd *bytes.Reader
 	if body != nil {
@@ -48,7 +57,7 @@ func doJSON(t *testing.T, method, url string, body any, wantStatus int, out any)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := noRedirectClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,6 +72,22 @@ func doJSON(t *testing.T, method, url string, body any, wantStatus int, out any)
 			t.Fatalf("decode response: %v", err)
 		}
 	}
+	return resp
+}
+
+// wantEnvelope asserts the uniform error body and returns its code.
+func wantEnvelope(t *testing.T, method, url string, body any, wantStatus int, wantCode string) {
+	t.Helper()
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	doJSON(t, method, url, body, wantStatus, &env)
+	if env.Error.Code != wantCode || env.Error.Message == "" {
+		t.Fatalf("%s %s: envelope = %+v, want code %q with message", method, url, env, wantCode)
+	}
 }
 
 func createSession(t *testing.T, ts *httptest.Server, body any) string {
@@ -70,7 +95,7 @@ func createSession(t *testing.T, ts *httptest.Server, body any) string {
 	var resp struct {
 		SessionID string `json:"session_id"`
 	}
-	doJSON(t, "POST", ts.URL+"/api/sessions", body, http.StatusCreated, &resp)
+	doJSON(t, "POST", ts.URL+"/api/v1/sessions", body, http.StatusCreated, &resp)
 	if resp.SessionID == "" {
 		t.Fatal("empty session id")
 	}
@@ -78,16 +103,36 @@ func createSession(t *testing.T, ts *httptest.Server, body any) string {
 }
 
 func TestHealthz(t *testing.T) {
-	ts, _ := newTestServer(t)
-	var out map[string]string
-	doJSON(t, "GET", ts.URL+"/api/healthz", nil, http.StatusOK, &out)
-	if out["status"] != "ok" {
-		t.Errorf("healthz = %v", out)
+	ts, _, _ := newTestServer(t)
+	var out struct {
+		Status   string `json:"status"`
+		Sessions int    `json:"sessions"`
+	}
+	resp := doJSON(t, "GET", ts.URL+"/api/v1/healthz", nil, http.StatusOK, &out)
+	if out.Status != "ok" {
+		t.Errorf("healthz = %+v", out)
+	}
+	if resp.Header.Get(RequestIDHeader) == "" {
+		t.Error("response missing request id header")
+	}
+}
+
+func TestRequestIDEcho(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	req, _ := http.NewRequest("GET", ts.URL+"/api/v1/healthz", nil)
+	req.Header.Set(RequestIDHeader, "trace-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(RequestIDHeader); got != "trace-42" {
+		t.Errorf("request id = %q, want echo of trace-42", got)
 	}
 }
 
 func TestSessionLifecycle(t *testing.T) {
-	ts, _ := newTestServer(t)
+	ts, _, _ := newTestServer(t)
 	id := createSession(t, ts, map[string]any{
 		"user_id":   "alice",
 		"interests": map[string]float64{"sports": 0.9},
@@ -97,21 +142,21 @@ func TestSessionLifecycle(t *testing.T) {
 		Step      int                `json:"step"`
 		Interests map[string]float64 `json:"interests"`
 	}
-	doJSON(t, "GET", ts.URL+"/api/sessions/"+id, nil, http.StatusOK, &state)
+	doJSON(t, "GET", ts.URL+"/api/v1/sessions/"+id, nil, http.StatusOK, &state)
 	if state.SessionID != id || state.Step != 0 {
 		t.Errorf("state = %+v", state)
 	}
 	if state.Interests["sports"] != 0.9 {
 		t.Errorf("interests = %v", state.Interests)
 	}
-	doJSON(t, "DELETE", ts.URL+"/api/sessions/"+id, nil, http.StatusNoContent, nil)
-	doJSON(t, "GET", ts.URL+"/api/sessions/"+id, nil, http.StatusNotFound, nil)
-	doJSON(t, "DELETE", ts.URL+"/api/sessions/"+id, nil, http.StatusNotFound, nil)
+	doJSON(t, "DELETE", ts.URL+"/api/v1/sessions/"+id, nil, http.StatusNoContent, nil)
+	wantEnvelope(t, "GET", ts.URL+"/api/v1/sessions/"+id, nil, http.StatusNotFound, "not_found")
+	wantEnvelope(t, "DELETE", ts.URL+"/api/v1/sessions/"+id, nil, http.StatusNotFound, "not_found")
 }
 
 func TestCreateSessionValidation(t *testing.T) {
-	ts, _ := newTestServer(t)
-	req, _ := http.NewRequest("POST", ts.URL+"/api/sessions", strings.NewReader("{broken"))
+	ts, _, _ := newTestServer(t)
+	req, _ := http.NewRequest("POST", ts.URL+"/api/v1/sessions", strings.NewReader("{broken"))
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
@@ -120,28 +165,32 @@ func TestCreateSessionValidation(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("broken JSON: %d", resp.StatusCode)
 	}
-	doJSON(t, "POST", ts.URL+"/api/sessions",
+	wantEnvelope(t, "POST", ts.URL+"/api/v1/sessions",
 		map[string]any{"user_id": "x", "interests": map[string]float64{"astrology": 0.5}},
-		http.StatusBadRequest, nil)
-	doJSON(t, "POST", ts.URL+"/api/sessions",
+		http.StatusBadRequest, "invalid_request")
+	wantEnvelope(t, "POST", ts.URL+"/api/v1/sessions",
 		map[string]any{"user_id": "x", "interests": map[string]float64{"sports": 1.5}},
-		http.StatusBadRequest, nil)
+		http.StatusBadRequest, "invalid_request")
+	// Empty body means an anonymous session.
+	doJSON(t, "POST", ts.URL+"/api/v1/sessions", nil, http.StatusCreated, nil)
 }
 
 func TestSearchAndAdapt(t *testing.T) {
-	ts, arch := newTestServer(t)
+	ts, arch, _ := newTestServer(t)
 	id := createSession(t, ts, map[string]any{})
 	topic := arch.Truth.SearchTopics[0]
 
 	var res struct {
-		Step int `json:"step"`
-		Hits []struct {
+		Step  int `json:"step"`
+		Total int `json:"total"`
+		Hits  []struct {
+			Rank     int     `json:"rank"`
 			ShotID   string  `json:"shot_id"`
 			Score    float64 `json:"score"`
 			Category string  `json:"category"`
 		} `json:"hits"`
 	}
-	url := fmt.Sprintf("%s/api/search?session=%s&q=%s&k=5", ts.URL, id, strings.ReplaceAll(topic.Query, " ", "+"))
+	url := fmt.Sprintf("%s/api/v1/search?session=%s&q=%s&limit=5", ts.URL, id, strings.ReplaceAll(topic.Query, " ", "+"))
 	doJSON(t, "GET", url, nil, http.StatusOK, &res)
 	if len(res.Hits) == 0 || res.Step != 1 {
 		t.Fatalf("search response: %+v", res)
@@ -149,7 +198,10 @@ func TestSearchAndAdapt(t *testing.T) {
 	if res.Hits[0].Category == "" {
 		t.Error("hits missing story metadata")
 	}
-	// Feed clicks on the first hits.
+	if res.Hits[0].Rank != 0 {
+		t.Errorf("first hit rank = %d", res.Hits[0].Rank)
+	}
+	// Feed clicks on the first hit.
 	events := []map[string]any{
 		{"action": "click_keyframe", "shot": res.Hits[0].ShotID, "rank": 0, "topic": -1, "t": "2008-01-01T00:00:00Z"},
 		{"action": "play", "shot": res.Hits[0].ShotID, "rank": 0, "seconds": 12.0, "topic": -1, "t": "2008-01-01T00:00:01Z"},
@@ -157,7 +209,7 @@ func TestSearchAndAdapt(t *testing.T) {
 	var evResp struct {
 		Observed int `json:"observed"`
 	}
-	doJSON(t, "POST", ts.URL+"/api/events",
+	doJSON(t, "POST", ts.URL+"/api/v1/events",
 		map[string]any{"session_id": id, "events": events}, http.StatusOK, &evResp)
 	if evResp.Observed != 2 {
 		t.Errorf("observed = %d", evResp.Observed)
@@ -170,37 +222,153 @@ func TestSearchAndAdapt(t *testing.T) {
 	var state struct {
 		Evidence int `json:"evidence"`
 	}
-	doJSON(t, "GET", ts.URL+"/api/sessions/"+id, nil, http.StatusOK, &state)
+	doJSON(t, "GET", ts.URL+"/api/v1/sessions/"+id, nil, http.StatusOK, &state)
 	if state.Evidence != 2 {
 		t.Errorf("evidence = %d", state.Evidence)
 	}
 }
 
-func TestSearchValidation(t *testing.T) {
-	ts, _ := newTestServer(t)
-	doJSON(t, "GET", ts.URL+"/api/search?q=x", nil, http.StatusBadRequest, nil)
-	doJSON(t, "GET", ts.URL+"/api/search?session=ghost&q=x", nil, http.StatusNotFound, nil)
+func TestSearchPagination(t *testing.T) {
+	ts, arch, _ := newTestServer(t)
 	id := createSession(t, ts, map[string]any{})
-	doJSON(t, "GET", ts.URL+"/api/search?session="+id+"&q=x&k=0", nil, http.StatusBadRequest, nil)
-	doJSON(t, "GET", ts.URL+"/api/search?session="+id+"&q=x&k=abc", nil, http.StatusBadRequest, nil)
+	topic := arch.Truth.SearchTopics[0]
+	q := strings.ReplaceAll(topic.Query, " ", "+")
+
+	var full struct {
+		Total  int `json:"total"`
+		Offset int `json:"offset"`
+		Limit  int `json:"limit"`
+		Hits   []struct {
+			Rank   int    `json:"rank"`
+			ShotID string `json:"shot_id"`
+		} `json:"hits"`
+	}
+	doJSON(t, "GET", fmt.Sprintf("%s/api/v1/search?session=%s&q=%s&limit=%d", ts.URL, id, q, maxLimit),
+		nil, http.StatusOK, &full)
+	if full.Total < 4 {
+		t.Skipf("topic too small to paginate (total=%d)", full.Total)
+	}
+	if full.Total != len(full.Hits) {
+		t.Fatalf("total %d != hits %d at full depth", full.Total, len(full.Hits))
+	}
+	var page struct {
+		Total  int `json:"total"`
+		Offset int `json:"offset"`
+		Limit  int `json:"limit"`
+		Hits   []struct {
+			Rank   int    `json:"rank"`
+			ShotID string `json:"shot_id"`
+		} `json:"hits"`
+	}
+	doJSON(t, "GET", fmt.Sprintf("%s/api/v1/search?session=%s&q=%s&offset=2&limit=2", ts.URL, id, q),
+		nil, http.StatusOK, &page)
+	if page.Total != full.Total {
+		t.Errorf("page total = %d, want %d", page.Total, full.Total)
+	}
+	if len(page.Hits) != 2 || page.Offset != 2 || page.Limit != 2 {
+		t.Fatalf("page = %+v", page)
+	}
+	for i, h := range page.Hits {
+		if h.Rank != i+2 {
+			t.Errorf("hit %d rank = %d, want %d", i, h.Rank, i+2)
+		}
+		if h.ShotID != full.Hits[i+2].ShotID {
+			t.Errorf("page hit %d = %s, full hit = %s", i, h.ShotID, full.Hits[i+2].ShotID)
+		}
+	}
+	// Offset past the end: empty page, total intact.
+	doJSON(t, "GET", fmt.Sprintf("%s/api/v1/search?session=%s&q=%s&offset=100000", ts.URL, id, q),
+		nil, http.StatusOK, &page)
+	if len(page.Hits) != 0 || page.Total != full.Total {
+		t.Errorf("past-end page = %+v", page)
+	}
+}
+
+func TestSearchStreamNDJSON(t *testing.T) {
+	ts, arch, _ := newTestServer(t)
+	id := createSession(t, ts, map[string]any{})
+	topic := arch.Truth.SearchTopics[0]
+	url := fmt.Sprintf("%s/api/v1/search/stream?session=%s&q=%s&limit=5", ts.URL, id,
+		strings.ReplaceAll(topic.Query, " ", "+"))
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	hits, summaries := 0, 0
+	for sc.Scan() {
+		var line struct {
+			Type  string          `json:"type"`
+			Hit   json.RawMessage `json:"hit"`
+			Total int             `json:"total"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch line.Type {
+		case "hit":
+			if summaries > 0 {
+				t.Error("hit after summary")
+			}
+			if len(line.Hit) == 0 {
+				t.Error("hit line without hit object")
+			}
+			hits++
+		case "summary":
+			summaries++
+			if line.Total < hits {
+				t.Errorf("summary total %d < streamed hits %d", line.Total, hits)
+			}
+		default:
+			t.Errorf("unknown line type %q", line.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if hits == 0 || summaries != 1 {
+		t.Errorf("stream: %d hits, %d summaries", hits, summaries)
+	}
+	// Unknown session gets the envelope, not a stream.
+	wantEnvelope(t, "GET", ts.URL+"/api/v1/search/stream?session=ghost&q=x", nil,
+		http.StatusNotFound, "not_found")
+}
+
+func TestSearchValidation(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	wantEnvelope(t, "GET", ts.URL+"/api/v1/search?q=x", nil, http.StatusBadRequest, "invalid_request")
+	wantEnvelope(t, "GET", ts.URL+"/api/v1/search?session=ghost&q=x", nil, http.StatusNotFound, "not_found")
+	id := createSession(t, ts, map[string]any{})
+	wantEnvelope(t, "GET", ts.URL+"/api/v1/search?session="+id+"&q=x&limit=0", nil, http.StatusBadRequest, "invalid_request")
+	wantEnvelope(t, "GET", ts.URL+"/api/v1/search?session="+id+"&q=x&limit=abc", nil, http.StatusBadRequest, "invalid_request")
+	wantEnvelope(t, "GET", ts.URL+"/api/v1/search?session="+id+"&q=x&offset=-1", nil, http.StatusBadRequest, "invalid_request")
+	wantEnvelope(t, "GET", ts.URL+"/api/v1/search?session="+id+"&q=x&limit=1001", nil, http.StatusBadRequest, "invalid_request")
 }
 
 func TestEventsValidation(t *testing.T) {
-	ts, _ := newTestServer(t)
+	ts, _, _ := newTestServer(t)
 	id := createSession(t, ts, map[string]any{})
-	doJSON(t, "POST", ts.URL+"/api/events", map[string]any{"session_id": id}, http.StatusBadRequest, nil)
-	doJSON(t, "POST", ts.URL+"/api/events",
+	wantEnvelope(t, "POST", ts.URL+"/api/v1/events", map[string]any{"session_id": id},
+		http.StatusBadRequest, "invalid_request")
+	wantEnvelope(t, "POST", ts.URL+"/api/v1/events",
 		map[string]any{"session_id": "ghost", "events": []map[string]any{{"action": "browse"}}},
-		http.StatusNotFound, nil)
+		http.StatusNotFound, "not_found")
 	// Invalid event inside the batch.
-	doJSON(t, "POST", ts.URL+"/api/events",
+	wantEnvelope(t, "POST", ts.URL+"/api/v1/events",
 		map[string]any{"session_id": id, "events": []map[string]any{
 			{"action": "rate", "shot": "x", "value": 7},
-		}}, http.StatusBadRequest, nil)
+		}}, http.StatusBadRequest, "invalid_request")
 }
 
 func TestSearchCategoryFacet(t *testing.T) {
-	ts, arch := newTestServer(t)
+	ts, arch, _ := newTestServer(t)
 	id := createSession(t, ts, map[string]any{})
 	topic := arch.Truth.SearchTopics[0]
 	var res struct {
@@ -208,7 +376,7 @@ func TestSearchCategoryFacet(t *testing.T) {
 			Category string `json:"category"`
 		} `json:"hits"`
 	}
-	url := fmt.Sprintf("%s/api/search?session=%s&q=%s&cat=%s", ts.URL, id,
+	url := fmt.Sprintf("%s/api/v1/search?session=%s&q=%s&cat=%s", ts.URL, id,
 		strings.ReplaceAll(topic.Query, " ", "+"), topic.Category.String())
 	doJSON(t, "GET", url, nil, http.StatusOK, &res)
 	for _, h := range res.Hits {
@@ -216,13 +384,13 @@ func TestSearchCategoryFacet(t *testing.T) {
 			t.Fatalf("facet leaked category %q", h.Category)
 		}
 	}
-	// Unknown category rejected.
-	bad := fmt.Sprintf("%s/api/search?session=%s&q=x&cat=astrology", ts.URL, id)
-	doJSON(t, "GET", bad, nil, http.StatusBadRequest, nil)
+	wantEnvelope(t, "GET",
+		fmt.Sprintf("%s/api/v1/search?session=%s&q=x&cat=astrology", ts.URL, id),
+		nil, http.StatusBadRequest, "invalid_request")
 }
 
 func TestShotMetadata(t *testing.T) {
-	ts, arch := newTestServer(t)
+	ts, arch, _ := newTestServer(t)
 	shotID := string(arch.Collection.ShotIDs()[0])
 	var shot struct {
 		ShotID     string  `json:"shot_id"`
@@ -231,15 +399,130 @@ func TestShotMetadata(t *testing.T) {
 		Transcript string  `json:"transcript"`
 		Keyframes  int     `json:"keyframes"`
 	}
-	doJSON(t, "GET", ts.URL+"/api/shots/"+shotID, nil, http.StatusOK, &shot)
+	doJSON(t, "GET", ts.URL+"/api/v1/shots/"+shotID, nil, http.StatusOK, &shot)
 	if shot.ShotID != shotID || shot.Seconds <= 0 || shot.Transcript == "" || shot.Keyframes == 0 {
 		t.Errorf("shot = %+v", shot)
 	}
-	doJSON(t, "GET", ts.URL+"/api/shots/nope", nil, http.StatusNotFound, nil)
+	wantEnvelope(t, "GET", ts.URL+"/api/v1/shots/nope", nil, http.StatusNotFound, "not_found")
+}
+
+// TestLegacyRedirect: the unversioned paths answer 308 with the /api/v1
+// location (query preserved), so old clients keep working.
+func TestLegacyRedirect(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	for _, tc := range []struct {
+		method, path, wantLoc string
+	}{
+		{"GET", "/api/healthz", "/api/v1/healthz"},
+		{"POST", "/api/sessions", "/api/v1/sessions"},
+		{"GET", "/api/search?session=s1&q=cup+final", "/api/v1/search?session=s1&q=cup+final"},
+		{"GET", "/api/shots/v0001_s001", "/api/v1/shots/v0001_s001"},
+		{"POST", "/api/events", "/api/v1/events"},
+	} {
+		req, _ := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		resp, err := noRedirectClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusPermanentRedirect {
+			t.Errorf("%s %s: status %d, want 308", tc.method, tc.path, resp.StatusCode)
+			continue
+		}
+		if loc := resp.Header.Get("Location"); loc != tc.wantLoc {
+			t.Errorf("%s %s: location %q, want %q", tc.method, tc.path, loc, tc.wantLoc)
+		}
+	}
+	// A legacy client that follows redirects transparently completes
+	// the old create-session call against the new route.
+	resp, err := http.Post(ts.URL+"/api/sessions", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Errorf("redirected create: status %d, want 201", resp.StatusCode)
+	}
+}
+
+func TestUnknownRouteEnvelope(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	wantEnvelope(t, "GET", ts.URL+"/api/v1/nope", nil, http.StatusNotFound, "not_found")
+	wantEnvelope(t, "GET", ts.URL+"/elsewhere", nil, http.StatusNotFound, "not_found")
+}
+
+func TestSessionTTLOverHTTP(t *testing.T) {
+	arch, err := synth.Generate(synth.TinyConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystemFromCollection(arch.Collection, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fake clock is read from handler goroutines; guard it.
+	var mu sync.Mutex
+	now := time.Unix(1_300_000_000, 0)
+	nowFn := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	mgr, err := core.NewSessionManager(sys, core.ManagerOptions{TTL: time.Minute, Now: nowFn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	srv, err := NewServer(sys, WithSessionManager(mgr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	id := createSession(t, ts, map[string]any{})
+	doJSON(t, "GET", ts.URL+"/api/v1/sessions/"+id, nil, http.StatusOK, nil)
+	mu.Lock()
+	now = now.Add(2 * time.Minute)
+	mu.Unlock()
+	wantEnvelope(t, "GET", ts.URL+"/api/v1/sessions/"+id, nil, http.StatusNotFound, "not_found")
+}
+
+func TestPanicRecovery(t *testing.T) {
+	arch, err := synth.Generate(synth.TinyConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystemFromCollection(arch.Collection, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// Wrap a panicking handler in the server's middleware chain.
+	h := srv.withMiddleware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/v1/healthz", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || env.Error.Code != "internal" {
+		t.Fatalf("panic body = %q (%v)", rec.Body.String(), err)
+	}
 }
 
 func TestConcurrentSessions(t *testing.T) {
-	ts, arch := newTestServer(t)
+	ts, arch, _ := newTestServer(t)
 	topic := arch.Truth.SearchTopics[0]
 	done := make(chan error, 8)
 	for i := 0; i < 8; i++ {
@@ -249,7 +532,7 @@ func TestConcurrentSessions(t *testing.T) {
 					SessionID string `json:"session_id"`
 				}
 				data, _ := json.Marshal(map[string]any{})
-				resp, err := http.Post(ts.URL+"/api/sessions", "application/json", bytes.NewReader(data))
+				resp, err := http.Post(ts.URL+"/api/v1/sessions", "application/json", bytes.NewReader(data))
 				if err != nil {
 					return err
 				}
@@ -257,7 +540,7 @@ func TestConcurrentSessions(t *testing.T) {
 				if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
 					return err
 				}
-				url := fmt.Sprintf("%s/api/search?session=%s&q=%s", ts.URL, created.SessionID,
+				url := fmt.Sprintf("%s/api/v1/search?session=%s&q=%s", ts.URL, created.SessionID,
 					strings.ReplaceAll(topic.Query, " ", "+"))
 				for j := 0; j < 5; j++ {
 					r, err := http.Get(url)
