@@ -6,14 +6,18 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
+	"net/http/httptest"
 	"testing"
 
 	"repro"
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/index"
 	"repro/internal/search"
 	"repro/internal/text"
+	"repro/internal/webapi"
 )
 
 // benchExperiment runs one experiment per iteration at Quick scale.
@@ -139,6 +143,42 @@ func BenchmarkPersistence(b *testing.B) {
 		}
 		if _, err := index.Read(&buf); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHTTPSearch measures the full client→server search hot
+// path in-process (SDK encode → HTTP → session manager → adapted
+// query → page decorate → JSON decode): the baseline future caching
+// and sharding PRs must beat.
+func BenchmarkHTTPSearch(b *testing.B) {
+	arch, sys := benchArchiveSystem(b)
+	srv, err := webapi.NewServer(sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c, err := client.New(ts.URL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	sid, err := c.CreateSession(ctx, client.CreateSessionRequest{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := arch.Truth.SearchTopics[0].Query
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		page, err := c.Search(ctx, client.SearchRequest{SessionID: sid, Query: q, Limit: 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(page.Hits) == 0 {
+			b.Fatal("empty page")
 		}
 	}
 }

@@ -1,0 +1,216 @@
+// Command ivrload load-tests a running ivrserve instance: a worker
+// pool of simulated users replays full interactive sessions
+// (create-session → search → send-events → shot-view → delete) over
+// the /api/v1 SDK and reports per-endpoint throughput and latency
+// quantiles, cross-checked against the server's own /api/v1/metrics
+// counters.
+//
+// Usage:
+//
+//	ivrserve -quiet &                        # target server
+//	ivrload -users 100 -sessions 500         # closed-loop saturation run
+//	ivrload -mode open -rate 50 -duration 30s
+//	ivrload -users 100 -sessions 500 -out bench_load.json
+//
+// The query pool is derived from a locally generated archive
+// (matching ivrserve's -seed/-full defaults) so the traffic issues
+// realistic topic queries with ground-truth-guided behaviour; pass a
+// different -seed/-full to match a non-default server.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/loadgen"
+	"repro/internal/synth"
+	"repro/internal/ui"
+)
+
+func main() {
+	var (
+		server     = flag.String("server", "http://localhost:8080", "target server base URL")
+		users      = flag.Int("users", 50, "concurrent virtual users")
+		sessions   = flag.Int("sessions", 200, "total sessions to run (0 = run until -duration)")
+		iterations = flag.Int("iterations", 3, "query iterations per session")
+		mode       = flag.String("mode", "closed", "pacing: closed (think-time loop) or open (fixed arrival rate)")
+		rate       = flag.Float64("rate", 20, "open-loop session arrivals per second")
+		think      = flag.Duration("think", 0, "closed-loop mean think time between iterations")
+		ramp       = flag.Duration("ramp", 0, "ramp-up window for worker starts")
+		duration   = flag.Duration("duration", 0, "wall-clock bound (required when -sessions 0)")
+		limit      = flag.Int("limit", 20, "search page size")
+		ifaceName  = flag.String("iface", "desktop", "interface model: desktop or tv")
+		seed       = flag.Int64("seed", 2008, "archive seed for the query pool (match the server's)")
+		full       = flag.Bool("full", false, "derive queries from the full-scale archive")
+		shots      = flag.Bool("shots", true, "fetch shot metadata for clicked results")
+		out        = flag.String("out", "", "write the machine-readable report JSON here")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+	)
+	flag.Parse()
+
+	iface, err := ui.ByName(*ifaceName)
+	if err != nil {
+		fail("%v", err)
+	}
+	archCfg := synth.TinyConfig()
+	if *full {
+		archCfg = synth.DefaultConfig()
+	}
+	arch, err := synth.Generate(archCfg, *seed)
+	if err != nil {
+		fail("generate query pool: %v", err)
+	}
+	var queries []loadgen.Query
+	for _, topic := range arch.Truth.SearchTopics {
+		rel := map[string]bool{}
+		for shot, g := range arch.Truth.Qrels[topic.ID] {
+			rel[string(shot)] = g >= 1
+		}
+		queries = append(queries, loadgen.Query{
+			Text: topic.Query, Verbose: topic.Verbose, TopicID: topic.ID, Relevant: rel,
+		})
+	}
+
+	c, err := client.New(*server, client.WithTimeout(*timeout), client.WithUserAgent("ivrload/1"))
+	if err != nil {
+		fail("%v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if _, err := c.Healthz(ctx); err != nil {
+		fail("server %s not healthy: %v", *server, err)
+	}
+	before, err := c.Metrics(ctx)
+	if err != nil {
+		fail("fetch metrics: %v", err)
+	}
+
+	d, err := loadgen.New(loadgen.Config{
+		Client:     c,
+		Users:      *users,
+		Sessions:   *sessions,
+		Iterations: *iterations,
+		Pacing:     loadgen.Pacing(*mode),
+		Rate:       *rate,
+		ThinkTime:  *think,
+		RampUp:     *ramp,
+		Duration:   *duration,
+		PageLimit:  *limit,
+		Seed:       *seed,
+		Iface:      iface,
+		Queries:    queries,
+		FetchShots: *shots,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("ivrload: %d users, %s pacing against %s\n", *users, *mode, *server)
+	rep, err := d.Run(ctx)
+	if err != nil {
+		fail("run: %v", err)
+	}
+	fmt.Print(rep)
+
+	// Cross-check: client-observed totals vs the server's own
+	// counters, differenced against the pre-run snapshot so an
+	// already-running server doesn't skew the comparison. The server
+	// records a request just after writing its response, so on a
+	// mismatch the check refetches once after a short grace period
+	// before believing it.
+	after, err := c.Metrics(ctx)
+	if err != nil {
+		fail("fetch metrics: %v", err)
+	}
+	if countMismatches(rep, before, after) > 0 {
+		time.Sleep(250 * time.Millisecond)
+		if after, err = c.Metrics(ctx); err != nil {
+			fail("fetch metrics: %v", err)
+		}
+	}
+	fmt.Printf("  server cross-check (/api/v1/metrics):\n")
+	mismatches := 0
+	for _, endpoint := range workloadEndpoints {
+		clientN := rep.Endpoints[endpoint].Requests
+		if clientN == 0 {
+			continue
+		}
+		route := routeFor[endpoint]
+		serverN := after.Routes[route].Count - before.Routes[route].Count
+		mark := "ok"
+		if clientN != serverN {
+			mark = "MISMATCH"
+			mismatches++
+		}
+		srvLat := after.Routes[route].Latency
+		fmt.Printf("    %-16s client %7d  server %7d  %-8s  server p95 %.1fms p99 %.1fms\n",
+			endpoint, clientN, serverN, mark, srvLat.P95MS, srvLat.P99MS)
+	}
+	fmt.Printf("    sessions created: server %d, live now %d, evicted %d\n",
+		after.Sessions.Created-before.Sessions.Created, after.Sessions.Live, after.Sessions.Evicted)
+
+	if *out != "" {
+		summary := struct {
+			Command string                  `json:"command"`
+			Server  string                  `json:"server"`
+			When    time.Time               `json:"when"`
+			Report  *loadgen.Report         `json:"report"`
+			Metrics *client.MetricsSnapshot `json:"server_metrics"`
+		}{"ivrload", *server, time.Now().UTC(), rep, after}
+		data, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			fail("encode report: %v", err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fail("write report: %v", err)
+		}
+		fmt.Printf("  report: %s\n", *out)
+	}
+	if rep.SessionsFailed > 0 || mismatches > 0 {
+		fail("%d failed sessions, %d counter mismatches", rep.SessionsFailed, mismatches)
+	}
+}
+
+// routeFor maps loadgen's client-side endpoint labels to the server
+// route patterns they exercise.
+var routeFor = map[string]string{
+	loadgen.EndpointCreateSession: "POST /api/v1/sessions",
+	loadgen.EndpointSearch:        "GET /api/v1/search",
+	loadgen.EndpointEvents:        "POST /api/v1/events",
+	loadgen.EndpointShot:          "GET /api/v1/shots/{id}",
+	loadgen.EndpointDeleteSession: "DELETE /api/v1/sessions/{id}",
+}
+
+// workloadEndpoints fixes the cross-check print order.
+var workloadEndpoints = []string{
+	loadgen.EndpointCreateSession, loadgen.EndpointSearch, loadgen.EndpointEvents,
+	loadgen.EndpointShot, loadgen.EndpointDeleteSession,
+}
+
+// countMismatches compares client-observed totals with the
+// differenced server counters.
+func countMismatches(rep *loadgen.Report, before, after *client.MetricsSnapshot) int {
+	n := 0
+	for _, endpoint := range workloadEndpoints {
+		clientN := rep.Endpoints[endpoint].Requests
+		if clientN == 0 {
+			continue
+		}
+		route := routeFor[endpoint]
+		if clientN != after.Routes[route].Count-before.Routes[route].Count {
+			n++
+		}
+	}
+	return n
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ivrload: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -7,16 +7,30 @@
 //	ivrsim -out study.jsonl                      # default: 3 users x 6 topics, desktop
 //	ivrsim -iface tv -users 5 -iterations 4
 //	ivrsim -preset combined -out study.jsonl     # adaptive system under study
+//	ivrsim -server http://localhost:8080         # same study, remotely over /api/v1
+//
+// With -server the study runs against a live ivrserve instance
+// through the SDK (internal/loadgen): sessions execute concurrently
+// over HTTP, rankings are evaluated from the fetched pages, and a
+// per-endpoint latency report accompanies the retrieval metrics. The
+// server must serve the same archive (-seed/-full) for the topic
+// ground truth to apply; -preset is the server's choice in that mode.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/ilog"
+	"repro/internal/loadgen"
 	"repro/internal/simulation"
 	"repro/internal/synth"
 	"repro/internal/ui"
@@ -34,14 +48,12 @@ func main() {
 		full       = flag.Bool("full", false, "use the full-scale archive")
 		runOut     = flag.String("run", "", "also write a TREC run file of final rankings")
 		qrelsOut   = flag.String("qrels", "", "also write the matching TREC qrels file")
+		server     = flag.String("server", "", "run the study remotely against this /api/v1 server")
+		workers    = flag.Int("workers", 8, "concurrent sessions in -server mode")
 	)
 	flag.Parse()
 
 	iface, err := ui.ByName(*ifaceName)
-	if err != nil {
-		fail("%v", err)
-	}
-	cfg, err := core.Preset(*preset)
 	if err != nil {
 		fail("%v", err)
 	}
@@ -53,13 +65,22 @@ func main() {
 	if err != nil {
 		fail("generate: %v", err)
 	}
-	sys, err := core.NewSystemFromCollection(arch.Collection, cfg)
-	if err != nil {
-		fail("system: %v", err)
-	}
 	topicSet := arch.Truth.SearchTopics
 	if *topics > 0 && *topics < len(topicSet) {
 		topicSet = topicSet[:*topics]
+	}
+	if *server != "" {
+		runRemote(*server, *workers, arch, iface, topicSet, *users, *iterations, *seed,
+			*out, *runOut, *qrelsOut)
+		return
+	}
+	cfg, err := core.Preset(*preset)
+	if err != nil {
+		fail("%v", err)
+	}
+	sys, err := core.NewSystemFromCollection(arch.Collection, cfg)
+	if err != nil {
+		fail("system: %v", err)
 	}
 	study, err := simulation.RunStudy(arch, sys, iface,
 		simulation.MakeUsers(*users), topicSet, *iterations, *seed)
@@ -70,32 +91,10 @@ func main() {
 		fail("save: %v", err)
 	}
 	if *runOut != "" {
-		f, err := os.Create(*runOut)
-		if err != nil {
-			fail("run file: %v", err)
-		}
-		if err := eval.WriteRun(f, study.ToRun(*preset)); err != nil {
-			f.Close()
-			fail("run file: %v", err)
-		}
-		if err := f.Close(); err != nil {
-			fail("run file: %v", err)
-		}
-		fmt.Printf("  run file:   %s\n", *runOut)
+		writeRunFile(*runOut, study.ToRun(*preset))
 	}
 	if *qrelsOut != "" {
-		f, err := os.Create(*qrelsOut)
-		if err != nil {
-			fail("qrels file: %v", err)
-		}
-		if err := eval.WriteQrels(f, study.ToQrels(arch.Truth.Qrels)); err != nil {
-			f.Close()
-			fail("qrels file: %v", err)
-		}
-		if err := f.Close(); err != nil {
-			fail("qrels file: %v", err)
-		}
-		fmt.Printf("  qrels file: %s\n", *qrelsOut)
+		writeQrelsFile(*qrelsOut, study.ToQrels(arch.Truth.Qrels))
 	}
 	imp, exp, q := ilog.MeanEventsPerSession(ilog.AnalyzeSessions(study.Events))
 	fmt.Printf("study complete: %d sessions, %d events -> %s\n", len(study.Sessions), len(study.Events), *out)
@@ -103,6 +102,87 @@ func main() {
 	fmt.Printf("  per session: %.1f implicit, %.1f explicit, %.1f queries\n", imp, exp, q)
 	fmt.Printf("  MAP first iteration: %.3f   final: %.3f\n", study.MeanFirst.AP, study.MeanFinal.AP)
 	fmt.Printf("  mean distinct shots examined: %.1f\n", study.MeanDistinctSeen)
+}
+
+// writeRunFile / writeQrelsFile export TREC files for both study
+// modes.
+func writeRunFile(path string, run *eval.Run) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail("run file: %v", err)
+	}
+	if err := eval.WriteRun(f, run); err != nil {
+		f.Close()
+		fail("run file: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fail("run file: %v", err)
+	}
+	fmt.Printf("  run file:   %s\n", path)
+}
+
+func writeQrelsFile(path string, qs eval.QrelSet) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail("qrels file: %v", err)
+	}
+	if err := eval.WriteQrels(f, qs); err != nil {
+		f.Close()
+		fail("qrels file: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fail("qrels file: %v", err)
+	}
+	fmt.Printf("  qrels file: %s\n", path)
+}
+
+// runRemote replays the same (user, topic) study through the SDK
+// against a live server — the paper's simulated methodology as a
+// closed-loop HTTP workload.
+func runRemote(server string, workers int, arch *synth.Archive, iface *ui.Interface,
+	topicSet []*synth.SearchTopic, users, iterations int, seed int64,
+	out, runOut, qrelsOut string) {
+
+	c, err := client.New(server, client.WithTimeout(30*time.Second), client.WithUserAgent("ivrsim/1"))
+	if err != nil {
+		fail("%v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if _, err := c.Healthz(ctx); err != nil {
+		fail("server %s not healthy: %v", server, err)
+	}
+	pairs := simulation.AllPairs(simulation.MakeUsers(users), topicSet)
+	res, err := loadgen.RunStudy(ctx, loadgen.StudyConfig{
+		Client:     c,
+		Workers:    workers,
+		Iterations: iterations,
+		Iface:      iface,
+		Qrels:      arch.Truth.Qrels,
+		Seed:       seed,
+	}, pairs)
+	if err != nil {
+		fail("remote study: %v", err)
+	}
+	if err := ilog.SaveFile(out, res.Events); err != nil {
+		fail("save: %v", err)
+	}
+	if runOut != "" {
+		writeRunFile(runOut, res.ToRun("remote"))
+	}
+	if qrelsOut != "" {
+		writeQrelsFile(qrelsOut, res.ToQrels(arch.Truth.Qrels))
+	}
+	imp, exp, q := ilog.MeanEventsPerSession(ilog.AnalyzeSessions(res.Events))
+	fmt.Printf("remote study complete: %d sessions (%d failed, %d aborted), %d events -> %s\n",
+		len(res.Sessions), res.Failed, res.Aborted, len(res.Events), out)
+	fmt.Printf("  server:     %s on %s (%d workers)\n", server, iface.Name, workers)
+	fmt.Printf("  per session: %.1f implicit, %.1f explicit, %.1f queries\n", imp, exp, q)
+	fmt.Printf("  MAP first iteration: %.3f   final: %.3f\n", res.MeanFirst.AP, res.MeanFinal.AP)
+	fmt.Print(res.Report)
+	if res.Failed > 0 {
+		fail("%d sessions failed", res.Failed)
+	}
 }
 
 func fail(format string, args ...any) {

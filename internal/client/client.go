@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/ilog"
+	"repro/internal/metrics"
 )
 
 // Client calls one webapi server. Safe for concurrent use.
@@ -222,6 +223,39 @@ type Health struct {
 	Evicted  int64  `json:"sessions_evicted"`
 }
 
+// SessionEntry is one row of the live-session directory.
+type SessionEntry struct {
+	SessionID   string  `json:"session_id"`
+	IdleSeconds float64 `json:"idle_seconds"`
+	Step        int     `json:"step"`
+	Evidence    int     `json:"evidence"`
+	SeenShots   int     `json:"seen_shots"`
+	LastQuery   string  `json:"last_query"`
+}
+
+// SessionList is one page of the live-session directory.
+type SessionList struct {
+	Total    int            `json:"total"`
+	Offset   int            `json:"offset"`
+	Limit    int            `json:"limit"`
+	Sessions []SessionEntry `json:"sessions"`
+}
+
+// SessionCounters is the session-table section of the metrics body.
+type SessionCounters struct {
+	Live    int   `json:"live"`
+	Created int64 `json:"created"`
+	Evicted int64 `json:"evicted"`
+}
+
+// MetricsSnapshot is the /api/v1/metrics body: per-route request
+// counters and latency quantiles (the metrics package owns that
+// schema) plus session-table counters.
+type MetricsSnapshot struct {
+	metrics.Snapshot
+	Sessions SessionCounters `json:"sessions"`
+}
+
 // CreateSession starts a server-side session and returns its ID.
 func (c *Client) CreateSession(ctx context.Context, req CreateSessionRequest) (string, error) {
 	var resp struct {
@@ -245,6 +279,33 @@ func (c *Client) Session(ctx context.Context, id string) (*SessionState, error) 
 // DeleteSession ends a session.
 func (c *Client) DeleteSession(ctx context.Context, id string) error {
 	return c.do(ctx, http.MethodDelete, "/sessions/"+url.PathEscape(id), nil, nil, nil, retryNever)
+}
+
+// ListSessions fetches one page of the server's live-session
+// directory, sorted by session ID (limit 0 = server default).
+func (c *Client) ListSessions(ctx context.Context, offset, limit int) (*SessionList, error) {
+	q := url.Values{}
+	if offset > 0 {
+		q.Set("offset", strconv.Itoa(offset))
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	var list SessionList
+	if err := c.do(ctx, http.MethodGet, "/sessions", q, nil, &list, retryOK); err != nil {
+		return nil, err
+	}
+	return &list, nil
+}
+
+// Metrics fetches the server's telemetry snapshot: per-route request
+// counters, latency quantiles, and session-table stats.
+func (c *Client) Metrics(ctx context.Context) (*MetricsSnapshot, error) {
+	var m MetricsSnapshot
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, nil, &m, retryOK); err != nil {
+		return nil, err
+	}
+	return &m, nil
 }
 
 // searchQuery encodes the shared search parameters.

@@ -397,3 +397,73 @@ func TestConcurrentClients(t *testing.T) {
 		}
 	}
 }
+
+func TestListSessions(t *testing.T) {
+	c, _ := newStack(t)
+	ctx := context.Background()
+	var ids []string
+	for i := 0; i < 4; i++ {
+		id, err := c.CreateSession(ctx, client.CreateSessionRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	list, err := c.ListSessions(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.Total != 4 || len(list.Sessions) != 4 {
+		t.Fatalf("list = total %d with %d entries, want 4/4", list.Total, len(list.Sessions))
+	}
+	// Windowed page.
+	page, err := c.ListSessions(ctx, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Total != 4 || len(page.Sessions) != 2 || page.Offset != 2 {
+		t.Fatalf("page = %+v", page)
+	}
+	if err := c.DeleteSession(ctx, ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	list, err = c.ListSessions(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.Total != 3 {
+		t.Fatalf("total after delete = %d, want 3", list.Total)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	c, arch := newStack(t)
+	ctx := context.Background()
+	id, err := c.CreateSession(ctx, client.CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := arch.Truth.SearchTopics[0].Query
+	for i := 0; i < 2; i++ {
+		if _, err := c.Search(ctx, client.SearchRequest{SessionID: id, Query: q}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	search := m.Routes["GET /api/v1/search"]
+	if search.Count != 2 || search.Status["200"] != 2 {
+		t.Errorf("search route = %+v, want 2x 200", search)
+	}
+	if search.Latency.Count != 2 || search.Latency.P50MS < 0 {
+		t.Errorf("search latency = %+v", search.Latency)
+	}
+	if m.Sessions.Created != 1 || m.Sessions.Live != 1 {
+		t.Errorf("sessions = %+v", m.Sessions)
+	}
+	if m.Totals.Requests < 3 {
+		t.Errorf("totals = %+v, want >= 3 requests", m.Totals)
+	}
+}

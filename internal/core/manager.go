@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -250,6 +251,17 @@ func (m *SessionManager) lookup(id string) (*managedSession, error) {
 // escape fn. Touches the idle clock. Returns ErrSessionNotFound for
 // unknown, deleted, or expired sessions, otherwise fn's error.
 func (m *SessionManager) With(id string, fn func(*Session) error) error {
+	return m.withSession(id, fn, true)
+}
+
+// Inspect is With without touching the idle clock: read-only
+// introspection (ops listings, metrics) must not keep otherwise
+// abandoned sessions alive.
+func (m *SessionManager) Inspect(id string, fn func(*Session) error) error {
+	return m.withSession(id, fn, false)
+}
+
+func (m *SessionManager) withSession(id string, fn func(*Session) error, touch bool) error {
 	if m.isClosed() {
 		return ErrManagerClosed
 	}
@@ -262,7 +274,9 @@ func (m *SessionManager) With(id string, fn func(*Session) error) error {
 	if ms.gone {
 		return ErrSessionNotFound
 	}
-	ms.lastUsed = m.now()
+	if touch {
+		ms.lastUsed = m.now()
+	}
 	return fn(ms.sess)
 }
 
@@ -304,6 +318,47 @@ func (m *SessionManager) Len() int {
 		sh.mu.RUnlock()
 	}
 	return n
+}
+
+// SessionInfo is one live session's directory entry.
+type SessionInfo struct {
+	// ID is the session identifier.
+	ID string
+	// LastUsed is when the session was last touched through the
+	// manager.
+	LastUsed time.Time
+}
+
+// List snapshots the resident sessions, sorted by ID so pagination
+// over successive calls is stable. Expired-but-unswept sessions are
+// excluded. O(live sessions); intended for ops/debug listing, not hot
+// paths.
+func (m *SessionManager) List() []SessionInfo {
+	ttl := m.opts.TTL
+	now := m.now()
+	out := make([]SessionInfo, 0, 64)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for id, ms := range m.shards[i].sessions {
+			// A session whose lock is held is mid-operation — live by
+			// definition — so report it as in use rather than stalling
+			// the shard behind it (same reasoning as Sweep).
+			if !ms.mu.TryLock() {
+				out = append(out, SessionInfo{ID: id, LastUsed: now})
+				continue
+			}
+			gone, last := ms.gone, ms.lastUsed
+			ms.mu.Unlock()
+			if gone || (ttl > 0 && now.Sub(last) > ttl) {
+				continue
+			}
+			out = append(out, SessionInfo{ID: id, LastUsed: last})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
 }
 
 // Stats snapshots the manager's counters.

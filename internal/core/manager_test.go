@@ -314,3 +314,58 @@ func TestManagerConcurrentHammer(t *testing.T) {
 		t.Errorf("created = %d, want %d", st.Created, goroutines*iterations)
 	}
 }
+
+func TestManagerList(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1_200_000_000, 0)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	m := newTestManager(t, ManagerOptions{TTL: time.Minute, Now: clock})
+
+	if got := m.List(); len(got) != 0 {
+		t.Fatalf("List on empty manager = %v", got)
+	}
+	var ids []string
+	for i := 0; i < 5; i++ {
+		id, err := m.Create(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	infos := m.List()
+	if len(infos) != 5 {
+		t.Fatalf("List = %d sessions, want 5", len(infos))
+	}
+	seen := map[string]bool{}
+	for i, info := range infos {
+		if i > 0 && infos[i-1].ID >= info.ID {
+			t.Fatalf("List not sorted: %q before %q", infos[i-1].ID, info.ID)
+		}
+		if info.LastUsed != now {
+			t.Errorf("%s LastUsed = %v, want %v", info.ID, info.LastUsed, now)
+		}
+		seen[info.ID] = true
+	}
+	for _, id := range ids {
+		if !seen[id] {
+			t.Errorf("created session %s missing from List", id)
+		}
+	}
+	// Deleted and expired sessions drop out of the listing.
+	if err := m.Delete(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	now = now.Add(2 * time.Minute)
+	mu.Unlock()
+	if err := m.With(ids[1], func(*Session) error { return nil }); !errors.Is(err, ErrSessionNotFound) {
+		t.Fatalf("expired session = %v, want ErrSessionNotFound", err)
+	}
+	if got := m.List(); len(got) != 0 {
+		t.Fatalf("List after delete+expiry = %d sessions, want 0", len(got))
+	}
+}

@@ -1,0 +1,526 @@
+// Package loadgen drives simulated user studies against a remote
+// retrieval server over HTTP — the scale test of the /api/v1 contract.
+// Where internal/simulation runs stereotype users against an
+// in-process core.System, loadgen replays the same per-iteration
+// behaviour policy (simulation.Policy) through the typed
+// internal/client SDK: a worker pool of N virtual users, each running
+// the create-session → search → send-events → shot-view loop.
+//
+// Two pacing disciplines are supported:
+//
+//   - closed-loop (the default): each virtual user starts its next
+//     session as soon as the previous one finishes, with optional
+//     think-time pauses between query iterations — a fixed-concurrency
+//     saturation test;
+//   - open-loop: sessions arrive at a fixed rate regardless of how
+//     fast the server answers; arrivals that find every worker busy
+//     and the backlog full are counted as dropped rather than
+//     silently degrading into closed-loop pacing.
+//
+// Telemetry is collected lock-free: every worker owns a histogram
+// shard per endpoint (internal/metrics.Histogram), merged into one
+// Report after the run, so a thousand workers never contend on a
+// collector mutex. The Report's per-endpoint request totals are
+// directly comparable to the server's /api/v1/metrics counters.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/ilog"
+	"repro/internal/simulation"
+	"repro/internal/ui"
+)
+
+// Endpoint labels used in reports; chosen to mirror the server's
+// route table one-to-one.
+const (
+	EndpointCreateSession = "create_session"
+	EndpointSearch        = "search"
+	EndpointEvents        = "events"
+	EndpointShot          = "shot"
+	EndpointDeleteSession = "delete_session"
+)
+
+// Pacing selects the arrival discipline of the load.
+type Pacing string
+
+const (
+	// PacingClosed: each worker starts a new session as soon as its
+	// previous one completes (think time applies within sessions).
+	PacingClosed Pacing = "closed"
+	// PacingOpen: sessions arrive at Config.Rate per second,
+	// independent of completions.
+	PacingOpen Pacing = "open"
+)
+
+// Query is one entry of the workload's query pool.
+type Query struct {
+	// Text is the short query issued first.
+	Text string
+	// Verbose optionally provides the reformulation target.
+	Verbose string
+	// TopicID stamps events (-1 when the query has no evaluation
+	// topic).
+	TopicID int
+	// Relevant optionally carries ground-truth relevance by shot ID;
+	// when nil, the virtual user samples its relevance belief at
+	// Config.RelevanceRate.
+	Relevant map[string]bool
+}
+
+// Config parameterises a load run.
+type Config struct {
+	// Client is the SDK handle to the target server. Required.
+	Client *client.Client
+	// Users is the number of concurrent virtual users (default 1).
+	Users int
+	// Sessions is the total number of sessions to run (0 = unbounded;
+	// bound the run with Duration or the context instead).
+	Sessions int
+	// Iterations is the number of query iterations per session
+	// (default 3).
+	Iterations int
+	// Pacing selects the arrival discipline (default PacingClosed).
+	Pacing Pacing
+	// Rate is the open-loop session arrival rate per second (required
+	// when Pacing is PacingOpen).
+	Rate float64
+	// ThinkTime is the mean pause between query iterations (0 = no
+	// pauses; jittered ±50% per pause).
+	ThinkTime time.Duration
+	// RampUp staggers worker starts across this window, so a run
+	// doesn't hit the server with Users simultaneous session creates.
+	RampUp time.Duration
+	// Duration bounds the run's wall clock (0 = until Sessions are
+	// done or the context is cancelled).
+	Duration time.Duration
+	// PageLimit is the search page size requested per iteration
+	// (default 20).
+	PageLimit int
+	// Seed fixes the behaviour streams (per-worker streams derive
+	// from it).
+	Seed int64
+	// Stereotypes are assigned round-robin to virtual users (default:
+	// the built-in population).
+	Stereotypes []simulation.Stereotype
+	// Iface is the interaction-environment model (default
+	// ui.Desktop()).
+	Iface *ui.Interface
+	// Queries is the workload's query pool. Required.
+	Queries []Query
+	// RelevanceRate is the probability a result is believed relevant
+	// when its query carries no ground truth (default 0.2).
+	RelevanceRate float64
+	// FetchShots also fetches GET /shots/{id} for every clicked
+	// result, as a front-end rendering a player would.
+	FetchShots bool
+}
+
+// Driver runs one configured workload. Create with New; a Driver is
+// single-use per Run call but Run may be called again for a fresh
+// measurement.
+type Driver struct {
+	cfg Config
+}
+
+// New validates a config and applies defaults.
+func New(cfg Config) (*Driver, error) {
+	if cfg.Client == nil {
+		return nil, fmt.Errorf("loadgen: nil client")
+	}
+	if len(cfg.Queries) == 0 {
+		return nil, fmt.Errorf("loadgen: empty query pool")
+	}
+	if cfg.Users <= 0 {
+		cfg.Users = 1
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 3
+	}
+	if cfg.PageLimit <= 0 {
+		cfg.PageLimit = 20
+	}
+	if cfg.Pacing == "" {
+		cfg.Pacing = PacingClosed
+	}
+	switch cfg.Pacing {
+	case PacingClosed:
+	case PacingOpen:
+		if cfg.Rate <= 0 {
+			return nil, fmt.Errorf("loadgen: open-loop pacing needs a positive Rate")
+		}
+	default:
+		return nil, fmt.Errorf("loadgen: unknown pacing %q", cfg.Pacing)
+	}
+	if cfg.Sessions < 0 || cfg.ThinkTime < 0 || cfg.RampUp < 0 || cfg.Duration < 0 {
+		return nil, fmt.Errorf("loadgen: negative config value")
+	}
+	if cfg.Sessions == 0 && cfg.Duration == 0 {
+		return nil, fmt.Errorf("loadgen: unbounded run; set Sessions or Duration")
+	}
+	if len(cfg.Stereotypes) == 0 {
+		cfg.Stereotypes = simulation.Stereotypes()
+	}
+	for _, st := range cfg.Stereotypes {
+		if err := st.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Iface == nil {
+		cfg.Iface = ui.Desktop()
+	}
+	if err := cfg.Iface.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.RelevanceRate == 0 {
+		cfg.RelevanceRate = 0.2
+	}
+	if cfg.RelevanceRate < 0 || cfg.RelevanceRate > 1 {
+		return nil, fmt.Errorf("loadgen: RelevanceRate %v outside [0,1]", cfg.RelevanceRate)
+	}
+	return &Driver{cfg: cfg}, nil
+}
+
+// worker is one virtual user: its own behaviour PRNG, policy, and
+// telemetry shard — nothing shared on the hot path.
+type worker struct {
+	id  int
+	cfg *Config
+	pol simulation.Policy
+	rng *rand.Rand
+	col *shardCollector
+}
+
+// Run executes the workload until the session budget, Duration, or
+// ctx expires, and returns the merged report. Individual session
+// failures (server errors, timeouts) are recorded in the report, not
+// returned; Run errors only on setup problems or full cancellation
+// before any work.
+func (d *Driver) Run(ctx context.Context) (*Report, error) {
+	cfg := d.cfg
+	shards, elapsed, dropped := runPool(ctx, &cfg, func(ctx context.Context, w *worker, _ int) {
+		w.runSession(ctx)
+	})
+	rep := buildReport(&cfg, shards, elapsed)
+	rep.DroppedArrivals = dropped
+	return rep, nil
+}
+
+// runPool runs the worker pool with the configured pacing and
+// ramp-up, returning the per-worker telemetry shards, the measured
+// wall clock, and the open-loop dropped-arrival count.
+func runPool(ctx context.Context, cfg *Config, work func(context.Context, *worker, int)) ([]*shardCollector, time.Duration, int64) {
+	if cfg.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+	workers := make([]*worker, cfg.Users)
+	shards := make([]*shardCollector, cfg.Users)
+	for i := range workers {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		shards[i] = newShardCollector()
+		workers[i] = &worker{
+			id:  i,
+			cfg: cfg,
+			pol: simulation.Policy{
+				Stereotype: cfg.Stereotypes[i%len(cfg.Stereotypes)],
+				Iface:      cfg.Iface,
+				Rand:       rng,
+			},
+			rng: rng,
+			col: shards[i],
+		}
+	}
+
+	// Session sequence dispensing: closed-loop claims from a counter,
+	// open-loop receives timed arrivals (dropping when the backlog is
+	// full, so the arrival process stays open).
+	var next atomic.Int64
+	var droppedN atomic.Int64
+	var tokens chan int
+	if cfg.Pacing == PacingOpen {
+		tokens = make(chan int, cfg.Users*8)
+		go func() {
+			defer close(tokens)
+			interval := time.Duration(float64(time.Second) / cfg.Rate)
+			if interval <= 0 {
+				interval = time.Microsecond
+			}
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			seq := 0
+			for cfg.Sessions == 0 || seq < cfg.Sessions {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					select {
+					case tokens <- seq:
+					default:
+						droppedN.Add(1)
+					}
+					seq++
+				}
+			}
+		}()
+	}
+	claim := func() (int, bool) {
+		if tokens != nil {
+			select {
+			case <-ctx.Done():
+				return 0, false
+			case seq, ok := <-tokens:
+				return seq, ok
+			}
+		}
+		seq := int(next.Add(1) - 1)
+		if cfg.Sessions > 0 && seq >= cfg.Sessions {
+			return 0, false
+		}
+		return seq, ctx.Err() == nil
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			// Ramp-up: stagger worker starts across the window.
+			if cfg.RampUp > 0 && cfg.Users > 1 {
+				delay := cfg.RampUp * time.Duration(w.id) / time.Duration(cfg.Users)
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(delay):
+				}
+			}
+			for {
+				seq, ok := claim()
+				if !ok {
+					return
+				}
+				work(ctx, w, seq)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return shards, time.Since(start), droppedN.Load()
+}
+
+// runSession drives one generic-traffic session: a random query from
+// the pool, behaviour from the worker's stereotype.
+func (w *worker) runSession(ctx context.Context) {
+	cfg := w.cfg
+	q := cfg.Queries[w.rng.Intn(len(cfg.Queries))]
+	w.driveSession(ctx, &sessionSpec{
+		req:     client.CreateSessionRequest{UserID: fmt.Sprintf("vu%03d", w.id)},
+		pol:     w.pol,
+		topicID: q.TopicID,
+		short:   q.Text,
+		verbose: q.Verbose,
+		relevant: func(shotID string) bool {
+			if q.Relevant != nil {
+				return q.Relevant[shotID]
+			}
+			return w.rng.Float64() < cfg.RelevanceRate
+		},
+	})
+}
+
+// sessionSpec parameterises one session for driveSession: the study
+// path and the generic traffic path differ only in where queries,
+// relevance, and result recording come from.
+type sessionSpec struct {
+	req     client.CreateSessionRequest
+	pol     simulation.Policy
+	topicID int
+	// short/verbose are the session's query and its reformulation
+	// target.
+	short, verbose string
+	// relevant reports the user's (ground-truth or sampled) relevance
+	// belief for a result.
+	relevant func(shotID string) bool
+	// keepEvents retains the emitted event log on the outcome.
+	keepEvents bool
+	// onPage observes each iteration's fetched page (the study path
+	// evaluates rankings here).
+	onPage func(it int, page *client.SearchPage)
+}
+
+// sessionOutcome reports one driven session.
+type sessionOutcome struct {
+	sessionID    string
+	events       []ilog.Event
+	distinctSeen int
+	// err is the first failure; aborted marks failures caused by
+	// context cancellation (run deadline, Ctrl-C) rather than the
+	// server.
+	err     error
+	aborted bool
+}
+
+// driveSession runs one full virtual-user session — create → N ×
+// (search → examine → events [→ shot views]) → delete — timing every
+// SDK call into the worker's telemetry shard.
+func (w *worker) driveSession(ctx context.Context, spec *sessionSpec) *sessionOutcome {
+	cfg := w.cfg
+	out := &sessionOutcome{}
+	fail := func(err error) *sessionOutcome {
+		out.err = err
+		out.aborted = ctx.Err() != nil
+		if out.aborted {
+			w.col.sessionsAborted++
+		} else {
+			w.col.sessionsFailed++
+		}
+		return out
+	}
+	err := w.col.timed(EndpointCreateSession, func() error {
+		var err error
+		out.sessionID, err = cfg.Client.CreateSession(ctx, spec.req)
+		return err
+	})
+	if err != nil {
+		return fail(err)
+	}
+	defer func() {
+		// Always end the session server-side, even after a failure or
+		// cancellation: a leaked session would skew the server's live
+		// gauge. The delete runs on a detached context so the run
+		// deadline expiring does not turn cleanup into a failure.
+		dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 10*time.Second)
+		defer cancel()
+		delErr := w.col.timed(EndpointDeleteSession, func() error {
+			return cfg.Client.DeleteSession(dctx, out.sessionID)
+		})
+		switch {
+		case out.err != nil:
+		case delErr != nil:
+			out.err = delErr
+			w.col.sessionsFailed++
+		default:
+			w.col.sessions++
+		}
+	}()
+
+	budget := cfg.Iface.SessionBudget
+	seen := map[string]bool{}
+	queryText := spec.short
+	for it := 0; it < cfg.Iterations; it++ {
+		if ctx.Err() != nil {
+			return fail(ctx.Err())
+		}
+		queryText = spec.pol.Reformulate(it, queryText, spec.short, spec.verbose)
+		qCost := cfg.Iface.QueryCost(len(queryText))
+		if budget < qCost {
+			break
+		}
+		budget -= qCost
+
+		var page *client.SearchPage
+		err := w.col.timed(EndpointSearch, func() error {
+			var err error
+			page, err = cfg.Client.Search(ctx, client.SearchRequest{
+				SessionID: out.sessionID, Query: queryText, Limit: cfg.PageLimit,
+			})
+			return err
+		})
+		if err != nil {
+			return fail(err)
+		}
+		w.col.iterations++
+		if spec.onPage != nil {
+			spec.onPage(it, page)
+		}
+
+		// Replay the stereotype's examination of the page, batching
+		// the resulting events (the query event leads the batch, as
+		// in the in-process simulator's log). Views stop at the
+		// stereotype's patience — the policy never looks further.
+		events := []ilog.Event{w.stamp(ilog.Event{
+			Action: ilog.ActionQuery, Query: queryText, Step: it, Rank: -1,
+		}, spec, out.sessionID)}
+		var clicked []string
+		emit := func(e ilog.Event) error {
+			if e.Action == ilog.ActionClickKeyframe {
+				clicked = append(clicked, e.ShotID)
+			}
+			events = append(events, w.stamp(e, spec, out.sessionID))
+			return nil
+		}
+		views := make([]simulation.ResultView, 0, min(len(page.Hits), spec.pol.Stereotype.Patience))
+		for i := range page.Hits {
+			if i >= spec.pol.Stereotype.Patience {
+				break
+			}
+			h := &page.Hits[i]
+			views = append(views, simulation.ResultView{
+				ShotID: h.ShotID, Relevant: spec.relevant(h.ShotID), Seconds: h.Seconds,
+			})
+		}
+		if err := spec.pol.Examine(views, it, seen, &budget, emit); err != nil {
+			return fail(err)
+		}
+		err = w.col.timed(EndpointEvents, func() error {
+			_, err := cfg.Client.SendEvents(ctx, out.sessionID, events)
+			return err
+		})
+		if err != nil {
+			return fail(err)
+		}
+		w.col.events += int64(len(events))
+		if spec.keepEvents {
+			out.events = append(out.events, events...)
+		}
+
+		if cfg.FetchShots {
+			for _, shotID := range clicked {
+				err := w.col.timed(EndpointShot, func() error {
+					_, err := cfg.Client.Shot(ctx, shotID)
+					return err
+				})
+				if err != nil {
+					return fail(err)
+				}
+			}
+		}
+		w.think(ctx)
+	}
+	out.distinctSeen = len(seen)
+	return out
+}
+
+// stamp fills the envelope fields the in-process simulator's emit
+// stamps: real wall-clock time, session, user, interface, topic. The
+// server overrides the session ID on ingest; stamping it anyway keeps
+// locally saved logs valid.
+func (w *worker) stamp(e ilog.Event, spec *sessionSpec, sessionID string) ilog.Event {
+	e.Time = time.Now()
+	e.SessionID = sessionID
+	e.UserID = spec.req.UserID
+	e.Interface = w.cfg.Iface.Name
+	e.TopicID = spec.topicID
+	return e
+}
+
+// think pauses between iterations under closed-loop pacing, jittered
+// ±50% around the configured mean.
+func (w *worker) think(ctx context.Context) {
+	if w.cfg.ThinkTime <= 0 {
+		return
+	}
+	d := time.Duration(float64(w.cfg.ThinkTime) * (0.5 + w.rng.Float64()))
+	select {
+	case <-ctx.Done():
+	case <-time.After(d):
+	}
+}

@@ -1,0 +1,324 @@
+package loadgen_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/loadgen"
+	"repro/internal/simulation"
+	"repro/internal/synth"
+	"repro/internal/ui"
+	"repro/internal/webapi"
+)
+
+// newStack builds a real server over a tiny archive plus an SDK
+// client: loadgen's integration surface is the genuine HTTP stack.
+func newStack(t *testing.T) (*client.Client, *synth.Archive, *webapi.Server) {
+	t.Helper()
+	arch, err := synth.Generate(synth.TinyConfig(), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystemFromCollection(arch.Collection, core.Config{UseImplicit: true, UseProfile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := webapi.NewServer(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c, err := client.New(ts.URL, client.WithTimeout(30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, arch, srv
+}
+
+// queriesFromArchive builds a query pool with ground truth from the
+// archive's evaluation topics.
+func queriesFromArchive(arch *synth.Archive) []loadgen.Query {
+	var out []loadgen.Query
+	for _, topic := range arch.Truth.SearchTopics {
+		rel := map[string]bool{}
+		for shot, g := range arch.Truth.Qrels[topic.ID] {
+			rel[string(shot)] = g >= 1
+		}
+		out = append(out, loadgen.Query{
+			Text: topic.Query, Verbose: topic.Verbose, TopicID: topic.ID, Relevant: rel,
+		})
+	}
+	return out
+}
+
+// TestDriverMatchesServerCounters is the closed-loop scale test: 50
+// concurrent virtual users drive a full simulated-session workload
+// and every client-observed request total must equal the server's
+// /api/v1/metrics counter for the corresponding route.
+func TestDriverMatchesServerCounters(t *testing.T) {
+	c, arch, _ := newStack(t)
+	d, err := loadgen.New(loadgen.Config{
+		Client:     c,
+		Users:      50,
+		Sessions:   120,
+		Iterations: 2,
+		PageLimit:  10,
+		Seed:       7,
+		Queries:    queriesFromArchive(arch),
+		FetchShots: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != 120 || rep.SessionsFailed != 0 {
+		t.Fatalf("sessions = %d ok / %d failed, want 120/0\n%s", rep.Sessions, rep.SessionsFailed, rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("client errors = %d\n%s", rep.Errors, rep)
+	}
+	if rep.Iterations != 240 {
+		t.Errorf("iterations = %d, want 240", rep.Iterations)
+	}
+	if rep.Requests == 0 || rep.RequestsPerSec <= 0 {
+		t.Errorf("empty report: %+v", rep)
+	}
+
+	m, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	routeFor := map[string]string{
+		loadgen.EndpointCreateSession: "POST /api/v1/sessions",
+		loadgen.EndpointSearch:        "GET /api/v1/search",
+		loadgen.EndpointEvents:        "POST /api/v1/events",
+		loadgen.EndpointShot:          "GET /api/v1/shots/{id}",
+		loadgen.EndpointDeleteSession: "DELETE /api/v1/sessions/{id}",
+	}
+	for endpoint, route := range routeFor {
+		clientN := rep.Endpoints[endpoint].Requests
+		serverN := m.Routes[route].Count
+		if clientN == 0 {
+			t.Errorf("endpoint %s saw no traffic", endpoint)
+		}
+		if clientN != serverN {
+			t.Errorf("%s: client total %d != server %s count %d", endpoint, clientN, route, serverN)
+		}
+		if lat := m.Routes[route].Latency; lat.Count != uint64(serverN) {
+			t.Errorf("%s: server latency count %d != route count %d", route, lat.Count, serverN)
+		}
+	}
+	if int64(m.Sessions.Created) != rep.Sessions {
+		t.Errorf("server sessions created = %d, want %d", m.Sessions.Created, rep.Sessions)
+	}
+	if m.Sessions.Live != 0 {
+		t.Errorf("server live sessions = %d after run, want 0 (all deleted)", m.Sessions.Live)
+	}
+	// Latency quantiles must be ordered on both sides.
+	for name, e := range rep.Endpoints {
+		l := e.Latency
+		if l.P50MS > l.P95MS || l.P95MS > l.P99MS || l.P99MS > l.MaxMS*1.1 {
+			t.Errorf("%s: quantiles out of order: %+v", name, l)
+		}
+	}
+	// The report round-trips through JSON (the BENCH summary format).
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back loadgen.Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Requests != rep.Requests || len(back.Endpoints) != len(rep.Endpoints) {
+		t.Errorf("JSON round-trip mismatch: %+v vs %+v", back, rep)
+	}
+}
+
+// TestOpenLoopPacing runs the open-loop arrival process and checks
+// the run honours the duration bound and paces arrivals.
+func TestOpenLoopPacing(t *testing.T) {
+	c, arch, _ := newStack(t)
+	d, err := loadgen.New(loadgen.Config{
+		Client:     c,
+		Users:      8,
+		Sessions:   10,
+		Iterations: 1,
+		Pacing:     loadgen.PacingOpen,
+		Rate:       200,
+		Duration:   10 * time.Second,
+		PageLimit:  5,
+		Seed:       11,
+		Queries:    queriesFromArchive(arch),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := rep.Sessions + rep.SessionsFailed + rep.DroppedArrivals
+	if done < 10 {
+		t.Fatalf("open loop finished %d of 10 arrivals\n%s", done, rep)
+	}
+	// 10 arrivals at 200/s take >= ~45ms of pacing.
+	if rep.ElapsedSeconds < 0.04 {
+		t.Errorf("open loop too fast for the arrival rate: %.3fs", rep.ElapsedSeconds)
+	}
+}
+
+// TestRunStudyRemote replays a small (user, topic) study over HTTP
+// and checks it produces evaluated sessions like the in-process
+// study.
+func TestRunStudyRemote(t *testing.T) {
+	c, arch, srv := newStack(t)
+	users := simulation.MakeUsers(3)
+	topics := arch.Truth.SearchTopics
+	if len(topics) > 4 {
+		topics = topics[:4]
+	}
+	pairs := simulation.AllPairs(users, topics)
+	res, err := loadgen.RunStudy(context.Background(), loadgen.StudyConfig{
+		Client:     c,
+		Workers:    6,
+		Iterations: 2,
+		PageLimit:  50,
+		Qrels:      arch.Truth.Qrels,
+		Seed:       2008,
+	}, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("failed sessions: %d\n%s", res.Failed, res.Report)
+	}
+	if len(res.Sessions) != len(pairs) {
+		t.Fatalf("sessions = %d, want %d", len(res.Sessions), len(pairs))
+	}
+	if len(res.Events) == 0 {
+		t.Error("study produced no events")
+	}
+	for i := range res.Events {
+		if err := res.Events[i].Validate(); err != nil {
+			t.Fatalf("event %d invalid (log would not save): %v", i, err)
+		}
+	}
+	for _, sr := range res.Sessions {
+		if len(sr.PerIteration) == 0 || len(sr.FinalRanking) == 0 {
+			t.Fatalf("session %s has no evaluated iterations", sr.SessionID)
+		}
+	}
+	if res.MeanFinal.AP < 0 || res.MeanFinal.AP > 1 {
+		t.Errorf("mean final AP = %v", res.MeanFinal.AP)
+	}
+	if res.Report.Sessions != int64(len(pairs)) {
+		t.Errorf("report sessions = %d, want %d", res.Report.Sessions, len(pairs))
+	}
+	// All sessions were deleted server-side.
+	if live := srv.Manager().Stats().Live; live != 0 {
+		t.Errorf("server live sessions after study = %d, want 0", live)
+	}
+}
+
+// TestStudyReproducible: same seed, same pairs -> identical event
+// logs per pair, despite concurrent completion order.
+func TestStudyReproducible(t *testing.T) {
+	c, arch, _ := newStack(t)
+	users := simulation.MakeUsers(2)
+	topics := arch.Truth.SearchTopics[:2]
+	pairs := simulation.AllPairs(users, topics)
+	run := func() *loadgen.StudyResult {
+		res, err := loadgen.RunStudy(context.Background(), loadgen.StudyConfig{
+			Client: c, Workers: 4, Iterations: 2, PageLimit: 20,
+			Qrels: arch.Truth.Qrels, Seed: 99,
+		}, pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed != 0 {
+			t.Fatalf("failed sessions: %d", res.Failed)
+		}
+		return res
+	}
+	a, b := run(), run()
+	for i := range a.Sessions {
+		ae, be := a.Sessions[i].Events, b.Sessions[i].Events
+		if len(ae) != len(be) {
+			t.Fatalf("pair %d: %d events vs %d", i, len(ae), len(be))
+		}
+		for j := range ae {
+			if ae[j].Action != be[j].Action || ae[j].ShotID != be[j].ShotID || ae[j].Rank != be[j].Rank {
+				t.Fatalf("pair %d event %d differs: %+v vs %+v", i, j, ae[j], be[j])
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	c, arch, _ := newStack(t)
+	queries := queriesFromArchive(arch)
+	cases := []loadgen.Config{
+		{},                            // nil client
+		{Client: c},                   // no queries
+		{Client: c, Queries: queries}, // unbounded (no Sessions/Duration)
+		{Client: c, Queries: queries, Sessions: 1, Pacing: loadgen.PacingOpen},               // open loop without rate
+		{Client: c, Queries: queries, Sessions: 1, Pacing: "weird"},                          // unknown pacing
+		{Client: c, Queries: queries, Sessions: 1, RelevanceRate: 2},                         // bad relevance rate
+		{Client: c, Queries: queries, Sessions: 1, ThinkTime: -time.Second},                  // negative
+		{Client: c, Queries: queries, Sessions: 1, Iface: &ui.Interface{}},                   // invalid iface
+		{Client: c, Queries: queries, Sessions: 1, Stereotypes: []simulation.Stereotype{{}}}, // invalid stereotype
+	}
+	for i, cfg := range cases {
+		if _, err := loadgen.New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := loadgen.New(loadgen.Config{Client: c, Queries: queries, Sessions: 1}); err != nil {
+		t.Errorf("minimal valid config rejected: %v", err)
+	}
+}
+
+// TestDurationExpiryAbortsCleanly: when the run deadline cuts
+// sessions short, they count as aborted (not failed) and are still
+// deleted server-side via the detached cleanup context.
+func TestDurationExpiryAbortsCleanly(t *testing.T) {
+	c, arch, srv := newStack(t)
+	d, err := loadgen.New(loadgen.Config{
+		Client:     c,
+		Users:      4,
+		Sessions:   0, // duration-bound
+		Iterations: 100,
+		ThinkTime:  40 * time.Millisecond,
+		Duration:   250 * time.Millisecond,
+		PageLimit:  5,
+		Seed:       3,
+		Queries:    queriesFromArchive(arch),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SessionsFailed != 0 {
+		t.Fatalf("deadline expiry marked %d sessions failed (want aborted)\n%s", rep.SessionsFailed, rep)
+	}
+	if rep.SessionsAborted == 0 {
+		t.Fatalf("no sessions aborted at the deadline; report:\n%s", rep)
+	}
+	if live := srv.Manager().Stats().Live; live != 0 {
+		t.Errorf("aborted sessions leaked server-side: %d live", live)
+	}
+}

@@ -1,0 +1,156 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// endpointShard is one worker's telemetry for one endpoint. Counters
+// are worker-local (single writer, read only after the pool joins);
+// the histogram is atomic anyway, letting report code merge shards
+// without coordination.
+type endpointShard struct {
+	count  int64
+	errors int64
+	hist   *metrics.Histogram
+}
+
+// shardCollector is one worker's full telemetry: per-endpoint shards
+// plus workload counters. Never shared between goroutines.
+type shardCollector struct {
+	endpoints       map[string]*endpointShard
+	sessions        int64
+	sessionsFailed  int64
+	sessionsAborted int64
+	iterations      int64
+	events          int64
+}
+
+func newShardCollector() *shardCollector {
+	return &shardCollector{endpoints: make(map[string]*endpointShard)}
+}
+
+func (c *shardCollector) endpoint(name string) *endpointShard {
+	sh := c.endpoints[name]
+	if sh == nil {
+		sh = &endpointShard{hist: &metrics.Histogram{}}
+		c.endpoints[name] = sh
+	}
+	return sh
+}
+
+// timed runs one client call, recording its latency and outcome.
+func (c *shardCollector) timed(name string, fn func() error) error {
+	start := time.Now()
+	err := fn()
+	sh := c.endpoint(name)
+	sh.hist.Observe(time.Since(start))
+	sh.count++
+	if err != nil {
+		sh.errors++
+	}
+	return err
+}
+
+// EndpointStats is one endpoint's merged client-side view.
+type EndpointStats struct {
+	Requests int64                  `json:"requests"`
+	Errors   int64                  `json:"errors"`
+	Latency  metrics.LatencySummary `json:"latency"`
+}
+
+// Report is the outcome of a load run: workload totals plus
+// per-endpoint throughput and latency quantiles. Marshal it for a
+// machine-readable BENCH summary; String renders the human table.
+type Report struct {
+	Users          int     `json:"users"`
+	Pacing         Pacing  `json:"pacing"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	Sessions       int64   `json:"sessions"`
+	SessionsFailed int64   `json:"sessions_failed"`
+	// SessionsAborted counts sessions cut short by the run deadline
+	// or cancellation — incomplete, but not server failures.
+	SessionsAborted int64                    `json:"sessions_aborted,omitempty"`
+	Iterations      int64                    `json:"iterations"`
+	EventsSent      int64                    `json:"events_sent"`
+	Requests        int64                    `json:"requests"`
+	Errors          int64                    `json:"errors"`
+	DroppedArrivals int64                    `json:"dropped_arrivals,omitempty"`
+	RequestsPerSec  float64                  `json:"requests_per_sec"`
+	Endpoints       map[string]EndpointStats `json:"endpoints"`
+}
+
+// buildReport merges the per-worker shards into one report.
+func buildReport(cfg *Config, shards []*shardCollector, elapsed time.Duration) *Report {
+	rep := &Report{
+		Users:          cfg.Users,
+		Pacing:         cfg.Pacing,
+		ElapsedSeconds: elapsed.Seconds(),
+		Endpoints:      make(map[string]EndpointStats),
+	}
+	merged := make(map[string]*endpointShard)
+	for _, col := range shards {
+		rep.Sessions += col.sessions
+		rep.SessionsFailed += col.sessionsFailed
+		rep.SessionsAborted += col.sessionsAborted
+		rep.Iterations += col.iterations
+		rep.EventsSent += col.events
+		for name, sh := range col.endpoints {
+			m := merged[name]
+			if m == nil {
+				m = &endpointShard{hist: &metrics.Histogram{}}
+				merged[name] = m
+			}
+			m.count += sh.count
+			m.errors += sh.errors
+			m.hist.Merge(sh.hist)
+		}
+	}
+	for name, m := range merged {
+		rep.Endpoints[name] = EndpointStats{
+			Requests: m.count,
+			Errors:   m.errors,
+			Latency:  m.hist.Summary(),
+		}
+		rep.Requests += m.count
+		rep.Errors += m.errors
+	}
+	if rep.ElapsedSeconds > 0 {
+		rep.RequestsPerSec = float64(rep.Requests) / rep.ElapsedSeconds
+	}
+	return rep
+}
+
+// String renders the report as the table ivrload prints.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadgen: %d users, %s pacing, %.2fs\n", r.Users, r.Pacing, r.ElapsedSeconds)
+	fmt.Fprintf(&b, "  sessions: %d ok, %d failed", r.Sessions, r.SessionsFailed)
+	if r.SessionsAborted > 0 {
+		fmt.Fprintf(&b, ", %d aborted at deadline", r.SessionsAborted)
+	}
+	fmt.Fprintf(&b, "   iterations: %d   events sent: %d\n", r.Iterations, r.EventsSent)
+	fmt.Fprintf(&b, "  requests: %d (%.1f/s), %d errors", r.Requests, r.RequestsPerSec, r.Errors)
+	if r.DroppedArrivals > 0 {
+		fmt.Fprintf(&b, ", %d arrivals dropped (server saturated)", r.DroppedArrivals)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "  %-16s %9s %7s %9s %9s %9s %9s %9s\n",
+		"endpoint", "requests", "errors", "mean", "p50", "p95", "p99", "max")
+	names := make([]string, 0, len(r.Endpoints))
+	for name := range r.Endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := r.Endpoints[name]
+		fmt.Fprintf(&b, "  %-16s %9d %7d %8.1fms %8.1fms %8.1fms %8.1fms %8.1fms\n",
+			name, e.Requests, e.Errors,
+			e.Latency.MeanMS, e.Latency.P50MS, e.Latency.P95MS, e.Latency.P99MS, e.Latency.MaxMS)
+	}
+	return b.String()
+}

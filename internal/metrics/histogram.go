@@ -1,0 +1,176 @@
+// Package metrics provides the telemetry substrate for serving and
+// load-testing the retrieval system at scale: lock-free latency
+// histograms, per-route request counters, and an in-flight gauge,
+// snapshotted into a stable JSON schema served at /api/v1/metrics and
+// consumed by cmd/ivrload.
+//
+// Everything on the hot path is a single atomic add: recording one
+// request touches no mutex, so a thousand concurrent handlers (or a
+// thousand load-generator workers, each owning a histogram shard)
+// never serialize on telemetry.
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket geometry: microsecond-resolution HDR-style
+// log-linear buckets. Values below 2^subBits microseconds land in
+// exact unit buckets; above that, each power-of-two octave is split
+// into 2^subBits linear sub-buckets, bounding relative error at
+// 1/2^subBits (~6%) across the full range (1µs .. ~75min), which is
+// more than enough fidelity for p50/p95/p99 latency reporting.
+const (
+	subBits    = 4
+	subBuckets = 1 << subBits // 16
+	numBuckets = 48 << subBits
+)
+
+// bucketIndex maps a microsecond value to its bucket.
+func bucketIndex(us uint64) int {
+	if us < subBuckets {
+		return int(us)
+	}
+	exp := bits.Len64(us) - 1 // position of the most significant bit, >= subBits
+	idx := (exp-subBits+1)<<subBits + int((us>>(uint(exp)-subBits))&(subBuckets-1))
+	if idx >= numBuckets {
+		return numBuckets - 1
+	}
+	return idx
+}
+
+// bucketMid returns a representative (midpoint) microsecond value for
+// a bucket, used when interpolating quantiles.
+func bucketMid(idx int) float64 {
+	if idx < subBuckets {
+		return float64(idx)
+	}
+	octave := idx >> subBits // >= 1
+	sub := idx & (subBuckets - 1)
+	lower := uint64(subBuckets+sub) << (uint(octave) - 1)
+	width := uint64(1) << (uint(octave) - 1)
+	return float64(lower) + float64(width)/2
+}
+
+// Histogram is a fixed-size, lock-free latency histogram. The zero
+// value is ready to use. Safe for concurrent Observe and Snapshot;
+// snapshots taken under concurrent writes are internally consistent
+// enough for reporting (counts are monotone, never torn).
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sumUS   atomic.Uint64
+	maxUS   atomic.Uint64
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	us := uint64(0)
+	if d > 0 {
+		us = uint64(d.Microseconds())
+	}
+	h.buckets[bucketIndex(us)].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(us)
+	for {
+		cur := h.maxUS.Load()
+		if us <= cur || h.maxUS.CompareAndSwap(cur, us) {
+			return
+		}
+	}
+}
+
+// Count returns how many observations have been recorded.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Merge folds other's observations into h (used to combine per-worker
+// shards after a load run). other should be quiescent.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for i := range other.buckets {
+		if n := other.buckets[i].Load(); n > 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sumUS.Add(other.sumUS.Load())
+	om := other.maxUS.Load()
+	for {
+		cur := h.maxUS.Load()
+		if om <= cur || h.maxUS.CompareAndSwap(cur, om) {
+			return
+		}
+	}
+}
+
+// LatencySummary is the JSON form of a histogram: mean, max, and the
+// standard reporting quantiles, all in milliseconds.
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// Summary snapshots the histogram into reporting form.
+func (h *Histogram) Summary() LatencySummary {
+	var counts [numBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := LatencySummary{Count: total}
+	if total == 0 {
+		return s
+	}
+	s.MeanMS = float64(h.sumUS.Load()) / float64(total) / 1e3
+	s.MaxMS = float64(h.maxUS.Load()) / 1e3
+	s.P50MS = quantile(&counts, total, 0.50)
+	s.P95MS = quantile(&counts, total, 0.95)
+	s.P99MS = quantile(&counts, total, 0.99)
+	return s
+}
+
+// Quantile estimates the q-th (0..1) latency quantile.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	var counts [numBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	return time.Duration(quantile(&counts, total, q) * float64(time.Millisecond))
+}
+
+// quantile walks the cumulative bucket counts and returns the bucket
+// midpoint at rank q*total, in milliseconds.
+func quantile(counts *[numBuckets]uint64, total uint64, q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i := range counts {
+		cum += counts[i]
+		if cum > rank {
+			return bucketMid(i) / 1e3
+		}
+	}
+	return bucketMid(numBuckets-1) / 1e3
+}

@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for us := uint64(0); us < 1<<20; us += 97 {
+		idx := bucketIndex(us)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %dus: %d < %d", us, idx, prev)
+		}
+		if idx >= numBuckets {
+			t.Fatalf("bucketIndex out of range at %dus: %d", us, idx)
+		}
+		prev = idx
+	}
+}
+
+func TestBucketMidWithinRelativeError(t *testing.T) {
+	for _, us := range []uint64{1, 15, 16, 17, 100, 999, 12345, 1_000_000, 60_000_000} {
+		mid := bucketMid(bucketIndex(us))
+		rel := math.Abs(mid-float64(us)) / float64(us)
+		if rel > 1.0/subBuckets {
+			t.Fatalf("bucketMid(%dus)=%v, relative error %.3f > %.3f", us, mid, rel, 1.0/subBuckets)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// Uniform 1..1000 ms.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Summary()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	checks := []struct {
+		got, want float64
+	}{
+		{s.P50MS, 500}, {s.P95MS, 950}, {s.P99MS, 990}, {s.MeanMS, 500.5}, {s.MaxMS, 1000},
+	}
+	for i, c := range checks {
+		if math.Abs(c.got-c.want)/c.want > 0.08 {
+			t.Errorf("check %d: got %.1fms, want ~%.1fms", i, c.got, c.want)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, whole Histogram
+	for i := 1; i <= 500; i++ {
+		a.Observe(time.Duration(i) * time.Millisecond)
+		whole.Observe(time.Duration(i) * time.Millisecond)
+	}
+	for i := 501; i <= 1000; i++ {
+		b.Observe(time.Duration(i) * time.Millisecond)
+		whole.Observe(time.Duration(i) * time.Millisecond)
+	}
+	a.Merge(&b)
+	am, wm := a.Summary(), whole.Summary()
+	if am != wm {
+		t.Fatalf("merged summary %+v != whole summary %+v", am, wm)
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-time.Second)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	if s := h.Summary(); s.MaxMS != 0 {
+		t.Fatalf("max = %v, want 0", s.MaxMS)
+	}
+}
+
+// TestConcurrentRecording hammers one registry from many goroutines
+// under -race: concurrent observes on shared routes, route creation,
+// in-flight flips, and snapshots.
+func TestConcurrentRecording(t *testing.T) {
+	g := NewRegistry()
+	const workers = 32
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			shared := g.Route("GET /shared")
+			own := g.Route(fmt.Sprintf("GET /own/%d", w%8))
+			for i := 0; i < perWorker; i++ {
+				done := g.IncInFlight()
+				status := 200
+				if i%50 == 0 {
+					status = 404
+				}
+				if i%100 == 0 {
+					status = 500
+				}
+				d := time.Duration(i%997) * time.Microsecond
+				shared.Observe(status, d)
+				own.Observe(200, d)
+				done()
+				if i%500 == 0 {
+					_ = g.TakeSnapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := g.TakeSnapshot()
+	if snap.InFlight != 0 {
+		t.Fatalf("in-flight = %d after all done", snap.InFlight)
+	}
+	shared := snap.Routes["GET /shared"]
+	if shared.Count != workers*perWorker {
+		t.Fatalf("shared count = %d, want %d", shared.Count, workers*perWorker)
+	}
+	var statusSum int64
+	for _, n := range shared.Status {
+		statusSum += n
+	}
+	if statusSum != shared.Count {
+		t.Fatalf("status sum %d != count %d", statusSum, shared.Count)
+	}
+	if shared.Latency.Count != uint64(shared.Count) {
+		t.Fatalf("latency count %d != route count %d", shared.Latency.Count, shared.Count)
+	}
+	if snap.Totals.Requests != 2*workers*perWorker {
+		t.Fatalf("total requests = %d, want %d", snap.Totals.Requests, 2*workers*perWorker)
+	}
+	wantErr5 := int64(workers * perWorker / 100)
+	if snap.Totals.Errors5xx != wantErr5 {
+		t.Fatalf("5xx = %d, want %d", snap.Totals.Errors5xx, wantErr5)
+	}
+}
+
+func TestInFlightGaugeIdempotentDone(t *testing.T) {
+	g := NewRegistry()
+	done := g.IncInFlight()
+	if g.InFlight() != 1 {
+		t.Fatalf("in-flight = %d, want 1", g.InFlight())
+	}
+	done()
+	done() // second call must not double-decrement
+	if g.InFlight() != 0 {
+		t.Fatalf("in-flight = %d, want 0", g.InFlight())
+	}
+}
+
+func BenchmarkRouteObserve(b *testing.B) {
+	g := NewRegistry()
+	rs := g.Route("GET /bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			rs.Observe(200, 123*time.Microsecond)
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// statusSlots bounds the per-route status-code table (codes 100..699
+// map to slots 0..599; anything outside clamps into the table edges).
+const (
+	statusBase  = 100
+	statusSlots = 600
+)
+
+// RouteStats accumulates telemetry for one route pattern. All methods
+// are lock-free; safe for concurrent use.
+type RouteStats struct {
+	count   atomic.Int64
+	status  [statusSlots]atomic.Int64
+	latency Histogram
+}
+
+// Observe records one completed request on the route.
+func (r *RouteStats) Observe(status int, d time.Duration) {
+	r.count.Add(1)
+	slot := status - statusBase
+	if slot < 0 {
+		slot = 0
+	}
+	if slot >= statusSlots {
+		slot = statusSlots - 1
+	}
+	r.status[slot].Add(1)
+	r.latency.Observe(d)
+}
+
+// Count returns the total requests observed on the route.
+func (r *RouteStats) Count() int64 { return r.count.Load() }
+
+// Registry is the server-wide telemetry root: per-route stats, an
+// in-flight request gauge, and the process start time. Route creation
+// takes a write lock once per pattern; the steady state is an RLock
+// map read plus atomic adds.
+type Registry struct {
+	mu       sync.RWMutex
+	routes   map[string]*RouteStats
+	inFlight atomic.Int64
+	start    time.Time
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{routes: make(map[string]*RouteStats), start: time.Now()}
+}
+
+// Route returns the stats bucket for a route pattern, creating it on
+// first use. Handlers should capture the result once at registration
+// time rather than re-resolving per request.
+func (g *Registry) Route(pattern string) *RouteStats {
+	g.mu.RLock()
+	rs := g.routes[pattern]
+	g.mu.RUnlock()
+	if rs != nil {
+		return rs
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if rs = g.routes[pattern]; rs == nil {
+		rs = &RouteStats{}
+		g.routes[pattern] = rs
+	}
+	return rs
+}
+
+// IncInFlight marks one request as started and returns a func marking
+// it finished.
+func (g *Registry) IncInFlight() func() {
+	g.inFlight.Add(1)
+	var once sync.Once
+	return func() { once.Do(func() { g.inFlight.Add(-1) }) }
+}
+
+// InFlight reports the number of requests currently being served.
+func (g *Registry) InFlight() int64 { return g.inFlight.Load() }
+
+// RouteSnapshot is one route's JSON form.
+type RouteSnapshot struct {
+	Count int64 `json:"count"`
+	// Status maps status code ("200") to request count.
+	Status  map[string]int64 `json:"status"`
+	Latency LatencySummary   `json:"latency"`
+}
+
+// Totals aggregates across routes.
+type Totals struct {
+	Requests  int64 `json:"requests"`
+	Errors4xx int64 `json:"errors_4xx"`
+	Errors5xx int64 `json:"errors_5xx"`
+}
+
+// Snapshot is the registry's JSON form: the /api/v1/metrics schema
+// (the serving layer adds session-table stats alongside it).
+type Snapshot struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	InFlight      int64                    `json:"in_flight"`
+	Totals        Totals                   `json:"totals"`
+	Routes        map[string]RouteSnapshot `json:"routes"`
+}
+
+// TakeSnapshot captures the registry. Concurrent recording continues;
+// the snapshot is a consistent-enough point-in-time view (per-counter
+// atomicity, no torn values).
+func (g *Registry) TakeSnapshot() Snapshot {
+	g.mu.RLock()
+	patterns := make([]string, 0, len(g.routes))
+	for p := range g.routes {
+		patterns = append(patterns, p)
+	}
+	sort.Strings(patterns)
+	stats := make([]*RouteStats, len(patterns))
+	for i, p := range patterns {
+		stats[i] = g.routes[p]
+	}
+	g.mu.RUnlock()
+
+	snap := Snapshot{
+		UptimeSeconds: time.Since(g.start).Seconds(),
+		InFlight:      g.inFlight.Load(),
+		Routes:        make(map[string]RouteSnapshot, len(patterns)),
+	}
+	for i, p := range patterns {
+		rs := stats[i]
+		r := RouteSnapshot{
+			Count:   rs.count.Load(),
+			Status:  make(map[string]int64),
+			Latency: rs.latency.Summary(),
+		}
+		for slot := range rs.status {
+			n := rs.status[slot].Load()
+			if n == 0 {
+				continue
+			}
+			code := slot + statusBase
+			r.Status[strconv.Itoa(code)] = n
+			switch {
+			case code >= 500:
+				snap.Totals.Errors5xx += n
+			case code >= 400:
+				snap.Totals.Errors4xx += n
+			}
+		}
+		snap.Totals.Requests += r.Count
+		snap.Routes[p] = r
+	}
+	return snap
+}

@@ -23,6 +23,7 @@ type Simulator struct {
 	sys   *core.System
 	iface *ui.Interface
 	st    Stereotype
+	pol   Policy
 	r     *rand.Rand
 	clock time.Time
 }
@@ -38,12 +39,14 @@ func New(arch *synth.Archive, sys *core.System, iface *ui.Interface, st Stereoty
 	if err := iface.Validate(); err != nil {
 		return nil, err
 	}
+	r := rand.New(rand.NewSource(seed))
 	return &Simulator{
 		arch:  arch,
 		sys:   sys,
 		iface: iface,
 		st:    st,
-		r:     rand.New(rand.NewSource(seed)),
+		pol:   Policy{Stereotype: st, Iface: iface, Rand: r},
+		r:     r,
 		clock: arch.Config.StartDate.AddDate(0, 1, 0), // study period after recording
 	}, nil
 }
@@ -132,12 +135,8 @@ func (s *Simulator) RunSession(sessionID string, user *profile.Profile,
 	queryText := topic.Query
 	for it := 0; it < maxIterations; it++ {
 		// Persistent users may reformulate to the verbose form after
-		// an unsatisfying first pass. The probability check is guarded
-		// so non-reformulating stereotypes consume no randomness here.
-		if s.st.ReformulateProb > 0 && it > 0 && queryText == topic.Query &&
-			topic.Verbose != "" && s.r.Float64() < s.st.ReformulateProb {
-			queryText = topic.Verbose
-		}
+		// an unsatisfying first pass.
+		queryText = s.pol.Reformulate(it, queryText, topic.Query, topic.Verbose)
 		qCost := s.iface.QueryCost(len(queryText))
 		if budget < qCost {
 			break
@@ -241,125 +240,20 @@ func (s *Simulator) RunDriftSession(sessionID string, user *profile.Profile,
 	return res, nil
 }
 
-// examine walks the user down the result list, generating interaction
-// events under the stereotype until patience or budget is exhausted.
+// examine adapts the shared behaviour policy to in-process results:
+// relevance comes from the ground-truth qrels and shot durations from
+// the archive. Views stop at the stereotype's patience — the policy
+// never looks further, so resolving deeper durations would be wasted
+// collection lookups on the experiment hot path.
 func (s *Simulator) examine(ids []string, step int, judg eval.Judgments,
 	seen map[string]bool, budget *float64, emit func(ilog.Event) error) error {
 
-	browseCost := s.iface.ActionCost(ilog.ActionBrowse)
-	for rank, id := range ids {
-		if rank >= s.st.Patience {
-			break
-		}
-		// Paging: every PageSize results costs one browse action.
-		if rank > 0 && rank%s.iface.PageSize == 0 {
-			if *budget < browseCost {
-				break
-			}
-			*budget -= browseCost
-		}
-		seen[id] = true
-		truth := judg[id] >= 1
-		// The examined item leaves a (weak) browse trace.
-		if err := emit(ilog.Event{Action: ilog.ActionBrowse, ShotID: id, Step: step, Rank: rank}); err != nil {
-			return err
-		}
-		// Perception of relevance from keyframe + title.
-		perceived := truth
-		if s.r.Float64() > s.st.Accuracy {
-			perceived = !perceived
-		}
-		clickP := s.st.ClickNonRel
-		if perceived {
-			clickP = s.st.ClickRel
-		}
-		if s.r.Float64() >= clickP {
-			continue
-		}
-		// Highlight metadata before committing to playback.
-		if s.iface.Supports(ilog.ActionHighlight) && s.r.Float64() < s.st.HighlightProb {
-			cost := s.iface.ActionCost(ilog.ActionHighlight)
-			if *budget >= cost {
-				*budget -= cost
-				if err := emit(ilog.Event{Action: ilog.ActionHighlight, ShotID: id, Step: step, Rank: rank}); err != nil {
-					return err
-				}
-			}
-		}
-		// Click to start playback.
-		clickCost := s.iface.ActionCost(ilog.ActionClickKeyframe)
-		if *budget < clickCost {
-			break
-		}
-		*budget -= clickCost
-		if err := emit(ilog.Event{Action: ilog.ActionClickKeyframe, ShotID: id, Step: step, Rank: rank}); err != nil {
-			return err
-		}
-		// Play: dwell governed by true relevance (the user finds out).
-		playCost := s.iface.ActionCost(ilog.ActionPlay)
-		if *budget < playCost {
-			break
-		}
-		*budget -= playCost
-		frac := s.st.PlayFracNonRel
-		if truth {
-			frac = s.st.PlayFracRel
-		}
-		// Jitter ±25% of the mean fraction, clamped to [0.02, 1].
-		frac *= 0.75 + s.r.Float64()*0.5
-		if frac > 1 {
-			frac = 1
-		}
-		if frac < 0.02 {
-			frac = 0.02
-		}
-		shotSecs := s.shotSeconds(id)
-		if err := emit(ilog.Event{
-			Action: ilog.ActionPlay, ShotID: id, Step: step, Rank: rank,
-			Seconds: frac * shotSecs,
-		}); err != nil {
-			return err
-		}
-		// Slide/scrub within the playing video.
-		if s.iface.Supports(ilog.ActionSlide) && s.r.Float64() < s.st.SlideProb {
-			cost := s.iface.ActionCost(ilog.ActionSlide)
-			if *budget >= cost {
-				*budget -= cost
-				if err := emit(ilog.Event{
-					Action: ilog.ActionSlide, ShotID: id, Step: step, Rank: rank,
-					Seconds: shotSecs * 0.3,
-				}); err != nil {
-					return err
-				}
-			}
-		}
-		// Explicit rating after viewing; propensity scales with how
-		// prominent the rating affordance is in this environment.
-		rateP := s.st.RateProb * s.iface.RateAffinity
-		if rateP > 1 {
-			rateP = 1
-		}
-		if s.iface.Supports(ilog.ActionRate) && s.r.Float64() < rateP {
-			cost := s.iface.ActionCost(ilog.ActionRate)
-			if *budget >= cost {
-				*budget -= cost
-				verdict := truth
-				if s.r.Float64() > s.st.RateAccuracy {
-					verdict = !verdict
-				}
-				value := -1
-				if verdict {
-					value = 1
-				}
-				if err := emit(ilog.Event{
-					Action: ilog.ActionRate, ShotID: id, Step: step, Rank: rank, Value: value,
-				}); err != nil {
-					return err
-				}
-			}
-		}
+	n := min(len(ids), s.st.Patience)
+	views := make([]ResultView, n)
+	for i, id := range ids[:n] {
+		views[i] = ResultView{ShotID: id, Relevant: judg[id] >= 1, Seconds: s.shotSeconds(id)}
 	}
-	return nil
+	return s.pol.Examine(views, step, seen, budget, emit)
 }
 
 // shotSeconds resolves a shot's duration.

@@ -59,6 +59,42 @@ func (r *statusRecorder) Flush() {
 	}
 }
 
+// instrument wraps one route's handler with telemetry: the route's
+// request counter (by status), its latency histogram, and the global
+// in-flight gauge. It reuses the outer middleware's statusRecorder
+// when present so the chain adds no extra wrapper allocation.
+func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	rs := s.metrics.Route(pattern)
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec, ok := w.(*statusRecorder)
+		if !ok {
+			rec = &statusRecorder{ResponseWriter: w}
+			w = rec
+		}
+		done := s.metrics.IncInFlight()
+		start := time.Now()
+		finished := false
+		defer func() {
+			done()
+			status := rec.status
+			if status == 0 {
+				if finished {
+					// The handler returned without writing; net/http
+					// will send 200 with an empty body.
+					status = http.StatusOK
+				} else {
+					// Unwinding a panic; the recovery middleware turns
+					// it into a 500 after this records.
+					status = http.StatusInternalServerError
+				}
+			}
+			rs.Observe(status, time.Since(start))
+		}()
+		h(w, r)
+		finished = true
+	}
+}
+
 // withMiddleware wraps next with the server's standard chain:
 // request-ID propagation, request logging, and panic recovery into a
 // 500 error envelope.

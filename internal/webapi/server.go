@@ -11,6 +11,7 @@
 // {"error":{"code":"...","message":"..."}}):
 //
 //	POST   /api/v1/sessions                       create a session (optional profile)
+//	GET    /api/v1/sessions                       paginated live-session listing
 //	GET    /api/v1/sessions/{id}                  session state
 //	DELETE /api/v1/sessions/{id}                  end a session
 //	GET    /api/v1/search?session=&q=             adapted search; &offset=&limit= paginate,
@@ -20,6 +21,8 @@
 //	POST   /api/v1/events                         feed a batch of interaction events
 //	GET    /api/v1/shots/{id}                     shot metadata
 //	GET    /api/v1/healthz                        liveness + session stats
+//	GET    /api/v1/metrics                        telemetry snapshot (per-route counters,
+//	                                              latency quantiles, session-table stats)
 //
 // Legacy unversioned /api/... paths respond 308 Permanent Redirect to
 // the /api/v1 equivalent. Every response carries an X-Request-Id
@@ -40,6 +43,7 @@ import (
 	"repro/internal/collection"
 	"repro/internal/core"
 	"repro/internal/ilog"
+	"repro/internal/metrics"
 	"repro/internal/profile"
 )
 
@@ -64,6 +68,7 @@ type Server struct {
 	sys     *core.System
 	mgr     *core.SessionManager
 	log     *slog.Logger
+	metrics *metrics.Registry
 	ownsMgr bool
 	handler http.Handler
 }
@@ -111,7 +116,7 @@ func NewServer(sys *core.System, opts ...Option) (*Server, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	s := &Server{sys: sys, mgr: cfg.mgr, log: cfg.logger}
+	s := &Server{sys: sys, mgr: cfg.mgr, log: cfg.logger, metrics: metrics.NewRegistry()}
 	if s.log == nil {
 		s.log = slog.New(slog.DiscardHandler)
 	}
@@ -133,6 +138,9 @@ func NewServer(sys *core.System, opts ...Option) (*Server, error) {
 // Manager exposes the session manager (ops and tests).
 func (s *Server) Manager() *core.SessionManager { return s.mgr }
 
+// Metrics exposes the server's telemetry registry (ops and tests).
+func (s *Server) Metrics() *metrics.Registry { return s.metrics }
+
 // Close stops the session manager when the server owns it.
 func (s *Server) Close() error {
 	if s.ownsMgr {
@@ -144,21 +152,35 @@ func (s *Server) Close() error {
 // Handler returns the middleware-wrapped route table.
 func (s *Server) Handler() http.Handler { return s.handler }
 
+// Telemetry labels for the two catch-all handlers (real routes are
+// labelled by their mux pattern).
+const (
+	routeLegacy    = "legacy /api/"
+	routeUnmatched = "unmatched"
+)
+
 // routes builds the versioned route table plus the legacy redirect.
+// Every handler is registered through instrument, which feeds the
+// route's counter and latency histogram in the metrics registry.
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/v1/sessions", s.handleCreateSession)
-	mux.HandleFunc("GET /api/v1/sessions/{id}", s.handleGetSession)
-	mux.HandleFunc("DELETE /api/v1/sessions/{id}", s.handleDeleteSession)
-	mux.HandleFunc("GET /api/v1/search", s.handleSearch)
-	mux.HandleFunc("GET /api/v1/search/stream", s.handleSearchStream)
-	mux.HandleFunc("POST /api/v1/events", s.handleEvents)
-	mux.HandleFunc("GET /api/v1/shots/{id}", s.handleShot)
-	mux.HandleFunc("GET /api/v1/healthz", s.handleHealthz)
-	mux.HandleFunc("/api/", s.handleLegacy)
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	handle("POST /api/v1/sessions", s.handleCreateSession)
+	handle("GET /api/v1/sessions", s.handleListSessions)
+	handle("GET /api/v1/sessions/{id}", s.handleGetSession)
+	handle("DELETE /api/v1/sessions/{id}", s.handleDeleteSession)
+	handle("GET /api/v1/search", s.handleSearch)
+	handle("GET /api/v1/search/stream", s.handleSearchStream)
+	handle("POST /api/v1/events", s.handleEvents)
+	handle("GET /api/v1/shots/{id}", s.handleShot)
+	handle("GET /api/v1/healthz", s.handleHealthz)
+	handle("GET /api/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("/api/", s.instrument(routeLegacy, s.handleLegacy))
+	mux.HandleFunc("/", s.instrument(routeUnmatched, func(w http.ResponseWriter, r *http.Request) {
 		writeCode(w, http.StatusNotFound, codeNotFound, "no route %s %s", r.Method, r.URL.Path)
-	})
+	}))
 	return mux
 }
 
@@ -312,6 +334,95 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// sessionListEntry is one row of the sessions listing.
+type sessionListEntry struct {
+	SessionID   string  `json:"session_id"`
+	IdleSeconds float64 `json:"idle_seconds"`
+	Step        int     `json:"step"`
+	Evidence    int     `json:"evidence"`
+	SeenShots   int     `json:"seen_shots"`
+	LastQuery   string  `json:"last_query,omitempty"`
+}
+
+// sessionListResponse is the paginated live-session directory.
+type sessionListResponse struct {
+	Total    int                `json:"total"`
+	Offset   int                `json:"offset"`
+	Limit    int                `json:"limit"`
+	Sessions []sessionListEntry `json:"sessions"`
+}
+
+// handleListSessions serves the paginated live-session directory
+// (?offset=&limit= as on /search). Only the requested window is
+// inspected under session locks; inspection does not touch idle
+// clocks, so polling the listing never keeps sessions alive. Sessions
+// deleted between the snapshot and the window read are skipped.
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	offset, limit, ok := parsePageParams(w, r)
+	if !ok {
+		return
+	}
+	infos := s.mgr.List()
+	resp := sessionListResponse{
+		Total:    len(infos),
+		Offset:   offset,
+		Limit:    limit,
+		Sessions: []sessionListEntry{},
+	}
+	if offset < len(infos) {
+		win := infos[offset:]
+		if len(win) > limit {
+			win = win[:limit]
+		}
+		now := time.Now()
+		for _, info := range win {
+			entry := sessionListEntry{
+				SessionID:   info.ID,
+				IdleSeconds: now.Sub(info.LastUsed).Seconds(),
+			}
+			err := s.mgr.Inspect(info.ID, func(sess *core.Session) error {
+				entry.Step = sess.Step()
+				entry.Evidence = sess.EvidenceCount()
+				entry.SeenShots = sess.SeenShots()
+				entry.LastQuery = sess.LastQuery()
+				return nil
+			})
+			if errors.Is(err, core.ErrSessionNotFound) {
+				continue // raced with Delete/expiry
+			}
+			if err != nil {
+				writeManagerErr(w, err, info.ID)
+				return
+			}
+			resp.Sessions = append(resp.Sessions, entry)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// sessionCounters is the session-table section of the metrics body.
+type sessionCounters struct {
+	Live    int   `json:"live"`
+	Created int64 `json:"created"`
+	Evicted int64 `json:"evicted"`
+}
+
+// metricsResponse is the /api/v1/metrics schema: the registry
+// snapshot (uptime, in-flight gauge, per-route counters + latency
+// quantiles) plus session-table counters.
+type metricsResponse struct {
+	metrics.Snapshot
+	Sessions sessionCounters `json:"sessions"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.mgr.Stats()
+	writeJSON(w, http.StatusOK, metricsResponse{
+		Snapshot: s.metrics.TakeSnapshot(),
+		Sessions: sessionCounters{Live: st.Live, Created: st.Created, Evicted: st.Evicted},
+	})
+}
+
 // searchHit is one result entry with display metadata.
 type searchHit struct {
 	Rank     int     `json:"rank"`
@@ -348,33 +459,43 @@ type searchParams struct {
 	filter    core.ShotFilter
 }
 
+// parsePageParams validates the shared ?offset=&limit= pagination
+// parameters; on error it has already written the 400 envelope.
+func parsePageParams(w http.ResponseWriter, r *http.Request) (offset, limit int, ok bool) {
+	limit = defaultLimit
+	if os := r.URL.Query().Get("offset"); os != "" {
+		v, err := strconv.Atoi(os)
+		if err != nil || v < 0 {
+			writeCode(w, http.StatusBadRequest, codeInvalid, "bad offset %q", os)
+			return 0, 0, false
+		}
+		offset = v
+	}
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		v, err := strconv.Atoi(ls)
+		if err != nil || v <= 0 || v > maxLimit {
+			writeCode(w, http.StatusBadRequest, codeInvalid, "bad limit %q (1..%d)", ls, maxLimit)
+			return 0, 0, false
+		}
+		limit = v
+	}
+	return offset, limit, true
+}
+
 // parseSearchParams validates the common search query string; on
 // error it has already written the 400 envelope.
 func (s *Server) parseSearchParams(w http.ResponseWriter, r *http.Request) (searchParams, bool) {
 	p := searchParams{
 		sessionID: r.URL.Query().Get("session"),
 		query:     r.URL.Query().Get("q"),
-		limit:     defaultLimit,
 	}
 	if p.sessionID == "" || p.query == "" {
 		writeCode(w, http.StatusBadRequest, codeInvalid, "need session and q parameters")
 		return p, false
 	}
-	if os := r.URL.Query().Get("offset"); os != "" {
-		v, err := strconv.Atoi(os)
-		if err != nil || v < 0 {
-			writeCode(w, http.StatusBadRequest, codeInvalid, "bad offset %q", os)
-			return p, false
-		}
-		p.offset = v
-	}
-	if ls := r.URL.Query().Get("limit"); ls != "" {
-		v, err := strconv.Atoi(ls)
-		if err != nil || v <= 0 || v > maxLimit {
-			writeCode(w, http.StatusBadRequest, codeInvalid, "bad limit %q (1..%d)", ls, maxLimit)
-			return p, false
-		}
-		p.limit = v
+	var ok bool
+	if p.offset, p.limit, ok = parsePageParams(w, r); !ok {
+		return p, false
 	}
 	// Optional category facet: ?cat=sports,politics
 	if cs := r.URL.Query().Get("cat"); cs != "" {

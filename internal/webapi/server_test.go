@@ -568,3 +568,142 @@ func TestNewServerNil(t *testing.T) {
 		t.Error("nil system accepted")
 	}
 }
+
+func TestListSessions(t *testing.T) {
+	ts, arch, _ := newTestServer(t)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		ids = append(ids, createSession(t, ts, map[string]any{}))
+	}
+	// Give one session some state so the listing has something to show.
+	q := strings.ReplaceAll(arch.Truth.SearchTopics[0].Query, " ", "+")
+	doJSON(t, "GET", fmt.Sprintf("%s/api/v1/search?session=%s&q=%s", ts.URL, ids[0], q), nil, http.StatusOK, nil)
+
+	var list struct {
+		Total    int `json:"total"`
+		Offset   int `json:"offset"`
+		Limit    int `json:"limit"`
+		Sessions []struct {
+			SessionID   string  `json:"session_id"`
+			IdleSeconds float64 `json:"idle_seconds"`
+			Step        int     `json:"step"`
+			LastQuery   string  `json:"last_query"`
+		} `json:"sessions"`
+	}
+	doJSON(t, "GET", ts.URL+"/api/v1/sessions", nil, http.StatusOK, &list)
+	if list.Total != 5 || len(list.Sessions) != 5 {
+		t.Fatalf("list = total %d, %d entries, want 5/5", list.Total, len(list.Sessions))
+	}
+	stepped := 0
+	for _, e := range list.Sessions {
+		if e.Step > 0 {
+			stepped++
+			if e.LastQuery == "" {
+				t.Errorf("session %s has step %d but no last query", e.SessionID, e.Step)
+			}
+		}
+	}
+	if stepped != 1 {
+		t.Errorf("%d sessions with steps, want 1", stepped)
+	}
+
+	// Pagination windows the sorted listing without overlap.
+	var page1, page2 struct {
+		Total    int `json:"total"`
+		Sessions []struct {
+			SessionID string `json:"session_id"`
+		} `json:"sessions"`
+	}
+	doJSON(t, "GET", ts.URL+"/api/v1/sessions?limit=3", nil, http.StatusOK, &page1)
+	doJSON(t, "GET", ts.URL+"/api/v1/sessions?offset=3&limit=3", nil, http.StatusOK, &page2)
+	if len(page1.Sessions) != 3 || len(page2.Sessions) != 2 {
+		t.Fatalf("pages = %d + %d entries, want 3 + 2", len(page1.Sessions), len(page2.Sessions))
+	}
+	seen := map[string]bool{}
+	for _, e := range append(page1.Sessions, page2.Sessions...) {
+		if seen[e.SessionID] {
+			t.Errorf("session %s appears in both pages", e.SessionID)
+		}
+		seen[e.SessionID] = true
+	}
+
+	// Bad pagination parameters use the shared validation.
+	wantEnvelope(t, "GET", ts.URL+"/api/v1/sessions?offset=-1", nil, http.StatusBadRequest, "invalid_request")
+	wantEnvelope(t, "GET", ts.URL+"/api/v1/sessions?limit=9999", nil, http.StatusBadRequest, "invalid_request")
+
+	// Deleting a session removes it from the listing.
+	doJSON(t, "DELETE", ts.URL+"/api/v1/sessions/"+ids[2], nil, http.StatusNoContent, nil)
+	doJSON(t, "GET", ts.URL+"/api/v1/sessions", nil, http.StatusOK, &list)
+	if list.Total != 4 {
+		t.Errorf("total after delete = %d, want 4", list.Total)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts, arch, _ := newTestServer(t)
+	id := createSession(t, ts, map[string]any{})
+	q := strings.ReplaceAll(arch.Truth.SearchTopics[0].Query, " ", "+")
+	for i := 0; i < 3; i++ {
+		doJSON(t, "GET", fmt.Sprintf("%s/api/v1/search?session=%s&q=%s", ts.URL, id, q), nil, http.StatusOK, nil)
+	}
+	wantEnvelope(t, "GET", ts.URL+"/api/v1/shots/nope", nil, http.StatusNotFound, "not_found")
+
+	var m struct {
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		InFlight      int64   `json:"in_flight"`
+		Totals        struct {
+			Requests  int64 `json:"requests"`
+			Errors4xx int64 `json:"errors_4xx"`
+		} `json:"totals"`
+		Routes map[string]struct {
+			Count   int64            `json:"count"`
+			Status  map[string]int64 `json:"status"`
+			Latency struct {
+				Count uint64  `json:"count"`
+				P50MS float64 `json:"p50_ms"`
+				P95MS float64 `json:"p95_ms"`
+				P99MS float64 `json:"p99_ms"`
+				MaxMS float64 `json:"max_ms"`
+			} `json:"latency"`
+		} `json:"routes"`
+		Sessions struct {
+			Live    int   `json:"live"`
+			Created int64 `json:"created"`
+		} `json:"sessions"`
+	}
+	doJSON(t, "GET", ts.URL+"/api/v1/metrics", nil, http.StatusOK, &m)
+
+	search := m.Routes["GET /api/v1/search"]
+	if search.Count != 3 || search.Status["200"] != 3 {
+		t.Errorf("search route = %+v, want 3x 200", search)
+	}
+	if search.Latency.Count != 3 || search.Latency.MaxMS <= 0 {
+		t.Errorf("search latency = %+v", search.Latency)
+	}
+	if search.Latency.P50MS > search.Latency.P99MS || search.Latency.P99MS > search.Latency.MaxMS*1.1 {
+		t.Errorf("latency quantiles out of order: %+v", search.Latency)
+	}
+	shots := m.Routes["GET /api/v1/shots/{id}"]
+	if shots.Status["404"] != 1 {
+		t.Errorf("shots route = %+v, want one 404", shots)
+	}
+	if m.Totals.Errors4xx != 1 {
+		t.Errorf("totals = %+v, want one 4xx", m.Totals)
+	}
+	if m.Sessions.Created != 1 || m.Sessions.Live != 1 {
+		t.Errorf("sessions = %+v", m.Sessions)
+	}
+	if m.InFlight != 1 { // this very /metrics request is in flight
+		t.Errorf("in_flight = %d, want 1", m.InFlight)
+	}
+	if m.UptimeSeconds < 0 {
+		t.Errorf("uptime = %v", m.UptimeSeconds)
+	}
+	// Error responses land in the same route's status table.
+	srvURL := ts.URL
+	wantEnvelope(t, "GET", srvURL+"/api/v1/search?session="+id, nil, http.StatusBadRequest, "invalid_request")
+	doJSON(t, "GET", srvURL+"/api/v1/metrics", nil, http.StatusOK, &m)
+	if got := m.Routes["GET /api/v1/search"].Status["400"]; got != 1 {
+		t.Errorf("search 400 count = %d, want 1", got)
+	}
+}
