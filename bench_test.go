@@ -183,6 +183,166 @@ func BenchmarkHTTPSearch(b *testing.B) {
 	}
 }
 
+// benchAdaptedSession builds a system with the given engine-layer
+// config over the bench archive and returns a session warmed with
+// three positive clicks, so implicit expansion is active — the
+// adaptive-loop hot path the cache and fan-out target.
+func benchAdaptedSession(b *testing.B, cfg repro.SystemConfig) (*core.Session, string) {
+	b.Helper()
+	arch, err := repro.GenerateArchive(repro.TinyArchive(), 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := repro.NewSystemOverCollection(arch.Collection, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	topic := arch.Truth.SearchTopics[0]
+	sess := sys.NewSession("bench", nil)
+	res, err := sess.Query(topic.Query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	judg := repro.TopicJudgments(arch, topic.ID)
+	fed := 0
+	for rank, h := range res.Hits {
+		if judg[h.ID] >= 1 && fed < 3 {
+			fed++
+			if err := sess.Observe(repro.ClickEvent("bench", h.ID, rank)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if fed == 0 {
+		b.Fatal("no relevant hits to click; expansion would be inactive")
+	}
+	return sess, topic.Query
+}
+
+// BenchmarkSearch measures one in-process adapted query through the
+// engine layer under its three execution modes: the sequential
+// single-segment scan, the multi-segment fan-out, and the
+// evidence-keyed result cache (warm after the first iteration: the
+// query, evidence state and config — and therefore the key — do not
+// change between iterations).
+func BenchmarkSearch(b *testing.B) {
+	cases := []struct {
+		name string
+		cfg  repro.SystemConfig
+	}{
+		{"sequential", repro.ImplicitOnly()},
+		{"fanout4", func() repro.SystemConfig {
+			c := repro.ImplicitOnly()
+			c.Segments, c.SearchWorkers = 4, 4
+			return c
+		}()},
+		{"cached", func() repro.SystemConfig {
+			c := repro.ImplicitOnly()
+			c.Segments, c.SearchWorkers, c.CacheSize = 4, 4, 1024
+			return c
+		}()},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			sess, q := benchAdaptedSession(b, bc.cfg)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchHTTPSearch drives the full client→server search hot path
+// against a system with the given engine-layer config; withEvidence
+// feeds positive clicks first so the search exercises the adapted
+// (expansion-active) path — the dominant shape of simulated-study
+// traffic.
+func benchHTTPSearch(b *testing.B, cfg repro.SystemConfig, withEvidence bool) {
+	b.Helper()
+	arch, err := repro.GenerateArchive(repro.TinyArchive(), 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := repro.NewSystemOverCollection(arch.Collection, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := webapi.NewServer(sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c, err := client.New(ts.URL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	sid, err := c.CreateSession(ctx, client.CreateSessionRequest{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	topic := arch.Truth.SearchTopics[0]
+	if withEvidence {
+		page, err := c.Search(ctx, client.SearchRequest{SessionID: sid, Query: topic.Query, Limit: 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		judg := repro.TopicJudgments(arch, topic.ID)
+		var events []repro.Event
+		for _, h := range page.Hits {
+			if judg[h.ShotID] >= 1 && len(events) < 3 {
+				events = append(events, repro.ClickEvent(sid, h.ShotID, h.Rank))
+			}
+		}
+		if len(events) == 0 {
+			b.Fatal("no relevant hits to click")
+		}
+		if _, err := c.SendEvents(ctx, sid, events); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		page, err := c.Search(ctx, client.SearchRequest{SessionID: sid, Query: topic.Query, Limit: 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(page.Hits) == 0 {
+			b.Fatal("empty page")
+		}
+	}
+}
+
+// BenchmarkHTTPSearchCached is BenchmarkHTTPSearch against a server
+// with the engine layer fully enabled (multi-segment fan-out + result
+// cache): the after to its before.
+func BenchmarkHTTPSearchCached(b *testing.B) {
+	cfg := repro.ImplicitOnly()
+	cfg.Segments, cfg.SearchWorkers, cfg.CacheSize = 4, 4, 4096
+	benchHTTPSearch(b, cfg, false)
+}
+
+// BenchmarkHTTPSearchAdapted measures the expansion-active search over
+// HTTP — the adaptive loop's real per-iteration cost — uncached versus
+// cached.
+func BenchmarkHTTPSearchAdapted(b *testing.B) {
+	b.Run("uncached", func(b *testing.B) {
+		benchHTTPSearch(b, repro.ImplicitOnly(), true)
+	})
+	b.Run("cached", func(b *testing.B) {
+		cfg := repro.ImplicitOnly()
+		cfg.Segments, cfg.SearchWorkers, cfg.CacheSize = 4, 4, 4096
+		benchHTTPSearch(b, cfg, true)
+	})
+}
+
 // BenchmarkFusion measures CombSUM fusion of two 100-hit lists.
 func BenchmarkFusion(b *testing.B) {
 	arch, sys := benchArchiveSystem(b)

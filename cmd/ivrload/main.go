@@ -155,14 +155,28 @@ func main() {
 	fmt.Printf("    sessions created: server %d, live now %d, evicted %d\n",
 		after.Sessions.Created-before.Sessions.Created, after.Sessions.Live, after.Sessions.Evicted)
 
+	// Retrieval-engine view of the run: result-cache effectiveness and
+	// server-side search latency, differenced against the pre-run
+	// snapshot so BENCH json captures this run's before/after.
+	srch := searchSummaryFrom(before, after)
+	if srch.CacheEnabled {
+		fmt.Printf("    search cache: %.1f%% hit ratio this run (%d hits, %d shared, %d misses; %d entries)\n",
+			100*srch.CacheHitRatio, srch.CacheHits, srch.CacheShared, srch.CacheMisses, after.Search.Cache.Entries)
+	} else {
+		fmt.Printf("    search cache: disabled on server\n")
+	}
+	fmt.Printf("    server search latency: p50 %.1fms p95 %.1fms (run start: p50 %.1fms p95 %.1fms; delta %+.1f/%+.1fms)\n",
+		srch.P50AfterMS, srch.P95AfterMS, srch.P50BeforeMS, srch.P95BeforeMS, srch.P50DeltaMS, srch.P95DeltaMS)
+
 	if *out != "" {
 		summary := struct {
 			Command string                  `json:"command"`
 			Server  string                  `json:"server"`
 			When    time.Time               `json:"when"`
 			Report  *loadgen.Report         `json:"report"`
+			Search  searchSummary           `json:"search_summary"`
 			Metrics *client.MetricsSnapshot `json:"server_metrics"`
-		}{"ivrload", *server, time.Now().UTC(), rep, after}
+		}{"ivrload", *server, time.Now().UTC(), rep, srch, after}
 		data, err := json.MarshalIndent(summary, "", "  ")
 		if err != nil {
 			fail("encode report: %v", err)
@@ -191,6 +205,46 @@ var routeFor = map[string]string{
 var workloadEndpoints = []string{
 	loadgen.EndpointCreateSession, loadgen.EndpointSearch, loadgen.EndpointEvents,
 	loadgen.EndpointShot, loadgen.EndpointDeleteSession,
+}
+
+// searchSummary condenses the server's retrieval telemetry for one
+// run: cache counters differenced against the pre-run snapshot (so an
+// already-warm server reports this run's hit ratio, not its
+// lifetime's) and the search route's latency quantiles before and
+// after. The quantiles themselves are cumulative-histogram reads, so
+// the delta is the run's drift of the server-lifetime quantile — the
+// before/after pair is what BENCH_*.json trajectories compare.
+type searchSummary struct {
+	CacheEnabled  bool    `json:"cache_enabled"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheShared   int64   `json:"cache_shared"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	P50BeforeMS   float64 `json:"search_p50_before_ms"`
+	P50AfterMS    float64 `json:"search_p50_after_ms"`
+	P50DeltaMS    float64 `json:"search_p50_delta_ms"`
+	P95BeforeMS   float64 `json:"search_p95_before_ms"`
+	P95AfterMS    float64 `json:"search_p95_after_ms"`
+	P95DeltaMS    float64 `json:"search_p95_delta_ms"`
+}
+
+// searchSummaryFrom differences two metrics snapshots into the run's
+// search summary.
+func searchSummaryFrom(before, after *client.MetricsSnapshot) searchSummary {
+	s := searchSummary{
+		CacheEnabled: after.Search.Cache.Enabled,
+		CacheHits:    after.Search.Cache.Hits - before.Search.Cache.Hits,
+		CacheMisses:  after.Search.Cache.Misses - before.Search.Cache.Misses,
+		CacheShared:  after.Search.Cache.Shared - before.Search.Cache.Shared,
+	}
+	if total := s.CacheHits + s.CacheShared + s.CacheMisses; total > 0 {
+		s.CacheHitRatio = float64(s.CacheHits+s.CacheShared) / float64(total)
+	}
+	searchRoute := routeFor[loadgen.EndpointSearch]
+	b, a := before.Routes[searchRoute].Latency, after.Routes[searchRoute].Latency
+	s.P50BeforeMS, s.P50AfterMS, s.P50DeltaMS = b.P50MS, a.P50MS, a.P50MS-b.P50MS
+	s.P95BeforeMS, s.P95AfterMS, s.P95DeltaMS = b.P95MS, a.P95MS, a.P95MS-b.P95MS
+	return s
 }
 
 // countMismatches compares client-observed totals with the

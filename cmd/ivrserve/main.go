@@ -9,6 +9,7 @@
 //	ivrserve -addr :9090 -preset combined -full
 //	ivrserve -archive archive.ivrarc          # serve a saved archive
 //	ivrserve -session-ttl 30m -max-sessions 10000
+//	ivrserve -segments 8 -search-cache 65536  # fan-out + result cache sizing
 //
 // Example exchange:
 //
@@ -32,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -51,6 +53,8 @@ func main() {
 		depth       = flag.Int("depth", 200, "ranking depth per query (bounds search pagination)")
 		sessionTTL  = flag.Duration("session-ttl", 30*time.Minute, "evict sessions idle this long (0 disables)")
 		maxSessions = flag.Int("max-sessions", 0, "cap on live sessions (0 = unbounded)")
+		segments    = flag.Int("segments", 0, "index segments scored in parallel (0 = one per CPU, 1 = sequential)")
+		searchCache = flag.Int("search-cache", 4096, "evidence-keyed result cache entries (0 disables)")
 		quiet       = flag.Bool("quiet", false, "suppress per-request logs")
 	)
 	flag.Parse()
@@ -60,6 +64,14 @@ func main() {
 		fail("%v", err)
 	}
 	cfg.K = *depth
+	if *segments < 0 || *searchCache < 0 {
+		fail("-segments and -search-cache must be >= 0")
+	}
+	cfg.Segments = *segments
+	if cfg.Segments == 0 {
+		cfg.Segments = runtime.GOMAXPROCS(0)
+	}
+	cfg.CacheSize = *searchCache
 	var arch *synth.Archive
 	if *archPath != "" {
 		arch, err = store.Load(*archPath)
@@ -95,8 +107,8 @@ func main() {
 	defer srv.Close()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
-	fmt.Printf("ivrserve: %s system over %d shots, /api/v1 on %s (session ttl %s)\n",
-		*preset, arch.Collection.NumShots(), *addr, *sessionTTL)
+	fmt.Printf("ivrserve: %s system over %d shots, /api/v1 on %s (session ttl %s, %d index segments, cache %d)\n",
+		*preset, arch.Collection.NumShots(), *addr, *sessionTTL, cfg.Segments, cfg.CacheSize)
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/ilog"
 	"repro/internal/metrics"
+	"repro/internal/retrieval"
 )
 
 // Client calls one webapi server. Safe for concurrent use.
@@ -250,10 +251,13 @@ type SessionCounters struct {
 
 // MetricsSnapshot is the /api/v1/metrics body: per-route request
 // counters and latency quantiles (the metrics package owns that
-// schema) plus session-table counters.
+// schema), session-table counters, and the retrieval-engine section
+// (result-cache counters plus per-segment fan-out timing; the
+// retrieval package owns that schema).
 type MetricsSnapshot struct {
 	metrics.Snapshot
-	Sessions SessionCounters `json:"sessions"`
+	Sessions SessionCounters    `json:"sessions"`
+	Search   retrieval.Snapshot `json:"search"`
 }
 
 // CreateSession starts a server-side session and returns its ID.

@@ -10,53 +10,91 @@ import (
 	"repro/internal/text"
 )
 
-// BuildIndex indexes a collection: each shot becomes one document with
-// its ASR transcript plus its story title in the text field (titles
-// are what interfaces display, so they are searchable), and its
-// detector concepts in the concept field with confidence encoded as
-// integer weight (conf 0.73 -> tf 7), so concept retrieval ranks by
-// detector confidence.
-func BuildIndex(coll *collection.Collection, an *text.Analyzer) (*index.Index, error) {
+// shotDocument converts one shot to an index document: its ASR
+// transcript plus its story title in the text field (titles are what
+// interfaces display, so they are searchable), and its detector
+// concepts in the concept field with confidence encoded as integer
+// weight (conf 0.73 -> tf 7), so concept retrieval ranks by detector
+// confidence.
+func shotDocument(coll *collection.Collection, an *text.Analyzer, s *collection.Shot) *index.Document {
+	doc := index.NewDocument(string(s.ID))
+	doc.AddTerms(index.FieldText, an.Terms(s.Transcript)...)
+	if story := coll.Story(s.StoryID); story != nil {
+		doc.AddTerms(index.FieldText, an.Terms(story.Title)...)
+	}
+	for _, cs := range s.Concepts {
+		w := int(math.Round(cs.Confidence * 10))
+		if w < 1 {
+			w = 1
+		}
+		doc.SetTermCount(index.FieldConcept, string(cs.Concept), w)
+	}
+	return doc
+}
+
+// indexCollection feeds every shot of coll into add (a Builder or
+// ShardedBuilder ingest function).
+func indexCollection(coll *collection.Collection, an *text.Analyzer, add func(*index.Document) error) error {
 	if coll == nil {
-		return nil, fmt.Errorf("core: nil collection")
+		return fmt.Errorf("core: nil collection")
 	}
-	if an == nil {
-		an = text.NewAnalyzer()
-	}
-	b := index.NewBuilder()
 	var buildErr error
 	coll.Shots(func(s *collection.Shot) bool {
-		doc := index.NewDocument(string(s.ID))
-		doc.AddTerms(index.FieldText, an.Terms(s.Transcript)...)
-		if story := coll.Story(s.StoryID); story != nil {
-			doc.AddTerms(index.FieldText, an.Terms(story.Title)...)
-		}
-		for _, cs := range s.Concepts {
-			w := int(math.Round(cs.Confidence * 10))
-			if w < 1 {
-				w = 1
-			}
-			doc.SetTermCount(index.FieldConcept, string(cs.Concept), w)
-		}
-		if err := b.AddDocument(doc); err != nil {
+		if err := add(shotDocument(coll, an, s)); err != nil {
 			buildErr = fmt.Errorf("core: indexing shot %s: %w", s.ID, err)
 			return false
 		}
 		return true
 	})
-	if buildErr != nil {
-		return nil, buildErr
+	return buildErr
+}
+
+// BuildIndex indexes a collection into a single monolithic index.
+func BuildIndex(coll *collection.Collection, an *text.Analyzer) (*index.Index, error) {
+	if an == nil {
+		an = text.NewAnalyzer()
+	}
+	b := index.NewBuilder()
+	if err := indexCollection(coll, an, b.AddDocument); err != nil {
+		return nil, err
 	}
 	return b.Build(), nil
 }
 
-// NewSystemFromCollection is the one-call constructor: analyse, index
-// and wire a System over coll.
-func NewSystemFromCollection(coll *collection.Collection, cfg Config) (*System, error) {
-	an := text.NewAnalyzer()
-	ix, err := BuildIndex(coll, an)
-	if err != nil {
+// BuildShardedIndex indexes a collection into `segments` self-contained
+// index segments (round-robin by shot order), the layout the parallel
+// search executor fans out over. Global document IDs and ranking
+// output match BuildIndex exactly.
+func BuildShardedIndex(coll *collection.Collection, an *text.Analyzer, segments int) (*index.Sharded, error) {
+	if an == nil {
+		an = text.NewAnalyzer()
+	}
+	b := index.NewShardedBuilder(segments)
+	if err := indexCollection(coll, an, b.AddDocument); err != nil {
 		return nil, err
 	}
-	return NewSystem(search.NewEngine(ix, an), coll, cfg)
+	return b.Build()
+}
+
+// NewSystemFromCollection is the one-call constructor: analyse, index
+// and wire a System over coll. Config.Segments > 1 builds a sharded
+// index behind a parallel fan-out engine; rankings are identical
+// either way.
+func NewSystemFromCollection(coll *collection.Collection, cfg Config) (*System, error) {
+	an := text.NewAnalyzer()
+	var engine *search.Engine
+	if cfg.Segments > 1 {
+		sh, err := BuildShardedIndex(coll, an, cfg.Segments)
+		if err != nil {
+			return nil, err
+		}
+		engine = search.NewShardedEngine(sh, an, cfg.SearchWorkers)
+	} else {
+		ix, err := BuildIndex(coll, an)
+		if err != nil {
+			return nil, err
+		}
+		engine = search.NewEngine(ix, an)
+	}
+	return NewSystem(engine, coll, cfg)
 }

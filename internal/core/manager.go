@@ -256,7 +256,10 @@ func (m *SessionManager) With(id string, fn func(*Session) error) error {
 
 // Inspect is With without touching the idle clock: read-only
 // introspection (ops listings, metrics) must not keep otherwise
-// abandoned sessions alive.
+// abandoned sessions alive. Like With it serialises on the session's
+// lock and returns ErrSessionNotFound for unknown, deleted, or
+// expired sessions — an expired session is collected on inspection,
+// not resurrected.
 func (m *SessionManager) Inspect(id string, fn func(*Session) error) error {
 	return m.withSession(id, fn, false)
 }
@@ -325,14 +328,17 @@ type SessionInfo struct {
 	// ID is the session identifier.
 	ID string
 	// LastUsed is when the session was last touched through the
-	// manager.
+	// manager. A session caught mid-operation (its lock held) is
+	// reported with the listing time instead: it is in use right now,
+	// and List does not wait behind it.
 	LastUsed time.Time
 }
 
 // List snapshots the resident sessions, sorted by ID so pagination
-// over successive calls is stable. Expired-but-unswept sessions are
-// excluded. O(live sessions); intended for ops/debug listing, not hot
-// paths.
+// over successive calls is stable. Expired-but-unswept and deleted
+// sessions are excluded; sessions busy in an operation are included
+// as just-touched (see SessionInfo.LastUsed). O(live sessions);
+// intended for ops/debug listing, not hot paths.
 func (m *SessionManager) List() []SessionInfo {
 	ttl := m.opts.TTL
 	now := m.now()

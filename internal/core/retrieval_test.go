@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/ilog"
+	"repro/internal/synth"
+)
+
+// twoSystems builds two systems over the same tiny archive: one with
+// the given config and one reference with caching and sharding
+// stripped (pure sequential, uncached retrieval).
+func twoSystems(t testing.TB, cfg Config) (*synth.Archive, *System, *System) {
+	t.Helper()
+	arch, err := synth.Generate(synth.TinyConfig(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystemFromCollection(arch.Collection, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := cfg
+	ref.Segments, ref.SearchWorkers, ref.CacheSize = 0, 0, 0
+	refSys, err := NewSystemFromCollection(arch.Collection, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arch, sys, refSys
+}
+
+func click(sessionID, shotID string, rank int) ilog.Event {
+	return ilog.Event{SessionID: sessionID, Action: ilog.ActionClickKeyframe, ShotID: shotID, Rank: rank}
+}
+
+// TestShardedSystemParity: the sharded parallel system must rank
+// byte-identically to the sequential one across seeds and topics, both
+// stateless and through adapted sessions.
+func TestShardedSystemParity(t *testing.T) {
+	for _, seed := range []int64{3, 11, 2008} {
+		arch, err := synth.Generate(synth.TinyConfig(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := NewSystemFromCollection(arch.Collection, Config{UseImplicit: true, Segments: 4, SearchWorkers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := NewSystemFromCollection(arch.Collection, Config{UseImplicit: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, topic := range arch.Truth.SearchTopics {
+			rp, err := par.SearchOnce(topic.Query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs, err := seq.SearchOnce(topic.Query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(rp, rs) {
+				t.Fatalf("seed %d topic %d: sharded SearchOnce diverged", seed, topic.ID)
+			}
+		}
+		// Adapted parity: same evidence stream into both systems.
+		topic := arch.Truth.SearchTopics[0]
+		sp := par.NewSession("p", nil)
+		ss := seq.NewSession("s", nil)
+		for iter := 0; iter < 3; iter++ {
+			rp, err := sp.Query(topic.Query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs, err := ss.Query(topic.Query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(rp, rs) {
+				t.Fatalf("seed %d iter %d: adapted sharded ranking diverged", seed, iter)
+			}
+			if len(rp.Hits) > 0 {
+				if err := sp.Observe(click("p", rp.Hits[0].ID, 0)); err != nil {
+					t.Fatal(err)
+				}
+				if err := ss.Observe(click("s", rs.Hits[0].ID, 0)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// TestCacheEvidenceSafety: a new implicit event changes the evidence
+// fingerprint, so the next query misses the cache and re-retrieves —
+// the session can never see results predating its evidence.
+func TestCacheEvidenceSafety(t *testing.T) {
+	arch, sys, refSys := twoSystems(t, Config{UseImplicit: true, CacheSize: 64, Segments: 2})
+	topic := arch.Truth.SearchTopics[0]
+	sess := sys.NewSession("cached", nil)
+	ref := refSys.NewSession("ref", nil)
+
+	r1, err := sess.Query(topic.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-ask to warm the hit path, and on a fresh second session too.
+	if _, err := sys.NewSession("other", nil).Query(topic.Query); err != nil {
+		t.Fatal(err)
+	}
+	if hits := sys.Cache().Stats().Hits; hits == 0 {
+		t.Fatalf("expected a cache hit from the repeated query, stats %+v", sys.Cache().Stats())
+	}
+	if _, err := ref.Query(topic.Query); err != nil {
+		t.Fatal(err)
+	}
+
+	fpBefore := sess.EvidenceFingerprint()
+	if err := sess.Observe(click("cached", r1.Hits[0].ID, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Observe(click("ref", r1.Hits[0].ID, 0)); err != nil {
+		t.Fatal(err)
+	}
+	fpAfter := sess.EvidenceFingerprint()
+	if fpBefore == fpAfter {
+		t.Fatal("implicit event did not change the evidence fingerprint")
+	}
+
+	missesBefore := sys.Cache().Stats().Misses
+	r2, err := sess.Query(topic.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Cache().Stats().Misses <= missesBefore {
+		t.Fatal("post-event query was served from cache instead of re-retrieving")
+	}
+	want, err := ref.Query(topic.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r2, want) {
+		t.Fatal("cached system returned stale/divergent results after new evidence")
+	}
+}
+
+// TestCacheEvidenceSafetyRace runs the staleness check concurrently:
+// many sessions share the cache while each interleaves events and
+// queries, and every ranking must match an uncached twin session fed
+// the same evidence. Run under -race this also proves the cache and
+// fan-out are data-race free.
+func TestCacheEvidenceSafetyRace(t *testing.T) {
+	arch, sys, refSys := twoSystems(t, Config{UseImplicit: true, CacheSize: 256, Segments: 4, SearchWorkers: 4})
+	topics := arch.Truth.SearchTopics
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := fmt.Sprintf("s%d", g)
+			sess := sys.NewSession(id, nil)
+			ref := refSys.NewSession(id+"ref", nil)
+			topic := topics[g%len(topics)]
+			for iter := 0; iter < 4; iter++ {
+				got, err := sess.Query(topic.Query)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				want, err := ref.Query(topic.Query)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("worker %d iter %d: cached ranking diverged from uncached twin", g, iter)
+					return
+				}
+				if len(got.Hits) > iter {
+					if err := sess.Observe(click(id, got.Hits[iter].ID, iter)); err != nil {
+						t.Error(err)
+						return
+					}
+					if err := ref.Observe(click(id+"ref", want.Hits[iter].ID, iter)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestCacheSharedAcrossSessions: two evidence-free sessions asking the
+// same query share one cache entry (the load-model common case).
+func TestCacheSharedAcrossSessions(t *testing.T) {
+	arch, sys, _ := twoSystems(t, Config{UseImplicit: true, CacheSize: 16})
+	topic := arch.Truth.SearchTopics[0]
+	a, err := sys.NewSession("a", nil).Query(topic.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.NewSession("b", nil).Query(topic.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("sessions disagree on an identical evidence-free query")
+	}
+	st := sys.Cache().Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("want 1 miss + 1 hit, got %+v", st)
+	}
+	// Textual variants of the same analysed query share the entry too.
+	if _, err := sys.NewSession("c", nil).Query("  " + topic.Query + "!  "); err != nil {
+		t.Fatal(err)
+	}
+	if st := sys.Cache().Stats(); st.Hits != 2 {
+		t.Fatalf("normalized query variant missed the cache: %+v", st)
+	}
+}
+
+// TestFilteredQueriesBypassCache: opaque filters cannot be
+// fingerprinted, so filtered queries never read or write the cache.
+func TestFilteredQueriesBypassCache(t *testing.T) {
+	arch, sys, _ := twoSystems(t, Config{UseImplicit: true, CacheSize: 16})
+	topic := arch.Truth.SearchTopics[0]
+	sess := sys.NewSession("f", nil)
+	if _, err := sess.QueryFiltered(topic.Query, func(string) bool { return false }); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Cache().Stats()
+	if st.Misses != 0 || st.Hits != 0 || st.Entries != 0 {
+		t.Fatalf("filtered query touched the cache: %+v", st)
+	}
+}
+
+// TestRetrievalSnapshotShape: the telemetry snapshot reflects the
+// wired segments and counts their scoring passes.
+func TestRetrievalSnapshotShape(t *testing.T) {
+	arch, sys, _ := twoSystems(t, Config{CacheSize: 8, Segments: 3, SearchWorkers: 2})
+	if _, err := sys.SearchOnce(arch.Truth.SearchTopics[0].Query); err != nil {
+		t.Fatal(err)
+	}
+	snap := sys.RetrievalSnapshot()
+	if !snap.Cache.Enabled || snap.Cache.Capacity != 8 {
+		t.Errorf("cache snapshot: %+v", snap.Cache)
+	}
+	if len(snap.Segments) != 3 || snap.Workers != 2 {
+		t.Fatalf("segments snapshot: %+v workers=%d", snap.Segments, snap.Workers)
+	}
+	docs := 0
+	for i, seg := range snap.Segments {
+		if seg.Segment != i || seg.Searches == 0 {
+			t.Errorf("segment %d not scored: %+v", i, seg)
+		}
+		docs += seg.Docs
+	}
+	if docs != arch.Collection.NumShots() {
+		t.Errorf("segment docs sum to %d, want %d", docs, arch.Collection.NumShots())
+	}
+}

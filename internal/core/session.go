@@ -6,6 +6,7 @@ import (
 	"repro/internal/feedback"
 	"repro/internal/ilog"
 	"repro/internal/profile"
+	"repro/internal/retrieval"
 	"repro/internal/search"
 )
 
@@ -78,30 +79,54 @@ func (sess *Session) Query(queryText string) (search.Results, error) {
 
 // QueryFiltered is Query with a metadata filter restricting the
 // candidate shots (see System.CategoryFilter and friends).
+//
+// When the system carries a result cache, the retrieval (expansion +
+// ranking, everything before the session-specific profile rescore) is
+// served from it under the key (normalized query, evidence-state
+// fingerprint, config). The evidence fingerprint is computed from the
+// feedback accumulator's current relevance mass, so observing a new
+// implicit event — or, under step-decaying schemes, merely advancing
+// the iteration clock — changes the key and forces re-retrieval: the
+// cache can never serve results that predate the session's evidence.
+// Filtered queries bypass the cache (filters are opaque predicates).
 func (sess *Session) QueryFiltered(queryText string, filter ShotFilter) (search.Results, error) {
 	sys := sess.sys
 	q := sys.engine.ParseText(queryText)
+	var mass map[string]float64
 	if sys.config.UseImplicit {
-		mass := sess.acc.Mass()
-		// Confidence-scaled expansion: adaptation strength grows with
-		// the accumulated positive evidence mass and saturates.
-		var totalPos float64
-		for _, m := range mass {
-			if m > 0 {
-				totalPos += m
-			}
-		}
-		beta := sys.config.ExpandBeta
-		if sat := sys.config.ExpandMassSaturation; sat > 0 && totalPos < sat {
-			beta *= totalPos / sat
-		}
-		q = sys.expander.Expand(q, mass, sys.config.ExpandTerms, beta)
+		mass = sess.acc.Mass()
 	}
-	res, err := sys.engine.Search(q, search.Options{
-		K:      sys.config.K,
-		Scorer: sys.config.Scorer,
-		Filter: filter,
-	})
+	retrieve := func() (search.Results, error) {
+		rq := q
+		if sys.config.UseImplicit {
+			// Confidence-scaled expansion: adaptation strength grows
+			// with the accumulated positive evidence mass and saturates.
+			var totalPos float64
+			for _, m := range mass {
+				if m > 0 {
+					totalPos += m
+				}
+			}
+			beta := sys.config.ExpandBeta
+			if sat := sys.config.ExpandMassSaturation; sat > 0 && totalPos < sat {
+				beta *= totalPos / sat
+			}
+			rq = sys.expander.Expand(rq, mass, sys.config.ExpandTerms, beta)
+		}
+		return sys.engine.Search(rq, search.Options{
+			K:      sys.config.K,
+			Scorer: sys.config.Scorer,
+			Filter: filter,
+		})
+	}
+	var res search.Results
+	var err error
+	if sys.cache.Enabled() && filter == nil {
+		key := retrieval.Key(retrieval.QueryKey(q), retrieval.EvidenceKey(mass), sys.cfgKey)
+		res, _, err = sys.cache.Do(key, retrieve)
+	} else {
+		res, err = retrieve()
+	}
 	if err != nil {
 		return search.Results{}, err
 	}
@@ -174,6 +199,18 @@ func (sess *Session) ObserveAll(events []ilog.Event) error {
 
 // Mass exposes the current per-shot implicit relevance mass (a copy).
 func (sess *Session) Mass() map[string]float64 { return sess.acc.Mass() }
+
+// EvidenceFingerprint returns the evidence component of the session's
+// result-cache key, derived from the current implicit relevance mass.
+// A changed fingerprint guarantees the next query re-retrieves instead
+// of reusing a cached ranking. Always 0 when implicit adaptation is
+// off (the ranking then does not depend on evidence).
+func (sess *Session) EvidenceFingerprint() uint64 {
+	if !sess.sys.config.UseImplicit {
+		return 0
+	}
+	return retrieval.EvidenceKey(sess.acc.Mass())
+}
 
 // Reset clears evidence, the seen set and the step clock, keeping the
 // profile (a new task for the same user).

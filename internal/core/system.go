@@ -17,6 +17,8 @@ import (
 
 	"repro/internal/collection"
 	"repro/internal/feedback"
+	"repro/internal/index"
+	"repro/internal/retrieval"
 	"repro/internal/search"
 	"repro/internal/text"
 )
@@ -54,6 +56,21 @@ type Config struct {
 	// session adapts at full strength. Default 2 (about two
 	// full-quality interactions).
 	ExpandMassSaturation float64
+
+	// Segments splits the inverted index into this many self-contained
+	// segments, scored concurrently on a worker pool and merged; the
+	// ranking is identical to the single-segment scan. 0 or 1 keeps
+	// one segment.
+	Segments int
+	// SearchWorkers bounds the fan-out worker pool on a multi-segment
+	// system (0 = GOMAXPROCS).
+	SearchWorkers int
+	// CacheSize bounds the evidence-keyed result cache in entries
+	// (0 disables caching). Cached rankings are keyed on (normalized
+	// query, evidence-state fingerprint, configuration), so a new
+	// implicit event invalidates naturally by changing the key; the
+	// cache is shared by all of the system's sessions.
+	CacheSize int
 }
 
 // withDefaults fills zero values.
@@ -97,6 +114,12 @@ func (c Config) validate() error {
 		return fmt.Errorf("core: negative ExpandBeta")
 	case c.ExpandMassSaturation < 0:
 		return fmt.Errorf("core: negative ExpandMassSaturation")
+	case c.Segments < 0:
+		return fmt.Errorf("core: negative Segments")
+	case c.SearchWorkers < 0:
+		return fmt.Errorf("core: negative SearchWorkers")
+	case c.CacheSize < 0:
+		return fmt.Errorf("core: negative CacheSize")
 	}
 	return nil
 }
@@ -130,16 +153,28 @@ func Presets() []string {
 }
 
 // System is the wired adaptive retrieval model over one collection.
-// It is immutable after construction and safe for concurrent Sessions.
+// It is immutable after construction and safe for concurrent Sessions;
+// the embedded result cache and segment-timing collectors are
+// internally synchronised.
 type System struct {
 	engine   *search.Engine
 	coll     *collection.Collection
 	config   Config
 	expander *feedback.Expander
+	// cache is the evidence-keyed result cache shared by every
+	// session (nil when Config.CacheSize is 0).
+	cache *retrieval.Cache
+	// cfgKey is the configuration component of cache keys, fixed at
+	// construction because the config is immutable.
+	cfgKey string
+	// segTimings collects per-segment scoring latency for /metrics.
+	segTimings *retrieval.SegmentTimings
 }
 
 // NewSystem wires a system. engine and coll must be non-nil and built
-// over the same collection (shot IDs are the join key).
+// over the same collection (shot IDs are the join key). NewSystem
+// installs the system's telemetry hook on the engine, so an engine
+// should back at most one system.
 func NewSystem(engine *search.Engine, coll *collection.Collection, cfg Config) (*System, error) {
 	if engine == nil || coll == nil {
 		return nil, fmt.Errorf("core: engine and collection are required")
@@ -148,16 +183,55 @@ func NewSystem(engine *search.Engine, coll *collection.Collection, cfg Config) (
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	s := &System{engine: engine, coll: coll, config: cfg}
-	s.expander = feedback.ExpanderForIndex(engine.Index(), engine.Analyzer(),
+	s := &System{
+		engine: engine,
+		coll:   coll,
+		config: cfg,
+		cache:  retrieval.NewCache(cfg.CacheSize),
+	}
+	s.cfgKey = configKey(cfg)
+	segDocs := make([]int, engine.NumSegments())
+	for i := range segDocs {
+		segDocs[i] = engine.SegmentDocs(i)
+	}
+	s.segTimings = retrieval.NewSegmentTimings(segDocs)
+	engine.SetSegmentObserver(s.segTimings.Observe)
+	// The expander reads statistics through the engine so it works
+	// identically over single and sharded indexes.
+	s.expander = feedback.NewExpander(engine.Analyzer(),
 		func(id string) (string, bool) {
 			shot := coll.Shot(collection.ShotID(id))
 			if shot == nil {
 				return "", false
 			}
 			return shot.Transcript, true
-		})
+		},
+		func(term string) int { return engine.DocFreq(index.FieldText, term) },
+		engine.NumDocs())
 	return s, nil
+}
+
+// configKey renders every config field that influences a ranking into
+// the cache key's configuration component. Scorer and Scheme are
+// parameterised values, so their rendered forms (not just names)
+// participate.
+func configKey(cfg Config) string {
+	return fmt.Sprintf("implicit=%v|scorer=%T%+v|k=%d|scheme=%s|expand=%d,%g,%g",
+		cfg.UseImplicit, cfg.Scorer, cfg.Scorer, cfg.K,
+		cfg.Scheme.Name(), cfg.ExpandTerms, cfg.ExpandBeta, cfg.ExpandMassSaturation)
+}
+
+// Cache exposes the shared result cache (nil when disabled).
+func (s *System) Cache() *retrieval.Cache { return s.cache }
+
+// RetrievalSnapshot reports the engine-layer telemetry: cache counters
+// and per-segment scoring latency.
+func (s *System) RetrievalSnapshot() retrieval.Snapshot {
+	return retrieval.Snapshot{
+		Cache:    s.cache.Stats(),
+		Segments: s.segTimings.Summaries(),
+		Workers:  s.engine.Workers(),
+	}
 }
 
 // Config returns the system's effective configuration.

@@ -117,6 +117,68 @@ func (b *Builder) AddDocument(d *Document) error {
 	return nil
 }
 
+// ShardedBuilder accumulates documents into N segment builders,
+// assigning documents round-robin in insertion order, and freezes them
+// into a Sharded index. Like Builder it is single-goroutine; the
+// produced Sharded is concurrent-safe.
+type ShardedBuilder struct {
+	builders []*Builder
+	extSeen  map[string]struct{}
+	next     int
+}
+
+// NewShardedBuilder returns an empty builder over n segments (n < 1 is
+// clamped to 1).
+func NewShardedBuilder(n int) *ShardedBuilder {
+	if n < 1 {
+		n = 1
+	}
+	sb := &ShardedBuilder{
+		builders: make([]*Builder, n),
+		extSeen:  make(map[string]struct{}),
+	}
+	for i := range sb.builders {
+		sb.builders[i] = NewBuilder()
+	}
+	return sb
+}
+
+// NumDocs reports how many documents have been added so far.
+func (sb *ShardedBuilder) NumDocs() int { return sb.next }
+
+// AddDocument ingests one document into the next segment round-robin.
+// External IDs must be unique across the whole sharded index, not just
+// within a segment.
+func (sb *ShardedBuilder) AddDocument(d *Document) error {
+	if d.ext == "" {
+		return fmt.Errorf("index: document with empty external id")
+	}
+	if _, dup := sb.extSeen[d.ext]; dup {
+		return fmt.Errorf("index: duplicate external id %q", d.ext)
+	}
+	if err := sb.builders[sb.next%len(sb.builders)].AddDocument(d); err != nil {
+		return err
+	}
+	sb.extSeen[d.ext] = struct{}{}
+	sb.next++
+	return nil
+}
+
+// Build freezes the builder into an immutable Sharded index. The
+// builder must not be used afterwards. AddDocument already enforced
+// round-robin assignment and cross-segment external-ID uniqueness, so
+// Build assembles the Sharded directly instead of paying NewSharded's
+// full re-validation scan.
+func (sb *ShardedBuilder) Build() (*Sharded, error) {
+	segs := make([]*Index, len(sb.builders))
+	total := 0
+	for i, b := range sb.builders {
+		segs[i] = b.Build()
+		total += segs[i].NumDocs()
+	}
+	return &Sharded{segs: segs, numDocs: total}, nil
+}
+
 // Build freezes the builder into an immutable Index. The builder must
 // not be used afterwards.
 func (b *Builder) Build() *Index {

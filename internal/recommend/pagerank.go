@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/search"
 )
 
 // PPROptions tunes personalised PageRank (random walk with restart).
@@ -145,7 +147,8 @@ func (g *Graph) RecommendShotsPPR(seeds []Seed, opts Options, ppr PPROptions) ([
 			seedShots[s.Node.Key] = true
 		}
 	}
-	out := make([]Scored, 0, len(activation))
+	// Bounded top-K selection instead of sorting every ranked node.
+	top := search.NewTopK(opts.K)
 	for n, score := range activation {
 		if n.Kind != NodeShot || seedShots[n.Key] || score <= 0 {
 			continue
@@ -153,16 +156,7 @@ func (g *Graph) RecommendShotsPPR(seeds []Seed, opts Options, ppr PPROptions) ([
 		if opts.Exclude != nil && opts.Exclude(n.Key) {
 			continue
 		}
-		out = append(out, Scored{ShotID: n.Key, Score: score})
+		top.Offer(search.Hit{ID: n.Key, Score: score})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].ShotID < out[j].ShotID
-	})
-	if len(out) > opts.K {
-		out = out[:opts.K]
-	}
-	return out, nil
+	return scoredFromHits(top.Ranked()), nil
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/search"
 )
 
 func sqrt(x float64) float64 { return math.Sqrt(x) }
@@ -128,7 +130,9 @@ func (g *Graph) RecommendShots(seeds []Seed, opts Options) ([]Scored, error) {
 			seedShots[s.Node.Key] = true
 		}
 	}
-	out := make([]Scored, 0, len(activation))
+	// Bounded top-K selection instead of sorting the full activation
+	// map: the graph activates far more shots than the K kept.
+	top := search.NewTopK(opts.K)
 	for n, score := range activation {
 		if n.Kind != NodeShot || seedShots[n.Key] {
 			continue
@@ -136,18 +140,19 @@ func (g *Graph) RecommendShots(seeds []Seed, opts Options) ([]Scored, error) {
 		if opts.Exclude != nil && opts.Exclude(n.Key) {
 			continue
 		}
-		out = append(out, Scored{ShotID: n.Key, Score: score})
+		top.Offer(search.Hit{ID: n.Key, Score: score})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].ShotID < out[j].ShotID
-	})
-	if len(out) > opts.K {
-		out = out[:opts.K]
+	return scoredFromHits(top.Ranked()), nil
+}
+
+// scoredFromHits converts the search layer's ranked hits back into the
+// recommender's Scored form (same (score desc, ID asc) order).
+func scoredFromHits(hits []search.Hit) []Scored {
+	out := make([]Scored, len(hits))
+	for i, h := range hits {
+		out[i] = Scored{ShotID: h.ID, Score: h.Score}
 	}
-	return out, nil
+	return out
 }
 
 // RecommendForUser is the common call: seed from the user node plus

@@ -1,0 +1,314 @@
+// Package retrieval is the serving-side engine layer above raw search:
+// an LRU result cache keyed on (normalized query, evidence-state
+// fingerprint, configuration) with single-flight de-duplication, plus
+// the telemetry snapshot the /api/v1/metrics endpoint publishes for
+// it.
+//
+// The paper's adaptive loop re-runs retrieval after every implicit
+// feedback event, and simulated-study traffic makes repeated
+// near-identical queries the common case. The cache exploits exactly
+// the structure of that loop: a session's ranking is a deterministic
+// function of the analysed query, the implicit-evidence state, and the
+// system configuration — so those three fingerprints ARE the cache
+// key, and a new implicit event invalidates naturally by changing the
+// key rather than by any explicit purge.
+package retrieval
+
+import (
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/search"
+)
+
+// ErrComputePanicked is surfaced to single-flight waiters whose shared
+// computation panicked in the originating goroutine (where the panic
+// itself propagates). Never cached; the next lookup recomputes.
+var ErrComputePanicked = errors.New("retrieval: cached computation panicked")
+
+// Cache is a bounded LRU over ranked results with single-flight
+// computation: concurrent misses on the same key run the underlying
+// search once and share the result. Safe for concurrent use. A nil
+// *Cache is a valid disabled cache (Do computes directly, Stats
+// reports Enabled=false).
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	lru     *list.List               // front = most recently used
+	entries map[string]*list.Element // key -> *entry element
+	flight  map[string]*flightCall
+
+	hits      int64
+	misses    int64
+	shared    int64
+	evictions int64
+}
+
+// entry is one cached ranking.
+type entry struct {
+	key string
+	res search.Results
+}
+
+// flightCall is one in-progress computation other callers can wait on.
+type flightCall struct {
+	done chan struct{}
+	res  search.Results
+	err  error
+}
+
+// NewCache builds a cache bounded to capacity entries. capacity <= 0
+// returns nil: the disabled cache.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Cache{
+		cap:     capacity,
+		lru:     list.New(),
+		entries: make(map[string]*list.Element, capacity),
+		flight:  make(map[string]*flightCall),
+	}
+}
+
+// Enabled reports whether the cache stores anything.
+func (c *Cache) Enabled() bool { return c != nil }
+
+// Len reports the resident entry count.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Do returns the ranking for key, computing it with fn on a miss.
+// Concurrent callers missing on the same key wait for one
+// computation (single-flight); errors are shared with waiters and
+// never cached. The returned Results carries a fresh Hits slice, so
+// callers may re-slice or re-rank without corrupting the cache.
+func (c *Cache) Do(key string, fn func() (search.Results, error)) (search.Results, bool, error) {
+	if c == nil {
+		res, err := fn()
+		return res, false, err
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		res := copyResults(el.Value.(*entry).res)
+		c.mu.Unlock()
+		return res, true, nil
+	}
+	if call, ok := c.flight[key]; ok {
+		c.shared++
+		c.mu.Unlock()
+		<-call.done
+		if call.err != nil {
+			return search.Results{}, false, call.err
+		}
+		return copyResults(call.res), true, nil
+	}
+	call := &flightCall{done: make(chan struct{})}
+	c.flight[key] = call
+	c.misses++
+	c.mu.Unlock()
+
+	// The cleanup is deferred so that a panicking fn (anticipated: the
+	// webapi layer recovers handler panics per request) still releases
+	// the flight entry and wakes waiters with an error — otherwise every
+	// future lookup of this key would block forever on call.done. The
+	// panic itself propagates to the caller unchanged.
+	finished := false
+	func() {
+		defer func() {
+			if !finished {
+				call.err = ErrComputePanicked
+			}
+			close(call.done)
+			c.mu.Lock()
+			delete(c.flight, key)
+			if call.err == nil {
+				c.insert(key, call.res)
+			}
+			c.mu.Unlock()
+		}()
+		call.res, call.err = fn()
+		finished = true
+	}()
+	if call.err != nil {
+		return search.Results{}, false, call.err
+	}
+	return copyResults(call.res), false, nil
+}
+
+// insert stores one entry, evicting from the LRU tail past capacity.
+// Caller holds c.mu; the flight map guarantees key is not yet resident
+// (all other Do calls for it parked on this computation).
+func (c *Cache) insert(key string, res search.Results) {
+	c.entries[key] = c.lru.PushFront(&entry{key: key, res: res})
+	for c.lru.Len() > c.cap {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.entries, tail.Value.(*entry).key)
+		c.evictions++
+	}
+}
+
+// copyResults clones the Hits slice (Hit values are plain data).
+func copyResults(r search.Results) search.Results {
+	hits := make([]search.Hit, len(r.Hits))
+	copy(hits, r.Hits)
+	return search.Results{Hits: hits, Candidates: r.Candidates}
+}
+
+// CacheSnapshot is the cache section of the telemetry snapshot.
+type CacheSnapshot struct {
+	Enabled bool `json:"enabled"`
+	// Hits counts lookups served from a resident entry; Shared counts
+	// lookups that piggybacked on an in-flight computation
+	// (single-flight); Misses counts computations actually run.
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Shared    int64 `json:"shared"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+	// HitRatio is (Hits+Shared)/(Hits+Shared+Misses), 0 before traffic.
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheSnapshot {
+	if c == nil {
+		return CacheSnapshot{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheSnapshot{
+		Enabled:   true,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Shared:    c.shared,
+		Evictions: c.evictions,
+		Entries:   c.lru.Len(),
+		Capacity:  c.cap,
+	}
+	if total := s.Hits + s.Shared + s.Misses; total > 0 {
+		s.HitRatio = float64(s.Hits+s.Shared) / float64(total)
+	}
+	return s
+}
+
+// Fingerprint is an incrementally-built FNV-1a key component. The
+// cache key is the concatenation of the query, evidence and config
+// fingerprints; collisions are 64-bit-hash unlikely and at worst serve
+// a ranking for a colliding state, never a stale one for the same
+// state.
+type Fingerprint struct {
+	h uint64
+}
+
+// NewFingerprint starts an empty fingerprint.
+func NewFingerprint() *Fingerprint {
+	return &Fingerprint{h: 14695981039346656037} // FNV-1a offset basis
+}
+
+const fnvPrime = 1099511628211
+
+// AddString mixes in a string (length-prefixed so concatenations
+// cannot collide).
+func (f *Fingerprint) AddString(s string) *Fingerprint {
+	f.AddUint64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		f.h = (f.h ^ uint64(s[i])) * fnvPrime
+	}
+	return f
+}
+
+// AddUint64 mixes in one 64-bit value.
+func (f *Fingerprint) AddUint64(v uint64) *Fingerprint {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	for _, x := range b {
+		f.h = (f.h ^ uint64(x)) * fnvPrime
+	}
+	return f
+}
+
+// AddFloat64 mixes in a float's exact bit pattern.
+func (f *Fingerprint) AddFloat64(v float64) *Fingerprint {
+	return f.AddUint64(math.Float64bits(v))
+}
+
+// Sum returns the 64-bit fingerprint.
+func (f *Fingerprint) Sum() uint64 { return f.h }
+
+// QueryKey fingerprints an analysed query: field plus the sorted
+// (term, weight) list. Because ParseText lower-cases, stems and sorts,
+// textual variants of the same information need ("Cup FINAL!", "cup
+// final") collapse to the same key.
+func QueryKey(q search.Query) uint64 {
+	f := NewFingerprint()
+	f.AddUint64(uint64(q.Field))
+	for _, t := range q.Terms {
+		f.AddString(t.Term)
+		f.AddFloat64(t.Weight)
+	}
+	return f.Sum()
+}
+
+// EvidenceKey fingerprints an implicit-evidence state: the per-shot
+// relevance mass map (sorted for determinism). Any new implicit event
+// — and, under step-decaying schemes, any step advance — changes the
+// mass and therefore the key, which is the cache's evidence-safety
+// property.
+func EvidenceKey(mass map[string]float64) uint64 {
+	if len(mass) == 0 {
+		return 0
+	}
+	ids := make([]string, 0, len(mass))
+	for id := range mass {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	f := NewFingerprint()
+	for _, id := range ids {
+		f.AddString(id)
+		f.AddFloat64(mass[id])
+	}
+	return f.Sum()
+}
+
+// hashString is a convenience FNV-1a over a plain string.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Key assembles the final cache key from the three fingerprint
+// components.
+func Key(queryKey, evidenceKey uint64, configKey string) string {
+	f := NewFingerprint()
+	f.AddUint64(queryKey)
+	f.AddUint64(evidenceKey)
+	f.AddUint64(hashString(configKey))
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[:8], f.Sum())
+	binary.BigEndian.PutUint64(b[8:], queryKey)
+	const hex = "0123456789abcdef"
+	out := make([]byte, 32)
+	for i, x := range b {
+		out[2*i] = hex[x>>4]
+		out[2*i+1] = hex[x&0xf]
+	}
+	return string(out)
+}

@@ -1,0 +1,272 @@
+package retrieval
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/search"
+)
+
+func res(ids ...string) search.Results {
+	hits := make([]search.Hit, len(ids))
+	for i, id := range ids {
+		hits[i] = search.Hit{ID: id, Score: float64(len(ids) - i)}
+	}
+	return search.Results{Hits: hits, Candidates: len(ids)}
+}
+
+func TestCacheHitMissLRU(t *testing.T) {
+	c := NewCache(2)
+	calls := 0
+	get := func(key string, r search.Results) search.Results {
+		t.Helper()
+		out, _, err := c.Do(key, func() (search.Results, error) { calls++; return r, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	get("a", res("x"))
+	get("a", res("SHOULD NOT RUN"))
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	get("b", res("y"))
+	get("c", res("z")) // evicts "a" (LRU tail)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	get("a", res("x2"))
+	if calls != 4 {
+		t.Fatalf("compute ran %d times, want 4 (a was evicted)", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 4 || st.Evictions != 2 || st.Entries != 2 || st.Capacity != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.HitRatio <= 0 || st.HitRatio >= 1 {
+		t.Fatalf("hit ratio = %v", st.HitRatio)
+	}
+}
+
+func TestCacheReturnsIsolatedCopies(t *testing.T) {
+	c := NewCache(4)
+	first, _, err := c.Do("k", func() (search.Results, error) { return res("a", "b"), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.Hits[0].ID = "mutated"
+	first.Hits[0].Score = -99
+	second, hit, err := c.Do("k", func() (search.Results, error) { return res("nope"), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("expected hit")
+	}
+	if second.Hits[0].ID != "a" || second.Hits[0].Score != 2 {
+		t.Fatalf("cache entry was corrupted by caller mutation: %+v", second.Hits[0])
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := NewCache(4)
+	boom := errors.New("boom")
+	if _, _, err := c.Do("k", func() (search.Results, error) { return search.Results{}, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	out, hit, err := c.Do("k", func() (search.Results, error) { return res("ok"), nil })
+	if err != nil || hit {
+		t.Fatalf("after error: hit=%v err=%v", hit, err)
+	}
+	if len(out.Hits) != 1 || out.Hits[0].ID != "ok" {
+		t.Fatalf("recomputed result wrong: %+v", out)
+	}
+}
+
+func TestNilCacheComputesDirectly(t *testing.T) {
+	var c *Cache
+	if c.Enabled() {
+		t.Fatal("nil cache claims enabled")
+	}
+	out, hit, err := c.Do("k", func() (search.Results, error) { return res("a"), nil })
+	if err != nil || hit || len(out.Hits) != 1 {
+		t.Fatalf("nil cache Do: %+v %v %v", out, hit, err)
+	}
+	if st := c.Stats(); st.Enabled {
+		t.Fatal("nil cache stats enabled")
+	}
+	if NewCache(0) != nil {
+		t.Fatal("capacity 0 should build the disabled cache")
+	}
+}
+
+// TestCacheSingleflight proves concurrent misses on one key run the
+// computation once and share the result.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(8)
+	var computes atomic.Int64
+	start := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	const callers = 16
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			out, _, err := c.Do("hot", func() (search.Results, error) {
+				computes.Add(1)
+				<-release
+				return res("r"), nil
+			})
+			if err != nil || len(out.Hits) != 1 || out.Hits[0].ID != "r" {
+				t.Errorf("caller got %+v, %v", out, err)
+			}
+		}()
+	}
+	close(start)
+	time.Sleep(20 * time.Millisecond) // let callers pile onto the flight
+	close(release)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computation ran %d times, want 1", n)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Shared != callers-1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d shared", st, callers-1)
+	}
+}
+
+// TestCacheConcurrent hammers mixed keys under the race detector.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%24)
+				out, _, err := c.Do(key, func() (search.Results, error) { return res(key), nil })
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(out.Hits) != 1 || out.Hits[0].ID != key {
+					t.Errorf("key %s got %+v", key, out.Hits)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("cache overflowed capacity: %d", c.Len())
+	}
+}
+
+func TestFingerprints(t *testing.T) {
+	q1 := search.Query{Terms: []search.WeightedTerm{{Term: "cup", Weight: 1}, {Term: "final", Weight: 1}}}
+	q2 := search.Query{Terms: []search.WeightedTerm{{Term: "cup", Weight: 1}, {Term: "final", Weight: 1}}}
+	if QueryKey(q1) != QueryKey(q2) {
+		t.Error("identical queries fingerprint differently")
+	}
+	q2.Terms[1].Weight = 1.5
+	if QueryKey(q1) == QueryKey(q2) {
+		t.Error("weight change not reflected in query key")
+	}
+	m1 := map[string]float64{"s1": 1, "s2": 0.5}
+	m2 := map[string]float64{"s2": 0.5, "s1": 1}
+	if EvidenceKey(m1) != EvidenceKey(m2) {
+		t.Error("evidence key depends on map order")
+	}
+	m2["s3"] = 0.1
+	if EvidenceKey(m1) == EvidenceKey(m2) {
+		t.Error("new evidence not reflected in key")
+	}
+	if EvidenceKey(nil) != 0 {
+		t.Error("empty evidence should key to 0")
+	}
+	if Key(1, 2, "a") == Key(1, 2, "b") {
+		t.Error("config not reflected in key")
+	}
+	if Key(1, 2, "a") != Key(1, 2, "a") {
+		t.Error("key not deterministic")
+	}
+}
+
+func TestSegmentTimings(t *testing.T) {
+	st := NewSegmentTimings([]int{10, 20})
+	st.Observe(0, 5, time.Millisecond)
+	st.Observe(1, 7, 2*time.Millisecond)
+	st.Observe(1, 7, 3*time.Millisecond)
+	st.Observe(9, 0, time.Millisecond) // out of range: ignored
+	sums := st.Summaries()
+	if len(sums) != 2 {
+		t.Fatalf("%d summaries", len(sums))
+	}
+	if sums[0].Docs != 10 || sums[0].Searches != 1 {
+		t.Errorf("segment 0: %+v", sums[0])
+	}
+	if sums[1].Docs != 20 || sums[1].Searches != 2 || sums[1].Latency.MaxMS <= 0 {
+		t.Errorf("segment 1: %+v", sums[1])
+	}
+}
+
+// TestCachePanicUnwedgesKey: a panicking computation must not wedge
+// its key — waiters get ErrComputePanicked, the panic propagates to
+// the originating caller, and the next lookup recomputes.
+func TestCachePanicUnwedgesKey(t *testing.T) {
+	c := NewCache(4)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var waitErr error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate to the originating caller")
+			}
+		}()
+		_, _, _ = c.Do("k", func() (search.Results, error) {
+			close(entered)
+			<-release
+			panic("boom")
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		<-entered // ensure we join the in-flight call, not start our own
+		// Non-deterministic join: if the first call already cleaned
+		// up, this Do recomputes ("a", waitErr nil) instead of sharing
+		// the panic; both are acceptable, a hang is not.
+		_, _, waitErr = c.Do("k", func() (search.Results, error) { return res("a"), nil })
+	}()
+	close(release)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cache deadlocked after a panicking computation")
+	}
+	if waitErr != nil && !errors.Is(waitErr, ErrComputePanicked) {
+		t.Fatalf("waiter error = %v, want ErrComputePanicked or nil", waitErr)
+	}
+	// The key must be free again: a fresh computation (or the waiter's
+	// recompute) serves "a"; the panicked attempt cached nothing.
+	got, hit, err := c.Do("k", func() (search.Results, error) { return res("a"), nil })
+	if err != nil || len(got.Hits) != 1 || got.Hits[0].ID != "a" {
+		t.Fatalf("recompute after panic: hits=%v hit=%v err=%v", got.Hits, hit, err)
+	}
+	if st := c.Stats(); st.Entries > 1 {
+		t.Fatalf("panicked result was cached: %+v", st)
+	}
+}

@@ -1,0 +1,69 @@
+package retrieval
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// SegmentSummary is one index segment's execution telemetry: how many
+// documents it holds, how many times it has been scored, and its
+// scoring-latency quantiles.
+type SegmentSummary struct {
+	Segment  int                    `json:"segment"`
+	Docs     int                    `json:"docs"`
+	Searches int64                  `json:"searches"`
+	Latency  metrics.LatencySummary `json:"latency"`
+}
+
+// Snapshot is the retrieval-engine section of the /api/v1/metrics
+// body: cache counters plus per-segment fan-out timing.
+type Snapshot struct {
+	Cache CacheSnapshot `json:"cache"`
+	// Segments is present when the engine fans out over more than one
+	// segment (or when timing is wired at all).
+	Segments []SegmentSummary `json:"segments,omitempty"`
+	// Workers is the fan-out worker bound (1 = sequential).
+	Workers int `json:"workers,omitempty"`
+}
+
+// SegmentTimings accumulates per-segment scoring latency. Observe is
+// lock-free (the histograms are atomic), so it can sit directly on the
+// engine's fan-out hot path as a search.SegmentObserver.
+type SegmentTimings struct {
+	docs  []int
+	hists []*metrics.Histogram
+}
+
+// NewSegmentTimings sizes the collector for segments with the given
+// document counts.
+func NewSegmentTimings(docs []int) *SegmentTimings {
+	st := &SegmentTimings{docs: docs, hists: make([]*metrics.Histogram, len(docs))}
+	for i := range st.hists {
+		st.hists[i] = &metrics.Histogram{}
+	}
+	return st
+}
+
+// Observe records one segment scoring pass (candidates is accepted to
+// match search.SegmentObserver; the per-pass latency is what is kept).
+func (st *SegmentTimings) Observe(segment, candidates int, d time.Duration) {
+	if segment < 0 || segment >= len(st.hists) {
+		return
+	}
+	st.hists[segment].Observe(d)
+}
+
+// Summaries snapshots every segment's telemetry.
+func (st *SegmentTimings) Summaries() []SegmentSummary {
+	out := make([]SegmentSummary, len(st.hists))
+	for i, h := range st.hists {
+		out[i] = SegmentSummary{
+			Segment:  i,
+			Docs:     st.docs[i],
+			Searches: int64(h.Count()),
+			Latency:  h.Summary(),
+		}
+	}
+	return out
+}

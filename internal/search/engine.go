@@ -2,7 +2,11 @@ package search
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/index"
 	"repro/internal/text"
@@ -63,7 +67,11 @@ type Options struct {
 	// Scorer defaults to BM25{}.
 	Scorer Scorer
 	// Filter, when non-nil, drops documents for which it returns false
-	// before ranking (used e.g. to exclude already-seen shots).
+	// before ranking (used e.g. to exclude already-seen shots). On a
+	// multi-segment engine the filter is called from several worker
+	// goroutines at once, so it must be safe for concurrent use (pure
+	// functions over immutable data, like the core package's metadata
+	// filters, are).
 	Filter func(id string) bool
 }
 
@@ -71,25 +79,115 @@ type Options struct {
 // keyframes in the desktop interface.
 const DefaultK = 100
 
-// Engine executes queries against an index. It is safe for concurrent
-// use; all state is read-only.
-type Engine struct {
-	ix       *index.Index
-	analyzer *text.Analyzer
+// SegmentObserver receives per-segment execution telemetry: the
+// segment ordinal, how many candidate documents it contributed, and
+// how long scoring it took. Implementations must be safe for
+// concurrent use — segments report from worker goroutines.
+type SegmentObserver func(segment, candidates int, d time.Duration)
+
+// statsView is the collection-wide statistics surface shared by a
+// monolithic *index.Index and an *index.Sharded. Scoring always uses
+// these global statistics — never per-segment ones — which is what
+// makes sharded execution return bit-identical scores to a
+// single-index scan.
+type statsView interface {
+	NumDocs() int
+	AvgDocLen(index.Field) float64
+	TotalFieldLen(index.Field) int64
+	DocFreq(index.Field, string) int
+	CollectionFreq(index.Field, string) int64
+	DocIDOf(string) (index.DocID, bool)
 }
 
-// NewEngine wraps an index with the analysis pipeline used at query
-// time. analyzer may be nil, selecting the default pipeline; it must
-// match the pipeline used at indexing time for text retrieval to work.
+// Engine executes queries against an index, either a single segment or
+// a sharded index fanned out over a worker pool. It is safe for
+// concurrent use; all state is read-only after construction.
+type Engine struct {
+	segs     []*index.Index
+	sharded  *index.Sharded // nil when wrapping a single Index
+	stats    statsView
+	analyzer *text.Analyzer
+	workers  int
+	obs      SegmentObserver
+}
+
+// NewEngine wraps a single index with the analysis pipeline used at
+// query time. analyzer may be nil, selecting the default pipeline; it
+// must match the pipeline used at indexing time for text retrieval to
+// work.
 func NewEngine(ix *index.Index, analyzer *text.Analyzer) *Engine {
 	if analyzer == nil {
 		analyzer = text.NewAnalyzer()
 	}
-	return &Engine{ix: ix, analyzer: analyzer}
+	return &Engine{
+		segs:     []*index.Index{ix},
+		stats:    ix,
+		analyzer: analyzer,
+		workers:  1,
+	}
 }
 
-// Index exposes the underlying index (read-only use).
-func (e *Engine) Index() *index.Index { return e.ix }
+// NewShardedEngine wraps a sharded index. Queries score every segment
+// on a pool of `workers` goroutines (0 selects GOMAXPROCS) and merge
+// the per-segment top-k lists; ranking output is identical to a
+// single-index engine over the same document stream.
+func NewShardedEngine(sh *index.Sharded, analyzer *text.Analyzer, workers int) *Engine {
+	if analyzer == nil {
+		analyzer = text.NewAnalyzer()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	segs := make([]*index.Index, sh.NumSegments())
+	for i := range segs {
+		segs[i] = sh.Segment(i)
+	}
+	return &Engine{
+		segs:     segs,
+		sharded:  sh,
+		stats:    sh,
+		analyzer: analyzer,
+		workers:  workers,
+	}
+}
+
+// Index exposes the underlying index when the engine wraps exactly one
+// (read-only use). A sharded engine returns nil; use NumDocs/DocFreq
+// and friends, which aggregate across segments.
+func (e *Engine) Index() *index.Index {
+	if e.sharded != nil {
+		return nil
+	}
+	return e.segs[0]
+}
+
+// Sharded exposes the underlying sharded index (nil for a
+// single-index engine).
+func (e *Engine) Sharded() *index.Sharded { return e.sharded }
+
+// NumSegments reports how many index segments the engine scores.
+func (e *Engine) NumSegments() int { return len(e.segs) }
+
+// SegmentDocs returns the document count of segment i.
+func (e *Engine) SegmentDocs(i int) int { return e.segs[i].NumDocs() }
+
+// Workers reports the fan-out worker bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// NumDocs returns the collection-wide document count.
+func (e *Engine) NumDocs() int { return e.stats.NumDocs() }
+
+// DocFreq returns the collection-wide document frequency of term in
+// field f.
+func (e *Engine) DocFreq(f index.Field, term string) int { return e.stats.DocFreq(f, term) }
+
+// DocIDOf maps an external identifier to its global DocID.
+func (e *Engine) DocIDOf(ext string) (index.DocID, bool) { return e.stats.DocIDOf(ext) }
+
+// SetSegmentObserver installs a telemetry hook invoked once per
+// segment per search. Install at wiring time, before the engine serves
+// queries; the engine does not synchronise the field itself.
+func (e *Engine) SetSegmentObserver(obs SegmentObserver) { e.obs = obs }
 
 // Analyzer exposes the query analysis pipeline.
 func (e *Engine) Analyzer() *text.Analyzer { return e.analyzer }
@@ -116,8 +214,65 @@ func ConceptQuery(concepts ...string) Query {
 	return Query{Field: index.FieldConcept, Terms: terms}
 }
 
+// globalID converts a segment-local document id to the engine-wide id.
+func (e *Engine) globalID(segment int, local index.DocID) index.DocID {
+	if e.sharded == nil {
+		return local
+	}
+	return e.sharded.GlobalID(segment, local)
+}
+
+// segmentResult is one segment's contribution to a query.
+type segmentResult struct {
+	hits       []Hit
+	candidates int
+}
+
+// scoreSegment runs term-at-a-time scoring over one segment using the
+// precomputed *global* term statistics, and keeps the segment's local
+// top-k. Because every document lives in exactly one segment and term
+// contributions accumulate in query-term order exactly as in the
+// monolithic scan, per-document scores are bit-identical to the
+// sequential path.
+func (e *Engine) scoreSegment(segment int, q Query, stats []TermStats, scorer Scorer,
+	filter func(string) bool, k int) segmentResult {
+	start := time.Now()
+	seg := e.segs[segment]
+	acc := make(map[index.DocID]float64)
+	for ti, t := range q.Terms {
+		if stats[ti].DF == 0 || t.Weight == 0 {
+			continue
+		}
+		it := seg.Postings(q.Field, t.Term)
+		for it.Next() {
+			doc := it.Doc()
+			acc[doc] += scorer.TermScore(stats[ti], it.TF(), seg.DocLen(q.Field, doc))
+		}
+	}
+	sumW := q.SumWeights()
+	top := NewTopK(k)
+	candidates := 0
+	for doc, score := range acc {
+		id := seg.ExternalID(doc)
+		if filter != nil && !filter(id) {
+			continue
+		}
+		candidates++
+		score += scorer.DocScore(sumW, seg.DocLen(q.Field, doc))
+		top.Offer(Hit{Doc: e.globalID(segment, doc), ID: id, Score: score})
+	}
+	if e.obs != nil {
+		e.obs(segment, candidates, time.Since(start))
+	}
+	return segmentResult{hits: top.Ranked(), candidates: candidates}
+}
+
 // Search executes q and returns the top-K hits ordered by descending
-// score, ties broken by ascending external ID for reproducibility.
+// score, ties broken by ascending external ID for reproducibility. On
+// a multi-segment engine the segments are scored concurrently on the
+// worker pool and merged; the ranking is identical to the sequential
+// single-index scan because scoring uses collection-wide statistics
+// and the rank order is total (score, then ID).
 func (e *Engine) Search(q Query, opts Options) (Results, error) {
 	if len(q.Terms) == 0 {
 		return Results{}, nil
@@ -135,40 +290,57 @@ func (e *Engine) Search(q Query, opts Options) (Results, error) {
 			return Results{}, fmt.Errorf("search: negative weight %v for term %q", t.Weight, t.Term)
 		}
 	}
-	n := e.ix.NumDocs()
-	avgdl := e.ix.AvgDocLen(q.Field)
-	totalLen := e.ix.TotalFieldLen(q.Field)
 
-	acc := make(map[index.DocID]float64)
-	for _, t := range q.Terms {
-		df := e.ix.DocFreq(q.Field, t.Term)
-		if df == 0 || t.Weight == 0 {
-			continue
-		}
-		st := TermStats{
+	// Collection-wide statistics, computed once and shared by every
+	// segment worker.
+	n := e.stats.NumDocs()
+	avgdl := e.stats.AvgDocLen(q.Field)
+	totalLen := e.stats.TotalFieldLen(q.Field)
+	stats := make([]TermStats, len(q.Terms))
+	for i, t := range q.Terms {
+		stats[i] = TermStats{
 			N: n, AvgDocLen: avgdl, TotalLen: totalLen,
-			DF: df, CF: e.ix.CollectionFreq(q.Field, t.Term),
+			DF: e.stats.DocFreq(q.Field, t.Term), CF: e.stats.CollectionFreq(q.Field, t.Term),
 			Weight: t.Weight,
 		}
-		it := e.ix.Postings(q.Field, t.Term)
-		for it.Next() {
-			doc := it.Doc()
-			acc[doc] += scorer.TermScore(st, it.TF(), e.ix.DocLen(q.Field, doc))
-		}
 	}
-	sumW := q.SumWeights()
-	top := newTopK(k)
+
+	results := make([]segmentResult, len(e.segs))
+	if workers := min(e.workers, len(e.segs)); workers <= 1 {
+		for i := range e.segs {
+			results[i] = e.scoreSegment(i, q, stats, scorer, opts.Filter, k)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(e.segs) {
+						return
+					}
+					results[i] = e.scoreSegment(i, q, stats, scorer, opts.Filter, k)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Merge: each segment kept its k best, so the global top-k is in
+	// the union; the total (score, ID) order makes the merge
+	// order-independent.
+	top := NewTopK(k)
 	candidates := 0
-	for doc, score := range acc {
-		id := e.ix.ExternalID(doc)
-		if opts.Filter != nil && !opts.Filter(id) {
-			continue
+	for _, r := range results {
+		candidates += r.candidates
+		for _, h := range r.hits {
+			top.Offer(h)
 		}
-		candidates++
-		score += scorer.DocScore(sumW, e.ix.DocLen(q.Field, doc))
-		top.offer(Hit{Doc: doc, ID: id, Score: score})
 	}
-	return Results{Hits: top.ranked(), Candidates: candidates}, nil
+	return Results{Hits: top.Ranked(), Candidates: candidates}, nil
 }
 
 // SearchMultiField runs the same information need against several

@@ -40,11 +40,11 @@ func Fuse(f Fuser, lists [][]Hit, k int) []Hit {
 		}
 	}
 	scores := f.fuse(entries)
-	top := newTopK(k)
+	top := NewTopK(k)
 	for id, s := range scores {
-		top.offer(Hit{ID: id, Score: s})
+		top.Offer(Hit{ID: id, Score: s})
 	}
-	return top.ranked()
+	return top.Ranked()
 }
 
 // CombSUM sums normalised scores across lists.

@@ -1,0 +1,236 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/text"
+)
+
+// buildCorpus builds the same random document stream into one single
+// index and one n-segment sharded index.
+func buildCorpus(t testing.TB, seed int64, docs, segments int) (*index.Index, *index.Sharded) {
+	t.Helper()
+	vocab := []string{
+		"goal", "match", "referee", "vote", "budget", "storm", "flood",
+		"anthem", "strike", "summit", "crowd", "stadium", "election",
+	}
+	gen := func(add func(*index.Document) error) {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < docs; i++ {
+			d := index.NewDocument(fmt.Sprintf("s%04d", i))
+			for j := 0; j < 2+rng.Intn(12); j++ {
+				d.AddTerms(index.FieldText, vocab[rng.Intn(len(vocab))])
+			}
+			if rng.Intn(3) == 0 {
+				d.SetTermCount(index.FieldConcept, vocab[rng.Intn(len(vocab))], 1+rng.Intn(9))
+			}
+			if err := add(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sb := index.NewBuilder()
+	gen(sb.AddDocument)
+	shb := index.NewShardedBuilder(segments)
+	gen(shb.AddDocument)
+	sh, err := shb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sb.Build(), sh
+}
+
+// queriesFor draws random multi-term queries from the corpus vocabulary.
+func queriesFor(seed int64, n int) []string {
+	vocab := []string{"goal", "match", "vote", "storm", "anthem", "summit", "crowd", "election", "missing"}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, n)
+	for i := range out {
+		q := vocab[rng.Intn(len(vocab))]
+		for j := 0; j < rng.Intn(3); j++ {
+			q += " " + vocab[rng.Intn(len(vocab))]
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// TestParallelScoreParity is the engine-level parity guarantee: the
+// sharded parallel executor must return bit-identical rankings
+// (IDs, scores, and global doc ids) to the sequential single-index
+// scan, across seeds, scorers, segment counts and K.
+func TestParallelScoreParity(t *testing.T) {
+	scorers := []Scorer{BM25{}, TFIDF{}, DirichletLM{}}
+	for _, seed := range []int64{1, 2008, 77} {
+		for _, segments := range []int{2, 3, 8} {
+			single, sh := buildCorpus(t, seed, 120, segments)
+			an := text.NewAnalyzer()
+			seq := NewEngine(single, an)
+			par := NewShardedEngine(sh, an, 4)
+			for qi, qt := range queriesFor(seed, 12) {
+				for _, scorer := range scorers {
+					for _, k := range []int{5, 50, 1000} {
+						opts := Options{K: k, Scorer: scorer}
+						want, err := seq.Search(seq.ParseText(qt), opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := par.Search(par.ParseText(qt), opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(got, want) {
+							t.Fatalf("seed=%d segs=%d q%d=%q scorer=%s k=%d: parallel ranking diverged\n got %+v\nwant %+v",
+								seed, segments, qi, qt, scorer.Name(), k, got.Hits, want.Hits)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSequentialExecutionOfSameSegments pins down that
+// the worker-pool path and the in-order path over the *same* sharded
+// index agree (executor parity, independent of index construction).
+func TestParallelMatchesSequentialExecutionOfSameSegments(t *testing.T) {
+	_, sh := buildCorpus(t, 5, 90, 4)
+	an := text.NewAnalyzer()
+	par := NewShardedEngine(sh, an, 8)
+	seq := NewShardedEngine(sh, an, 1)
+	for _, qt := range queriesFor(5, 10) {
+		want, err := seq.Search(seq.ParseText(qt), Options{K: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := par.Search(par.ParseText(qt), Options{K: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("q=%q: worker-pool result differs from in-order result", qt)
+		}
+	}
+}
+
+func TestParallelFilterAndConceptField(t *testing.T) {
+	single, sh := buildCorpus(t, 9, 100, 3)
+	an := text.NewAnalyzer()
+	seq := NewEngine(single, an)
+	par := NewShardedEngine(sh, an, 3)
+	filter := func(id string) bool { return id[len(id)-1]%2 == 0 }
+	want, err := seq.Search(seq.ParseText("goal storm"), Options{K: 40, Filter: filter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := par.Search(par.ParseText("goal storm"), Options{K: 40, Filter: filter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("filtered parallel ranking diverged")
+	}
+	wantC, err := seq.Search(ConceptQuery("crowd", "stadium"), Options{K: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotC, err := par.Search(ConceptQuery("crowd", "stadium"), Options{K: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotC, wantC) {
+		t.Fatal("concept-field parallel ranking diverged")
+	}
+}
+
+// TestParallelSearchConcurrent exercises the fan-out under the race
+// detector: many goroutines searching one sharded engine at once.
+func TestParallelSearchConcurrent(t *testing.T) {
+	_, sh := buildCorpus(t, 13, 150, 4)
+	eng := NewShardedEngine(sh, text.NewAnalyzer(), 4)
+	want, err := eng.Search(eng.ParseText("goal vote"), Options{K: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				got, err := eng.Search(eng.ParseText("goal vote"), Options{K: 25})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(got, want) {
+					errs <- fmt.Errorf("concurrent search diverged")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentObserver(t *testing.T) {
+	_, sh := buildCorpus(t, 21, 60, 3)
+	eng := NewShardedEngine(sh, text.NewAnalyzer(), 2)
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	total := 0
+	eng.SetSegmentObserver(func(segment, candidates int, d time.Duration) {
+		if d < 0 {
+			t.Errorf("negative duration for segment %d", segment)
+		}
+		mu.Lock()
+		seen[segment]++
+		total += candidates
+		mu.Unlock()
+	})
+	res, err := eng.Search(eng.ParseText("goal"), Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != eng.NumSegments() {
+		t.Fatalf("observer saw %d segments, want %d", len(seen), eng.NumSegments())
+	}
+	if total != res.Candidates {
+		t.Errorf("observer candidates %d != result candidates %d", total, res.Candidates)
+	}
+}
+
+func TestShardedEngineStats(t *testing.T) {
+	single, sh := buildCorpus(t, 31, 40, 4)
+	seq := NewEngine(single, nil)
+	par := NewShardedEngine(sh, nil, 0)
+	if par.Index() != nil {
+		t.Error("sharded engine leaked a single-index view")
+	}
+	if seq.Index() == nil {
+		t.Error("single engine hid its index")
+	}
+	if par.NumDocs() != seq.NumDocs() {
+		t.Errorf("NumDocs %d vs %d", par.NumDocs(), seq.NumDocs())
+	}
+	if par.DocFreq(index.FieldText, "goal") != seq.DocFreq(index.FieldText, "goal") {
+		t.Error("aggregated DocFreq mismatch")
+	}
+	if par.Workers() <= 0 {
+		t.Error("workers not defaulted")
+	}
+	if d, ok := par.DocIDOf("s0007"); !ok || single.ExternalID(d) != "s0007" {
+		t.Errorf("DocIDOf mismatch: %d %v", d, ok)
+	}
+}

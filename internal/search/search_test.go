@@ -388,15 +388,15 @@ func TestTopKOfferOrderIndependent(t *testing.T) {
 	for i := range hits {
 		hits[i] = Hit{ID: fmt.Sprintf("d%03d", i), Score: float64(i % 10)}
 	}
-	a := newTopK(10)
+	a := NewTopK(10)
 	for _, h := range hits {
-		a.offer(h)
+		a.Offer(h)
 	}
-	b := newTopK(10)
+	b := NewTopK(10)
 	for i := len(hits) - 1; i >= 0; i-- {
-		b.offer(hits[i])
+		b.Offer(hits[i])
 	}
-	if !reflect.DeepEqual(a.ranked(), b.ranked()) {
+	if !reflect.DeepEqual(a.Ranked(), b.Ranked()) {
 		t.Error("topK result depends on offer order")
 	}
 }

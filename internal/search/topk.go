@@ -14,16 +14,25 @@ func hitLess(a, b Hit) bool {
 	return a.ID < b.ID
 }
 
-// topK is a bounded min-heap keeping the K best hits seen so far.
-type topK struct {
+// TopK is a bounded min-heap keeping the K best hits seen so far: the
+// streaming alternative to sorting a full candidate list and cutting
+// it to K (O(n log k) instead of O(n log n), and O(k) memory). Because
+// (score desc, ID asc) is a total order, the kept set — and therefore
+// Ranked's output — is independent of Offer order, which is what lets
+// parallel segment scorers merge without re-sorting candidates.
+//
+// A TopK is single-goroutine; merge concurrent producers by offering
+// their Ranked() outputs into one final TopK.
+type TopK struct {
 	k    int
 	heap hitHeap
 }
 
-func newTopK(k int) *topK { return &topK{k: k} }
+// NewTopK returns an empty collector bounded to the k best hits.
+func NewTopK(k int) *TopK { return &TopK{k: k} }
 
-// offer considers one hit.
-func (t *topK) offer(h Hit) {
+// Offer considers one hit.
+func (t *TopK) Offer(h Hit) {
 	if t.k <= 0 {
 		return
 	}
@@ -39,8 +48,11 @@ func (t *topK) offer(h Hit) {
 	}
 }
 
-// ranked extracts the kept hits in final rank order.
-func (t *topK) ranked() []Hit {
+// Len reports how many hits are currently kept.
+func (t *TopK) Len() int { return len(t.heap) }
+
+// Ranked extracts the kept hits in final rank order.
+func (t *TopK) Ranked() []Hit {
 	out := make([]Hit, len(t.heap))
 	copy(out, t.heap)
 	sort.Slice(out, func(i, j int) bool { return hitLess(out[i], out[j]) })

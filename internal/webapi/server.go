@@ -45,6 +45,7 @@ import (
 	"repro/internal/ilog"
 	"repro/internal/metrics"
 	"repro/internal/profile"
+	"repro/internal/retrieval"
 )
 
 // Error codes in the envelope; stable API vocabulary for clients.
@@ -152,11 +153,14 @@ func (s *Server) Close() error {
 // Handler returns the middleware-wrapped route table.
 func (s *Server) Handler() http.Handler { return s.handler }
 
-// Telemetry labels for the two catch-all handlers (real routes are
-// labelled by their mux pattern).
+// Telemetry labels for the two catch-all handlers. Real routes are
+// labelled by their mux pattern ("GET /api/v1/search"); the catch-alls
+// follow the same "<method> <pattern>" shape with "*" as the
+// any-method marker so every label in /api/v1/metrics parses the same
+// way.
 const (
-	routeLegacy    = "legacy /api/"
-	routeUnmatched = "unmatched"
+	routeLegacy    = "* /api/"
+	routeUnmatched = "* /"
 )
 
 // routes builds the versioned route table plus the legacy redirect.
@@ -409,10 +413,12 @@ type sessionCounters struct {
 
 // metricsResponse is the /api/v1/metrics schema: the registry
 // snapshot (uptime, in-flight gauge, per-route counters + latency
-// quantiles) plus session-table counters.
+// quantiles), session-table counters, and the retrieval-engine
+// section (result-cache counters + per-segment fan-out timing).
 type metricsResponse struct {
 	metrics.Snapshot
-	Sessions sessionCounters `json:"sessions"`
+	Sessions sessionCounters    `json:"sessions"`
+	Search   retrieval.Snapshot `json:"search"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -420,6 +426,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, metricsResponse{
 		Snapshot: s.metrics.TakeSnapshot(),
 		Sessions: sessionCounters{Live: st.Live, Created: st.Created, Evicted: st.Evicted},
+		Search:   s.sys.RetrievalSnapshot(),
 	})
 }
 

@@ -707,3 +707,100 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Errorf("search 400 count = %d, want 1", got)
 	}
 }
+
+// TestMetricsSearchSection covers the retrieval-engine block of
+// /api/v1/metrics: cache hit/miss/entry counters and per-segment
+// fan-out timing, plus the normalized "<method> <pattern>" style of
+// the catch-all route labels.
+func TestMetricsSearchSection(t *testing.T) {
+	arch, err := synth.Generate(synth.TinyConfig(), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystemFromCollection(arch.Collection, core.Config{
+		UseImplicit: true, Segments: 3, SearchWorkers: 2, CacheSize: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	id := createSession(t, ts, map[string]any{})
+	q := strings.ReplaceAll(arch.Truth.SearchTopics[0].Query, " ", "+")
+	// Same session, same query, no new evidence: second call must hit.
+	doJSON(t, "GET", fmt.Sprintf("%s/api/v1/search?session=%s&q=%s", ts.URL, id, q), nil, http.StatusOK, nil)
+	doJSON(t, "GET", fmt.Sprintf("%s/api/v1/search?session=%s&q=%s", ts.URL, id, q), nil, http.StatusOK, nil)
+	// Exercise the catch-alls for the label check.
+	doJSON(t, "GET", ts.URL+"/api/sessions", nil, http.StatusPermanentRedirect, nil)
+	wantEnvelope(t, "GET", ts.URL+"/nope", nil, http.StatusNotFound, "not_found")
+
+	var m struct {
+		Routes map[string]struct {
+			Count int64 `json:"count"`
+		} `json:"routes"`
+		Search struct {
+			Cache struct {
+				Enabled  bool    `json:"enabled"`
+				Hits     int64   `json:"hits"`
+				Misses   int64   `json:"misses"`
+				Entries  int     `json:"entries"`
+				Capacity int     `json:"capacity"`
+				HitRatio float64 `json:"hit_ratio"`
+			} `json:"cache"`
+			Segments []struct {
+				Segment  int   `json:"segment"`
+				Docs     int   `json:"docs"`
+				Searches int64 `json:"searches"`
+				Latency  struct {
+					Count uint64 `json:"count"`
+				} `json:"latency"`
+			} `json:"segments"`
+			Workers int `json:"workers"`
+		} `json:"search"`
+	}
+	doJSON(t, "GET", ts.URL+"/api/v1/metrics", nil, http.StatusOK, &m)
+
+	c := m.Search.Cache
+	if !c.Enabled || c.Capacity != 32 {
+		t.Errorf("cache block = %+v", c)
+	}
+	if c.Misses != 1 || c.Hits != 1 || c.Entries != 1 {
+		t.Errorf("cache counters = %+v, want 1 miss, 1 hit, 1 entry", c)
+	}
+	if c.HitRatio != 0.5 {
+		t.Errorf("hit ratio = %v, want 0.5", c.HitRatio)
+	}
+	if len(m.Search.Segments) != 3 || m.Search.Workers != 2 {
+		t.Fatalf("segments = %+v workers = %d", m.Search.Segments, m.Search.Workers)
+	}
+	docs := 0
+	for i, seg := range m.Search.Segments {
+		if seg.Segment != i || seg.Searches == 0 || seg.Latency.Count == 0 {
+			t.Errorf("segment %d = %+v, want scored with timing", i, seg)
+		}
+		docs += seg.Docs
+	}
+	if docs != arch.Collection.NumShots() {
+		t.Errorf("segment docs sum to %d, want %d", docs, arch.Collection.NumShots())
+	}
+	if m.Routes[routeLegacy].Count == 0 {
+		t.Errorf("legacy catch-all not recorded under %q; routes: %v", routeLegacy, keysOf(m.Routes))
+	}
+	if m.Routes[routeUnmatched].Count == 0 {
+		t.Errorf("unmatched catch-all not recorded under %q", routeUnmatched)
+	}
+}
+
+func keysOf[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
