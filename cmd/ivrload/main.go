@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/loadgen"
+	"repro/internal/retrieval"
 	"repro/internal/synth"
 	"repro/internal/ui"
 )
@@ -154,6 +155,28 @@ func main() {
 	}
 	fmt.Printf("    sessions created: server %d, live now %d, evicted %d\n",
 		after.Sessions.Created-before.Sessions.Created, after.Sessions.Live, after.Sessions.Evicted)
+
+	// Retrieval topology behind the numbers, recorded into the report
+	// so BENCH json distinguishes in-process from distributed runs.
+	rep.Topology = &loadgen.Topology{
+		Distributed: len(after.Search.Backends) > 0,
+		Backends:    len(after.Search.Backends),
+		Segments:    len(after.Search.Segments),
+		Workers:     after.Search.Workers,
+	}
+	fmt.Printf("    topology: %s\n", rep.Topology)
+	// RPC/error counts are differenced against the pre-run snapshot so
+	// they describe this run, like the cache counters below (the p95 is
+	// the server-lifetime quantile, as on every other latency line).
+	beforeBackends := make(map[string]retrieval.BackendSummary, len(before.Search.Backends))
+	for _, b := range before.Search.Backends {
+		beforeBackends[b.Addr] = b
+	}
+	for _, b := range after.Search.Backends {
+		prev := beforeBackends[b.Addr]
+		fmt.Printf("      backend %-24s segments %v  %d rpcs, %d errors, p95 %.1fms\n",
+			b.Addr, b.Segments, b.Requests-prev.Requests, b.Errors-prev.Errors, b.Latency.P95MS)
+	}
 
 	// Retrieval-engine view of the run: result-cache effectiveness and
 	// server-side search latency, differenced against the pre-run

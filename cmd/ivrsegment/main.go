@@ -1,0 +1,141 @@
+// Command ivrsegment hosts index segments as a standalone process
+// behind the /rpc/v1 segment RPC surface — the storage/scoring tier of
+// the distributed topology. An ivrserve merge tier started with
+// -segment-addrs scatters queries over a set of ivrsegment processes
+// and gathers their partial top-k lists; rankings are bit-identical to
+// a single-process ivrserve over the same archive.
+//
+// Every ivrsegment of one topology must be started from the same
+// archive (same -archive, or same -seed/-full) and the same -segments
+// count; the merge tier verifies both via a collection hash before
+// serving. -host picks which segment ordinals this process scores, so
+// a 4-segment topology can be split 2x2:
+//
+//	ivrsegment -addr :8091 -segments 4 -host 0,1
+//	ivrsegment -addr :8092 -segments 4 -host 2,3
+//	ivrserve   -segment-addrs http://localhost:8091,http://localhost:8092
+//
+// Routes (all JSON; errors use the /api/v1 envelope):
+//
+//	GET  /rpc/v1/stats     topology + full per-term statistics
+//	POST /rpc/v1/search    score one hosted segment
+//	GET  /rpc/v1/healthz   liveness
+//	GET  /rpc/v1/metrics   per-route telemetry snapshot
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/store"
+	"repro/internal/synth"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8091", "listen address")
+		archPath = flag.String("archive", "", "saved archive (.ivrarc) to index; default generates one")
+		seed     = flag.Int64("seed", 2008, "generation seed when no -archive is given")
+		full     = flag.Bool("full", false, "generate the full-scale archive")
+		segments = flag.Int("segments", 2, "total segment count of the topology (same on every server)")
+		host     = flag.String("host", "", "comma-separated segment ordinals to host (default: all)")
+		quiet    = flag.Bool("quiet", false, "suppress per-request logs")
+	)
+	flag.Parse()
+
+	if *segments < 1 {
+		fail("-segments must be >= 1")
+	}
+	hosted, err := parseOrdinals(*host)
+	if err != nil {
+		fail("%v", err)
+	}
+	var arch *synth.Archive
+	if *archPath != "" {
+		arch, err = store.Load(*archPath)
+		if err != nil {
+			fail("load archive: %v", err)
+		}
+	} else {
+		acfg := synth.TinyConfig()
+		if *full {
+			acfg = synth.DefaultConfig()
+		}
+		arch, err = synth.Generate(acfg, *seed)
+		if err != nil {
+			fail("generate: %v", err)
+		}
+	}
+	sh, err := core.BuildShardedIndex(arch.Collection, nil, *segments)
+	if err != nil {
+		fail("index: %v", err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if *quiet {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	srv, err := distrib.NewSegmentServer(distrib.ServerConfig{
+		Sharded:    sh,
+		Hosted:     hosted,
+		SourceHash: distrib.CollectionSourceHash(arch.Collection),
+		Logger:     logger,
+	})
+	if err != nil {
+		fail("server: %v", err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	fmt.Printf("ivrsegment: hosting segments %v of %d (%d shots total), /rpc/v1 on %s\n",
+		srv.Hosted(), *segments, arch.Collection.NumShots(), *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail("serve: %v", err)
+		}
+	case <-ctx.Done():
+		fmt.Println("ivrsegment: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fail("shutdown: %v", err)
+		}
+	}
+}
+
+// parseOrdinals parses the -host list ("0,2,3"); empty means all.
+func parseOrdinals(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -host entry %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ivrsegment: "+format+"\n", args...)
+	os.Exit(1)
+}

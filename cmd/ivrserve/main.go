@@ -10,6 +10,9 @@
 //	ivrserve -archive archive.ivrarc          # serve a saved archive
 //	ivrserve -session-ttl 30m -max-sessions 10000
 //	ivrserve -segments 8 -search-cache 65536  # fan-out + result cache sizing
+//	ivrserve -segment-addrs http://h1:8091,http://h2:8092
+//	                                          # distributed: scatter/gather over
+//	                                          # remote ivrsegment processes
 //
 // Example exchange:
 //
@@ -34,14 +37,27 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/distrib"
 	"repro/internal/store"
 	"repro/internal/synth"
 	"repro/internal/webapi"
 )
+
+// splitAddrs parses the -segment-addrs list.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
 
 func main() {
 	var (
@@ -55,6 +71,8 @@ func main() {
 		maxSessions = flag.Int("max-sessions", 0, "cap on live sessions (0 = unbounded)")
 		segments    = flag.Int("segments", 0, "index segments scored in parallel (0 = one per CPU, 1 = sequential)")
 		searchCache = flag.Int("search-cache", 4096, "evidence-keyed result cache entries (0 disables)")
+		segAddrs    = flag.String("segment-addrs", "", "comma-separated ivrsegment base URLs; enables the distributed scatter/gather tier (static topology)")
+		segTimeout  = flag.Duration("segment-timeout", distrib.DefaultRPCTimeout, "per-segment RPC deadline in distributed mode")
 		quiet       = flag.Bool("quiet", false, "suppress per-request logs")
 	)
 	flag.Parse()
@@ -88,7 +106,41 @@ func main() {
 			fail("generate: %v", err)
 		}
 	}
-	sys, err := core.NewSystemFromCollection(arch.Collection, cfg)
+	// Single-process by default; -segment-addrs swaps the local index
+	// for the scatter/gather merge tier over remote ivrsegment
+	// processes. The result cache, session manager and /api/v1 surface
+	// are identical either way — and so are the rankings, which is
+	// what the distributed parity tests pin.
+	var sys *core.System
+	var cluster *distrib.Cluster
+	if *segAddrs != "" {
+		addrs := splitAddrs(*segAddrs)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		cluster, err = distrib.Connect(ctx, addrs, distrib.WithTimeout(*segTimeout))
+		cancel()
+		if err != nil {
+			fail("connect segment servers: %v", err)
+		}
+		if cluster.NumDocs() != arch.Collection.NumShots() {
+			fail("segment servers index %d shots, local archive has %d (mismatched -seed/-full/-archive?)",
+				cluster.NumDocs(), arch.Collection.NumShots())
+		}
+		// Scores come from the backends while shot metadata and query
+		// expansion read the local collection — refuse to mix archives
+		// (same shot count or even same IDs is not enough).
+		if cluster.SourceHash() != distrib.CollectionSourceHash(arch.Collection) {
+			fail("segment servers were built from a different archive than this server's (mismatched -seed/-full/-archive)")
+		}
+		// Scatter every segment RPC of a query concurrently: remote
+		// scoring is IO-bound, so the worker bound is the segment
+		// count, not the CPU count.
+		sys, err = core.NewSystem(cluster.NewEngine(nil, cluster.NumSegments()), arch.Collection, cfg)
+		if err == nil {
+			sys.SetBackendTelemetry(cluster.BackendSummaries)
+		}
+	} else {
+		sys, err = core.NewSystemFromCollection(arch.Collection, cfg)
+	}
 	if err != nil {
 		fail("system: %v", err)
 	}
@@ -107,8 +159,13 @@ func main() {
 	defer srv.Close()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
-	fmt.Printf("ivrserve: %s system over %d shots, /api/v1 on %s (session ttl %s, %d index segments, cache %d)\n",
-		*preset, arch.Collection.NumShots(), *addr, *sessionTTL, cfg.Segments, cfg.CacheSize)
+	if cluster != nil {
+		fmt.Printf("ivrserve: %s system over %d shots, /api/v1 on %s (session ttl %s, %d remote segments over %d backends, cache %d)\n",
+			*preset, arch.Collection.NumShots(), *addr, *sessionTTL, cluster.NumSegments(), len(cluster.Backends()), cfg.CacheSize)
+	} else {
+		fmt.Printf("ivrserve: %s system over %d shots, /api/v1 on %s (session ttl %s, %d index segments, cache %d)\n",
+			*preset, arch.Collection.NumShots(), *addr, *sessionTTL, cfg.Segments, cfg.CacheSize)
+	}
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -169,6 +169,10 @@ type System struct {
 	cfgKey string
 	// segTimings collects per-segment scoring latency for /metrics.
 	segTimings *retrieval.SegmentTimings
+	// backendSnap, when wired (SetBackendTelemetry), contributes the
+	// distributed merge tier's per-backend RPC telemetry to
+	// RetrievalSnapshot.
+	backendSnap func() []retrieval.BackendSummary
 }
 
 // NewSystem wires a system. engine and coll must be non-nil and built
@@ -224,14 +228,25 @@ func configKey(cfg Config) string {
 // Cache exposes the shared result cache (nil when disabled).
 func (s *System) Cache() *retrieval.Cache { return s.cache }
 
-// RetrievalSnapshot reports the engine-layer telemetry: cache counters
-// and per-segment scoring latency.
+// SetBackendTelemetry wires the distributed merge tier's per-backend
+// snapshot into RetrievalSnapshot (ivrserve calls this with
+// Cluster.BackendSummaries when -segment-addrs is set). Install at
+// wiring time, before the system serves queries.
+func (s *System) SetBackendTelemetry(fn func() []retrieval.BackendSummary) { s.backendSnap = fn }
+
+// RetrievalSnapshot reports the engine-layer telemetry: cache
+// counters, per-segment scoring latency, and — on a distributed
+// system — per-backend RPC counters.
 func (s *System) RetrievalSnapshot() retrieval.Snapshot {
-	return retrieval.Snapshot{
+	snap := retrieval.Snapshot{
 		Cache:    s.cache.Stats(),
 		Segments: s.segTimings.Summaries(),
 		Workers:  s.engine.Workers(),
 	}
+	if s.backendSnap != nil {
+		snap.Backends = s.backendSnap()
+	}
+	return snap
 }
 
 // Config returns the system's effective configuration.

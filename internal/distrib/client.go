@@ -1,0 +1,174 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Fault sentinels, matchable through errors.Is on any *BackendError.
+var (
+	// ErrBadResponse marks a backend reply the merge tier refused to
+	// trust: wrong content type, undecodable JSON, missing required
+	// keys, or a segment echo that does not match the request. Garbage
+	// from a backend must become this error — never a silently wrong
+	// ranking.
+	ErrBadResponse = errors.New("distrib: malformed backend response")
+	// ErrBackendStatus marks a non-200 RPC reply (the envelope's code
+	// and message are included in the wrapping error text).
+	ErrBackendStatus = errors.New("distrib: backend returned error status")
+)
+
+// BackendError reports a failed RPC against one segment backend.
+type BackendError struct {
+	// Addr is the backend's base URL; Segment is the global segment
+	// ordinal being scored (-1 for stats/topology calls).
+	Addr    string
+	Segment int
+	Err     error
+}
+
+// Error implements error.
+func (e *BackendError) Error() string {
+	if e.Segment < 0 {
+		return fmt.Sprintf("distrib: backend %s: %v", e.Addr, e.Err)
+	}
+	return fmt.Sprintf("distrib: backend %s segment %d: %v", e.Addr, e.Segment, e.Err)
+}
+
+// Unwrap exposes the underlying fault for errors.Is/As.
+func (e *BackendError) Unwrap() error { return e.Err }
+
+// Timeout reports whether the fault was a deadline (slow backend), as
+// opposed to a refused connection or a protocol error.
+func (e *BackendError) Timeout() bool {
+	return os.IsTimeout(e.Err) || errors.Is(e.Err, context.DeadlineExceeded)
+}
+
+// backend is the RPC client for one segment server, with per-backend
+// telemetry: request/error counters and a search-latency histogram
+// (lock-free, shared with the /api/v1/metrics substrate). hc carries
+// the per-query RPC deadline; statsHC has none, so the (much larger)
+// startup stats download is bounded by the Connect context instead.
+type backend struct {
+	addr     string
+	hc       *http.Client
+	statsHC  *http.Client
+	requests atomic.Int64
+	errors   atomic.Int64
+	latency  metrics.Histogram
+}
+
+func newBackend(addr string, hc, statsHC *http.Client) *backend {
+	return &backend{addr: strings.TrimRight(addr, "/"), hc: hc, statsHC: statsHC}
+}
+
+// fail counts and wraps one fault.
+func (b *backend) fail(segment int, err error) error {
+	b.errors.Add(1)
+	return &BackendError{Addr: b.addr, Segment: segment, Err: err}
+}
+
+// maxResponseBody caps how much of a backend reply the merge tier
+// will buffer (the stats dump of a full synth archive is ~0.5 MiB, so
+// this is wide headroom; a response that actually hits the cap names
+// it instead of masquerading as corruption).
+const maxResponseBody = 64 << 20
+
+// decodeRPC validates status and content type, then decodes the body.
+// Error statuses surface the envelope's code/message when one parses.
+func decodeRPC(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBody+1))
+	if err != nil {
+		return fmt.Errorf("read body: %w", err)
+	}
+	if len(body) > maxResponseBody {
+		return fmt.Errorf("%w: body exceeds %d bytes", ErrBadResponse, maxResponseBody)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var env rpcErrorEnvelope
+		if json.Unmarshal(body, &env) == nil && env.Error.Code != "" {
+			return fmt.Errorf("%w: %d %s: %s", ErrBackendStatus,
+				resp.StatusCode, env.Error.Code, env.Error.Message)
+		}
+		return fmt.Errorf("%w: status %d", ErrBackendStatus, resp.StatusCode)
+	}
+	if mt, _, err := mime.ParseMediaType(resp.Header.Get("Content-Type")); err != nil || mt != "application/json" {
+		return fmt.Errorf("%w: content type %q", ErrBadResponse, resp.Header.Get("Content-Type"))
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadResponse, err)
+	}
+	return nil
+}
+
+// stats fetches the backend's topology and statistics export.
+func (b *backend) stats(ctx context.Context) (*StatsResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.addr+StatsPath, nil)
+	if err != nil {
+		return nil, b.fail(-1, err)
+	}
+	resp, err := b.statsHC.Do(req)
+	if err != nil {
+		return nil, b.fail(-1, err)
+	}
+	var out StatsResponse
+	if err := decodeRPC(resp, &out); err != nil {
+		return nil, b.fail(-1, err)
+	}
+	if out.Segments <= 0 || len(out.Hosted) == 0 {
+		return nil, b.fail(-1, fmt.Errorf("%w: empty topology", ErrBadResponse))
+	}
+	return &out, nil
+}
+
+// search scores one segment remotely. The response is trusted only
+// after validation: required keys present, segment echo matching, and
+// candidate count consistent with the hit list.
+func (b *backend) search(ctx context.Context, sreq SearchRequest) (*SearchResponse, error) {
+	b.requests.Add(1)
+	start := time.Now()
+	body, err := json.Marshal(sreq)
+	if err != nil {
+		return nil, b.fail(sreq.Segment, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.addr+SearchPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, b.fail(sreq.Segment, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.hc.Do(req)
+	if err != nil {
+		return nil, b.fail(sreq.Segment, err)
+	}
+	var out SearchResponse
+	if err := decodeRPC(resp, &out); err != nil {
+		return nil, b.fail(sreq.Segment, err)
+	}
+	switch {
+	case out.Segment == nil || out.Candidates == nil:
+		return nil, b.fail(sreq.Segment, fmt.Errorf("%w: missing segment/candidates keys", ErrBadResponse))
+	case *out.Segment != sreq.Segment:
+		return nil, b.fail(sreq.Segment, fmt.Errorf("%w: scored segment %d, asked for %d",
+			ErrBadResponse, *out.Segment, sreq.Segment))
+	case *out.Candidates < len(out.Hits):
+		return nil, b.fail(sreq.Segment, fmt.Errorf("%w: %d candidates < %d hits",
+			ErrBadResponse, *out.Candidates, len(out.Hits)))
+	}
+	b.latency.Observe(time.Since(start))
+	return &out, nil
+}

@@ -1,0 +1,399 @@
+package distrib
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/retrieval"
+	"repro/internal/search"
+	"repro/internal/text"
+)
+
+// DefaultRPCTimeout bounds one segment RPC when no option overrides
+// it. A segment scoring pass is sub-millisecond work; five seconds is
+// generous headroom for a loaded backend while still guaranteeing a
+// hung backend surfaces as a typed timeout instead of a stalled query.
+const DefaultRPCTimeout = 5 * time.Second
+
+// statsDeadline bounds the startup statistics download when the
+// Connect context carries no deadline of its own.
+const statsDeadline = 2 * time.Minute
+
+// Option configures Connect.
+type Option func(*clusterConfig)
+
+type clusterConfig struct {
+	timeout time.Duration
+	hc      *http.Client
+}
+
+// WithTimeout bounds each segment RPC (default DefaultRPCTimeout).
+func WithTimeout(d time.Duration) Option {
+	return func(c *clusterConfig) { c.timeout = d }
+}
+
+// WithHTTPClient substitutes the transport (tests inject
+// httptest-backed clients; WithTimeout still applies unless the
+// client already sets one).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *clusterConfig) { c.hc = hc }
+}
+
+// Cluster is the merge tier's view of a static segment-server
+// topology: one remote SegmentSearcher per segment ordinal plus the
+// startup-aggregated global statistics. Immutable after Connect and
+// safe for concurrent use.
+type Cluster struct {
+	backends   []*backend
+	segOwner   []*backend // ordinal -> backend
+	segments   []search.SegmentSearcher
+	segDocs    []int
+	stats      *globalStats
+	numDocs    int
+	sourceHash uint64
+}
+
+// Connect fetches /rpc/v1/stats from every backend, validates that
+// the addresses assemble into exactly one coherent topology (same
+// segment count and collection hash everywhere, every ordinal hosted
+// exactly once, round-robin segment sizes), and aggregates the
+// collection-wide statistics the engine will ship with every query.
+// This is the once-at-startup half of the parity contract: after
+// Connect, no query ever consults a per-segment statistic.
+func Connect(ctx context.Context, addrs []string, opts ...Option) (*Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("distrib: no backend addresses")
+	}
+	cfg := clusterConfig{timeout: DefaultRPCTimeout}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	base := cfg.hc
+	if base == nil {
+		base = &http.Client{}
+	}
+	// Two clients off one transport: search RPCs carry the tight
+	// per-query deadline, while the startup stats download — orders of
+	// magnitude larger than any search body — is bounded only by the
+	// Connect context (statsDeadline below when the caller set none),
+	// so a big dictionary dump cannot force the operator to loosen the
+	// per-query deadline.
+	searchHC, statsHC := *base, *base
+	if searchHC.Timeout == 0 {
+		searchHC.Timeout = cfg.timeout
+	}
+	statsHC.Timeout = 0
+	statsCtx := ctx
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		statsCtx, cancel = context.WithTimeout(ctx, statsDeadline)
+		defer cancel()
+	}
+
+	c := &Cluster{backends: make([]*backend, len(addrs))}
+	stats := make([]*StatsResponse, len(addrs))
+	var wg sync.WaitGroup
+	errs := make([]error, len(addrs))
+	for i, addr := range addrs {
+		c.backends[i] = newBackend(addr, &searchHC, &statsHC)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stats[i], errs[i] = c.backends[i].stats(statsCtx)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Topology agreement across backends.
+	n := stats[0].Segments
+	hash := stats[0].CollectionHash
+	c.sourceHash = stats[0].SourceHash
+	for i, st := range stats {
+		if st.Segments != n {
+			return nil, fmt.Errorf("distrib: backend %s reports %d segments, %s reports %d",
+				c.backends[i].addr, st.Segments, c.backends[0].addr, n)
+		}
+		if st.CollectionHash != hash || st.SourceHash != c.sourceHash {
+			return nil, fmt.Errorf("distrib: backend %s was built from a different collection than %s (hashes %x/%x vs %x/%x)",
+				c.backends[i].addr, c.backends[0].addr,
+				st.CollectionHash, st.SourceHash, hash, c.sourceHash)
+		}
+	}
+
+	// Every ordinal hosted exactly once.
+	c.segOwner = make([]*backend, n)
+	segStats := make([]*SegmentStats, n)
+	for i, st := range stats {
+		for j := range st.Hosted {
+			seg := &st.Hosted[j]
+			if seg.Segment < 0 || seg.Segment >= n {
+				return nil, fmt.Errorf("distrib: backend %s hosts segment %d outside topology of %d",
+					c.backends[i].addr, seg.Segment, n)
+			}
+			if prev := c.segOwner[seg.Segment]; prev != nil {
+				return nil, fmt.Errorf("distrib: segment %d hosted by both %s and %s",
+					seg.Segment, prev.addr, c.backends[i].addr)
+			}
+			if len(seg.ExtIDs) != seg.NumDocs {
+				return nil, fmt.Errorf("distrib: backend %s segment %d: %d ext ids for %d docs",
+					c.backends[i].addr, seg.Segment, len(seg.ExtIDs), seg.NumDocs)
+			}
+			c.segOwner[seg.Segment] = c.backends[i]
+			segStats[seg.Segment] = seg
+		}
+	}
+	for ord, b := range c.segOwner {
+		if b == nil {
+			return nil, fmt.Errorf("distrib: segment %d hosted by no backend", ord)
+		}
+		c.numDocs += segStats[ord].NumDocs
+	}
+	// Round-robin size invariant: the global DocID arithmetic
+	// (global = local*n + ordinal) depends on it, exactly as in
+	// index.NewSharded.
+	for ord, st := range segStats {
+		want := c.numDocs / n
+		if ord < c.numDocs%n {
+			want++
+		}
+		if st.NumDocs != want {
+			return nil, fmt.Errorf("distrib: segment %d holds %d docs, round-robin split of %d over %d expects %d",
+				ord, st.NumDocs, c.numDocs, n, want)
+		}
+	}
+
+	gs, err := aggregateStats(n, c.numDocs, segStats)
+	if err != nil {
+		return nil, err
+	}
+	c.stats = gs
+	c.segments = make([]search.SegmentSearcher, n)
+	c.segDocs = make([]int, n)
+	for ord := range c.segments {
+		c.segments[ord] = &remoteSegment{
+			b:       c.segOwner[ord],
+			ordinal: ord,
+			numDocs: segStats[ord].NumDocs,
+		}
+		c.segDocs[ord] = segStats[ord].NumDocs
+	}
+	return c, nil
+}
+
+// NumSegments returns the topology's total segment count.
+func (c *Cluster) NumSegments() int { return len(c.segments) }
+
+// NumDocs returns the collection-wide document count.
+func (c *Cluster) NumDocs() int { return c.numDocs }
+
+// SourceHash returns the backends' agreed collection source hash
+// (zero when the backends were wired from bare indexes). The merge
+// tier compares it against CollectionSourceHash of its own collection
+// before serving, so scores and metadata cannot come from different
+// archives.
+func (c *Cluster) SourceHash() uint64 { return c.sourceHash }
+
+// Backends returns the backend base URLs in Connect order.
+func (c *Cluster) Backends() []string {
+	out := make([]string, len(c.backends))
+	for i, b := range c.backends {
+		out[i] = b.addr
+	}
+	return out
+}
+
+// NewEngine assembles the scatter/gather searcher: remote segments
+// behind the same search.Engine executor and TopK merge as the
+// in-process fan-out. analyzer must match the pipeline the segment
+// servers indexed with (nil selects the shared default); workers
+// bounds concurrent in-flight RPCs per query (0 = GOMAXPROCS).
+func (c *Cluster) NewEngine(analyzer *text.Analyzer, workers int) *search.Engine {
+	return search.NewSegmentsEngine(c.stats, c.segments, analyzer, workers)
+}
+
+// BackendSummaries snapshots per-backend RPC telemetry for the
+// `search` block of /api/v1/metrics.
+func (c *Cluster) BackendSummaries() []retrieval.BackendSummary {
+	out := make([]retrieval.BackendSummary, len(c.backends))
+	for i, b := range c.backends {
+		s := retrieval.BackendSummary{
+			Addr:     b.addr,
+			Requests: b.requests.Load(),
+			Errors:   b.errors.Load(),
+			Latency:  b.latency.Summary(),
+		}
+		for ord, owner := range c.segOwner {
+			if owner == b {
+				s.Segments = append(s.Segments, ord)
+			}
+		}
+		sort.Ints(s.Segments)
+		out[i] = s
+	}
+	return out
+}
+
+// remoteSegment adapts one remote segment to search.SegmentSearcher.
+type remoteSegment struct {
+	b       *backend
+	ordinal int
+	numDocs int
+}
+
+// NumDocs implements search.SegmentSearcher.
+func (r *remoteSegment) NumDocs() int { return r.numDocs }
+
+// SearchSegment implements search.SegmentSearcher. Filters are opaque
+// predicates that cannot cross the process boundary, so a filtered
+// query fetches the segment's full candidate list and applies the
+// filter merge-side before the top-k cut — the same filter-then-cut
+// order as in-process, so rankings stay bit-identical (at the cost of
+// a fatter response; the serving layer only passes filters for
+// category-faceted queries, which also bypass the result cache).
+func (r *remoteSegment) SearchSegment(q search.Query, stats []search.TermStats,
+	scorer search.Scorer, filter func(string) bool, k int) (search.SegmentResult, error) {
+	spec, err := SpecForScorer(scorer)
+	if err != nil {
+		return search.SegmentResult{}, err
+	}
+	req := SearchRequest{
+		Segment: r.ordinal,
+		Field:   q.Field.String(),
+		Terms:   make([]WireTerm, len(q.Terms)),
+		Stats:   make([]WireTermStats, len(stats)),
+		Scorer:  spec,
+		K:       k,
+	}
+	if filter != nil {
+		req.K = -1 // full candidate list; filter is applied below
+	}
+	for i, t := range q.Terms {
+		req.Terms[i] = WireTerm{Term: t.Term, Weight: t.Weight}
+	}
+	for i, st := range stats {
+		req.Stats[i] = WireTermStats{
+			N: st.N, AvgDocLen: st.AvgDocLen, TotalLen: st.TotalLen,
+			DF: st.DF, CF: st.CF, Weight: st.Weight,
+		}
+	}
+	resp, err := r.b.search(context.Background(), req)
+	if err != nil {
+		return search.SegmentResult{}, err
+	}
+	if filter == nil {
+		hits := make([]search.Hit, len(resp.Hits))
+		for i, h := range resp.Hits {
+			hits[i] = search.Hit{Doc: index.DocID(h.Doc), ID: h.ID, Score: h.Score}
+		}
+		return search.SegmentResult{Hits: hits, Candidates: *resp.Candidates}, nil
+	}
+	if k <= 0 {
+		// Honour the interface's unbounded mode: keep every candidate
+		// that survives the filter (NewTopK(0) would keep none).
+		k = len(resp.Hits)
+		if k == 0 {
+			k = 1
+		}
+	}
+	top := search.NewTopK(k)
+	candidates := 0
+	for _, h := range resp.Hits {
+		if !filter(h.ID) {
+			continue
+		}
+		candidates++
+		top.Offer(search.Hit{Doc: index.DocID(h.Doc), ID: h.ID, Score: h.Score})
+	}
+	return search.SegmentResult{Hits: top.Ranked(), Candidates: candidates}, nil
+}
+
+// globalStats is the startup-aggregated search.StatsView over the
+// whole topology: the distributed analogue of index.Sharded's
+// statistics surface, computed once so queries never wait on a
+// statistics RPC.
+type globalStats struct {
+	numDocs int
+	fields  map[index.Field]*fieldAgg
+	ext2id  map[string]index.DocID
+}
+
+type fieldAgg struct {
+	totalLen int64
+	terms    map[string]TermCounts
+}
+
+// aggregateStats folds per-segment statistics into the global view.
+// segStats is indexed by ordinal and fully populated.
+func aggregateStats(n, numDocs int, segStats []*SegmentStats) (*globalStats, error) {
+	gs := &globalStats{
+		numDocs: numDocs,
+		fields:  make(map[index.Field]*fieldAgg, len(statsFields)),
+		ext2id:  make(map[string]index.DocID, numDocs),
+	}
+	for _, f := range statsFields {
+		gs.fields[f] = &fieldAgg{terms: make(map[string]TermCounts)}
+	}
+	for ord, st := range segStats {
+		for local, ext := range st.ExtIDs {
+			if _, dup := gs.ext2id[ext]; dup {
+				return nil, fmt.Errorf("distrib: external id %q appears in more than one segment (segment %d)", ext, ord)
+			}
+			gs.ext2id[ext] = index.DocID(local*n + ord)
+		}
+		for _, f := range statsFields {
+			fs, ok := st.Fields[f.String()]
+			if !ok {
+				return nil, fmt.Errorf("distrib: segment %d stats missing field %s", ord, f)
+			}
+			agg := gs.fields[f]
+			agg.totalLen += fs.TotalLen
+			for term, tc := range fs.Terms {
+				cur := agg.terms[term]
+				cur.DF += tc.DF
+				cur.CF += tc.CF
+				agg.terms[term] = cur
+			}
+		}
+	}
+	return gs, nil
+}
+
+// NumDocs implements search.StatsView.
+func (g *globalStats) NumDocs() int { return g.numDocs }
+
+// AvgDocLen implements search.StatsView with the same formula as
+// index.Sharded (one float division over integer sums, so the value
+// is bit-identical to the in-process aggregate).
+func (g *globalStats) AvgDocLen(f index.Field) float64 {
+	if g.numDocs == 0 {
+		return 0
+	}
+	return float64(g.fields[f].totalLen) / float64(g.numDocs)
+}
+
+// TotalFieldLen implements search.StatsView.
+func (g *globalStats) TotalFieldLen(f index.Field) int64 { return g.fields[f].totalLen }
+
+// DocFreq implements search.StatsView.
+func (g *globalStats) DocFreq(f index.Field, term string) int { return g.fields[f].terms[term].DF }
+
+// CollectionFreq implements search.StatsView.
+func (g *globalStats) CollectionFreq(f index.Field, term string) int64 {
+	return g.fields[f].terms[term].CF
+}
+
+// DocIDOf implements search.StatsView.
+func (g *globalStats) DocIDOf(ext string) (index.DocID, bool) {
+	d, ok := g.ext2id[ext]
+	return d, ok
+}

@@ -1,0 +1,46 @@
+package distrib
+
+import (
+	"fmt"
+
+	"repro/internal/search"
+)
+
+// Scorer wire names (the scorers' own Name() strings).
+const (
+	scorerBM25      = "bm25"
+	scorerTFIDF     = "tfidf"
+	scorerDirichlet = "dirichlet-lm"
+)
+
+// SpecForScorer renders a scorer into its wire form. Only the built-in
+// scorer families cross the process boundary; any other Scorer
+// implementation is rejected, because silently substituting a default
+// on the far side would corrupt rankings without an error.
+func SpecForScorer(s search.Scorer) (ScorerSpec, error) {
+	switch sc := s.(type) {
+	case search.BM25:
+		return ScorerSpec{Name: scorerBM25, K1: sc.K1, B: sc.B}, nil
+	case search.TFIDF:
+		return ScorerSpec{Name: scorerTFIDF}, nil
+	case search.DirichletLM:
+		return ScorerSpec{Name: scorerDirichlet, Mu: sc.Mu}, nil
+	case nil:
+		return ScorerSpec{}, fmt.Errorf("distrib: nil scorer")
+	}
+	return ScorerSpec{}, fmt.Errorf("distrib: scorer %T is not serialisable over the segment RPC", s)
+}
+
+// Scorer reconstructs the scorer a spec names. Zero-valued parameters
+// select each scorer's own defaults, exactly as in-process.
+func (sp ScorerSpec) Scorer() (search.Scorer, error) {
+	switch sp.Name {
+	case scorerBM25:
+		return search.BM25{K1: sp.K1, B: sp.B}, nil
+	case scorerTFIDF:
+		return search.TFIDF{}, nil
+	case scorerDirichlet:
+		return search.DirichletLM{Mu: sp.Mu}, nil
+	}
+	return nil, fmt.Errorf("distrib: unknown scorer %q", sp.Name)
+}

@@ -1,0 +1,294 @@
+package distrib
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/metrics"
+	"repro/internal/search"
+)
+
+// ServerConfig wires a SegmentServer.
+type ServerConfig struct {
+	// Sharded is the full sharded build of the collection. Every
+	// server of one topology builds the same sharded index (the build
+	// is deterministic in the document stream), then serves only the
+	// segments assigned to it — the index layout, not the process
+	// layout, fixes global doc IDs.
+	Sharded *index.Sharded
+	// Hosted lists the segment ordinals this server scores; empty
+	// hosts every segment.
+	Hosted []int
+	// SourceHash fingerprints the collection the index was built from
+	// (CollectionSourceHash); the merge tier compares it against its
+	// own collection so scores and served metadata cannot come from
+	// different archives. Zero skips the check (bare-index wiring).
+	SourceHash uint64
+	// Logger receives request logs (nil discards).
+	Logger *slog.Logger
+}
+
+// SegmentServer hosts index segments behind the /rpc/v1 surface. It is
+// immutable after construction and safe for concurrent use.
+type SegmentServer struct {
+	sh         *index.Sharded
+	hosted     map[int]*index.Index
+	ordinals   []int
+	sourceHash uint64
+	statsBody  []byte // precomputed: the index is immutable
+	log        *slog.Logger
+	metrics    *metrics.Registry
+	handler    http.Handler
+}
+
+// NewSegmentServer validates the hosted set and precomputes the stats
+// payload (the index is immutable, so /rpc/v1/stats is a static body).
+func NewSegmentServer(cfg ServerConfig) (*SegmentServer, error) {
+	if cfg.Sharded == nil {
+		return nil, fmt.Errorf("distrib: nil sharded index")
+	}
+	n := cfg.Sharded.NumSegments()
+	ords := cfg.Hosted
+	if len(ords) == 0 {
+		ords = make([]int, n)
+		for i := range ords {
+			ords[i] = i
+		}
+	}
+	s := &SegmentServer{
+		sh:         cfg.Sharded,
+		hosted:     make(map[int]*index.Index, len(ords)),
+		sourceHash: cfg.SourceHash,
+		log:        cfg.Logger,
+		metrics:    metrics.NewRegistry(),
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
+	}
+	for _, ord := range ords {
+		if ord < 0 || ord >= n {
+			return nil, fmt.Errorf("distrib: hosted segment %d outside topology of %d segments", ord, n)
+		}
+		if _, dup := s.hosted[ord]; dup {
+			return nil, fmt.Errorf("distrib: segment %d hosted twice", ord)
+		}
+		s.hosted[ord] = cfg.Sharded.Segment(ord)
+		s.ordinals = append(s.ordinals, ord)
+	}
+	sort.Ints(s.ordinals)
+	body, err := json.Marshal(s.buildStats())
+	if err != nil {
+		return nil, fmt.Errorf("distrib: encode stats: %w", err)
+	}
+	s.statsBody = body
+	s.handler = s.withRequestLog(s.routes())
+	return s, nil
+}
+
+// withRequestLog logs one line per request (method, path, status,
+// duration) through the configured logger.
+func (s *SegmentServer) withRequestLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := metrics.NewStatusRecorder(w)
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		s.log.Info("rpc request",
+			"method", r.Method, "path", r.URL.Path,
+			"status", rec.Status(), "duration", time.Since(start))
+	})
+}
+
+// Metrics exposes the server's telemetry registry (ops and tests).
+func (s *SegmentServer) Metrics() *metrics.Registry { return s.metrics }
+
+// Hosted returns the hosted segment ordinals, ascending.
+func (s *SegmentServer) Hosted() []int {
+	out := make([]int, len(s.ordinals))
+	copy(out, s.ordinals)
+	return out
+}
+
+// Handler returns the instrumented /rpc/v1 route table.
+func (s *SegmentServer) Handler() http.Handler { return s.handler }
+
+// Telemetry labels for the catch-all handlers, following the webapi
+// convention ("<method> <pattern>", "*" = any method): every request
+// that misses the route table lands on one of two fixed labels, so
+// per-route metrics cannot explode on arbitrary request paths.
+const (
+	routeRPCUnmatched = "* /rpc/"
+	routeUnmatched    = "* /"
+)
+
+// routes builds the RPC route table. Every handler — including both
+// catch-alls — is registered through the shared metrics.Instrument
+// wrapper under a fixed pattern label.
+func (s *SegmentServer) routes() http.Handler {
+	mux := http.NewServeMux()
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.metrics.Instrument(pattern, h))
+	}
+	handle("GET "+StatsPath, s.handleStats)
+	handle("POST "+SearchPath, s.handleSearch)
+	handle("GET "+HealthPath, s.handleHealthz)
+	handle("GET "+MetricsPath, s.handleMetrics)
+	notFound := func(w http.ResponseWriter, r *http.Request) {
+		writeRPCError(w, http.StatusNotFound, codeNotFound, "no route %s %s", r.Method, r.URL.Path)
+	}
+	mux.HandleFunc("/rpc/", s.metrics.Instrument(routeRPCUnmatched, notFound))
+	mux.HandleFunc("/", s.metrics.Instrument(routeUnmatched, notFound))
+	return mux
+}
+
+// rpcErrorEnvelope mirrors the /api/v1 error body.
+type rpcErrorEnvelope struct {
+	Error rpcErrorDetail `json:"error"`
+}
+
+type rpcErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeRPCJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeRPCError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeRPCJSON(w, status, rpcErrorEnvelope{Error: rpcErrorDetail{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+// buildStats assembles the full statistics export of every hosted
+// segment.
+func (s *SegmentServer) buildStats() StatsResponse {
+	resp := StatsResponse{
+		Segments:       s.sh.NumSegments(),
+		CollectionHash: CollectionHash(s.sh),
+		SourceHash:     s.sourceHash,
+	}
+	for _, ord := range s.ordinals {
+		seg := s.hosted[ord]
+		st := SegmentStats{
+			Segment: ord,
+			NumDocs: seg.NumDocs(),
+			ExtIDs:  make([]string, seg.NumDocs()),
+			Fields:  make(map[string]FieldStats, len(statsFields)),
+		}
+		for d := 0; d < seg.NumDocs(); d++ {
+			st.ExtIDs[d] = seg.ExternalID(index.DocID(d))
+		}
+		for _, f := range statsFields {
+			fs := FieldStats{
+				TotalLen: seg.TotalFieldLen(f),
+				Terms:    make(map[string]TermCounts, seg.NumTerms(f)),
+			}
+			seg.EachTerm(f, func(term string, df int, cf int64) bool {
+				fs.Terms[term] = TermCounts{DF: df, CF: cf}
+				return true
+			})
+			st.Fields[f.String()] = fs
+		}
+		resp.Hosted = append(resp.Hosted, st)
+	}
+	return resp
+}
+
+func (s *SegmentServer) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(s.statsBody)
+}
+
+func (s *SegmentServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeRPCJSON(w, http.StatusOK, struct {
+		Status   string `json:"status"`
+		Segments int    `json:"segments"`
+		Hosted   []int  `json:"hosted"`
+	}{"ok", s.sh.NumSegments(), s.Hosted()})
+}
+
+func (s *SegmentServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeRPCJSON(w, http.StatusOK, s.metrics.TakeSnapshot())
+}
+
+// handleSearch scores one hosted segment with the request's global
+// statistics through the same search.ScoreIndexSegment kernel the
+// in-process fan-out runs.
+func (s *SegmentServer) handleSearch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, MaxSearchBody)
+	var req SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeRPCError(w, http.StatusRequestEntityTooLarge, codeTooLarge,
+				"request body exceeds %d bytes", MaxSearchBody)
+			return
+		}
+		writeRPCError(w, http.StatusBadRequest, codeInvalid, "invalid JSON: %v", err)
+		return
+	}
+	seg, ok := s.hosted[req.Segment]
+	if !ok {
+		writeRPCError(w, http.StatusNotFound, codeNotFound,
+			"segment %d not hosted here (hosted: %v)", req.Segment, s.ordinals)
+		return
+	}
+	field, err := fieldByName(req.Field)
+	if err != nil {
+		writeRPCError(w, http.StatusBadRequest, codeInvalid, "%v", err)
+		return
+	}
+	if len(req.Terms) == 0 {
+		writeRPCError(w, http.StatusBadRequest, codeInvalid, "empty term list")
+		return
+	}
+	if len(req.Stats) != len(req.Terms) {
+		writeRPCError(w, http.StatusBadRequest, codeInvalid,
+			"%d stats for %d terms", len(req.Stats), len(req.Terms))
+		return
+	}
+	scorer, err := req.Scorer.Scorer()
+	if err != nil {
+		writeRPCError(w, http.StatusBadRequest, codeInvalid, "%v", err)
+		return
+	}
+	q := search.Query{Field: field, Terms: make([]search.WeightedTerm, len(req.Terms))}
+	stats := make([]search.TermStats, len(req.Terms))
+	for i, t := range req.Terms {
+		if t.Weight < 0 {
+			writeRPCError(w, http.StatusBadRequest, codeInvalid,
+				"negative weight %v for term %q", t.Weight, t.Term)
+			return
+		}
+		q.Terms[i] = search.WeightedTerm{Term: t.Term, Weight: t.Weight}
+		ws := req.Stats[i]
+		stats[i] = search.TermStats{
+			N: ws.N, AvgDocLen: ws.AvgDocLen, TotalLen: ws.TotalLen,
+			DF: ws.DF, CF: ws.CF, Weight: ws.Weight,
+		}
+	}
+	ordinal := req.Segment
+	res := search.ScoreIndexSegment(seg, func(d index.DocID) index.DocID {
+		return s.sh.GlobalID(ordinal, d)
+	}, q, stats, scorer, nil, req.K)
+	hits := make([]WireHit, len(res.Hits))
+	for i, h := range res.Hits {
+		hits[i] = WireHit{Doc: uint32(h.Doc), ID: h.ID, Score: h.Score}
+	}
+	writeRPCJSON(w, http.StatusOK, SearchResponse{
+		Segment:    &ordinal,
+		Hits:       hits,
+		Candidates: &res.Candidates,
+	})
+}

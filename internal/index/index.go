@@ -108,6 +108,21 @@ func (ix *Index) Terms(f Field) []string {
 	return out
 }
 
+// EachTerm calls fn for every term of field f in sorted order with its
+// document and collection frequencies, stopping early when fn returns
+// false. It is the bulk form of DocFreq/CollectionFreq used to export
+// a segment's full statistics in one pass (the distributed merge tier
+// aggregates these at startup).
+func (ix *Index) EachTerm(f Field, fn func(term string, df int, cf int64) bool) {
+	fi := &ix.fields[f]
+	for _, t := range fi.termList {
+		info := fi.infos[fi.terms[t]]
+		if !fn(t, int(info.df), int64(info.cf)) {
+			return
+		}
+	}
+}
+
 // DocFreq returns the number of documents containing term in field f.
 func (ix *Index) DocFreq(f Field, term string) int {
 	fi := &ix.fields[f]

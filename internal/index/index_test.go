@@ -130,6 +130,38 @@ func TestTermsSorted(t *testing.T) {
 	}
 }
 
+func TestEachTerm(t *testing.T) {
+	ix := buildSmall(t)
+	var terms []string
+	ix.EachTerm(FieldText, func(term string, df int, cf int64) bool {
+		terms = append(terms, term)
+		if df != ix.DocFreq(FieldText, term) {
+			t.Errorf("EachTerm df(%q)=%d, DocFreq says %d", term, df, ix.DocFreq(FieldText, term))
+		}
+		if cf != ix.CollectionFreq(FieldText, term) {
+			t.Errorf("EachTerm cf(%q)=%d, CollectionFreq says %d", term, cf, ix.CollectionFreq(FieldText, term))
+		}
+		return true
+	})
+	if len(terms) != ix.NumTerms(FieldText) {
+		t.Errorf("EachTerm visited %d terms, vocabulary has %d", len(terms), ix.NumTerms(FieldText))
+	}
+	for i := 1; i < len(terms); i++ {
+		if terms[i-1] >= terms[i] {
+			t.Fatalf("EachTerm order not sorted: %v", terms)
+		}
+	}
+	// Early stop.
+	n := 0
+	ix.EachTerm(FieldText, func(string, int, int64) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Errorf("EachTerm ignored early stop (visited %d)", n)
+	}
+}
+
 func TestBuilderErrors(t *testing.T) {
 	b := NewBuilder()
 	if err := b.AddDocument(NewDocument("")); err == nil {

@@ -63,6 +63,32 @@ type EndpointStats struct {
 	Latency  metrics.LatencySummary `json:"latency"`
 }
 
+// Topology describes the retrieval tier behind the server a run hit,
+// read from the `search` block of /api/v1/metrics after the run, so a
+// BENCH summary records whether its numbers came from an in-process
+// fan-out or a distributed scatter/gather tier (and how wide each
+// was).
+type Topology struct {
+	// Distributed is true when the server merges remote segment
+	// backends (ivrserve -segment-addrs).
+	Distributed bool `json:"distributed"`
+	// Backends counts remote segment servers (0 when in-process).
+	Backends int `json:"backends,omitempty"`
+	// Segments counts index segments behind the merge.
+	Segments int `json:"segments,omitempty"`
+	// Workers is the server's fan-out worker bound.
+	Workers int `json:"workers,omitempty"`
+}
+
+// String renders the topology line ivrload prints.
+func (t Topology) String() string {
+	if t.Distributed {
+		return fmt.Sprintf("%d remote segments over %d backends (workers %d)",
+			t.Segments, t.Backends, t.Workers)
+	}
+	return fmt.Sprintf("in-process, %d segments (workers %d)", t.Segments, t.Workers)
+}
+
 // Report is the outcome of a load run: workload totals plus
 // per-endpoint throughput and latency quantiles. Marshal it for a
 // machine-readable BENCH summary; String renders the human table.
@@ -82,6 +108,9 @@ type Report struct {
 	DroppedArrivals int64                    `json:"dropped_arrivals,omitempty"`
 	RequestsPerSec  float64                  `json:"requests_per_sec"`
 	Endpoints       map[string]EndpointStats `json:"endpoints"`
+	// Topology is filled by the driver (ivrload) from the server's
+	// post-run metrics; nil when the server was not inspected.
+	Topology *Topology `json:"topology,omitempty"`
 }
 
 // buildReport merges the per-worker shards into one report.

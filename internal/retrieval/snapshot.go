@@ -16,15 +16,31 @@ type SegmentSummary struct {
 	Latency  metrics.LatencySummary `json:"latency"`
 }
 
+// BackendSummary is one remote segment backend's telemetry: which
+// segments it scores, how many RPCs it has served and failed, and its
+// RPC latency quantiles (round trip as seen from the merge tier).
+type BackendSummary struct {
+	Addr     string                 `json:"addr"`
+	Segments []int                  `json:"segments"`
+	Requests int64                  `json:"requests"`
+	Errors   int64                  `json:"errors"`
+	Latency  metrics.LatencySummary `json:"latency"`
+}
+
 // Snapshot is the retrieval-engine section of the /api/v1/metrics
-// body: cache counters plus per-segment fan-out timing.
+// body: cache counters plus per-segment fan-out timing, and — when
+// the engine is a distributed merge tier — per-backend RPC telemetry.
 type Snapshot struct {
 	Cache CacheSnapshot `json:"cache"`
 	// Segments is present when the engine fans out over more than one
-	// segment (or when timing is wired at all).
+	// segment (or when timing is wired at all). On a distributed
+	// engine the per-segment latency includes the RPC round trip.
 	Segments []SegmentSummary `json:"segments,omitempty"`
 	// Workers is the fan-out worker bound (1 = sequential).
 	Workers int `json:"workers,omitempty"`
+	// Backends is present only on a distributed merge tier: one entry
+	// per remote segment server.
+	Backends []BackendSummary `json:"backends,omitempty"`
 }
 
 // SegmentTimings accumulates per-segment scoring latency. Observe is

@@ -85,12 +85,13 @@ const DefaultK = 100
 // concurrent use — segments report from worker goroutines.
 type SegmentObserver func(segment, candidates int, d time.Duration)
 
-// statsView is the collection-wide statistics surface shared by a
-// monolithic *index.Index and an *index.Sharded. Scoring always uses
-// these global statistics — never per-segment ones — which is what
-// makes sharded execution return bit-identical scores to a
+// StatsView is the collection-wide statistics surface shared by a
+// monolithic *index.Index, an *index.Sharded, and a distributed
+// merge tier aggregating remote segments. Scoring always uses these
+// global statistics — never per-segment ones — which is what makes
+// any segmented execution return bit-identical scores to a
 // single-index scan.
-type statsView interface {
+type StatsView interface {
 	NumDocs() int
 	AvgDocLen(index.Field) float64
 	TotalFieldLen(index.Field) int64
@@ -99,13 +100,15 @@ type statsView interface {
 	DocIDOf(string) (index.DocID, bool)
 }
 
-// Engine executes queries against an index, either a single segment or
-// a sharded index fanned out over a worker pool. It is safe for
+// Engine executes queries against a set of segments — a single local
+// index, a sharded index fanned out over a worker pool, or remote
+// segment servers behind a scatter/gather merge tier. It is safe for
 // concurrent use; all state is read-only after construction.
 type Engine struct {
-	segs     []*index.Index
-	sharded  *index.Sharded // nil when wrapping a single Index
-	stats    statsView
+	segs     []SegmentSearcher
+	single   *index.Index   // non-nil when wrapping exactly one local Index
+	sharded  *index.Sharded // non-nil when wrapping a local sharded index
+	stats    StatsView
 	analyzer *text.Analyzer
 	workers  int
 	obs      SegmentObserver
@@ -120,7 +123,8 @@ func NewEngine(ix *index.Index, analyzer *text.Analyzer) *Engine {
 		analyzer = text.NewAnalyzer()
 	}
 	return &Engine{
-		segs:     []*index.Index{ix},
+		segs:     []SegmentSearcher{localSegment{seg: ix, ordinal: 0, stride: 1}},
+		single:   ix,
 		stats:    ix,
 		analyzer: analyzer,
 		workers:  1,
@@ -132,37 +136,43 @@ func NewEngine(ix *index.Index, analyzer *text.Analyzer) *Engine {
 // the per-segment top-k lists; ranking output is identical to a
 // single-index engine over the same document stream.
 func NewShardedEngine(sh *index.Sharded, analyzer *text.Analyzer, workers int) *Engine {
+	segs := make([]SegmentSearcher, sh.NumSegments())
+	for i := range segs {
+		segs[i] = localSegment{seg: sh.Segment(i), ordinal: i, stride: sh.NumSegments()}
+	}
+	e := NewSegmentsEngine(sh, segs, analyzer, workers)
+	e.sharded = sh
+	return e
+}
+
+// NewSegmentsEngine assembles an engine over arbitrary segments — the
+// constructor the distributed merge tier uses to put remote segment
+// servers behind the same scatter/gather executor and TopK merge as
+// the in-process fan-out. stats must aggregate collection-wide
+// statistics over exactly the documents the segments hold; workers
+// bounds the fan-out pool (0 selects GOMAXPROCS).
+func NewSegmentsEngine(stats StatsView, segs []SegmentSearcher, analyzer *text.Analyzer, workers int) *Engine {
 	if analyzer == nil {
 		analyzer = text.NewAnalyzer()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	segs := make([]*index.Index, sh.NumSegments())
-	for i := range segs {
-		segs[i] = sh.Segment(i)
-	}
 	return &Engine{
 		segs:     segs,
-		sharded:  sh,
-		stats:    sh,
+		stats:    stats,
 		analyzer: analyzer,
 		workers:  workers,
 	}
 }
 
 // Index exposes the underlying index when the engine wraps exactly one
-// (read-only use). A sharded engine returns nil; use NumDocs/DocFreq
-// and friends, which aggregate across segments.
-func (e *Engine) Index() *index.Index {
-	if e.sharded != nil {
-		return nil
-	}
-	return e.segs[0]
-}
+// (read-only use). Sharded and distributed engines return nil; use
+// NumDocs/DocFreq and friends, which aggregate across segments.
+func (e *Engine) Index() *index.Index { return e.single }
 
-// Sharded exposes the underlying sharded index (nil for a
-// single-index engine).
+// Sharded exposes the underlying sharded index (nil for single-index
+// and distributed engines).
 func (e *Engine) Sharded() *index.Sharded { return e.sharded }
 
 // NumSegments reports how many index segments the engine scores.
@@ -214,65 +224,15 @@ func ConceptQuery(concepts ...string) Query {
 	return Query{Field: index.FieldConcept, Terms: terms}
 }
 
-// globalID converts a segment-local document id to the engine-wide id.
-func (e *Engine) globalID(segment int, local index.DocID) index.DocID {
-	if e.sharded == nil {
-		return local
-	}
-	return e.sharded.GlobalID(segment, local)
-}
-
-// segmentResult is one segment's contribution to a query.
-type segmentResult struct {
-	hits       []Hit
-	candidates int
-}
-
-// scoreSegment runs term-at-a-time scoring over one segment using the
-// precomputed *global* term statistics, and keeps the segment's local
-// top-k. Because every document lives in exactly one segment and term
-// contributions accumulate in query-term order exactly as in the
-// monolithic scan, per-document scores are bit-identical to the
-// sequential path.
-func (e *Engine) scoreSegment(segment int, q Query, stats []TermStats, scorer Scorer,
-	filter func(string) bool, k int) segmentResult {
-	start := time.Now()
-	seg := e.segs[segment]
-	acc := make(map[index.DocID]float64)
-	for ti, t := range q.Terms {
-		if stats[ti].DF == 0 || t.Weight == 0 {
-			continue
-		}
-		it := seg.Postings(q.Field, t.Term)
-		for it.Next() {
-			doc := it.Doc()
-			acc[doc] += scorer.TermScore(stats[ti], it.TF(), seg.DocLen(q.Field, doc))
-		}
-	}
-	sumW := q.SumWeights()
-	top := NewTopK(k)
-	candidates := 0
-	for doc, score := range acc {
-		id := seg.ExternalID(doc)
-		if filter != nil && !filter(id) {
-			continue
-		}
-		candidates++
-		score += scorer.DocScore(sumW, seg.DocLen(q.Field, doc))
-		top.Offer(Hit{Doc: e.globalID(segment, doc), ID: id, Score: score})
-	}
-	if e.obs != nil {
-		e.obs(segment, candidates, time.Since(start))
-	}
-	return segmentResult{hits: top.Ranked(), candidates: candidates}
-}
-
 // Search executes q and returns the top-K hits ordered by descending
 // score, ties broken by ascending external ID for reproducibility. On
 // a multi-segment engine the segments are scored concurrently on the
 // worker pool and merged; the ranking is identical to the sequential
 // single-index scan because scoring uses collection-wide statistics
-// and the rank order is total (score, then ID).
+// and the rank order is total (score, then ID). A failed segment
+// (possible only on remote segments) surfaces as a *SegmentError;
+// partial rankings are never returned, because a missing segment's
+// documents would silently vanish from the result.
 func (e *Engine) Search(q Query, opts Options) (Results, error) {
 	if len(q.Terms) == 0 {
 		return Results{}, nil
@@ -305,10 +265,10 @@ func (e *Engine) Search(q Query, opts Options) (Results, error) {
 		}
 	}
 
-	results := make([]segmentResult, len(e.segs))
+	results := make([]segmentOutcome, len(e.segs))
 	if workers := min(e.workers, len(e.segs)); workers <= 1 {
 		for i := range e.segs {
-			results[i] = e.scoreSegment(i, q, stats, scorer, opts.Filter, k)
+			results[i] = e.runSegment(i, q, stats, scorer, opts.Filter, k)
 		}
 	} else {
 		var next atomic.Int64
@@ -322,7 +282,7 @@ func (e *Engine) Search(q Query, opts Options) (Results, error) {
 					if i >= len(e.segs) {
 						return
 					}
-					results[i] = e.scoreSegment(i, q, stats, scorer, opts.Filter, k)
+					results[i] = e.runSegment(i, q, stats, scorer, opts.Filter, k)
 				}
 			}()
 		}
@@ -331,12 +291,16 @@ func (e *Engine) Search(q Query, opts Options) (Results, error) {
 
 	// Merge: each segment kept its k best, so the global top-k is in
 	// the union; the total (score, ID) order makes the merge
-	// order-independent.
+	// order-independent. Surface the lowest-ordinal failure for
+	// deterministic error reporting.
 	top := NewTopK(k)
 	candidates := 0
-	for _, r := range results {
-		candidates += r.candidates
-		for _, h := range r.hits {
+	for i, r := range results {
+		if r.err != nil {
+			return Results{}, &SegmentError{Segment: i, Err: r.err}
+		}
+		candidates += r.res.Candidates
+		for _, h := range r.res.Hits {
 			top.Offer(h)
 		}
 	}

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -208,6 +209,109 @@ func TestSegmentObserver(t *testing.T) {
 	}
 	if total != res.Candidates {
 		t.Errorf("observer candidates %d != result candidates %d", total, res.Candidates)
+	}
+}
+
+// failingSegment simulates a remote segment backend that errors.
+type failingSegment struct {
+	inner SegmentSearcher
+	err   error
+}
+
+func (f failingSegment) NumDocs() int { return f.inner.NumDocs() }
+
+func (f failingSegment) SearchSegment(q Query, stats []TermStats, scorer Scorer,
+	filter func(string) bool, k int) (SegmentResult, error) {
+	if f.err != nil {
+		return SegmentResult{}, f.err
+	}
+	return f.inner.SearchSegment(q, stats, scorer, filter, k)
+}
+
+// wrapSegments adapts a sharded index into the SegmentSearcher form a
+// custom (e.g. remote) composition would use.
+func wrapSegments(sh *index.Sharded) []SegmentSearcher {
+	segs := make([]SegmentSearcher, sh.NumSegments())
+	for i := range segs {
+		segs[i] = localSegment{seg: sh.Segment(i), ordinal: i, stride: sh.NumSegments()}
+	}
+	return segs
+}
+
+// TestSegmentsEngineParity pins that an engine assembled through the
+// custom-segment constructor (the distributed merge tier's path) is
+// bit-identical to the built-in sharded engine.
+func TestSegmentsEngineParity(t *testing.T) {
+	_, sh := buildCorpus(t, 41, 90, 3)
+	an := text.NewAnalyzer()
+	builtin := NewShardedEngine(sh, an, 3)
+	custom := NewSegmentsEngine(sh, wrapSegments(sh), an, 3)
+	for _, qt := range queriesFor(41, 8) {
+		want, err := builtin.Search(builtin.ParseText(qt), Options{K: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := custom.Search(custom.ParseText(qt), Options{K: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("q=%q: custom-segment engine diverged", qt)
+		}
+	}
+}
+
+// TestSegmentErrorPropagation: a failing segment yields a typed
+// *SegmentError naming the lowest failed ordinal, never a partial
+// ranking — on both the sequential and the worker-pool path.
+func TestSegmentErrorPropagation(t *testing.T) {
+	_, sh := buildCorpus(t, 43, 80, 4)
+	boom := fmt.Errorf("backend unplugged")
+	for _, workers := range []int{1, 4} {
+		segs := wrapSegments(sh)
+		segs[2] = failingSegment{inner: segs[2], err: boom}
+		eng := NewSegmentsEngine(sh, segs, nil, workers)
+		_, err := eng.Search(eng.ParseText("goal vote"), Options{K: 10})
+		if err == nil {
+			t.Fatalf("workers=%d: failing segment produced a ranking", workers)
+		}
+		var se *SegmentError
+		if !errors.As(err, &se) {
+			t.Fatalf("workers=%d: error %v (%T) is not *SegmentError", workers, err, err)
+		}
+		if se.Segment != 2 {
+			t.Errorf("workers=%d: blamed segment %d, want 2", workers, se.Segment)
+		}
+		if !errors.Is(err, boom) {
+			t.Errorf("workers=%d: cause not preserved through Unwrap", workers)
+		}
+	}
+}
+
+// TestScoreIndexSegmentUnboundedK: k <= 0 returns every candidate in
+// rank order (the path a filtered remote query takes).
+func TestScoreIndexSegmentUnboundedK(t *testing.T) {
+	single, _ := buildCorpus(t, 47, 70, 2)
+	eng := NewEngine(single, nil)
+	q := eng.ParseText("goal storm vote")
+	stats := make([]TermStats, len(q.Terms))
+	for i, term := range q.Terms {
+		stats[i] = TermStats{
+			N: single.NumDocs(), AvgDocLen: single.AvgDocLen(q.Field),
+			TotalLen: single.TotalFieldLen(q.Field),
+			DF:       single.DocFreq(q.Field, term.Term),
+			CF:       single.CollectionFreq(q.Field, term.Term),
+			Weight:   term.Weight,
+		}
+	}
+	ident := func(d index.DocID) index.DocID { return d }
+	all := ScoreIndexSegment(single, ident, q, stats, BM25{}, nil, -1)
+	if len(all.Hits) != all.Candidates {
+		t.Fatalf("unbounded k kept %d of %d candidates", len(all.Hits), all.Candidates)
+	}
+	cut := ScoreIndexSegment(single, ident, q, stats, BM25{}, nil, 10)
+	if !reflect.DeepEqual(all.Hits[:len(cut.Hits)], cut.Hits) {
+		t.Fatal("bounded result is not a prefix of the unbounded ranking")
 	}
 }
 

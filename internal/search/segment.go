@@ -1,0 +1,141 @@
+package search
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/index"
+)
+
+// SegmentResult is one segment's contribution to a query: its local
+// top-k (already fully scored, with global doc IDs) and how many of
+// its documents matched at least one query term after filtering.
+type SegmentResult struct {
+	Hits       []Hit
+	Candidates int
+}
+
+// SegmentSearcher is one scoreable partition of the collection. The
+// engine computes collection-wide term statistics once per query and
+// hands them to every segment, so a segment never consults its own
+// (partial) statistics: that contract is what keeps any composition of
+// segments — in-process or behind an RPC surface — bit-identical to a
+// monolithic scan. Implementations must be safe for concurrent use.
+type SegmentSearcher interface {
+	// NumDocs reports the segment's document count (telemetry sizing).
+	NumDocs() int
+	// SearchSegment scores the segment with the precomputed global
+	// term statistics (parallel to q.Terms), applies filter, and
+	// returns the segment's k best hits. k <= 0 means "all candidates"
+	// (used when a filter must be applied by the caller instead).
+	SearchSegment(q Query, stats []TermStats, scorer Scorer, filter func(string) bool, k int) (SegmentResult, error)
+}
+
+// SegmentError reports which segment of a fan-out failed. In-process
+// segments never fail; remote segments surface transport and protocol
+// faults here, so callers can tell *which* backend broke.
+type SegmentError struct {
+	Segment int
+	Err     error
+}
+
+// Error implements error.
+func (e *SegmentError) Error() string {
+	return fmt.Sprintf("search: segment %d: %v", e.Segment, e.Err)
+}
+
+// Unwrap exposes the underlying fault for errors.Is/As.
+func (e *SegmentError) Unwrap() error { return e.Err }
+
+// ScoreIndexSegment is the per-segment scoring kernel: term-at-a-time
+// accumulation over one in-memory index segment using the precomputed
+// *global* term statistics, followed by the segment-local top-k cut.
+// globalID converts the segment's local doc IDs to engine-wide IDs.
+// Because every document lives in exactly one segment and term
+// contributions accumulate in query-term order exactly as in the
+// monolithic scan, per-document scores are bit-identical to the
+// sequential path. This one function executes on both sides of the
+// process boundary — the in-process fan-out and the remote segment
+// servers — which is what pins distributed rankings to the local ones.
+//
+// k <= 0 keeps every candidate (callers that must filter after the
+// fact request the full list).
+func ScoreIndexSegment(seg *index.Index, globalID func(index.DocID) index.DocID,
+	q Query, stats []TermStats, scorer Scorer, filter func(string) bool, k int) SegmentResult {
+	acc := make(map[index.DocID]float64)
+	for ti, t := range q.Terms {
+		if stats[ti].DF == 0 || t.Weight == 0 {
+			continue
+		}
+		it := seg.Postings(q.Field, t.Term)
+		for it.Next() {
+			doc := it.Doc()
+			acc[doc] += scorer.TermScore(stats[ti], it.TF(), seg.DocLen(q.Field, doc))
+		}
+	}
+	if k <= 0 {
+		k = len(acc)
+		if k == 0 {
+			k = 1
+		}
+	}
+	sumW := q.SumWeights()
+	top := NewTopK(k)
+	candidates := 0
+	for doc, score := range acc {
+		id := seg.ExternalID(doc)
+		if filter != nil && !filter(id) {
+			continue
+		}
+		candidates++
+		score += scorer.DocScore(sumW, seg.DocLen(q.Field, doc))
+		top.Offer(Hit{Doc: globalID(doc), ID: id, Score: score})
+	}
+	return SegmentResult{Hits: top.Ranked(), Candidates: candidates}
+}
+
+// localSegment adapts one in-memory index segment to SegmentSearcher.
+// Global IDs follow the round-robin layout index.Sharded pins down:
+// global = local*stride + ordinal (stride 1, ordinal 0 for a
+// monolithic index, where global == local).
+type localSegment struct {
+	seg     *index.Index
+	ordinal int
+	stride  int
+}
+
+// NumDocs implements SegmentSearcher.
+func (l localSegment) NumDocs() int { return l.seg.NumDocs() }
+
+// SearchSegment implements SegmentSearcher. In-process scoring cannot
+// fail.
+func (l localSegment) SearchSegment(q Query, stats []TermStats, scorer Scorer,
+	filter func(string) bool, k int) (SegmentResult, error) {
+	return ScoreIndexSegment(l.seg, l.globalID, q, stats, scorer, filter, k), nil
+}
+
+func (l localSegment) globalID(d index.DocID) index.DocID {
+	return d*index.DocID(l.stride) + index.DocID(l.ordinal)
+}
+
+// runSegment executes one segment and reports its telemetry; the
+// observed duration covers the full segment call, so for a remote
+// segment it includes the RPC round trip.
+func (e *Engine) runSegment(i int, q Query, stats []TermStats, scorer Scorer,
+	filter func(string) bool, k int) segmentOutcome {
+	start := time.Now()
+	res, err := e.segs[i].SearchSegment(q, stats, scorer, filter, k)
+	if err != nil {
+		return segmentOutcome{err: err}
+	}
+	if e.obs != nil {
+		e.obs(i, res.Candidates, time.Since(start))
+	}
+	return segmentOutcome{res: res}
+}
+
+// segmentOutcome is one segment's execution result inside a fan-out.
+type segmentOutcome struct {
+	res SegmentResult
+	err error
+}

@@ -7,6 +7,8 @@ import (
 	"log/slog"
 	"net/http"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // RequestIDHeader carries the request correlation ID. Incoming values
@@ -34,65 +36,13 @@ func newRequestID() string {
 	return "r" + hex.EncodeToString(b[:])
 }
 
-// statusRecorder captures the status code for the request log.
-type statusRecorder struct {
-	http.ResponseWriter
-	status int
-}
-
-func (r *statusRecorder) WriteHeader(code int) {
-	r.status = code
-	r.ResponseWriter.WriteHeader(code)
-}
-
-func (r *statusRecorder) Write(p []byte) (int, error) {
-	if r.status == 0 {
-		r.status = http.StatusOK
-	}
-	return r.ResponseWriter.Write(p)
-}
-
-// Flush forwards streaming flushes (the NDJSON endpoint needs it).
-func (r *statusRecorder) Flush() {
-	if f, ok := r.ResponseWriter.(http.Flusher); ok {
-		f.Flush()
-	}
-}
-
-// instrument wraps one route's handler with telemetry: the route's
-// request counter (by status), its latency histogram, and the global
-// in-flight gauge. It reuses the outer middleware's statusRecorder
-// when present so the chain adds no extra wrapper allocation.
+// instrument wraps one route's handler with the registry's per-route
+// telemetry (metrics.Instrument reuses the middleware's StatusRecorder
+// so the chain adds no extra wrapper allocation). The same helper
+// instruments the distributed RPC mux, so both surfaces normalise
+// their catch-all labels the same way.
 func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
-	rs := s.metrics.Route(pattern)
-	return func(w http.ResponseWriter, r *http.Request) {
-		rec, ok := w.(*statusRecorder)
-		if !ok {
-			rec = &statusRecorder{ResponseWriter: w}
-			w = rec
-		}
-		done := s.metrics.IncInFlight()
-		start := time.Now()
-		finished := false
-		defer func() {
-			done()
-			status := rec.status
-			if status == 0 {
-				if finished {
-					// The handler returned without writing; net/http
-					// will send 200 with an empty body.
-					status = http.StatusOK
-				} else {
-					// Unwinding a panic; the recovery middleware turns
-					// it into a 500 after this records.
-					status = http.StatusInternalServerError
-				}
-			}
-			rs.Observe(status, time.Since(start))
-		}()
-		h(w, r)
-		finished = true
-	}
+	return s.metrics.Instrument(pattern, h)
 }
 
 // withMiddleware wraps next with the server's standard chain:
@@ -107,7 +57,7 @@ func (s *Server) withMiddleware(next http.Handler) http.Handler {
 		w.Header().Set(RequestIDHeader, reqID)
 		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, reqID))
 
-		rec := &statusRecorder{ResponseWriter: w}
+		rec := metrics.NewStatusRecorder(w)
 		start := time.Now()
 		defer func() {
 			if p := recover(); p != nil {
@@ -116,14 +66,14 @@ func (s *Server) withMiddleware(next http.Handler) http.Handler {
 				// Headers may already be out; writeCode is then a no-op
 				// on the status but the connection is torn down by the
 				// deferred write error anyway.
-				if rec.status == 0 {
+				if rec.Status() == 0 {
 					writeCode(rec, http.StatusInternalServerError, codeInternal, "internal error")
 				}
 				return
 			}
 			s.log.Log(r.Context(), slog.LevelInfo, "request",
 				"request_id", reqID, "method", r.Method, "path", r.URL.Path,
-				"status", rec.status, "duration", time.Since(start))
+				"status", rec.Status(), "duration", time.Since(start))
 		}()
 		next.ServeHTTP(rec, r)
 	})

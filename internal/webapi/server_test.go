@@ -451,6 +451,54 @@ func TestUnknownRouteEnvelope(t *testing.T) {
 	wantEnvelope(t, "GET", ts.URL+"/elsewhere", nil, http.StatusNotFound, "not_found")
 }
 
+// TestCatchAllRouteLabelsBounded is the regression test for catch-all
+// label normalization: arbitrary request paths — unmatched, legacy
+// /api/..., unknown /api/v1/... — must collapse onto the fixed
+// "* /api/" and "* /" telemetry labels instead of minting one metrics
+// route per path. The distributed RPC mux has the matching test in
+// internal/distrib.
+func TestCatchAllRouteLabelsBounded(t *testing.T) {
+	ts, _, srv := newTestServer(t)
+	get := func(path string) {
+		t.Helper()
+		req, err := http.NewRequest("GET", ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := noRedirectClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	for i := 0; i < 20; i++ {
+		get(fmt.Sprintf("/random/path%d", i))      // unmatched -> "* /"
+		get(fmt.Sprintf("/api/legacy%d", i))       // 308 redirect -> "* /api/"
+		get(fmt.Sprintf("/api/v1/unknown%d", i))   // unknown v1 -> "* /api/"
+		get(fmt.Sprintf("/healthz-imposter%d", i)) // unmatched -> "* /"
+	}
+	snap := srv.Metrics().TakeSnapshot()
+	allowed := map[string]bool{routeLegacy: true, routeUnmatched: true}
+	for _, pattern := range []string{
+		"POST /api/v1/sessions", "GET /api/v1/sessions", "GET /api/v1/sessions/{id}",
+		"DELETE /api/v1/sessions/{id}", "GET /api/v1/search", "GET /api/v1/search/stream",
+		"POST /api/v1/events", "GET /api/v1/shots/{id}", "GET /api/v1/healthz", "GET /api/v1/metrics",
+	} {
+		allowed[pattern] = true
+	}
+	for route := range snap.Routes {
+		if !allowed[route] {
+			t.Errorf("unexpected metrics route label %q — per-route metrics exploded", route)
+		}
+	}
+	if n := snap.Routes[routeUnmatched].Count; n != 40 {
+		t.Errorf("%q count = %d, want 40", routeUnmatched, n)
+	}
+	if n := snap.Routes[routeLegacy].Count; n != 40 {
+		t.Errorf("%q count = %d, want 40", routeLegacy, n)
+	}
+}
+
 func TestSessionTTLOverHTTP(t *testing.T) {
 	arch, err := synth.Generate(synth.TinyConfig(), 7)
 	if err != nil {
