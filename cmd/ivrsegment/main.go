@@ -30,6 +30,10 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	// Registers /debug/pprof on http.DefaultServeMux, served only when
+	// -pprof-addr starts the side listener below; the RPC mux is its
+	// own ServeMux, so profiling never leaks onto the public address.
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -45,15 +49,17 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8091", "listen address")
-		archPath = flag.String("archive", "", "saved archive (.ivrarc) to index; default generates one")
-		seed     = flag.Int64("seed", 2008, "generation seed when no -archive is given")
-		full     = flag.Bool("full", false, "generate the full-scale archive")
-		segments = flag.Int("segments", 2, "total segment count of the topology (same on every server)")
-		host     = flag.String("host", "", "comma-separated segment ordinals to host (default: all)")
-		quiet    = flag.Bool("quiet", false, "suppress per-request logs")
+		addr      = flag.String("addr", ":8091", "listen address")
+		archPath  = flag.String("archive", "", "saved archive (.ivrarc) to index; default generates one")
+		seed      = flag.Int64("seed", 2008, "generation seed when no -archive is given")
+		full      = flag.Bool("full", false, "generate the full-scale archive")
+		segments  = flag.Int("segments", 2, "total segment count of the topology (same on every server)")
+		host      = flag.String("host", "", "comma-separated segment ordinals to host (default: all)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this side address (e.g. localhost:6061; empty disables)")
+		quiet     = flag.Bool("quiet", false, "suppress per-request logs")
 	)
 	flag.Parse()
+	startPprof(*pprofAddr)
 
 	if *segments < 1 {
 		fail("-segments must be >= 1")
@@ -133,6 +139,22 @@ func parseOrdinals(s string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// startPprof serves net/http/pprof's /debug/pprof endpoints on a
+// dedicated side listener so the scoring tier can be profiled under
+// live load (see LOADTEST.md, "Profiling live traffic"). Empty addr
+// disables it. Bind to localhost (or firewall the port).
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		fmt.Printf("ivrsegment: pprof on http://%s/debug/pprof/\n", addr)
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "ivrsegment: pprof listener: %v\n", err)
+		}
+	}()
 }
 
 func fail(format string, args ...any) {

@@ -34,6 +34,10 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	// Registers /debug/pprof on http.DefaultServeMux, served only when
+	// -pprof-addr starts the side listener below; the API mux is its
+	// own ServeMux, so profiling never leaks onto the public address.
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -73,9 +77,11 @@ func main() {
 		searchCache = flag.Int("search-cache", 4096, "evidence-keyed result cache entries (0 disables)")
 		segAddrs    = flag.String("segment-addrs", "", "comma-separated ivrsegment base URLs; enables the distributed scatter/gather tier (static topology)")
 		segTimeout  = flag.Duration("segment-timeout", distrib.DefaultRPCTimeout, "per-segment RPC deadline in distributed mode")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty disables)")
 		quiet       = flag.Bool("quiet", false, "suppress per-request logs")
 	)
 	flag.Parse()
+	startPprof(*pprofAddr)
 
 	cfg, err := core.Preset(*preset)
 	if err != nil {
@@ -185,6 +191,22 @@ func main() {
 			fail("shutdown: %v", err)
 		}
 	}
+}
+
+// startPprof serves net/http/pprof's /debug/pprof endpoints on a
+// dedicated side listener so live traffic can be profiled (see
+// LOADTEST.md, "Profiling live traffic"). Empty addr disables it.
+// Bind to localhost (or firewall the port): profiles expose internals.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		fmt.Printf("ivrserve: pprof on http://%s/debug/pprof/\n", addr)
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "ivrserve: pprof listener: %v\n", err)
+		}
+	}()
 }
 
 func fail(format string, args ...any) {

@@ -235,13 +235,14 @@ func (s *System) Cache() *retrieval.Cache { return s.cache }
 func (s *System) SetBackendTelemetry(fn func() []retrieval.BackendSummary) { s.backendSnap = fn }
 
 // RetrievalSnapshot reports the engine-layer telemetry: cache
-// counters, per-segment scoring latency, and — on a distributed
-// system — per-backend RPC counters.
+// counters, per-segment scoring latency, the scoring kernel's pool
+// counters, and — on a distributed system — per-backend RPC counters.
 func (s *System) RetrievalSnapshot() retrieval.Snapshot {
 	snap := retrieval.Snapshot{
 		Cache:    s.cache.Stats(),
 		Segments: s.segTimings.Summaries(),
 		Workers:  s.engine.Workers(),
+		Kernel:   search.ReadKernelStats(),
 	}
 	if s.backendSnap != nil {
 		snap.Backends = s.backendSnap()

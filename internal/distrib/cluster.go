@@ -253,16 +253,22 @@ type remoteSegment struct {
 // NumDocs implements search.SegmentSearcher.
 func (r *remoteSegment) NumDocs() int { return r.numDocs }
 
-// SearchSegment implements search.SegmentSearcher. Filters are opaque
-// predicates that cannot cross the process boundary, so a filtered
-// query fetches the segment's full candidate list and applies the
-// filter merge-side before the top-k cut — the same filter-then-cut
-// order as in-process, so rankings stay bit-identical (at the cost of
-// a fatter response; the serving layer only passes filters for
-// category-faceted queries, which also bypass the result cache).
-func (r *remoteSegment) SearchSegment(q search.Query, stats []search.TermStats,
-	scorer search.Scorer, filter func(string) bool, k int) (search.SegmentResult, error) {
-	spec, err := SpecForScorer(scorer)
+// SearchSegment implements search.SegmentSearcher. The compiled query
+// itself cannot cross the process boundary, so the wire request
+// carries its (Query, []TermStats, Scorer) source triple; the far side
+// re-compiles from those identical inputs and runs the same kernel on
+// the same constants, which keeps remote scores bit-identical to
+// in-process ones. Filters are opaque predicates that cannot cross the
+// boundary either, so a filtered query fetches the segment's full
+// candidate list and applies the filter merge-side before the top-k
+// cut — the same filter-then-cut order as in-process, so rankings stay
+// bit-identical (at the cost of a fatter response; the serving layer
+// only passes filters for category-faceted queries, which also bypass
+// the result cache).
+func (r *remoteSegment) SearchSegment(p *search.PreparedQuery,
+	filter func(string) bool, k int) (search.SegmentResult, error) {
+	q, stats := p.Query(), p.Stats()
+	spec, err := SpecForScorer(p.Scorer())
 	if err != nil {
 		return search.SegmentResult{}, err
 	}

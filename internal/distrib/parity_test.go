@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"net/http/httptest"
 	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -308,6 +309,63 @@ func TestDistributedSystemParity(t *testing.T) {
 	// The distributed system's cache saw every unfiltered query.
 	if snap := distSys.RetrievalSnapshot(); snap.Cache.Misses == 0 {
 		t.Error("distributed system never touched its result cache")
+	}
+}
+
+// TestDistributedKernelParityConcurrent is the 2-backend companion to
+// internal/search's kernel parity suite: many goroutines query one
+// merge tier over two segment servers at once, every answer compared
+// against the sequential single-index scan, per scorer. Under -race
+// this pins that the pooled kernel state (dense accumulators, top-k
+// heaps, recycled hit slices) is never shared across the concurrent
+// segment RPCs on either side of the process boundary.
+func TestDistributedKernelParityConcurrent(t *testing.T) {
+	single, sh := buildCorpus(t, 67, 140, 4)
+	addrs := startTopology(t, sh, 2)
+	cluster := connectCluster(t, addrs)
+	an := text.NewAnalyzer()
+	seq := search.NewEngine(single, an)
+	dist := cluster.NewEngine(an, 4)
+	scorers := []search.Scorer{search.BM25{}, search.TFIDF{}, search.DirichletLM{}}
+	queries := queriesFor(67, 4)
+	type caseKey struct{ qi, si int }
+	wants := make(map[caseKey]search.Results)
+	for qi, qt := range queries {
+		for si, scorer := range scorers {
+			want, err := seq.Search(seq.ParseText(qt), search.Options{K: 25, Scorer: scorer})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants[caseKey{qi, si}] = want
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 8; iter++ {
+				for qi, qt := range queries {
+					for si, scorer := range scorers {
+						got, err := dist.Search(dist.ParseText(qt), search.Options{K: 25, Scorer: scorer})
+						if err != nil {
+							errs <- err
+							return
+						}
+						if !reflect.DeepEqual(got, wants[caseKey{qi, si}]) {
+							errs <- fmt.Errorf("q=%q scorer=%s: concurrent distributed ranking diverged", qt, scorer.Name())
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }
 

@@ -279,13 +279,18 @@ func (s *SegmentServer) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	ordinal := req.Segment
-	res := search.ScoreIndexSegment(seg, func(d index.DocID) index.DocID {
+	// Compile from the wire statistics and run the same dense kernel
+	// as the in-process fan-out: identical inputs, identical compiled
+	// constants, bit-identical scores.
+	p := search.PrepareQuery(q, stats, scorer)
+	res := p.ScoreSegment(seg, func(d index.DocID) index.DocID {
 		return s.sh.GlobalID(ordinal, d)
-	}, q, stats, scorer, nil, req.K)
+	}, nil, req.K)
 	hits := make([]WireHit, len(res.Hits))
 	for i, h := range res.Hits {
 		hits[i] = WireHit{Doc: uint32(h.Doc), ID: h.ID, Score: h.Score}
 	}
+	search.RecycleHits(res.Hits)
 	writeRPCJSON(w, http.StatusOK, SearchResponse{
 		Segment:    &ordinal,
 		Hits:       hits,

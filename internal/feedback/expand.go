@@ -3,6 +3,7 @@ package feedback
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/index"
 	"repro/internal/search"
@@ -13,6 +14,19 @@ import (
 // relevance mass: terms characteristic of positively-weighted shots
 // are added to the query with fractional weights, adapting the
 // retrieval model to the inferred interest.
+//
+// Because the adaptive loop re-expands after every implicit-feedback
+// event, the same shot transcripts are analysed over and over; the
+// expander therefore memoizes each shot's analysed term profile
+// (stemmed term, 1+log tf, idf — every per-shot value that does not
+// depend on the query or the evidence mass) the first time the shot
+// contributes evidence. The memo requires docText and df to be stable:
+// a shot ID must always resolve to the same transcript and a term to
+// the same document frequency, which holds for the immutable
+// collection and index the system wires in. Candidate scores are
+// bit-identical to the unmemoized computation — the cached values are
+// produced by exactly the expressions the per-query path used, and the
+// remaining per-query arithmetic is unchanged.
 type Expander struct {
 	analyzer *text.Analyzer
 	// docText resolves a shot's transcript.
@@ -21,16 +35,80 @@ type Expander struct {
 	// index).
 	df      func(term string) int
 	numDocs int
+
+	// mu guards the memo maps; Candidates is called from concurrent
+	// sessions of one System.
+	mu sync.RWMutex
+	// shotTerms memoizes each shot's analysed term profile, sorted by
+	// term (nil entry: transcript unavailable). Terms with df == 0 are
+	// dropped at memo-build time, exactly as the unmemoized loop
+	// skipped them.
+	shotTerms map[string][]shotTerm
+}
+
+// shotTerm is one memoized (shot, term) contribution source:
+// ltf = 1 + log tf(term, shot) and idf = log((N+1)/df(term)), the two
+// factors of the Rocchio score that do not depend on the query.
+type shotTerm struct {
+	term string
+	ltf  float64
+	idf  float64
 }
 
 // NewExpander wires an expander. analyzer may be nil (default
-// pipeline). docText and df must be non-nil.
+// pipeline). docText and df must be non-nil, and must be stable: the
+// expander memoizes per-shot analysis under the assumption that a shot
+// always yields the same transcript and a term the same frequency.
 func NewExpander(analyzer *text.Analyzer, docText func(string) (string, bool),
 	df func(string) int, numDocs int) *Expander {
 	if analyzer == nil {
 		analyzer = text.NewAnalyzer()
 	}
-	return &Expander{analyzer: analyzer, docText: docText, df: df, numDocs: numDocs}
+	return &Expander{
+		analyzer:  analyzer,
+		docText:   docText,
+		df:        df,
+		numDocs:   numDocs,
+		shotTerms: make(map[string][]shotTerm),
+	}
+}
+
+// termsOf returns shot id's memoized term profile, analysing and
+// caching it on first use.
+func (x *Expander) termsOf(id string) []shotTerm {
+	x.mu.RLock()
+	cached, ok := x.shotTerms[id]
+	x.mu.RUnlock()
+	if ok {
+		return cached
+	}
+	var built []shotTerm
+	if txt, ok := x.docText(id); ok {
+		counts := x.analyzer.TermCounts(txt)
+		built = make([]shotTerm, 0, len(counts))
+		for term, tf := range counts {
+			df := x.df(term)
+			if df == 0 {
+				continue
+			}
+			built = append(built, shotTerm{
+				term: term,
+				ltf:  1 + math.Log(float64(tf)),
+				idf:  math.Log(float64(x.numDocs+1) / float64(df)),
+			})
+		}
+		sort.Slice(built, func(i, j int) bool { return built[i].term < built[j].term })
+	}
+	x.mu.Lock()
+	// A racing goroutine may have built the same profile; keep the
+	// first stored copy so every caller shares one slice.
+	if prior, ok := x.shotTerms[id]; ok {
+		built = prior
+	} else {
+		x.shotTerms[id] = built
+	}
+	x.mu.Unlock()
+	return built
 }
 
 // ExpanderForIndex builds the usual expander over an index and a
@@ -70,20 +148,11 @@ func (x *Expander) Candidates(base search.Query, mass map[string]float64) []Expa
 		if m == 0 {
 			continue
 		}
-		txt, ok := x.docText(id)
-		if !ok {
-			continue
-		}
-		for term, tf := range x.analyzer.TermCounts(txt) {
-			if inBase[term] {
+		for _, st := range x.termsOf(id) {
+			if inBase[st.term] {
 				continue
 			}
-			df := x.df(term)
-			if df == 0 {
-				continue
-			}
-			idf := math.Log(float64(x.numDocs+1) / float64(df))
-			scores[term] += m * (1 + math.Log(float64(tf))) * idf
+			scores[st.term] += m * st.ltf * st.idf
 		}
 	}
 	out := make([]ExpansionTerm, 0, len(scores))

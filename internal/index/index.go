@@ -101,7 +101,13 @@ func (ix *Index) TotalFieldLen(f Field) int64 { return int64(ix.fields[f].totalL
 // NumTerms returns the vocabulary size of field f.
 func (ix *Index) NumTerms(f Field) int { return len(ix.fields[f].termList) }
 
-// Terms returns the sorted vocabulary of field f (a fresh copy).
+// Terms returns the sorted vocabulary of field f. The returned slice
+// is a fresh copy of the entire dictionary, allocated on every call —
+// O(vocabulary) work and memory — so it is a debugging/inspection
+// surface, not a bulk-statistics path. Anything that needs to walk the
+// vocabulary with its frequencies (the distributed stats dump, metric
+// exports) must use EachTerm, which iterates the frozen dictionary in
+// place without copying it.
 func (ix *Index) Terms(f Field) []string {
 	out := make([]string, len(ix.fields[f].termList))
 	copy(out, ix.fields[f].termList)
@@ -145,17 +151,34 @@ func (ix *Index) CollectionFreq(f Field, term string) int64 {
 // field f, in ascending DocID order. A term absent from the dictionary
 // yields an exhausted iterator, never nil.
 func (ix *Index) Postings(f Field, term string) *PostingsIterator {
+	it := ix.PostingsFor(f, term)
+	return &it
+}
+
+// PostingsFor is Postings returning the iterator by value, so callers
+// on an allocation-free path (the scoring kernel iterates one per query
+// term per segment) can keep it on the stack instead of paying a heap
+// allocation per term.
+func (ix *Index) PostingsFor(f Field, term string) PostingsIterator {
 	fi := &ix.fields[f]
 	i, ok := fi.terms[term]
 	if !ok {
-		return &PostingsIterator{}
+		return PostingsIterator{}
 	}
 	info := fi.infos[i]
-	return &PostingsIterator{
+	return PostingsIterator{
 		buf:       fi.blob[info.off : info.off+info.n],
 		remaining: int(info.df),
 	}
 }
+
+// DocLens exposes field f's per-document token counts, indexed by
+// DocID. The returned slice aliases the index's internal storage and
+// MUST be treated as read-only; it stays valid for the index's
+// lifetime (the index is immutable). The scoring kernel caches it once
+// per segment scan so the per-posting length lookup is a direct slice
+// load instead of a method call with its own bounds logic.
+func (ix *Index) DocLens(f Field) []uint32 { return ix.fields[f].docLens }
 
 // PostingsIterator decodes a delta/varint-compressed posting list.
 // Usage:
@@ -209,6 +232,52 @@ func (it *PostingsIterator) TF() int { return int(it.tf) }
 
 // Remaining reports how many postings have not yet been consumed.
 func (it *PostingsIterator) Remaining() int { return it.remaining }
+
+// NextBlock decodes up to min(len(docs), len(tfs)) postings into the
+// caller's buffers — docs receive absolute DocIDs (deltas already
+// resolved), tfs the matching term frequencies — and returns how many
+// postings were written; 0 means the iterator is exhausted. It is the
+// bulk form of Next/Doc/TF: the scoring kernel drains a posting list
+// through fixed scratch buffers so the accumulate loop is pure
+// arithmetic over two arrays, with no per-posting iterator calls.
+// NextBlock and Next may be interleaved; both advance the same cursor.
+func (it *PostingsIterator) NextBlock(docs []DocID, tfs []uint32) int {
+	max := len(docs)
+	if len(tfs) < max {
+		max = len(tfs)
+	}
+	n := 0
+	for n < max {
+		if it.remaining <= 0 || len(it.buf) == 0 {
+			it.remaining = 0
+			break
+		}
+		delta, w := binary.Uvarint(it.buf)
+		if w <= 0 {
+			it.remaining = 0
+			break
+		}
+		it.buf = it.buf[w:]
+		tf, w := binary.Uvarint(it.buf)
+		if w <= 0 {
+			it.remaining = 0
+			break
+		}
+		it.buf = it.buf[w:]
+		if it.started {
+			it.cur += DocID(delta)
+		} else {
+			it.cur = DocID(delta)
+			it.started = true
+		}
+		it.tf = tf
+		it.remaining--
+		docs[n] = it.cur
+		tfs[n] = uint32(tf)
+		n++
+	}
+	return n
+}
 
 // finish freezes a fieldIndex: sorts the dictionary and rewrites the
 // term->index map to the sorted order.

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/search"
 )
 
 // SegmentSummary is one index segment's execution telemetry: how many
@@ -41,6 +42,11 @@ type Snapshot struct {
 	// Backends is present only on a distributed merge tier: one entry
 	// per remote segment server.
 	Backends []BackendSummary `json:"backends,omitempty"`
+	// Kernel reports the scoring kernel's pool telemetry (compiled
+	// queries, segment scans, accumulator/top-k/hit-slice reuse). The
+	// counters are process-wide: every engine in the process scores
+	// through the same pooled kernel.
+	Kernel search.KernelStats `json:"kernel"`
 }
 
 // SegmentTimings accumulates per-segment scoring latency. Observe is

@@ -251,8 +251,8 @@ func (e *Engine) Search(q Query, opts Options) (Results, error) {
 		}
 	}
 
-	// Collection-wide statistics, computed once and shared by every
-	// segment worker.
+	// Collection-wide statistics, computed once, compiled into the
+	// prepared query, and shared by every segment worker.
 	n := e.stats.NumDocs()
 	avgdl := e.stats.AvgDocLen(q.Field)
 	totalLen := e.stats.TotalFieldLen(q.Field)
@@ -264,11 +264,12 @@ func (e *Engine) Search(q Query, opts Options) (Results, error) {
 			Weight: t.Weight,
 		}
 	}
+	p := PrepareQuery(q, stats, scorer)
 
 	results := make([]segmentOutcome, len(e.segs))
 	if workers := min(e.workers, len(e.segs)); workers <= 1 {
 		for i := range e.segs {
-			results[i] = e.runSegment(i, q, stats, scorer, opts.Filter, k)
+			results[i] = e.runSegment(i, p, opts.Filter, k)
 		}
 	} else {
 		var next atomic.Int64
@@ -282,7 +283,7 @@ func (e *Engine) Search(q Query, opts Options) (Results, error) {
 					if i >= len(e.segs) {
 						return
 					}
-					results[i] = e.runSegment(i, q, stats, scorer, opts.Filter, k)
+					results[i] = e.runSegment(i, p, opts.Filter, k)
 				}
 			}()
 		}
@@ -292,19 +293,24 @@ func (e *Engine) Search(q Query, opts Options) (Results, error) {
 	// Merge: each segment kept its k best, so the global top-k is in
 	// the union; the total (score, ID) order makes the merge
 	// order-independent. Surface the lowest-ordinal failure for
-	// deterministic error reporting.
-	top := NewTopK(k)
+	// deterministic error reporting. Per-segment hit lists are dead
+	// after the merge, so they go back to the kernel's pool.
+	top := getTopK(k)
 	candidates := 0
 	for i, r := range results {
 		if r.err != nil {
+			putTopK(top)
 			return Results{}, &SegmentError{Segment: i, Err: r.err}
 		}
 		candidates += r.res.Candidates
 		for _, h := range r.res.Hits {
 			top.Offer(h)
 		}
+		RecycleHits(r.res.Hits)
 	}
-	return Results{Hits: top.Ranked(), Candidates: candidates}, nil
+	hits := top.Ranked()
+	putTopK(top)
+	return Results{Hits: hits, Candidates: candidates}, nil
 }
 
 // SearchMultiField runs the same information need against several

@@ -1,0 +1,436 @@
+package search
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/index"
+)
+
+// The scoring kernel. The adaptive loop re-runs retrieval after every
+// implicit-feedback event, so uncached query scoring is the system's
+// hottest path. This file compiles a (Query, []TermStats, Scorer)
+// triple into a PreparedQuery — per-term scoring constants hoisted out
+// of the posting loop, so the inner loop is pure arithmetic with no
+// interface dispatch — and scores segments through dense, pooled
+// accumulator state instead of a per-query map.
+//
+// Everything here is pinned bit-identical to the straightforward
+// map-accumulator + interface-dispatch scan (kept as the reference
+// oracle in the parity tests): constants are hoisted only where the
+// floating-point operation order is provably unchanged, and documents
+// accumulate term contributions in query-term order exactly as before.
+
+// scorerKind selects the compiled inner loop.
+type scorerKind uint8
+
+const (
+	// kindGeneric scores through the Scorer interface per posting —
+	// the fallback for scorer implementations the compiler does not
+	// know. Correct for any Scorer, but pays interface dispatch.
+	kindGeneric scorerKind = iota
+	kindBM25
+	kindTFIDF
+	kindDirichlet
+)
+
+// kernelTerm is one query term's compiled scoring state. The float
+// constants are kind-specific; unused ones stay zero.
+type kernelTerm struct {
+	term string
+	// ti indexes the original stats slice (generic path).
+	ti int
+	// zero marks a term whose every contribution is exactly +0 but
+	// whose postings must still be walked, because touching a document
+	// registers it as a candidate (Dirichlet with CF == 0: the oracle
+	// adds 0.0 through the map, which makes the doc a candidate).
+	zero bool
+
+	// BM25: wIdf = Weight*idf, k1p1 = K1+1, k1, b, oneMinusB = 1-b,
+	// maxAvg = max(AvgDocLen, 1e-9).
+	// TFIDF: weight, idf.
+	// Dirichlet: weight, muPc = mu * (CF/TotalLen).
+	wIdf      float64
+	k1p1      float64
+	k1        float64
+	b         float64
+	oneMinusB float64
+	maxAvg    float64
+	weight    float64
+	idf       float64
+	muPc      float64
+}
+
+// PreparedQuery is a query compiled for the scoring kernel: the
+// original (Query, []TermStats, Scorer) triple — still exposed for
+// wire serialisation and reference scoring — plus per-term constants
+// with all document-independent arithmetic (IDF, BM25 saturation
+// constants, Dirichlet collection models) precomputed, so scoring a
+// posting costs a few multiplications and no interface calls.
+//
+// The engine compiles once per query and hands the same PreparedQuery
+// to every segment worker; the distributed segment servers compile
+// from the identical wire statistics, so both sides of the process
+// boundary run the same kernel on the same constants. A PreparedQuery
+// is immutable after PrepareQuery and safe for concurrent use.
+type PreparedQuery struct {
+	query  Query
+	stats  []TermStats
+	scorer Scorer
+
+	kind  scorerKind
+	terms []kernelTerm
+	sumW  float64
+	mu    float64 // Dirichlet doc-score smoothing mass
+}
+
+// PrepareQuery compiles a query against precomputed global term
+// statistics (parallel to q.Terms) for a scorer. Terms with DF == 0 or
+// zero weight are dropped at compile time, mirroring the scan's skip
+// condition.
+func PrepareQuery(q Query, stats []TermStats, scorer Scorer) *PreparedQuery {
+	kernelCounters.compiles.Add(1)
+	p := &PreparedQuery{
+		query:  q,
+		stats:  stats,
+		scorer: scorer,
+		sumW:   q.SumWeights(),
+		terms:  make([]kernelTerm, 0, len(q.Terms)),
+	}
+	switch s := scorer.(type) {
+	case BM25:
+		p.kind = kindBM25
+		k1, b := s.params()
+		for ti, t := range q.Terms {
+			if stats[ti].DF == 0 || t.Weight == 0 {
+				continue
+			}
+			st := stats[ti]
+			idf := math.Log(1 + (float64(st.N)-float64(st.DF)+0.5)/(float64(st.DF)+0.5))
+			p.terms = append(p.terms, kernelTerm{
+				term: t.Term, ti: ti,
+				wIdf: st.Weight * idf, k1p1: k1 + 1, k1: k1, b: b,
+				oneMinusB: 1 - b, maxAvg: math.Max(st.AvgDocLen, 1e-9),
+			})
+		}
+	case TFIDF:
+		p.kind = kindTFIDF
+		for ti, t := range q.Terms {
+			if stats[ti].DF == 0 || t.Weight == 0 {
+				continue
+			}
+			st := stats[ti]
+			p.terms = append(p.terms, kernelTerm{
+				term: t.Term, ti: ti,
+				weight: st.Weight,
+				idf:    math.Log(float64(st.N+1) / float64(st.DF)),
+			})
+		}
+	case DirichletLM:
+		p.kind = kindDirichlet
+		p.mu = s.mu()
+		for ti, t := range q.Terms {
+			if stats[ti].DF == 0 || t.Weight == 0 {
+				continue
+			}
+			st := stats[ti]
+			kt := kernelTerm{term: t.Term, ti: ti, weight: st.Weight}
+			if st.CF == 0 || st.TotalLen == 0 {
+				// The reference TermScore returns 0 here, but the scan
+				// still walks the postings and registers candidates.
+				kt.zero = true
+			} else {
+				pc := float64(st.CF) / float64(st.TotalLen)
+				kt.muPc = p.mu * pc
+			}
+			p.terms = append(p.terms, kt)
+		}
+	default:
+		p.kind = kindGeneric
+		for ti, t := range q.Terms {
+			if stats[ti].DF == 0 || t.Weight == 0 {
+				continue
+			}
+			p.terms = append(p.terms, kernelTerm{term: t.Term, ti: ti})
+		}
+	}
+	return p
+}
+
+// Query returns the original query.
+func (p *PreparedQuery) Query() Query { return p.query }
+
+// Stats returns the global term statistics the query was compiled
+// against (parallel to Query().Terms; read-only).
+func (p *PreparedQuery) Stats() []TermStats { return p.stats }
+
+// Scorer returns the scorer the query was compiled for.
+func (p *PreparedQuery) Scorer() Scorer { return p.scorer }
+
+// kernelBlock bounds one postings decode burst. 256 postings keep the
+// scratch (256*4 + 256*4 bytes) comfortably inside L1 alongside the
+// touched accumulator lines.
+const kernelBlock = 256
+
+// accumulator is the dense per-segment scoring state, recycled through
+// accPool. scores holds one float64 per segment document; epochs marks
+// which entries belong to the current query (an entry is live iff
+// epochs[d] == epoch), so "clearing" between queries is one counter
+// increment — O(touched candidates), never O(numDocs). touched lists
+// the live DocIDs for the candidate sweep.
+type accumulator struct {
+	scores  []float64
+	epochs  []uint32
+	epoch   uint32
+	touched []index.DocID
+
+	// postings decode scratch, kept alongside the accumulator so one
+	// pool Get arms the whole per-segment scan.
+	docBuf [kernelBlock]index.DocID
+	tfBuf  [kernelBlock]uint32
+}
+
+// reset arms the accumulator for a segment of n documents.
+func (a *accumulator) reset(n int) {
+	if cap(a.scores) < n {
+		a.scores = make([]float64, n)
+		a.epochs = make([]uint32, n)
+	} else {
+		a.scores = a.scores[:n]
+		a.epochs = a.epochs[:n]
+	}
+	a.epoch++
+	if a.epoch == 0 {
+		// uint32 wraparound: stale entries could alias the new epoch,
+		// so pay one full clear every 2^32 queries. Clear the whole
+		// capacity, not just [:n] — a later reset for a larger segment
+		// would otherwise see pre-wrap values beyond n.
+		clear(a.epochs[:cap(a.epochs)])
+		a.epoch = 1
+	}
+	a.touched = a.touched[:0]
+}
+
+// add accumulates a term contribution for document d. First touch in
+// this epoch initialises the slot (0 + s == s bit-identically for
+// every non-negative s, matching the map oracle's zero-value add).
+func (a *accumulator) add(d index.DocID, s float64) {
+	if a.epochs[d] != a.epoch {
+		a.epochs[d] = a.epoch
+		a.scores[d] = s
+		a.touched = append(a.touched, d)
+	} else {
+		a.scores[d] += s
+	}
+}
+
+// Pools. All three cycle through sync.Pool so a steady-state query
+// allocates nothing for accumulator state, top-k heaps, or hit slices;
+// the counters feed the kernel block of /api/v1/metrics.
+var (
+	accPool  = sync.Pool{New: func() any { kernelCounters.accAllocs.Add(1); return new(accumulator) }}
+	topKPool = sync.Pool{New: func() any { kernelCounters.topKAllocs.Add(1); return new(TopK) }}
+	hitsPool = sync.Pool{New: func() any {
+		kernelCounters.hitsAllocs.Add(1)
+		s := make([]Hit, 0, DefaultK)
+		return &s
+	}}
+	// hitsBoxPool recycles the *[]Hit headers themselves: getHits hands
+	// out a naked slice, so RecycleHits would otherwise re-box it (one
+	// heap allocation per recycle — the very cost the pool removes).
+	// Empty boxes cycle here between a Get and the matching Recycle.
+	hitsBoxPool = sync.Pool{New: func() any { return new([]Hit) }}
+)
+
+func getAccumulator(n int) *accumulator {
+	kernelCounters.accGets.Add(1)
+	a := accPool.Get().(*accumulator)
+	a.reset(n)
+	return a
+}
+
+func putAccumulator(a *accumulator) { accPool.Put(a) }
+
+func getTopK(k int) *TopK {
+	kernelCounters.topKGets.Add(1)
+	t := topKPool.Get().(*TopK)
+	t.Reset(k)
+	return t
+}
+
+func putTopK(t *TopK) { topKPool.Put(t) }
+
+// getHits returns an empty, non-nil hit slice with pooled backing
+// storage, parking the emptied box for RecycleHits to reuse.
+func getHits() []Hit {
+	kernelCounters.hitsGets.Add(1)
+	bp := hitsPool.Get().(*[]Hit)
+	s := (*bp)[:0]
+	*bp = nil
+	hitsBoxPool.Put(bp)
+	return s
+}
+
+// RecycleHits hands a hit slice back to the kernel's pool. Callers
+// must not retain any reference to the slice afterwards. The engine
+// recycles per-segment hit lists after merging them; the distributed
+// segment server recycles after encoding the wire response. Recycling
+// is always optional — an unreturned slice is ordinary garbage.
+func RecycleHits(hits []Hit) {
+	if cap(hits) == 0 {
+		return
+	}
+	bp := hitsBoxPool.Get().(*[]Hit)
+	*bp = hits[:0]
+	hitsPool.Put(bp)
+}
+
+// kernelStatsCounters aggregates kernel pool telemetry (atomics; the
+// hot path only ever increments).
+type kernelStatsCounters struct {
+	compiles   atomic.Int64
+	scans      atomic.Int64
+	accGets    atomic.Int64
+	accAllocs  atomic.Int64
+	topKGets   atomic.Int64
+	topKAllocs atomic.Int64
+	hitsGets   atomic.Int64
+	hitsAllocs atomic.Int64
+}
+
+var kernelCounters kernelStatsCounters
+
+// KernelStats is a snapshot of the scoring kernel's pool telemetry:
+// Compiles counts PrepareQuery calls, Scans counts per-segment kernel
+// executions, and each pool reports how many Gets it served against
+// how many backing objects it ever had to allocate — a healthy steady
+// state shows Allocs plateauing while Gets grows.
+type KernelStats struct {
+	Compiles        int64 `json:"compiles"`
+	SegmentScans    int64 `json:"segment_scans"`
+	AccumulatorGets int64 `json:"accumulator_gets"`
+	AccumulatorNews int64 `json:"accumulator_allocs"`
+	TopKGets        int64 `json:"topk_gets"`
+	TopKNews        int64 `json:"topk_allocs"`
+	HitSliceGets    int64 `json:"hit_slice_gets"`
+	HitSliceNews    int64 `json:"hit_slice_allocs"`
+}
+
+// ReadKernelStats snapshots the process-wide kernel telemetry.
+func ReadKernelStats() KernelStats {
+	return KernelStats{
+		Compiles:        kernelCounters.compiles.Load(),
+		SegmentScans:    kernelCounters.scans.Load(),
+		AccumulatorGets: kernelCounters.accGets.Load(),
+		AccumulatorNews: kernelCounters.accAllocs.Load(),
+		TopKGets:        kernelCounters.topKGets.Load(),
+		TopKNews:        kernelCounters.topKAllocs.Load(),
+		HitSliceGets:    kernelCounters.hitsGets.Load(),
+		HitSliceNews:    kernelCounters.hitsAllocs.Load(),
+	}
+}
+
+// ScoreSegment runs the compiled kernel over one in-memory index
+// segment: term-at-a-time accumulation into the dense pooled
+// accumulator, then the segment-local top-k cut. globalID converts the
+// segment's local doc IDs to engine-wide IDs; k <= 0 keeps every
+// candidate. Rankings, scores and candidate counts are bit-identical
+// to the reference map scan (see ScoreIndexSegment's contract); the
+// parity suite pins this per scorer, seed, K and segment count.
+//
+// The returned SegmentResult.Hits may come from the kernel's slice
+// pool; hand it back with RecycleHits once it is dead.
+func (p *PreparedQuery) ScoreSegment(seg *index.Index, globalID func(index.DocID) index.DocID,
+	filter func(string) bool, k int) SegmentResult {
+	kernelCounters.scans.Add(1)
+	acc := getAccumulator(seg.NumDocs())
+	docLens := seg.DocLens(p.query.Field)
+	for i := range p.terms {
+		kt := &p.terms[i]
+		it := seg.PostingsFor(p.query.Field, kt.term)
+		switch p.kind {
+		case kindBM25:
+			for {
+				n := it.NextBlock(acc.docBuf[:], acc.tfBuf[:])
+				if n == 0 {
+					break
+				}
+				for j := 0; j < n; j++ {
+					d := acc.docBuf[j]
+					tf := float64(acc.tfBuf[j])
+					norm := kt.k1 * (kt.oneMinusB + kt.b*float64(docLens[d])/kt.maxAvg)
+					acc.add(d, kt.wIdf*(tf*kt.k1p1)/(tf+norm))
+				}
+			}
+		case kindTFIDF:
+			for {
+				n := it.NextBlock(acc.docBuf[:], acc.tfBuf[:])
+				if n == 0 {
+					break
+				}
+				for j := 0; j < n; j++ {
+					d := acc.docBuf[j]
+					ltf := 1 + math.Log(float64(acc.tfBuf[j]))
+					acc.add(d, kt.weight*ltf*kt.idf/math.Sqrt(math.Max(float64(docLens[d]), 1)))
+				}
+			}
+		case kindDirichlet:
+			for {
+				n := it.NextBlock(acc.docBuf[:], acc.tfBuf[:])
+				if n == 0 {
+					break
+				}
+				for j := 0; j < n; j++ {
+					d := acc.docBuf[j]
+					if kt.zero {
+						acc.add(d, 0)
+						continue
+					}
+					acc.add(d, kt.weight*math.Log(1+float64(acc.tfBuf[j])/kt.muPc))
+				}
+			}
+		default: // kindGeneric: per-posting interface dispatch
+			st := p.stats[kt.ti]
+			for {
+				n := it.NextBlock(acc.docBuf[:], acc.tfBuf[:])
+				if n == 0 {
+					break
+				}
+				for j := 0; j < n; j++ {
+					d := acc.docBuf[j]
+					acc.add(d, p.scorer.TermScore(st, int(acc.tfBuf[j]), int(docLens[d])))
+				}
+			}
+		}
+	}
+	if k <= 0 {
+		k = len(acc.touched)
+		if k == 0 {
+			k = 1
+		}
+	}
+	top := getTopK(k)
+	candidates := 0
+	for _, d := range acc.touched {
+		id := seg.ExternalID(d)
+		if filter != nil && !filter(id) {
+			continue
+		}
+		candidates++
+		score := acc.scores[d]
+		switch p.kind {
+		case kindDirichlet:
+			score += p.sumW * math.Log(p.mu/(float64(docLens[d])+p.mu))
+		case kindGeneric:
+			score += p.scorer.DocScore(p.sumW, int(docLens[d]))
+			// BM25 and TFIDF have no per-document correction; skipping the
+			// +0 add is exact because accumulated scores are never -0.
+		}
+		top.Offer(Hit{Doc: globalID(d), ID: id, Score: score})
+	}
+	hits := top.AppendRanked(getHits())
+	putTopK(top)
+	putAccumulator(acc)
+	return SegmentResult{Hits: hits, Candidates: candidates}
+}

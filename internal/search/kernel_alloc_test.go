@@ -1,0 +1,84 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/text"
+)
+
+// Steady-state allocation budgets for the dense kernel. The kernel's
+// pooled state (accumulator, top-k heap, hit slice) makes a warm
+// segment scan nearly allocation-free; these pins keep it that way.
+//
+// kernelScanAllocBudget bounds one warm PrepareQuery + ScoreSegment
+// pass (the per-segment unit of work): the prepared query itself (two
+// allocations: header + compiled term slice) plus slack of one for
+// runtime noise. engineSearchAllocBudget bounds a full warm
+// Engine.Search over a 4-segment sharded index — parse, stats, compile,
+// fan-out, merge — and exists so regressions anywhere on the query path
+// (not just inside the kernel) fail a tier-1 test instead of surfacing
+// three PRs later in a benchmark trajectory.
+const (
+	kernelScanAllocBudget   = 8
+	engineSearchAllocBudget = 60
+)
+
+// TestKernelAllocBudget pins the steady-state allocation count of the
+// dense kernel under testing.AllocsPerRun. Skipped under -race (the
+// instrumentation defeats escape analysis) — CI runs the test suite
+// both ways, so the budget is still enforced on every push.
+func TestKernelAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets are meaningless under the race detector")
+	}
+	single, _ := buildCorpus(t, 2008, 200, 1)
+	eng := NewEngine(single, text.NewAnalyzer())
+	q := eng.ParseText("goal storm vote election")
+	stats := globalStatsFor(q, single)
+	ident := func(d index.DocID) index.DocID { return d }
+	for _, scorer := range parityScorers() {
+		p := PrepareQuery(q, stats, scorer)
+		// Warm the pools: the budget is a steady-state claim.
+		for i := 0; i < 3; i++ {
+			RecycleHits(p.ScoreSegment(single, ident, nil, 50).Hits)
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			pq := PrepareQuery(q, stats, scorer)
+			res := pq.ScoreSegment(single, ident, nil, 50)
+			RecycleHits(res.Hits)
+		})
+		if allocs > kernelScanAllocBudget {
+			t.Errorf("scorer=%s: %.1f allocs per warm kernel scan, budget %d",
+				scorer.Name(), allocs, kernelScanAllocBudget)
+		}
+	}
+}
+
+// TestEngineSearchAllocBudget pins the full uncached query path: a
+// warm Engine.Search on a 4-segment sharded engine must stay under the
+// budget per query, scorers included.
+func TestEngineSearchAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets are meaningless under the race detector")
+	}
+	_, sh := buildCorpus(t, 2008, 200, 4)
+	// One worker: a multi-goroutine fan-out charges goroutine wakeups
+	// to the measured function, which is scheduler noise, not the
+	// query path's allocation behaviour.
+	eng := NewShardedEngine(sh, text.NewAnalyzer(), 1)
+	q := eng.ParseText("goal storm vote election")
+	for i := 0; i < 3; i++ {
+		if _, err := eng.Search(q, Options{K: 50}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := eng.Search(q, Options{K: 50}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > engineSearchAllocBudget {
+		t.Errorf("%.1f allocs per warm Engine.Search, budget %d", allocs, engineSearchAllocBudget)
+	}
+}

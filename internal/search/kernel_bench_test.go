@@ -1,0 +1,48 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/text"
+)
+
+// BenchmarkScoreSegment is the kernel micro-benchmark behind
+// BENCH_kernel.json: one segment scan per iteration, per scorer, with
+// the dense pooled kernel ("dense") against the retired map-accumulator
+// implementation ("map"), so the trajectory file can quote a direct
+// before/after for the exact function the fan-out executes.
+func BenchmarkScoreSegment(b *testing.B) {
+	single, _ := buildCorpus(b, 2008, 2000, 1)
+	eng := NewEngine(single, text.NewAnalyzer())
+	q := eng.ParseText("goal storm vote election crowd")
+	stats := globalStatsFor(q, single)
+	ident := func(d index.DocID) index.DocID { return d }
+	for _, scorer := range []Scorer{BM25{}, TFIDF{}, DirichletLM{}} {
+		b.Run(scorer.Name()+"/dense", func(b *testing.B) {
+			p := PrepareQuery(q, stats, scorer)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := p.ScoreSegment(single, ident, nil, 100)
+				RecycleHits(res.Hits)
+			}
+		})
+		b.Run(scorer.Name()+"/dense-compile", func(b *testing.B) {
+			// Compile included: the shape one full query pays.
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := ScoreIndexSegment(single, ident, q, stats, scorer, nil, 100)
+				RecycleHits(res.Hits)
+			}
+		})
+		b.Run(scorer.Name()+"/map", func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scoreIndexSegmentMapOracle(single, ident, q, stats, scorer, nil, 100)
+			}
+		})
+	}
+}

@@ -1,0 +1,226 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/text"
+)
+
+// quirkyScorer is a deliberately unknown Scorer implementation: it
+// forces the kernel onto the generic (interface-dispatch) path and has
+// a non-zero DocScore, so the per-candidate correction is exercised
+// there too.
+type quirkyScorer struct{}
+
+func (quirkyScorer) Name() string { return "quirky" }
+
+func (quirkyScorer) TermScore(st TermStats, tf, docLen int) float64 {
+	return st.Weight * float64(tf) / float64(docLen+1) * math.Log1p(float64(st.DF))
+}
+
+func (quirkyScorer) DocScore(sumWeights float64, docLen int) float64 {
+	return -0.01 * sumWeights * math.Log1p(float64(docLen))
+}
+
+// parityScorers is the kernel parity matrix: every compiled fast path
+// (default and explicitly parameterised) plus the generic fallback.
+func parityScorers() []Scorer {
+	return []Scorer{
+		BM25{}, BM25{K1: 1.6, B: 0.3},
+		TFIDF{},
+		DirichletLM{}, DirichletLM{Mu: 500},
+		quirkyScorer{},
+	}
+}
+
+// TestKernelParityWithMapOracle is the tentpole guarantee of the dense
+// kernel rewrite: PrepareQuery + ScoreSegment must return bit-identical
+// results — hit IDs, scores, global doc IDs, candidate counts — to the
+// retired map-accumulator implementation (scoreIndexSegmentMapOracle),
+// across seeds × scorers × K (bounded and unbounded) × segment counts
+// × filtered/unfiltered, per segment of a sharded build.
+func TestKernelParityWithMapOracle(t *testing.T) {
+	evenFilter := func(id string) bool { return id[len(id)-1]%2 == 0 }
+	for _, seed := range []int64{1, 2008, 77} {
+		for _, segments := range []int{1, 2, 3, 8} {
+			single, sh := buildCorpus(t, seed, 120, segments)
+			an := text.NewAnalyzer()
+			eng := NewEngine(single, an)
+			for qi, qt := range queriesFor(seed, 10) {
+				q := eng.ParseText(qt)
+				for _, scorer := range parityScorers() {
+					stats := globalStatsFor(q, sh)
+					p := PrepareQuery(q, stats, scorer)
+					for _, k := range []int{3, 50, 1000, -1} {
+						for _, filter := range []func(string) bool{nil, evenFilter} {
+							// Per segment of the sharded build (global stats,
+							// local postings — exactly the fan-out contract).
+							for ord := 0; ord < sh.NumSegments(); ord++ {
+								seg := sh.Segment(ord)
+								globalID := func(d index.DocID) index.DocID {
+									return d*index.DocID(sh.NumSegments()) + index.DocID(ord)
+								}
+								want := scoreIndexSegmentMapOracle(seg, globalID, q, stats, scorer, filter, k)
+								got := p.ScoreSegment(seg, globalID, filter, k)
+								if !reflect.DeepEqual(got, want) {
+									t.Fatalf("seed=%d segs=%d ord=%d q%d=%q scorer=%s k=%d filtered=%v: dense kernel diverged from map oracle\n got %+v\nwant %+v",
+										seed, segments, ord, qi, qt, scorer.Name(), k, filter != nil, got.Hits, want.Hits)
+								}
+								// The monolithic single-index scan must agree too
+								// (same stats, identity globalID) when the shard
+								// count is 1.
+								if segments == 1 && ord == 0 {
+									ident := func(d index.DocID) index.DocID { return d }
+									mono := ScoreIndexSegment(single, ident, q, stats, scorer, filter, k)
+									wantMono := scoreIndexSegmentMapOracle(single, ident, q, stats, scorer, filter, k)
+									if !reflect.DeepEqual(mono, wantMono) {
+										t.Fatalf("seed=%d q%d scorer=%s k=%d: ScoreIndexSegment wrapper diverged from oracle",
+											seed, qi, scorer.Name(), k)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelParityZeroCFDirichlet pins the subtlest oracle behaviour:
+// a Dirichlet term whose wire statistics carry CF == 0 contributes
+// exactly zero score but still registers every posting's document as a
+// candidate (the oracle's map-add of 0.0). Coherent local statistics
+// never produce this shape — only hand-built or malformed wire stats
+// do — which is precisely why it needs a pin.
+func TestKernelParityZeroCFDirichlet(t *testing.T) {
+	single, _ := buildCorpus(t, 7, 60, 1)
+	eng := NewEngine(single, nil)
+	q := eng.ParseText("goal storm")
+	stats := globalStatsFor(q, single)
+	for i := range stats {
+		stats[i].CF = 0 // malformed on purpose: DF > 0, CF == 0
+	}
+	ident := func(d index.DocID) index.DocID { return d }
+	for _, scorer := range []Scorer{DirichletLM{}, DirichletLM{Mu: 123}} {
+		want := scoreIndexSegmentMapOracle(single, ident, q, stats, scorer, nil, 50)
+		got := ScoreIndexSegment(single, ident, q, stats, scorer, nil, 50)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("scorer=%s: zero-CF Dirichlet diverged from oracle\n got %+v\nwant %+v",
+				scorer.Name(), got, want)
+		}
+		if got.Candidates == 0 {
+			t.Fatal("zero-CF terms must still register candidates")
+		}
+		for _, h := range got.Hits {
+			if h.Score == 0 {
+				continue
+			}
+			// Score is the pure DocScore remainder; just ensure it is
+			// finite (the zero-branch must not produce NaN/Inf).
+			if math.IsNaN(h.Score) || math.IsInf(h.Score, 0) {
+				t.Fatalf("zero-CF Dirichlet produced non-finite score %v", h.Score)
+			}
+		}
+	}
+}
+
+// TestKernelEngineParityWithOracleMerge rebuilds the engine-level
+// answer from oracle-scored segments (oracle per segment + TopK merge,
+// the retired execution plan) and requires Engine.Search over the same
+// sharded index to match bit-for-bit — the end-to-end form of the
+// kernel parity claim.
+func TestKernelEngineParityWithOracleMerge(t *testing.T) {
+	for _, seed := range []int64{3, 2008} {
+		_, sh := buildCorpus(t, seed, 150, 4)
+		an := text.NewAnalyzer()
+		eng := NewShardedEngine(sh, an, 4)
+		for _, qt := range queriesFor(seed, 8) {
+			q := eng.ParseText(qt)
+			for _, scorer := range parityScorers() {
+				const k = 30
+				stats := globalStatsFor(q, sh)
+				top := NewTopK(k)
+				candidates := 0
+				for ord := 0; ord < sh.NumSegments(); ord++ {
+					ordinal := ord
+					res := scoreIndexSegmentMapOracle(sh.Segment(ord), func(d index.DocID) index.DocID {
+						return d*index.DocID(sh.NumSegments()) + index.DocID(ordinal)
+					}, q, stats, scorer, nil, k)
+					candidates += res.Candidates
+					for _, h := range res.Hits {
+						top.Offer(h)
+					}
+				}
+				want := Results{Hits: top.Ranked(), Candidates: candidates}
+				got, err := eng.Search(q, Options{K: k, Scorer: scorer})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed=%d q=%q scorer=%s: engine diverged from oracle merge\n got %+v\nwant %+v",
+						seed, qt, scorer.Name(), got.Hits, want.Hits)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelParityConcurrent hammers one engine from many goroutines
+// while comparing every answer against the oracle-merged ranking:
+// under -race this pins that the pooled accumulators, top-k heaps and
+// hit slices are never shared across concurrent scans.
+func TestKernelParityConcurrent(t *testing.T) {
+	_, sh := buildCorpus(t, 55, 140, 4)
+	eng := NewShardedEngine(sh, text.NewAnalyzer(), 4)
+	queries := queriesFor(55, 6)
+	wants := make([]Results, len(queries))
+	for i, qt := range queries {
+		q := eng.ParseText(qt)
+		stats := globalStatsFor(q, sh)
+		top := NewTopK(25)
+		candidates := 0
+		for ord := 0; ord < sh.NumSegments(); ord++ {
+			ordinal := ord
+			res := scoreIndexSegmentMapOracle(sh.Segment(ord), func(d index.DocID) index.DocID {
+				return d*index.DocID(sh.NumSegments()) + index.DocID(ordinal)
+			}, q, stats, BM25{}, nil, 25)
+			candidates += res.Candidates
+			for _, h := range res.Hits {
+				top.Offer(h)
+			}
+		}
+		wants[i] = Results{Hits: top.Ranked(), Candidates: candidates}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 15; iter++ {
+				for i, qt := range queries {
+					got, err := eng.Search(eng.ParseText(qt), Options{K: 25})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !reflect.DeepEqual(got, wants[i]) {
+						errs <- fmt.Errorf("q=%q: concurrent kernel result diverged from oracle", qt)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -220,12 +220,12 @@ type failingSegment struct {
 
 func (f failingSegment) NumDocs() int { return f.inner.NumDocs() }
 
-func (f failingSegment) SearchSegment(q Query, stats []TermStats, scorer Scorer,
+func (f failingSegment) SearchSegment(p *PreparedQuery,
 	filter func(string) bool, k int) (SegmentResult, error) {
 	if f.err != nil {
 		return SegmentResult{}, f.err
 	}
-	return f.inner.SearchSegment(q, stats, scorer, filter, k)
+	return f.inner.SearchSegment(p, filter, k)
 }
 
 // wrapSegments adapts a sharded index into the SegmentSearcher form a

@@ -1,0 +1,9 @@
+//go:build !race
+
+package search
+
+// raceEnabled reports whether the race detector instrumented this
+// build. Allocation-budget assertions only run without it: race
+// instrumentation defeats escape analysis in ways that charge extra
+// allocations to code that is allocation-free in production builds.
+const raceEnabled = false

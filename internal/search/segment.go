@@ -16,19 +16,21 @@ type SegmentResult struct {
 }
 
 // SegmentSearcher is one scoreable partition of the collection. The
-// engine computes collection-wide term statistics once per query and
-// hands them to every segment, so a segment never consults its own
+// engine computes collection-wide term statistics once per query,
+// compiles them into a PreparedQuery, and hands the same compiled
+// query to every segment, so a segment never consults its own
 // (partial) statistics: that contract is what keeps any composition of
 // segments — in-process or behind an RPC surface — bit-identical to a
 // monolithic scan. Implementations must be safe for concurrent use.
 type SegmentSearcher interface {
 	// NumDocs reports the segment's document count (telemetry sizing).
 	NumDocs() int
-	// SearchSegment scores the segment with the precomputed global
-	// term statistics (parallel to q.Terms), applies filter, and
-	// returns the segment's k best hits. k <= 0 means "all candidates"
-	// (used when a filter must be applied by the caller instead).
-	SearchSegment(q Query, stats []TermStats, scorer Scorer, filter func(string) bool, k int) (SegmentResult, error)
+	// SearchSegment scores the segment with the compiled query (which
+	// carries the precomputed global term statistics), applies filter,
+	// and returns the segment's k best hits. k <= 0 means "all
+	// candidates" (used when a filter must be applied by the caller
+	// instead).
+	SearchSegment(p *PreparedQuery, filter func(string) bool, k int) (SegmentResult, error)
 }
 
 // SegmentError reports which segment of a fan-out failed. In-process
@@ -47,51 +49,27 @@ func (e *SegmentError) Error() string {
 // Unwrap exposes the underlying fault for errors.Is/As.
 func (e *SegmentError) Unwrap() error { return e.Err }
 
-// ScoreIndexSegment is the per-segment scoring kernel: term-at-a-time
-// accumulation over one in-memory index segment using the precomputed
-// *global* term statistics, followed by the segment-local top-k cut.
-// globalID converts the segment's local doc IDs to engine-wide IDs.
-// Because every document lives in exactly one segment and term
-// contributions accumulate in query-term order exactly as in the
-// monolithic scan, per-document scores are bit-identical to the
-// sequential path. This one function executes on both sides of the
-// process boundary — the in-process fan-out and the remote segment
-// servers — which is what pins distributed rankings to the local ones.
+// ScoreIndexSegment is the per-segment scoring kernel entry point:
+// it compiles the query (PrepareQuery) and runs the dense-accumulator
+// scan (PreparedQuery.ScoreSegment) over one in-memory index segment
+// using the precomputed *global* term statistics, followed by the
+// segment-local top-k cut. globalID converts the segment's local doc
+// IDs to engine-wide IDs. Because every document lives in exactly one
+// segment and term contributions accumulate in query-term order
+// exactly as in the monolithic scan, per-document scores are
+// bit-identical to the sequential path — and to the map-accumulator
+// reference implementation the parity tests keep as an oracle. This
+// one kernel executes on both sides of the process boundary — the
+// in-process fan-out and the remote segment servers — which is what
+// pins distributed rankings to the local ones. Callers issuing many
+// segment scans for one query should PrepareQuery once and call
+// ScoreSegment per segment instead.
 //
 // k <= 0 keeps every candidate (callers that must filter after the
 // fact request the full list).
 func ScoreIndexSegment(seg *index.Index, globalID func(index.DocID) index.DocID,
 	q Query, stats []TermStats, scorer Scorer, filter func(string) bool, k int) SegmentResult {
-	acc := make(map[index.DocID]float64)
-	for ti, t := range q.Terms {
-		if stats[ti].DF == 0 || t.Weight == 0 {
-			continue
-		}
-		it := seg.Postings(q.Field, t.Term)
-		for it.Next() {
-			doc := it.Doc()
-			acc[doc] += scorer.TermScore(stats[ti], it.TF(), seg.DocLen(q.Field, doc))
-		}
-	}
-	if k <= 0 {
-		k = len(acc)
-		if k == 0 {
-			k = 1
-		}
-	}
-	sumW := q.SumWeights()
-	top := NewTopK(k)
-	candidates := 0
-	for doc, score := range acc {
-		id := seg.ExternalID(doc)
-		if filter != nil && !filter(id) {
-			continue
-		}
-		candidates++
-		score += scorer.DocScore(sumW, seg.DocLen(q.Field, doc))
-		top.Offer(Hit{Doc: globalID(doc), ID: id, Score: score})
-	}
-	return SegmentResult{Hits: top.Ranked(), Candidates: candidates}
+	return PrepareQuery(q, stats, scorer).ScoreSegment(seg, globalID, filter, k)
 }
 
 // localSegment adapts one in-memory index segment to SegmentSearcher.
@@ -109,9 +87,9 @@ func (l localSegment) NumDocs() int { return l.seg.NumDocs() }
 
 // SearchSegment implements SegmentSearcher. In-process scoring cannot
 // fail.
-func (l localSegment) SearchSegment(q Query, stats []TermStats, scorer Scorer,
+func (l localSegment) SearchSegment(p *PreparedQuery,
 	filter func(string) bool, k int) (SegmentResult, error) {
-	return ScoreIndexSegment(l.seg, l.globalID, q, stats, scorer, filter, k), nil
+	return p.ScoreSegment(l.seg, l.globalID, filter, k), nil
 }
 
 func (l localSegment) globalID(d index.DocID) index.DocID {
@@ -121,10 +99,10 @@ func (l localSegment) globalID(d index.DocID) index.DocID {
 // runSegment executes one segment and reports its telemetry; the
 // observed duration covers the full segment call, so for a remote
 // segment it includes the RPC round trip.
-func (e *Engine) runSegment(i int, q Query, stats []TermStats, scorer Scorer,
+func (e *Engine) runSegment(i int, p *PreparedQuery,
 	filter func(string) bool, k int) segmentOutcome {
 	start := time.Now()
-	res, err := e.segs[i].SearchSegment(q, stats, scorer, filter, k)
+	res, err := e.segs[i].SearchSegment(p, filter, k)
 	if err != nil {
 		return segmentOutcome{err: err}
 	}

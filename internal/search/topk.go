@@ -1,9 +1,6 @@
 package search
 
-import (
-	"container/heap"
-	"sort"
-)
+import "slices"
 
 // hitLess orders hits for final ranking: higher score first, then
 // ascending ID so equal-scored runs are reproducible across processes.
@@ -14,6 +11,17 @@ func hitLess(a, b Hit) bool {
 	return a.ID < b.ID
 }
 
+// hitCompare is hitLess as a three-way comparison for slices.SortFunc.
+func hitCompare(a, b Hit) int {
+	if hitLess(a, b) {
+		return -1
+	}
+	if hitLess(b, a) {
+		return 1
+	}
+	return 0
+}
+
 // TopK is a bounded min-heap keeping the K best hits seen so far: the
 // streaming alternative to sorting a full candidate list and cutting
 // it to K (O(n log k) instead of O(n log n), and O(k) memory). Because
@@ -21,15 +29,27 @@ func hitLess(a, b Hit) bool {
 // Ranked's output — is independent of Offer order, which is what lets
 // parallel segment scorers merge without re-sorting candidates.
 //
+// The heap is hand-rolled over []Hit rather than container/heap: the
+// standard interface moves elements through `any`, which boxes every
+// offered Hit onto the heap — one allocation per candidate document on
+// the scoring hot path.
+//
 // A TopK is single-goroutine; merge concurrent producers by offering
 // their Ranked() outputs into one final TopK.
 type TopK struct {
 	k    int
-	heap hitHeap
+	heap []Hit // min-heap by rank quality: heap[0] is the worst kept hit
 }
 
 // NewTopK returns an empty collector bounded to the k best hits.
 func NewTopK(k int) *TopK { return &TopK{k: k} }
+
+// Reset re-arms the collector for a new bound, keeping the underlying
+// heap storage (the kernel recycles TopKs through a pool).
+func (t *TopK) Reset(k int) {
+	t.k = k
+	t.heap = t.heap[:0]
+}
 
 // Offer considers one hit.
 func (t *TopK) Offer(h Hit) {
@@ -37,45 +57,66 @@ func (t *TopK) Offer(h Hit) {
 		return
 	}
 	if len(t.heap) < t.k {
-		heap.Push(&t.heap, h)
+		t.heap = append(t.heap, h)
+		t.up(len(t.heap) - 1)
 		return
 	}
 	// The heap root is the current worst of the kept set; replace it
 	// when the candidate ranks strictly better.
 	if hitLess(h, t.heap[0]) {
 		t.heap[0] = h
-		heap.Fix(&t.heap, 0)
+		t.down(0)
+	}
+}
+
+// up restores the heap property from leaf i toward the root. The heap
+// order inverts hitLess: a node ranks no better than its children.
+func (t *TopK) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !hitLess(t.heap[parent], t.heap[i]) {
+			return
+		}
+		t.heap[parent], t.heap[i] = t.heap[i], t.heap[parent]
+		i = parent
+	}
+}
+
+// down restores the heap property from node i toward the leaves.
+func (t *TopK) down(i int) {
+	n := len(t.heap)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && hitLess(t.heap[worst], t.heap[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && hitLess(t.heap[worst], t.heap[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		t.heap[i], t.heap[worst] = t.heap[worst], t.heap[i]
+		i = worst
 	}
 }
 
 // Len reports how many hits are currently kept.
 func (t *TopK) Len() int { return len(t.heap) }
 
-// Ranked extracts the kept hits in final rank order.
+// Ranked extracts the kept hits in final rank order (the collector is
+// left intact). The result is never nil, so an empty ranking encodes
+// as [] on the JSON surfaces.
 func (t *TopK) Ranked() []Hit {
-	out := make([]Hit, len(t.heap))
-	copy(out, t.heap)
-	sort.Slice(out, func(i, j int) bool { return hitLess(out[i], out[j]) })
-	return out
+	return t.AppendRanked(make([]Hit, 0, len(t.heap)))
 }
 
-// hitHeap is a min-heap by rank quality: the root is the *worst* kept
-// hit, so it can be evicted cheaply.
-type hitHeap []Hit
-
-func (h hitHeap) Len() int { return len(h) }
-
-// Less inverts hitLess: the heap keeps the worst-ranked element on top.
-func (h hitHeap) Less(i, j int) bool { return hitLess(h[j], h[i]) }
-
-func (h hitHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *hitHeap) Push(x any) { *h = append(*h, x.(Hit)) }
-
-func (h *hitHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// AppendRanked appends the kept hits in final rank order to dst and
+// returns the extended slice — the allocation-free form of Ranked for
+// callers recycling hit slices through a pool.
+func (t *TopK) AppendRanked(dst []Hit) []Hit {
+	start := len(dst)
+	dst = append(dst, t.heap...)
+	slices.SortFunc(dst[start:], hitCompare)
+	return dst
 }
