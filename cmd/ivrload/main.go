@@ -11,6 +11,12 @@
 //	ivrload -users 100 -sessions 500         # closed-loop saturation run
 //	ivrload -mode open -rate 50 -duration 30s
 //	ivrload -users 100 -sessions 500 -out bench_load.json
+//	ivrload -server http://h1:8081,http://h2:8082
+//	                                         # spread users over several replicas
+//	ivrload -server http://router:8080 -crosscheck=false
+//	                                         # through ivrroute (the router's
+//	                                         # /api/v1/metrics is router-shaped, so
+//	                                         # the per-route cross-check must be off)
 //
 // The query pool is derived from a locally generated archive
 // (matching ivrserve's -seed/-full defaults) so the traffic issues
@@ -25,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -37,7 +44,8 @@ import (
 
 func main() {
 	var (
-		server     = flag.String("server", "http://localhost:8080", "target server base URL")
+		server     = flag.String("server", "http://localhost:8080", "target base URL(s), comma-separated; users are spread round-robin")
+		crosscheck = flag.Bool("crosscheck", true, "verify client request totals against the server's /api/v1/metrics (single ivrserve targets only)")
 		users      = flag.Int("users", 50, "concurrent virtual users")
 		sessions   = flag.Int("sessions", 200, "total sessions to run (0 = run until -duration)")
 		iterations = flag.Int("iterations", 3, "query iterations per session")
@@ -79,22 +87,44 @@ func main() {
 		})
 	}
 
-	c, err := client.New(*server, client.WithTimeout(*timeout), client.WithUserAgent("ivrload/1"))
-	if err != nil {
-		fail("%v", err)
+	servers := splitAddrs(*server)
+	if len(servers) == 0 {
+		fail("-server is empty")
 	}
+	clients := make([]*client.Client, len(servers))
+	for i, base := range servers {
+		clients[i], err = client.New(base, client.WithTimeout(*timeout), client.WithUserAgent("ivrload/1"))
+		if err != nil {
+			fail("%v", err)
+		}
+	}
+	c := clients[0]
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if _, err := c.Healthz(ctx); err != nil {
-		fail("server %s not healthy: %v", *server, err)
+	for i, cl := range clients {
+		if _, err := cl.Healthz(ctx); err != nil {
+			fail("server %s not healthy: %v", servers[i], err)
+		}
 	}
-	before, err := c.Metrics(ctx)
-	if err != nil {
-		fail("fetch metrics: %v", err)
+	// The per-route cross-check compares this client's totals against
+	// one server's counters — meaningless when the load is spread over
+	// several targets (each sees a share) or proxied (the router's
+	// metrics are router-shaped, and failover may legitimately retry).
+	check := *crosscheck
+	if check && len(servers) > 1 {
+		fmt.Println("ivrload: multiple targets, disabling -crosscheck")
+		check = false
+	}
+	var before *client.MetricsSnapshot
+	if check {
+		before, err = c.Metrics(ctx)
+		if err != nil {
+			fail("fetch metrics: %v", err)
+		}
 	}
 
 	d, err := loadgen.New(loadgen.Config{
-		Client:     c,
+		Clients:    clients,
 		Users:      *users,
 		Sessions:   *sessions,
 		Iterations: *iterations,
@@ -119,12 +149,56 @@ func main() {
 	}
 	fmt.Print(rep)
 
-	// Cross-check: client-observed totals vs the server's own
-	// counters, differenced against the pre-run snapshot so an
-	// already-running server doesn't skew the comparison. The server
-	// records a request just after writing its response, so on a
-	// mismatch the check refetches once after a short grace period
-	// before believing it.
+	mismatches := 0
+	var after *client.MetricsSnapshot
+	var srch searchSummary
+	if !check {
+		fmt.Println("  server cross-check: disabled")
+	} else {
+		after, srch, mismatches = crosscheckRun(ctx, c, rep, before)
+	}
+
+	if *out != "" {
+		summary := struct {
+			Command string                  `json:"command"`
+			Server  string                  `json:"server"`
+			When    time.Time               `json:"when"`
+			Report  *loadgen.Report         `json:"report"`
+			Search  searchSummary           `json:"search_summary"`
+			Metrics *client.MetricsSnapshot `json:"server_metrics,omitempty"`
+		}{"ivrload", *server, time.Now().UTC(), rep, srch, after}
+		data, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			fail("encode report: %v", err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fail("write report: %v", err)
+		}
+		fmt.Printf("  report: %s\n", *out)
+	}
+	if rep.SessionsFailed > 0 || mismatches > 0 {
+		fail("%d failed sessions, %d counter mismatches", rep.SessionsFailed, mismatches)
+	}
+}
+
+// splitAddrs parses the comma-separated -server list.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// crosscheckRun compares client-observed totals with the server's own
+// counters, differenced against the pre-run snapshot so an
+// already-running server doesn't skew the comparison. The server
+// records a request just after writing its response, so on a mismatch
+// the check refetches once after a short grace period before believing
+// it.
+func crosscheckRun(ctx context.Context, c *client.Client, rep *loadgen.Report, before *client.MetricsSnapshot) (*client.MetricsSnapshot, searchSummary, int) {
 	after, err := c.Metrics(ctx)
 	if err != nil {
 		fail("fetch metrics: %v", err)
@@ -190,28 +264,7 @@ func main() {
 	}
 	fmt.Printf("    server search latency: p50 %.1fms p95 %.1fms (run start: p50 %.1fms p95 %.1fms; delta %+.1f/%+.1fms)\n",
 		srch.P50AfterMS, srch.P95AfterMS, srch.P50BeforeMS, srch.P95BeforeMS, srch.P50DeltaMS, srch.P95DeltaMS)
-
-	if *out != "" {
-		summary := struct {
-			Command string                  `json:"command"`
-			Server  string                  `json:"server"`
-			When    time.Time               `json:"when"`
-			Report  *loadgen.Report         `json:"report"`
-			Search  searchSummary           `json:"search_summary"`
-			Metrics *client.MetricsSnapshot `json:"server_metrics"`
-		}{"ivrload", *server, time.Now().UTC(), rep, srch, after}
-		data, err := json.MarshalIndent(summary, "", "  ")
-		if err != nil {
-			fail("encode report: %v", err)
-		}
-		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-			fail("write report: %v", err)
-		}
-		fmt.Printf("  report: %s\n", *out)
-	}
-	if rep.SessionsFailed > 0 || mismatches > 0 {
-		fail("%d failed sessions, %d counter mismatches", rep.SessionsFailed, mismatches)
-	}
+	return after, srch, mismatches
 }
 
 // routeFor maps loadgen's client-side endpoint labels to the server

@@ -1,0 +1,104 @@
+// Command ivrroute is the session-affine front tier: a thin proxy
+// that rendezvous-hashes session IDs over N ivrserve replicas sharing
+// one session store and one segment tier (internal/router).
+//
+// Usage:
+//
+//	ivrroute -replicas http://localhost:8081,http://localhost:8082
+//	ivrroute -addr :8080 -replicas ... -probe-interval 500ms
+//
+// Clients talk to the router exactly as they would to a single
+// ivrserve: the /api/v1 surface is unchanged. Every request for a
+// session lands on the same replica while it is healthy; when a
+// replica dies or drains, its sessions deterministically move to the
+// next replica in rendezvous order, which restores them from the
+// shared session store (-session-store on each ivrserve).
+//
+// The router's own /api/v1/healthz aggregates replica liveness and
+// /api/v1/metrics reports per-replica request/error/re-route counters.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/router"
+)
+
+// splitAddrs parses the -replicas list.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		replicas      = flag.String("replicas", "", "comma-separated ivrserve base URLs (required)")
+		probeInterval = flag.Duration("probe-interval", router.DefaultProbeInterval, "health poll cadence")
+		probeTimeout  = flag.Duration("probe-timeout", router.DefaultProbeTimeout, "per-probe deadline")
+		failThreshold = flag.Int("fail-threshold", router.DefaultFailThreshold, "consecutive probe failures before a replica leaves rotation")
+		quiet         = flag.Bool("quiet", false, "suppress routing logs")
+	)
+	flag.Parse()
+	if *replicas == "" {
+		fail("-replicas is required (e.g. -replicas http://localhost:8081,http://localhost:8082)")
+	}
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if *quiet {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	rt, err := router.New(router.Config{
+		Replicas:      splitAddrs(*replicas),
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		FailThreshold: *failThreshold,
+		Logger:        logger,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	defer rt.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: rt}
+	fmt.Printf("ivrroute: front tier on %s over %d replicas (%s)\n",
+		*addr, len(splitAddrs(*replicas)), *replicas)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail("serve: %v", err)
+		}
+	case <-ctx.Done():
+		fmt.Println("ivrroute: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fail("shutdown: %v", err)
+		}
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ivrroute: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -13,6 +13,10 @@
 //	ivrserve -segment-addrs http://h1:8091,http://h2:8092
 //	                                          # distributed: scatter/gather over
 //	                                          # remote ivrsegment processes
+//	ivrserve -session-store sessions.jnl -replica-id r1
+//	                                          # durable sessions: write-through to a
+//	                                          # crash-safe journal, shareable with
+//	                                          # sibling replicas behind ivrroute
 //
 // Example exchange:
 //
@@ -47,6 +51,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/distrib"
+	"repro/internal/sessionstore"
 	"repro/internal/store"
 	"repro/internal/synth"
 	"repro/internal/webapi"
@@ -79,6 +84,9 @@ func main() {
 		segTimeout  = flag.Duration("segment-timeout", distrib.DefaultRPCTimeout, "per-segment RPC deadline in distributed mode")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty disables)")
 		quiet       = flag.Bool("quiet", false, "suppress per-request logs")
+		sessStore   = flag.String("session-store", "", "journal file for durable sessions (empty = in-memory only); share one path between replicas behind ivrroute")
+		sessSync    = flag.Duration("session-sync", 100*time.Millisecond, "journal fsync batching interval (0 = fsync every write)")
+		replicaID   = flag.String("replica-id", "", "replica name stamped on responses (X-IVR-Replica) and reported to the front tier")
 	)
 	flag.Parse()
 	startPprof(*pprofAddr)
@@ -154,11 +162,26 @@ func main() {
 	if *quiet {
 		logger = slog.New(slog.DiscardHandler)
 	}
-	srv, err := webapi.NewServer(sys,
+	opts := []webapi.Option{
 		webapi.WithLogger(logger),
 		webapi.WithSessionTTL(*sessionTTL),
 		webapi.WithMaxSessions(*maxSessions),
-	)
+		webapi.WithReplicaID(*replicaID),
+	}
+	// -session-store makes sessions durable: every touched session is
+	// written through to a crash-safe journal, so a restart (or a
+	// sibling replica sharing the path) resumes mid-study sessions
+	// with bit-identical evidence state.
+	var journal *sessionstore.JournalStore
+	if *sessStore != "" {
+		journal, err = sessionstore.OpenJournal(*sessStore, sessionstore.WithSyncInterval(*sessSync))
+		if err != nil {
+			fail("open session store: %v", err)
+		}
+		defer journal.Close()
+		opts = append(opts, webapi.WithSessionStore(journal))
+	}
+	srv, err := webapi.NewServer(sys, opts...)
 	if err != nil {
 		fail("server: %v", err)
 	}
@@ -184,7 +207,15 @@ func main() {
 			fail("serve: %v", err)
 		}
 	case <-ctx.Done():
+		// Drain first: new session work answers 503 + Retry-After (so a
+		// front tier re-routes immediately) and every live session is
+		// flushed to the store — then let in-flight requests finish.
 		fmt.Println("ivrserve: shutting down")
+		if flushed, err := srv.BeginDrain(); err != nil {
+			fmt.Fprintf(os.Stderr, "ivrserve: drain: %v\n", err)
+		} else if journal != nil {
+			fmt.Printf("ivrserve: drained, %d sessions flushed to %s\n", flushed, *sessStore)
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {

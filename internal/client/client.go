@@ -118,6 +118,9 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 	}, nil
 }
 
+// BaseURL reports the server this client targets (no trailing slash).
+func (c *Client) BaseURL() string { return c.baseURL }
+
 // APIError is a non-2xx server response decoded from the error
 // envelope {"error":{"code","message"}}.
 type APIError struct {
@@ -129,17 +132,29 @@ type APIError struct {
 	Message string
 	// RequestID echoes the X-Request-Id header for log correlation.
 	RequestID string
+	// RetryAfter is the server's Retry-After hint (0 when absent).
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("api: %d %s: %s", e.StatusCode, e.Code, e.Message)
 }
 
+// CodeDraining is the envelope code a replica answers with while it
+// hands its sessions off during graceful shutdown.
+const CodeDraining = "draining"
+
 // IsNotFound reports whether err is a 404 APIError (unknown session,
 // shot, or route).
 func IsNotFound(err error) bool {
 	var ae *APIError
 	return errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound
+}
+
+// IsDraining reports whether err is a 503 from a draining replica.
+func IsDraining(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusServiceUnavailable && ae.Code == CodeDraining
 }
 
 // CreateSessionRequest optionally declares a static user profile.
@@ -219,6 +234,8 @@ type Shot struct {
 // Health is the liveness body with session-table stats.
 type Health struct {
 	Status   string `json:"status"`
+	Replica  string `json:"replica"`
+	Draining bool   `json:"draining"`
 	Sessions int    `json:"sessions"`
 	Created  int64  `json:"sessions_created"`
 	Evicted  int64  `json:"sessions_evicted"`
@@ -247,6 +264,10 @@ type SessionCounters struct {
 	Live    int   `json:"live"`
 	Created int64 `json:"created"`
 	Evicted int64 `json:"evicted"`
+	// Durability counters (zero without a session store).
+	Restored      int64 `json:"restored"`
+	Persisted     int64 `json:"persisted"`
+	PersistErrors int64 `json:"persist_errors"`
 }
 
 // MetricsSnapshot is the /api/v1/metrics body: per-route request
@@ -256,6 +277,8 @@ type SessionCounters struct {
 // retrieval package owns that schema).
 type MetricsSnapshot struct {
 	metrics.Snapshot
+	Replica  string             `json:"replica"`
+	Draining bool               `json:"draining"`
 	Sessions SessionCounters    `json:"sessions"`
 	Search   retrieval.Snapshot `json:"search"`
 }
@@ -481,28 +504,42 @@ const (
 	retryOK    = true
 )
 
+// Drain-retry budget: a draining replica rejects before touching any
+// session state, so replaying is safe for every call — including the
+// retryNever ones — and needs only its own small budget, not the
+// caller's WithRetry configuration.
+const (
+	drainRetries     = 5
+	defaultDrainWait = 200 * time.Millisecond
+	maxDrainWait     = 5 * time.Second
+)
+
+// sleepCtx waits d unless the context ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(d):
+		return nil
+	}
+}
+
 // do runs one API call, retrying when the call site marked it safe,
 // decoding a 2xx body into out and everything else into *APIError.
+// 503s from a draining replica are always retried (honouring the
+// server's Retry-After) up to drainRetries times: drain is a routing
+// condition, not an error the virtual user should see.
 func (c *Client) do(ctx context.Context, method, path string, query url.Values, body, out any, retry bool) error {
 	attempts := 1
 	if retry {
 		attempts += c.retries
 	}
 	backoff := c.backoff
+	drainBudget := drainRetries
 	var lastErr error
-	for attempt := 0; attempt < attempts; attempt++ {
-		if attempt > 0 {
-			if backoff > 0 {
-				select {
-				case <-ctx.Done():
-					return ctx.Err()
-				case <-time.After(backoff):
-				}
-				backoff *= 2
-			}
-			if ctx.Err() != nil {
-				return ctx.Err()
-			}
+	for attempt := 0; attempt < attempts; {
+		if ctx.Err() != nil {
+			return ctx.Err()
 		}
 		// The body is re-marshalled per attempt (only nil-body methods
 		// retry, but keep this correct regardless).
@@ -511,36 +548,67 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 			return err
 		}
 		resp, err := c.httpClient.Do(req)
+		if err == nil && resp.StatusCode < 500 {
+			defer resp.Body.Close()
+			if resp.StatusCode < 200 || resp.StatusCode > 299 {
+				return decodeAPIError(resp)
+			}
+			if out != nil {
+				if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+					return fmt.Errorf("client: decode response: %w", err)
+				}
+			}
+			return nil
+		}
 		if err != nil {
 			lastErr = err
-			continue
-		}
-		if resp.StatusCode >= 500 {
-			lastErr = decodeAPIError(resp)
+		} else {
+			apiErr := decodeAPIError(resp)
 			resp.Body.Close()
-			continue
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode < 200 || resp.StatusCode > 299 {
-			return decodeAPIError(resp)
-		}
-		if out != nil {
-			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-				return fmt.Errorf("client: decode response: %w", err)
+			lastErr = apiErr
+			if IsDraining(apiErr) && drainBudget > 0 {
+				// Drain retries ride outside the normal budget and wait
+				// what the server asked for, not the backoff schedule.
+				drainBudget--
+				wait := apiErr.RetryAfter
+				if wait <= 0 {
+					wait = defaultDrainWait
+				}
+				if wait > maxDrainWait {
+					wait = maxDrainWait
+				}
+				if err := sleepCtx(ctx, wait); err != nil {
+					return err
+				}
+				continue
 			}
 		}
-		return nil
+		attempt++
+		if attempt >= attempts {
+			break
+		}
+		if backoff > 0 {
+			if err := sleepCtx(ctx, backoff); err != nil {
+				return err
+			}
+			backoff *= 2
+		}
 	}
 	return lastErr
 }
 
 // decodeAPIError turns a non-2xx response into *APIError, tolerating
 // bodies that are not the JSON envelope.
-func decodeAPIError(resp *http.Response) error {
+func decodeAPIError(resp *http.Response) *APIError {
 	ae := &APIError{
 		StatusCode: resp.StatusCode,
 		Code:       "unknown",
 		RequestID:  resp.Header.Get("X-Request-Id"),
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
 	}
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	var env struct {

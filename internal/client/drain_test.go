@@ -1,0 +1,138 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+)
+
+// drainThenServe answers the first n requests like a draining replica
+// and the rest with the given success body.
+func drainThenServe(n int, status int, body any) (*httptest.Server, *atomic.Int64) {
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(n) {
+			w.Header().Set("Retry-After", "0")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"error": map[string]string{"code": "draining", "message": "replica draining"},
+			})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_ = json.NewEncoder(w).Encode(body)
+	})
+	return httptest.NewServer(h), &calls
+}
+
+func TestDrainRetrySucceeds(t *testing.T) {
+	// Search is a retryNever call: a plain 5xx must not be retried,
+	// but a draining 503 must be — it is rejected before any session
+	// state moves, so the virtual user should never see it.
+	ts, calls := drainThenServe(3, http.StatusOK, map[string]any{
+		"session_id": "s1", "query": "q", "hits": []any{},
+	})
+	defer ts.Close()
+	c, err := client.New(ts.URL) // note: no WithRetry at all
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := c.Search(context.Background(), client.SearchRequest{SessionID: "s1", Query: "q"})
+	if err != nil {
+		t.Fatalf("search through draining replica: %v", err)
+	}
+	if page.SessionID != "s1" {
+		t.Fatalf("page = %+v", page)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("server saw %d requests, want 4 (3 drained + 1 ok)", got)
+	}
+}
+
+func TestDrainRetryBudgetExhausts(t *testing.T) {
+	ts, _ := drainThenServe(1000, http.StatusOK, nil)
+	defer ts.Close()
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Search(context.Background(), client.SearchRequest{SessionID: "s1", Query: "q"})
+	if !client.IsDraining(err) {
+		t.Fatalf("err = %v, want draining APIError after budget exhausted", err)
+	}
+}
+
+func TestDrainRetryHonorsRetryAfter(t *testing.T) {
+	// The server asks for 1s; the client must not hammer sooner.
+	var calls atomic.Int64
+	var firstRetry atomic.Int64
+	start := time.Now()
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte(`{"error":{"code":"draining","message":"draining"}}`))
+			return
+		}
+		firstRetry.Store(int64(time.Since(start)))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{"session_id":"s1"}`))
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Search(context.Background(), client.SearchRequest{SessionID: "s1", Query: "q"}); err != nil {
+		t.Fatal(err)
+	}
+	if waited := time.Duration(firstRetry.Load()); waited < 900*time.Millisecond {
+		t.Fatalf("client retried after %v, Retry-After asked for 1s", waited)
+	}
+}
+
+func TestDrainRetryRespectsContext(t *testing.T) {
+	ts, _ := drainThenServe(1000, http.StatusOK, nil)
+	defer ts.Close()
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err = c.Search(ctx, client.SearchRequest{SessionID: "s1", Query: "q"})
+	if err == nil {
+		t.Fatal("search returned nil under an expired context")
+	}
+}
+
+func TestPlainServerErrorStillNotRetried(t *testing.T) {
+	// A non-draining 500 on a retryNever call surfaces immediately.
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write([]byte(`{"error":{"code":"internal","message":"boom"}}`))
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Search(context.Background(), client.SearchRequest{SessionID: "s1", Query: "q"}); err == nil {
+		t.Fatal("500 swallowed")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("retryNever call retried: %d requests", calls.Load())
+	}
+}

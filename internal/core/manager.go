@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/profile"
+	"repro/internal/sessionstore"
 )
 
 // Manager errors. Callers (the web API, load generators) branch on
@@ -23,6 +25,10 @@ var (
 	ErrTooManySessions = errors.New("core: too many sessions")
 	// ErrManagerClosed reports use after Close.
 	ErrManagerClosed = errors.New("core: session manager closed")
+	// ErrDraining reports that the manager is handing its sessions off
+	// (graceful shutdown): state is flushed to the store and mutating
+	// operations are refused so another replica can adopt cleanly.
+	ErrDraining = errors.New("core: session manager draining")
 )
 
 // numShards splits the session table so concurrent session creation,
@@ -46,6 +52,15 @@ type ManagerOptions struct {
 	MaxSessions int
 	// Now overrides the clock (test hook; nil = time.Now).
 	Now func() time.Time
+	// Store, when set, makes sessions durable: every mutation is
+	// written through (binary snapshot codec), lookups of sessions not
+	// resident in RAM restore from the store, and TTL expiry becomes a
+	// RAM eviction (flushing unwritten state first) rather than data
+	// loss. Several manager processes may share one store; lookups
+	// re-read the store so a replica adopting a session after failover
+	// always serves the latest persisted state. The manager does not
+	// own the store — the caller closes it after Close.
+	Store sessionstore.SessionStore
 }
 
 // SessionManager owns the session table for a System: it creates
@@ -66,6 +81,10 @@ type SessionManager struct {
 	closed    chan struct{}
 	sweepWG   sync.WaitGroup
 
+	// draining refuses session-mutating operations while the replica
+	// hands its sessions off to the shared store.
+	draining atomic.Bool
+
 	// live counts resident sessions; the MaxSessions cap is enforced
 	// on it with compare-and-swap so concurrent Creates cannot
 	// overshoot.
@@ -73,8 +92,11 @@ type SessionManager struct {
 
 	stats struct {
 		sync.Mutex
-		created int64
-		evicted int64
+		created      int64
+		evicted      int64
+		restored     int64
+		persisted    int64
+		persistFails int64
 	}
 }
 
@@ -92,6 +114,16 @@ type managedSession struct {
 	sess     *Session
 	lastUsed time.Time
 	gone     bool
+	// dirty marks state the store has not accepted yet (a failed
+	// write-through). Eviction flushes only dirty sessions, so a stale
+	// RAM copy on one replica can never clobber newer state another
+	// replica persisted.
+	dirty bool
+	// persisted is the session's last state written to or read from
+	// the store. Write-through skips the store when the encoding is
+	// unchanged, and lookup compares it against the store's current
+	// bytes to adopt state mutated by another replica.
+	persisted []byte
 }
 
 // ManagerStats is a point-in-time counter snapshot.
@@ -101,8 +133,20 @@ type ManagerStats struct {
 	Live int
 	// Created counts sessions ever created.
 	Created int64
-	// Evicted counts sessions removed by TTL expiry (not by Delete).
+	// Evicted counts sessions removed from RAM by TTL expiry (not by
+	// Delete). With a store configured this is cache eviction, not
+	// loss: the state was flushed and a later access restores it.
 	Evicted int64
+	// Restored counts sessions rebuilt from the store: restarts
+	// resuming their own sessions and failovers adopting another
+	// replica's (including in-place refreshes of a resident session
+	// whose store state another replica advanced).
+	Restored int64
+	// Persisted counts successful store write-throughs.
+	Persisted int64
+	// PersistErrors counts failed write-throughs (state stays resident
+	// and dirty; eviction retries the flush).
+	PersistErrors int64
 }
 
 // NewSessionManager builds a manager over a system and starts the
@@ -185,11 +229,91 @@ func (m *SessionManager) reserveSlot() bool {
 	}
 }
 
+// persistLocked write-throughs one session's state. Caller holds
+// ms.mu. The store is skipped entirely when the encoded state matches
+// what the store already holds (read-only touches stay free); a failed
+// write leaves the session dirty so eviction retries the flush.
+func (m *SessionManager) persistLocked(id string, ms *managedSession) error {
+	if m.opts.Store == nil || ms.sess == nil {
+		return nil
+	}
+	state, err := ms.sess.EncodeState()
+	if err != nil {
+		return err
+	}
+	if bytes.Equal(state, ms.persisted) {
+		return nil
+	}
+	if err := m.opts.Store.Put(id, state); err != nil {
+		ms.dirty = true
+		m.stats.Lock()
+		m.stats.persistFails++
+		m.stats.Unlock()
+		return err
+	}
+	ms.persisted = state
+	ms.dirty = false
+	m.stats.Lock()
+	m.stats.persisted++
+	m.stats.Unlock()
+	return nil
+}
+
+// flushIfDirtyLocked retries a session's failed write-through before
+// the session leaves RAM. Only dirty sessions are written: a clean
+// copy may be stale relative to another replica's mutations, and
+// re-writing it would clobber them.
+func (m *SessionManager) flushIfDirtyLocked(id string, ms *managedSession) {
+	if ms.dirty {
+		_ = m.persistLocked(id, ms)
+	}
+}
+
+// refreshLocked reconciles a resident session with the store. When
+// another replica advanced the session's persisted state (failover and
+// fail-back both produce stale RAM copies on the non-owning replica),
+// the resident Session is rebuilt from the store's bytes; when the
+// store no longer knows the session (deleted elsewhere), it is marked
+// gone. A session with unflushed local state is left alone — the store
+// is behind it, not ahead. Caller holds ms.mu.
+func (m *SessionManager) refreshLocked(id string, ms *managedSession) error {
+	if m.opts.Store == nil || ms.dirty {
+		return nil
+	}
+	cur, err := m.opts.Store.Get(id)
+	if err != nil {
+		if errors.Is(err, sessionstore.ErrNotFound) {
+			ms.gone = true
+			return ErrSessionNotFound
+		}
+		// Store unavailable: serve the resident copy.
+		return nil
+	}
+	if bytes.Equal(cur, ms.persisted) {
+		return nil
+	}
+	sess, err := m.sys.RestoreSession(cur)
+	if err != nil {
+		return fmt.Errorf("core: refresh session %s: %w", id, err)
+	}
+	ms.sess = sess
+	ms.persisted = cur
+	m.stats.Lock()
+	m.stats.restored++
+	m.stats.Unlock()
+	return nil
+}
+
 // Create starts a session for user (nil = fresh neutral profile) and
-// returns its ID.
+// returns its ID. With a store configured the fresh session is written
+// through immediately, so any replica sharing the store can serve the
+// very next request for it.
 func (m *SessionManager) Create(user *profile.Profile) (string, error) {
 	if m.isClosed() {
 		return "", ErrManagerClosed
+	}
+	if m.draining.Load() {
+		return "", ErrDraining
 	}
 	if !m.reserveSlot() {
 		// Give abandoned sessions a chance to make room before
@@ -204,6 +328,9 @@ func (m *SessionManager) Create(user *profile.Profile) (string, error) {
 		return "", err
 	}
 	ms := &managedSession{sess: m.sys.NewSession(id, user), lastUsed: m.now()}
+	ms.mu.Lock()
+	_ = m.persistLocked(id, ms)
+	ms.mu.Unlock()
 	sh := m.shardOf(id)
 	sh.mu.Lock()
 	sh.sessions[id] = ms
@@ -214,20 +341,61 @@ func (m *SessionManager) Create(user *profile.Profile) (string, error) {
 	return id, nil
 }
 
+// restoreFromStore rebuilds a non-resident session from the store
+// (restart recovery and failover adoption). Racing restores of the
+// same ID converge on whichever inserted first.
+func (m *SessionManager) restoreFromStore(id string) (*managedSession, error) {
+	if m.opts.Store == nil {
+		return nil, ErrSessionNotFound
+	}
+	data, err := m.opts.Store.Get(id)
+	if err != nil {
+		return nil, ErrSessionNotFound
+	}
+	sess, err := m.sys.RestoreSession(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore session %s: %w", id, err)
+	}
+	if !m.reserveSlot() {
+		if m.Sweep() == 0 || !m.reserveSlot() {
+			return nil, ErrTooManySessions
+		}
+	}
+	ms := &managedSession{sess: sess, lastUsed: m.now(), persisted: data}
+	sh := m.shardOf(id)
+	sh.mu.Lock()
+	if existing := sh.sessions[id]; existing != nil {
+		sh.mu.Unlock()
+		m.live.Add(-1)
+		return existing, nil
+	}
+	sh.sessions[id] = ms
+	sh.mu.Unlock()
+	m.stats.Lock()
+	m.stats.restored++
+	m.stats.Unlock()
+	return ms, nil
+}
+
 // lookup finds a live managed session, collecting it instead when it
-// has expired.
+// has expired. With a store configured a miss (never resident, evicted
+// earlier, or created by another replica) falls through to a store
+// restore, so TTL expiry and replica failover are both invisible to
+// the caller.
 func (m *SessionManager) lookup(id string) (*managedSession, error) {
 	sh := m.shardOf(id)
 	sh.mu.RLock()
 	ms := sh.sessions[id]
 	sh.mu.RUnlock()
 	if ms == nil {
-		return nil, ErrSessionNotFound
+		return m.restoreFromStore(id)
 	}
 	if ttl := m.opts.TTL; ttl > 0 {
 		ms.mu.Lock()
 		expired := !ms.gone && m.now().Sub(ms.lastUsed) > ttl
 		if expired {
+			// Evidence must reach the store before the RAM copy goes.
+			m.flushIfDirtyLocked(id, ms)
 			ms.gone = true
 		}
 		ms.mu.Unlock()
@@ -241,7 +409,7 @@ func (m *SessionManager) lookup(id string) (*managedSession, error) {
 			m.stats.Lock()
 			m.stats.evicted++
 			m.stats.Unlock()
-			return nil, ErrSessionNotFound
+			return m.restoreFromStore(id)
 		}
 	}
 	return ms, nil
@@ -268,6 +436,11 @@ func (m *SessionManager) withSession(id string, fn func(*Session) error, touch b
 	if m.isClosed() {
 		return ErrManagerClosed
 	}
+	if touch && m.draining.Load() {
+		// Reads (Inspect) stay up during drain; anything that touches a
+		// session belongs on the replica that adopts it.
+		return ErrDraining
+	}
 	ms, err := m.lookup(id)
 	if err != nil {
 		return err
@@ -277,17 +450,32 @@ func (m *SessionManager) withSession(id string, fn func(*Session) error, touch b
 	if ms.gone {
 		return ErrSessionNotFound
 	}
+	// Serve the latest persisted state, not a stale RAM copy — another
+	// replica may have owned this session since we last saw it.
+	if err := m.refreshLocked(id, ms); err != nil {
+		return err
+	}
 	if touch {
 		ms.lastUsed = m.now()
 	}
-	return fn(ms.sess)
+	ferr := fn(ms.sess)
+	if touch {
+		// Write-through: fn may have mutated evidence even when it
+		// errored, and persistLocked is a no-op when nothing changed.
+		_ = m.persistLocked(id, ms)
+	}
+	return ferr
 }
 
-// Delete ends a session. Concurrent operations already inside With
-// finish first (they hold the session lock).
+// Delete ends a session, in RAM and in the store. Concurrent
+// operations already inside With finish first (they hold the session
+// lock).
 func (m *SessionManager) Delete(id string) error {
 	if m.isClosed() {
 		return ErrManagerClosed
+	}
+	if m.draining.Load() {
+		return ErrDraining
 	}
 	ms, err := m.lookup(id)
 	if err != nil {
@@ -307,6 +495,12 @@ func (m *SessionManager) Delete(id string) error {
 		m.live.Add(-1)
 	}
 	sh.mu.Unlock()
+	if m.opts.Store != nil {
+		// Tombstone the store too, so no replica resurrects it. A
+		// failed delete leaves the session restorable — the safe
+		// direction.
+		_ = m.opts.Store.Delete(id)
+	}
 	return nil
 }
 
@@ -369,9 +563,63 @@ func (m *SessionManager) List() []SessionInfo {
 
 // Stats snapshots the manager's counters.
 func (m *SessionManager) Stats() ManagerStats {
+	live := m.Len()
 	m.stats.Lock()
 	defer m.stats.Unlock()
-	return ManagerStats{Live: m.Len(), Created: m.stats.created, Evicted: m.stats.evicted}
+	return ManagerStats{
+		Live:          live,
+		Created:       m.stats.created,
+		Evicted:       m.stats.evicted,
+		Restored:      m.stats.restored,
+		Persisted:     m.stats.persisted,
+		PersistErrors: m.stats.persistFails,
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (m *SessionManager) Draining() bool { return m.draining.Load() }
+
+// Drain puts the manager into drain mode — session-touching
+// operations refuse with ErrDraining from here on — and flushes every
+// resident session's unwritten state to the store so another replica
+// can adopt them. Returns how many sessions were flushed and the first
+// flush error. Safe to call more than once; there is no un-drain.
+func (m *SessionManager) Drain() (int, error) {
+	m.draining.Store(true)
+	return m.flushAll()
+}
+
+// flushAll write-throughs every resident session, waiting behind
+// in-flight operations (unlike the sweeper, drain must not skip a busy
+// session — its evidence is exactly what is worth handing off).
+func (m *SessionManager) flushAll() (int, error) {
+	flushed := 0
+	var firstErr error
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		pending := make([]*managedSession, 0, len(sh.sessions))
+		ids := make([]string, 0, len(sh.sessions))
+		for id, ms := range sh.sessions {
+			pending = append(pending, ms)
+			ids = append(ids, id)
+		}
+		sh.mu.RUnlock()
+		for j, ms := range pending {
+			ms.mu.Lock()
+			if !ms.gone {
+				if err := m.persistLocked(ids[j], ms); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					flushed++
+				}
+			}
+			ms.mu.Unlock()
+		}
+	}
+	return flushed, firstErr
 }
 
 // Sweep collects every expired session now and reports how many it
@@ -397,6 +645,8 @@ func (m *SessionManager) Sweep() int {
 				continue
 			}
 			if !ms.gone && now.Sub(ms.lastUsed) > ttl {
+				// Unflushed evidence must survive the eviction.
+				m.flushIfDirtyLocked(id, ms)
 				ms.gone = true
 				stale = append(stale, ms)
 				staleIDs = append(staleIDs, id)
@@ -440,9 +690,18 @@ func (m *SessionManager) sweepLoop(interval time.Duration) {
 	}
 }
 
-// Close stops the sweeper and rejects further operations. Idempotent.
+// Close stops the sweeper and rejects further operations, flushing
+// every resident session to the store first so shutdown never discards
+// evidence. Idempotent. The store itself belongs to the caller and
+// stays open.
 func (m *SessionManager) Close() error {
-	m.closeOnce.Do(func() { close(m.closed) })
+	var flushErr error
+	m.closeOnce.Do(func() {
+		if m.opts.Store != nil {
+			_, flushErr = m.flushAll()
+		}
+		close(m.closed)
+	})
 	m.sweepWG.Wait()
-	return nil
+	return flushErr
 }

@@ -77,8 +77,14 @@ type Query struct {
 
 // Config parameterises a load run.
 type Config struct {
-	// Client is the SDK handle to the target server. Required.
+	// Client is the SDK handle to the target server. Required unless
+	// Clients is set.
 	Client *client.Client
+	// Clients optionally spreads virtual users round-robin over
+	// several equivalent endpoints — e.g. the replicas of a front tier
+	// driven directly, or several ivrroute instances. When set, Client
+	// may be nil; when both are set, Client is ignored.
+	Clients []*client.Client
 	// Users is the number of concurrent virtual users (default 1).
 	Users int
 	// Sessions is the total number of sessions to run (0 = unbounded;
@@ -132,8 +138,16 @@ type Driver struct {
 
 // New validates a config and applies defaults.
 func New(cfg Config) (*Driver, error) {
-	if cfg.Client == nil {
-		return nil, fmt.Errorf("loadgen: nil client")
+	if len(cfg.Clients) == 0 {
+		if cfg.Client == nil {
+			return nil, fmt.Errorf("loadgen: nil client")
+		}
+		cfg.Clients = []*client.Client{cfg.Client}
+	}
+	for _, c := range cfg.Clients {
+		if c == nil {
+			return nil, fmt.Errorf("loadgen: nil client in Clients")
+		}
 	}
 	if len(cfg.Queries) == 0 {
 		return nil, fmt.Errorf("loadgen: empty query pool")
@@ -193,6 +207,9 @@ func New(cfg Config) (*Driver, error) {
 type worker struct {
 	id  int
 	cfg *Config
+	// c is this worker's endpoint (Config.Clients round-robin by
+	// worker, so one virtual user keeps talking to one place).
+	c   *client.Client
 	pol simulation.Policy
 	rng *rand.Rand
 	col *shardCollector
@@ -230,6 +247,7 @@ func runPool(ctx context.Context, cfg *Config, work func(context.Context, *worke
 		workers[i] = &worker{
 			id:  i,
 			cfg: cfg,
+			c:   cfg.Clients[i%len(cfg.Clients)],
 			pol: simulation.Policy{
 				Stereotype: cfg.Stereotypes[i%len(cfg.Stereotypes)],
 				Iface:      cfg.Iface,
@@ -386,7 +404,7 @@ func (w *worker) driveSession(ctx context.Context, spec *sessionSpec) *sessionOu
 	}
 	err := w.col.timed(EndpointCreateSession, func() error {
 		var err error
-		out.sessionID, err = cfg.Client.CreateSession(ctx, spec.req)
+		out.sessionID, err = w.c.CreateSession(ctx, spec.req)
 		return err
 	})
 	if err != nil {
@@ -400,7 +418,7 @@ func (w *worker) driveSession(ctx context.Context, spec *sessionSpec) *sessionOu
 		dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 10*time.Second)
 		defer cancel()
 		delErr := w.col.timed(EndpointDeleteSession, func() error {
-			return cfg.Client.DeleteSession(dctx, out.sessionID)
+			return w.c.DeleteSession(dctx, out.sessionID)
 		})
 		switch {
 		case out.err != nil:
@@ -429,7 +447,7 @@ func (w *worker) driveSession(ctx context.Context, spec *sessionSpec) *sessionOu
 		var page *client.SearchPage
 		err := w.col.timed(EndpointSearch, func() error {
 			var err error
-			page, err = cfg.Client.Search(ctx, client.SearchRequest{
+			page, err = w.c.Search(ctx, client.SearchRequest{
 				SessionID: out.sessionID, Query: queryText, Limit: cfg.PageLimit,
 			})
 			return err
@@ -471,7 +489,7 @@ func (w *worker) driveSession(ctx context.Context, spec *sessionSpec) *sessionOu
 			return fail(err)
 		}
 		err = w.col.timed(EndpointEvents, func() error {
-			_, err := cfg.Client.SendEvents(ctx, out.sessionID, events)
+			_, err := w.c.SendEvents(ctx, out.sessionID, events)
 			return err
 		})
 		if err != nil {
@@ -485,7 +503,7 @@ func (w *worker) driveSession(ctx context.Context, spec *sessionSpec) *sessionOu
 		if cfg.FetchShots {
 			for _, shotID := range clicked {
 				err := w.col.timed(EndpointShot, func() error {
-					_, err := cfg.Client.Shot(ctx, shotID)
+					_, err := w.c.Shot(ctx, shotID)
 					return err
 				})
 				if err != nil {

@@ -322,3 +322,35 @@ func TestDurationExpiryAbortsCleanly(t *testing.T) {
 		t.Errorf("aborted sessions leaked server-side: %d live", live)
 	}
 }
+
+// TestDriverSpreadsOverClients pins the multi-endpoint mode ivrload's
+// comma-separated -server uses: virtual users are split round-robin
+// over the given clients, and every target serves a share of the load.
+func TestDriverSpreadsOverClients(t *testing.T) {
+	c1, arch, srv1 := newStack(t)
+	c2, _, srv2 := newStack(t)
+	d, err := loadgen.New(loadgen.Config{
+		Clients:    []*client.Client{c1, c2},
+		Users:      4,
+		Sessions:   12,
+		Iterations: 1,
+		PageLimit:  5,
+		Seed:       9,
+		Queries:    queriesFromArchive(arch),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != 12 || rep.SessionsFailed != 0 {
+		t.Fatalf("sessions = %d ok / %d failed, want 12/0\n%s", rep.Sessions, rep.SessionsFailed, rep)
+	}
+	n1 := srv1.Manager().Stats().Created
+	n2 := srv2.Manager().Stats().Created
+	if n1 == 0 || n2 == 0 || n1+n2 != 12 {
+		t.Fatalf("session split %d/%d, want both targets loaded summing to 12", n1, n2)
+	}
+}

@@ -132,6 +132,7 @@ func RunStudy(ctx context.Context, cfg StudyConfig, pairs []simulation.StudyPair
 	// study has no arrival process), one task per pair.
 	poolCfg := &Config{
 		Client:     cfg.Client,
+		Clients:    []*client.Client{cfg.Client},
 		Users:      cfg.Workers,
 		Sessions:   len(pairs),
 		Iterations: cfg.Iterations,

@@ -1,0 +1,560 @@
+// Package router is the session-affine front tier: a thin HTTP proxy
+// that spreads /api/v1 traffic over N ivrserve replicas sharing one
+// session store and one segment tier.
+//
+// Affinity is rendezvous hashing (highest random weight) of the
+// session ID over the healthy replicas: every request for a session
+// lands on the same replica (so its RAM copy stays hot and its result
+// cache keeps hitting), no table has to be kept, and when a replica
+// dies only its sessions move — each to a deterministic next owner,
+// which restores them from the shared session store on first touch.
+// Requests without a session (create, shot metadata, listings) round-
+// robin over the healthy replicas.
+//
+// A background probe loop polls each replica's /api/v1/healthz:
+// FailThreshold consecutive probe failures take a replica out of
+// rotation, a "draining" answer routes new work away while the
+// replica flushes, and a later healthy probe brings it back. The
+// proxy itself also reacts mid-request: a connection failure or a
+// draining 503 re-routes the request to the session's next-best
+// replica, so one kill -TERM loses zero queries.
+//
+// The router serves its own /api/v1/healthz (aggregated liveness) and
+// /api/v1/metrics (per-replica request/error/re-route counters plus
+// each replica's last known health), so dashboards see the whole
+// front tier in one place.
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults for Config knobs left zero.
+const (
+	DefaultProbeInterval = time.Second
+	DefaultProbeTimeout  = 2 * time.Second
+	DefaultFailThreshold = 3
+	// maxBufferedBody bounds how much request body the proxy buffers
+	// for replay on re-route (event batches are small; this is generous).
+	maxBufferedBody = 8 << 20
+)
+
+// Config parameterises a Router.
+type Config struct {
+	// Replicas are the ivrserve base URLs ("http://host:port"). At
+	// least one is required.
+	Replicas []string
+	// ProbeInterval is the health poll cadence (0 = 1s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe (0 = 2s).
+	ProbeTimeout time.Duration
+	// FailThreshold is how many consecutive probe failures take a
+	// replica out of rotation (0 = 3). One mid-request connection
+	// failure takes it out immediately regardless.
+	FailThreshold int
+	// Client overrides the proxy/probe HTTP client (tests).
+	Client *http.Client
+	// Logger receives re-route and health-transition logs (nil = discard).
+	Logger *slog.Logger
+}
+
+// replica is one backend and its routing state.
+type replica struct {
+	name string // base URL, no trailing slash
+	host string
+
+	healthy  atomic.Bool
+	draining atomic.Bool
+	// probeFails is touched only by the probe loop.
+	probeFails int
+
+	requests atomic.Int64
+	errors   atomic.Int64
+	rerouted atomic.Int64
+}
+
+// Router is the front-tier proxy. Safe for concurrent use. Close
+// stops the probe loop.
+type Router struct {
+	replicas []*replica
+	client   *http.Client
+	log      *slog.Logger
+	cfg      Config
+
+	rr atomic.Uint64 // round-robin cursor for session-less requests
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	probeWG   sync.WaitGroup
+}
+
+// New builds a router and starts its health probe loop. All replicas
+// start healthy (optimistic: the first probe round corrects this
+// within ProbeInterval, and a mid-request failure corrects it
+// immediately).
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("router: no replicas")
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
+	if cfg.ProbeTimeout == 0 {
+		cfg.ProbeTimeout = DefaultProbeTimeout
+	}
+	if cfg.FailThreshold == 0 {
+		cfg.FailThreshold = DefaultFailThreshold
+	}
+	if cfg.ProbeInterval < 0 || cfg.ProbeTimeout < 0 || cfg.FailThreshold < 0 {
+		return nil, fmt.Errorf("router: negative config value")
+	}
+	rt := &Router{client: cfg.Client, log: cfg.Logger, cfg: cfg, closed: make(chan struct{})}
+	if rt.client == nil {
+		rt.client = &http.Client{}
+	}
+	if rt.log == nil {
+		rt.log = slog.New(slog.DiscardHandler)
+	}
+	seen := map[string]bool{}
+	for _, raw := range cfg.Replicas {
+		u, err := url.Parse(raw)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("router: invalid replica URL %q", raw)
+		}
+		name := strings.TrimSuffix(raw, "/")
+		if seen[name] {
+			return nil, fmt.Errorf("router: duplicate replica %q", name)
+		}
+		seen[name] = true
+		rep := &replica{name: name, host: u.Host}
+		rep.healthy.Store(true)
+		rt.replicas = append(rt.replicas, rep)
+	}
+	rt.probeWG.Add(1)
+	go rt.probeLoop()
+	return rt, nil
+}
+
+// Close stops the probe loop. Idempotent.
+func (rt *Router) Close() error {
+	rt.closeOnce.Do(func() { close(rt.closed) })
+	rt.probeWG.Wait()
+	return nil
+}
+
+// rendezvousOrder ranks every replica for a session, best first:
+// highest FNV-1a(sessionID, replicaName) wins. Deterministic for a
+// given replica set, so every router instance and every request agree
+// on the owner — and on the successor when the owner is down.
+func (rt *Router) rendezvousOrder(sessionID string) []*replica {
+	type scored struct {
+		rep   *replica
+		score uint64
+	}
+	ranked := make([]scored, len(rt.replicas))
+	for i, rep := range rt.replicas {
+		h := fnv.New64a()
+		_, _ = io.WriteString(h, sessionID)
+		_, _ = h.Write([]byte{0})
+		_, _ = io.WriteString(h, rep.name)
+		ranked[i] = scored{rep, h.Sum64()}
+	}
+	sort.Slice(ranked, func(a, b int) bool {
+		if ranked[a].score != ranked[b].score {
+			return ranked[a].score > ranked[b].score
+		}
+		return ranked[a].rep.name < ranked[b].rep.name
+	})
+	out := make([]*replica, len(ranked))
+	for i, s := range ranked {
+		out[i] = s.rep
+	}
+	return out
+}
+
+// Owner reports which replica base URL a session routes to right now
+// (ops introspection and tests).
+func (rt *Router) Owner(sessionID string) string {
+	for _, rep := range rt.rendezvousOrder(sessionID) {
+		if rep.healthy.Load() && !rep.draining.Load() {
+			return rep.name
+		}
+	}
+	return ""
+}
+
+// roundRobinOrder ranks replicas for session-less requests: a moving
+// start over the replica list, each followed by the rest as failover
+// candidates.
+func (rt *Router) roundRobinOrder() []*replica {
+	n := len(rt.replicas)
+	start := int(rt.rr.Add(1)-1) % n
+	out := make([]*replica, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, rt.replicas[(start+i)%n])
+	}
+	return out
+}
+
+// sessionID extracts the session a request is about ("" when none):
+// the ?session= query parameter (search), the /api/v1/sessions/{id}
+// path (state, delete), or the session_id field of a buffered JSON
+// body (event batches).
+func sessionID(r *http.Request, body []byte) string {
+	if sid := r.URL.Query().Get("session"); sid != "" {
+		return sid
+	}
+	// Cut from the escaped path so a %2F inside the ID is not mistaken
+	// for a path separator (the replica's mux makes the same call).
+	if rest, ok := strings.CutPrefix(r.URL.EscapedPath(), "/api/v1/sessions/"); ok && rest != "" && !strings.Contains(rest, "/") {
+		if sid, err := url.PathUnescape(rest); err == nil {
+			return sid
+		}
+		return rest
+	}
+	if len(body) > 0 && strings.HasPrefix(r.URL.Path, "/api/v1/events") {
+		var peek struct {
+			SessionID string `json:"session_id"`
+		}
+		if err := json.Unmarshal(body, &peek); err == nil {
+			return peek.SessionID
+		}
+	}
+	return ""
+}
+
+// hopHeaders are not forwarded between hops.
+var hopHeaders = []string{"Connection", "Keep-Alive", "Proxy-Connection", "Te", "Trailer", "Transfer-Encoding", "Upgrade"}
+
+func copyHeaders(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+	for _, h := range hopHeaders {
+		dst.Del(h)
+	}
+}
+
+// ServeHTTP routes one request: the router's own endpoints first,
+// everything else proxied with session affinity and failover.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodGet && r.URL.Path == "/api/v1/healthz":
+		rt.serveHealthz(w)
+		return
+	case r.Method == http.MethodGet && r.URL.Path == "/api/v1/metrics":
+		rt.serveMetrics(w)
+		return
+	}
+	rt.proxy(w, r)
+}
+
+// proxy forwards a request down its candidate list until a replica
+// answers (or answers with anything but "I'm draining/unreachable").
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
+	var body []byte
+	if r.Body != nil {
+		var err error
+		body, err = io.ReadAll(io.LimitReader(r.Body, maxBufferedBody+1))
+		r.Body.Close()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid_request", "read body: %v", err)
+			return
+		}
+		if len(body) > maxBufferedBody {
+			writeError(w, http.StatusRequestEntityTooLarge, "invalid_request", "body over %d bytes", maxBufferedBody)
+			return
+		}
+	}
+
+	sid := sessionID(r, body)
+	var candidates []*replica
+	if sid != "" {
+		candidates = rt.rendezvousOrder(sid)
+	} else {
+		candidates = rt.roundRobinOrder()
+	}
+
+	// Try healthy, non-draining replicas first (in affinity order),
+	// then — only if every replica looked bad — the rest anyway,
+	// rather than failing the query without asking anyone. Each
+	// replica is tried at most once per request.
+	good := make([]bool, len(candidates))
+	for i, rep := range candidates {
+		good[i] = rep.healthy.Load() && !rep.draining.Load()
+	}
+	order := make([]*replica, 0, len(candidates))
+	for i, rep := range candidates {
+		if good[i] {
+			order = append(order, rep)
+		}
+	}
+	for i, rep := range candidates {
+		if !good[i] {
+			order = append(order, rep)
+		}
+	}
+
+	for i, rep := range order {
+		done, retriable := rt.forward(w, r, rep, body, i > 0)
+		if done || !retriable {
+			return
+		}
+	}
+	writeError(w, http.StatusBadGateway, "no_replica", "no replica available for %s %s", r.Method, r.URL.Path)
+}
+
+// forward sends the request to one replica and relays the answer.
+// done=true means a response went out; retriable=true means nothing
+// was written and the next candidate should be tried.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, rep *replica, body []byte, isReroute bool) (done, retriable bool) {
+	rep.requests.Add(1)
+	if isReroute {
+		rep.rerouted.Add(1)
+	}
+	outURL := rep.name + r.URL.Path
+	if r.URL.RawQuery != "" {
+		outURL += "?" + r.URL.RawQuery
+	}
+	out, err := http.NewRequestWithContext(r.Context(), r.Method, outURL, bytes.NewReader(body))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+		return true, false
+	}
+	copyHeaders(out.Header, r.Header)
+	resp, err := rt.client.Do(out)
+	if err != nil {
+		// Transport failure: the replica is gone right now — take it
+		// out of rotation immediately (the probe loop brings it back)
+		// and move on. Nothing was written, so the retry is invisible.
+		rep.errors.Add(1)
+		if rep.healthy.CompareAndSwap(true, false) {
+			rt.log.Warn("replica down (request failed)", "replica", rep.name, "err", err)
+		}
+		if r.Context().Err() != nil {
+			return true, false // client gone; stop trying
+		}
+		return false, true
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		// Draining (or overloaded) replica: its sessions are in the
+		// shared store, so the next candidate can adopt this one now.
+		if isDrainingResponse(resp) {
+			rep.draining.Store(true)
+			rt.log.Info("replica draining, re-routing", "replica", rep.name)
+			io.Copy(io.Discard, resp.Body)
+			return false, true
+		}
+	}
+	// Relay everything else verbatim, including application errors.
+	copyHeaders(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	flushingCopy(w, resp.Body)
+	return true, false
+}
+
+// isDrainingResponse peeks a 503's envelope for code "draining"
+// without consuming more than a small prefix.
+func isDrainingResponse(resp *http.Response) bool {
+	if resp.Header.Get("Retry-After") == "" {
+		return false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if err != nil {
+		return false
+	}
+	// The body is consumed either way; stash it back for the relay
+	// path? Not needed: callers only relay when this returns false,
+	// and a false return here means the 503 body was already read —
+	// so re-wrap it for the caller.
+	resp.Body = io.NopCloser(bytes.NewReader(data))
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	return json.Unmarshal(data, &env) == nil && env.Error.Code == "draining"
+}
+
+// flushingCopy streams body to w, flushing after every chunk so NDJSON
+// search streams flow through the proxy hit by hit.
+func flushingCopy(w http.ResponseWriter, body io.Reader) {
+	f, _ := w.(http.Flusher)
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if f != nil {
+				f.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"error": map[string]string{"code": code, "message": fmt.Sprintf(format, args...)},
+	})
+}
+
+// --- health probing ---
+
+// probeLoop polls every replica until Close.
+func (rt *Router) probeLoop() {
+	defer rt.probeWG.Done()
+	rt.probeAll() // settle real health before the first interval
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.closed:
+			return
+		case <-t.C:
+			rt.probeAll()
+		}
+	}
+}
+
+func (rt *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, rep := range rt.replicas {
+		wg.Add(1)
+		go func(rep *replica) {
+			defer wg.Done()
+			rt.probeOne(rep)
+		}(rep)
+	}
+	wg.Wait()
+}
+
+func (rt *Router) probeOne(rep *replica) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.name+"/api/v1/healthz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rep.probeFails++
+		if rep.probeFails >= rt.cfg.FailThreshold && rep.healthy.CompareAndSwap(true, false) {
+			rt.log.Warn("replica down (probes failed)", "replica", rep.name, "fails", rep.probeFails)
+		}
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		rep.probeFails++
+		if rep.probeFails >= rt.cfg.FailThreshold && rep.healthy.CompareAndSwap(true, false) {
+			rt.log.Warn("replica down (healthz non-200)", "replica", rep.name, "status", resp.StatusCode)
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return
+	}
+	var hz struct {
+		Draining bool `json:"draining"`
+	}
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&hz)
+	rep.probeFails = 0
+	if rep.healthy.CompareAndSwap(false, true) {
+		rt.log.Info("replica back", "replica", rep.name)
+	}
+	if hz.Draining != rep.draining.Swap(hz.Draining) {
+		rt.log.Info("replica drain state", "replica", rep.name, "draining", hz.Draining)
+	}
+}
+
+// --- router-owned endpoints ---
+
+// ReplicaStatus is one backend's row in the router's telemetry.
+type ReplicaStatus struct {
+	Replica  string `json:"replica"`
+	Healthy  bool   `json:"healthy"`
+	Draining bool   `json:"draining"`
+	Requests int64  `json:"requests"`
+	Errors   int64  `json:"errors"`
+	Rerouted int64  `json:"rerouted"`
+}
+
+// Status snapshots every replica's routing state, in configured order.
+func (rt *Router) Status() []ReplicaStatus {
+	out := make([]ReplicaStatus, len(rt.replicas))
+	for i, rep := range rt.replicas {
+		out[i] = ReplicaStatus{
+			Replica:  rep.name,
+			Healthy:  rep.healthy.Load(),
+			Draining: rep.draining.Load(),
+			Requests: rep.requests.Load(),
+			Errors:   rep.errors.Load(),
+			Rerouted: rep.rerouted.Load(),
+		}
+	}
+	return out
+}
+
+func (rt *Router) serveHealthz(w http.ResponseWriter) {
+	healthy := 0
+	for _, rep := range rt.replicas {
+		if rep.healthy.Load() {
+			healthy++
+		}
+	}
+	status, code := "ok", http.StatusOK
+	if healthy == 0 {
+		status, code = "down", http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":   status,
+		"router":   true,
+		"replicas": len(rt.replicas),
+		"healthy":  healthy,
+	})
+}
+
+func (rt *Router) serveMetrics(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"router":   true,
+		"replicas": rt.Status(),
+	})
+}
+
+// Healthy reports how many replicas are currently in rotation.
+func (rt *Router) Healthy() int {
+	n := 0
+	for _, rep := range rt.replicas {
+		if rep.healthy.Load() && !rep.draining.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+var _ http.Handler = (*Router)(nil)

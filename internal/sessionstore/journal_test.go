@@ -1,0 +1,276 @@
+package sessionstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openTestJournal(t *testing.T, path string, options ...JournalOption) *JournalStore {
+	t.Helper()
+	options = append([]JournalOption{WithSyncInterval(-1)}, options...)
+	j, err := OpenJournal(path, options...)
+	if err != nil {
+		t.Fatalf("OpenJournal(%s): %v", path, err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+func TestJournalReopenPersists(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sessions.jnl")
+	j := openTestJournal(t, path)
+	if err := j.Put("s1", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Put("s2", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Put("s1", []byte("one-v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Delete("s2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openTestJournal(t, path)
+	got, err := j2.Get("s1")
+	if err != nil || string(got) != "one-v2" {
+		t.Fatalf("after reopen Get(s1) = %q, %v", got, err)
+	}
+	if _, err := j2.Get("s2"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted session survived reopen: err = %v", err)
+	}
+}
+
+func TestJournalTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sessions.jnl")
+	j := openTestJournal(t, path)
+	if err := j.Put("s1", []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: a full bogus record frame whose CRC
+	// is wrong, then a half-written length prefix.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := encodeRecord(opPut, "s2", []byte("torn"))
+	rec[len(rec)-1] ^= 0xff // corrupt the CRC
+	if _, err := f.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	tornSize := fileSize(t, path)
+
+	j2 := openTestJournal(t, path)
+	if _, err := j2.Get("s2"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("torn record resurrected: err = %v", err)
+	}
+	got, err := j2.Get("s1")
+	if err != nil || string(got) != "good" {
+		t.Fatalf("record before torn tail lost: %q, %v", got, err)
+	}
+	if sz := fileSize(t, path); sz >= tornSize {
+		t.Fatalf("torn tail not truncated: size %d >= %d", sz, tornSize)
+	}
+
+	// And appends after the truncation are readable on yet another
+	// reopen.
+	if err := j2.Put("s3", []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3 := openTestJournal(t, path)
+	if got, err := j3.Get("s3"); err != nil || string(got) != "after" {
+		t.Fatalf("post-truncation append lost: %q, %v", got, err)
+	}
+}
+
+func TestJournalBadHeaderRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sessions.jnl")
+	if err := os.WriteFile(path, []byte("NOTAJOURNALFILE"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path, WithSyncInterval(-1)); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("OpenJournal on garbage = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestJournalCompactionShrinks(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sessions.jnl")
+	j := openTestJournal(t, path)
+	payload := bytes.Repeat([]byte("x"), 1024)
+	// Overwrite a handful of sessions many times: most of the journal
+	// becomes dead bytes.
+	for round := 0; round < 50; round++ {
+		for s := 0; s < 4; s++ {
+			if err := j.Put(fmt.Sprintf("s%d", s), payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := j.Delete("s3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before := fileSize(t, path)
+
+	j2 := openTestJournal(t, path, WithCompactMinWaste(1))
+	if !j2.Compacted() {
+		t.Fatal("open did not compact despite waste")
+	}
+	after := fileSize(t, path)
+	if after >= before/4 {
+		t.Fatalf("compaction barely shrank the journal: %d -> %d", before, after)
+	}
+	for s := 0; s < 3; s++ {
+		got, err := j2.Get(fmt.Sprintf("s%d", s))
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Fatalf("session s%d lost in compaction: %v", s, err)
+		}
+	}
+	if _, err := j2.Get("s3"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted session resurrected by compaction: err = %v", err)
+	}
+
+	// The compacted journal must itself reopen cleanly, and appends
+	// after compaction must persist.
+	if err := j2.Put("s9", []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3 := openTestJournal(t, path)
+	if got, err := j3.Get("s9"); err != nil || string(got) != "fresh" {
+		t.Fatalf("append after compaction lost: %q, %v", got, err)
+	}
+}
+
+// TestJournalSharedBetweenStores models two replica processes sharing
+// one journal path: writes by either handle must be visible to the
+// other without reopening, and concurrent writers must not corrupt the
+// file.
+func TestJournalSharedBetweenStores(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sessions.jnl")
+	a := openTestJournal(t, path)
+	b := openTestJournal(t, path)
+
+	if err := a.Put("owned-by-a", []byte("evidence-a")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Get("owned-by-a")
+	if err != nil || string(got) != "evidence-a" {
+		t.Fatalf("b cannot see a's write: %q, %v", got, err)
+	}
+
+	if err := b.Put("owned-by-a", []byte("evidence-b")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = a.Get("owned-by-a")
+	if err != nil || string(got) != "evidence-b" {
+		t.Fatalf("a cannot see b's overwrite: %q, %v", got, err)
+	}
+
+	if err := a.Delete("owned-by-a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Get("owned-by-a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("b cannot see a's delete: err = %v", err)
+	}
+
+	// Hammer both handles concurrently; afterwards every session must
+	// decode cleanly from a fresh open (no interleaved/corrupt bytes).
+	var wg sync.WaitGroup
+	for i, h := range []*JournalStore{a, b} {
+		wg.Add(1)
+		go func(i int, h *JournalStore) {
+			defer wg.Done()
+			for n := 0; n < 200; n++ {
+				id := fmt.Sprintf("w%d-%d", i, n%20)
+				if err := h.Put(id, []byte(id+"-payload")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i, h)
+	}
+	wg.Wait()
+	a.Close()
+	b.Close()
+
+	c := openTestJournal(t, path)
+	ids, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 40 {
+		t.Fatalf("after concurrent writes, %d sessions live, want 40", len(ids))
+	}
+	for _, id := range ids {
+		got, err := c.Get(id)
+		if err != nil || string(got) != id+"-payload" {
+			t.Fatalf("session %s corrupted: %q, %v", id, got, err)
+		}
+	}
+}
+
+func TestJournalNoCompactionWhileShared(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sessions.jnl")
+	a := openTestJournal(t, path)
+	for round := 0; round < 50; round++ {
+		if err := a.Put("s", bytes.Repeat([]byte("y"), 512)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a still holds the journal open (shared lock): b must not compact
+	// out from under it even with an aggressive threshold.
+	b := openTestJournal(t, path, WithCompactMinWaste(1))
+	if b.Compacted() {
+		t.Fatal("compacted while another store held the journal")
+	}
+	if got, err := b.Get("s"); err != nil || len(got) != 512 {
+		t.Fatalf("Get via shared opener: %d bytes, %v", len(got), err)
+	}
+}
+
+func TestJournalFlushSyncsBatchedAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sessions.jnl")
+	j := openTestJournal(t, path) // SyncInterval < 0: only Flush syncs
+	if err := j.Put("s", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	j.mu.Lock()
+	dirty := j.dirty
+	j.mu.Unlock()
+	if dirty {
+		t.Fatal("Flush left the journal dirty")
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.Size()
+}

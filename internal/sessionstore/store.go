@@ -1,0 +1,121 @@
+// Package sessionstore persists session state blobs so interactive
+// sessions survive process restarts and migrate between API replicas.
+// The paper's methodology rests on long-lived sessions whose implicit
+// evidence accumulates across iterations; a SessionStore makes that
+// evidence durable instead of living in one process's RAM.
+//
+// The store deals in opaque byte payloads keyed by session ID — the
+// codec (internal/core's versioned session snapshot) is the caller's
+// business. Two implementations ship: an in-memory store (tests,
+// single-process deployments that only want the interface) and a
+// crash-safe append-only journal (JournalStore) that multiple replica
+// processes can share.
+package sessionstore
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// Errors shared by every implementation.
+var (
+	// ErrNotFound reports an unknown (or deleted) session ID.
+	ErrNotFound = errors.New("sessionstore: session not found")
+	// ErrClosed reports use after Close.
+	ErrClosed = errors.New("sessionstore: store closed")
+)
+
+// SessionStore persists session state blobs by session ID. All
+// methods are safe for concurrent use. Get returns ErrNotFound for
+// unknown IDs; Delete of an unknown ID is a no-op (replicas race on
+// cleanup, so idempotence is the useful contract).
+type SessionStore interface {
+	// Put stores (or replaces) a session's serialized state.
+	Put(id string, state []byte) error
+	// Get returns a copy of a session's latest serialized state.
+	Get(id string) ([]byte, error)
+	// Delete removes a session. Unknown IDs are not an error.
+	Delete(id string) error
+	// List returns the stored session IDs, sorted.
+	List() ([]string, error)
+	// Close releases resources; further calls return ErrClosed.
+	Close() error
+}
+
+// MemoryStore is the trivial in-RAM SessionStore: durable across
+// SessionManager evictions but not across process restarts. Useful in
+// tests and anywhere the interface is wanted without a disk footprint.
+type MemoryStore struct {
+	mu     sync.RWMutex
+	m      map[string][]byte
+	closed bool
+}
+
+// NewMemoryStore creates an empty in-memory store.
+func NewMemoryStore() *MemoryStore {
+	return &MemoryStore{m: make(map[string][]byte)}
+}
+
+// Put implements SessionStore.
+func (s *MemoryStore) Put(id string, state []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	cp := make([]byte, len(state))
+	copy(cp, state)
+	s.m[id] = cp
+	return nil
+}
+
+// Get implements SessionStore.
+func (s *MemoryStore) Get(id string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	state, ok := s.m[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	cp := make([]byte, len(state))
+	copy(cp, state)
+	return cp, nil
+}
+
+// Delete implements SessionStore.
+func (s *MemoryStore) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	delete(s.m, id)
+	return nil
+}
+
+// List implements SessionStore.
+func (s *MemoryStore) List() ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	ids := make([]string, 0, len(s.m))
+	for id := range s.m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Close implements SessionStore. Idempotent.
+func (s *MemoryStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}

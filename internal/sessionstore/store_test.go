@@ -1,0 +1,130 @@
+package sessionstore
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// storeConformance exercises the SessionStore contract that both
+// implementations must share.
+func storeConformance(t *testing.T, s SessionStore) {
+	t.Helper()
+
+	if _, err := s.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(missing) err = %v, want ErrNotFound", err)
+	}
+	if err := s.Delete("missing"); err != nil {
+		t.Fatalf("Delete(missing) = %v, want nil (idempotent)", err)
+	}
+
+	if err := s.Put("b", []byte("beta")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Put("a", []byte("alpha")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := s.Get("a")
+	if err != nil || string(got) != "alpha" {
+		t.Fatalf("Get(a) = %q, %v", got, err)
+	}
+
+	// Overwrite replaces.
+	if err := s.Put("a", []byte("alpha2")); err != nil {
+		t.Fatalf("Put overwrite: %v", err)
+	}
+	got, _ = s.Get("a")
+	if string(got) != "alpha2" {
+		t.Fatalf("Get after overwrite = %q", got)
+	}
+
+	// List is sorted.
+	ids, err := s.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if want := []string{"a", "b"}; !reflect.DeepEqual(ids, want) {
+		t.Fatalf("List = %v, want %v", ids, want)
+	}
+
+	// Returned payloads are copies: mutating them must not corrupt
+	// the store.
+	got[0] = 'X'
+	again, _ := s.Get("a")
+	if string(again) != "alpha2" {
+		t.Fatalf("store payload aliased by Get: %q", again)
+	}
+
+	// So are inputs.
+	in := []byte("gamma")
+	if err := s.Put("c", in); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	in[0] = 'X'
+	got, _ = s.Get("c")
+	if string(got) != "gamma" {
+		t.Fatalf("store payload aliased by Put: %q", got)
+	}
+
+	if err := s.Delete("a"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := s.Get("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete err = %v, want ErrNotFound", err)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil (idempotent)", err)
+	}
+	if _, err := s.Get("b"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after close err = %v, want ErrClosed", err)
+	}
+	if err := s.Put("b", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after close err = %v, want ErrClosed", err)
+	}
+}
+
+func TestMemoryStoreConformance(t *testing.T) {
+	storeConformance(t, NewMemoryStore())
+}
+
+func TestJournalStoreConformance(t *testing.T) {
+	j, err := OpenJournal(t.TempDir()+"/sessions.jnl", WithSyncInterval(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeConformance(t, j)
+}
+
+func TestMemoryStoreConcurrent(t *testing.T) {
+	s := NewMemoryStore()
+	defer s.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := fmt.Sprintf("s%d-%d", w, i%10)
+				if err := s.Put(id, []byte(id)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Get(id); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.List(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -16,6 +16,11 @@ import (
 // the server mints one. The response always echoes it.
 const RequestIDHeader = "X-Request-Id"
 
+// ReplicaHeader names the replica that served a response. Set on
+// every response when the server was given a replica ID, so clients
+// and the front tier can observe session affinity and failover.
+const ReplicaHeader = "X-IVR-Replica"
+
 type ctxKey int
 
 const requestIDKey ctxKey = 0
@@ -55,6 +60,9 @@ func (s *Server) withMiddleware(next http.Handler) http.Handler {
 			reqID = newRequestID()
 		}
 		w.Header().Set(RequestIDHeader, reqID)
+		if s.replicaID != "" {
+			w.Header().Set(ReplicaHeader, s.replicaID)
+		}
 		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, reqID))
 
 		rec := metrics.NewStatusRecorder(w)

@@ -46,6 +46,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/profile"
 	"repro/internal/retrieval"
+	"repro/internal/sessionstore"
 )
 
 // Error codes in the envelope; stable API vocabulary for clients.
@@ -54,6 +55,7 @@ const (
 	codeNotFound = "not_found"
 	codeInternal = "internal"
 	codeTooMany  = "too_many_sessions"
+	codeDraining = "draining"
 )
 
 // Pagination bounds.
@@ -66,12 +68,13 @@ const (
 // concurrent use; per-session serialization is the SessionManager's
 // job. Close releases the manager's sweeper when the server owns it.
 type Server struct {
-	sys     *core.System
-	mgr     *core.SessionManager
-	log     *slog.Logger
-	metrics *metrics.Registry
-	ownsMgr bool
-	handler http.Handler
+	sys       *core.System
+	mgr       *core.SessionManager
+	log       *slog.Logger
+	metrics   *metrics.Registry
+	ownsMgr   bool
+	replicaID string
+	handler   http.Handler
 }
 
 // Option configures a Server.
@@ -82,6 +85,8 @@ type serverConfig struct {
 	mgr         *core.SessionManager
 	sessionTTL  time.Duration
 	maxSessions int
+	store       sessionstore.SessionStore
+	replicaID   string
 }
 
 // WithLogger routes request and error logs (default: discard).
@@ -107,6 +112,22 @@ func WithSessionManager(m *core.SessionManager) Option {
 	return func(c *serverConfig) { c.mgr = m }
 }
 
+// WithSessionStore makes sessions durable: every mutation is written
+// through, misses restore lazily, and drain/shutdown flushes (see
+// core.ManagerOptions.Store). The caller keeps ownership of the store
+// and closes it after the server. Ignored when WithSessionManager is
+// given (configure the manager's Store directly instead).
+func WithSessionStore(st sessionstore.SessionStore) Option {
+	return func(c *serverConfig) { c.store = st }
+}
+
+// WithReplicaID names this replica in a multi-replica deployment: the
+// name is echoed on every response (X-IVR-Replica), in healthz and in
+// metrics, so the front tier and dashboards can tell replicas apart.
+func WithReplicaID(id string) Option {
+	return func(c *serverConfig) { c.replicaID = id }
+}
+
 // NewServer wraps a system, building (and owning) a SessionManager
 // unless one is supplied.
 func NewServer(sys *core.System, opts ...Option) (*Server, error) {
@@ -117,7 +138,7 @@ func NewServer(sys *core.System, opts ...Option) (*Server, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	s := &Server{sys: sys, mgr: cfg.mgr, log: cfg.logger, metrics: metrics.NewRegistry()}
+	s := &Server{sys: sys, mgr: cfg.mgr, log: cfg.logger, metrics: metrics.NewRegistry(), replicaID: cfg.replicaID}
 	if s.log == nil {
 		s.log = slog.New(slog.DiscardHandler)
 	}
@@ -125,6 +146,7 @@ func NewServer(sys *core.System, opts ...Option) (*Server, error) {
 		m, err := core.NewSessionManager(sys, core.ManagerOptions{
 			TTL:         cfg.sessionTTL,
 			MaxSessions: cfg.maxSessions,
+			Store:       cfg.store,
 		})
 		if err != nil {
 			return nil, err
@@ -138,6 +160,16 @@ func NewServer(sys *core.System, opts ...Option) (*Server, error) {
 
 // Manager exposes the session manager (ops and tests).
 func (s *Server) Manager() *core.SessionManager { return s.mgr }
+
+// ReplicaID reports the name set with WithReplicaID ("" when unset).
+func (s *Server) ReplicaID() string { return s.replicaID }
+
+// BeginDrain puts the server into drain mode: resident sessions are
+// flushed to the store and session-touching requests answer 503 with
+// a Retry-After so the front tier re-routes them to a sibling replica.
+// Returns how many sessions were flushed. There is no un-drain; the
+// process is expected to shut down next.
+func (s *Server) BeginDrain() (int, error) { return s.mgr.Drain() }
 
 // Metrics exposes the server's telemetry registry (ops and tests).
 func (s *Server) Metrics() *metrics.Registry { return s.metrics }
@@ -235,6 +267,11 @@ func writeManagerErr(w http.ResponseWriter, err error, sessionID string) {
 		writeCode(w, http.StatusNotFound, codeNotFound, "unknown session %q", sessionID)
 	case errors.Is(err, core.ErrTooManySessions):
 		writeCode(w, http.StatusServiceUnavailable, codeTooMany, "session capacity reached")
+	case errors.Is(err, core.ErrDraining):
+		// The replica is handing its sessions off; state is already in
+		// the shared store, so the request succeeds anywhere else.
+		w.Header().Set("Retry-After", "1")
+		writeCode(w, http.StatusServiceUnavailable, codeDraining, "replica draining, retry elsewhere")
 	default:
 		writeCode(w, http.StatusInternalServerError, codeInternal, "%v", err)
 	}
@@ -409,6 +446,10 @@ type sessionCounters struct {
 	Live    int   `json:"live"`
 	Created int64 `json:"created"`
 	Evicted int64 `json:"evicted"`
+	// Durability counters (all zero without a session store).
+	Restored      int64 `json:"restored,omitempty"`
+	Persisted     int64 `json:"persisted,omitempty"`
+	PersistErrors int64 `json:"persist_errors,omitempty"`
 }
 
 // metricsResponse is the /api/v1/metrics schema: the registry
@@ -417,6 +458,8 @@ type sessionCounters struct {
 // section (result-cache counters + per-segment fan-out timing).
 type metricsResponse struct {
 	metrics.Snapshot
+	Replica  string             `json:"replica,omitempty"`
+	Draining bool               `json:"draining,omitempty"`
 	Sessions sessionCounters    `json:"sessions"`
 	Search   retrieval.Snapshot `json:"search"`
 }
@@ -425,8 +468,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	st := s.mgr.Stats()
 	writeJSON(w, http.StatusOK, metricsResponse{
 		Snapshot: s.metrics.TakeSnapshot(),
-		Sessions: sessionCounters{Live: st.Live, Created: st.Created, Evicted: st.Evicted},
-		Search:   s.sys.RetrievalSnapshot(),
+		Replica:  s.replicaID,
+		Draining: s.mgr.Draining(),
+		Sessions: sessionCounters{
+			Live: st.Live, Created: st.Created, Evicted: st.Evicted,
+			Restored: st.Restored, Persisted: st.Persisted, PersistErrors: st.PersistErrors,
+		},
+		Search: s.sys.RetrievalSnapshot(),
 	})
 }
 
@@ -727,6 +775,8 @@ func (s *Server) handleShot(w http.ResponseWriter, r *http.Request) {
 // dashboards.
 type healthzResponse struct {
 	Status   string `json:"status"`
+	Replica  string `json:"replica,omitempty"`
+	Draining bool   `json:"draining,omitempty"`
 	Sessions int    `json:"sessions"`
 	Created  int64  `json:"sessions_created"`
 	Evicted  int64  `json:"sessions_evicted"`
@@ -734,8 +784,15 @@ type healthzResponse struct {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	st := s.mgr.Stats()
+	status := "ok"
+	if s.mgr.Draining() {
+		// Live, but asking the front tier to send sessions elsewhere.
+		status = "draining"
+	}
 	writeJSON(w, http.StatusOK, healthzResponse{
-		Status:   "ok",
+		Status:   status,
+		Replica:  s.replicaID,
+		Draining: s.mgr.Draining(),
 		Sessions: st.Live,
 		Created:  st.Created,
 		Evicted:  st.Evicted,
