@@ -17,6 +17,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/search"
 	"repro/internal/text"
+	"repro/internal/trace"
 	"repro/internal/webapi"
 )
 
@@ -254,6 +255,25 @@ func BenchmarkSearch(b *testing.B) {
 			}
 		})
 	}
+	// The traced variant of the sequential case prices the tracing
+	// subsystem: every iteration builds a live span tree (expand,
+	// prepare, segment, merge, cache spans) and files it into a
+	// collector, as a request with an active trace does. Compare with
+	// "sequential" to read the overhead; the acceptance bound is 5%.
+	b.Run("sequential_traced", func(b *testing.B) {
+		sess, q := benchAdaptedSession(b, repro.ImplicitOnly())
+		col := trace.NewCollector(trace.CollectorConfig{Tier: trace.TierServe})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr, root := trace.New("rbench", trace.TierServe, "GET /api/v1/search")
+			ctx := trace.NewContext(context.Background(), tr, root)
+			if _, err := sess.QueryContext(ctx, q); err != nil {
+				b.Fatal(err)
+			}
+			col.Finish(tr)
+		}
+	})
 }
 
 // benchHTTPSearch drives the full client→server search hot path

@@ -39,6 +39,7 @@ import (
 	"repro/internal/loadgen"
 	"repro/internal/retrieval"
 	"repro/internal/synth"
+	"repro/internal/trace"
 	"repro/internal/ui"
 )
 
@@ -61,6 +62,7 @@ func main() {
 		shots      = flag.Bool("shots", true, "fetch shot metadata for clicked results")
 		out        = flag.String("out", "", "write the machine-readable report JSON here")
 		timeout    = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+		traceEvery = flag.Int("trace-sample", 0, "request the server's span tree for every Nth search and print the sampled trees (0 disables)")
 	)
 	flag.Parse()
 
@@ -124,20 +126,21 @@ func main() {
 	}
 
 	d, err := loadgen.New(loadgen.Config{
-		Clients:    clients,
-		Users:      *users,
-		Sessions:   *sessions,
-		Iterations: *iterations,
-		Pacing:     loadgen.Pacing(*mode),
-		Rate:       *rate,
-		ThinkTime:  *think,
-		RampUp:     *ramp,
-		Duration:   *duration,
-		PageLimit:  *limit,
-		Seed:       *seed,
-		Iface:      iface,
-		Queries:    queries,
-		FetchShots: *shots,
+		Clients:     clients,
+		Users:       *users,
+		Sessions:    *sessions,
+		Iterations:  *iterations,
+		Pacing:      loadgen.Pacing(*mode),
+		Rate:        *rate,
+		ThinkTime:   *think,
+		RampUp:      *ramp,
+		Duration:    *duration,
+		PageLimit:   *limit,
+		Seed:        *seed,
+		Iface:       iface,
+		Queries:     queries,
+		FetchShots:  *shots,
+		TraceSample: *traceEvery,
 	})
 	if err != nil {
 		fail("%v", err)
@@ -148,6 +151,15 @@ func main() {
 		fail("run: %v", err)
 	}
 	fmt.Print(rep)
+	if len(rep.TraceSamples) > 0 {
+		fmt.Printf("  sampled traces (%d, every %dth search):\n", len(rep.TraceSamples), *traceEvery)
+		for _, s := range rep.TraceSamples {
+			fmt.Printf("    %s  %q  %.1fms\n", s.RequestID, s.Query, s.DurationMS)
+			for _, line := range strings.Split(strings.TrimRight(trace.FormatTree(s.Root), "\n"), "\n") {
+				fmt.Printf("      %s\n", line)
+			}
+		}
+	}
 
 	mismatches := 0
 	var after *client.MetricsSnapshot

@@ -25,6 +25,10 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	// Registers /debug/pprof on http.DefaultServeMux, served only when
+	// -pprof-addr starts the side listener below; the proxy handler is
+	// its own mux, so profiling never leaks onto the public address.
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -52,9 +56,12 @@ func main() {
 		probeInterval = flag.Duration("probe-interval", router.DefaultProbeInterval, "health poll cadence")
 		probeTimeout  = flag.Duration("probe-timeout", router.DefaultProbeTimeout, "per-probe deadline")
 		failThreshold = flag.Int("fail-threshold", router.DefaultFailThreshold, "consecutive probe failures before a replica leaves rotation")
+		slowQuery     = flag.Duration("slow-query", 0, "log the span tree of proxied requests slower than this to stderr as JSON (0 disables)")
+		pprofAddr     = flag.String("pprof-addr", "", "serve net/http/pprof on this side address (e.g. localhost:6062; empty disables)")
 		quiet         = flag.Bool("quiet", false, "suppress routing logs")
 	)
 	flag.Parse()
+	startPprof(*pprofAddr)
 	if *replicas == "" {
 		fail("-replicas is required (e.g. -replicas http://localhost:8081,http://localhost:8082)")
 	}
@@ -68,6 +75,7 @@ func main() {
 		ProbeInterval: *probeInterval,
 		ProbeTimeout:  *probeTimeout,
 		FailThreshold: *failThreshold,
+		SlowQuery:     *slowQuery,
 		Logger:        logger,
 	})
 	if err != nil {
@@ -96,6 +104,22 @@ func main() {
 			fail("shutdown: %v", err)
 		}
 	}
+}
+
+// startPprof serves net/http/pprof's /debug/pprof endpoints on a
+// dedicated side listener so the front tier can be profiled under live
+// load (see LOADTEST.md, "Profiling live traffic"). Empty addr
+// disables it. Bind to localhost (or firewall the port).
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		fmt.Printf("ivrroute: pprof on http://%s/debug/pprof/\n", addr)
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "ivrroute: pprof listener: %v\n", err)
+		}
+	}()
 }
 
 func fail(format string, args ...any) {

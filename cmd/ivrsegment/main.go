@@ -20,7 +20,9 @@
 //	GET  /rpc/v1/stats     topology + full per-term statistics
 //	POST /rpc/v1/search    score one hosted segment
 //	GET  /rpc/v1/healthz   liveness
-//	GET  /rpc/v1/metrics   per-route telemetry snapshot
+//	GET  /rpc/v1/metrics   per-route telemetry snapshot (?format=prometheus for text exposition)
+//	GET  /metrics          Prometheus text exposition alias for scrapers
+//	GET  /rpc/v1/debug/traces  recent span trees from the trace ring
 package main
 
 import (
@@ -56,6 +58,7 @@ func main() {
 		segments  = flag.Int("segments", 2, "total segment count of the topology (same on every server)")
 		host      = flag.String("host", "", "comma-separated segment ordinals to host (default: all)")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this side address (e.g. localhost:6061; empty disables)")
+		slowQuery = flag.Duration("slow-query", 0, "log the span tree of segment RPCs slower than this to stderr as JSON (0 disables)")
 		quiet     = flag.Bool("quiet", false, "suppress per-request logs")
 	)
 	flag.Parse()
@@ -96,6 +99,7 @@ func main() {
 		Sharded:    sh,
 		Hosted:     hosted,
 		SourceHash: distrib.CollectionSourceHash(arch.Collection),
+		SlowQuery:  *slowQuery,
 		Logger:     logger,
 	})
 	if err != nil {

@@ -83,6 +83,7 @@ func main() {
 		segAddrs    = flag.String("segment-addrs", "", "comma-separated ivrsegment base URLs; enables the distributed scatter/gather tier (static topology)")
 		segTimeout  = flag.Duration("segment-timeout", distrib.DefaultRPCTimeout, "per-segment RPC deadline in distributed mode")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty disables)")
+		slowQuery   = flag.Duration("slow-query", 0, "log the span tree of requests slower than this to stderr as JSON (0 disables)")
 		quiet       = flag.Bool("quiet", false, "suppress per-request logs")
 		sessStore   = flag.String("session-store", "", "journal file for durable sessions (empty = in-memory only); share one path between replicas behind ivrroute")
 		sessSync    = flag.Duration("session-sync", 100*time.Millisecond, "journal fsync batching interval (0 = fsync every write)")
@@ -167,6 +168,7 @@ func main() {
 		webapi.WithSessionTTL(*sessionTTL),
 		webapi.WithMaxSessions(*maxSessions),
 		webapi.WithReplicaID(*replicaID),
+		webapi.WithSlowQuery(*slowQuery),
 	}
 	// -session-store makes sessions durable: every touched session is
 	// written through to a crash-safe journal, so a restart (or a

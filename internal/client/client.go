@@ -34,6 +34,7 @@ import (
 	"repro/internal/ilog"
 	"repro/internal/metrics"
 	"repro/internal/retrieval"
+	"repro/internal/trace"
 )
 
 // Client calls one webapi server. Safe for concurrent use.
@@ -194,6 +195,10 @@ type SearchRequest struct {
 	Limit  int
 	// Categories facets results ("sports", "politics", ...).
 	Categories []string
+	// Trace asks the server to echo its span tree (X-IVR-Trace: 1);
+	// the decoded tree lands in SearchPage.Trace. Against the router
+	// the tree covers every tier the query crossed.
+	Trace bool
 }
 
 // SearchPage is one page of an adapted ranking.
@@ -206,6 +211,12 @@ type SearchPage struct {
 	Offset     int    `json:"offset"`
 	Limit      int    `json:"limit"`
 	Hits       []Hit  `json:"hits"`
+	// RequestID is the response's correlation ID (set from the
+	// X-Request-Id header, not the body).
+	RequestID string `json:"-"`
+	// Trace is the server's span tree, present only when the request
+	// set Trace and the server echoed one.
+	Trace *trace.Span `json:"-"`
 }
 
 // StreamSummary closes a streamed search.
@@ -363,7 +374,18 @@ func (c *Client) Search(ctx context.Context, req SearchRequest) (*SearchPage, er
 		return nil, err
 	}
 	var page SearchPage
-	if err := c.do(ctx, http.MethodGet, "/search", q, nil, &page, retryNever); err != nil {
+	var opts []doOpt
+	if req.Trace {
+		opts = append(opts,
+			withHeader(trace.Header, trace.RequestEcho),
+			onResponse(func(resp *http.Response) {
+				page.RequestID = resp.Header.Get(trace.RequestIDHeader)
+				if sp, derr := trace.DecodeSpan(resp.Header.Get(trace.Header)); derr == nil {
+					page.Trace = sp
+				}
+			}))
+	}
+	if err := c.do(ctx, http.MethodGet, "/search", q, nil, &page, retryNever, opts...); err != nil {
 		return nil, err
 	}
 	return &page, nil
@@ -524,12 +546,36 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// doOpt customises one call: extra request headers and a peek at the
+// successful response (Search uses both for the trace echo).
+type doOpt func(*doCfg)
+
+type doCfg struct {
+	headers    [][2]string
+	onResponse func(*http.Response)
+}
+
+// withHeader adds one request header to every attempt.
+func withHeader(k, v string) doOpt {
+	return func(c *doCfg) { c.headers = append(c.headers, [2]string{k, v}) }
+}
+
+// onResponse runs fn on the 2xx response before the body decodes
+// (response headers are valid inside fn; the body is not).
+func onResponse(fn func(*http.Response)) doOpt {
+	return func(c *doCfg) { c.onResponse = fn }
+}
+
 // do runs one API call, retrying when the call site marked it safe,
 // decoding a 2xx body into out and everything else into *APIError.
 // 503s from a draining replica are always retried (honouring the
 // server's Retry-After) up to drainRetries times: drain is a routing
 // condition, not an error the virtual user should see.
-func (c *Client) do(ctx context.Context, method, path string, query url.Values, body, out any, retry bool) error {
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, body, out any, retry bool, opts ...doOpt) error {
+	var dc doCfg
+	for _, o := range opts {
+		o(&dc)
+	}
 	attempts := 1
 	if retry {
 		attempts += c.retries
@@ -547,11 +593,17 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 		if err != nil {
 			return err
 		}
+		for _, h := range dc.headers {
+			req.Header.Set(h[0], h[1])
+		}
 		resp, err := c.httpClient.Do(req)
 		if err == nil && resp.StatusCode < 500 {
 			defer resp.Body.Close()
 			if resp.StatusCode < 200 || resp.StatusCode > 299 {
 				return decodeAPIError(resp)
+			}
+			if dc.onResponse != nil {
+				dc.onResponse(resp)
 			}
 			if out != nil {
 				if err := json.NewDecoder(resp.Body).Decode(out); err != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
@@ -14,6 +15,7 @@ import (
 
 	"repro/internal/profile"
 	"repro/internal/sessionstore"
+	"repro/internal/trace"
 )
 
 // Manager errors. Callers (the web API, load generators) branch on
@@ -382,13 +384,13 @@ func (m *SessionManager) restoreFromStore(id string) (*managedSession, error) {
 // earlier, or created by another replica) falls through to a store
 // restore, so TTL expiry and replica failover are both invisible to
 // the caller.
-func (m *SessionManager) lookup(id string) (*managedSession, error) {
+func (m *SessionManager) lookup(ctx context.Context, id string) (*managedSession, error) {
 	sh := m.shardOf(id)
 	sh.mu.RLock()
 	ms := sh.sessions[id]
 	sh.mu.RUnlock()
 	if ms == nil {
-		return m.restoreFromStore(id)
+		return m.restoreTraced(ctx, id)
 	}
 	if ttl := m.opts.TTL; ttl > 0 {
 		ms.mu.Lock()
@@ -409,17 +411,37 @@ func (m *SessionManager) lookup(id string) (*managedSession, error) {
 			m.stats.Lock()
 			m.stats.evicted++
 			m.stats.Unlock()
-			return m.restoreFromStore(id)
+			return m.restoreTraced(ctx, id)
 		}
 	}
 	return ms, nil
+}
+
+// restoreTraced wraps a store restore in a "restore" span so traced
+// queries show when session state had to be rebuilt from the store
+// (first access after eviction, restart, or failover adoption) rather
+// than served from RAM. Free when ctx carries no trace.
+func (m *SessionManager) restoreTraced(ctx context.Context, id string) (*managedSession, error) {
+	_, sp := trace.StartSpan(ctx, "restore")
+	ms, err := m.restoreFromStore(id)
+	sp.End()
+	return ms, err
 }
 
 // With runs fn holding id's per-session lock; the *Session must not
 // escape fn. Touches the idle clock. Returns ErrSessionNotFound for
 // unknown, deleted, or expired sessions, otherwise fn's error.
 func (m *SessionManager) With(id string, fn func(*Session) error) error {
-	return m.withSession(id, fn, true)
+	return m.withSession(context.Background(), id, fn, true)
+}
+
+// WithContext is With with a caller context: cancellation reaches the
+// session's remote work, and an active trace in ctx records a
+// "restore" span when the session has to be rebuilt from the store.
+// The context is NOT passed to fn — fn receives the session and uses
+// Session.QueryContext and friends with the same ctx itself.
+func (m *SessionManager) WithContext(ctx context.Context, id string, fn func(*Session) error) error {
+	return m.withSession(ctx, id, fn, true)
 }
 
 // Inspect is With without touching the idle clock: read-only
@@ -429,10 +451,10 @@ func (m *SessionManager) With(id string, fn func(*Session) error) error {
 // expired sessions — an expired session is collected on inspection,
 // not resurrected.
 func (m *SessionManager) Inspect(id string, fn func(*Session) error) error {
-	return m.withSession(id, fn, false)
+	return m.withSession(context.Background(), id, fn, false)
 }
 
-func (m *SessionManager) withSession(id string, fn func(*Session) error, touch bool) error {
+func (m *SessionManager) withSession(ctx context.Context, id string, fn func(*Session) error, touch bool) error {
 	if m.isClosed() {
 		return ErrManagerClosed
 	}
@@ -441,7 +463,7 @@ func (m *SessionManager) withSession(id string, fn func(*Session) error, touch b
 		// session belongs on the replica that adopts it.
 		return ErrDraining
 	}
-	ms, err := m.lookup(id)
+	ms, err := m.lookup(ctx, id)
 	if err != nil {
 		return err
 	}
@@ -477,7 +499,7 @@ func (m *SessionManager) Delete(id string) error {
 	if m.draining.Load() {
 		return ErrDraining
 	}
-	ms, err := m.lookup(id)
+	ms, err := m.lookup(context.Background(), id)
 	if err != nil {
 		return err
 	}

@@ -1,13 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 
 	"repro/internal/feedback"
 	"repro/internal/ilog"
 	"repro/internal/profile"
 	"repro/internal/retrieval"
 	"repro/internal/search"
+	"repro/internal/trace"
 )
 
 // Session is one user's search session against a System: it holds the
@@ -74,7 +77,14 @@ func (sess *Session) HasSeen(shotID string) bool { return sess.seen[shotID] }
 //
 // Each call advances the session step.
 func (sess *Session) Query(queryText string) (search.Results, error) {
-	return sess.QueryFiltered(queryText, nil)
+	return sess.QueryFilteredContext(context.Background(), queryText, nil)
+}
+
+// QueryContext is Query with a caller context: cancellation reaches
+// remote segment backends, and an active trace in ctx records the
+// per-stage spans (expand, cache, prepare, segment, merge).
+func (sess *Session) QueryContext(ctx context.Context, queryText string) (search.Results, error) {
+	return sess.QueryFilteredContext(ctx, queryText, nil)
 }
 
 // QueryFiltered is Query with a metadata filter restricting the
@@ -90,6 +100,12 @@ func (sess *Session) Query(queryText string) (search.Results, error) {
 // cache can never serve results that predate the session's evidence.
 // Filtered queries bypass the cache (filters are opaque predicates).
 func (sess *Session) QueryFiltered(queryText string, filter ShotFilter) (search.Results, error) {
+	return sess.QueryFilteredContext(context.Background(), queryText, filter)
+}
+
+// QueryFilteredContext is QueryFiltered with a caller context (see
+// QueryContext).
+func (sess *Session) QueryFilteredContext(ctx context.Context, queryText string, filter ShotFilter) (search.Results, error) {
 	sys := sess.sys
 	q := sys.engine.ParseText(queryText)
 	var mass map[string]float64
@@ -101,6 +117,7 @@ func (sess *Session) QueryFiltered(queryText string, filter ShotFilter) (search.
 		if sys.config.UseImplicit {
 			// Confidence-scaled expansion: adaptation strength grows
 			// with the accumulated positive evidence mass and saturates.
+			_, exp := trace.StartSpan(ctx, "expand")
 			var totalPos float64
 			for _, m := range mass {
 				if m > 0 {
@@ -112,8 +129,12 @@ func (sess *Session) QueryFiltered(queryText string, filter ShotFilter) (search.
 				beta *= totalPos / sat
 			}
 			rq = sys.expander.Expand(rq, mass, sys.config.ExpandTerms, beta)
+			if exp != nil {
+				exp.SetAttr("terms", strconv.Itoa(len(rq.Terms)))
+				exp.End()
+			}
 		}
-		return sys.engine.Search(rq, search.Options{
+		return sys.engine.SearchContext(ctx, rq, search.Options{
 			K:      sys.config.K,
 			Scorer: sys.config.Scorer,
 			Filter: filter,
@@ -123,7 +144,14 @@ func (sess *Session) QueryFiltered(queryText string, filter ShotFilter) (search.
 	var err error
 	if sys.cache.Enabled() && filter == nil {
 		key := retrieval.Key(retrieval.QueryKey(q), retrieval.EvidenceKey(mass), sys.cfgKey)
-		res, _, err = sys.cache.Do(key, retrieve)
+		cctx, csp := trace.StartSpan(ctx, "cache")
+		ctx = cctx // nested expand/search spans belong under "cache"
+		var hit bool
+		res, hit, err = sys.cache.Do(key, retrieve)
+		if csp != nil {
+			csp.SetAttr("hit", strconv.FormatBool(hit))
+			csp.End()
+		}
 	} else {
 		res, err = retrieve()
 	}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/retrieval"
 	"repro/internal/search"
 	"repro/internal/text"
+	"repro/internal/trace"
 )
 
 // Config selects and parameterises the adaptation behaviours.
@@ -173,6 +174,9 @@ type System struct {
 	// distributed merge tier's per-backend RPC telemetry to
 	// RetrievalSnapshot.
 	backendSnap func() []retrieval.BackendSummary
+	// stageSnap, when wired (SetStageTelemetry), contributes per-stage
+	// duration quantiles from the trace collector to RetrievalSnapshot.
+	stageSnap func() []trace.StageSummary
 }
 
 // NewSystem wires a system. engine and coll must be non-nil and built
@@ -234,6 +238,12 @@ func (s *System) Cache() *retrieval.Cache { return s.cache }
 // wiring time, before the system serves queries.
 func (s *System) SetBackendTelemetry(fn func() []retrieval.BackendSummary) { s.backendSnap = fn }
 
+// SetStageTelemetry wires the trace collector's per-stage duration
+// quantiles into RetrievalSnapshot (the web API calls this with its
+// collector's StageSummaries). Install at wiring time, before the
+// system serves queries.
+func (s *System) SetStageTelemetry(fn func() []trace.StageSummary) { s.stageSnap = fn }
+
 // RetrievalSnapshot reports the engine-layer telemetry: cache
 // counters, per-segment scoring latency, the scoring kernel's pool
 // counters, and — on a distributed system — per-backend RPC counters.
@@ -246,6 +256,9 @@ func (s *System) RetrievalSnapshot() retrieval.Snapshot {
 	}
 	if s.backendSnap != nil {
 		snap.Backends = s.backendSnap()
+	}
+	if s.stageSnap != nil {
+		snap.Stages = s.stageSnap()
 	}
 	return snap
 }

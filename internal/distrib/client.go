@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Fault sentinels, matchable through errors.Is on any *BackendError.
@@ -151,9 +152,24 @@ func (b *backend) search(ctx context.Context, sreq SearchRequest) (*SearchRespon
 		return nil, b.fail(sreq.Segment, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Cross-process correlation: forward the query's request ID and ask
+	// the backend to echo its server-side span tree, which is grafted
+	// under the current (per-segment) span — client-observed RPC time
+	// and server-observed scoring time then sit parent and child in one
+	// tree, making network/queue time the visible gap between them.
+	tr := trace.FromContext(ctx)
+	if tr != nil {
+		req.Header.Set(trace.RequestIDHeader, tr.ID)
+		req.Header.Set(trace.Header, trace.RequestEcho)
+	}
 	resp, err := b.hc.Do(req)
 	if err != nil {
 		return nil, b.fail(sreq.Segment, err)
+	}
+	if tr != nil {
+		if remote, derr := trace.DecodeSpan(resp.Header.Get(trace.Header)); derr == nil {
+			trace.SpanFromContext(ctx).Graft(remote)
+		}
 	}
 	var out SearchResponse
 	if err := decodeRPC(resp, &out); err != nil {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/retrieval"
 	"repro/internal/search"
 	"repro/internal/text"
+	"repro/internal/trace"
 )
 
 // DefaultRPCTimeout bounds one segment RPC when no option overrides
@@ -265,7 +266,7 @@ func (r *remoteSegment) NumDocs() int { return r.numDocs }
 // bit-identical (at the cost of a fatter response; the serving layer
 // only passes filters for category-faceted queries, which also bypass
 // the result cache).
-func (r *remoteSegment) SearchSegment(p *search.PreparedQuery,
+func (r *remoteSegment) SearchSegment(ctx context.Context, p *search.PreparedQuery,
 	filter func(string) bool, k int) (search.SegmentResult, error) {
 	q, stats := p.Query(), p.Stats()
 	spec, err := SpecForScorer(p.Scorer())
@@ -292,7 +293,13 @@ func (r *remoteSegment) SearchSegment(p *search.PreparedQuery,
 			DF: st.DF, CF: st.CF, Weight: st.Weight,
 		}
 	}
-	resp, err := r.b.search(context.Background(), req)
+	// The engine's per-"segment" span is current in ctx here; annotate
+	// it with where this ordinal actually went so a straggler backend
+	// is identifiable from the trace alone.
+	if sp := trace.SpanFromContext(ctx); sp != nil {
+		sp.SetAttr("backend", r.b.addr)
+	}
+	resp, err := r.b.search(ctx, req)
 	if err != nil {
 		return search.SegmentResult{}, err
 	}

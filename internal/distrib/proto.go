@@ -22,10 +22,16 @@
 // RPC surface (all JSON; errors use the same envelope as /api/v1,
 // {"error":{"code","message"}}):
 //
-//	GET  /rpc/v1/stats    segment topology + full per-term statistics
-//	POST /rpc/v1/search   score one hosted segment with shipped stats
-//	GET  /rpc/v1/healthz  liveness
-//	GET  /rpc/v1/metrics  per-route telemetry snapshot
+//	GET  /rpc/v1/stats         segment topology + full per-term statistics
+//	POST /rpc/v1/search        score one hosted segment with shipped stats
+//	GET  /rpc/v1/healthz       liveness
+//	GET  /rpc/v1/metrics       per-route telemetry snapshot (?format=prometheus for text exposition)
+//	GET  /rpc/v1/debug/traces  ring of recently finished query traces
+//	GET  /metrics              Prometheus scrape alias
+//
+// Search requests carry the trace header contract (X-Request-Id
+// honoured and echoed; X-IVR-Trace: 1 asks the server to serialise its
+// span tree into the response header — see package trace).
 package distrib
 
 import (
@@ -44,6 +50,11 @@ const (
 	SearchPath  = "/rpc/v1/search"
 	HealthPath  = "/rpc/v1/healthz"
 	MetricsPath = "/rpc/v1/metrics"
+	// TracesPath serves the ring of recently finished traces.
+	TracesPath = "/rpc/v1/debug/traces"
+	// MetricsAliasPath is the conventional Prometheus scrape path; it
+	// serves MetricsPath's ?format=prometheus rendering.
+	MetricsAliasPath = "/metrics"
 )
 
 // MaxSearchBody bounds /rpc/v1/search request bodies. Expanded queries

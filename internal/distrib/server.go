@@ -7,11 +7,13 @@ import (
 	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/index"
 	"repro/internal/metrics"
 	"repro/internal/search"
+	"repro/internal/trace"
 )
 
 // ServerConfig wires a SegmentServer.
@@ -32,6 +34,12 @@ type ServerConfig struct {
 	SourceHash uint64
 	// Logger receives request logs (nil discards).
 	Logger *slog.Logger
+	// SlowQuery logs any traced request at least this slow as a
+	// structured slow-query line with its full span tree (0 disables).
+	SlowQuery time.Duration
+	// TraceRing bounds the ring of recently finished traces served at
+	// TracesPath (0 = the trace package default).
+	TraceRing int
 }
 
 // SegmentServer hosts index segments behind the /rpc/v1 surface. It is
@@ -44,6 +52,7 @@ type SegmentServer struct {
 	statsBody  []byte // precomputed: the index is immutable
 	log        *slog.Logger
 	metrics    *metrics.Registry
+	tracer     *trace.Collector
 	handler    http.Handler
 }
 
@@ -87,7 +96,19 @@ func NewSegmentServer(cfg ServerConfig) (*SegmentServer, error) {
 		return nil, fmt.Errorf("distrib: encode stats: %w", err)
 	}
 	s.statsBody = body
-	s.handler = s.withRequestLog(s.routes())
+	s.tracer = trace.NewCollector(trace.CollectorConfig{
+		Tier:          trace.TierSegment,
+		RingSize:      cfg.TraceRing,
+		SlowThreshold: cfg.SlowQuery,
+	})
+	traced := trace.HTTPMiddleware(trace.HTTPConfig{
+		Tier:      trace.TierSegment,
+		Collector: s.tracer,
+		// Only scoring work is worth a trace; probes and scrapes would
+		// drown the ring.
+		Skip: func(path string) bool { return path != SearchPath },
+	})
+	s.handler = s.withRequestLog(traced(s.routes()))
 	return s, nil
 }
 
@@ -138,6 +159,8 @@ func (s *SegmentServer) routes() http.Handler {
 	handle("POST "+SearchPath, s.handleSearch)
 	handle("GET "+HealthPath, s.handleHealthz)
 	handle("GET "+MetricsPath, s.handleMetrics)
+	handle("GET "+MetricsAliasPath, s.handlePrometheus)
+	handle("GET "+TracesPath, s.handleTraces)
 	notFound := func(w http.ResponseWriter, r *http.Request) {
 		writeRPCError(w, http.StatusNotFound, codeNotFound, "no route %s %s", r.Method, r.URL.Path)
 	}
@@ -218,8 +241,26 @@ func (s *SegmentServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}{"ok", s.sh.NumSegments(), s.Hosted()})
 }
 
-func (s *SegmentServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *SegmentServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		s.handlePrometheus(w, r)
+		return
+	}
 	writeRPCJSON(w, http.StatusOK, s.metrics.TakeSnapshot())
+}
+
+func (s *SegmentServer) handlePrometheus(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", metrics.PrometheusContentType)
+	w.WriteHeader(http.StatusOK)
+	_ = s.metrics.WritePrometheus(w, trace.TierSegment)
+}
+
+// handleTraces serves the ring of recently finished traces, newest
+// first.
+func (s *SegmentServer) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	writeRPCJSON(w, http.StatusOK, struct {
+		Traces []*trace.Entry `json:"traces"`
+	}{s.tracer.Traces()})
 }
 
 // handleSearch scores one hosted segment with the request's global
@@ -227,8 +268,11 @@ func (s *SegmentServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // in-process fan-out runs.
 func (s *SegmentServer) handleSearch(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, MaxSearchBody)
+	_, dec := trace.StartSpan(r.Context(), "decode")
 	var req SearchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	err := json.NewDecoder(r.Body).Decode(&req)
+	dec.End()
+	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeRPCError(w, http.StatusRequestEntityTooLarge, codeTooLarge,
@@ -282,10 +326,16 @@ func (s *SegmentServer) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// Compile from the wire statistics and run the same dense kernel
 	// as the in-process fan-out: identical inputs, identical compiled
 	// constants, bit-identical scores.
+	_, sc := trace.StartSpan(r.Context(), "score")
 	p := search.PrepareQuery(q, stats, scorer)
 	res := p.ScoreSegment(seg, func(d index.DocID) index.DocID {
 		return s.sh.GlobalID(ordinal, d)
 	}, nil, req.K)
+	if sc != nil {
+		sc.SetAttr("segment", strconv.Itoa(ordinal))
+		sc.SetAttr("candidates", strconv.Itoa(res.Candidates))
+		sc.End()
+	}
 	hits := make([]WireHit, len(res.Hits))
 	for i, h := range res.Hits {
 		hits[i] = WireHit{Doc: uint32(h.Doc), ID: h.ID, Score: h.Score}

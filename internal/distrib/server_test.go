@@ -239,12 +239,14 @@ func TestRPCRouteLabelNormalization(t *testing.T) {
 	}
 	snap := srv.Metrics().TakeSnapshot()
 	allowed := map[string]bool{
-		"GET " + StatsPath:   true,
-		"POST " + SearchPath: true,
-		"GET " + HealthPath:  true,
-		"GET " + MetricsPath: true,
-		routeRPCUnmatched:    true,
-		routeUnmatched:       true,
+		"GET " + StatsPath:        true,
+		"POST " + SearchPath:      true,
+		"GET " + HealthPath:       true,
+		"GET " + MetricsPath:      true,
+		"GET " + MetricsAliasPath: true,
+		"GET " + TracesPath:       true,
+		routeRPCUnmatched:         true,
+		routeUnmatched:            true,
 	}
 	for route := range snap.Routes {
 		if !allowed[route] {

@@ -127,6 +127,11 @@ type Config struct {
 	// FetchShots also fetches GET /shots/{id} for every clicked
 	// result, as a front-end rendering a player would.
 	FetchShots bool
+	// TraceSample asks the server to echo its span tree for every Nth
+	// search across the whole pool (0 = off). Sampled trees land in
+	// Report.TraceSamples, capped at maxTraceSamples, so a long run
+	// keeps representative traces without unbounded memory.
+	TraceSample int
 }
 
 // Driver runs one configured workload. Create with New; a Driver is
@@ -199,6 +204,9 @@ func New(cfg Config) (*Driver, error) {
 	if cfg.RelevanceRate < 0 || cfg.RelevanceRate > 1 {
 		return nil, fmt.Errorf("loadgen: RelevanceRate %v outside [0,1]", cfg.RelevanceRate)
 	}
+	if cfg.TraceSample < 0 {
+		return nil, fmt.Errorf("loadgen: negative TraceSample")
+	}
 	return &Driver{cfg: cfg}, nil
 }
 
@@ -213,6 +221,19 @@ type worker struct {
 	pol simulation.Policy
 	rng *rand.Rand
 	col *shardCollector
+	// traceSeq is the pool-wide search counter backing TraceSample:
+	// shared across workers so "every Nth search" means the Nth of the
+	// whole run, not of one virtual user. Nil when sampling is off.
+	traceSeq *atomic.Int64
+}
+
+// traceSampled claims the next pool-wide search ordinal and reports
+// whether this search should carry the trace-echo request.
+func (w *worker) traceSampled() bool {
+	if w.traceSeq == nil {
+		return false
+	}
+	return (w.traceSeq.Add(1)-1)%int64(w.cfg.TraceSample) == 0
 }
 
 // Run executes the workload until the session budget, Duration, or
@@ -241,6 +262,10 @@ func runPool(ctx context.Context, cfg *Config, work func(context.Context, *worke
 	}
 	workers := make([]*worker, cfg.Users)
 	shards := make([]*shardCollector, cfg.Users)
+	var traceSeq *atomic.Int64
+	if cfg.TraceSample > 0 {
+		traceSeq = new(atomic.Int64)
+	}
 	for i := range workers {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
 		shards[i] = newShardCollector()
@@ -253,8 +278,9 @@ func runPool(ctx context.Context, cfg *Config, work func(context.Context, *worke
 				Iface:      cfg.Iface,
 				Rand:       rng,
 			},
-			rng: rng,
-			col: shards[i],
+			rng:      rng,
+			col:      shards[i],
+			traceSeq: traceSeq,
 		}
 	}
 
@@ -444,16 +470,26 @@ func (w *worker) driveSession(ctx context.Context, spec *sessionSpec) *sessionOu
 		}
 		budget -= qCost
 
+		sampled := w.traceSampled()
 		var page *client.SearchPage
 		err := w.col.timed(EndpointSearch, func() error {
 			var err error
 			page, err = w.c.Search(ctx, client.SearchRequest{
 				SessionID: out.sessionID, Query: queryText, Limit: cfg.PageLimit,
+				Trace: sampled,
 			})
 			return err
 		})
 		if err != nil {
 			return fail(err)
+		}
+		if sampled && page.Trace != nil {
+			w.col.addTrace(TraceSample{
+				Query:      queryText,
+				RequestID:  page.RequestID,
+				DurationMS: float64(page.Trace.DurUS) / 1e3,
+				Root:       page.Trace,
+			})
 		}
 		w.col.iterations++
 		if spec.onPage != nil {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/loadgen"
 	"repro/internal/simulation"
 	"repro/internal/synth"
+	"repro/internal/trace"
 	"repro/internal/ui"
 	"repro/internal/webapi"
 )
@@ -352,5 +353,59 @@ func TestDriverSpreadsOverClients(t *testing.T) {
 	n2 := srv2.Manager().Stats().Created
 	if n1 == 0 || n2 == 0 || n1+n2 != 12 {
 		t.Fatalf("session split %d/%d, want both targets loaded summing to 12", n1, n2)
+	}
+}
+
+// TestTraceSampling drives a run with TraceSample and checks every
+// sampled search yielded a server-reported span tree with the serve
+// tier's stages, correlated by request ID.
+func TestTraceSampling(t *testing.T) {
+	c, arch, _ := newStack(t)
+	d, err := loadgen.New(loadgen.Config{
+		Client:      c,
+		Users:       4,
+		Sessions:    8,
+		Iterations:  2,
+		PageLimit:   5,
+		Seed:        11,
+		Queries:     queriesFromArchive(arch),
+		TraceSample: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SessionsFailed != 0 || rep.Errors != 0 {
+		t.Fatalf("failed sessions/errors: %d/%d\n%s", rep.SessionsFailed, rep.Errors, rep)
+	}
+	// 8 sessions × 2 iterations = 16 searches; every 2nd is sampled.
+	if want := rep.Iterations / 2; int64(len(rep.TraceSamples)) != want {
+		t.Fatalf("trace samples = %d, want %d of %d searches", len(rep.TraceSamples), want, rep.Iterations)
+	}
+	for _, s := range rep.TraceSamples {
+		if s.RequestID == "" {
+			t.Errorf("sample %q missing request ID", s.Query)
+		}
+		if s.Root == nil {
+			t.Fatalf("sample %q has no span tree", s.Query)
+		}
+		if s.Root.Tier != "serve" {
+			t.Errorf("sample root tier = %q, want serve", s.Root.Tier)
+		}
+		names := map[string]bool{}
+		var walk func(sp *trace.Span)
+		walk = func(sp *trace.Span) {
+			names[sp.Name] = true
+			for _, ch := range sp.Children {
+				walk(ch)
+			}
+		}
+		walk(s.Root)
+		if !names["session"] {
+			t.Errorf("sample %q span tree lacks a session span: %v", s.Query, names)
+		}
 	}
 }

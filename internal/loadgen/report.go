@@ -7,7 +7,23 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
+
+// maxTraceSamples bounds how many sampled span trees a run retains
+// (per worker shard and again after the merge): trace sampling is for
+// eyeballing representative request shapes, not for archiving every
+// trace of a long soak.
+const maxTraceSamples = 32
+
+// TraceSample is one server-reported span tree captured because trace
+// sampling selected its search (Config.TraceSample).
+type TraceSample struct {
+	Query      string      `json:"query"`
+	RequestID  string      `json:"request_id"`
+	DurationMS float64     `json:"duration_ms"`
+	Root       *trace.Span `json:"trace"`
+}
 
 // endpointShard is one worker's telemetry for one endpoint. Counters
 // are worker-local (single writer, read only after the pool joins);
@@ -28,6 +44,15 @@ type shardCollector struct {
 	sessionsAborted int64
 	iterations      int64
 	events          int64
+	traces          []TraceSample
+}
+
+// addTrace retains one sampled span tree, dropping samples beyond the
+// shard's cap.
+func (c *shardCollector) addTrace(s TraceSample) {
+	if len(c.traces) < maxTraceSamples {
+		c.traces = append(c.traces, s)
+	}
 }
 
 func newShardCollector() *shardCollector {
@@ -111,6 +136,9 @@ type Report struct {
 	// Topology is filled by the driver (ivrload) from the server's
 	// post-run metrics; nil when the server was not inspected.
 	Topology *Topology `json:"topology,omitempty"`
+	// TraceSamples are the span trees captured by Config.TraceSample,
+	// capped at maxTraceSamples across the whole run.
+	TraceSamples []TraceSample `json:"trace_samples,omitempty"`
 }
 
 // buildReport merges the per-worker shards into one report.
@@ -128,6 +156,11 @@ func buildReport(cfg *Config, shards []*shardCollector, elapsed time.Duration) *
 		rep.SessionsAborted += col.sessionsAborted
 		rep.Iterations += col.iterations
 		rep.EventsSent += col.events
+		for _, s := range col.traces {
+			if len(rep.TraceSamples) < maxTraceSamples {
+				rep.TraceSamples = append(rep.TraceSamples, s)
+			}
+		}
 		for name, sh := range col.endpoints {
 			m := merged[name]
 			if m == nil {

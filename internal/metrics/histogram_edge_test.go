@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Edge cases the quantile math must not trip over: no samples, one
+// sample, and snapshots racing live recording.
+
+func TestHistogramEmptyQuantiles(t *testing.T) {
+	var h Histogram
+	s := h.Summary()
+	if s.Count != 0 || s.MeanMS != 0 || s.P50MS != 0 || s.P95MS != 0 || s.P99MS != 0 || s.MaxMS != 0 {
+		t.Fatalf("empty summary not all-zero: %+v", s)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if d := h.Quantile(q); d != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, d)
+		}
+	}
+}
+
+func TestHistogramSingleSampleQuantiles(t *testing.T) {
+	var h Histogram
+	h.Observe(10 * time.Millisecond)
+	s := h.Summary()
+	if s.Count != 1 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	// Every quantile of a one-sample distribution is that sample, up
+	// to the bucket's ~6% relative error.
+	for name, got := range map[string]float64{
+		"p50": s.P50MS, "p95": s.P95MS, "p99": s.P99MS,
+	} {
+		if got < 9.0 || got > 11.0 {
+			t.Fatalf("%s = %v ms, want ~10ms", name, got)
+		}
+	}
+	if s.MaxMS != 10 || s.MeanMS != 10 {
+		t.Fatalf("max/mean = %v/%v, want exact 10", s.MaxMS, s.MeanMS)
+	}
+	// Out-of-range q clamps rather than indexing past the buckets.
+	if d := h.Quantile(-1); d <= 0 {
+		t.Fatalf("Quantile(-1) = %v", d)
+	}
+	if d := h.Quantile(2); d <= 0 {
+		t.Fatalf("Quantile(2) = %v", d)
+	}
+}
+
+func TestHistogramZeroAndNegativeDurations(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-5 * time.Second)
+	s := h.Summary()
+	if s.Count != 2 || s.MaxMS != 0 || s.P99MS != 0 {
+		t.Fatalf("clamped summary %+v", s)
+	}
+}
+
+// TestHistogramConcurrentRecordWhileSnapshot races writers against
+// Summary/Quantile readers; -race is the assertion, plus monotone
+// count sanity on what the snapshots observed.
+func TestHistogramConcurrentRecordWhileSnapshot(t *testing.T) {
+	var h Histogram
+	const writers = 8
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Summary()
+			if s.Count < last {
+				t.Errorf("snapshot count went backwards: %d -> %d", last, s.Count)
+				return
+			}
+			last = s.Count
+			h.Quantile(0.95)
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(time.Duration(w*i%5000) * time.Microsecond)
+			}
+		}(w)
+	}
+	// Writers run to completion, then the reader is released.
+	wgWriters := writers * perWriter
+	for h.Count() < uint64(wgWriters) {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if got := h.Count(); got != uint64(wgWriters) {
+		t.Fatalf("count = %d, want %d", got, wgWriters)
+	}
+	if s := h.Summary(); s.Count != uint64(wgWriters) || s.P95MS <= 0 {
+		t.Fatalf("final summary %+v", s)
+	}
+}

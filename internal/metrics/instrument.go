@@ -10,7 +10,8 @@ import (
 // working behind it.
 type StatusRecorder struct {
 	http.ResponseWriter
-	status int
+	status      int
+	beforeWrite func()
 }
 
 // NewStatusRecorder wraps w. If w already is a *StatusRecorder it is
@@ -25,8 +26,27 @@ func NewStatusRecorder(w http.ResponseWriter) *StatusRecorder {
 // Status returns the recorded status code (0 before any write).
 func (r *StatusRecorder) Status() int { return r.status }
 
+// SetBeforeWrite registers fn to run once, immediately before the
+// response header is flushed (explicit WriteHeader or the implicit
+// 200 on first Write) — the last moment a response header can still
+// be set. The tracing middleware uses it to echo the in-flight span
+// tree; anything needing a late header fits the same hook.
+func (r *StatusRecorder) SetBeforeWrite(fn func()) { r.beforeWrite = fn }
+
+// FireBeforeWrite runs a pending SetBeforeWrite hook now. Idempotent;
+// middleware calls it after the handler returns to cover handlers
+// that never wrote (net/http flushes their header afterwards, so a
+// header set here still lands).
+func (r *StatusRecorder) FireBeforeWrite() {
+	if fn := r.beforeWrite; fn != nil {
+		r.beforeWrite = nil
+		fn()
+	}
+}
+
 // WriteHeader implements http.ResponseWriter.
 func (r *StatusRecorder) WriteHeader(code int) {
+	r.FireBeforeWrite()
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
 }
@@ -34,6 +54,7 @@ func (r *StatusRecorder) WriteHeader(code int) {
 // Write implements http.ResponseWriter.
 func (r *StatusRecorder) Write(p []byte) (int, error) {
 	if r.status == 0 {
+		r.FireBeforeWrite()
 		r.status = http.StatusOK
 	}
 	return r.ResponseWriter.Write(p)

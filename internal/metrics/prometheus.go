@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PrometheusContentType is the text exposition format version this
+// package emits.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromWriter renders Prometheus text exposition format (version
+// 0.0.4): `# TYPE` lines, then samples with escaped label values. The
+// first write error sticks; callers check Err once at the end instead
+// of per line.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+// Family emits a `# TYPE name typ` line; call once per metric family
+// before its samples.
+func (p *PromWriter) Family(name, typ string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, "# TYPE %s %s\n", name, typ)
+}
+
+// Sample emits one sample line. kv is alternating label key, value
+// pairs, rendered in argument order (stable output, no map iteration).
+func (p *PromWriter) Sample(name string, v float64, kv ...string) {
+	if p.err != nil {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	if len(kv) > 0 {
+		b.WriteByte('{')
+		for i := 0; i+1 < len(kv); i += 2 {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(kv[i])
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(kv[i+1]))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	// %g keeps integers integral and avoids exponent noise for the
+	// magnitudes metrics take; Prometheus parses both forms.
+	_, p.err = fmt.Fprintf(p.w, "%s %g\n", b.String(), v)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Summary emits one latency distribution as a Prometheus summary in
+// seconds: quantile samples plus _sum and _count, sharing the label
+// pairs in kv. The family `# TYPE <name> summary` line is the
+// caller's (emit once, then one Summary per label set).
+func (p *PromWriter) Summary(name string, s LatencySummary, kv ...string) {
+	q := func(quant string, ms float64) {
+		p.Sample(name, ms/1e3, append(append([]string{}, kv...), "quantile", quant)...)
+	}
+	q("0.5", s.P50MS)
+	q("0.95", s.P95MS)
+	q("0.99", s.P99MS)
+	p.Sample(name+"_sum", s.MeanMS/1e3*float64(s.Count), kv...)
+	p.Sample(name+"_count", float64(s.Count), kv...)
+}
+
+// WritePrometheus renders the registry in exposition format: the
+// uptime/in-flight gauges, per-route+status request counters, and
+// per-route latency summaries, all prefixed ivr_ and labelled with
+// the process tier. The serving layers append their own families
+// (sessions, cache, stages, replicas) to the same response.
+func (g *Registry) WritePrometheus(w io.Writer, tier string) error {
+	return WriteSnapshotPrometheus(w, g.TakeSnapshot(), tier)
+}
+
+// WriteSnapshotPrometheus renders an already-taken snapshot (the
+// deeper tiers compose it into their own exposition handlers).
+func WriteSnapshotPrometheus(w io.Writer, snap Snapshot, tier string) error {
+	p := NewPromWriter(w)
+	p.Family("ivr_tier_info", "gauge")
+	p.Sample("ivr_tier_info", 1, "tier", tier)
+	p.Family("ivr_uptime_seconds", "gauge")
+	p.Sample("ivr_uptime_seconds", snap.UptimeSeconds)
+	p.Family("ivr_in_flight", "gauge")
+	p.Sample("ivr_in_flight", float64(snap.InFlight))
+
+	routes := make([]string, 0, len(snap.Routes))
+	for r := range snap.Routes {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+
+	p.Family("ivr_http_requests_total", "counter")
+	for _, route := range routes {
+		rs := snap.Routes[route]
+		codes := make([]string, 0, len(rs.Status))
+		for c := range rs.Status {
+			codes = append(codes, c)
+		}
+		sort.Strings(codes)
+		for _, code := range codes {
+			p.Sample("ivr_http_requests_total", float64(rs.Status[code]),
+				"route", route, "code", code)
+		}
+	}
+	p.Family("ivr_http_request_duration_seconds", "summary")
+	for _, route := range routes {
+		p.Summary("ivr_http_request_duration_seconds", snap.Routes[route].Latency,
+			"route", route)
+	}
+	return p.Err()
+}

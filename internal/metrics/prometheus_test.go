@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWritePrometheusExposition(t *testing.T) {
+	g := NewRegistry()
+	rs := g.Route("GET /api/v1/search")
+	rs.Observe(200, 5*time.Millisecond)
+	rs.Observe(200, 15*time.Millisecond)
+	rs.Observe(404, 1*time.Millisecond)
+	g.Route(`* /"odd\route`).Observe(500, time.Millisecond)
+
+	var b strings.Builder
+	if err := g.WritePrometheus(&b, "serve"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE ivr_tier_info gauge",
+		`ivr_tier_info{tier="serve"} 1`,
+		"# TYPE ivr_uptime_seconds gauge",
+		"# TYPE ivr_in_flight gauge",
+		"ivr_in_flight 0",
+		"# TYPE ivr_http_requests_total counter",
+		`ivr_http_requests_total{route="GET /api/v1/search",code="200"} 2`,
+		`ivr_http_requests_total{route="GET /api/v1/search",code="404"} 1`,
+		`ivr_http_requests_total{route="* /\"odd\\route",code="500"} 1`,
+		"# TYPE ivr_http_request_duration_seconds summary",
+		`ivr_http_request_duration_seconds{route="GET /api/v1/search",quantile="0.5"}`,
+		`ivr_http_request_duration_seconds{route="GET /api/v1/search",quantile="0.99"}`,
+		`ivr_http_request_duration_seconds_count{route="GET /api/v1/search"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Basic format sanity: every non-comment line is `name{...} value`
+	// or `name value`, and every family has exactly one TYPE line.
+	types := 0
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			types++
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unexpected comment line %q", line)
+		}
+		if !strings.Contains(line, " ") {
+			t.Fatalf("sample line without value: %q", line)
+		}
+	}
+	if types != 5 {
+		t.Fatalf("TYPE lines = %d, want 5:\n%s", types, out)
+	}
+}
+
+func TestPromWriterSummarySum(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	p.Family("x_seconds", "summary")
+	p.Summary("x_seconds", h.Summary(), "stage", "expand")
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `x_seconds_sum{stage="expand"} 0.1`) {
+		t.Fatalf("sum mismatch (10 x 10ms = 0.1s):\n%s", out)
+	}
+	if !strings.Contains(out, `x_seconds_count{stage="expand"} 10`) {
+		t.Fatalf("count mismatch:\n%s", out)
+	}
+}
+
+func TestStatusRecorderBeforeWriteHook(t *testing.T) {
+	// Explicit WriteHeader: hook fires first, once.
+	rr := httptest.NewRecorder()
+	rec := NewStatusRecorder(rr)
+	fired := 0
+	rec.SetBeforeWrite(func() {
+		fired++
+		rec.Header().Set("X-Late", "yes")
+	})
+	rec.WriteHeader(201)
+	rec.Write([]byte("body"))
+	rec.FireBeforeWrite()
+	if fired != 1 {
+		t.Fatalf("hook fired %d times", fired)
+	}
+	if rr.Header().Get("X-Late") != "yes" || rr.Code != 201 {
+		t.Fatalf("late header lost: %+v code=%d", rr.Header(), rr.Code)
+	}
+
+	// Implicit header via first Write.
+	rr = httptest.NewRecorder()
+	rec = NewStatusRecorder(rr)
+	fired = 0
+	rec.SetBeforeWrite(func() {
+		fired++
+		rec.Header().Set("X-Late", "implicit")
+	})
+	rec.Write([]byte("body"))
+	if fired != 1 || rr.Header().Get("X-Late") != "implicit" {
+		t.Fatalf("implicit-write hook: fired=%d hdr=%q", fired, rr.Header().Get("X-Late"))
+	}
+
+	// Handler that never writes: middleware's FireBeforeWrite covers it.
+	rr = httptest.NewRecorder()
+	rec = NewStatusRecorder(rr)
+	fired = 0
+	rec.SetBeforeWrite(func() { fired++ })
+	rec.FireBeforeWrite()
+	rec.FireBeforeWrite()
+	if fired != 1 {
+		t.Fatalf("no-write hook fired %d times", fired)
+	}
+
+	// No hook set: writes pass through untouched.
+	rr = httptest.NewRecorder()
+	rec = NewStatusRecorder(rr)
+	rec.Write([]byte("ok"))
+	rec.FireBeforeWrite()
+	if rr.Code != 200 || rr.Body.String() != "ok" {
+		t.Fatalf("hookless recorder broke: %d %q", rr.Code, rr.Body.String())
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/search"
+	"repro/internal/trace"
 )
 
 // SegmentSummary is one index segment's execution telemetry: how many
@@ -47,6 +48,12 @@ type Snapshot struct {
 	// counters are process-wide: every engine in the process scores
 	// through the same pooled kernel.
 	Kernel search.KernelStats `json:"kernel"`
+	// Stages is present when query tracing is wired: per-stage duration
+	// quantiles (expand, prepare, segment, merge, ...) aggregated from
+	// the span data of traced requests. Only traced requests feed these
+	// histograms, so counts lag the totals above when tracing is
+	// sampled.
+	Stages []trace.StageSummary `json:"stages,omitempty"`
 }
 
 // SegmentTimings accumulates per-segment scoring latency. Observe is

@@ -19,10 +19,20 @@
 // draining 503 re-routes the request to the session's next-best
 // replica, so one kill -TERM loses zero queries.
 //
-// The router serves its own /api/v1/healthz (aggregated liveness) and
+// The router serves its own /api/v1/healthz (aggregated liveness),
 // /api/v1/metrics (per-replica request/error/re-route counters plus
-// each replica's last known health), so dashboards see the whole
+// each replica's last known health; ?format=prometheus for text
+// exposition, also aliased at /metrics) and /api/v1/debug/traces (the
+// ring of recent proxied-request traces), so dashboards see the whole
 // front tier in one place.
+//
+// Every proxied request is traced: the router honours an inbound
+// X-Request-Id (minting one otherwise), always asks the upstream
+// replica for its span tree (X-IVR-Trace: 1) and grafts the echo under
+// its own per-attempt "proxy" span — so one trace shows the router
+// hop, each forward attempt, and the serve tier's internal stages. The
+// assembled tree is echoed to the end client only when the client
+// itself asked.
 package router
 
 import (
@@ -40,6 +50,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Defaults for Config knobs left zero.
@@ -69,6 +82,12 @@ type Config struct {
 	Client *http.Client
 	// Logger receives re-route and health-transition logs (nil = discard).
 	Logger *slog.Logger
+	// SlowQuery logs any proxied request at least this slow as a
+	// structured slow-query line with its full span tree (0 disables).
+	SlowQuery time.Duration
+	// TraceRing bounds the ring of recent traces served at
+	// /api/v1/debug/traces (0 = the trace package default).
+	TraceRing int
 }
 
 // replica is one backend and its routing state.
@@ -93,6 +112,8 @@ type Router struct {
 	client   *http.Client
 	log      *slog.Logger
 	cfg      Config
+	tracer   *trace.Collector
+	start    time.Time
 
 	rr atomic.Uint64 // round-robin cursor for session-less requests
 
@@ -121,7 +142,12 @@ func New(cfg Config) (*Router, error) {
 	if cfg.ProbeInterval < 0 || cfg.ProbeTimeout < 0 || cfg.FailThreshold < 0 {
 		return nil, fmt.Errorf("router: negative config value")
 	}
-	rt := &Router{client: cfg.Client, log: cfg.Logger, cfg: cfg, closed: make(chan struct{})}
+	rt := &Router{client: cfg.Client, log: cfg.Logger, cfg: cfg, closed: make(chan struct{}), start: time.Now()}
+	rt.tracer = trace.NewCollector(trace.CollectorConfig{
+		Tier:          trace.TierRouter,
+		RingSize:      cfg.TraceRing,
+		SlowThreshold: cfg.SlowQuery,
+	})
 	if rt.client == nil {
 		rt.client = &http.Client{}
 	}
@@ -258,7 +284,17 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		rt.serveHealthz(w)
 		return
 	case r.Method == http.MethodGet && r.URL.Path == "/api/v1/metrics":
+		if r.URL.Query().Get("format") == "prometheus" {
+			rt.servePrometheus(w)
+			return
+		}
 		rt.serveMetrics(w)
+		return
+	case r.Method == http.MethodGet && r.URL.Path == "/metrics":
+		rt.servePrometheus(w)
+		return
+	case r.Method == http.MethodGet && r.URL.Path == "/api/v1/debug/traces":
+		rt.serveTraces(w)
 		return
 	}
 	rt.proxy(w, r)
@@ -281,6 +317,23 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+
+	// Correlation: honour the client's request ID or mint one; the
+	// forwarded request carries it (copyHeaders), so serve and segment
+	// stamp their spans with the same ID. The client's echo request
+	// (X-IVR-Trace: 1) is remembered here — the router ALWAYS asks the
+	// upstream for its tree, but re-echoes the assembled tree to the
+	// end client only when asked.
+	reqID := r.Header.Get(trace.RequestIDHeader)
+	if reqID == "" {
+		reqID = trace.NewID()
+		r.Header.Set(trace.RequestIDHeader, reqID)
+	}
+	w.Header().Set(trace.RequestIDHeader, reqID)
+	echoClient := r.Header.Get(trace.Header) == trace.RequestEcho
+	tr, root := trace.New(reqID, trace.TierRouter, r.Method+" "+r.URL.Path)
+	ctx := trace.NewContext(r.Context(), tr, root)
+	defer rt.tracer.Finish(tr)
 
 	sid := sessionID(r, body)
 	var candidates []*replica
@@ -311,7 +364,7 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 	}
 
 	for i, rep := range order {
-		done, retriable := rt.forward(w, r, rep, body, i > 0)
+		done, retriable := rt.forward(ctx, w, r, rep, body, i > 0, echoClient)
 		if done || !retriable {
 			return
 		}
@@ -322,11 +375,17 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 // forward sends the request to one replica and relays the answer.
 // done=true means a response went out; retriable=true means nothing
 // was written and the next candidate should be tried.
-func (rt *Router) forward(w http.ResponseWriter, r *http.Request, rep *replica, body []byte, isReroute bool) (done, retriable bool) {
+func (rt *Router) forward(ctx context.Context, w http.ResponseWriter, r *http.Request, rep *replica, body []byte, isReroute, echoClient bool) (done, retriable bool) {
 	rep.requests.Add(1)
 	if isReroute {
 		rep.rerouted.Add(1)
 	}
+	// One "proxy" span per forward attempt: a re-routed request shows
+	// every replica it tried, each attempt carrying the upstream's own
+	// grafted span tree when one came back.
+	_, sp := trace.StartSpan(ctx, "proxy")
+	sp.SetAttr("replica", rep.name)
+	defer sp.End()
 	outURL := rep.name + r.URL.Path
 	if r.URL.RawQuery != "" {
 		outURL += "?" + r.URL.RawQuery
@@ -337,12 +396,17 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, rep *replica, 
 		return true, false
 	}
 	copyHeaders(out.Header, r.Header)
+	// Always ask the upstream for its server-side tree, whatever the
+	// end client asked for; the graft below is what makes the router's
+	// ring and slow-query log self-contained.
+	out.Header.Set(trace.Header, trace.RequestEcho)
 	resp, err := rt.client.Do(out)
 	if err != nil {
 		// Transport failure: the replica is gone right now — take it
 		// out of rotation immediately (the probe loop brings it back)
 		// and move on. Nothing was written, so the retry is invisible.
 		rep.errors.Add(1)
+		sp.SetAttr("error", "transport")
 		if rep.healthy.CompareAndSwap(true, false) {
 			rt.log.Warn("replica down (request failed)", "replica", rep.name, "err", err)
 		}
@@ -357,13 +421,26 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, rep *replica, 
 		// shared store, so the next candidate can adopt this one now.
 		if isDrainingResponse(resp) {
 			rep.draining.Store(true)
+			sp.SetAttr("error", "draining")
 			rt.log.Info("replica draining, re-routing", "replica", rep.name)
 			io.Copy(io.Discard, resp.Body)
 			return false, true
 		}
 	}
+	// Graft the upstream's server-observed tree under this attempt's
+	// span, then strip the transport headers the router owns: the
+	// upstream echo must not leak to a client that never asked, and the
+	// correlation ID is already set on the response.
+	if remote, derr := trace.DecodeSpan(resp.Header.Get(trace.Header)); derr == nil {
+		sp.Graft(remote)
+	}
+	resp.Header.Del(trace.Header)
+	resp.Header.Del(trace.RequestIDHeader)
 	// Relay everything else verbatim, including application errors.
 	copyHeaders(w.Header(), resp.Header)
+	if echoClient {
+		w.Header().Set(trace.Header, trace.EncodeSpan(trace.FromContext(ctx).SnapshotRoot()))
+	}
 	w.WriteHeader(resp.StatusCode)
 	flushingCopy(w, resp.Body)
 	return true, false
@@ -545,6 +622,58 @@ func (rt *Router) serveMetrics(w http.ResponseWriter) {
 		"replicas": rt.Status(),
 	})
 }
+
+// servePrometheus writes the router's text exposition: tier info,
+// uptime, and per-replica routing counters.
+func (rt *Router) servePrometheus(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", metrics.PrometheusContentType)
+	w.WriteHeader(http.StatusOK)
+	pw := metrics.NewPromWriter(w)
+	pw.Family("ivr_tier_info", "gauge")
+	pw.Sample("ivr_tier_info", 1, "tier", trace.TierRouter)
+	pw.Family("ivr_uptime_seconds", "gauge")
+	pw.Sample("ivr_uptime_seconds", time.Since(rt.start).Seconds())
+	status := rt.Status()
+	bool01 := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	pw.Family("ivr_replica_healthy", "gauge")
+	for _, st := range status {
+		pw.Sample("ivr_replica_healthy", bool01(st.Healthy), "replica", st.Replica)
+	}
+	pw.Family("ivr_replica_draining", "gauge")
+	for _, st := range status {
+		pw.Sample("ivr_replica_draining", bool01(st.Draining), "replica", st.Replica)
+	}
+	pw.Family("ivr_replica_requests_total", "counter")
+	for _, st := range status {
+		pw.Sample("ivr_replica_requests_total", float64(st.Requests), "replica", st.Replica)
+	}
+	pw.Family("ivr_replica_errors_total", "counter")
+	for _, st := range status {
+		pw.Sample("ivr_replica_errors_total", float64(st.Errors), "replica", st.Replica)
+	}
+	pw.Family("ivr_replica_rerouted_total", "counter")
+	for _, st := range status {
+		pw.Sample("ivr_replica_rerouted_total", float64(st.Rerouted), "replica", st.Replica)
+	}
+}
+
+// serveTraces serves the ring of recent proxied-request traces,
+// newest first.
+func (rt *Router) serveTraces(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(struct {
+		Traces []*trace.Entry `json:"traces"`
+	}{rt.tracer.Traces()})
+}
+
+// Tracer exposes the router's trace collector (ops and tests).
+func (rt *Router) Tracer() *trace.Collector { return rt.tracer }
 
 // Healthy reports how many replicas are currently in rotation.
 func (rt *Router) Healthy() int {

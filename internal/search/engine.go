@@ -1,15 +1,18 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/index"
 	"repro/internal/text"
+	"repro/internal/trace"
 )
 
 // WeightedTerm is an analyzed query term with a query-side weight.
@@ -234,6 +237,15 @@ func ConceptQuery(concepts ...string) Query {
 // partial rankings are never returned, because a missing segment's
 // documents would silently vanish from the result.
 func (e *Engine) Search(q Query, opts Options) (Results, error) {
+	return e.SearchContext(context.Background(), q, opts)
+}
+
+// SearchContext is Search with a caller context: cancellation reaches
+// remote segments, and when ctx carries a trace the query records
+// "prepare", per-"segment", and "merge" spans into it. With no trace
+// in ctx the span calls are no-op nil-span fast paths, keeping the
+// untraced hot path at the PR 5 cost.
+func (e *Engine) SearchContext(ctx context.Context, q Query, opts Options) (Results, error) {
 	if len(q.Terms) == 0 {
 		return Results{}, nil
 	}
@@ -253,6 +265,7 @@ func (e *Engine) Search(q Query, opts Options) (Results, error) {
 
 	// Collection-wide statistics, computed once, compiled into the
 	// prepared query, and shared by every segment worker.
+	_, prep := trace.StartSpan(ctx, "prepare")
 	n := e.stats.NumDocs()
 	avgdl := e.stats.AvgDocLen(q.Field)
 	totalLen := e.stats.TotalFieldLen(q.Field)
@@ -265,11 +278,15 @@ func (e *Engine) Search(q Query, opts Options) (Results, error) {
 		}
 	}
 	p := PrepareQuery(q, stats, scorer)
+	if prep != nil {
+		prep.SetAttr("terms", strconv.Itoa(len(q.Terms)))
+		prep.End()
+	}
 
 	results := make([]segmentOutcome, len(e.segs))
 	if workers := min(e.workers, len(e.segs)); workers <= 1 {
 		for i := range e.segs {
-			results[i] = e.runSegment(i, p, opts.Filter, k)
+			results[i] = e.runSegment(ctx, i, p, opts.Filter, k)
 		}
 	} else {
 		var next atomic.Int64
@@ -283,7 +300,7 @@ func (e *Engine) Search(q Query, opts Options) (Results, error) {
 					if i >= len(e.segs) {
 						return
 					}
-					results[i] = e.runSegment(i, p, opts.Filter, k)
+					results[i] = e.runSegment(ctx, i, p, opts.Filter, k)
 				}
 			}()
 		}
@@ -295,11 +312,13 @@ func (e *Engine) Search(q Query, opts Options) (Results, error) {
 	// order-independent. Surface the lowest-ordinal failure for
 	// deterministic error reporting. Per-segment hit lists are dead
 	// after the merge, so they go back to the kernel's pool.
+	_, mrg := trace.StartSpan(ctx, "merge")
 	top := getTopK(k)
 	candidates := 0
 	for i, r := range results {
 		if r.err != nil {
 			putTopK(top)
+			mrg.End()
 			return Results{}, &SegmentError{Segment: i, Err: r.err}
 		}
 		candidates += r.res.Candidates
@@ -310,6 +329,10 @@ func (e *Engine) Search(q Query, opts Options) (Results, error) {
 	}
 	hits := top.Ranked()
 	putTopK(top)
+	if mrg != nil {
+		mrg.SetAttr("candidates", strconv.Itoa(candidates))
+		mrg.End()
+	}
 	return Results{Hits: hits, Candidates: candidates}, nil
 }
 

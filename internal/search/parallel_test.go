@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -220,12 +221,12 @@ type failingSegment struct {
 
 func (f failingSegment) NumDocs() int { return f.inner.NumDocs() }
 
-func (f failingSegment) SearchSegment(p *PreparedQuery,
+func (f failingSegment) SearchSegment(ctx context.Context, p *PreparedQuery,
 	filter func(string) bool, k int) (SegmentResult, error) {
 	if f.err != nil {
 		return SegmentResult{}, f.err
 	}
-	return f.inner.SearchSegment(p, filter, k)
+	return f.inner.SearchSegment(ctx, p, filter, k)
 }
 
 // wrapSegments adapts a sharded index into the SegmentSearcher form a

@@ -1,10 +1,13 @@
 package search
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/index"
+	"repro/internal/trace"
 )
 
 // SegmentResult is one segment's contribution to a query: its local
@@ -29,8 +32,10 @@ type SegmentSearcher interface {
 	// carries the precomputed global term statistics), applies filter,
 	// and returns the segment's k best hits. k <= 0 means "all
 	// candidates" (used when a filter must be applied by the caller
-	// instead).
-	SearchSegment(p *PreparedQuery, filter func(string) bool, k int) (SegmentResult, error)
+	// instead). ctx carries cancellation and the query's trace (when
+	// one is active); remote segments propagate both across the RPC
+	// boundary, local segments may ignore it.
+	SearchSegment(ctx context.Context, p *PreparedQuery, filter func(string) bool, k int) (SegmentResult, error)
 }
 
 // SegmentError reports which segment of a fan-out failed. In-process
@@ -86,8 +91,8 @@ type localSegment struct {
 func (l localSegment) NumDocs() int { return l.seg.NumDocs() }
 
 // SearchSegment implements SegmentSearcher. In-process scoring cannot
-// fail.
-func (l localSegment) SearchSegment(p *PreparedQuery,
+// fail and never blocks long enough to need ctx.
+func (l localSegment) SearchSegment(_ context.Context, p *PreparedQuery,
 	filter func(string) bool, k int) (SegmentResult, error) {
 	return p.ScoreSegment(l.seg, l.globalID, filter, k), nil
 }
@@ -98,11 +103,18 @@ func (l localSegment) globalID(d index.DocID) index.DocID {
 
 // runSegment executes one segment and reports its telemetry; the
 // observed duration covers the full segment call, so for a remote
-// segment it includes the RPC round trip.
-func (e *Engine) runSegment(i int, p *PreparedQuery,
+// segment it includes the RPC round trip. When the query is traced,
+// each segment gets one "segment" span (a remote segment grafts the
+// backend's echoed server-side tree under it).
+func (e *Engine) runSegment(ctx context.Context, i int, p *PreparedQuery,
 	filter func(string) bool, k int) segmentOutcome {
+	ctx, sp := trace.StartSpan(ctx, "segment")
+	if sp != nil {
+		sp.SetAttr("ordinal", strconv.Itoa(i))
+	}
 	start := time.Now()
-	res, err := e.segs[i].SearchSegment(p, filter, k)
+	res, err := e.segs[i].SearchSegment(ctx, p, filter, k)
+	sp.End()
 	if err != nil {
 		return segmentOutcome{err: err}
 	}

@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Entry is one finished trace as kept in the ring buffer and served
+// by the debug/traces endpoints.
+type Entry struct {
+	// ID is the correlation ID.
+	ID string `json:"id"`
+	// Tier is the collecting process's tier.
+	Tier string `json:"tier"`
+	// Time is the completion wall-clock time.
+	Time time.Time `json:"time"`
+	// DurationMS is the root span's duration.
+	DurationMS float64 `json:"duration_ms"`
+	// Root is the full span tree (downstream grafts included).
+	Root *Span `json:"root"`
+}
+
+// Ring is a fixed-size buffer of the most recent finished traces.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []*Entry
+	next int
+	n    int
+}
+
+// NewRing sizes a ring (n <= 0 defaults to 128).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = 128
+	}
+	return &Ring{buf: make([]*Entry, n)}
+}
+
+// Add records one finished trace, evicting the oldest past capacity.
+func (r *Ring) Add(e *Entry) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the buffered traces, newest first.
+func (r *Ring) Snapshot() []*Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Entry, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// StageSummary is one span name's duration distribution, fed from
+// every finished trace this process collected. The serve tier surfaces
+// these through retrieval.Snapshot as the per-stage latency block.
+type StageSummary struct {
+	Stage   string                 `json:"stage"`
+	Count   uint64                 `json:"count"`
+	Latency metrics.LatencySummary `json:"latency"`
+}
+
+// CollectorConfig parameterises a Collector.
+type CollectorConfig struct {
+	// Tier names this process ("router", "serve", "segment").
+	Tier string
+	// RingSize bounds the finished-trace ring (<= 0: 128).
+	RingSize int
+	// SlowThreshold emits any trace at least this slow to SlowWriter
+	// as one structured-JSON line (0 disables the slow-query log).
+	SlowThreshold time.Duration
+	// SlowWriter receives slow-query lines (nil: os.Stderr).
+	SlowWriter io.Writer
+}
+
+// Collector owns a process's finished traces: the debug ring, the
+// slow-query log, and the per-stage duration histograms.
+type Collector struct {
+	tier string
+	ring *Ring
+	slow time.Duration
+
+	logMu sync.Mutex
+	logW  io.Writer
+
+	stagesMu sync.RWMutex
+	stages   map[string]*metrics.Histogram
+}
+
+// NewCollector builds a collector from cfg.
+func NewCollector(cfg CollectorConfig) *Collector {
+	w := cfg.SlowWriter
+	if w == nil {
+		w = os.Stderr
+	}
+	return &Collector{
+		tier:   cfg.Tier,
+		ring:   NewRing(cfg.RingSize),
+		slow:   cfg.SlowThreshold,
+		logW:   w,
+		stages: make(map[string]*metrics.Histogram),
+	}
+}
+
+// Finish closes t's root if still open, snapshots the tree, and files
+// it: ring, stage histograms, and — past the slow threshold — the
+// slow-query log. Nil-safe on both receiver and trace, so callers
+// need no "is tracing on" branches.
+func (c *Collector) Finish(t *Trace) {
+	if c == nil || t == nil {
+		return
+	}
+	t.root.End()
+	root := t.SnapshotRoot()
+	e := &Entry{
+		ID:         t.ID,
+		Tier:       c.tier,
+		Time:       time.Now(),
+		DurationMS: float64(root.DurUS) / 1000,
+		Root:       root,
+	}
+	c.ring.Add(e)
+	c.recordStages(root, true)
+	if c.slow > 0 && time.Duration(root.DurUS)*time.Microsecond >= c.slow {
+		c.logSlow(e)
+	}
+}
+
+// recordStages walks the local tree feeding per-span-name duration
+// histograms. The root is skipped (route-level latency already lives
+// in the metrics registry) and so are grafted remote subtrees — a
+// span carrying a foreign Tier and everything under it belongs to the
+// tier that measured it.
+func (c *Collector) recordStages(s *Span, isRoot bool) {
+	if !isRoot {
+		if s.Tier != "" && s.Tier != c.tier {
+			return
+		}
+		c.stage(s.Name).Observe(time.Duration(s.DurUS) * time.Microsecond)
+	}
+	for _, ch := range s.Children {
+		c.recordStages(ch, false)
+	}
+}
+
+func (c *Collector) stage(name string) *metrics.Histogram {
+	c.stagesMu.RLock()
+	h := c.stages[name]
+	c.stagesMu.RUnlock()
+	if h != nil {
+		return h
+	}
+	c.stagesMu.Lock()
+	defer c.stagesMu.Unlock()
+	if h = c.stages[name]; h == nil {
+		h = &metrics.Histogram{}
+		c.stages[name] = h
+	}
+	return h
+}
+
+// slowLine is the slow-query log record: one JSON object per line on
+// SlowWriter (stderr by default), greppable by request_id.
+type slowLine struct {
+	SlowQuery  bool    `json:"slow_query"`
+	RequestID  string  `json:"request_id"`
+	Tier       string  `json:"tier"`
+	Name       string  `json:"name"`
+	DurationMS float64 `json:"duration_ms"`
+	Trace      *Span   `json:"trace"`
+}
+
+func (c *Collector) logSlow(e *Entry) {
+	line, err := json.Marshal(slowLine{
+		SlowQuery:  true,
+		RequestID:  e.ID,
+		Tier:       e.Tier,
+		Name:       e.Root.Name,
+		DurationMS: e.DurationMS,
+		Trace:      e.Root,
+	})
+	if err != nil {
+		return
+	}
+	c.logMu.Lock()
+	c.logW.Write(append(line, '\n'))
+	c.logMu.Unlock()
+}
+
+// Traces returns the ring contents, newest first. Nil-safe.
+func (c *Collector) Traces() []*Entry {
+	if c == nil {
+		return nil
+	}
+	return c.ring.Snapshot()
+}
+
+// StageSummaries returns the per-stage duration distributions, sorted
+// by stage name. Nil-safe.
+func (c *Collector) StageSummaries() []StageSummary {
+	if c == nil {
+		return nil
+	}
+	c.stagesMu.RLock()
+	out := make([]StageSummary, 0, len(c.stages))
+	for name, h := range c.stages {
+		s := h.Summary()
+		out = append(out, StageSummary{Stage: name, Count: s.Count, Latency: s})
+	}
+	c.stagesMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
+	return out
+}

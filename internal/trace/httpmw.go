@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"net/http"
+
+	"repro/internal/metrics"
+)
+
+// HTTPConfig wires the per-request tracing middleware one tier's HTTP
+// server mounts in front of its route table.
+type HTTPConfig struct {
+	// Tier stamps every span this process creates ("router", "serve",
+	// "segment").
+	Tier string
+	// Collector receives finished traces (ring + slow-query log +
+	// per-stage histograms). Required.
+	Collector *Collector
+	// Skip reports request paths that should not be traced (health
+	// probes, metrics scrapes, the trace ring itself). Skipped requests
+	// still get request-ID propagation. Nil traces everything.
+	Skip func(path string) bool
+}
+
+// HTTPMiddleware returns middleware implementing the tier-side half of
+// the trace header contract:
+//
+//   - X-Request-Id: an inbound ID is honoured (never re-minted), so one
+//     correlation ID survives router → serve → segment; absent, a fresh
+//     ID is minted. The ID is always echoed on the response.
+//   - X-IVR-Trace: every non-skipped request is traced into the
+//     collector regardless; when the inbound header is RequestEcho ("1")
+//     the finished span tree is additionally serialised into the same
+//     response header, just before the response headers flush, so the
+//     caller can graft this tier's server-side view under its own
+//     client-side span.
+//
+// The request context carries the trace; handlers pick it up with
+// StartSpan and it costs them one context lookup when the middleware is
+// not mounted.
+func HTTPMiddleware(cfg HTTPConfig) func(http.Handler) http.Handler {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			id := r.Header.Get(RequestIDHeader)
+			if id == "" {
+				id = NewID()
+			}
+			w.Header().Set(RequestIDHeader, id)
+			if cfg.Skip != nil && cfg.Skip(r.URL.Path) {
+				next.ServeHTTP(w, r)
+				return
+			}
+			t, root := New(id, cfg.Tier, r.Method+" "+r.URL.Path)
+			rec := metrics.NewStatusRecorder(w)
+			if r.Header.Get(Header) == RequestEcho {
+				// The tree must reach the wire in the response headers,
+				// which flush before the handler's body write returns —
+				// hence the pre-flush hook, encoding a stamped snapshot
+				// of the still-open tree.
+				rec.SetBeforeWrite(func() {
+					rec.Header().Set(Header, EncodeSpan(t.SnapshotRoot()))
+				})
+			}
+			next.ServeHTTP(rec, r.WithContext(NewContext(r.Context(), t, root)))
+			// Handlers that never write still owe the caller its echo.
+			rec.FireBeforeWrite()
+			cfg.Collector.Finish(t)
+		})
+	}
+}

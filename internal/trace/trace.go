@@ -1,0 +1,348 @@
+// Package trace is the cross-tier query tracing subsystem: one
+// correlation ID and one span tree covering a request's full path —
+// router hop → serve middleware → session restore → expansion →
+// query compilation → cache → per-backend scatter → merge → encode.
+//
+// Design constraints, in order:
+//
+//  1. Free when off. The engine hot path (search.Engine, the scoring
+//     kernel) calls StartSpan on every query; when the context
+//     carries no trace that must cost one context lookup and zero
+//     allocations, so the PR 5 kernel numbers survive. All Span
+//     methods are nil-receiver safe for the same reason — callers
+//     never branch on "am I traced".
+//  2. Safe under scatter. The merge tier starts one span per backend
+//     from concurrent goroutines; all tree mutation is guarded by the
+//     owning Trace's mutex.
+//  3. Wire-portable. A finished (or in-flight) tree serialises to a
+//     single JSON header value (X-IVR-Trace) so a downstream tier can
+//     echo its timing to the tier that called it, which grafts the
+//     remote tree under its own client-side span — the two views of
+//     the same hop (client-observed vs server-observed) sit parent
+//     and child, making network/queue time visible as the gap.
+//
+// Wire contract (see OBSERVABILITY.md): a request carrying
+// "X-IVR-Trace: 1" asks the server to echo its span tree in the
+// X-IVR-Trace response header; X-Request-Id is the correlation ID and
+// is honoured (never re-minted) by every tier that receives one.
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Header is the trace propagation header. On requests the value "1"
+// asks the server to echo its span tree; on responses the value is
+// the EncodeSpan-serialised tree.
+const Header = "X-IVR-Trace"
+
+// RequestIDHeader is the cross-tier correlation ID header. Tiers
+// honour an inbound value and mint one only when absent.
+const RequestIDHeader = "X-Request-Id"
+
+// RequestEcho is the request-header value asking for a span-tree echo.
+const RequestEcho = "1"
+
+// Canonical tier names for the three processes a query crosses.
+const (
+	TierRouter  = "router"
+	TierServe   = "serve"
+	TierSegment = "segment"
+)
+
+// NewID mints a request/correlation ID: 8 random bytes, hex, "r"
+// prefix (the same shape the webapi middleware has always used).
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "r-fallback"
+	}
+	return "r" + hex.EncodeToString(b[:])
+}
+
+// Span is one timed operation in a trace tree. Exported fields are
+// the wire schema; a Span decoded from a header has only those.
+// Start/duration are microseconds since the Unix epoch — absolute, so
+// spans from different processes order correctly modulo clock skew.
+type Span struct {
+	// Name labels the operation ("expand", "segment", "GET /api/v1/search").
+	Name string `json:"name"`
+	// Tier marks process roots ("router", "serve", "segment"); empty
+	// on interior spans.
+	Tier string `json:"tier,omitempty"`
+	// StartUS is the span start, microseconds since the Unix epoch.
+	StartUS int64 `json:"start_us"`
+	// DurUS is the span duration in microseconds (0 while open).
+	DurUS int64 `json:"dur_us"`
+	// Attrs carries small key=value annotations (backend addr, cache
+	// hit, replica).
+	Attrs map[string]string `json:"attrs,omitempty"`
+	// Children are sub-operations, in start order.
+	Children []*Span `json:"children,omitempty"`
+
+	// start is the live-side monotonic clock; zero on decoded spans.
+	start time.Time
+	// t owns the tree lock; nil on decoded/detached spans, whose
+	// mutators fall back to unsynchronised access (single-owner).
+	t *Trace
+}
+
+// Trace is one request's span tree under construction.
+type Trace struct {
+	// ID is the correlation ID (the X-Request-Id value).
+	ID string
+	// Tier names the process that started this trace.
+	Tier string
+
+	mu   sync.Mutex
+	root *Span
+}
+
+// New starts a trace rooted at rootName and returns it with the open
+// root span.
+func New(id, tier, rootName string) (*Trace, *Span) {
+	t := &Trace{ID: id, Tier: tier}
+	now := time.Now()
+	t.root = &Span{
+		Name:    rootName,
+		Tier:    tier,
+		StartUS: now.UnixMicro(),
+		start:   now,
+		t:       t,
+	}
+	return t, t.root
+}
+
+// Root returns the root span.
+func (t *Trace) Root() *Span { return t.root }
+
+// End closes the span, stamping its duration. Ending an already-ended
+// or nil span is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	if s.t != nil {
+		s.t.mu.Lock()
+		defer s.t.mu.Unlock()
+	}
+	if s.DurUS == 0 && !s.start.IsZero() {
+		s.DurUS = time.Since(s.start).Microseconds()
+		if s.DurUS == 0 {
+			s.DurUS = 1 // sub-microsecond spans still read as closed
+		}
+	}
+}
+
+// SetAttr annotates the span. Nil-safe.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	if s.t != nil {
+		s.t.mu.Lock()
+		defer s.t.mu.Unlock()
+	}
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string, 2)
+	}
+	s.Attrs[k] = v
+}
+
+// Graft attaches a detached span tree (typically decoded from a
+// downstream tier's X-IVR-Trace echo) as a child of s. Nil-safe on
+// both sides.
+func (s *Span) Graft(child *Span) {
+	if s == nil || child == nil {
+		return
+	}
+	if s.t != nil {
+		s.t.mu.Lock()
+		defer s.t.mu.Unlock()
+	}
+	s.Children = append(s.Children, child)
+}
+
+// newChild appends an open child span. Caller must hold t.mu when t
+// is non-nil.
+func (s *Span) newChild(name string) *Span {
+	now := time.Now()
+	c := &Span{Name: name, StartUS: now.UnixMicro(), start: now, t: s.t}
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// ctxKey is the single context key; the value bundles trace and
+// current span so the untraced fast path costs one Value lookup.
+type ctxKey struct{}
+
+type ctxVal struct {
+	t *Trace
+	s *Span
+}
+
+// NewContext returns ctx carrying t with s as the current span.
+func NewContext(ctx context.Context, t *Trace, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, &ctxVal{t: t, s: s})
+}
+
+// FromContext returns the trace carried by ctx, or nil.
+func FromContext(ctx context.Context) *Trace {
+	if v, ok := ctx.Value(ctxKey{}).(*ctxVal); ok {
+		return v.t
+	}
+	return nil
+}
+
+// SpanFromContext returns the current span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if v, ok := ctx.Value(ctxKey{}).(*ctxVal); ok {
+		return v.s
+	}
+	return nil
+}
+
+// StartSpan opens a child of ctx's current span and returns a context
+// with the child current. When ctx carries no trace it returns
+// (ctx, nil) without allocating — the zero-cost untraced path; the
+// nil *Span accepts End/SetAttr/Graft as no-ops.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	v, ok := ctx.Value(ctxKey{}).(*ctxVal)
+	if !ok {
+		return ctx, nil
+	}
+	v.t.mu.Lock()
+	c := v.s.newChild(name)
+	v.t.mu.Unlock()
+	return context.WithValue(ctx, ctxKey{}, &ctxVal{t: v.t, s: c}), c
+}
+
+// SnapshotRoot deep-copies the tree, stamping still-open spans with
+// their duration so far. Needed because the X-IVR-Trace echo header
+// must be written before the handler's final spans close.
+func (t *Trace) SnapshotRoot() *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	return snapshotSpan(t.root, now)
+}
+
+func snapshotSpan(s *Span, now time.Time) *Span {
+	c := &Span{
+		Name:    s.Name,
+		Tier:    s.Tier,
+		StartUS: s.StartUS,
+		DurUS:   s.DurUS,
+	}
+	if c.DurUS == 0 && !s.start.IsZero() {
+		c.DurUS = now.Sub(s.start).Microseconds()
+	}
+	if len(s.Attrs) > 0 {
+		c.Attrs = make(map[string]string, len(s.Attrs))
+		for k, v := range s.Attrs {
+			c.Attrs[k] = v
+		}
+	}
+	if len(s.Children) > 0 {
+		c.Children = make([]*Span, len(s.Children))
+		for i, ch := range s.Children {
+			c.Children[i] = snapshotSpan(ch, now)
+		}
+	}
+	return c
+}
+
+// maxEncodedSpan bounds the header value EncodeSpan emits; a tree
+// past the cap is re-encoded without children rather than truncated
+// into invalid JSON.
+const maxEncodedSpan = 32 * 1024
+
+// EncodeSpan serialises a span tree to a single-line JSON string
+// suitable for an HTTP header value.
+func EncodeSpan(s *Span) string {
+	if s == nil {
+		return ""
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		return ""
+	}
+	if len(data) > maxEncodedSpan {
+		top := *s
+		top.Children = nil
+		top.SetAttr("truncated", "1")
+		data, err = json.Marshal(&top)
+		if err != nil {
+			return ""
+		}
+	}
+	return string(data)
+}
+
+// DecodeSpan parses an EncodeSpan value back into a detached tree.
+func DecodeSpan(v string) (*Span, error) {
+	if v == "" || v == RequestEcho {
+		return nil, fmt.Errorf("trace: no span tree in header value %q", v)
+	}
+	var s Span
+	if err := json.Unmarshal([]byte(v), &s); err != nil {
+		return nil, fmt.Errorf("trace: decode span: %w", err)
+	}
+	return &s, nil
+}
+
+// FormatTree renders a span tree as an indented text block, one span
+// per line: name, sorted attrs, duration, and the child's start
+// offset from its parent.
+func FormatTree(s *Span) string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	formatSpan(&b, s, 0, s.StartUS)
+	return b.String()
+}
+
+func formatSpan(b *strings.Builder, s *Span, depth int, parentStartUS int64) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	if s.Tier != "" {
+		fmt.Fprintf(b, "[%s] ", s.Tier)
+	}
+	b.WriteString(s.Name)
+	for _, k := range sortedKeys(s.Attrs) {
+		fmt.Fprintf(b, " %s=%s", k, s.Attrs[k])
+	}
+	fmt.Fprintf(b, "  %.3fms", float64(s.DurUS)/1000)
+	if off := s.StartUS - parentStartUS; off > 0 && depth > 0 {
+		fmt.Fprintf(b, " (+%.3fms)", float64(off)/1000)
+	}
+	b.WriteByte('\n')
+	for _, c := range s.Children {
+		formatSpan(b, c, depth+1, s.StartUS)
+	}
+}
+
+func sortedKeys(m map[string]string) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ { // insertion sort; attr maps are tiny
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

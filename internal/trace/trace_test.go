@@ -1,0 +1,286 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestUntracedContextIsFreeAndNilSafe(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "anything")
+	if sp != nil {
+		t.Fatalf("StartSpan on untraced ctx returned a span")
+	}
+	if ctx2 != ctx {
+		t.Fatalf("StartSpan on untraced ctx returned a new context")
+	}
+	// All nil-span mutators must be no-ops, not panics.
+	sp.End()
+	sp.SetAttr("k", "v")
+	sp.Graft(&Span{Name: "x"})
+	if FromContext(ctx) != nil || SpanFromContext(ctx) != nil {
+		t.Fatalf("untraced ctx claims a trace")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		c, s := StartSpan(ctx, "hot")
+		_ = c
+		s.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("untraced StartSpan allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestSpanTreeShape(t *testing.T) {
+	tr, root := New("r1", "serve", "GET /api/v1/search")
+	ctx := NewContext(context.Background(), tr, root)
+	if FromContext(ctx) != tr || SpanFromContext(ctx) != root {
+		t.Fatalf("context round-trip lost trace/span")
+	}
+	ctx1, expand := StartSpan(ctx, "expand")
+	expand.SetAttr("terms", "5")
+	expand.End()
+	// Sibling started from the original ctx, child from ctx1's scope.
+	_, inner := StartSpan(ctx1, "inner")
+	inner.End()
+	_, merge := StartSpan(ctx, "merge")
+	merge.End()
+	root.End()
+
+	if tr.Root() != root {
+		t.Fatalf("root mismatch")
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(root.Children))
+	}
+	if root.Children[0].Name != "expand" || root.Children[1].Name != "merge" {
+		t.Fatalf("children = %q,%q", root.Children[0].Name, root.Children[1].Name)
+	}
+	if len(root.Children[0].Children) != 1 || root.Children[0].Children[0].Name != "inner" {
+		t.Fatalf("expand's child missing")
+	}
+	if root.Children[0].Attrs["terms"] != "5" {
+		t.Fatalf("attr lost")
+	}
+	if root.DurUS <= 0 {
+		t.Fatalf("ended root has DurUS %d", root.DurUS)
+	}
+}
+
+func TestConcurrentSpansUnderOneParent(t *testing.T) {
+	tr, root := New("r2", "serve", "scatter")
+	ctx := NewContext(context.Background(), tr, root)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, sp := StartSpan(ctx, "segment")
+			sp.SetAttr("k", "v")
+			sp.Graft(&Span{Name: "remote", Tier: "segment", DurUS: 5})
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if len(root.Children) != 32 {
+		t.Fatalf("children = %d, want 32", len(root.Children))
+	}
+	for _, c := range root.Children {
+		if len(c.Children) != 1 || c.Children[0].Tier != "segment" {
+			t.Fatalf("graft lost on %+v", c)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr, root := New("r3", "segment", "POST /rpc/v1/search")
+	ctx := NewContext(context.Background(), tr, root)
+	_, sp := StartSpan(ctx, "score")
+	sp.SetAttr("segment", "2")
+	sp.End()
+	root.End()
+
+	enc := EncodeSpan(tr.SnapshotRoot())
+	if enc == "" {
+		t.Fatalf("empty encoding")
+	}
+	if strings.ContainsAny(enc, "\r\n") {
+		t.Fatalf("header value contains newline: %q", enc)
+	}
+	dec, err := DecodeSpan(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Name != "POST /rpc/v1/search" || dec.Tier != "segment" {
+		t.Fatalf("decoded root %+v", dec)
+	}
+	if len(dec.Children) != 1 || dec.Children[0].Attrs["segment"] != "2" {
+		t.Fatalf("decoded children %+v", dec.Children)
+	}
+	if dec.DurUS <= 0 || dec.Children[0].DurUS <= 0 {
+		t.Fatalf("durations lost: %d / %d", dec.DurUS, dec.Children[0].DurUS)
+	}
+	// The echo-request sentinel and garbage both fail cleanly.
+	if _, err := DecodeSpan(RequestEcho); err == nil {
+		t.Fatalf("decoded the request sentinel")
+	}
+	if _, err := DecodeSpan("{nope"); err == nil {
+		t.Fatalf("decoded garbage")
+	}
+}
+
+func TestEncodeSpanCapsOversizedTrees(t *testing.T) {
+	root := &Span{Name: "root", DurUS: 10}
+	for i := 0; i < 4000; i++ {
+		root.Children = append(root.Children, &Span{
+			Name:  "child-with-a-reasonably-long-name",
+			Attrs: map[string]string{"backend": "http://segment-host:18091"},
+		})
+	}
+	enc := EncodeSpan(root)
+	if len(enc) > maxEncodedSpan {
+		t.Fatalf("encoded size %d past cap %d", len(enc), maxEncodedSpan)
+	}
+	dec, err := DecodeSpan(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Children) != 0 || dec.Attrs["truncated"] != "1" {
+		t.Fatalf("oversized tree not truncated-and-marked: %+v", dec)
+	}
+}
+
+func TestSnapshotStampsOpenSpans(t *testing.T) {
+	tr, root := New("r4", "serve", "slow")
+	ctx := NewContext(context.Background(), tr, root)
+	_, open := StartSpan(ctx, "still-running")
+	time.Sleep(2 * time.Millisecond)
+	snap := tr.SnapshotRoot()
+	if snap.DurUS <= 0 {
+		t.Fatalf("open root not stamped in snapshot")
+	}
+	if len(snap.Children) != 1 || snap.Children[0].DurUS <= 0 {
+		t.Fatalf("open child not stamped: %+v", snap.Children)
+	}
+	// The live spans stay open: snapshot must not end them.
+	if root.DurUS != 0 || open.DurUS != 0 {
+		t.Fatalf("snapshot ended live spans")
+	}
+	open.End()
+	root.End()
+}
+
+func TestCollectorRingSlowLogAndStages(t *testing.T) {
+	var slow bytes.Buffer
+	c := NewCollector(CollectorConfig{
+		Tier:          "serve",
+		RingSize:      2,
+		SlowThreshold: time.Microsecond,
+		SlowWriter:    &slow,
+	})
+	finishOne := func(id string) {
+		tr, root := New(id, "serve", "GET /api/v1/search")
+		ctx := NewContext(context.Background(), tr, root)
+		_, sp := StartSpan(ctx, "expand")
+		time.Sleep(time.Millisecond)
+		sp.End()
+		// A grafted remote subtree must not pollute serve's stages.
+		root.Graft(&Span{Name: "score", Tier: "segment", DurUS: 900})
+		c.Finish(tr)
+	}
+	for _, id := range []string{"ra", "rb", "rc"} {
+		finishOne(id)
+	}
+
+	got := c.Traces()
+	if len(got) != 2 {
+		t.Fatalf("ring kept %d, want 2", len(got))
+	}
+	if got[0].ID != "rc" || got[1].ID != "rb" {
+		t.Fatalf("ring order %q,%q; want rc,rb (newest first)", got[0].ID, got[1].ID)
+	}
+	if got[0].DurationMS <= 0 || got[0].Root == nil {
+		t.Fatalf("ring entry unfinished: %+v", got[0])
+	}
+
+	stages := c.StageSummaries()
+	if len(stages) != 1 || stages[0].Stage != "expand" {
+		t.Fatalf("stages = %+v, want only expand (remote tier skipped)", stages)
+	}
+	if stages[0].Count != 3 || stages[0].Latency.P50MS <= 0 {
+		t.Fatalf("expand stage %+v", stages[0])
+	}
+
+	lines := strings.Split(strings.TrimSpace(slow.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("slow log has %d lines, want 3:\n%s", len(lines), slow.String())
+	}
+	var rec struct {
+		SlowQuery  bool    `json:"slow_query"`
+		RequestID  string  `json:"request_id"`
+		Tier       string  `json:"tier"`
+		DurationMS float64 `json:"duration_ms"`
+		Trace      *Span   `json:"trace"`
+	}
+	if err := json.Unmarshal([]byte(lines[2]), &rec); err != nil {
+		t.Fatalf("slow line not JSON: %v\n%s", err, lines[2])
+	}
+	if !rec.SlowQuery || rec.RequestID != "rc" || rec.Tier != "serve" || rec.Trace == nil {
+		t.Fatalf("slow line %+v", rec)
+	}
+
+	// Nil collector and nil trace are safe.
+	var nilC *Collector
+	nilC.Finish(nil)
+	if nilC.Traces() != nil || nilC.StageSummaries() != nil {
+		t.Fatalf("nil collector returned data")
+	}
+	c.Finish(nil)
+}
+
+func TestFormatTree(t *testing.T) {
+	root := &Span{
+		Name: "GET /api/v1/search", Tier: "router", StartUS: 1000, DurUS: 12000,
+		Children: []*Span{{
+			Name: "proxy", StartUS: 1500, DurUS: 11000,
+			Attrs: map[string]string{"replica": "http://r1"},
+			Children: []*Span{{
+				Name: "GET /api/v1/search", Tier: "serve", StartUS: 2000, DurUS: 10000,
+			}},
+		}},
+	}
+	out := FormatTree(root)
+	want := []string{
+		"[router] GET /api/v1/search  12.000ms",
+		"  proxy replica=http://r1  11.000ms (+0.500ms)",
+		"    [serve] GET /api/v1/search  10.000ms (+0.500ms)",
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != len(want) {
+		t.Fatalf("FormatTree lines:\n%s", out)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("line %d:\n got %q\nwant %q", i, lines[i], want[i])
+		}
+	}
+	if FormatTree(nil) != "" {
+		t.Fatalf("nil tree formatted non-empty")
+	}
+}
+
+func TestNewIDShape(t *testing.T) {
+	a, b := NewID(), NewID()
+	if a == b {
+		t.Fatalf("two IDs collided: %q", a)
+	}
+	if len(a) != 17 || a[0] != 'r' {
+		t.Fatalf("ID shape %q", a)
+	}
+}

@@ -2,19 +2,21 @@ package webapi
 
 import (
 	"context"
-	"crypto/rand"
-	"encoding/hex"
 	"log/slog"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // RequestIDHeader carries the request correlation ID. Incoming values
 // are honoured (so a front-end can stitch its own traces); otherwise
-// the server mints one. The response always echoes it.
-const RequestIDHeader = "X-Request-Id"
+// the server mints one. The response always echoes it. Shared with the
+// trace package: the same ID correlates the span trees of every tier a
+// request crosses.
+const RequestIDHeader = trace.RequestIDHeader
 
 // ReplicaHeader names the replica that served a response. Set on
 // every response when the server was given a replica ID, so clients
@@ -32,15 +34,6 @@ func RequestID(ctx context.Context) string {
 	return id
 }
 
-// newRequestID mints a 64-bit random correlation ID.
-func newRequestID() string {
-	var b [8]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		return "r0"
-	}
-	return "r" + hex.EncodeToString(b[:])
-}
-
 // instrument wraps one route's handler with the registry's per-route
 // telemetry (metrics.Instrument reuses the middleware's StatusRecorder
 // so the chain adds no extra wrapper allocation). The same helper
@@ -50,14 +43,34 @@ func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc
 	return s.metrics.Instrument(pattern, h)
 }
 
+// skipTrace reports paths not worth a trace-ring slot: health probes,
+// metrics scrapes, and the trace ring itself would otherwise drown the
+// query traces operators come for.
+func skipTrace(path string) bool {
+	return path == "/api/v1/healthz" ||
+		path == "/api/v1/metrics" ||
+		path == distribMetricsAlias ||
+		strings.HasPrefix(path, "/api/v1/debug/")
+}
+
+// distribMetricsAlias mirrors distrib.MetricsAliasPath without the
+// import (webapi must not depend on the RPC package).
+const distribMetricsAlias = "/metrics"
+
 // withMiddleware wraps next with the server's standard chain:
-// request-ID propagation, request logging, and panic recovery into a
-// 500 error envelope.
+// request-ID propagation, per-request tracing, request logging, and
+// panic recovery into a 500 error envelope.
+//
+// Tracing implements the serve side of the trace header contract (see
+// package trace): every non-skipped request is traced into the
+// collector under the request's correlation ID, and when the caller
+// sent "X-IVR-Trace: 1" the finished span tree is serialised into the
+// same response header just before the headers flush.
 func (s *Server) withMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		reqID := r.Header.Get(RequestIDHeader)
 		if reqID == "" {
-			reqID = newRequestID()
+			reqID = trace.NewID()
 		}
 		w.Header().Set(RequestIDHeader, reqID)
 		if s.replicaID != "" {
@@ -66,6 +79,20 @@ func (s *Server) withMiddleware(next http.Handler) http.Handler {
 		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, reqID))
 
 		rec := metrics.NewStatusRecorder(w)
+		var tr *trace.Trace
+		if !skipTrace(r.URL.Path) {
+			t, root := trace.New(reqID, trace.TierServe, r.Method+" "+r.URL.Path)
+			tr = t
+			r = r.WithContext(trace.NewContext(r.Context(), t, root))
+			if r.Header.Get(trace.Header) == trace.RequestEcho {
+				// The tree must be on the wire before the headers flush;
+				// the hook runs at the last settable moment and encodes a
+				// stamped snapshot of the still-open tree.
+				rec.SetBeforeWrite(func() {
+					rec.Header().Set(trace.Header, trace.EncodeSpan(t.SnapshotRoot()))
+				})
+			}
+		}
 		start := time.Now()
 		defer func() {
 			if p := recover(); p != nil {
@@ -77,11 +104,14 @@ func (s *Server) withMiddleware(next http.Handler) http.Handler {
 				if rec.Status() == 0 {
 					writeCode(rec, http.StatusInternalServerError, codeInternal, "internal error")
 				}
-				return
+			} else {
+				s.log.Log(r.Context(), slog.LevelInfo, "request",
+					"request_id", reqID, "method", r.Method, "path", r.URL.Path,
+					"status", rec.Status(), "duration", time.Since(start))
 			}
-			s.log.Log(r.Context(), slog.LevelInfo, "request",
-				"request_id", reqID, "method", r.Method, "path", r.URL.Path,
-				"status", rec.Status(), "duration", time.Since(start))
+			// Handlers that never wrote still owe the caller its echo.
+			rec.FireBeforeWrite()
+			s.tracer.Finish(tr)
 		}()
 		next.ServeHTTP(rec, r)
 	})

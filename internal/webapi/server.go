@@ -22,7 +22,10 @@
 //	GET    /api/v1/shots/{id}                     shot metadata
 //	GET    /api/v1/healthz                        liveness + session stats
 //	GET    /api/v1/metrics                        telemetry snapshot (per-route counters,
-//	                                              latency quantiles, session-table stats)
+//	                                              latency quantiles, session-table stats);
+//	                                              ?format=prometheus for text exposition
+//	GET    /api/v1/debug/traces                   ring of recently finished query traces
+//	GET    /metrics                               Prometheus scrape alias
 //
 // Legacy unversioned /api/... paths respond 308 Permanent Redirect to
 // the /api/v1 equivalent. Every response carries an X-Request-Id
@@ -30,6 +33,7 @@
 package webapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -47,6 +51,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/retrieval"
 	"repro/internal/sessionstore"
+	"repro/internal/trace"
 )
 
 // Error codes in the envelope; stable API vocabulary for clients.
@@ -72,6 +77,7 @@ type Server struct {
 	mgr       *core.SessionManager
 	log       *slog.Logger
 	metrics   *metrics.Registry
+	tracer    *trace.Collector
 	ownsMgr   bool
 	replicaID string
 	handler   http.Handler
@@ -87,6 +93,8 @@ type serverConfig struct {
 	maxSessions int
 	store       sessionstore.SessionStore
 	replicaID   string
+	slowQuery   time.Duration
+	traceRing   int
 }
 
 // WithLogger routes request and error logs (default: discard).
@@ -128,6 +136,19 @@ func WithReplicaID(id string) Option {
 	return func(c *serverConfig) { c.replicaID = id }
 }
 
+// WithSlowQuery logs any traced request at least this slow as a
+// structured slow-query line (full span tree as JSON) through the
+// process's stderr. 0 disables the log; tracing itself is always on.
+func WithSlowQuery(d time.Duration) Option {
+	return func(c *serverConfig) { c.slowQuery = d }
+}
+
+// WithTraceRing bounds the ring of recently finished traces served at
+// /api/v1/debug/traces (default: the trace package default).
+func WithTraceRing(n int) Option {
+	return func(c *serverConfig) { c.traceRing = n }
+}
+
 // NewServer wraps a system, building (and owning) a SessionManager
 // unless one is supplied.
 func NewServer(sys *core.System, opts ...Option) (*Server, error) {
@@ -154,6 +175,14 @@ func NewServer(sys *core.System, opts ...Option) (*Server, error) {
 		s.mgr = m
 		s.ownsMgr = true
 	}
+	s.tracer = trace.NewCollector(trace.CollectorConfig{
+		Tier:          trace.TierServe,
+		RingSize:      cfg.traceRing,
+		SlowThreshold: cfg.slowQuery,
+	})
+	// Stage quantiles (expand/prepare/segment/merge/...) observed by the
+	// collector surface in the retrieval section of /api/v1/metrics.
+	sys.SetStageTelemetry(s.tracer.StageSummaries)
 	s.handler = s.withMiddleware(s.routes())
 	return s, nil
 }
@@ -173,6 +202,9 @@ func (s *Server) BeginDrain() (int, error) { return s.mgr.Drain() }
 
 // Metrics exposes the server's telemetry registry (ops and tests).
 func (s *Server) Metrics() *metrics.Registry { return s.metrics }
+
+// Tracer exposes the server's trace collector (ops and tests).
+func (s *Server) Tracer() *trace.Collector { return s.tracer }
 
 // Close stops the session manager when the server owns it.
 func (s *Server) Close() error {
@@ -213,6 +245,8 @@ func (s *Server) routes() http.Handler {
 	handle("GET /api/v1/shots/{id}", s.handleShot)
 	handle("GET /api/v1/healthz", s.handleHealthz)
 	handle("GET /api/v1/metrics", s.handleMetrics)
+	handle("GET /api/v1/debug/traces", s.handleTraces)
+	handle("GET /metrics", s.handlePrometheus)
 	mux.HandleFunc("/api/", s.instrument(routeLegacy, s.handleLegacy))
 	mux.HandleFunc("/", s.instrument(routeUnmatched, func(w http.ResponseWriter, r *http.Request) {
 		writeCode(w, http.StatusNotFound, codeNotFound, "no route %s %s", r.Method, r.URL.Path)
@@ -464,7 +498,11 @@ type metricsResponse struct {
 	Search   retrieval.Snapshot `json:"search"`
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		s.handlePrometheus(w, r)
+		return
+	}
 	st := s.mgr.Stats()
 	writeJSON(w, http.StatusOK, metricsResponse{
 		Snapshot: s.metrics.TakeSnapshot(),
@@ -476,6 +514,44 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		},
 		Search: s.sys.RetrievalSnapshot(),
 	})
+}
+
+// handlePrometheus serves the text exposition (format 0.0.4) scrape
+// body: the shared HTTP families plus the serve tier's own sessions,
+// result-cache and per-stage families.
+func (s *Server) handlePrometheus(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", metrics.PrometheusContentType)
+	w.WriteHeader(http.StatusOK)
+	_ = s.metrics.WritePrometheus(w, trace.TierServe)
+	pw := metrics.NewPromWriter(w)
+	st := s.mgr.Stats()
+	pw.Family("ivr_sessions_live", "gauge")
+	pw.Sample("ivr_sessions_live", float64(st.Live))
+	pw.Family("ivr_sessions_created_total", "counter")
+	pw.Sample("ivr_sessions_created_total", float64(st.Created))
+	pw.Family("ivr_sessions_evicted_total", "counter")
+	pw.Sample("ivr_sessions_evicted_total", float64(st.Evicted))
+	snap := s.sys.RetrievalSnapshot()
+	pw.Family("ivr_cache_lookups_total", "counter")
+	pw.Sample("ivr_cache_lookups_total", float64(snap.Cache.Hits), "result", "hit")
+	pw.Sample("ivr_cache_lookups_total", float64(snap.Cache.Shared), "result", "shared")
+	pw.Sample("ivr_cache_lookups_total", float64(snap.Cache.Misses), "result", "miss")
+	if len(snap.Stages) > 0 {
+		pw.Family("ivr_stage_duration_seconds", "summary")
+		for _, sg := range snap.Stages {
+			pw.Summary("ivr_stage_duration_seconds", sg.Latency, "stage", sg.Stage)
+		}
+	}
+}
+
+// tracesResponse is the /api/v1/debug/traces body: the ring of
+// recently finished traces, newest first.
+type tracesResponse struct {
+	Traces []*trace.Entry `json:"traces"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, tracesResponse{Traces: s.tracer.Traces()})
 }
 
 // searchHit is one result entry with display metadata.
@@ -572,7 +648,7 @@ func (s *Server) parseSearchParams(w http.ResponseWriter, r *http.Request) (sear
 // [offset, offset+limit) page. Only the windowed hits are decorated
 // with collection metadata, keeping per-request work proportional to
 // the page, not the ranking depth.
-func (s *Server) runSearch(p searchParams) (searchPage, error) {
+func (s *Server) runSearch(ctx context.Context, p searchParams) (searchPage, error) {
 	page := searchPage{
 		SessionID: p.sessionID,
 		Query:     p.query,
@@ -580,8 +656,13 @@ func (s *Server) runSearch(p searchParams) (searchPage, error) {
 		Limit:     p.limit,
 		Hits:      []searchHit{},
 	}
-	err := s.mgr.With(p.sessionID, func(sess *core.Session) error {
-		res, err := sess.QueryFiltered(p.query, p.filter)
+	// The "session" span covers everything owned by the session layer:
+	// lock wait, a store restore when the session is not resident, the
+	// retrieval itself, and the write-through persist.
+	sctx, sp := trace.StartSpan(ctx, "session")
+	defer sp.End()
+	err := s.mgr.WithContext(sctx, p.sessionID, func(sess *core.Session) error {
+		res, err := sess.QueryFilteredContext(sctx, p.query, p.filter)
 		if err != nil {
 			return err
 		}
@@ -622,12 +703,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	page, err := s.runSearch(p)
+	page, err := s.runSearch(r.Context(), p)
 	if err != nil {
 		writeManagerErr(w, err, p.sessionID)
 		return
 	}
+	_, enc := trace.StartSpan(r.Context(), "encode")
 	writeJSON(w, http.StatusOK, page)
+	enc.End()
 }
 
 // streamLine is one NDJSON line of the streaming search endpoint:
@@ -652,7 +735,7 @@ func (s *Server) handleSearchStream(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	page, err := s.runSearch(p)
+	page, err := s.runSearch(r.Context(), p)
 	if err != nil {
 		writeManagerErr(w, err, p.sessionID)
 		return

@@ -483,6 +483,7 @@ func TestCatchAllRouteLabelsBounded(t *testing.T) {
 		"POST /api/v1/sessions", "GET /api/v1/sessions", "GET /api/v1/sessions/{id}",
 		"DELETE /api/v1/sessions/{id}", "GET /api/v1/search", "GET /api/v1/search/stream",
 		"POST /api/v1/events", "GET /api/v1/shots/{id}", "GET /api/v1/healthz", "GET /api/v1/metrics",
+		"GET /api/v1/debug/traces", "GET /metrics",
 	} {
 		allowed[pattern] = true
 	}
