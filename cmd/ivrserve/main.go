@@ -82,6 +82,7 @@ func main() {
 		searchCache = flag.Int("search-cache", 4096, "evidence-keyed result cache entries (0 disables)")
 		segAddrs    = flag.String("segment-addrs", "", "comma-separated ivrsegment base URLs; enables the distributed scatter/gather tier (static topology)")
 		segTimeout  = flag.Duration("segment-timeout", distrib.DefaultRPCTimeout, "per-segment RPC deadline in distributed mode")
+		rpcCodec    = flag.String("rpc-codec", "binary", "segment search body codec: binary (negotiated, falls back per backend) or json (forced)")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty disables)")
 		slowQuery   = flag.Duration("slow-query", 0, "log the span tree of requests slower than this to stderr as JSON (0 disables)")
 		quiet       = flag.Bool("quiet", false, "suppress per-request logs")
@@ -130,8 +131,16 @@ func main() {
 	var cluster *distrib.Cluster
 	if *segAddrs != "" {
 		addrs := splitAddrs(*segAddrs)
+		opts := []distrib.Option{distrib.WithTimeout(*segTimeout)}
+		switch *rpcCodec {
+		case "binary":
+		case "json":
+			opts = append(opts, distrib.WithJSONCodec())
+		default:
+			fail("unknown -rpc-codec %q (binary or json)", *rpcCodec)
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		cluster, err = distrib.Connect(ctx, addrs, distrib.WithTimeout(*segTimeout))
+		cluster, err = distrib.Connect(ctx, addrs, opts...)
 		cancel()
 		if err != nil {
 			fail("connect segment servers: %v", err)

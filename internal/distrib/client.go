@@ -21,7 +21,7 @@ import (
 // Fault sentinels, matchable through errors.Is on any *BackendError.
 var (
 	// ErrBadResponse marks a backend reply the merge tier refused to
-	// trust: wrong content type, undecodable JSON, missing required
+	// trust: wrong content type, undecodable body, missing required
 	// keys, or a segment echo that does not match the request. Garbage
 	// from a backend must become this error — never a silently wrong
 	// ranking.
@@ -30,6 +30,20 @@ var (
 	// and message are included in the wrapping error text).
 	ErrBackendStatus = errors.New("distrib: backend returned error status")
 )
+
+// statusError carries the HTTP status of a non-200 RPC reply alongside
+// the ErrBackendStatus chain, so codec negotiation can tell "the
+// backend refused this request encoding" (400/415) apart from routing
+// and server faults without parsing error text.
+type statusError struct {
+	status int
+	err    error
+}
+
+func (e *statusError) Error() string { return e.err.Error() }
+
+// Unwrap keeps errors.Is(err, ErrBackendStatus) matching.
+func (e *statusError) Unwrap() error { return e.err }
 
 // BackendError reports a failed RPC against one segment backend.
 type BackendError struct {
@@ -63,16 +77,26 @@ func (e *BackendError) Timeout() bool {
 // the per-query RPC deadline; statsHC has none, so the (much larger)
 // startup stats download is bounded by the Connect context instead.
 type backend struct {
-	addr     string
-	hc       *http.Client
-	statsHC  *http.Client
-	requests atomic.Int64
-	errors   atomic.Int64
-	latency  metrics.Histogram
+	addr    string
+	hc      *http.Client
+	statsHC *http.Client
+	// useBinary is the negotiated search-body codec: it starts from the
+	// cluster option (binary by default) and latches to false the first
+	// time this backend rejects a binary body — a JSON-only backend
+	// costs one failed probe ever, not one per query.
+	useBinary      atomic.Bool
+	requests       atomic.Int64
+	errors         atomic.Int64
+	binSearches    atomic.Int64
+	jsonSearches   atomic.Int64
+	codecFallbacks atomic.Int64
+	latency        metrics.Histogram
 }
 
-func newBackend(addr string, hc, statsHC *http.Client) *backend {
-	return &backend{addr: strings.TrimRight(addr, "/"), hc: hc, statsHC: statsHC}
+func newBackend(addr string, hc, statsHC *http.Client, binary bool) *backend {
+	b := &backend{addr: strings.TrimRight(addr, "/"), hc: hc, statsHC: statsHC}
+	b.useBinary.Store(binary)
+	return b
 }
 
 // fail counts and wraps one fault.
@@ -87,24 +111,54 @@ func (b *backend) fail(segment int, err error) error {
 // it instead of masquerading as corruption).
 const maxResponseBody = 64 << 20
 
-// decodeRPC validates status and content type, then decodes the body.
-// Error statuses surface the envelope's code/message when one parses.
-func decodeRPC(resp *http.Response, v any) error {
+// appendAll drains r into dst, reusing dst's capacity — the pooled
+// replacement for io.ReadAll on the per-query paths.
+func appendAll(dst []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
+// readRPCBody buffers the reply into dst's storage, enforcing the
+// response cap, and turns non-200 statuses into statusError (carrying
+// the envelope's code/message when one parses).
+func readRPCBody(resp *http.Response, dst []byte) ([]byte, error) {
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBody+1))
+	body, err := appendAll(dst, io.LimitReader(resp.Body, maxResponseBody+1))
 	if err != nil {
-		return fmt.Errorf("read body: %w", err)
+		return body, fmt.Errorf("read body: %w", err)
 	}
 	if len(body) > maxResponseBody {
-		return fmt.Errorf("%w: body exceeds %d bytes", ErrBadResponse, maxResponseBody)
+		return body, fmt.Errorf("%w: body exceeds %d bytes", ErrBadResponse, maxResponseBody)
 	}
 	if resp.StatusCode != http.StatusOK {
 		var env rpcErrorEnvelope
 		if json.Unmarshal(body, &env) == nil && env.Error.Code != "" {
-			return fmt.Errorf("%w: %d %s: %s", ErrBackendStatus,
-				resp.StatusCode, env.Error.Code, env.Error.Message)
+			return body, &statusError{status: resp.StatusCode, err: fmt.Errorf("%w: %d %s: %s",
+				ErrBackendStatus, resp.StatusCode, env.Error.Code, env.Error.Message)}
 		}
-		return fmt.Errorf("%w: status %d", ErrBackendStatus, resp.StatusCode)
+		return body, &statusError{status: resp.StatusCode,
+			err: fmt.Errorf("%w: status %d", ErrBackendStatus, resp.StatusCode)}
+	}
+	return body, nil
+}
+
+// decodeRPC validates status and content type, then decodes a JSON
+// body (the stats/topology path; search goes through searchOnce).
+func decodeRPC(resp *http.Response, v any) error {
+	body, err := readRPCBody(resp, nil)
+	if err != nil {
+		return err
 	}
 	if mt, _, err := mime.ParseMediaType(resp.Header.Get("Content-Type")); err != nil || mt != "application/json" {
 		return fmt.Errorf("%w: content type %q", ErrBadResponse, resp.Header.Get("Content-Type"))
@@ -137,21 +191,72 @@ func (b *backend) stats(ctx context.Context) (*StatsResponse, error) {
 	return &out, nil
 }
 
-// search scores one segment remotely. The response is trusted only
-// after validation: required keys present, segment echo matching, and
-// candidate count consistent with the hit list.
+// search scores one segment remotely, speaking the negotiated codec.
+// The response is trusted only after validation: required keys
+// present, segment echo matching, and candidate count consistent with
+// the hit list. Callers own resp.Hits and should hand the slice to
+// recycleWireHits once converted.
 func (b *backend) search(ctx context.Context, sreq SearchRequest) (*SearchResponse, error) {
 	b.requests.Add(1)
 	start := time.Now()
-	body, err := json.Marshal(sreq)
+	out, err := b.searchOnce(ctx, &sreq, b.useBinary.Load())
+	if err != nil && b.useBinary.Load() && demotesBinary(err) {
+		// The backend rejected the binary body outright: it predates the
+		// codec (400, the frame is not JSON) or refuses the media type
+		// (415). Latch this backend to JSON and retry the query once on
+		// the fallback — negotiation must cost a query a round trip, not
+		// an error.
+		b.useBinary.Store(false)
+		b.codecFallbacks.Add(1)
+		out, err = b.searchOnce(ctx, &sreq, false)
+	}
 	if err != nil {
 		return nil, b.fail(sreq.Segment, err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.addr+SearchPath, bytes.NewReader(body))
-	if err != nil {
-		return nil, b.fail(sreq.Segment, err)
+	b.latency.Observe(time.Since(start))
+	return out, nil
+}
+
+// demotesBinary reports whether a search fault plausibly means "the
+// backend did not understand the binary request body". Anything other
+// than a 400/415 envelope — timeouts, routing 404s, 5xx — is a real
+// fault that must surface instead of triggering a codec retry.
+func demotesBinary(err error) bool {
+	var se *statusError
+	if !errors.As(err, &se) {
+		return false
 	}
-	req.Header.Set("Content-Type", "application/json")
+	return se.status == http.StatusBadRequest || se.status == http.StatusUnsupportedMediaType
+}
+
+// searchOnce performs one search RPC in the given codec. Request body
+// buffers, their bytes.Reader wrapper, and the response read buffer
+// all come from pools, so a steady-state scatter round allocates
+// nothing for framing.
+func (b *backend) searchOnce(ctx context.Context, sreq *SearchRequest, binary bool) (*SearchResponse, error) {
+	bodyBuf := getBuf()
+	contentType := "application/json"
+	if binary {
+		b.binSearches.Add(1)
+		contentType = ContentTypeBinary
+		*bodyBuf = appendSearchRequest((*bodyBuf)[:0], sreq)
+	} else {
+		b.jsonSearches.Add(1)
+		w := bytes.NewBuffer((*bodyBuf)[:0])
+		if err := json.NewEncoder(w).Encode(sreq); err != nil {
+			putBuf(bodyBuf)
+			return nil, err
+		}
+		*bodyBuf = w.Bytes()
+	}
+	rd := readerPool.Get().(*bytes.Reader)
+	rd.Reset(*bodyBuf)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.addr+SearchPath, rd)
+	if err != nil {
+		putBuf(bodyBuf)
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
 	// Cross-process correlation: forward the query's request ID and ask
 	// the backend to echo its server-side span tree, which is grafted
 	// under the current (per-segment) span — client-observed RPC time
@@ -164,27 +269,54 @@ func (b *backend) search(ctx context.Context, sreq SearchRequest) (*SearchRespon
 	}
 	resp, err := b.hc.Do(req)
 	if err != nil {
-		return nil, b.fail(sreq.Segment, err)
+		// The transport may retain the body reader briefly on aborted
+		// requests; let the GC reclaim this pair instead of recycling.
+		return nil, err
 	}
+	rd.Reset(nil)
+	readerPool.Put(rd)
+	defer putBuf(bodyBuf)
 	if tr != nil {
 		if remote, derr := trace.DecodeSpan(resp.Header.Get(trace.Header)); derr == nil {
 			trace.SpanFromContext(ctx).Graft(remote)
 		}
 	}
-	var out SearchResponse
-	if err := decodeRPC(resp, &out); err != nil {
-		return nil, b.fail(sreq.Segment, err)
+	respBuf := getBuf()
+	defer putBuf(respBuf)
+	body, err := readRPCBody(resp, (*respBuf)[:0])
+	*respBuf = body[:0]
+	if err != nil {
+		return nil, err
+	}
+	out := &SearchResponse{}
+	mt, _, _ := mime.ParseMediaType(resp.Header.Get("Content-Type"))
+	switch mt {
+	case ContentTypeBinary:
+		var seg, cand int
+		out.Segment, out.Candidates = &seg, &cand
+		out.Hits = getWireHits()
+		if derr := decodeSearchResponse(body, out); derr != nil {
+			recycleWireHits(out.Hits)
+			return nil, fmt.Errorf("%w: %v", ErrBadResponse, derr)
+		}
+	case "application/json":
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if derr := dec.Decode(out); derr != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadResponse, derr)
+		}
+	default:
+		return nil, fmt.Errorf("%w: content type %q", ErrBadResponse, resp.Header.Get("Content-Type"))
 	}
 	switch {
 	case out.Segment == nil || out.Candidates == nil:
-		return nil, b.fail(sreq.Segment, fmt.Errorf("%w: missing segment/candidates keys", ErrBadResponse))
+		return nil, fmt.Errorf("%w: missing segment/candidates keys", ErrBadResponse)
 	case *out.Segment != sreq.Segment:
-		return nil, b.fail(sreq.Segment, fmt.Errorf("%w: scored segment %d, asked for %d",
-			ErrBadResponse, *out.Segment, sreq.Segment))
+		return nil, fmt.Errorf("%w: scored segment %d, asked for %d",
+			ErrBadResponse, *out.Segment, sreq.Segment)
 	case *out.Candidates < len(out.Hits):
-		return nil, b.fail(sreq.Segment, fmt.Errorf("%w: %d candidates < %d hits",
-			ErrBadResponse, *out.Candidates, len(out.Hits)))
+		return nil, fmt.Errorf("%w: %d candidates < %d hits",
+			ErrBadResponse, *out.Candidates, len(out.Hits))
 	}
-	b.latency.Observe(time.Since(start))
-	return &out, nil
+	return out, nil
 }

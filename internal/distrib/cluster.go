@@ -29,13 +29,21 @@ const statsDeadline = 2 * time.Minute
 type Option func(*clusterConfig)
 
 type clusterConfig struct {
-	timeout time.Duration
-	hc      *http.Client
+	timeout   time.Duration
+	hc        *http.Client
+	forceJSON bool
 }
 
 // WithTimeout bounds each segment RPC (default DefaultRPCTimeout).
 func WithTimeout(d time.Duration) Option {
 	return func(c *clusterConfig) { c.timeout = d }
+}
+
+// WithJSONCodec forces every search RPC onto the JSON body codec
+// instead of negotiating the binary framing — the escape hatch for
+// codec-vs-codec benchmarking and debugging with readable captures.
+func WithJSONCodec() Option {
+	return func(c *clusterConfig) { c.forceJSON = true }
 }
 
 // WithHTTPClient substitutes the transport (tests inject
@@ -101,7 +109,7 @@ func Connect(ctx context.Context, addrs []string, opts ...Option) (*Cluster, err
 	var wg sync.WaitGroup
 	errs := make([]error, len(addrs))
 	for i, addr := range addrs {
-		c.backends[i] = newBackend(addr, &searchHC, &statsHC)
+		c.backends[i] = newBackend(addr, &searchHC, &statsHC, !cfg.forceJSON)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -228,10 +236,13 @@ func (c *Cluster) BackendSummaries() []retrieval.BackendSummary {
 	out := make([]retrieval.BackendSummary, len(c.backends))
 	for i, b := range c.backends {
 		s := retrieval.BackendSummary{
-			Addr:     b.addr,
-			Requests: b.requests.Load(),
-			Errors:   b.errors.Load(),
-			Latency:  b.latency.Summary(),
+			Addr:           b.addr,
+			Requests:       b.requests.Load(),
+			Errors:         b.errors.Load(),
+			BinarySearches: b.binSearches.Load(),
+			JSONSearches:   b.jsonSearches.Load(),
+			CodecFallbacks: b.codecFallbacks.Load(),
+			Latency:        b.latency.Summary(),
 		}
 		for ord, owner := range c.segOwner {
 			if owner == b {
@@ -308,6 +319,7 @@ func (r *remoteSegment) SearchSegment(ctx context.Context, p *search.PreparedQue
 		for i, h := range resp.Hits {
 			hits[i] = search.Hit{Doc: index.DocID(h.Doc), ID: h.ID, Score: h.Score}
 		}
+		recycleWireHits(resp.Hits)
 		return search.SegmentResult{Hits: hits, Candidates: *resp.Candidates}, nil
 	}
 	if k <= 0 {
@@ -327,6 +339,7 @@ func (r *remoteSegment) SearchSegment(ctx context.Context, p *search.PreparedQue
 		candidates++
 		top.Offer(search.Hit{Doc: index.DocID(h.Doc), ID: h.ID, Score: h.Score})
 	}
+	recycleWireHits(resp.Hits)
 	return search.SegmentResult{Hits: top.Ranked(), Candidates: candidates}, nil
 }
 

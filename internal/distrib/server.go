@@ -1,13 +1,17 @@
 package distrib
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
+	"mime"
 	"net/http"
 	"sort"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/index"
@@ -52,8 +56,24 @@ type SegmentServer struct {
 	statsBody  []byte // precomputed: the index is immutable
 	log        *slog.Logger
 	metrics    *metrics.Registry
+	codec      codecCounters
 	tracer     *trace.Collector
 	handler    http.Handler
+}
+
+// codecCounters counts /rpc/v1/search bodies by negotiated codec —
+// the observable proof (scraped by the CI smoke test) that the merge
+// tier actually negotiated the binary framing instead of silently
+// falling back to JSON.
+type codecCounters struct {
+	binary atomic.Int64
+	json   atomic.Int64
+}
+
+// codecSnapshot is the JSON rendering of codecCounters.
+type codecSnapshot struct {
+	Binary int64 `json:"binary"`
+	JSON   int64 `json:"json"`
 }
 
 // NewSegmentServer validates the hosted set and precomputes the stats
@@ -246,13 +266,48 @@ func (s *SegmentServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.handlePrometheus(w, r)
 		return
 	}
-	writeRPCJSON(w, http.StatusOK, s.metrics.TakeSnapshot())
+	writeRPCJSON(w, http.StatusOK, struct {
+		metrics.Snapshot
+		Codec codecSnapshot `json:"codec"`
+		// Kernel is process-wide: every hosted segment scores through
+		// the same pooled kernel.
+		Kernel search.KernelStats `json:"kernel"`
+	}{
+		Snapshot: s.metrics.TakeSnapshot(),
+		Codec:    codecSnapshot{Binary: s.codec.binary.Load(), JSON: s.codec.json.Load()},
+		Kernel:   search.ReadKernelStats(),
+	})
 }
 
 func (s *SegmentServer) handlePrometheus(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", metrics.PrometheusContentType)
 	w.WriteHeader(http.StatusOK)
-	_ = s.metrics.WritePrometheus(w, trace.TierSegment)
+	if err := s.metrics.WritePrometheus(w, trace.TierSegment); err != nil {
+		return
+	}
+	// Segment-tier extras on the same scrape: search-body codec split
+	// and the scoring kernel's block-max telemetry.
+	p := metrics.NewPromWriter(w)
+	p.Family("ivr_rpc_codec_requests_total", "counter")
+	p.Sample("ivr_rpc_codec_requests_total", float64(s.codec.binary.Load()), "codec", "binary")
+	p.Sample("ivr_rpc_codec_requests_total", float64(s.codec.json.Load()), "codec", "json")
+	ks := search.ReadKernelStats()
+	kernel := []struct {
+		name string
+		v    int64
+	}{
+		{"ivr_kernel_segment_scans_total", ks.SegmentScans},
+		{"ivr_kernel_pruned_scans_total", ks.PrunedScans},
+		{"ivr_kernel_blocks_scored_total", ks.BlocksScored},
+		{"ivr_kernel_blocks_skipped_total", ks.BlocksSkipped},
+		{"ivr_kernel_blocks_rescored_total", ks.BlocksRescored},
+		{"ivr_kernel_postings_skipped_total", ks.PostingsSkipped},
+		{"ivr_kernel_terms_skipped_total", ks.TermsSkipped},
+	}
+	for _, k := range kernel {
+		p.Family(k.name, "counter")
+		p.Sample(k.name, float64(k.v))
+	}
 }
 
 // handleTraces serves the ring of recently finished traces, newest
@@ -263,20 +318,52 @@ func (s *SegmentServer) handleTraces(w http.ResponseWriter, _ *http.Request) {
 	}{s.tracer.Traces()})
 }
 
+// searchReqPool recycles decoded search requests (and through them the
+// Terms/Stats slice capacity) across queries.
+var searchReqPool = sync.Pool{New: func() any { return new(SearchRequest) }}
+
 // handleSearch scores one hosted segment with the request's global
 // statistics through the same search.ScoreIndexSegment kernel the
-// in-process fan-out runs.
+// in-process fan-out runs. The body codec follows the request's
+// Content-Type: the binary frame on the hot path, JSON as the
+// universal fallback; the response is always encoded in the same
+// codec the request arrived in.
 func (s *SegmentServer) handleSearch(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, MaxSearchBody)
+	reqMT, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	binaryReq := reqMT == ContentTypeBinary
+	req := searchReqPool.Get().(*SearchRequest)
+	defer searchReqPool.Put(req)
+	// Reset fully: a JSON body leaves fields its keys omit untouched,
+	// and this struct carries the previous query's.
+	*req = SearchRequest{Terms: req.Terms[:0], Stats: req.Stats[:0]}
 	_, dec := trace.StartSpan(r.Context(), "decode")
-	var req SearchRequest
-	err := json.NewDecoder(r.Body).Decode(&req)
+	if binaryReq {
+		dec.SetAttr("codec", "binary")
+	}
+	bodyBuf := getBuf()
+	body, err := appendAll((*bodyBuf)[:0], r.Body)
+	*bodyBuf = body[:0]
+	defer putBuf(bodyBuf)
+	if err == nil {
+		if binaryReq {
+			s.codec.binary.Add(1)
+			err = decodeSearchRequest(body, req)
+		} else {
+			s.codec.json.Add(1)
+			err = json.Unmarshal(body, req)
+		}
+	}
 	dec.End()
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeRPCError(w, http.StatusRequestEntityTooLarge, codeTooLarge,
 				"request body exceeds %d bytes", MaxSearchBody)
+			return
+		}
+		if binaryReq {
+			writeRPCError(w, http.StatusBadRequest, codeInvalid, "invalid binary frame: %v", err)
 			return
 		}
 		writeRPCError(w, http.StatusBadRequest, codeInvalid, "invalid JSON: %v", err)
@@ -336,14 +423,40 @@ func (s *SegmentServer) handleSearch(w http.ResponseWriter, r *http.Request) {
 		sc.SetAttr("candidates", strconv.Itoa(res.Candidates))
 		sc.End()
 	}
-	hits := make([]WireHit, len(res.Hits))
-	for i, h := range res.Hits {
-		hits[i] = WireHit{Doc: uint32(h.Doc), ID: h.ID, Score: h.Score}
+	hits := getWireHits()
+	for _, h := range res.Hits {
+		hits = append(hits, WireHit{Doc: uint32(h.Doc), ID: h.ID, Score: h.Score})
 	}
 	search.RecycleHits(res.Hits)
-	writeRPCJSON(w, http.StatusOK, SearchResponse{
-		Segment:    &ordinal,
-		Hits:       hits,
-		Candidates: &res.Candidates,
-	})
+	// Encode into a pooled buffer and stream it with an exact
+	// Content-Length — one write, no chunked framing, no intermediate
+	// copy on either codec.
+	respBuf := getBuf()
+	defer putBuf(respBuf)
+	_, enc := trace.StartSpan(r.Context(), "encode")
+	var encErr error
+	contentType := "application/json"
+	if binaryReq {
+		contentType = ContentTypeBinary
+		*respBuf = appendSearchResponse((*respBuf)[:0], ordinal, hits, res.Candidates)
+	} else {
+		buf := bytes.NewBuffer((*respBuf)[:0])
+		encErr = json.NewEncoder(buf).Encode(SearchResponse{
+			Segment:    &ordinal,
+			Hits:       hits,
+			Candidates: &res.Candidates,
+		})
+		*respBuf = buf.Bytes()
+	}
+	enc.SetAttr("bytes", strconv.Itoa(len(*respBuf)))
+	enc.End()
+	recycleWireHits(hits)
+	if encErr != nil {
+		writeRPCError(w, http.StatusInternalServerError, codeInternal, "encode response: %v", encErr)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(*respBuf)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(*respBuf)
 }

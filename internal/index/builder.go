@@ -187,7 +187,8 @@ func (b *Builder) Build() *Index {
 		extIDs: b.extIDs,
 		ext2id: b.ext2id,
 	}
-	var scratch [2 * binary.MaxVarintLen64]byte
+	var scratch [binary.MaxVarintLen64]byte
+	var docRun, tfRun []byte // per-block scratch, reused across blocks
 	for f := Field(0); f < numFields; f++ {
 		fi := &ix.fields[f]
 		fi.docLens = b.docLens[f]
@@ -202,22 +203,52 @@ func (b *Builder) Build() *Index {
 		sort.Strings(terms)
 		fi.termList = terms
 		fi.infos = make([]termInfo, len(terms))
-		// Encode postings: delta-compressed doc ids, then tf, varint.
+		// Encode postings in self-describing blocks of up to BlockSize:
+		// header (n, maxTF, docBytes, tfBytes), then the delta/varint
+		// doc run, then the varint tf run. Deltas continue across block
+		// boundaries. Splitting the runs lets a scorer decode doc IDs
+		// while byte-skipping term frequencies (block-max pruning).
 		var blob []byte
 		for i, t := range terms {
 			plist := b.postings[f][t]
 			info := termInfo{df: uint32(len(plist)), off: uint64(len(blob))}
 			var prev DocID
-			for j, p := range plist {
-				delta := uint64(p.doc)
-				if j > 0 {
-					delta = uint64(p.doc - prev)
+			for start := 0; start < len(plist); start += BlockSize {
+				end := start + BlockSize
+				if end > len(plist) {
+					end = len(plist)
 				}
-				prev = p.doc
-				n := binary.PutUvarint(scratch[:], delta)
-				n += binary.PutUvarint(scratch[n:], uint64(p.tf))
+				docRun, tfRun = docRun[:0], tfRun[:0]
+				var blockMax uint32
+				for j := start; j < end; j++ {
+					p := plist[j]
+					delta := uint64(p.doc)
+					if j > 0 {
+						delta = uint64(p.doc - prev)
+					}
+					prev = p.doc
+					n := binary.PutUvarint(scratch[:], delta)
+					docRun = append(docRun, scratch[:n]...)
+					n = binary.PutUvarint(scratch[:], uint64(p.tf))
+					tfRun = append(tfRun, scratch[:n]...)
+					if p.tf > blockMax {
+						blockMax = p.tf
+					}
+					info.cf += uint64(p.tf)
+				}
+				if blockMax > info.maxTF {
+					info.maxTF = blockMax
+				}
+				n := binary.PutUvarint(scratch[:], uint64(end-start))
 				blob = append(blob, scratch[:n]...)
-				info.cf += uint64(p.tf)
+				n = binary.PutUvarint(scratch[:], uint64(blockMax))
+				blob = append(blob, scratch[:n]...)
+				n = binary.PutUvarint(scratch[:], uint64(len(docRun)))
+				blob = append(blob, scratch[:n]...)
+				n = binary.PutUvarint(scratch[:], uint64(len(tfRun)))
+				blob = append(blob, scratch[:n]...)
+				blob = append(blob, docRun...)
+				blob = append(blob, tfRun...)
 			}
 			info.n = uint64(len(blob)) - info.off
 			fi.infos[i] = info

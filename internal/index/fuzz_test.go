@@ -59,19 +59,115 @@ func TestReadRandomBytesFuzz(t *testing.T) {
 }
 
 // TestPostingsIteratorTruncatedBuffer exercises the iterator's
-// defensive paths directly.
+// defensive paths directly against malformed block streams.
 func TestPostingsIteratorTruncatedBuffer(t *testing.T) {
-	// A buffer that ends mid-varint.
-	it := &PostingsIterator{buf: []byte{0x80}, remaining: 3}
-	if it.Next() {
-		t.Error("truncated varint yielded a posting")
+	cases := []struct {
+		name string
+		buf  []byte
+		rem  int
+	}{
+		{"header ends mid-varint", []byte{0x80}, 3},
+		{"header truncated after n", []byte{0x01}, 1},
+		{"header truncated after maxTF", []byte{0x01, 0x02}, 1},
+		{"header truncated after docBytes", []byte{0x01, 0x02, 0x01}, 1},
+		// Header complete but docBytes+tfBytes overrun the buffer.
+		{"runs overrun buffer", []byte{0x01, 0x02, 0x05, 0x05, 0xAA}, 1},
+		// n claims more postings than the term has left.
+		{"block count exceeds remaining", []byte{0x7F, 0x02, 0x01, 0x01, 0x01, 0x01}, 2},
+		// Zero-posting block is structurally invalid.
+		{"empty block", []byte{0x00, 0x00, 0x00, 0x00}, 1},
+		// n claims a posting count larger than BlockSize.
+		{"oversized block", append([]byte{0x81, 0x02, 0x00, 0x00, 0x00}, make([]byte, 600)...), 300},
+		// Doc run truncated mid-varint (docBytes says 1 byte, but the
+		// byte has its continuation bit set).
+		{"doc run ends mid-varint", []byte{0x01, 0x02, 0x01, 0x01, 0x80, 0x01}, 1},
+		// Valid doc run, tf run truncated mid-varint.
+		{"tf run ends mid-varint", []byte{0x01, 0x02, 0x01, 0x01, 0x03, 0x80}, 1},
 	}
-	if it.Next() {
-		t.Error("iterator did not stay exhausted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			it := &PostingsIterator{buf: tc.buf, remaining: tc.rem}
+			if it.Next() {
+				t.Error("malformed block stream yielded a posting")
+			}
+			if it.Next() {
+				t.Error("iterator did not stay exhausted")
+			}
+			if n, _, ok := it.BlockBound(); ok || n != 0 {
+				t.Error("exhausted iterator still reports a block")
+			}
+		})
 	}
-	// A doc delta present but tf missing.
-	it = &PostingsIterator{buf: []byte{0x01}, remaining: 1}
-	if it.Next() {
-		t.Error("posting with missing tf yielded")
+}
+
+// TestPostingsIteratorBlockAPI pins the split-run contract the scoring
+// kernel relies on: BlockBound previews without consuming, doc runs
+// decode independently of tf runs, and an undecoded tf run is silently
+// dropped when the next block opens (that skip is the entire point of
+// the layout).
+func TestPostingsIteratorBlockAPI(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	ix, _ := randomIndex(r, 400, 6) // enough docs to force multi-block terms
+	for _, term := range ix.Terms(FieldText) {
+		// Reference decode via Next.
+		var wantDocs []DocID
+		var wantTFs []uint32
+		ref := ix.Postings(FieldText, term)
+		var refMax uint32
+		for ref.Next() {
+			wantDocs = append(wantDocs, ref.Doc())
+			wantTFs = append(wantTFs, uint32(ref.TF()))
+			if uint32(ref.TF()) > refMax {
+				refMax = uint32(ref.TF())
+			}
+		}
+		if got := ix.MaxTF(FieldText, term); got != refMax {
+			t.Fatalf("term %q: MaxTF = %d, want %d", term, got, refMax)
+		}
+		// Block decode, with and without tf runs.
+		var docBuf [BlockSize]DocID
+		var tfBuf [BlockSize]uint32
+		it := ix.Postings(FieldText, term)
+		if it.MaxTF() != refMax {
+			t.Fatalf("term %q: iterator MaxTF = %d, want %d", term, it.MaxTF(), refMax)
+		}
+		pos := 0
+		block := 0
+		for {
+			n, blockMax, ok := it.BlockBound()
+			if !ok {
+				break
+			}
+			if blockMax > refMax {
+				t.Fatalf("term %q: block maxTF %d exceeds term max %d", term, blockMax, refMax)
+			}
+			if got := it.DecodeBlockDocs(docBuf[:]); got != n {
+				t.Fatalf("term %q: DecodeBlockDocs = %d, want %d", term, got, n)
+			}
+			scoreBlock := block%2 == 0
+			if scoreBlock {
+				if got := it.DecodeBlockTFs(tfBuf[:]); got != n {
+					t.Fatalf("term %q: DecodeBlockTFs = %d, want %d", term, got, n)
+				}
+			}
+			for j := 0; j < n; j++ {
+				if docBuf[j] != wantDocs[pos+j] {
+					t.Fatalf("term %q: block doc[%d] = %d, want %d", term, pos+j, docBuf[j], wantDocs[pos+j])
+				}
+				if scoreBlock {
+					if tfBuf[j] != wantTFs[pos+j] {
+						t.Fatalf("term %q: block tf[%d] = %d, want %d", term, pos+j, tfBuf[j], wantTFs[pos+j])
+					}
+					if tfBuf[j] > blockMax {
+						t.Fatalf("term %q: tf %d exceeds block max %d", term, tfBuf[j], blockMax)
+					}
+				}
+			}
+			pos += n
+			block++
+		}
+		if pos != len(wantDocs) {
+			t.Fatalf("term %q: block decode saw %d postings, want %d", term, pos, len(wantDocs))
+		}
 	}
 }

@@ -10,9 +10,9 @@ import (
 	"os"
 )
 
-// On-disk format (version 1):
+// On-disk format (version 2):
 //
-//	magic     8 bytes  "IVRIDX\x00\x01"
+//	magic     8 bytes  "IVRIDX\x00\x02"
 //	payload   N bytes  (varint-encoded sections, see below)
 //	checksum  4 bytes  big-endian CRC-32 (IEEE) of payload
 //
@@ -20,12 +20,18 @@ import (
 //
 //	numDocs, then per doc: extID (len-prefixed)
 //	per field: docLens[], totalLen, numTerms,
-//	           per term: term, df, cf, postingsLen,
+//	           per term: term, df, cf, maxTF, postingsLen,
 //	           then the field's postings blob.
+//
+// Version 2 switched the postings blob to the self-describing block
+// layout (per-block maxTF header, split doc/tf runs — see
+// PostingsIterator) and added the per-term maxTF used for block-max
+// early termination; version-1 files are rejected, not migrated, since
+// indexes are rebuilt from the archive at startup anyway.
 //
 // The format is self-contained and position-independent; readers
 // reject wrong magic, truncation, and checksum mismatches.
-var magic = [8]byte{'I', 'V', 'R', 'I', 'D', 'X', 0, 1}
+var magic = [8]byte{'I', 'V', 'R', 'I', 'D', 'X', 0, 2}
 
 // Errors surfaced by the persistence layer.
 var (
@@ -68,6 +74,7 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 			p.str(t)
 			p.uvarint(uint64(info.df))
 			p.uvarint(info.cf)
+			p.uvarint(uint64(info.maxTF))
 			p.uvarint(info.n)
 		}
 		p.uvarint(uint64(len(fi.blob)))
@@ -209,12 +216,16 @@ func Read(r io.Reader) (*Index, error) {
 			if err != nil {
 				return nil, err
 			}
+			maxTF, err := p.uvarint()
+			if err != nil {
+				return nil, err
+			}
 			blen, err := p.uvarint()
 			if err != nil {
 				return nil, err
 			}
 			fi.termList[i] = term
-			fi.infos[i] = termInfo{df: uint32(df), cf: cf, off: off, n: blen}
+			fi.infos[i] = termInfo{df: uint32(df), cf: cf, maxTF: uint32(maxTF), off: off, n: blen}
 			fi.terms[term] = int32(i)
 			off += blen
 		}

@@ -83,6 +83,14 @@ type PreparedQuery struct {
 	terms []kernelTerm
 	sumW  float64
 	mu    float64 // Dirichlet doc-score smoothing mass
+
+	// prunable marks a query whose per-posting contributions are
+	// provably non-negative and monotone in tf with a closed-form upper
+	// bound (BM25 and TFIDF with sane, finite constants) — the
+	// precondition for block-max early termination. Dirichlet carries a
+	// negative per-document correction and generic scorers have unknown
+	// sign, so both always run the full scan.
+	prunable bool
 }
 
 // PrepareQuery compiles a query against precomputed global term
@@ -102,30 +110,47 @@ func PrepareQuery(q Query, stats []TermStats, scorer Scorer) *PreparedQuery {
 	case BM25:
 		p.kind = kindBM25
 		k1, b := s.params()
+		// Pruning needs the saturation curve monotone increasing in tf
+		// and the length norm bounded below by k1*(1-b): k1 >= 0 and
+		// b in [0,1]. Hostile wire stats are vetted per term below.
+		p.prunable = k1 >= 0 && b >= 0 && b <= 1
 		for ti, t := range q.Terms {
 			if stats[ti].DF == 0 || t.Weight == 0 {
 				continue
 			}
 			st := stats[ti]
 			idf := math.Log(1 + (float64(st.N)-float64(st.DF)+0.5)/(float64(st.DF)+0.5))
-			p.terms = append(p.terms, kernelTerm{
+			kt := kernelTerm{
 				term: t.Term, ti: ti,
 				wIdf: st.Weight * idf, k1p1: k1 + 1, k1: k1, b: b,
 				oneMinusB: 1 - b, maxAvg: math.Max(st.AvgDocLen, 1e-9),
-			})
+			}
+			// A negative or non-finite weighted IDF (possible with
+			// adversarial remote statistics) breaks the non-negative
+			// contribution invariant: fail safe to the full scan.
+			if !(kt.wIdf >= 0) || math.Signbit(kt.wIdf) || math.IsInf(kt.wIdf, 0) {
+				p.prunable = false
+			}
+			p.terms = append(p.terms, kt)
 		}
 	case TFIDF:
 		p.kind = kindTFIDF
+		p.prunable = true
 		for ti, t := range q.Terms {
 			if stats[ti].DF == 0 || t.Weight == 0 {
 				continue
 			}
 			st := stats[ti]
-			p.terms = append(p.terms, kernelTerm{
+			kt := kernelTerm{
 				term: t.Term, ti: ti,
 				weight: st.Weight,
 				idf:    math.Log(float64(st.N+1) / float64(st.DF)),
-			})
+			}
+			if !(kt.weight >= 0) || math.IsInf(kt.weight, 0) ||
+				!(kt.idf >= 0) || math.IsInf(kt.idf, 0) {
+				p.prunable = false
+			}
+			p.terms = append(p.terms, kt)
 		}
 	case DirichletLM:
 		p.kind = kindDirichlet
@@ -189,6 +214,91 @@ type accumulator struct {
 	// pool Get arms the whole per-segment scan.
 	docBuf [kernelBlock]index.DocID
 	tfBuf  [kernelBlock]uint32
+
+	// Block-max pruning state, armed per scan by ScoreSegment. its and
+	// rem are per-term scratch (iterators fetched up front so term
+	// upper bounds are known before scoring; rem[i] bounds everything
+	// terms after i can still contribute). floorH, when floorK > 0, is
+	// a raw min-heap over the k largest first-touch scores: since
+	// BM25/TFIDF contributions are non-negative, a document's final
+	// score is at least its first contribution, so once full the root
+	// is a valid lower bound on the segment's true k-th best final
+	// score. A bare []float64 heap — not a TopK — because the floor is
+	// offered every first touch on the hottest loop in the system: the
+	// common case is one float compare against the root, with no Hit
+	// copies and no tie-breaking ID compares (rank ties are irrelevant
+	// to a value bound).
+	its    []index.PostingsIterator
+	rem    []float64
+	floorK int
+	floorH []float64
+}
+
+// offerFloor feeds one first-touch score to the floor heap: grow until
+// k values are held, then replace the minimum only when s beats it.
+func (a *accumulator) offerFloor(s float64) {
+	h := a.floorH
+	if len(h) == a.floorK {
+		if s <= h[0] {
+			return
+		}
+		// Replace the root and sift the new value down.
+		i, n := 0, len(h)
+		for {
+			l := 2*i + 1
+			if l >= n {
+				break
+			}
+			if r := l + 1; r < n && h[r] < h[l] {
+				l = r
+			}
+			if h[l] >= s {
+				break
+			}
+			h[i] = h[l]
+			i = l
+		}
+		h[i] = s
+		return
+	}
+	// Growing phase (first k touches of the scan): push and sift up.
+	h = append(h, s)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] <= s {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = s
+	a.floorH = h
+}
+
+// floorScore returns the current pruning threshold and whether the
+// floor heap has filled (only a full heap bounds the k-th best score).
+func (a *accumulator) floorScore() (float64, bool) {
+	if len(a.floorH) < a.floorK {
+		return 0, false
+	}
+	return a.floorH[0], true
+}
+
+// iters returns per-term iterator scratch of length n.
+func (a *accumulator) iters(n int) []index.PostingsIterator {
+	if cap(a.its) < n {
+		a.its = make([]index.PostingsIterator, n)
+	}
+	return a.its[:n]
+}
+
+// remBuf returns per-term suffix-bound scratch of length n.
+func (a *accumulator) remBuf(n int) []float64 {
+	if cap(a.rem) < n {
+		a.rem = make([]float64, n)
+	}
+	return a.rem[:n]
 }
 
 // reset arms the accumulator for a segment of n documents.
@@ -210,6 +320,7 @@ func (a *accumulator) reset(n int) {
 		a.epoch = 1
 	}
 	a.touched = a.touched[:0]
+	a.floorK = 0
 }
 
 // add accumulates a term contribution for document d. First touch in
@@ -220,6 +331,9 @@ func (a *accumulator) add(d index.DocID, s float64) {
 		a.epochs[d] = a.epoch
 		a.scores[d] = s
 		a.touched = append(a.touched, d)
+		if a.floorK > 0 {
+			a.offerFloor(s)
+		}
 	} else {
 		a.scores[d] += s
 	}
@@ -297,6 +411,46 @@ type kernelStatsCounters struct {
 	topKAllocs atomic.Int64
 	hitsGets   atomic.Int64
 	hitsAllocs atomic.Int64
+
+	// block-max early-termination telemetry
+	prunedScans     atomic.Int64
+	blocksScored    atomic.Int64
+	blocksSkipped   atomic.Int64
+	blocksRescored  atomic.Int64
+	postingsSkipped atomic.Int64
+	termsSkipped    atomic.Int64
+}
+
+// scanCounters batches one scan's block-max telemetry so the hot loops
+// touch plain ints; flush pays the atomics once per segment scan.
+type scanCounters struct {
+	pruned          bool
+	blocksScored    int64
+	blocksSkipped   int64
+	blocksRescored  int64
+	postingsSkipped int64
+	termsSkipped    int64
+}
+
+func (c *scanCounters) flush() {
+	if c.pruned {
+		kernelCounters.prunedScans.Add(1)
+	}
+	if c.blocksScored != 0 {
+		kernelCounters.blocksScored.Add(c.blocksScored)
+	}
+	if c.blocksSkipped != 0 {
+		kernelCounters.blocksSkipped.Add(c.blocksSkipped)
+	}
+	if c.blocksRescored != 0 {
+		kernelCounters.blocksRescored.Add(c.blocksRescored)
+	}
+	if c.postingsSkipped != 0 {
+		kernelCounters.postingsSkipped.Add(c.postingsSkipped)
+	}
+	if c.termsSkipped != 0 {
+		kernelCounters.termsSkipped.Add(c.termsSkipped)
+	}
 }
 
 var kernelCounters kernelStatsCounters
@@ -315,6 +469,19 @@ type KernelStats struct {
 	TopKNews        int64 `json:"topk_allocs"`
 	HitSliceGets    int64 `json:"hit_slice_gets"`
 	HitSliceNews    int64 `json:"hit_slice_allocs"`
+
+	// Block-max early termination: PrunedScans counts scans that ran
+	// with pruning armed; BlocksSkipped postings blocks whose tf run
+	// and scoring arithmetic were bypassed (PostingsSkipped the
+	// postings inside them), BlocksRescored blocks whose bound allowed
+	// a skip but an already-touched document forced an exact score,
+	// TermsSkipped query terms whose every block was skipped.
+	PrunedScans     int64 `json:"pruned_scans"`
+	BlocksScored    int64 `json:"blocks_scored"`
+	BlocksSkipped   int64 `json:"blocks_skipped"`
+	BlocksRescored  int64 `json:"blocks_rescored"`
+	PostingsSkipped int64 `json:"postings_skipped"`
+	TermsSkipped    int64 `json:"terms_skipped"`
 }
 
 // ReadKernelStats snapshots the process-wide kernel telemetry.
@@ -328,7 +495,73 @@ func ReadKernelStats() KernelStats {
 		TopKNews:        kernelCounters.topKAllocs.Load(),
 		HitSliceGets:    kernelCounters.hitsGets.Load(),
 		HitSliceNews:    kernelCounters.hitsAllocs.Load(),
+		PrunedScans:     kernelCounters.prunedScans.Load(),
+		BlocksScored:    kernelCounters.blocksScored.Load(),
+		BlocksSkipped:   kernelCounters.blocksSkipped.Load(),
+		BlocksRescored:  kernelCounters.blocksRescored.Load(),
+		PostingsSkipped: kernelCounters.postingsSkipped.Load(),
+		TermsSkipped:    kernelCounters.termsSkipped.Load(),
 	}
+}
+
+// termBound returns an upper bound on a single posting's contribution
+// from kt given the largest term frequency m it can carry. Only valid
+// for the prunable kinds: BM25's saturation is monotone increasing in
+// tf and its length norm is at least k1*(1-b) (document length only
+// shrinks the score), TFIDF's 1+log(tf) is monotone and its
+// sqrt(max(docLen,1)) divisor is at least 1.
+func (p *PreparedQuery) termBound(kt *kernelTerm, maxTF uint32) float64 {
+	if maxTF == 0 {
+		return 0
+	}
+	m := float64(maxTF)
+	switch p.kind {
+	case kindBM25:
+		return kt.wIdf * (m * kt.k1p1) / (m + kt.k1*kt.oneMinusB)
+	case kindTFIDF:
+		return kt.weight * kt.idf * (1 + math.Log(m))
+	}
+	return math.Inf(1)
+}
+
+// skipBlock attempts the block-max skip for the open block of it given
+// bound (the block's best possible contribution plus everything later
+// terms can still add). A skip decodes only the block's doc run — new
+// documents are registered with a zero contribution so candidate
+// counts stay exact — and drops the tf run unread.
+//
+// skipped == false means the caller must score the block exactly:
+// either the floor heap is not full yet, the bound reaches the floor,
+// or an already-touched document in the block could still be lifted to
+// the floor (its exact accumulated score plus the bound reaches the
+// floor — such a document's accumulated score IS exact, because by
+// induction a document only ever has a contribution skipped once its
+// final total is provably below the floor, after which it can never
+// enter the top k and its accumulated value never surfaces). In that
+// last case the doc run is already consumed into acc.docBuf; decoded
+// reports how many entries, so the caller decodes only the pending tf
+// run.
+func skipBlock(acc *accumulator, it *index.PostingsIterator, bound float64, c *scanCounters) (decoded int, skipped bool) {
+	theta, full := acc.floorScore()
+	if !full || !(bound < theta) {
+		return 0, false
+	}
+	nd := it.DecodeBlockDocs(acc.docBuf[:])
+	for j := 0; j < nd; j++ {
+		d := acc.docBuf[j]
+		if acc.epochs[d] == acc.epoch && acc.scores[d]+bound >= theta {
+			c.blocksRescored++
+			return nd, false
+		}
+	}
+	for j := 0; j < nd; j++ {
+		if d := acc.docBuf[j]; acc.epochs[d] != acc.epoch {
+			acc.add(d, 0)
+		}
+	}
+	c.blocksSkipped++
+	c.postingsSkipped += int64(nd)
+	return nd, true
 }
 
 // ScoreSegment runs the compiled kernel over one in-memory index
@@ -339,6 +572,21 @@ func ReadKernelStats() KernelStats {
 // to the reference map scan (see ScoreIndexSegment's contract); the
 // parity suite pins this per scorer, seed, K and segment count.
 //
+// For prunable queries (see PreparedQuery.prunable) with a positive k
+// and no filter, the scan applies block-max early termination: a
+// first-touch score floor (lower bound on the segment's final k-th
+// score, valid because contributions are non-negative) lets whole
+// postings blocks skip their tf decode and scoring arithmetic when the
+// block's maxTF-derived bound plus all later terms' bounds cannot
+// reach it. Doc runs are always decoded, so candidate counts — which
+// are user-visible — stay exact; this is the deliberate deviation
+// from classic DAAT WAND, which trades candidate accounting away.
+// Early termination never changes any reported hit, score bit, or
+// candidate count: a skipped contribution always belongs to a document
+// whose true final score is strictly below the true k-th best, and a
+// document belonging to the true top k always fails the skip check, so
+// its score stays exact.
+//
 // The returned SegmentResult.Hits may come from the kernel's slice
 // pool; hand it back with RecycleHits once it is dead.
 func (p *PreparedQuery) ScoreSegment(seg *index.Index, globalID func(index.DocID) index.DocID,
@@ -346,34 +594,94 @@ func (p *PreparedQuery) ScoreSegment(seg *index.Index, globalID func(index.DocID
 	kernelCounters.scans.Add(1)
 	acc := getAccumulator(seg.NumDocs())
 	docLens := seg.DocLens(p.query.Field)
+	its := acc.iters(len(p.terms))
+	for i := range p.terms {
+		its[i] = seg.PostingsFor(p.query.Field, p.terms[i].term)
+	}
+	// Filtered queries cannot prune: the floor would bound the
+	// unfiltered k-th score, which can exceed the filtered one.
+	prune := p.prunable && k > 0 && filter == nil
+	var c scanCounters
+	var rem []float64
+	if prune {
+		c.pruned = true
+		rem = acc.remBuf(len(p.terms))
+		tail := 0.0
+		for i := len(p.terms) - 1; i >= 0; i-- {
+			rem[i] = tail
+			tail += p.termBound(&p.terms[i], its[i].MaxTF())
+		}
+		acc.floorK = k
+		acc.floorH = acc.floorH[:0]
+	}
 	for i := range p.terms {
 		kt := &p.terms[i]
-		it := seg.PostingsFor(p.query.Field, kt.term)
+		it := &its[i]
 		switch p.kind {
 		case kindBM25:
+			scored, skippedAny := false, false
 			for {
-				n := it.NextBlock(acc.docBuf[:], acc.tfBuf[:])
-				if n == 0 {
+				_, blockMax, ok := it.BlockBound()
+				if !ok {
 					break
 				}
+				n := 0
+				if prune {
+					var skipped bool
+					n, skipped = skipBlock(acc, it, p.termBound(kt, blockMax)+rem[i], &c)
+					if skipped {
+						skippedAny = true
+						continue
+					}
+				}
+				// A failed skip has already consumed the doc run into
+				// acc.docBuf (n > 0); otherwise decode it now.
+				if n == 0 {
+					n = it.DecodeBlockDocs(acc.docBuf[:])
+				}
+				it.DecodeBlockTFs(acc.tfBuf[:n])
 				for j := 0; j < n; j++ {
 					d := acc.docBuf[j]
 					tf := float64(acc.tfBuf[j])
 					norm := kt.k1 * (kt.oneMinusB + kt.b*float64(docLens[d])/kt.maxAvg)
 					acc.add(d, kt.wIdf*(tf*kt.k1p1)/(tf+norm))
 				}
+				c.blocksScored++
+				scored = true
+			}
+			if skippedAny && !scored {
+				c.termsSkipped++
 			}
 		case kindTFIDF:
+			scored, skippedAny := false, false
 			for {
-				n := it.NextBlock(acc.docBuf[:], acc.tfBuf[:])
-				if n == 0 {
+				_, blockMax, ok := it.BlockBound()
+				if !ok {
 					break
 				}
+				n := 0
+				if prune {
+					var skipped bool
+					n, skipped = skipBlock(acc, it, p.termBound(kt, blockMax)+rem[i], &c)
+					if skipped {
+						skippedAny = true
+						continue
+					}
+				}
+				if n == 0 {
+					n = it.DecodeBlockDocs(acc.docBuf[:])
+				}
+				it.DecodeBlockTFs(acc.tfBuf[:n])
 				for j := 0; j < n; j++ {
 					d := acc.docBuf[j]
 					ltf := 1 + math.Log(float64(acc.tfBuf[j]))
 					acc.add(d, kt.weight*ltf*kt.idf/math.Sqrt(math.Max(float64(docLens[d]), 1)))
 				}
+				c.blocksScored++
+				scored = true
+			}
+			if skippedAny && !scored {
+				c.termsSkipped++
 			}
 		case kindDirichlet:
 			for {
@@ -404,6 +712,11 @@ func (p *PreparedQuery) ScoreSegment(seg *index.Index, globalID func(index.DocID
 			}
 		}
 	}
+	acc.floorK = 0
+	// Drop the iterators' views into the segment blob so a pooled
+	// accumulator never pins a retired segment's memory.
+	clear(its)
+	c.flush()
 	if k <= 0 {
 		k = len(acc.touched)
 		if k == 0 {

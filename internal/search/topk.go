@@ -104,6 +104,17 @@ func (t *TopK) down(i int) {
 // Len reports how many hits are currently kept.
 func (t *TopK) Len() int { return len(t.heap) }
 
+// Floor returns the worst kept score and whether the collector is full
+// (Len() == k). Once full, no hit scoring strictly below the floor can
+// enter the kept set — the threshold block-max early termination in
+// the scoring kernel prunes against.
+func (t *TopK) Floor() (float64, bool) {
+	if t.k <= 0 || len(t.heap) < t.k {
+		return 0, false
+	}
+	return t.heap[0].Score, true
+}
+
 // Ranked extracts the kept hits in final rank order (the collector is
 // left intact). The result is never nil, so an empty ranking encodes
 // as [] on the JSON surfaces.
