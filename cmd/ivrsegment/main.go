@@ -15,6 +15,16 @@
 //	ivrsegment -addr :8092 -segments 4 -host 2,3
 //	ivrserve   -segment-addrs http://localhost:8091,http://localhost:8092
 //
+// Replication is the same recipe run twice: start a second ivrsegment
+// with identical -segments/-host arguments on another port and list it
+// as a `|`-separated twin (or as another entry in the group's replicas
+// array of a -topology descriptor). The merge tier health-probes the
+// twins, fails over on error, and optionally hedges slow RPCs:
+//
+//	ivrsegment -addr :8093 -segments 4 -host 0,1   # twin of :8091
+//	ivrsegment -addr :8094 -segments 4 -host 2,3   # twin of :8092
+//	ivrserve   -segment-addrs 'http://localhost:8091|http://localhost:8093,http://localhost:8092|http://localhost:8094'
+//
 // Routes (all JSON; errors use the /api/v1 envelope):
 //
 //	GET  /rpc/v1/stats     topology + full per-term statistics

@@ -13,6 +13,14 @@
 //	ivrserve -segment-addrs http://h1:8091,http://h2:8092
 //	                                          # distributed: scatter/gather over
 //	                                          # remote ivrsegment processes
+//	ivrserve -segment-addrs 'http://h1a:8091|http://h1b:8091,http://h2a:8092|http://h2b:8092'
+//	                                          # replicated: | joins twin replicas of
+//	                                          # one group; failed RPCs fail over
+//	ivrserve -topology topo.json -topology-watch 2s -hedge-after 30ms -probe-interval 2s
+//	                                          # replica topology from a descriptor
+//	                                          # file, hot-reloaded on change (or via
+//	                                          # POST /api/v1/admin/topology), slow
+//	                                          # RPCs hedged to the twin
 //	ivrserve -session-store sessions.jnl -replica-id r1
 //	                                          # durable sessions: write-through to a
 //	                                          # crash-safe journal, shareable with
@@ -45,7 +53,6 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
-	"strings"
 	"syscall"
 	"time"
 
@@ -56,17 +63,6 @@ import (
 	"repro/internal/synth"
 	"repro/internal/webapi"
 )
-
-// splitAddrs parses the -segment-addrs list.
-func splitAddrs(s string) []string {
-	var out []string
-	for _, part := range strings.Split(s, ",") {
-		if part = strings.TrimSpace(part); part != "" {
-			out = append(out, part)
-		}
-	}
-	return out
-}
 
 func main() {
 	var (
@@ -80,8 +76,12 @@ func main() {
 		maxSessions = flag.Int("max-sessions", 0, "cap on live sessions (0 = unbounded)")
 		segments    = flag.Int("segments", 0, "index segments scored in parallel (0 = one per CPU, 1 = sequential)")
 		searchCache = flag.Int("search-cache", 4096, "evidence-keyed result cache entries (0 disables)")
-		segAddrs    = flag.String("segment-addrs", "", "comma-separated ivrsegment base URLs; enables the distributed scatter/gather tier (static topology)")
+		segAddrs    = flag.String("segment-addrs", "", "comma-separated ivrsegment base URLs; | joins replicas of one group ('http://a|http://a2,http://b'); enables the distributed scatter/gather tier")
+		topoPath    = flag.String("topology", "", "replica topology descriptor file (JSON; see LOADTEST.md); alternative to -segment-addrs")
+		topoWatch   = flag.Duration("topology-watch", 2*time.Second, "poll the -topology file for changes this often and hot-reload it (0 disables)")
 		segTimeout  = flag.Duration("segment-timeout", distrib.DefaultRPCTimeout, "per-segment RPC deadline in distributed mode")
+		hedgeAfter  = flag.Duration("hedge-after", 0, "hedge a segment RPC to a twin replica after this latency budget (0 disables)")
+		probeEvery  = flag.Duration("probe-interval", 2*time.Second, "health-probe replicas this often in replicated mode (0 disables)")
 		rpcCodec    = flag.String("rpc-codec", "binary", "segment search body codec: binary (negotiated, falls back per backend) or json (forced)")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty disables)")
 		slowQuery   = flag.Duration("slow-query", 0, "log the span tree of requests slower than this to stderr as JSON (0 disables)")
@@ -129,9 +129,31 @@ func main() {
 	// what the distributed parity tests pin.
 	var sys *core.System
 	var cluster *distrib.Cluster
-	if *segAddrs != "" {
-		addrs := splitAddrs(*segAddrs)
-		opts := []distrib.Option{distrib.WithTimeout(*segTimeout)}
+	if *segAddrs != "" || *topoPath != "" {
+		if *segAddrs != "" && *topoPath != "" {
+			fail("-segment-addrs and -topology are mutually exclusive")
+		}
+		var desc *distrib.TopologyDesc
+		if *topoPath != "" {
+			data, rerr := os.ReadFile(*topoPath)
+			if rerr != nil {
+				fail("read topology: %v", rerr)
+			}
+			desc, err = distrib.ParseTopology(data)
+			if err != nil {
+				fail("topology %s: %v", *topoPath, err)
+			}
+		} else {
+			desc, err = distrib.ParseAddrGroups(*segAddrs)
+			if err != nil {
+				fail("-segment-addrs: %v", err)
+			}
+		}
+		opts := []distrib.Option{
+			distrib.WithTimeout(*segTimeout),
+			distrib.WithHedge(*hedgeAfter),
+			distrib.WithProbeInterval(*probeEvery),
+		}
 		switch *rpcCodec {
 		case "binary":
 		case "json":
@@ -140,11 +162,12 @@ func main() {
 			fail("unknown -rpc-codec %q (binary or json)", *rpcCodec)
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		cluster, err = distrib.Connect(ctx, addrs, opts...)
+		cluster, err = distrib.ConnectTopology(ctx, desc, opts...)
 		cancel()
 		if err != nil {
 			fail("connect segment servers: %v", err)
 		}
+		defer cluster.Close()
 		if cluster.NumDocs() != arch.Collection.NumShots() {
 			fail("segment servers index %d shots, local archive has %d (mismatched -seed/-full/-archive?)",
 				cluster.NumDocs(), arch.Collection.NumShots())
@@ -178,6 +201,17 @@ func main() {
 		webapi.WithMaxSessions(*maxSessions),
 		webapi.WithReplicaID(*replicaID),
 		webapi.WithSlowQuery(*slowQuery),
+	}
+	if cluster != nil {
+		// Live topology administration: GET/POST /api/v1/admin/topology,
+		// plus hot-reload of the descriptor file when one was given.
+		opts = append(opts, webapi.WithTopologyAdmin(cluster))
+		if *topoPath != "" && *topoWatch > 0 {
+			stopWatch := cluster.WatchTopologyFile(*topoPath, *topoWatch, func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "ivrserve: "+format+"\n", args...)
+			})
+			defer stopWatch()
+		}
 	}
 	// -session-store makes sessions durable: every touched session is
 	// written through to a crash-safe journal, so a restart (or a

@@ -1,0 +1,179 @@
+package chaostest
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/distrib"
+	"repro/internal/search"
+)
+
+// assertParity requires the cluster engine's ranking to be
+// bit-identical (IDs, scores, candidate counts) to the in-process
+// oracle for every query — the invariant no fault script may bend.
+func assertParity(t *testing.T, eng, oracle *search.Engine, queries []string, k int) {
+	t.Helper()
+	for _, qt := range queries {
+		opts := search.Options{K: k, Scorer: search.BM25{}}
+		got, gerr := eng.Search(eng.ParseText(qt), opts)
+		want, werr := oracle.Search(oracle.ParseText(qt), opts)
+		if gerr != nil || werr != nil {
+			t.Fatalf("q=%q: cluster err %v, oracle err %v", qt, gerr, werr)
+		}
+		if got.Candidates != want.Candidates || len(got.Hits) != len(want.Hits) {
+			t.Fatalf("q=%q: %d hits/%d candidates, oracle %d/%d",
+				qt, len(got.Hits), got.Candidates, len(want.Hits), want.Candidates)
+		}
+		for i := range got.Hits {
+			if got.Hits[i] != want.Hits[i] {
+				t.Fatalf("q=%q rank %d: %+v, oracle %+v", qt, i, got.Hits[i], want.Hits[i])
+			}
+		}
+	}
+}
+
+// hammer runs every query `rounds` times across `workers` goroutines
+// and fails the test on any query error — the zero-failed-query
+// assertion, exercised concurrently so -race sees the fault paths.
+func hammer(t *testing.T, eng *search.Engine, queries []string, workers, rounds int) {
+	t.Helper()
+	errc := make(chan error, workers*rounds*len(queries))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for _, qt := range queries {
+					if _, err := eng.Search(eng.ParseText(qt), search.Options{K: 10, Scorer: search.BM25{}}); err != nil {
+						errc <- err
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	failed := 0
+	for err := range errc {
+		failed++
+		if failed <= 3 {
+			t.Errorf("query failed under chaos: %v", err)
+		}
+	}
+	if failed > 0 {
+		t.Fatalf("%d failed queries, want 0", failed)
+	}
+}
+
+// TestChaosScripts is the tentpole assertion: under every fault script
+// — a replica killed, wedged slow, answering garbage, flapping, or
+// tearing responses mid-body — a 2-way replicated topology serves
+// every query with rankings bit-identical to the in-process oracle,
+// and recovers cleanly when the fault heals.
+func TestChaosScripts(t *testing.T) {
+	scripts := []struct {
+		name string
+		mode Mode
+		opts []distrib.Option
+	}{
+		// Slow is the one script that needs real time: the wedged replica
+		// is only abandoned when the RPC deadline expires, so it runs with
+		// a tight timeout. Hang is its deterministic cousin below in
+		// TestHedgeDeterministic.
+		{"kill", Kill, nil},
+		{"garbage", Garbage, nil},
+		{"torn", Torn, nil},
+		{"flap", Flap, nil},
+		{"slow", Slow, []distrib.Option{distrib.WithTimeout(150 * time.Millisecond)}},
+	}
+	for _, sc := range scripts {
+		t.Run(sc.name, func(t *testing.T) {
+			h := New(t, Config{Seed: 7, Docs: 100, Segments: 4, Groups: 2, Replicas: 2})
+			c := h.Connect(sc.opts...)
+			eng := c.NewEngine(nil, 4)
+			oracle := h.Oracle()
+			queries := Queries(23, 6)
+
+			assertParity(t, eng, oracle, queries, 10)
+
+			victim := h.Groups[0][0]
+			victim.Injector.Set(sc.mode)
+			if sc.mode == Slow {
+				victim.Injector.SetDelay(2 * time.Second)
+			}
+			workers, rounds := 4, 3
+			if sc.mode == Slow {
+				// Each slow-path hit costs one real RPC deadline; keep the
+				// wall clock bounded.
+				workers, rounds = 2, 1
+			}
+			hammer(t, eng, queries, workers, rounds)
+			assertParity(t, eng, oracle, queries, 10)
+			if victim.Injector.Faulted.Load() == 0 {
+				t.Fatalf("fault script %s never intercepted a request — the test proved nothing", sc.name)
+			}
+
+			// Heal and converge: a probe pass restores routing preference,
+			// and parity still holds.
+			victim.Injector.Set(Off)
+			c.ProbeNow(t.Context())
+			hammer(t, eng, queries, 2, 2)
+			assertParity(t, eng, oracle, queries, 10)
+			for _, s := range c.BackendSummaries() {
+				if !s.Healthy {
+					t.Errorf("replica %s still unhealthy after heal + probe", s.Addr)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosReloadSwapsReplica: with one replica of group 0 dead, the
+// topology is live-reloaded to replace it — while queries hammer the
+// cluster — and the swap is atomic: zero failed queries throughout,
+// the dead replica gone from the routing table afterwards.
+func TestChaosReloadSwapsReplica(t *testing.T) {
+	h := New(t, Config{Seed: 11, Docs: 100, Segments: 4, Groups: 2, Replicas: 2})
+	c := h.Connect()
+	eng := c.NewEngine(nil, 4)
+	oracle := h.Oracle()
+	queries := Queries(29, 6)
+
+	dead := h.Groups[0][0]
+	dead.Injector.Set(Kill)
+	hammer(t, eng, queries, 4, 2)
+
+	// Swap a fresh replica in for the dead one, under query load.
+	fresh := h.StartReplica(dead.Hosted)
+	h.Groups[0][0] = fresh
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		hammer(t, eng, queries, 4, 4)
+	}()
+	if err := c.Reload(t.Context(), h.Desc()); err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	<-done
+	assertParity(t, eng, oracle, queries, 10)
+
+	for _, addr := range c.Backends() {
+		if addr == dead.Addr() {
+			t.Fatalf("dead replica %s still in topology after reload", addr)
+		}
+	}
+	found := false
+	for _, addr := range c.Backends() {
+		if addr == fresh.Addr() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fresh replica %s not in topology after reload", fresh.Addr())
+	}
+	if v := c.Topology(); v.Reloads != 1 {
+		t.Fatalf("reloads = %d, want 1", v.Reloads)
+	}
+}

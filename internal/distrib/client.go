@@ -84,24 +84,43 @@ type backend struct {
 	// cluster option (binary by default) and latches to false the first
 	// time this backend rejects a binary body — a JSON-only backend
 	// costs one failed probe ever, not one per query.
-	useBinary      atomic.Bool
+	useBinary atomic.Bool
+	// healthy is the routing signal: health probes and search outcomes
+	// both feed it. An unhealthy replica is deprioritized — tried only
+	// after every healthy twin — never excluded, so a topology whose
+	// replicas are all marked down still gets served if any of them
+	// actually answers.
+	healthy        atomic.Bool
 	requests       atomic.Int64
 	errors         atomic.Int64
 	binSearches    atomic.Int64
 	jsonSearches   atomic.Int64
 	codecFallbacks atomic.Int64
-	latency        metrics.Histogram
+	// hedges counts search RPCs sent to this backend as latency hedges
+	// (the twin of a slow primary); failovers counts RPCs re-routed to
+	// this backend after a sibling replica failed; probeFails counts
+	// failed health probes.
+	hedges     atomic.Int64
+	failovers  atomic.Int64
+	probeFails atomic.Int64
+	latency    metrics.Histogram
 }
 
 func newBackend(addr string, hc, statsHC *http.Client, binary bool) *backend {
 	b := &backend{addr: strings.TrimRight(addr, "/"), hc: hc, statsHC: statsHC}
 	b.useBinary.Store(binary)
+	b.healthy.Store(true)
 	return b
 }
 
-// fail counts and wraps one fault.
+// fail counts and wraps one fault. A context cancellation is the
+// caller abandoning the RPC — a hedged request losing its race, or a
+// client going away — not a backend fault, so it is wrapped but not
+// counted against the backend.
 func (b *backend) fail(segment int, err error) error {
-	b.errors.Add(1)
+	if !errors.Is(err, context.Canceled) {
+		b.errors.Add(1)
+	}
 	return &BackendError{Addr: b.addr, Segment: segment, Err: err}
 }
 

@@ -296,7 +296,7 @@ func TestCodecNegotiationFallback(t *testing.T) {
 	defer legacy.Close()
 
 	c := connectCluster(t, []string{legacy.URL})
-	b := c.backends[0]
+	b := c.backendsNow()[0]
 	req := validSearchRequest()
 	resp, err := b.search(context.Background(), req)
 	if err != nil {
@@ -347,12 +347,12 @@ func TestDistributedCodecParity(t *testing.T) {
 			}
 		}
 	}
-	for _, b := range binC.backends {
+	for _, b := range binC.backendsNow() {
 		if b.binSearches.Load() == 0 || b.jsonSearches.Load() != 0 {
 			t.Errorf("backend %s: bin=%d json=%d, want all-binary", b.addr, b.binSearches.Load(), b.jsonSearches.Load())
 		}
 	}
-	for _, b := range jsonC.backends {
+	for _, b := range jsonC.backendsNow() {
 		if b.binSearches.Load() != 0 {
 			t.Errorf("backend %s sent binary despite WithJSONCodec", b.addr)
 		}

@@ -254,11 +254,16 @@ func (s *SegmentServer) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *SegmentServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	// The hashes let a prober (or an operator with curl) confirm not
+	// just liveness but that this replica serves the expected build —
+	// the same identity the merge tier validates on connect and reload.
 	writeRPCJSON(w, http.StatusOK, struct {
-		Status   string `json:"status"`
-		Segments int    `json:"segments"`
-		Hosted   []int  `json:"hosted"`
-	}{"ok", s.sh.NumSegments(), s.Hosted()})
+		Status         string `json:"status"`
+		Segments       int    `json:"segments"`
+		Hosted         []int  `json:"hosted"`
+		CollectionHash uint64 `json:"collection_hash"`
+		SourceHash     uint64 `json:"source_hash,omitempty"`
+	}{"ok", s.sh.NumSegments(), s.Hosted(), CollectionHash(s.sh), s.sourceHash})
 }
 
 func (s *SegmentServer) handleMetrics(w http.ResponseWriter, r *http.Request) {

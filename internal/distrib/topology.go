@@ -1,0 +1,244 @@
+package distrib
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Topology fault sentinels, matchable through errors.Is on any error
+// returned by the descriptor parser or by a reload. The split matters
+// operationally: a syntax or validation error means the descriptor
+// itself is bad (fix the file), a mismatch error means the descriptor
+// is well-formed but names backends that cannot serve this collection
+// (wrong archive, wrong segment count) — either way the running
+// topology is left untouched.
+var (
+	// ErrTopologySyntax marks a descriptor that does not parse as the
+	// versioned JSON document at all.
+	ErrTopologySyntax = errors.New("distrib: malformed topology descriptor")
+	// ErrTopologyInvalid marks a well-formed descriptor that violates a
+	// structural invariant: no groups, an empty replica set, a duplicate
+	// address, or an ordinal claimed by two groups.
+	ErrTopologyInvalid = errors.New("distrib: invalid topology descriptor")
+	// ErrTopologyMismatch marks a reload whose backends disagree with
+	// the running cluster — different collection hash, source hash,
+	// segment count, or per-ordinal document counts. A mismatched
+	// replica can never be swapped in.
+	ErrTopologyMismatch = errors.New("distrib: topology mismatches running cluster")
+)
+
+// TopologyVersion is the current descriptor schema version. Version 0
+// (the field omitted) is accepted as an alias for 1.
+const TopologyVersion = 1
+
+// TopologyGroup declares one replica set: every listed address must
+// serve the same segment ordinals over the same collection build.
+// Segments optionally pins which ordinals the group is expected to
+// host; when present, Connect/Reload reject a group whose replicas
+// report a different hosted set, catching an operator who pointed a
+// group entry at the wrong processes.
+type TopologyGroup struct {
+	Segments []int    `json:"segments,omitempty"`
+	Replicas []string `json:"replicas"`
+}
+
+// TopologyDesc is the parsed topology descriptor: the replica groups a
+// merge tier scatters over. The JSON form is
+//
+//	{
+//	  "version": 1,
+//	  "groups": [
+//	    {"segments": [0,1], "replicas": ["http://h1a:8091", "http://h1b:8091"]},
+//	    {"segments": [2,3], "replicas": ["http://h2a:8092", "http://h2b:8092"]}
+//	  ]
+//	}
+//
+// with "segments" optional (hosted ordinals are discovered from each
+// replica's /rpc/v1/stats and validated for coherence either way).
+type TopologyDesc struct {
+	Version int             `json:"version,omitempty"`
+	Groups  []TopologyGroup `json:"groups"`
+}
+
+// ParseTopology parses and validates a descriptor document. The
+// returned descriptor is normalized: addresses are trimmed of
+// trailing slashes and declared segment lists are sorted. Errors are
+// typed (ErrTopologySyntax / ErrTopologyInvalid) and the parser never
+// returns a descriptor that violates its invariants, so a caller can
+// hand any successfully parsed descriptor straight to a reload.
+func ParseTopology(data []byte) (*TopologyDesc, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var desc TopologyDesc
+	if err := dec.Decode(&desc); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTopologySyntax, err)
+	}
+	// Trailing garbage after the document is as suspect as a bad body:
+	// reject instead of silently ignoring half the input.
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		return nil, fmt.Errorf("%w: trailing data after descriptor", ErrTopologySyntax)
+	}
+	if err := validateTopology(&desc); err != nil {
+		return nil, err
+	}
+	return &desc, nil
+}
+
+// validateTopology enforces the structural invariants and normalizes
+// the descriptor in place.
+func validateTopology(desc *TopologyDesc) error {
+	if desc.Version != 0 && desc.Version != TopologyVersion {
+		return fmt.Errorf("%w: unsupported version %d (want %d)", ErrTopologyInvalid, desc.Version, TopologyVersion)
+	}
+	desc.Version = TopologyVersion
+	if len(desc.Groups) == 0 {
+		return fmt.Errorf("%w: no replica groups", ErrTopologyInvalid)
+	}
+	seenAddr := make(map[string]int)
+	seenOrd := make(map[int]int)
+	for gi := range desc.Groups {
+		g := &desc.Groups[gi]
+		if len(g.Replicas) == 0 {
+			return fmt.Errorf("%w: group %d has an empty replica set", ErrTopologyInvalid, gi)
+		}
+		for ri, addr := range g.Replicas {
+			addr = strings.TrimRight(strings.TrimSpace(addr), "/")
+			if addr == "" {
+				return fmt.Errorf("%w: group %d replica %d is empty", ErrTopologyInvalid, gi, ri)
+			}
+			if !strings.Contains(addr, "://") {
+				return fmt.Errorf("%w: group %d replica %q has no scheme", ErrTopologyInvalid, gi, addr)
+			}
+			if prev, dup := seenAddr[addr]; dup {
+				return fmt.Errorf("%w: address %q appears in groups %d and %d", ErrTopologyInvalid, addr, prev, gi)
+			}
+			seenAddr[addr] = gi
+			g.Replicas[ri] = addr
+		}
+		for _, ord := range g.Segments {
+			if ord < 0 {
+				return fmt.Errorf("%w: group %d declares negative segment %d", ErrTopologyInvalid, gi, ord)
+			}
+			if prev, dup := seenOrd[ord]; dup {
+				return fmt.Errorf("%w: segment %d declared by groups %d and %d", ErrTopologyInvalid, ord, prev, gi)
+			}
+			seenOrd[ord] = gi
+		}
+		sort.Ints(g.Segments)
+	}
+	return nil
+}
+
+// ParseAddrGroups parses the -segment-addrs command-line syntax into a
+// descriptor: groups separated by commas, replicas within a group
+// separated by "|". "http://a,http://b" is the classic unreplicated
+// topology; "http://a|http://a2,http://b|http://b2" is the same two
+// groups with a twin each.
+func ParseAddrGroups(s string) (*TopologyDesc, error) {
+	desc := &TopologyDesc{Version: TopologyVersion}
+	for _, part := range strings.Split(s, ",") {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		var g TopologyGroup
+		for _, rep := range strings.Split(part, "|") {
+			if rep = strings.TrimSpace(rep); rep != "" {
+				g.Replicas = append(g.Replicas, rep)
+			}
+		}
+		desc.Groups = append(desc.Groups, g)
+	}
+	if err := validateTopology(desc); err != nil {
+		return nil, err
+	}
+	return desc, nil
+}
+
+// flatDesc lifts a plain address list into single-replica groups (the
+// Connect([]string) compatibility shape).
+func flatDesc(addrs []string) *TopologyDesc {
+	desc := &TopologyDesc{Version: TopologyVersion}
+	for _, a := range addrs {
+		desc.Groups = append(desc.Groups, TopologyGroup{Replicas: []string{a}})
+	}
+	return desc
+}
+
+// ReplicaView is one replica's row in the topology view.
+type ReplicaView struct {
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"`
+}
+
+// TopologyGroupView is one replica group in the topology view.
+type TopologyGroupView struct {
+	Segments []int         `json:"segments"`
+	Replicas []ReplicaView `json:"replicas"`
+}
+
+// TopologyView is the merge tier's live topology: what
+// GET /api/v1/admin/topology serves and what a reload summary reports.
+type TopologyView struct {
+	Segments     int                 `json:"segments"`
+	Reloads      int64               `json:"reloads"`
+	ReloadErrors int64               `json:"reload_errors"`
+	Groups       []TopologyGroupView `json:"groups"`
+}
+
+// WatchTopologyFile polls path every interval (on the cluster's clock)
+// and applies the descriptor whenever the file's mtime or size
+// changes. A descriptor that fails to parse or validate — or a reload
+// the backends reject — is logged through logf and the running
+// topology stays untouched; the watcher keeps polling, so fixing the
+// file recovers without a restart. The returned stop function ends the
+// watch; Close stops it too.
+func (c *Cluster) WatchTopologyFile(path string, interval time.Duration, logf func(format string, args ...any)) (stop func()) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	done := make(chan struct{})
+	var lastMod time.Time
+	var lastSize int64
+	if fi, err := os.Stat(path); err == nil {
+		lastMod, lastSize = fi.ModTime(), fi.Size()
+	}
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-c.stop:
+				return
+			case <-c.clock.After(interval):
+			}
+			fi, err := os.Stat(path)
+			if err != nil {
+				continue // transient (editor replace); retry next tick
+			}
+			if fi.ModTime().Equal(lastMod) && fi.Size() == lastSize {
+				continue
+			}
+			lastMod, lastSize = fi.ModTime(), fi.Size()
+			data, err := os.ReadFile(path)
+			if err != nil {
+				logf("topology watch: read %s: %v", path, err)
+				continue
+			}
+			if err := c.ApplyTopology(nil, data); err != nil {
+				logf("topology watch: %s rejected: %v", path, err)
+				continue
+			}
+			logf("topology watch: %s applied (%d groups)", path, len(c.Topology().Groups))
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

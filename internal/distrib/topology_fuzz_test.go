@@ -1,0 +1,75 @@
+package distrib
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzParseTopology drives the descriptor parser with arbitrary
+// bytes. The contract under fuzzing: never panic, classify every
+// rejection as exactly one of the typed sentinels, and on acceptance
+// return a descriptor that upholds every invariant the rest of the
+// package (Connect, Reload, the admin endpoint) relies on without
+// re-checking — non-empty groups, normalized schemeful addresses
+// unique across the file, and sorted duplicate-free declared ordinals.
+func FuzzParseTopology(f *testing.F) {
+	seeds := []string{
+		`{"version":1,"groups":[{"segments":[0,1],"replicas":["http://a:1","http://b:1"]}]}`,
+		`{"groups":[{"replicas":["http://a:1"]},{"replicas":["http://b:1"]}]}`,
+		`{"groups":[{"replicas":[]}]}`,
+		`{"groups":[{"segments":[0],"replicas":["http://a:1"]},{"segments":[0],"replicas":["http://b:1"]}]}`,
+		`{"groups":[{"replicas":["http://a:1","http://a:1/"]}]}`,
+		`{"version":99,"groups":[{"replicas":["http://a:1"]}]}`,
+		`{"groups":[{"segments":[-3],"replicas":["http://a:1"]}]}`,
+		`{"groups":[{"replicas":["no-scheme"]}]}`,
+		`{"groups":[{"replicas":["http://a:1"]}]}trailing`,
+		`[]`, `null`, `42`, `"x"`, `{`, ``, "\xff\xfe", `{"unknown":1}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		desc, err := ParseTopology(data)
+		if err != nil {
+			syntax := errors.Is(err, ErrTopologySyntax)
+			invalid := errors.Is(err, ErrTopologyInvalid)
+			if syntax == invalid {
+				t.Fatalf("rejection not typed exactly once (syntax=%v invalid=%v): %v", syntax, invalid, err)
+			}
+			if desc != nil {
+				t.Fatal("rejected parse returned a descriptor — a caller could partially apply it")
+			}
+			return
+		}
+		if desc.Version != TopologyVersion {
+			t.Fatalf("accepted descriptor has version %d", desc.Version)
+		}
+		if len(desc.Groups) == 0 {
+			t.Fatal("accepted descriptor has no groups")
+		}
+		seenAddr := make(map[string]bool)
+		for _, g := range desc.Groups {
+			if len(g.Replicas) == 0 {
+				t.Fatal("accepted group with empty replica set")
+			}
+			for _, addr := range g.Replicas {
+				if addr == "" || strings.HasSuffix(addr, "/") || !strings.Contains(addr, "://") {
+					t.Fatalf("accepted non-normalized address %q", addr)
+				}
+				if seenAddr[addr] {
+					t.Fatalf("accepted duplicate address %q", addr)
+				}
+				seenAddr[addr] = true
+			}
+			for i, ord := range g.Segments {
+				if ord < 0 {
+					t.Fatalf("accepted negative ordinal %d", ord)
+				}
+				if i > 0 && g.Segments[i-1] >= ord {
+					t.Fatalf("accepted unsorted/duplicate ordinals %v", g.Segments)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,356 @@
+package distrib
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/search"
+)
+
+// startReplicated hosts a sharded build as groups×replicas httptest
+// segment servers: ordinals are split round-robin over the groups, and
+// every replica of a group hosts the group's full ordinal set. Returns
+// the descriptor and the per-group address matrix.
+func startReplicated(t testing.TB, sh *index.Sharded, groups, replicas int) (*TopologyDesc, [][]string) {
+	t.Helper()
+	desc := &TopologyDesc{Version: TopologyVersion}
+	matrix := make([][]string, groups)
+	for g := 0; g < groups; g++ {
+		var hosted []int
+		for ord := 0; ord < sh.NumSegments(); ord++ {
+			if ord%groups == g {
+				hosted = append(hosted, ord)
+			}
+		}
+		var addrs []string
+		for r := 0; r < replicas; r++ {
+			srv, err := NewSegmentServer(ServerConfig{Sharded: sh, Hosted: hosted})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(srv.Handler())
+			t.Cleanup(ts.Close)
+			addrs = append(addrs, ts.URL)
+		}
+		matrix[g] = addrs
+		desc.Groups = append(desc.Groups, TopologyGroup{Replicas: append([]string(nil), addrs...)})
+	}
+	return desc, matrix
+}
+
+func TestParseTopology(t *testing.T) {
+	good := []byte(`{"version":1,"groups":[
+		{"segments":[1,0],"replicas":["http://a:1/","http://b:1"]},
+		{"replicas":["http://c:1"]}]}`)
+	desc, err := ParseTopology(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(desc.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(desc.Groups))
+	}
+	// Normalization: trailing slash trimmed, declared segments sorted.
+	if desc.Groups[0].Replicas[0] != "http://a:1" {
+		t.Errorf("addr not normalized: %q", desc.Groups[0].Replicas[0])
+	}
+	if !reflect.DeepEqual(desc.Groups[0].Segments, []int{0, 1}) {
+		t.Errorf("segments not sorted: %v", desc.Groups[0].Segments)
+	}
+	// Version omitted is an alias for 1.
+	if d, err := ParseTopology([]byte(`{"groups":[{"replicas":["http://a:1"]}]}`)); err != nil {
+		t.Errorf("version-0 descriptor rejected: %v", err)
+	} else if d.Version != TopologyVersion {
+		t.Errorf("version not normalized: %d", d.Version)
+	}
+
+	syntax := map[string]string{
+		"not json":      `{"groups":`,
+		"trailing data": `{"groups":[{"replicas":["http://a:1"]}]} extra`,
+		"unknown field": `{"groups":[{"replicas":["http://a:1"]}],"extra":1}`,
+		"wrong type":    `{"groups":"http://a:1"}`,
+	}
+	for name, doc := range syntax {
+		if _, err := ParseTopology([]byte(doc)); !errors.Is(err, ErrTopologySyntax) {
+			t.Errorf("%s: err = %v, want ErrTopologySyntax", name, err)
+		}
+	}
+
+	invalid := map[string]string{
+		"bad version":      `{"version":7,"groups":[{"replicas":["http://a:1"]}]}`,
+		"no groups":        `{"version":1,"groups":[]}`,
+		"empty replicas":   `{"groups":[{"replicas":[]}]}`,
+		"empty addr":       `{"groups":[{"replicas":["  "]}]}`,
+		"no scheme":        `{"groups":[{"replicas":["a:1"]}]}`,
+		"dup addr":         `{"groups":[{"replicas":["http://a:1"]},{"replicas":["http://a:1/"]}]}`,
+		"negative ordinal": `{"groups":[{"segments":[-1],"replicas":["http://a:1"]}]}`,
+		"dup ordinal":      `{"groups":[{"segments":[0],"replicas":["http://a:1"]},{"segments":[0],"replicas":["http://b:1"]}]}`,
+	}
+	for name, doc := range invalid {
+		if _, err := ParseTopology([]byte(doc)); !errors.Is(err, ErrTopologyInvalid) {
+			t.Errorf("%s: err = %v, want ErrTopologyInvalid", name, err)
+		}
+	}
+}
+
+func TestParseAddrGroups(t *testing.T) {
+	desc, err := ParseAddrGroups("http://a:1|http://a2:1, http://b:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"http://a:1", "http://a2:1"}, {"http://b:1"}}
+	for g, reps := range want {
+		if !reflect.DeepEqual(desc.Groups[g].Replicas, reps) {
+			t.Errorf("group %d = %v, want %v", g, desc.Groups[g].Replicas, reps)
+		}
+	}
+	if _, err := ParseAddrGroups(""); !errors.Is(err, ErrTopologyInvalid) {
+		t.Errorf("empty list: err = %v, want ErrTopologyInvalid", err)
+	}
+	if _, err := ParseAddrGroups("http://a:1|http://a:1"); !errors.Is(err, ErrTopologyInvalid) {
+		t.Errorf("dup replica: err = %v, want ErrTopologyInvalid", err)
+	}
+}
+
+// TestReplicatedParity: a 2-way replicated topology returns rankings
+// bit-identical to the in-process sharded oracle, and the view reports
+// every replica.
+func TestReplicatedParity(t *testing.T) {
+	single, sh := buildCorpus(t, 41, 120, 4)
+	desc, _ := startReplicated(t, sh, 2, 2)
+	c, err := ConnectTopology(context.Background(), desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	eng := c.NewEngine(nil, 4)
+	oracle := search.NewEngine(single, nil)
+	for _, qt := range queriesFor(17, 10) {
+		opts := search.Options{K: 10, Scorer: search.BM25{}}
+		got, gerr := eng.Search(eng.ParseText(qt), opts)
+		want, werr := oracle.Search(oracle.ParseText(qt), opts)
+		if gerr != nil || werr != nil {
+			t.Fatalf("q=%q: %v / %v", qt, gerr, werr)
+		}
+		if len(got.Hits) != len(want.Hits) {
+			t.Fatalf("q=%q: %d hits vs oracle %d", qt, len(got.Hits), len(want.Hits))
+		}
+		for i := range got.Hits {
+			if got.Hits[i].ID != want.Hits[i].ID || got.Hits[i].Score != want.Hits[i].Score {
+				t.Fatalf("q=%q rank %d: %+v vs oracle %+v", qt, i, got.Hits[i], want.Hits[i])
+			}
+		}
+	}
+	view := c.Topology()
+	if len(view.Groups) != 2 || len(view.Groups[0].Replicas) != 2 {
+		t.Fatalf("view = %+v, want 2 groups × 2 replicas", view)
+	}
+	for _, g := range view.Groups {
+		if len(g.Segments) != 2 {
+			t.Errorf("group hosts %v, want 2 ordinals", g.Segments)
+		}
+		for _, r := range g.Replicas {
+			if !r.Healthy {
+				t.Errorf("replica %s unhealthy after clean queries", r.Addr)
+			}
+		}
+	}
+}
+
+// TestConnectReplicaCoherence: a group whose twins host different
+// ordinal sets, or whose declared segments disagree with what the
+// replicas report, is rejected at connect.
+func TestConnectReplicaCoherence(t *testing.T) {
+	_, sh := buildCorpus(t, 42, 80, 4)
+	mk := func(hosted []int) string {
+		srv, err := NewSegmentServer(ServerConfig{Sharded: sh, Hosted: hosted})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		return ts.URL
+	}
+	// Twins hosting different ordinals.
+	desc := &TopologyDesc{Groups: []TopologyGroup{
+		{Replicas: []string{mk([]int{0, 1}), mk([]int{0, 2})}},
+		{Replicas: []string{mk([]int{2, 3})}},
+	}}
+	if _, err := ConnectTopology(context.Background(), desc); err == nil ||
+		!strings.Contains(err.Error(), "group twin") {
+		t.Errorf("incoherent group: err = %v, want group-twin mismatch", err)
+	}
+	// Declared segments contradicting the replicas' reports.
+	desc = &TopologyDesc{Groups: []TopologyGroup{
+		{Segments: []int{0, 1}, Replicas: []string{mk([]int{0, 1})}},
+		{Segments: []int{2}, Replicas: []string{mk([]int{2, 3})}},
+	}}
+	if err := validateTopology(desc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ConnectTopology(context.Background(), desc); !errors.Is(err, ErrTopologyMismatch) {
+		t.Errorf("declared/discovered conflict: err = %v, want ErrTopologyMismatch", err)
+	}
+}
+
+// TestTopologyReload: a reload atomically swaps a replica in, keeps
+// telemetry for surviving backends, and rejects — without touching the
+// running table — descriptors whose backends are unreachable or serve
+// a different collection.
+func TestTopologyReload(t *testing.T) {
+	_, sh := buildCorpus(t, 43, 120, 4)
+	desc, matrix := startReplicated(t, sh, 2, 2)
+	c, err := ConnectTopology(context.Background(), desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	eng := c.NewEngine(nil, 4)
+	query := func() {
+		t.Helper()
+		if _, err := eng.Search(eng.ParseText("goal match"), search.Options{K: 5, Scorer: search.BM25{}}); err != nil {
+			t.Fatalf("search: %v", err)
+		}
+	}
+	query()
+
+	// A fresh replica for group 0 joins; one old twin leaves.
+	srv, err := NewSegmentServer(ServerConfig{Sharded: sh, Hosted: []int{0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := httptest.NewServer(srv.Handler())
+	defer fresh.Close()
+	next := &TopologyDesc{Groups: []TopologyGroup{
+		{Replicas: []string{matrix[0][0], fresh.URL}},
+		{Replicas: append([]string(nil), matrix[1]...)},
+	}}
+	if err := c.Reload(context.Background(), next); err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	query()
+	after := c.Backends()
+	found := false
+	for _, a := range after {
+		if a == fresh.URL {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("backends after reload %v missing %s", after, fresh.URL)
+	}
+	if v := c.Topology(); v.Reloads != 1 || v.ReloadErrors != 0 {
+		t.Fatalf("reload counters = %d/%d, want 1/0", v.Reloads, v.ReloadErrors)
+	}
+
+	// Unreachable replica: rejected wholesale, table unchanged.
+	bad := &TopologyDesc{Groups: []TopologyGroup{
+		{Replicas: []string{matrix[0][0], "http://127.0.0.1:1"}},
+		{Replicas: append([]string(nil), matrix[1]...)},
+	}}
+	var be *BackendError
+	if err := c.Reload(context.Background(), bad); !errors.As(err, &be) {
+		t.Fatalf("unreachable reload: err = %v, want *BackendError", err)
+	}
+	if !reflect.DeepEqual(c.Backends(), after) {
+		t.Fatal("rejected reload mutated the routing table")
+	}
+	query()
+
+	// A replica built from a different corpus: typed mismatch, no swap.
+	_, alien := buildCorpus(t, 999, 120, 4)
+	asrv, err := NewSegmentServer(ServerConfig{Sharded: alien, Hosted: []int{0, 1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ats := httptest.NewServer(asrv.Handler())
+	defer ats.Close()
+	if err := c.ApplyTopology(context.Background(),
+		[]byte(fmt.Sprintf(`{"groups":[{"replicas":[%q]}]}`, ats.URL))); !errors.Is(err, ErrTopologyMismatch) {
+		t.Fatalf("alien reload: err = %v, want ErrTopologyMismatch", err)
+	}
+	if !reflect.DeepEqual(c.Backends(), after) {
+		t.Fatal("mismatched reload mutated the routing table")
+	}
+	if err := c.ApplyTopology(context.Background(), []byte(`{"groups":`)); !errors.Is(err, ErrTopologySyntax) {
+		t.Fatalf("garbage descriptor: err = %v, want ErrTopologySyntax", err)
+	}
+	if v := c.Topology(); v.Reloads != 1 || v.ReloadErrors != 3 {
+		t.Fatalf("reload counters = %d/%d, want 1/3", v.Reloads, v.ReloadErrors)
+	}
+	query()
+}
+
+// TestWatchTopologyFile: touching the descriptor file hot-reloads it;
+// a broken edit is rejected and the previous topology keeps serving.
+func TestWatchTopologyFile(t *testing.T) {
+	_, sh := buildCorpus(t, 44, 80, 2)
+	desc, matrix := startReplicated(t, sh, 2, 1)
+	c, err := ConnectTopology(context.Background(), desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	path := filepath.Join(t.TempDir(), "topo.json")
+	write := func(doc string) {
+		t.Helper()
+		// Write-and-rename so the watcher never reads a half-written file,
+		// and bump mtime explicitly: coarse filesystem clocks plus a
+		// same-size body can otherwise make the edit invisible.
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			t.Fatal(err)
+		}
+		future := time.Now().Add(time.Duration(len(doc)) * time.Second)
+		if err := os.Chtimes(path, future, future); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(fmt.Sprintf(`{"groups":[{"replicas":[%q]},{"replicas":[%q]}]}`, matrix[0][0], matrix[1][0]))
+	stop := c.WatchTopologyFile(path, time.Millisecond, t.Logf)
+	defer stop()
+
+	// Twin joins group 0 via the file.
+	srv, err := NewSegmentServer(ServerConfig{Sharded: sh, Hosted: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin := httptest.NewServer(srv.Handler())
+	defer twin.Close()
+	write(fmt.Sprintf(`{"groups":[{"replicas":[%q,%q]},{"replicas":[%q]}]}`,
+		matrix[0][0], twin.URL, matrix[1][0]))
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Topology().Reloads == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("watcher never applied the updated descriptor")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := len(c.Backends()); got != 3 {
+		t.Fatalf("backends after watch reload = %d, want 3", got)
+	}
+
+	// A broken edit is rejected; the applied topology stays.
+	write(`{"groups":[]}`)
+	for c.Topology().ReloadErrors == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("watcher never rejected the broken descriptor")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := len(c.Backends()); got != 3 {
+		t.Fatalf("broken descriptor changed the topology (backends = %d)", got)
+	}
+}

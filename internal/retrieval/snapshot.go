@@ -22,18 +22,28 @@ type SegmentSummary struct {
 // segments it scores, how many RPCs it has served and failed, and its
 // RPC latency quantiles (round trip as seen from the merge tier).
 type BackendSummary struct {
-	Addr     string `json:"addr"`
-	Segments []int  `json:"segments"`
-	Requests int64  `json:"requests"`
-	Errors   int64  `json:"errors"`
+	Addr string `json:"addr"`
+	// Healthy is the routing health bit: false after a failed probe or
+	// a retryable RPC fault, true again after a success. An unhealthy
+	// replica is deprioritized, not excluded.
+	Healthy  bool  `json:"healthy"`
+	Segments []int `json:"segments"`
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
 	// BinarySearches/JSONSearches split the search RPCs by negotiated
 	// body codec; CodecFallbacks counts permanent demotions to JSON
 	// after a backend rejected a binary body (at most one per backend
 	// per process, so nonzero here means a mixed-version topology).
-	BinarySearches int64                  `json:"binary_searches"`
-	JSONSearches   int64                  `json:"json_searches"`
-	CodecFallbacks int64                  `json:"codec_fallbacks,omitempty"`
-	Latency        metrics.LatencySummary `json:"latency"`
+	BinarySearches int64 `json:"binary_searches"`
+	JSONSearches   int64 `json:"json_searches"`
+	CodecFallbacks int64 `json:"codec_fallbacks,omitempty"`
+	// Hedges counts search RPCs sent to this backend as the hedged
+	// duplicate of a slow twin; Failovers counts RPCs sent here because
+	// a twin failed; ProbeFailures counts health-probe rejections.
+	Hedges        int64                  `json:"hedges"`
+	Failovers     int64                  `json:"failovers"`
+	ProbeFailures int64                  `json:"probe_failures,omitempty"`
+	Latency       metrics.LatencySummary `json:"latency"`
 }
 
 // Snapshot is the retrieval-engine section of the /api/v1/metrics

@@ -25,6 +25,10 @@
 //	                                              latency quantiles, session-table stats);
 //	                                              ?format=prometheus for text exposition
 //	GET    /api/v1/debug/traces                   ring of recently finished query traces
+//	GET    /api/v1/admin/topology                 live segment-replica topology (404 unless
+//	                                              wired with WithTopologyAdmin)
+//	POST   /api/v1/admin/topology                 validate + atomically apply a topology
+//	                                              descriptor without restarting
 //	GET    /metrics                               Prometheus scrape alias
 //
 // Legacy unversioned /api/... paths respond 308 Permanent Redirect to
@@ -80,7 +84,19 @@ type Server struct {
 	tracer    *trace.Collector
 	ownsMgr   bool
 	replicaID string
+	topo      TopologyAdmin
 	handler   http.Handler
+}
+
+// TopologyAdmin is the segment-replica topology surface a distributed
+// merge tier (distrib.Cluster) exposes through the admin endpoint.
+// ApplyTopology validates a descriptor document and atomically swaps
+// the replica routing table — or rejects it wholesale, leaving the
+// running topology untouched. DescribeTopology snapshots the live
+// topology for the GET side.
+type TopologyAdmin interface {
+	ApplyTopology(ctx context.Context, descriptor []byte) error
+	DescribeTopology() any
 }
 
 // Option configures a Server.
@@ -95,6 +111,7 @@ type serverConfig struct {
 	replicaID   string
 	slowQuery   time.Duration
 	traceRing   int
+	topo        TopologyAdmin
 }
 
 // WithLogger routes request and error logs (default: discard).
@@ -149,6 +166,16 @@ func WithTraceRing(n int) Option {
 	return func(c *serverConfig) { c.traceRing = n }
 }
 
+// WithTopologyAdmin wires the /api/v1/admin/topology endpoint to a
+// distributed merge tier's topology: GET serves the live replica
+// layout, POST validates and atomically applies a new descriptor
+// (live reload — no restart). Without this option the endpoint
+// answers 404, which is the correct shape for an in-process server
+// that has no topology to administer.
+func WithTopologyAdmin(t TopologyAdmin) Option {
+	return func(c *serverConfig) { c.topo = t }
+}
+
 // NewServer wraps a system, building (and owning) a SessionManager
 // unless one is supplied.
 func NewServer(sys *core.System, opts ...Option) (*Server, error) {
@@ -159,7 +186,7 @@ func NewServer(sys *core.System, opts ...Option) (*Server, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	s := &Server{sys: sys, mgr: cfg.mgr, log: cfg.logger, metrics: metrics.NewRegistry(), replicaID: cfg.replicaID}
+	s := &Server{sys: sys, mgr: cfg.mgr, log: cfg.logger, metrics: metrics.NewRegistry(), replicaID: cfg.replicaID, topo: cfg.topo}
 	if s.log == nil {
 		s.log = slog.New(slog.DiscardHandler)
 	}
@@ -246,6 +273,8 @@ func (s *Server) routes() http.Handler {
 	handle("GET /api/v1/healthz", s.handleHealthz)
 	handle("GET /api/v1/metrics", s.handleMetrics)
 	handle("GET /api/v1/debug/traces", s.handleTraces)
+	handle("GET /api/v1/admin/topology", s.handleGetTopology)
+	handle("POST /api/v1/admin/topology", s.handlePostTopology)
 	handle("GET /metrics", s.handlePrometheus)
 	mux.HandleFunc("/api/", s.instrument(routeLegacy, s.handleLegacy))
 	mux.HandleFunc("/", s.instrument(routeUnmatched, func(w http.ResponseWriter, r *http.Request) {
@@ -542,6 +571,69 @@ func (s *Server) handlePrometheus(w http.ResponseWriter, _ *http.Request) {
 			pw.Summary("ivr_stage_duration_seconds", sg.Latency, "stage", sg.Stage)
 		}
 	}
+	// Replicated merge tier only: per-backend health and hedging. The
+	// families are emitted whenever backends exist — even all-zero — so
+	// a scrape (or the CI smoke grep) can assert their presence before
+	// the first hedge fires.
+	if len(snap.Backends) > 0 {
+		pw.Family("ivr_backend_healthy", "gauge")
+		for _, b := range snap.Backends {
+			healthy := 0.0
+			if b.Healthy {
+				healthy = 1
+			}
+			pw.Sample("ivr_backend_healthy", healthy, "backend", b.Addr)
+		}
+		pw.Family("ivr_rpc_hedge_total", "counter")
+		for _, b := range snap.Backends {
+			pw.Sample("ivr_rpc_hedge_total", float64(b.Hedges), "backend", b.Addr)
+		}
+		pw.Family("ivr_rpc_failover_total", "counter")
+		for _, b := range snap.Backends {
+			pw.Sample("ivr_rpc_failover_total", float64(b.Failovers), "backend", b.Addr)
+		}
+		pw.Family("ivr_probe_failures_total", "counter")
+		for _, b := range snap.Backends {
+			pw.Sample("ivr_probe_failures_total", float64(b.ProbeFailures), "backend", b.Addr)
+		}
+	}
+}
+
+// maxTopologyBody bounds a POSTed topology descriptor; real
+// descriptors are a few hundred bytes, so 1 MiB is pure headroom.
+const maxTopologyBody = 1 << 20
+
+func (s *Server) handleGetTopology(w http.ResponseWriter, r *http.Request) {
+	if s.topo == nil {
+		writeCode(w, http.StatusNotFound, codeNotFound, "no topology admin wired (in-process engine?)")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.topo.DescribeTopology())
+}
+
+func (s *Server) handlePostTopology(w http.ResponseWriter, r *http.Request) {
+	if s.topo == nil {
+		writeCode(w, http.StatusNotFound, codeNotFound, "no topology admin wired (in-process engine?)")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxTopologyBody+1))
+	if err != nil {
+		writeCode(w, http.StatusBadRequest, codeInvalid, "read descriptor: %v", err)
+		return
+	}
+	if len(body) > maxTopologyBody {
+		writeCode(w, http.StatusRequestEntityTooLarge, codeInvalid, "descriptor exceeds %d bytes", maxTopologyBody)
+		return
+	}
+	if err := s.topo.ApplyTopology(r.Context(), body); err != nil {
+		// Any rejection — syntax, invariant, unreachable replica, or
+		// collection mismatch — left the running topology untouched;
+		// surface the typed error text so the operator can fix the
+		// descriptor and re-POST.
+		writeCode(w, http.StatusBadRequest, codeInvalid, "topology rejected: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.topo.DescribeTopology())
 }
 
 // tracesResponse is the /api/v1/debug/traces body: the ring of

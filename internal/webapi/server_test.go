@@ -484,6 +484,7 @@ func TestCatchAllRouteLabelsBounded(t *testing.T) {
 		"DELETE /api/v1/sessions/{id}", "GET /api/v1/search", "GET /api/v1/search/stream",
 		"POST /api/v1/events", "GET /api/v1/shots/{id}", "GET /api/v1/healthz", "GET /api/v1/metrics",
 		"GET /api/v1/debug/traces", "GET /metrics",
+		"GET /api/v1/admin/topology", "POST /api/v1/admin/topology",
 	} {
 		allowed[pattern] = true
 	}
