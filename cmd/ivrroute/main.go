@@ -59,6 +59,7 @@ func main() {
 		slowQuery     = flag.Duration("slow-query", 0, "log the span tree of proxied requests slower than this to stderr as JSON (0 disables)")
 		pprofAddr     = flag.String("pprof-addr", "", "serve net/http/pprof on this side address (e.g. localhost:6062; empty disables)")
 		quiet         = flag.Bool("quiet", false, "suppress routing logs")
+		deadline      = flag.Duration("deadline", router.DefaultSearchDeadline, "X-IVR-Deadline budget minted for search requests arriving without one (negative disables minting; inbound budgets are always enforced)")
 	)
 	flag.Parse()
 	startPprof(*pprofAddr)
@@ -71,12 +72,13 @@ func main() {
 		logger = slog.New(slog.DiscardHandler)
 	}
 	rt, err := router.New(router.Config{
-		Replicas:      splitAddrs(*replicas),
-		ProbeInterval: *probeInterval,
-		ProbeTimeout:  *probeTimeout,
-		FailThreshold: *failThreshold,
-		SlowQuery:     *slowQuery,
-		Logger:        logger,
+		Replicas:       splitAddrs(*replicas),
+		ProbeInterval:  *probeInterval,
+		ProbeTimeout:   *probeTimeout,
+		FailThreshold:  *failThreshold,
+		SlowQuery:      *slowQuery,
+		Logger:         logger,
+		SearchDeadline: *deadline,
 	})
 	if err != nil {
 		fail("%v", err)

@@ -55,6 +55,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/distrib"
+	"repro/internal/metrics"
 	"repro/internal/store"
 	"repro/internal/synth"
 )
@@ -70,6 +71,10 @@ func main() {
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this side address (e.g. localhost:6061; empty disables)")
 		slowQuery = flag.Duration("slow-query", 0, "log the span tree of segment RPCs slower than this to stderr as JSON (0 disables)")
 		quiet     = flag.Bool("quiet", false, "suppress per-request logs")
+
+		admitLimit  = flag.Int("admission-limit", 0, "max concurrent segment searches before typed 429 sheds (0 = effectively unbounded gate, telemetry only)")
+		admitQueue  = flag.Int("admission-queue", 0, "admission queue depth absorbing bursts before shedding (0 = half the limit)")
+		admitTarget = flag.Duration("admission-target", 0, "AIMD latency target: cut the admission limit when queue waits exceed this (0 disables adaptation)")
 	)
 	flag.Parse()
 	startPprof(*pprofAddr)
@@ -105,13 +110,25 @@ func main() {
 	if *quiet {
 		logger = slog.New(slog.DiscardHandler)
 	}
-	srv, err := distrib.NewSegmentServer(distrib.ServerConfig{
+	scfg := distrib.ServerConfig{
 		Sharded:    sh,
 		Hosted:     hosted,
 		SourceHash: distrib.CollectionSourceHash(arch.Collection),
 		SlowQuery:  *slowQuery,
 		Logger:     logger,
-	})
+	}
+	if *admitLimit > 0 {
+		queue := *admitQueue
+		if queue <= 0 {
+			queue = *admitLimit / 2
+		}
+		scfg.Admission = metrics.AdmissionConfig{
+			InitialLimit: *admitLimit,
+			MaxQueue:     queue,
+			Target:       *admitTarget,
+		}
+	}
+	srv, err := distrib.NewSegmentServer(scfg)
 	if err != nil {
 		fail("server: %v", err)
 	}

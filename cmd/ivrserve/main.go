@@ -58,6 +58,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/distrib"
+	"repro/internal/metrics"
+	"repro/internal/retrieval"
 	"repro/internal/sessionstore"
 	"repro/internal/store"
 	"repro/internal/synth"
@@ -89,6 +91,14 @@ func main() {
 		sessStore   = flag.String("session-store", "", "journal file for durable sessions (empty = in-memory only); share one path between replicas behind ivrroute")
 		sessSync    = flag.Duration("session-sync", 100*time.Millisecond, "journal fsync batching interval (0 = fsync every write)")
 		replicaID   = flag.String("replica-id", "", "replica name stamped on responses (X-IVR-Replica) and reported to the front tier")
+		admitLimit  = flag.Int("admission-limit", 0, "max concurrent searches before typed 429 sheds (0 = effectively unbounded gate, telemetry only)")
+		admitQueue  = flag.Int("admission-queue", 0, "admission queue depth absorbing bursts before shedding (0 = half the limit)")
+		admitTarget = flag.Duration("admission-target", 0, "AIMD latency target: cut the admission limit when queue waits exceed this (0 disables adaptation)")
+		retryRatio  = flag.Float64("retry-budget", 0.1, "hedge/failover token earn rate per primary segment RPC (0 = unlimited)")
+		retryBurst  = flag.Int("retry-burst", 64, "hedge/failover token bucket burst capacity")
+		brkFails    = flag.Int("breaker-failures", 5, "consecutive RPC failures that trip a replica's circuit breaker open (0 disables breakers)")
+		brkCooldown = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker waits before probing half-open")
+		degraded    = flag.Bool("degraded", true, "distributed mode: answer partial (degraded) pages from the segments that responded instead of failing the whole query")
 	)
 	flag.Parse()
 	startPprof(*pprofAddr)
@@ -153,6 +163,11 @@ func main() {
 			distrib.WithTimeout(*segTimeout),
 			distrib.WithHedge(*hedgeAfter),
 			distrib.WithProbeInterval(*probeEvery),
+			distrib.WithRetryBudget(*retryRatio, *retryBurst),
+			distrib.WithBreaker(*brkFails, *brkCooldown),
+		}
+		if *degraded {
+			opts = append(opts, distrib.WithDegraded())
 		}
 		switch *rpcCodec {
 		case "binary":
@@ -184,6 +199,12 @@ func main() {
 		sys, err = core.NewSystem(cluster.NewEngine(nil, cluster.NumSegments()), arch.Collection, cfg)
 		if err == nil {
 			sys.SetBackendTelemetry(cluster.BackendSummaries)
+			sys.SetRetryBudgetTelemetry(func() retrieval.RetryBudgetSummary {
+				st := cluster.RetryBudget()
+				return retrieval.RetryBudgetSummary{
+					Tokens: st.Tokens, Taken: st.Taken, Denied: st.Denied, Unlimited: st.Unlimited,
+				}
+			})
 		}
 	} else {
 		sys, err = core.NewSystemFromCollection(arch.Collection, cfg)
@@ -201,6 +222,17 @@ func main() {
 		webapi.WithMaxSessions(*maxSessions),
 		webapi.WithReplicaID(*replicaID),
 		webapi.WithSlowQuery(*slowQuery),
+	}
+	if *admitLimit > 0 {
+		queue := *admitQueue
+		if queue <= 0 {
+			queue = *admitLimit / 2
+		}
+		opts = append(opts, webapi.WithAdmission(metrics.AdmissionConfig{
+			InitialLimit: *admitLimit,
+			MaxQueue:     queue,
+			Target:       *admitTarget,
+		}))
 	}
 	if cluster != nil {
 		// Live topology administration: GET/POST /api/v1/admin/topology,

@@ -29,10 +29,12 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/ilog"
 	"repro/internal/metrics"
+	"repro/internal/overload"
 	"repro/internal/retrieval"
 	"repro/internal/trace"
 )
@@ -44,17 +46,21 @@ type Client struct {
 	retries    int
 	backoff    time.Duration
 	userAgent  string
+	budget     *retryBudget
 }
 
 // Option configures a Client.
 type Option func(*options)
 
 type options struct {
-	httpClient *http.Client
-	timeout    time.Duration
-	retries    int
-	backoff    time.Duration
-	userAgent  string
+	httpClient  *http.Client
+	timeout     time.Duration
+	retries     int
+	backoff     time.Duration
+	userAgent   string
+	retryRatio  float64
+	retryBurst  int
+	budgetIsSet bool
 }
 
 // WithHTTPClient substitutes the underlying *http.Client (default: a
@@ -87,6 +93,21 @@ func WithUserAgent(ua string) Option {
 	return func(o *options) { o.userAgent = ua }
 }
 
+// WithRetryBudget bounds every class of automatic retry (5xx/network
+// replays, drain waits, overload waits) to a token bucket: each
+// primary request earns ratio tokens, each retry spends one, and the
+// bucket caps at burst. A drowning server therefore sees retry traffic
+// bounded at ~ratio of the primary rate instead of a synchronized
+// retry storm. ratio <= 0 disables the bound. Default: ratio 0.1,
+// burst 16.
+func WithRetryBudget(ratio float64, burst int) Option {
+	return func(o *options) {
+		o.retryRatio = ratio
+		o.retryBurst = burst
+		o.budgetIsSet = true
+	}
+}
+
 // New builds a client for a server base URL such as
 // "http://localhost:8080" (any path suffix is stripped of one
 // trailing slash; "/api/v1" is appended per call).
@@ -110,12 +131,16 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 		}
 		hc = &http.Client{Timeout: timeout}
 	}
+	if !o.budgetIsSet {
+		o.retryRatio, o.retryBurst = 0.1, 16
+	}
 	return &Client{
 		baseURL:    strings.TrimSuffix(baseURL, "/"),
 		httpClient: hc,
 		retries:    o.retries,
 		backoff:    o.backoff,
 		userAgent:  o.userAgent,
+		budget:     newRetryBudget(o.retryRatio, o.retryBurst),
 	}, nil
 }
 
@@ -141,9 +166,18 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("api: %d %s: %s", e.StatusCode, e.Code, e.Message)
 }
 
-// CodeDraining is the envelope code a replica answers with while it
-// hands its sessions off during graceful shutdown.
-const CodeDraining = "draining"
+// Envelope codes the SDK gives typed treatment.
+const (
+	// CodeDraining is the envelope code a replica answers with while it
+	// hands its sessions off during graceful shutdown.
+	CodeDraining = "draining"
+	// CodeOverloaded is the typed admission shed: the tier is at its
+	// concurrency limit and asks the client to back off (Retry-After).
+	CodeOverloaded = "overloaded"
+	// CodeDeadline marks a request whose deadline budget was spent
+	// somewhere in the stack before a full answer existed.
+	CodeDeadline = "deadline_exceeded"
+)
 
 // IsNotFound reports whether err is a 404 APIError (unknown session,
 // shot, or route).
@@ -156,6 +190,20 @@ func IsNotFound(err error) bool {
 func IsDraining(err error) bool {
 	var ae *APIError
 	return errors.As(err, &ae) && ae.StatusCode == http.StatusServiceUnavailable && ae.Code == CodeDraining
+}
+
+// IsOverloaded reports whether err is a typed 429 admission shed.
+func IsOverloaded(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusTooManyRequests && ae.Code == CodeOverloaded
+}
+
+// IsDeadlineExceeded reports whether err is the server's typed 504:
+// the request's deadline budget was spent before a full answer
+// existed.
+func IsDeadlineExceeded(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == CodeDeadline
 }
 
 // CreateSessionRequest optionally declares a static user profile.
@@ -210,7 +258,12 @@ type SearchPage struct {
 	Total      int    `json:"total"`
 	Offset     int    `json:"offset"`
 	Limit      int    `json:"limit"`
-	Hits       []Hit  `json:"hits"`
+	// Partial marks a degraded-mode page: the ranking covers only the
+	// segments that answered before the system hit overload or partial
+	// failure. Complete and correctly merged over that subset — but not
+	// the full collection.
+	Partial bool  `json:"partial"`
+	Hits    []Hit `json:"hits"`
 	// RequestID is the response's correlation ID (set from the
 	// X-Request-Id header, not the body).
 	RequestID string `json:"-"`
@@ -226,6 +279,7 @@ type StreamSummary struct {
 	Step       int    `json:"step"`
 	Candidates int    `json:"candidates"`
 	Total      int    `json:"total"`
+	Partial    bool   `json:"partial"`
 }
 
 // Shot is the shot metadata a front-end renders.
@@ -514,6 +568,15 @@ func (c *Client) newRequest(ctx context.Context, method, path string, query url.
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// A caller-imposed context deadline becomes the wire deadline
+	// budget: the stack decrements it hop by hop and stops working the
+	// moment it is spent, instead of discovering a hung-up client after
+	// finishing the query.
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem > 0 {
+			req.Header.Set(overload.DeadlineHeader, overload.FormatDeadline(rem))
+		}
+	}
 	return req, nil
 }
 
@@ -526,15 +589,87 @@ const (
 	retryOK    = true
 )
 
-// Drain-retry budget: a draining replica rejects before touching any
-// session state, so replaying is safe for every call — including the
-// retryNever ones — and needs only its own small budget, not the
-// caller's WithRetry configuration.
+// Drain/overload retry budget: a draining or shedding replica rejects
+// before touching any session state, so replaying is safe for every
+// call — including the retryNever ones — and needs only its own small
+// budget, not the caller's WithRetry configuration.
 const (
 	drainRetries     = 5
 	defaultDrainWait = 200 * time.Millisecond
 	maxDrainWait     = 5 * time.Second
 )
+
+// retryBudget is the client-wide retry token bucket (milli-token
+// integers so fractional earn rates accumulate exactly). A nil budget
+// is unlimited.
+type retryBudget struct {
+	mu        sync.Mutex
+	milli     int64
+	maxMilli  int64
+	earnMilli int64
+	taken     int64
+	denied    int64
+}
+
+func newRetryBudget(ratio float64, burst int) *retryBudget {
+	if ratio <= 0 || burst <= 0 {
+		return nil
+	}
+	max := int64(burst) * 1000
+	return &retryBudget{milli: max, maxMilli: max, earnMilli: int64(ratio * 1000)}
+}
+
+// earn credits one primary request.
+func (rb *retryBudget) earn() {
+	if rb == nil {
+		return
+	}
+	rb.mu.Lock()
+	if rb.milli += rb.earnMilli; rb.milli > rb.maxMilli {
+		rb.milli = rb.maxMilli
+	}
+	rb.mu.Unlock()
+}
+
+// take claims one retry token, reporting whether the retry may go.
+func (rb *retryBudget) take() bool {
+	if rb == nil {
+		return true
+	}
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if rb.milli < 1000 {
+		rb.denied++
+		return false
+	}
+	rb.milli -= 1000
+	rb.taken++
+	return true
+}
+
+// RetryBudgetStats is the SDK's retry-bucket telemetry.
+type RetryBudgetStats struct {
+	// Tokens is the spendable balance; Taken/Denied count granted and
+	// refused retries. Unlimited means no bound is configured.
+	Tokens    float64
+	Taken     int64
+	Denied    int64
+	Unlimited bool
+}
+
+// RetryBudget snapshots the client's retry token bucket.
+func (c *Client) RetryBudget() RetryBudgetStats {
+	if c.budget == nil {
+		return RetryBudgetStats{Unlimited: true}
+	}
+	c.budget.mu.Lock()
+	defer c.budget.mu.Unlock()
+	return RetryBudgetStats{
+		Tokens: float64(c.budget.milli) / 1000,
+		Taken:  c.budget.taken,
+		Denied: c.budget.denied,
+	}
+}
 
 // sleepCtx waits d unless the context ends first.
 func sleepCtx(ctx context.Context, d time.Duration) error {
@@ -568,9 +703,12 @@ func onResponse(fn func(*http.Response)) doOpt {
 
 // do runs one API call, retrying when the call site marked it safe,
 // decoding a 2xx body into out and everything else into *APIError.
-// 503s from a draining replica are always retried (honouring the
-// server's Retry-After) up to drainRetries times: drain is a routing
-// condition, not an error the virtual user should see.
+// 503s from a draining replica and typed 429 admission sheds are
+// always retried (honouring the server's Retry-After) up to
+// drainRetries times: both are routing/backpressure conditions, not
+// errors the virtual user should see. Every retry of any class spends
+// one retry-budget token, so total replay traffic stays bounded
+// relative to primary traffic even when the server is drowning.
 func (c *Client) do(ctx context.Context, method, path string, query url.Values, body, out any, retry bool, opts ...doOpt) error {
 	var dc doCfg
 	for _, o := range opts {
@@ -582,6 +720,7 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 	}
 	backoff := c.backoff
 	drainBudget := drainRetries
+	c.budget.earn()
 	var lastErr error
 	for attempt := 0; attempt < attempts; {
 		if ctx.Err() != nil {
@@ -618,9 +757,13 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 			apiErr := decodeAPIError(resp)
 			resp.Body.Close()
 			lastErr = apiErr
-			if IsDraining(apiErr) && drainBudget > 0 {
-				// Drain retries ride outside the normal budget and wait
-				// what the server asked for, not the backoff schedule.
+			if (IsDraining(apiErr) || IsOverloaded(apiErr)) && drainBudget > 0 {
+				// Drain/overload retries ride outside the attempt count and
+				// wait what the server asked for, not the backoff schedule —
+				// but still spend retry-budget tokens like everything else.
+				if !c.budget.take() {
+					return lastErr
+				}
 				drainBudget--
 				wait := apiErr.RetryAfter
 				if wait <= 0 {
@@ -637,6 +780,9 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 		}
 		attempt++
 		if attempt >= attempts {
+			break
+		}
+		if !c.budget.take() {
 			break
 		}
 		if backoff > 0 {

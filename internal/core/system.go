@@ -177,6 +177,9 @@ type System struct {
 	// stageSnap, when wired (SetStageTelemetry), contributes per-stage
 	// duration quantiles from the trace collector to RetrievalSnapshot.
 	stageSnap func() []trace.StageSummary
+	// budgetSnap, when wired (SetRetryBudgetTelemetry), contributes the
+	// merge tier's retry token bucket to RetrievalSnapshot.
+	budgetSnap func() retrieval.RetryBudgetSummary
 }
 
 // NewSystem wires a system. engine and coll must be non-nil and built
@@ -244,6 +247,11 @@ func (s *System) SetBackendTelemetry(fn func() []retrieval.BackendSummary) { s.b
 // system serves queries.
 func (s *System) SetStageTelemetry(fn func() []trace.StageSummary) { s.stageSnap = fn }
 
+// SetRetryBudgetTelemetry wires the merge tier's retry-budget snapshot
+// into RetrievalSnapshot (ivrserve calls this alongside
+// SetBackendTelemetry when serving a distributed topology).
+func (s *System) SetRetryBudgetTelemetry(fn func() retrieval.RetryBudgetSummary) { s.budgetSnap = fn }
+
 // RetrievalSnapshot reports the engine-layer telemetry: cache
 // counters, per-segment scoring latency, the scoring kernel's pool
 // counters, and — on a distributed system — per-backend RPC counters.
@@ -259,6 +267,10 @@ func (s *System) RetrievalSnapshot() retrieval.Snapshot {
 	}
 	if s.stageSnap != nil {
 		snap.Stages = s.stageSnap()
+	}
+	if s.budgetSnap != nil {
+		rb := s.budgetSnap()
+		snap.RetryBudget = &rb
 	}
 	return snap
 }

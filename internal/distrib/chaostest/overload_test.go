@@ -1,0 +1,226 @@
+package chaostest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/distrib"
+	"repro/internal/overload"
+	"repro/internal/search"
+)
+
+// requestTotal sums search RPC launches across every replica — the
+// "segment work" an expired or budget-denied query must not cause.
+func requestTotal(c *distrib.Cluster) int64 {
+	var total int64
+	for _, s := range c.BackendSummaries() {
+		total += s.Requests
+	}
+	return total
+}
+
+// mustFail runs one query expected to fail (breaker/budget scripts
+// deliberately exhaust every replica of an ordinal).
+func mustFail(t *testing.T, eng *search.Engine, q string) {
+	t.Helper()
+	if _, err := eng.Search(eng.ParseText(q), search.Options{K: 5, Scorer: search.BM25{}}); err == nil {
+		t.Fatalf("query %q succeeded with every replica scripted dead", q)
+	}
+}
+
+// TestExpiredDeadlineDoesZeroSegmentWork pins the deadline-propagation
+// contract at the scatter layer: a query whose latency budget is
+// already spent answers the typed overload.ErrDeadlineExceeded without
+// launching a single segment RPC — no wasted scoring work, no backend
+// traffic, purely a clock read.
+func TestExpiredDeadlineDoesZeroSegmentWork(t *testing.T) {
+	h := New(t, Config{Seed: 23, Docs: 80, Segments: 2, Groups: 1, Replicas: 2})
+	c := h.Connect()
+	eng := c.NewEngine(nil, 2)
+
+	// Warm query: prove the scatter path works before expiring budgets,
+	// and establish the request baseline.
+	one(t, eng, "goal match")
+	base := requestTotal(c)
+	if base == 0 {
+		t.Fatal("warm query launched no segment RPCs; baseline is meaningless")
+	}
+
+	ctx, cancel := overload.WithBudget(context.Background(), 5*time.Millisecond, h.Clock)
+	defer cancel()
+	h.Clock.Advance(5 * time.Millisecond)
+
+	_, err := eng.SearchContext(ctx, eng.ParseText("goal match"), search.Options{K: 5, Scorer: search.BM25{}})
+	if !errors.Is(err, overload.ErrDeadlineExceeded) {
+		t.Fatalf("expired-budget query returned %v, want overload.ErrDeadlineExceeded", err)
+	}
+	if got := requestTotal(c); got != base {
+		t.Errorf("expired-budget query launched %d segment RPCs, want 0", got-base)
+	}
+}
+
+// TestRetryBudgetBoundsRetries pins retry amplification under a
+// flapping replica group: with a token-bucket budget of burst 2 and
+// earn ratio 0.1, sustained flapping on every replica exhausts the
+// bucket, further failovers are denied, and the total RPC traffic the
+// replicas see stays bounded by primaries + granted retries — the
+// retry storm a naive failover loop would unleash cannot happen.
+func TestRetryBudgetBoundsRetries(t *testing.T) {
+	h := New(t, Config{Seed: 29, Docs: 80, Segments: 1, Groups: 1, Replicas: 2})
+	// Breakers off so the budget is the only thing limiting retries.
+	c := h.Connect(distrib.WithRetryBudget(0.1, 2), distrib.WithBreaker(0, 0))
+	eng := c.NewEngine(nil, 1)
+	for _, b := range h.Groups[0] {
+		b.Injector.Set(Flap)
+	}
+
+	const n = 40
+	for _, q := range Queries(31, n) {
+		// Failures are expected once the budget runs dry: a denied
+		// failover fails the query rather than amplifying traffic.
+		_, _ = eng.Search(eng.ParseText(q), search.Options{K: 5, Scorer: search.BM25{}})
+	}
+
+	st := c.RetryBudget()
+	if st.Denied == 0 {
+		t.Error("budget never denied a retry under sustained flapping")
+	}
+	maxTaken := int64(2 + n/10) // burst + earned at ratio 0.1
+	if st.Taken > maxTaken {
+		t.Errorf("budget granted %d retries, want <= %d (burst + earned)", st.Taken, maxTaken)
+	}
+	if total := requestTotal(c); total > int64(n)+st.Taken {
+		t.Errorf("replicas saw %d RPCs from %d queries with %d granted retries — amplification unbounded",
+			total, n, st.Taken)
+	}
+}
+
+// TestBreakerLifecycle scripts a full breaker cycle on the fake clock:
+// consecutive failures trip it open, an open breaker still admits a
+// sole replica as last resort (never a black hole), a successful
+// health probe arms probation without waiting out the cooldown, a
+// probation success closes it — and a second trip recovers via the
+// cooldown-elapsed path instead.
+func TestBreakerLifecycle(t *testing.T) {
+	h := New(t, Config{Seed: 37, Docs: 60, Segments: 1, Groups: 1, Replicas: 1})
+	c := h.Connect(distrib.WithBreaker(3, time.Minute))
+	eng := c.NewEngine(nil, 1)
+	solo := h.Groups[0][0]
+
+	solo.Injector.Set(Kill)
+	for i := 0; i < 3; i++ {
+		mustFail(t, eng, "goal match")
+	}
+	if s := summaryOf(t, c, solo.Addr()); s.Breaker != distrib.BreakerOpen || s.BreakerTrips != 1 {
+		t.Fatalf("after 3 consecutive failures: breaker=%s trips=%d, want open/1", s.Breaker, s.BreakerTrips)
+	}
+
+	// Open shapes routing, it never black-holes: the sole replica is
+	// still tried as last resort, and the failure restarts the cooldown.
+	mustFail(t, eng, "vote storm")
+	if s := summaryOf(t, c, solo.Addr()); s.Breaker != distrib.BreakerOpen {
+		t.Fatalf("breaker left open without a successful trial: %s", s.Breaker)
+	}
+
+	// A successful health probe arms probation immediately — no
+	// cooldown wait — and the next query is the single trial RPC.
+	solo.Injector.Set(Off)
+	c.ProbeNow(t.Context())
+	if s := summaryOf(t, c, solo.Addr()); s.Breaker != distrib.BreakerHalfOpen {
+		t.Fatalf("after healing probe: breaker=%s, want half_open", s.Breaker)
+	}
+	one(t, eng, "goal crowd")
+	if s := summaryOf(t, c, solo.Addr()); s.Breaker != distrib.BreakerClosed || s.BreakerTrips != 1 {
+		t.Fatalf("after trial success: breaker=%s trips=%d, want closed/1", s.Breaker, s.BreakerTrips)
+	}
+
+	// Second trip recovers through the cooldown instead of a probe.
+	solo.Injector.Set(Kill)
+	for i := 0; i < 3; i++ {
+		mustFail(t, eng, "storm anthem")
+	}
+	if s := summaryOf(t, c, solo.Addr()); s.Breaker != distrib.BreakerOpen || s.BreakerTrips != 2 {
+		t.Fatalf("second trip: breaker=%s trips=%d, want open/2", s.Breaker, s.BreakerTrips)
+	}
+	solo.Injector.Set(Off)
+	h.Clock.Advance(time.Minute)
+	one(t, eng, "summit anthem")
+	if s := summaryOf(t, c, solo.Addr()); s.Breaker != distrib.BreakerClosed {
+		t.Fatalf("after cooldown + trial success: breaker=%s, want closed", s.Breaker)
+	}
+}
+
+// TestDegradedPartialMatchesRestrictedOracle pins the degraded-mode
+// contract: with one whole replica group dead past failover, a
+// WithDegraded engine answers the merged ranking of the surviving
+// segments flagged partial — bit-identical to an in-process oracle
+// restricted to exactly those segments' documents, with the failed
+// ordinals named. Never torn, never silent.
+func TestDegradedPartialMatchesRestrictedOracle(t *testing.T) {
+	h := New(t, Config{Seed: 41, Docs: 120, Segments: 4, Groups: 2, Replicas: 2})
+	c := h.Connect(distrib.WithDegraded())
+	eng := c.NewEngine(nil, 4)
+
+	// Group 1 hosts ordinals 1 and 3 (round-robin split); kill both of
+	// its replicas so failover cannot save those segments.
+	for _, b := range h.Groups[1] {
+		b.Injector.Set(Kill)
+	}
+
+	// The corpus assigns document s%04d round-robin to segment i%4, so
+	// the oracle restriction is a pure ID predicate.
+	oracle := h.Oracle()
+	surviving := func(id string) bool {
+		var i int
+		if _, err := fmt.Sscanf(id, "s%04d", &i); err != nil {
+			t.Fatalf("unexpected doc id %q", id)
+		}
+		return i%4 == 0 || i%4 == 2
+	}
+
+	opts := search.Options{K: 10, Scorer: search.BM25{}}
+	for _, qt := range Queries(43, 8) {
+		got, err := eng.Search(eng.ParseText(qt), opts)
+		if err != nil {
+			t.Fatalf("q=%q: degraded query failed outright: %v", qt, err)
+		}
+		if !got.Partial {
+			t.Fatalf("q=%q: partial flag unset with a whole group down", qt)
+		}
+		if len(got.FailedSegments) != 2 || got.FailedSegments[0] != 1 || got.FailedSegments[1] != 3 {
+			t.Fatalf("q=%q: failed segments %v, want [1 3]", qt, got.FailedSegments)
+		}
+		oopts := opts
+		oopts.Filter = surviving
+		want, werr := oracle.Search(oracle.ParseText(qt), oopts)
+		if werr != nil {
+			t.Fatalf("q=%q: oracle: %v", qt, werr)
+		}
+		if got.Candidates != want.Candidates || len(got.Hits) != len(want.Hits) {
+			t.Fatalf("q=%q: degraded %d hits/%d candidates, restricted oracle %d/%d",
+				qt, len(got.Hits), got.Candidates, len(want.Hits), want.Candidates)
+		}
+		for i := range got.Hits {
+			if got.Hits[i] != want.Hits[i] {
+				t.Fatalf("q=%q rank %d: degraded %+v, restricted oracle %+v", qt, i, got.Hits[i], want.Hits[i])
+			}
+		}
+	}
+
+	// Heal the group: full-topology answers stop carrying the flag and
+	// parity with the unrestricted oracle returns.
+	for _, b := range h.Groups[1] {
+		b.Injector.Set(Off)
+	}
+	c.ProbeNow(t.Context())
+	got, err := eng.Search(eng.ParseText("goal match"), opts)
+	if err != nil {
+		t.Fatalf("healed query failed: %v", err)
+	}
+	if got.Partial || len(got.FailedSegments) != 0 {
+		t.Fatalf("healed topology still partial: %+v", got.FailedSegments)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/overload"
 	"repro/internal/trace"
 )
 
@@ -37,6 +38,7 @@ var (
 // and server faults without parsing error text.
 type statusError struct {
 	status int
+	code   string // envelope code when one parsed ("" otherwise)
 	err    error
 }
 
@@ -104,6 +106,9 @@ type backend struct {
 	failovers  atomic.Int64
 	probeFails atomic.Int64
 	latency    metrics.Histogram
+	// brk is this backend's circuit breaker (nil = disabled; all
+	// breaker methods are nil-safe). Set by Cluster.assemble.
+	brk *breaker
 }
 
 func newBackend(addr string, hc, statsHC *http.Client, binary bool) *backend {
@@ -163,8 +168,9 @@ func readRPCBody(resp *http.Response, dst []byte) ([]byte, error) {
 	if resp.StatusCode != http.StatusOK {
 		var env rpcErrorEnvelope
 		if json.Unmarshal(body, &env) == nil && env.Error.Code != "" {
-			return body, &statusError{status: resp.StatusCode, err: fmt.Errorf("%w: %d %s: %s",
-				ErrBackendStatus, resp.StatusCode, env.Error.Code, env.Error.Message)}
+			return body, &statusError{status: resp.StatusCode, code: env.Error.Code,
+				err: fmt.Errorf("%w: %d %s: %s",
+					ErrBackendStatus, resp.StatusCode, env.Error.Code, env.Error.Message)}
 		}
 		return body, &statusError{status: resp.StatusCode,
 			err: fmt.Errorf("%w: status %d", ErrBackendStatus, resp.StatusCode)}
@@ -253,6 +259,14 @@ func demotesBinary(err error) bool {
 // all come from pools, so a steady-state scatter round allocates
 // nothing for framing.
 func (b *backend) searchOnce(ctx context.Context, sreq *SearchRequest, binary bool) (*SearchResponse, error) {
+	// Deadline propagation: re-mint the remaining budget as a relative
+	// header on the outgoing RPC. A budget too small to round-trip is
+	// answered here — typed — instead of shipping a request the far
+	// side would only reject.
+	deadline, haveDeadline := overload.RemainingFromContext(ctx)
+	if haveDeadline && deadline < overload.MinForward {
+		return nil, overload.ErrDeadlineExceeded
+	}
 	bodyBuf := getBuf()
 	contentType := "application/json"
 	if binary {
@@ -276,6 +290,9 @@ func (b *backend) searchOnce(ctx context.Context, sreq *SearchRequest, binary bo
 		return nil, err
 	}
 	req.Header.Set("Content-Type", contentType)
+	if haveDeadline {
+		req.Header.Set(overload.DeadlineHeader, overload.FormatDeadline(deadline))
+	}
 	// Cross-process correlation: forward the query's request ID and ask
 	// the backend to echo its server-side span tree, which is grafted
 	// under the current (per-segment) span — client-observed RPC time

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/index"
+	"repro/internal/overload"
 	"repro/internal/retrieval"
 	"repro/internal/search"
 	"repro/internal/text"
@@ -51,14 +52,31 @@ type Prober func(ctx context.Context, addr string) error
 type Option func(*clusterConfig)
 
 type clusterConfig struct {
-	timeout       time.Duration
-	hc            *http.Client
-	forceJSON     bool
-	hedgeAfter    time.Duration
-	probeInterval time.Duration
-	clock         Clock
-	prober        Prober
+	timeout         time.Duration
+	hc              *http.Client
+	forceJSON       bool
+	hedgeAfter      time.Duration
+	probeInterval   time.Duration
+	clock           Clock
+	prober          Prober
+	retryRatio      float64
+	retryBurst      int
+	breakerFails    int
+	breakerCooldown time.Duration
+	degraded        bool
 }
+
+// Overload-protection defaults: retried traffic (hedges + failovers)
+// is bounded to 10% of primary traffic with a 64-token burst; a
+// replica trips its breaker open after 5 consecutive retryable faults
+// and re-enters rotation via one probation RPC after a successful
+// probe or a 5s cooldown.
+const (
+	defaultRetryRatio      = 0.1
+	defaultRetryBurst      = 64
+	defaultBreakerFails    = 5
+	defaultBreakerCooldown = 5 * time.Second
+)
 
 // WithTimeout bounds each segment RPC (default DefaultRPCTimeout).
 func WithTimeout(d time.Duration) Option {
@@ -111,6 +129,39 @@ func WithProber(p Prober) Option {
 	return func(c *clusterConfig) { c.prober = p }
 }
 
+// WithRetryBudget tunes the cluster-wide retry token bucket: hedges
+// and failovers spend a token each, primaries earn ratio tokens, and
+// the balance starts at (and is capped by) burst. ratio <= 0 disables
+// the budget (every retry is granted). The default is ratio 0.1,
+// burst 64 — retried traffic bounded to ~10% of primary traffic.
+func WithRetryBudget(ratio float64, burst int) Option {
+	return func(c *clusterConfig) {
+		c.retryRatio = ratio
+		c.retryBurst = burst
+	}
+}
+
+// WithBreaker tunes the per-backend circuit breakers: a replica whose
+// search RPCs fail `fails` consecutive times trips open and is skipped
+// (whenever a twin is available) until a successful health probe or
+// the cooldown arms a single probation RPC. fails <= 0 disables the
+// breakers. The default is 5 failures, 5s cooldown.
+func WithBreaker(fails int, cooldown time.Duration) Option {
+	return func(c *clusterConfig) {
+		c.breakerFails = fails
+		c.breakerCooldown = cooldown
+	}
+}
+
+// WithDegraded arms degraded-mode search on engines built by
+// NewEngine: when some segments answer and others fail (replicas down
+// past failover, budget-denied retries), the query returns the merged
+// results of the answering segments marked partial instead of
+// failing — never torn, never silent.
+func WithDegraded() Option {
+	return func(c *clusterConfig) { c.degraded = true }
+}
+
 // Cluster is the merge tier's view of a replicated segment-server
 // topology: each segment ordinal is served by a replica group, scatter
 // requests route to healthy replicas with failover and optional
@@ -141,6 +192,10 @@ type Cluster struct {
 	known      map[string]*backend
 	reloads    atomic.Int64
 	reloadErrs atomic.Int64
+
+	// budget bounds retry amplification cluster-wide (never nil after
+	// Connect; an unlimited bucket when WithRetryBudget disables it).
+	budget *retryBudget
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -207,7 +262,14 @@ func ConnectTopology(ctx context.Context, desc *TopologyDesc, opts ...Option) (*
 	if desc == nil || len(desc.Groups) == 0 {
 		return nil, fmt.Errorf("distrib: no backend addresses")
 	}
-	cfg := clusterConfig{timeout: DefaultRPCTimeout, clock: realClock{}}
+	cfg := clusterConfig{
+		timeout:         DefaultRPCTimeout,
+		clock:           realClock{},
+		retryRatio:      defaultRetryRatio,
+		retryBurst:      defaultRetryBurst,
+		breakerFails:    defaultBreakerFails,
+		breakerCooldown: defaultBreakerCooldown,
+	}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -239,6 +301,7 @@ func ConnectTopology(ctx context.Context, desc *TopologyDesc, opts ...Option) (*
 	if c.prober == nil {
 		c.prober = c.defaultProbe
 	}
+	c.budget = newRetryBudget(cfg.retryRatio, cfg.retryBurst)
 
 	asm, err := c.assemble(ctx, desc, nil)
 	if err != nil {
@@ -283,11 +346,11 @@ func (c *Cluster) adopt(st *topoState) {
 // assembled is everything discovered while validating one descriptor
 // against its live backends.
 type assembled struct {
-	st       *topoState
-	segStats []*SegmentStats // indexed by ordinal
-	n        int
-	numDocs  int
-	hash     uint64
+	st         *topoState
+	segStats   []*SegmentStats // indexed by ordinal
+	n          int
+	numDocs    int
+	hash       uint64
 	sourceHash uint64
 }
 
@@ -312,6 +375,7 @@ func (c *Cluster) assemble(ctx context.Context, desc *TopologyDesc, reuse map[st
 			b := reuse[addr]
 			if b == nil {
 				b = newBackend(addr, c.searchHC, c.statsHC, !c.cfg.forceJSON)
+				b.brk = newBreaker(c.clock, c.cfg.breakerFails, c.cfg.breakerCooldown)
 			}
 			groupOf[gi][ri] = b
 			st.backends = append(st.backends, b)
@@ -548,6 +612,11 @@ func (c *Cluster) ProbeNow(ctx context.Context) {
 			err := c.prober(ctx, b.addr)
 			if err != nil {
 				b.probeFails.Add(1)
+			} else {
+				// A live probe arms an open breaker's probation trial, so
+				// a recovered replica re-enters rotation one probe interval
+				// after it comes back.
+				b.brk.onProbeSuccess()
 			}
 			b.healthy.Store(err == nil)
 		}(b)
@@ -606,8 +675,16 @@ func (c *Cluster) Backends() []string {
 // engine survives topology reloads: each remote segment routes
 // through the cluster's live replica table on every call.
 func (c *Cluster) NewEngine(analyzer *text.Analyzer, workers int) *search.Engine {
-	return search.NewSegmentsEngine(c.stats, c.segments, analyzer, workers)
+	eng := search.NewSegmentsEngine(c.stats, c.segments, analyzer, workers)
+	if c.cfg.degraded {
+		eng.SetAllowPartial(true)
+	}
+	return eng
 }
+
+// RetryBudget snapshots the cluster-wide retry token bucket for
+// telemetry surfaces (ivr_retry_budget_* on the serve tier's scrape).
+func (c *Cluster) RetryBudget() RetryBudgetStats { return c.budget.stats() }
 
 // BackendSummaries snapshots per-backend RPC telemetry for the
 // `search` block of /api/v1/metrics.
@@ -626,6 +703,8 @@ func (c *Cluster) BackendSummaries() []retrieval.BackendSummary {
 			Hedges:         b.hedges.Load(),
 			Failovers:      b.failovers.Load(),
 			ProbeFailures:  b.probeFails.Load(),
+			Breaker:        b.brk.state(),
+			BreakerTrips:   b.brk.tripCount(),
 			Latency:        b.latency.Summary(),
 		}
 		for ord, group := range st.groups {
@@ -653,8 +732,21 @@ func retryableFault(err error) bool {
 	if errors.Is(err, context.Canceled) {
 		return false
 	}
+	// A spent budget is spent everywhere: retrying a twin cannot
+	// manufacture time.
+	if errors.Is(err, overload.ErrDeadlineExceeded) {
+		return false
+	}
 	var se *statusError
 	if errors.As(err, &se) {
+		if se.code == codeDeadline {
+			return false
+		}
+		// A typed shed is per-replica pressure: the twin may have
+		// capacity, so failing over is exactly right.
+		if se.status == http.StatusTooManyRequests {
+			return true
+		}
 		return se.status >= 500
 	}
 	return true
@@ -668,6 +760,11 @@ func retryableFault(err error) bool {
 // success wins and the loser's RPC is cancelled. Returns the winning
 // backend for trace attribution.
 func (c *Cluster) searchOrdinal(ctx context.Context, sreq SearchRequest) (*SearchResponse, *backend, error) {
+	// A request whose latency budget is already spent does zero segment
+	// work: no RPC is launched, the typed error surfaces immediately.
+	if overload.FromContext(ctx).Expired() {
+		return nil, nil, overload.ErrDeadlineExceeded
+	}
 	st := c.state.Load()
 	order := st.order(sreq.Segment)
 	actx, cancel := context.WithCancel(ctx)
@@ -679,9 +776,28 @@ func (c *Cluster) searchOrdinal(ctx context.Context, sreq SearchRequest) (*Searc
 	}
 	results := make(chan outcome, len(order))
 	next := 0
-	launch := func(hedge, failover bool) {
+	// pick selects the next replica to try, preferring ones whose
+	// breaker admits the launch; when every remaining replica is
+	// breaker-blocked the head is used anyway — the breaker shapes
+	// routing, it never black-holes an ordinal.
+	pick := func() *backend {
+		for i := next; i < len(order); i++ {
+			if order[i].brk.allow() {
+				// Swap only on a real reorder: a single-replica group
+				// shares its slice across concurrent queries, so a
+				// self-swap would be a data race.
+				if i != next {
+					order[i], order[next] = order[next], order[i]
+				}
+				break
+			}
+		}
 		b := order[next]
 		next++
+		return b
+	}
+	launch := func(hedge, failover bool) {
+		b := pick()
 		if hedge {
 			b.hedges.Add(1)
 		}
@@ -693,6 +809,7 @@ func (c *Cluster) searchOrdinal(ctx context.Context, sreq SearchRequest) (*Searc
 			results <- outcome{resp, b, err}
 		}()
 	}
+	c.budget.earn()
 	launch(false, false)
 	pending := 1
 	var hedgeCh <-chan time.Time
@@ -710,7 +827,7 @@ func (c *Cluster) searchOrdinal(ctx context.Context, sreq SearchRequest) (*Searc
 			return nil, nil, lastErr
 		case <-hedgeCh:
 			hedgeCh = nil
-			if next < len(order) {
+			if next < len(order) && c.budget.take() {
 				launch(true, false)
 				pending++
 			}
@@ -718,16 +835,27 @@ func (c *Cluster) searchOrdinal(ctx context.Context, sreq SearchRequest) (*Searc
 			pending--
 			if out.err == nil {
 				out.b.healthy.Store(true)
+				out.b.brk.onSuccess()
 				return out.resp, out.b, nil
 			}
 			lastErr = out.err
-			if retryableFault(out.err) {
+			switch {
+			case errors.Is(out.err, context.Canceled):
+				// The caller (or a winning hedge) abandoned this RPC; it
+				// says nothing about the replica.
+				out.b.brk.onCanceled()
+			case retryableFault(out.err):
 				// Route around this replica until a probe clears it.
 				out.b.healthy.Store(false)
-				if next < len(order) && ctx.Err() == nil {
+				out.b.brk.onFailure()
+				if next < len(order) && ctx.Err() == nil && c.budget.take() {
 					launch(false, true)
 					pending++
 				}
+			default:
+				// A decisive refusal (4xx, spent budget) still proves the
+				// link works.
+				out.b.brk.onSuccess()
 			}
 		}
 	}
@@ -788,6 +916,13 @@ func (r *remoteSegment) SearchSegment(ctx context.Context, p *search.PreparedQue
 	}
 	resp, winner, err := r.c.searchOrdinal(ctx, req)
 	if err != nil {
+		// A segment server's typed deadline refusal surfaces to callers
+		// as the overload sentinel, so the serve tier maps the whole
+		// query to deadline_exceeded rather than a generic failure.
+		var se *statusError
+		if errors.As(err, &se) && se.code == codeDeadline && !errors.Is(err, overload.ErrDeadlineExceeded) {
+			err = errors.Join(overload.ErrDeadlineExceeded, err)
+		}
 		return search.SegmentResult{}, err
 	}
 	// The engine's per-"segment" span is current in ctx here; annotate

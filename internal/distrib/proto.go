@@ -68,6 +68,14 @@ const (
 	codeNotFound = "not_found"
 	codeTooLarge = "body_too_large"
 	codeInternal = "internal"
+	// codeDeadline marks a request whose X-IVR-Deadline budget was
+	// already spent (HTTP 504); retrying a twin cannot help, the budget
+	// is gone everywhere.
+	codeDeadline = "deadline_exceeded"
+	// codeOverloaded marks a typed admission shed (HTTP 429 with
+	// Retry-After); a twin replica may still have capacity, so the
+	// merge tier treats it as retryable.
+	codeOverloaded = "overloaded"
 )
 
 // WireTerm is one analysed query term with its query-side weight.

@@ -2,6 +2,7 @@ package distrib
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -16,6 +17,7 @@ import (
 
 	"repro/internal/index"
 	"repro/internal/metrics"
+	"repro/internal/overload"
 	"repro/internal/search"
 	"repro/internal/trace"
 )
@@ -44,6 +46,14 @@ type ServerConfig struct {
 	// TraceRing bounds the ring of recently finished traces served at
 	// TracesPath (0 = the trace package default).
 	TraceRing int
+	// Admission sizes the segment tier's concurrency gate. The zero
+	// value yields an effectively transparent gate (limit 4096) whose
+	// ivr_admission_* families are still scrapeable; set InitialLimit
+	// (and Target for AIMD adaptation) to actually bound concurrency.
+	Admission metrics.AdmissionConfig
+	// Clock drives X-IVR-Deadline budget expiry (nil = real time;
+	// chaostest injects a manual clock for deterministic expiry).
+	Clock overload.Clock
 }
 
 // SegmentServer hosts index segments behind the /rpc/v1 surface. It is
@@ -59,6 +69,11 @@ type SegmentServer struct {
 	codec      codecCounters
 	tracer     *trace.Collector
 	handler    http.Handler
+	gate       *metrics.Admission
+	clock      overload.Clock
+	// deadline counts search RPCs answered deadline_exceeded — on
+	// arrival, in the admission queue, or mid-scoring.
+	deadline atomic.Int64
 }
 
 // codecCounters counts /rpc/v1/search bodies by negotiated codec —
@@ -100,6 +115,14 @@ func NewSegmentServer(cfg ServerConfig) (*SegmentServer, error) {
 	if s.log == nil {
 		s.log = slog.New(slog.DiscardHandler)
 	}
+	acfg := cfg.Admission
+	if acfg.InitialLimit <= 0 {
+		// Transparent by default: the gate exists (so its telemetry
+		// families are always present) but does not bind.
+		acfg.InitialLimit = 4096
+	}
+	s.gate = metrics.NewAdmission(acfg)
+	s.clock = cfg.Clock
 	for _, ord := range ords {
 		if ord < 0 || ord >= n {
 			return nil, fmt.Errorf("distrib: hosted segment %d outside topology of %d segments", ord, n)
@@ -276,11 +299,15 @@ func (s *SegmentServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Codec codecSnapshot `json:"codec"`
 		// Kernel is process-wide: every hosted segment scores through
 		// the same pooled kernel.
-		Kernel search.KernelStats `json:"kernel"`
+		Kernel           search.KernelStats     `json:"kernel"`
+		Admission        metrics.AdmissionStats `json:"admission"`
+		DeadlineExceeded int64                  `json:"deadline_exceeded"`
 	}{
-		Snapshot: s.metrics.TakeSnapshot(),
-		Codec:    codecSnapshot{Binary: s.codec.binary.Load(), JSON: s.codec.json.Load()},
-		Kernel:   search.ReadKernelStats(),
+		Snapshot:         s.metrics.TakeSnapshot(),
+		Codec:            codecSnapshot{Binary: s.codec.binary.Load(), JSON: s.codec.json.Load()},
+		Kernel:           search.ReadKernelStats(),
+		Admission:        s.gate.Stats(),
+		DeadlineExceeded: s.deadline.Load(),
 	})
 }
 
@@ -313,6 +340,9 @@ func (s *SegmentServer) handlePrometheus(w http.ResponseWriter, _ *http.Request)
 		p.Family(k.name, "counter")
 		p.Sample(k.name, float64(k.v))
 	}
+	metrics.WriteAdmissionPrometheus(p, s.gate.Stats())
+	p.Family("ivr_deadline_exceeded_total", "counter")
+	p.Sample("ivr_deadline_exceeded_total", float64(s.deadline.Load()))
 }
 
 // handleTraces serves the ring of recently finished traces, newest
@@ -334,6 +364,43 @@ var searchReqPool = sync.Pool{New: func() any { return new(SearchRequest) }}
 // universal fallback; the response is always encoded in the same
 // codec the request arrived in.
 func (s *SegmentServer) handleSearch(w http.ResponseWriter, r *http.Request) {
+	// Deadline first: a request whose budget is spent (or garbled) is
+	// answered typed before any byte of body is read or any slot taken.
+	budget, derr := overload.ParseDeadline(r.Header.Get(overload.DeadlineHeader))
+	if derr != nil {
+		if errors.Is(derr, overload.ErrDeadlineExpired) {
+			s.deadline.Add(1)
+			writeRPCError(w, http.StatusGatewayTimeout, codeDeadline,
+				"deadline budget spent before arrival")
+			return
+		}
+		writeRPCError(w, http.StatusBadRequest, codeInvalid,
+			"bad %s header: %v", overload.DeadlineHeader, derr)
+		return
+	}
+	ctx := r.Context()
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = overload.WithBudget(ctx, budget, s.clock)
+		defer cancel()
+	}
+	// Admission second: shed at the concurrency limit while the refusal
+	// is still cheap, with a Retry-After the merge tier and SDK honour.
+	ticket, err := s.gate.Acquire(ctx)
+	if err != nil {
+		if errors.Is(err, metrics.ErrShed) {
+			w.Header().Set("Retry-After", "1")
+			writeRPCError(w, http.StatusTooManyRequests, codeOverloaded,
+				"segment tier at concurrency limit")
+			return
+		}
+		// The budget (or caller) expired while queued.
+		s.deadline.Add(1)
+		writeRPCError(w, http.StatusGatewayTimeout, codeDeadline,
+			"deadline budget spent in admission queue")
+		return
+	}
+	defer ticket.Release()
 	r.Body = http.MaxBytesReader(w, r.Body, MaxSearchBody)
 	reqMT, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
 	binaryReq := reqMT == ContentTypeBinary
@@ -420,13 +487,21 @@ func (s *SegmentServer) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// constants, bit-identical scores.
 	_, sc := trace.StartSpan(r.Context(), "score")
 	p := search.PrepareQuery(q, stats, scorer)
-	res := p.ScoreSegment(seg, func(d index.DocID) index.DocID {
+	res, scoreErr := p.ScoreSegmentContext(ctx, seg, func(d index.DocID) index.DocID {
 		return s.sh.GlobalID(ordinal, d)
 	}, nil, req.K)
 	if sc != nil {
 		sc.SetAttr("segment", strconv.Itoa(ordinal))
 		sc.SetAttr("candidates", strconv.Itoa(res.Candidates))
 		sc.End()
+	}
+	if scoreErr != nil {
+		// The kernel aborted at a block boundary: the budget ran out
+		// mid-scan. Partial accumulator state is discarded, never served.
+		s.deadline.Add(1)
+		writeRPCError(w, http.StatusGatewayTimeout, codeDeadline,
+			"deadline budget spent during scoring")
+		return
 	}
 	hits := getWireHits()
 	for _, h := range res.Hits {

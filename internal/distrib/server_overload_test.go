@@ -1,0 +1,98 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/overload"
+)
+
+// postSearchDeadline posts a valid search carrying an X-IVR-Deadline
+// header.
+func postSearchDeadline(t *testing.T, url, deadline string) *http.Response {
+	t.Helper()
+	body, _ := json.Marshal(validSearchRequest())
+	req, err := http.NewRequest("POST", url+SearchPath, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(overload.DeadlineHeader, deadline)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestRPCSearchDeadlineHeader pins the segment tier's deadline
+// protocol: spent budgets answer the typed 504 before any body is
+// read, malformed budgets are the caller's bug (400, never a shed),
+// and a live budget scores normally.
+func TestRPCSearchDeadlineHeader(t *testing.T) {
+	ts, srv, _ := newRPCServer(t, 2)
+
+	for _, v := range []string{"0", "-40"} {
+		wantRPCEnvelope(t, postSearchDeadline(t, ts.URL, v), http.StatusGatewayTimeout, codeDeadline)
+	}
+	if n := srv.deadline.Load(); n != 2 {
+		t.Errorf("deadline_exceeded counter = %d after 2 spent budgets, want 2", n)
+	}
+
+	for _, v := range []string{"bogus", "+250", "2.5", "600001"} {
+		wantRPCEnvelope(t, postSearchDeadline(t, ts.URL, v), http.StatusBadRequest, codeInvalid)
+	}
+
+	resp := postSearchDeadline(t, ts.URL, "5000")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("live-budget search: status %d, want 200", resp.StatusCode)
+	}
+	if n := srv.deadline.Load(); n != 2 {
+		t.Errorf("deadline_exceeded counter moved to %d on non-deadline outcomes", n)
+	}
+}
+
+// TestRPCSearchShedEnvelope pins the admission refusal: with the sole
+// concurrency slot held, a search RPC is shed as a typed 429 with a
+// Retry-After the merge tier and SDK honour — and admits again the
+// moment the slot frees.
+func TestRPCSearchShedEnvelope(t *testing.T) {
+	_, sh := buildCorpus(t, 3, 60, 2)
+	srv, err := NewSegmentServer(ServerConfig{
+		Sharded:   sh,
+		Admission: metrics.AdmissionConfig{InitialLimit: 1, MinLimit: 1, MaxQueue: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	ticket, err := srv.gate.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body, _ := json.Marshal(validSearchRequest())
+	resp := postSearch(t, ts.URL, body)
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	wantRPCEnvelope(t, resp, http.StatusTooManyRequests, codeOverloaded)
+
+	ticket.Release()
+	ok := postSearch(t, ts.URL, body)
+	defer ok.Body.Close()
+	if ok.StatusCode != http.StatusOK {
+		t.Fatalf("post-release search: status %d, want 200", ok.StatusCode)
+	}
+	if st := srv.gate.Stats(); st.Shed != 1 {
+		t.Errorf("gate shed count = %d, want 1", st.Shed)
+	}
+}

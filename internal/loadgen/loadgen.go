@@ -492,6 +492,9 @@ func (w *worker) driveSession(ctx context.Context, spec *sessionSpec) *sessionOu
 			})
 		}
 		w.col.iterations++
+		if page.Partial {
+			w.col.partials++
+		}
 		if spec.onPage != nil {
 			spec.onPage(it, page)
 		}

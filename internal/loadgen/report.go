@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/metrics"
 	"repro/internal/trace"
 )
@@ -32,7 +33,14 @@ type TraceSample struct {
 type endpointShard struct {
 	count  int64
 	errors int64
-	hist   *metrics.Histogram
+	// shed and deadline split typed backpressure answers (429
+	// "overloaded", 504 "deadline_exceeded") out of errors: under an
+	// overload test they are the system working as designed, and
+	// folding them into errors would make a correct brownout look like
+	// a broken server.
+	shed     int64
+	deadline int64
+	hist     *metrics.Histogram
 }
 
 // shardCollector is one worker's full telemetry: per-endpoint shards
@@ -44,7 +52,9 @@ type shardCollector struct {
 	sessionsAborted int64
 	iterations      int64
 	events          int64
-	traces          []TraceSample
+	// partials counts search pages served degraded (partial: true).
+	partials int64
+	traces   []TraceSample
 }
 
 // addTrace retains one sampled span tree, dropping samples beyond the
@@ -68,24 +78,35 @@ func (c *shardCollector) endpoint(name string) *endpointShard {
 	return sh
 }
 
-// timed runs one client call, recording its latency and outcome.
+// timed runs one client call, recording its latency and outcome
+// class: ok, typed shed, typed deadline refusal, or plain error.
 func (c *shardCollector) timed(name string, fn func() error) error {
 	start := time.Now()
 	err := fn()
 	sh := c.endpoint(name)
 	sh.hist.Observe(time.Since(start))
 	sh.count++
-	if err != nil {
+	switch {
+	case err == nil:
+	case client.IsOverloaded(err):
+		sh.shed++
+	case client.IsDeadlineExceeded(err):
+		sh.deadline++
+	default:
 		sh.errors++
 	}
 	return err
 }
 
-// EndpointStats is one endpoint's merged client-side view.
+// EndpointStats is one endpoint's merged client-side view. Shed and
+// DeadlineExceeded are typed backpressure outcomes, disjoint from
+// Errors.
 type EndpointStats struct {
-	Requests int64                  `json:"requests"`
-	Errors   int64                  `json:"errors"`
-	Latency  metrics.LatencySummary `json:"latency"`
+	Requests         int64                  `json:"requests"`
+	Errors           int64                  `json:"errors"`
+	Shed             int64                  `json:"shed,omitempty"`
+	DeadlineExceeded int64                  `json:"deadline_exceeded,omitempty"`
+	Latency          metrics.LatencySummary `json:"latency"`
 }
 
 // Topology describes the retrieval tier behind the server a run hit,
@@ -125,14 +146,22 @@ type Report struct {
 	SessionsFailed int64   `json:"sessions_failed"`
 	// SessionsAborted counts sessions cut short by the run deadline
 	// or cancellation — incomplete, but not server failures.
-	SessionsAborted int64                    `json:"sessions_aborted,omitempty"`
-	Iterations      int64                    `json:"iterations"`
-	EventsSent      int64                    `json:"events_sent"`
-	Requests        int64                    `json:"requests"`
-	Errors          int64                    `json:"errors"`
-	DroppedArrivals int64                    `json:"dropped_arrivals,omitempty"`
-	RequestsPerSec  float64                  `json:"requests_per_sec"`
-	Endpoints       map[string]EndpointStats `json:"endpoints"`
+	SessionsAborted int64 `json:"sessions_aborted,omitempty"`
+	Iterations      int64 `json:"iterations"`
+	EventsSent      int64 `json:"events_sent"`
+	Requests        int64 `json:"requests"`
+	Errors          int64 `json:"errors"`
+	// Shed and DeadlineExceeded total the typed backpressure outcomes
+	// (429 "overloaded" and 504 "deadline_exceeded") across endpoints;
+	// PartialResults counts search pages answered degraded. All three
+	// are disjoint from Errors: under deliberate overload they are the
+	// protection working, not the server failing.
+	Shed             int64                    `json:"shed,omitempty"`
+	DeadlineExceeded int64                    `json:"deadline_exceeded,omitempty"`
+	PartialResults   int64                    `json:"partial_results,omitempty"`
+	DroppedArrivals  int64                    `json:"dropped_arrivals,omitempty"`
+	RequestsPerSec   float64                  `json:"requests_per_sec"`
+	Endpoints        map[string]EndpointStats `json:"endpoints"`
 	// Topology is filled by the driver (ivrload) from the server's
 	// post-run metrics; nil when the server was not inspected.
 	Topology *Topology `json:"topology,omitempty"`
@@ -156,6 +185,7 @@ func buildReport(cfg *Config, shards []*shardCollector, elapsed time.Duration) *
 		rep.SessionsAborted += col.sessionsAborted
 		rep.Iterations += col.iterations
 		rep.EventsSent += col.events
+		rep.PartialResults += col.partials
 		for _, s := range col.traces {
 			if len(rep.TraceSamples) < maxTraceSamples {
 				rep.TraceSamples = append(rep.TraceSamples, s)
@@ -169,17 +199,23 @@ func buildReport(cfg *Config, shards []*shardCollector, elapsed time.Duration) *
 			}
 			m.count += sh.count
 			m.errors += sh.errors
+			m.shed += sh.shed
+			m.deadline += sh.deadline
 			m.hist.Merge(sh.hist)
 		}
 	}
 	for name, m := range merged {
 		rep.Endpoints[name] = EndpointStats{
-			Requests: m.count,
-			Errors:   m.errors,
-			Latency:  m.hist.Summary(),
+			Requests:         m.count,
+			Errors:           m.errors,
+			Shed:             m.shed,
+			DeadlineExceeded: m.deadline,
+			Latency:          m.hist.Summary(),
 		}
 		rep.Requests += m.count
 		rep.Errors += m.errors
+		rep.Shed += m.shed
+		rep.DeadlineExceeded += m.deadline
 	}
 	if rep.ElapsedSeconds > 0 {
 		rep.RequestsPerSec = float64(rep.Requests) / rep.ElapsedSeconds
@@ -197,12 +233,21 @@ func (r *Report) String() string {
 	}
 	fmt.Fprintf(&b, "   iterations: %d   events sent: %d\n", r.Iterations, r.EventsSent)
 	fmt.Fprintf(&b, "  requests: %d (%.1f/s), %d errors", r.Requests, r.RequestsPerSec, r.Errors)
+	if r.Shed > 0 {
+		fmt.Fprintf(&b, ", %d shed", r.Shed)
+	}
+	if r.DeadlineExceeded > 0 {
+		fmt.Fprintf(&b, ", %d deadline-exceeded", r.DeadlineExceeded)
+	}
+	if r.PartialResults > 0 {
+		fmt.Fprintf(&b, ", %d partial pages", r.PartialResults)
+	}
 	if r.DroppedArrivals > 0 {
 		fmt.Fprintf(&b, ", %d arrivals dropped (server saturated)", r.DroppedArrivals)
 	}
 	b.WriteString("\n")
-	fmt.Fprintf(&b, "  %-16s %9s %7s %9s %9s %9s %9s %9s\n",
-		"endpoint", "requests", "errors", "mean", "p50", "p95", "p99", "max")
+	fmt.Fprintf(&b, "  %-16s %9s %7s %7s %9s %9s %9s %9s %9s %9s\n",
+		"endpoint", "requests", "errors", "shed", "deadline", "mean", "p50", "p95", "p99", "max")
 	names := make([]string, 0, len(r.Endpoints))
 	for name := range r.Endpoints {
 		names = append(names, name)
@@ -210,8 +255,8 @@ func (r *Report) String() string {
 	sort.Strings(names)
 	for _, name := range names {
 		e := r.Endpoints[name]
-		fmt.Fprintf(&b, "  %-16s %9d %7d %8.1fms %8.1fms %8.1fms %8.1fms %8.1fms\n",
-			name, e.Requests, e.Errors,
+		fmt.Fprintf(&b, "  %-16s %9d %7d %7d %9d %8.1fms %8.1fms %8.1fms %8.1fms %8.1fms\n",
+			name, e.Requests, e.Errors, e.Shed, e.DeadlineExceeded,
 			e.Latency.MeanMS, e.Latency.P50MS, e.Latency.P95MS, e.Latency.P99MS, e.Latency.MaxMS)
 	}
 	return b.String()

@@ -1,0 +1,53 @@
+package overload
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// FuzzParseDeadline drives the budget-header parser with arbitrary
+// strings, mirroring FuzzParseTopology's contract: never panic,
+// classify every rejection as exactly one typed sentinel, return a
+// zero budget on rejection, and on acceptance return a budget inside
+// (0, MaxBudget] that round-trips through FormatDeadline.
+func FuzzParseDeadline(f *testing.F) {
+	seeds := []string{
+		"", "0", "1", "-1", "250", "600000", "600001",
+		"1770000000000", "2.5", "250ms", " 250", "250 ", "+5",
+		"0x10", "soon", "99999999999999999999999", "\x00", "１０",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, v string) {
+		d, err := ParseDeadline(v)
+		if err != nil {
+			malformed := errors.Is(err, ErrDeadlineMalformed)
+			expired := errors.Is(err, ErrDeadlineExpired)
+			if malformed == expired {
+				t.Fatalf("rejection not typed exactly once (malformed=%v expired=%v): %v", malformed, expired, err)
+			}
+			if d != 0 {
+				t.Fatalf("rejected parse returned budget %v — a caller could partially honour it", d)
+			}
+			return
+		}
+		if v == "" {
+			if d != 0 {
+				t.Fatalf("absent header parsed to %v", d)
+			}
+			return
+		}
+		if d <= 0 || d > MaxBudget {
+			t.Fatalf("accepted budget %v outside (0, %v]", d, MaxBudget)
+		}
+		if d%time.Millisecond != 0 {
+			t.Fatalf("accepted budget %v not whole milliseconds", d)
+		}
+		back, err := ParseDeadline(FormatDeadline(d))
+		if err != nil || back != d {
+			t.Fatalf("accepted budget %v does not round-trip: %v, %v", d, back, err)
+		}
+	})
+}

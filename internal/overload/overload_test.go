@@ -1,0 +1,187 @@
+package overload
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseDeadline(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want time.Duration
+		err  error
+	}{
+		{"absent", "", 0, nil},
+		{"small", "1", time.Millisecond, nil},
+		{"typical", "2500", 2500 * time.Millisecond, nil},
+		{"max", "600000", MaxBudget, nil},
+		{"zero", "0", 0, ErrDeadlineExpired},
+		{"negative", "-40", 0, ErrDeadlineExpired},
+		{"over-max", "600001", 0, ErrDeadlineMalformed},
+		{"epoch-millis-skew", "1770000000000", 0, ErrDeadlineMalformed},
+		{"float", "2.5", 0, ErrDeadlineMalformed},
+		{"units", "250ms", 0, ErrDeadlineMalformed},
+		{"hex", "0x10", 0, ErrDeadlineMalformed},
+		{"trailing", "250 ", 0, ErrDeadlineMalformed},
+		{"leading", " 250", 0, ErrDeadlineMalformed},
+		{"plus-sign", "+250", 0, ErrDeadlineMalformed},
+		{"garbage", "soon", 0, ErrDeadlineMalformed},
+		{"overflow", "99999999999999999999999", 0, ErrDeadlineMalformed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseDeadline(tc.in)
+			if !errors.Is(err, tc.err) {
+				t.Fatalf("ParseDeadline(%q) err = %v, want %v", tc.in, err, tc.err)
+			}
+			if err == nil && got != tc.want {
+				t.Fatalf("ParseDeadline(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+			if err != nil && got != 0 {
+				t.Fatalf("rejected parse returned nonzero budget %v", got)
+			}
+		})
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	for _, d := range []time.Duration{time.Millisecond, 250 * time.Millisecond, 5 * time.Second, MaxBudget} {
+		got, err := ParseDeadline(FormatDeadline(d))
+		if err != nil {
+			t.Fatalf("round trip %v: %v", d, err)
+		}
+		if got != d {
+			t.Fatalf("round trip %v = %v", d, got)
+		}
+	}
+	if FormatDeadline(-time.Second) != "0" {
+		t.Fatalf("negative budget must format as 0, got %q", FormatDeadline(-time.Second))
+	}
+	// Sub-millisecond remainders floor to 0: the hop should have
+	// answered deadline_exceeded itself instead of forwarding.
+	if FormatDeadline(400*time.Microsecond) != "0" {
+		t.Fatalf("sub-ms budget must floor to 0")
+	}
+}
+
+// manualClock is the minimal deterministic clock for budget tests.
+type manualClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []struct {
+		when time.Time
+		ch   chan time.Time
+	}
+}
+
+func newManualClock() *manualClock { return &manualClock{now: time.Unix(1_000_000, 0)} }
+
+func (c *manualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *manualClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	c.timers = append(c.timers, struct {
+		when time.Time
+		ch   chan time.Time
+	}{c.now.Add(d), ch})
+	return ch
+}
+
+func (c *manualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	kept := c.timers[:0]
+	for _, t := range c.timers {
+		if !t.when.After(c.now) {
+			t.ch <- c.now
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	c.timers = kept
+}
+
+func TestBudgetContext(t *testing.T) {
+	clk := newManualClock()
+	ctx, cancel := WithBudget(context.Background(), 100*time.Millisecond, clk)
+	defer cancel()
+	b := FromContext(ctx)
+	if b == nil {
+		t.Fatal("no budget in context")
+	}
+	if b.Expired() {
+		t.Fatal("fresh budget already expired")
+	}
+	if rem, ok := RemainingFromContext(ctx); !ok || rem != 100*time.Millisecond {
+		t.Fatalf("remaining = %v, %v", rem, ok)
+	}
+	clk.Advance(99 * time.Millisecond)
+	if b.Expired() {
+		t.Fatal("expired 1ms early")
+	}
+	if ctx.Err() != nil {
+		t.Fatal("context cancelled before the budget ran out")
+	}
+	clk.Advance(time.Millisecond)
+	if !b.Expired() {
+		t.Fatal("not expired at the boundary")
+	}
+	// Cancellation is driven by the injected clock — no real sleeps;
+	// the fired timer reaches the cancel goroutine asynchronously.
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not cancelled after the budget expired")
+	}
+}
+
+func TestBudgetNilSafe(t *testing.T) {
+	var b *Budget
+	if b.Expired() {
+		t.Fatal("nil budget expired")
+	}
+	if b.Remaining() != 0 {
+		t.Fatal("nil budget has remaining time")
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("budget in empty context: %v", got)
+	}
+	if _, ok := RemainingFromContext(context.Background()); ok {
+		t.Fatal("remaining reported without a budget or deadline")
+	}
+}
+
+func TestRemainingFromContextDeadlineFallback(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	rem, ok := RemainingFromContext(ctx)
+	if !ok || rem <= 0 || rem > time.Minute {
+		t.Fatalf("deadline fallback remaining = %v, %v", rem, ok)
+	}
+}
+
+func TestWithBudgetRealClock(t *testing.T) {
+	ctx, cancel := WithBudget(context.Background(), time.Minute, nil)
+	defer cancel()
+	if FromContext(ctx) == nil {
+		t.Fatal("no budget")
+	}
+	dl, ok := ctx.Deadline()
+	if !ok {
+		t.Fatal("real-clock budget must set a context deadline for net/http cancellation")
+	}
+	if until := time.Until(dl); until <= 0 || until > time.Minute {
+		t.Fatalf("deadline %v out of range", until)
+	}
+}

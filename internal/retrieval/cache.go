@@ -47,6 +47,10 @@ type Cache struct {
 	misses    int64
 	shared    int64
 	evictions int64
+	// partialSkips counts computations whose result was degraded
+	// (Results.Partial) and therefore not stored: a partial page is an
+	// overload artifact of one moment, never a servable ranking later.
+	partialSkips int64
 }
 
 // entry is one cached ranking.
@@ -135,7 +139,13 @@ func (c *Cache) Do(key string, fn func() (search.Results, error)) (search.Result
 			close(call.done)
 			c.mu.Lock()
 			delete(c.flight, key)
-			if call.err == nil {
+			switch {
+			case call.err != nil:
+			case call.res.Partial:
+				// Degraded-mode results are served to the waiters of this
+				// flight but never stored: the next lookup re-retrieves.
+				c.partialSkips++
+			default:
 				c.insert(key, call.res)
 			}
 			c.mu.Unlock()
@@ -162,11 +172,14 @@ func (c *Cache) insert(key string, res search.Results) {
 	}
 }
 
-// copyResults clones the Hits slice (Hit values are plain data).
+// copyResults clones the Hits slice (Hit values are plain data); other
+// fields — including the degraded-mode markers — copy by value.
 func copyResults(r search.Results) search.Results {
 	hits := make([]search.Hit, len(r.Hits))
 	copy(hits, r.Hits)
-	return search.Results{Hits: hits, Candidates: r.Candidates}
+	r.Hits = hits
+	r.FailedSegments = append([]int(nil), r.FailedSegments...)
+	return r
 }
 
 // CacheSnapshot is the cache section of the telemetry snapshot.
@@ -179,8 +192,11 @@ type CacheSnapshot struct {
 	Misses    int64 `json:"misses"`
 	Shared    int64 `json:"shared"`
 	Evictions int64 `json:"evictions"`
-	Entries   int   `json:"entries"`
-	Capacity  int   `json:"capacity"`
+	// PartialSkips counts degraded (partial) results served but not
+	// stored.
+	PartialSkips int64 `json:"partial_skips,omitempty"`
+	Entries      int   `json:"entries"`
+	Capacity     int   `json:"capacity"`
 	// HitRatio is (Hits+Shared)/(Hits+Shared+Misses), 0 before traffic.
 	HitRatio float64 `json:"hit_ratio"`
 }
@@ -193,13 +209,14 @@ func (c *Cache) Stats() CacheSnapshot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := CacheSnapshot{
-		Enabled:   true,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Shared:    c.shared,
-		Evictions: c.evictions,
-		Entries:   c.lru.Len(),
-		Capacity:  c.cap,
+		Enabled:      true,
+		Hits:         c.hits,
+		Misses:       c.misses,
+		Shared:       c.shared,
+		Evictions:    c.evictions,
+		PartialSkips: c.partialSkips,
+		Entries:      c.lru.Len(),
+		Capacity:     c.cap,
 	}
 	if total := s.Hits + s.Shared + s.Misses; total > 0 {
 		s.HitRatio = float64(s.Hits+s.Shared) / float64(total)

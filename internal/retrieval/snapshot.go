@@ -40,10 +40,24 @@ type BackendSummary struct {
 	// Hedges counts search RPCs sent to this backend as the hedged
 	// duplicate of a slow twin; Failovers counts RPCs sent here because
 	// a twin failed; ProbeFailures counts health-probe rejections.
-	Hedges        int64                  `json:"hedges"`
-	Failovers     int64                  `json:"failovers"`
-	ProbeFailures int64                  `json:"probe_failures,omitempty"`
-	Latency       metrics.LatencySummary `json:"latency"`
+	Hedges        int64 `json:"hedges"`
+	Failovers     int64 `json:"failovers"`
+	ProbeFailures int64 `json:"probe_failures,omitempty"`
+	// Breaker is the replica's circuit-breaker state ("closed",
+	// "half_open", "open"; empty when breakers are disabled) and
+	// BreakerTrips how many times it has tripped open.
+	Breaker      string                 `json:"breaker,omitempty"`
+	BreakerTrips int64                  `json:"breaker_trips,omitempty"`
+	Latency      metrics.LatencySummary `json:"latency"`
+}
+
+// RetryBudgetSummary mirrors the distributed merge tier's retry token
+// bucket (distrib.RetryBudgetStats) for the metrics surface.
+type RetryBudgetSummary struct {
+	Tokens    float64 `json:"tokens"`
+	Taken     int64   `json:"taken"`
+	Denied    int64   `json:"denied"`
+	Unlimited bool    `json:"unlimited,omitempty"`
 }
 
 // Snapshot is the retrieval-engine section of the /api/v1/metrics
@@ -60,6 +74,9 @@ type Snapshot struct {
 	// Backends is present only on a distributed merge tier: one entry
 	// per remote segment server.
 	Backends []BackendSummary `json:"backends,omitempty"`
+	// RetryBudget is present only on a distributed merge tier: the
+	// cluster-wide hedge/failover token bucket.
+	RetryBudget *RetryBudgetSummary `json:"retry_budget,omitempty"`
 	// Kernel reports the scoring kernel's pool telemetry (compiled
 	// queries, segment scans, accumulator/top-k/hit-slice reuse). The
 	// counters are process-wide: every engine in the process scores

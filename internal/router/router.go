@@ -39,10 +39,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/url"
 	"sort"
@@ -52,6 +54,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/overload"
 	"repro/internal/trace"
 )
 
@@ -60,6 +63,10 @@ const (
 	DefaultProbeInterval = time.Second
 	DefaultProbeTimeout  = 2 * time.Second
 	DefaultFailThreshold = 3
+	// DefaultSearchDeadline is the X-IVR-Deadline budget minted for
+	// search requests that arrive without one: the whole-query wall
+	// budget the lower tiers decrement and enforce.
+	DefaultSearchDeadline = 10 * time.Second
 	// maxBufferedBody bounds how much request body the proxy buffers
 	// for replay on re-route (event batches are small; this is generous).
 	maxBufferedBody = 8 << 20
@@ -88,6 +95,13 @@ type Config struct {
 	// TraceRing bounds the ring of recent traces served at
 	// /api/v1/debug/traces (0 = the trace package default).
 	TraceRing int
+	// SearchDeadline is the X-IVR-Deadline budget minted for
+	// /api/v1/search* requests that arrive without one (0 = 10s,
+	// negative = mint nothing). Inbound budgets from SDK clients are
+	// honoured as-is — decremented across the router hop, never raised.
+	SearchDeadline time.Duration
+	// Clock drives deadline-budget expiry (tests; nil = real time).
+	Clock overload.Clock
 }
 
 // replica is one backend and its routing state.
@@ -117,6 +131,10 @@ type Router struct {
 
 	rr atomic.Uint64 // round-robin cursor for session-less requests
 
+	// deadlines counts requests the router itself answered
+	// deadline_exceeded (budget spent before or between forwards).
+	deadlines atomic.Int64
+
 	closeOnce sync.Once
 	closed    chan struct{}
 	probeWG   sync.WaitGroup
@@ -142,6 +160,12 @@ func New(cfg Config) (*Router, error) {
 	if cfg.ProbeInterval < 0 || cfg.ProbeTimeout < 0 || cfg.FailThreshold < 0 {
 		return nil, fmt.Errorf("router: negative config value")
 	}
+	switch {
+	case cfg.SearchDeadline == 0:
+		cfg.SearchDeadline = DefaultSearchDeadline
+	case cfg.SearchDeadline < 0:
+		cfg.SearchDeadline = 0 // minting disabled; inbound budgets still enforced
+	}
 	rt := &Router{client: cfg.Client, log: cfg.Logger, cfg: cfg, closed: make(chan struct{}), start: time.Now()}
 	rt.tracer = trace.NewCollector(trace.CollectorConfig{
 		Tier:          trace.TierRouter,
@@ -149,7 +173,21 @@ func New(cfg Config) (*Router, error) {
 		SlowThreshold: cfg.SlowQuery,
 	})
 	if rt.client == nil {
-		rt.client = &http.Client{}
+		// Every timeout is bounded explicitly: dials and header waits
+		// cannot hang forever on a wedged replica. There is deliberately
+		// no whole-request Timeout — NDJSON search streams may legally
+		// outlive any fixed cap, and per-request deadline budgets (plus
+		// the client's own context) bound the slow cases.
+		rt.client = &http.Client{Transport: &http.Transport{
+			DialContext: (&net.Dialer{
+				Timeout:   5 * time.Second,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+			TLSHandshakeTimeout:   5 * time.Second,
+			ResponseHeaderTimeout: 30 * time.Second,
+			MaxIdleConnsPerHost:   32,
+			IdleConnTimeout:       90 * time.Second,
+		}}
 	}
 	if rt.log == nil {
 		rt.log = slog.New(slog.DiscardHandler)
@@ -335,6 +373,32 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 	ctx := trace.NewContext(r.Context(), tr, root)
 	defer rt.tracer.Finish(tr)
 
+	// Deadline budget: honour an inbound X-IVR-Deadline (the SDK's),
+	// minting the configured default for search requests that arrive
+	// without one. The budget is bound into the request context here and
+	// re-encoded per forward attempt with the elapsed time subtracted —
+	// so a re-routed request carries only what is left of the original
+	// budget, and lower tiers never see it grow.
+	budget, derr := overload.ParseDeadline(r.Header.Get(overload.DeadlineHeader))
+	if derr != nil {
+		if errors.Is(derr, overload.ErrDeadlineExpired) {
+			rt.deadlines.Add(1)
+			writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", "deadline budget spent before arrival")
+		} else {
+			writeError(w, http.StatusBadRequest, "invalid_request", "bad %s header: %v", overload.DeadlineHeader, derr)
+		}
+		return
+	}
+	if budget == 0 && rt.cfg.SearchDeadline > 0 && strings.HasPrefix(r.URL.Path, "/api/v1/search") {
+		budget = rt.cfg.SearchDeadline
+	}
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = overload.WithBudget(ctx, budget, rt.cfg.Clock)
+		defer cancel()
+	}
+	r = r.WithContext(ctx)
+
 	sid := sessionID(r, body)
 	var candidates []*replica
 	if sid != "" {
@@ -396,6 +460,18 @@ func (rt *Router) forward(ctx context.Context, w http.ResponseWriter, r *http.Re
 		return true, false
 	}
 	copyHeaders(out.Header, r.Header)
+	// Re-encode the remaining deadline budget for this attempt
+	// (overriding the stale inbound header copied above). A budget too
+	// small to be worth a network hop is answered here instead.
+	if rem, ok := overload.RemainingFromContext(r.Context()); ok {
+		if rem < overload.MinForward {
+			rt.deadlines.Add(1)
+			sp.SetAttr("error", "deadline")
+			writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", "deadline budget spent at router")
+			return true, false
+		}
+		out.Header.Set(overload.DeadlineHeader, overload.FormatDeadline(rem))
+	}
 	// Always ask the upstream for its server-side tree, whatever the
 	// end client asked for; the graft below is what makes the router's
 	// ring and slow-query log self-contained.
@@ -618,8 +694,9 @@ func (rt *Router) serveMetrics(w http.ResponseWriter) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_ = json.NewEncoder(w).Encode(map[string]any{
-		"router":   true,
-		"replicas": rt.Status(),
+		"router":            true,
+		"replicas":          rt.Status(),
+		"deadline_exceeded": rt.deadlines.Load(),
 	})
 }
 
@@ -660,6 +737,8 @@ func (rt *Router) servePrometheus(w http.ResponseWriter) {
 	for _, st := range status {
 		pw.Sample("ivr_replica_rerouted_total", float64(st.Rerouted), "replica", st.Replica)
 	}
+	pw.Family("ivr_deadline_exceeded_total", "counter")
+	pw.Sample("ivr_deadline_exceeded_total", float64(rt.deadlines.Load()))
 }
 
 // serveTraces serves the ring of recent proxied-request traces,

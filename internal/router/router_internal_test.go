@@ -163,3 +163,33 @@ func TestIsDrainingResponse(t *testing.T) {
 		t.Fatalf("peeked body not restored: %q", got)
 	}
 }
+
+// TestDefaultClientHasBoundedTimeouts is the regression test for the
+// bare &http.Client{} the router once shipped with: a wedged replica
+// that accepted connections but never answered could pin proxy
+// goroutines forever. The default client must bound dial and
+// response-header waits (but deliberately not the whole request, so
+// NDJSON streams can run long).
+func TestDefaultClientHasBoundedTimeouts(t *testing.T) {
+	rt, err := New(Config{Replicas: []string{"http://a:1"}, ProbeInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	tr, ok := rt.client.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("default client transport is %T, want *http.Transport with bounded timeouts", rt.client.Transport)
+	}
+	if tr.DialContext == nil {
+		t.Fatal("default transport has no bounded dialer")
+	}
+	if tr.ResponseHeaderTimeout <= 0 {
+		t.Fatal("default transport does not bound the response-header wait")
+	}
+	if tr.TLSHandshakeTimeout <= 0 {
+		t.Fatal("default transport does not bound the TLS handshake")
+	}
+	if rt.client.Timeout != 0 {
+		t.Fatal("default client sets a whole-request timeout, which would cut long NDJSON streams")
+	}
+}

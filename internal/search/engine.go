@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/index"
+	"repro/internal/overload"
 	"repro/internal/text"
 	"repro/internal/trace"
 )
@@ -52,6 +53,15 @@ type Results struct {
 	// Candidates is the number of documents that matched at least one
 	// query term (before top-k truncation).
 	Candidates int
+	// Partial marks a degraded-mode ranking: one or more segments
+	// failed (or ran out of deadline budget) and the list merges only
+	// the segments that answered. Never set unless the engine was
+	// explicitly put in degraded mode (SetAllowPartial); partiality is
+	// always flagged, never silent.
+	Partial bool
+	// FailedSegments lists the ordinals missing from a Partial
+	// ranking, lowest first (empty when Partial is false).
+	FailedSegments []int
 }
 
 // IDs returns the hit IDs in rank order.
@@ -115,6 +125,10 @@ type Engine struct {
 	analyzer *text.Analyzer
 	workers  int
 	obs      SegmentObserver
+	// allowPartial switches the merge into degraded mode: segment
+	// failures are tolerated as long as at least one segment answers,
+	// and the merged ranking is flagged Results.Partial.
+	allowPartial bool
 }
 
 // NewEngine wraps a single index with the analysis pipeline used at
@@ -202,6 +216,14 @@ func (e *Engine) DocIDOf(ext string) (index.DocID, bool) { return e.stats.DocIDO
 // queries; the engine does not synchronise the field itself.
 func (e *Engine) SetSegmentObserver(obs SegmentObserver) { e.obs = obs }
 
+// SetAllowPartial switches the engine into degraded mode: when one or
+// more segments fail mid-scatter (backend down, deadline spent) but at
+// least one answers, the merge returns the answering segments' hits
+// flagged Results.Partial instead of failing the whole query. Off by
+// default — full-or-error is the contract the parity suites pin — and
+// like SetSegmentObserver it must be set at wiring time.
+func (e *Engine) SetAllowPartial(ok bool) { e.allowPartial = ok }
+
 // Analyzer exposes the query analysis pipeline.
 func (e *Engine) Analyzer() *text.Analyzer { return e.analyzer }
 
@@ -248,6 +270,11 @@ func (e *Engine) Search(q Query, opts Options) (Results, error) {
 func (e *Engine) SearchContext(ctx context.Context, q Query, opts Options) (Results, error) {
 	if len(q.Terms) == 0 {
 		return Results{}, nil
+	}
+	// A request whose latency budget is already spent does no segment
+	// work at all: answer the typed error immediately.
+	if overload.FromContext(ctx).Expired() {
+		return Results{}, overload.ErrDeadlineExceeded
 	}
 	k := opts.K
 	if k <= 0 {
@@ -315,10 +342,30 @@ func (e *Engine) SearchContext(ctx context.Context, q Query, opts Options) (Resu
 	_, mrg := trace.StartSpan(ctx, "merge")
 	top := getTopK(k)
 	candidates := 0
+	succeeded := 0
+	for _, r := range results {
+		if r.err == nil {
+			succeeded++
+		}
+	}
+	var failed []int
 	for i, r := range results {
 		if r.err != nil {
+			// Degraded mode tolerates the failure (flagged below) as
+			// long as some segment answers; otherwise fail whole, so a
+			// missing segment's documents never vanish silently.
+			if e.allowPartial && succeeded > 0 {
+				failed = append(failed, i)
+				continue
+			}
 			putTopK(top)
 			mrg.End()
+			// Recycle the hits of segments that did answer.
+			for _, done := range results[i+1:] {
+				if done.err == nil {
+					RecycleHits(done.res.Hits)
+				}
+			}
 			return Results{}, &SegmentError{Segment: i, Err: r.err}
 		}
 		candidates += r.res.Candidates
@@ -331,9 +378,12 @@ func (e *Engine) SearchContext(ctx context.Context, q Query, opts Options) (Resu
 	putTopK(top)
 	if mrg != nil {
 		mrg.SetAttr("candidates", strconv.Itoa(candidates))
+		if len(failed) > 0 {
+			mrg.SetAttr("partial", strconv.Itoa(len(failed)))
+		}
 		mrg.End()
 	}
-	return Results{Hits: hits, Candidates: candidates}, nil
+	return Results{Hits: hits, Candidates: candidates, Partial: len(failed) > 0, FailedSegments: failed}, nil
 }
 
 // SearchMultiField runs the same information need against several

@@ -1,11 +1,13 @@
 package search
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/index"
+	"repro/internal/overload"
 )
 
 // The scoring kernel. The adaptive loop re-runs retrieval after every
@@ -591,6 +593,28 @@ func skipBlock(acc *accumulator, it *index.PostingsIterator, bound float64, c *s
 // pool; hand it back with RecycleHits once it is dead.
 func (p *PreparedQuery) ScoreSegment(seg *index.Index, globalID func(index.DocID) index.DocID,
 	filter func(string) bool, k int) SegmentResult {
+	res, _ := p.scoreSegment(nil, seg, globalID, filter, k)
+	return res
+}
+
+// ScoreSegmentContext is ScoreSegment with a deadline seam: when the
+// context carries an overload.Budget, the per-block scan loop polls it
+// and aborts with overload.ErrDeadlineExceeded the moment the budget
+// is spent — an expired request stops burning CPU mid-segment instead
+// of finishing a ranking nobody is waiting for. Without a budget the
+// checkpoint is a nil-receiver check per block, so the idle hot path
+// is unchanged (the alloc-budget and bench suites pin this).
+func (p *PreparedQuery) ScoreSegmentContext(ctx context.Context, seg *index.Index,
+	globalID func(index.DocID) index.DocID, filter func(string) bool, k int) (SegmentResult, error) {
+	b := overload.FromContext(ctx)
+	if b.Expired() {
+		return SegmentResult{}, overload.ErrDeadlineExceeded
+	}
+	return p.scoreSegment(b, seg, globalID, filter, k)
+}
+
+func (p *PreparedQuery) scoreSegment(b *overload.Budget, seg *index.Index, globalID func(index.DocID) index.DocID,
+	filter func(string) bool, k int) (SegmentResult, error) {
 	kernelCounters.scans.Add(1)
 	acc := getAccumulator(seg.NumDocs())
 	docLens := seg.DocLens(p.query.Field)
@@ -614,13 +638,21 @@ func (p *PreparedQuery) ScoreSegment(seg *index.Index, globalID func(index.DocID
 		acc.floorK = k
 		acc.floorH = acc.floorH[:0]
 	}
+	expired := false
 	for i := range p.terms {
+		if expired {
+			break
+		}
 		kt := &p.terms[i]
 		it := &its[i]
 		switch p.kind {
 		case kindBM25:
 			scored, skippedAny := false, false
 			for {
+				if b.Expired() {
+					expired = true
+					break
+				}
 				_, blockMax, ok := it.BlockBound()
 				if !ok {
 					break
@@ -655,6 +687,10 @@ func (p *PreparedQuery) ScoreSegment(seg *index.Index, globalID func(index.DocID
 		case kindTFIDF:
 			scored, skippedAny := false, false
 			for {
+				if b.Expired() {
+					expired = true
+					break
+				}
 				_, blockMax, ok := it.BlockBound()
 				if !ok {
 					break
@@ -685,6 +721,10 @@ func (p *PreparedQuery) ScoreSegment(seg *index.Index, globalID func(index.DocID
 			}
 		case kindDirichlet:
 			for {
+				if b.Expired() {
+					expired = true
+					break
+				}
 				n := it.NextBlock(acc.docBuf[:], acc.tfBuf[:])
 				if n == 0 {
 					break
@@ -701,6 +741,10 @@ func (p *PreparedQuery) ScoreSegment(seg *index.Index, globalID func(index.DocID
 		default: // kindGeneric: per-posting interface dispatch
 			st := p.stats[kt.ti]
 			for {
+				if b.Expired() {
+					expired = true
+					break
+				}
 				n := it.NextBlock(acc.docBuf[:], acc.tfBuf[:])
 				if n == 0 {
 					break
@@ -717,6 +761,10 @@ func (p *PreparedQuery) ScoreSegment(seg *index.Index, globalID func(index.DocID
 	// accumulator never pins a retired segment's memory.
 	clear(its)
 	c.flush()
+	if expired {
+		putAccumulator(acc)
+		return SegmentResult{}, overload.ErrDeadlineExceeded
+	}
 	if k <= 0 {
 		k = len(acc.touched)
 		if k == 0 {
@@ -745,5 +793,5 @@ func (p *PreparedQuery) ScoreSegment(seg *index.Index, globalID func(index.DocID
 	hits := top.AppendRanked(getHits())
 	putTopK(top)
 	putAccumulator(acc)
-	return SegmentResult{Hits: hits, Candidates: candidates}
+	return SegmentResult{Hits: hits, Candidates: candidates}, nil
 }

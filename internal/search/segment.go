@@ -91,10 +91,12 @@ type localSegment struct {
 func (l localSegment) NumDocs() int { return l.seg.NumDocs() }
 
 // SearchSegment implements SegmentSearcher. In-process scoring cannot
-// fail and never blocks long enough to need ctx.
-func (l localSegment) SearchSegment(_ context.Context, p *PreparedQuery,
+// fail on its own, but it honours a latency budget in ctx: the kernel
+// polls it per postings block and aborts with
+// overload.ErrDeadlineExceeded once it is spent.
+func (l localSegment) SearchSegment(ctx context.Context, p *PreparedQuery,
 	filter func(string) bool, k int) (SegmentResult, error) {
-	return p.ScoreSegment(l.seg, l.globalID, filter, k), nil
+	return p.ScoreSegmentContext(ctx, l.seg, l.globalID, filter, k)
 }
 
 func (l localSegment) globalID(d index.DocID) index.DocID {

@@ -48,10 +48,13 @@ import (
 	"strings"
 	"time"
 
+	"sync/atomic"
+
 	"repro/internal/collection"
 	"repro/internal/core"
 	"repro/internal/ilog"
 	"repro/internal/metrics"
+	"repro/internal/overload"
 	"repro/internal/profile"
 	"repro/internal/retrieval"
 	"repro/internal/sessionstore"
@@ -65,7 +68,21 @@ const (
 	codeInternal = "internal"
 	codeTooMany  = "too_many_sessions"
 	codeDraining = "draining"
+	// codeOverloaded marks a typed admission shed (429 + Retry-After):
+	// the tier refused the work while refusing was still cheap.
+	codeOverloaded = "overloaded"
+	// codeDeadline marks a request whose X-IVR-Deadline budget was
+	// spent — on arrival, queued at admission, or mid-retrieval (504).
+	codeDeadline = "deadline_exceeded"
+	// codeCanceled marks a search abandoned because the caller hung up
+	// mid-retrieval. Nobody reads the body, but the status keeps client
+	// hangups out of the 5xx ledger.
+	codeCanceled = "client_closed"
 )
+
+// statusClientClosed is the nginx-convention 499 for a client that
+// disconnected before the response was written.
+const statusClientClosed = 499
 
 // Pagination bounds.
 const (
@@ -86,6 +103,14 @@ type Server struct {
 	replicaID string
 	topo      TopologyAdmin
 	handler   http.Handler
+	// gate bounds concurrent search work (admission control); clock
+	// drives X-IVR-Deadline budget expiry (nil = real time).
+	gate  *metrics.Admission
+	clock overload.Clock
+	// deadline counts searches answered deadline_exceeded; partial
+	// counts degraded (partial) pages served.
+	deadline atomic.Int64
+	partial  atomic.Int64
 }
 
 // TopologyAdmin is the segment-replica topology surface a distributed
@@ -112,6 +137,8 @@ type serverConfig struct {
 	slowQuery   time.Duration
 	traceRing   int
 	topo        TopologyAdmin
+	admission   metrics.AdmissionConfig
+	clock       overload.Clock
 }
 
 // WithLogger routes request and error logs (default: discard).
@@ -166,6 +193,22 @@ func WithTraceRing(n int) Option {
 	return func(c *serverConfig) { c.traceRing = n }
 }
 
+// WithAdmission sizes the serve tier's search admission gate: at most
+// InitialLimit searches in flight (AIMD-adapted toward Target when one
+// is set), a bounded queue of MaxQueue absorbing bursts, and typed 429
+// "overloaded" sheds past that. Without this option the gate is
+// effectively transparent (limit 4096) but its ivr_admission_*
+// families are still scrapeable.
+func WithAdmission(cfg metrics.AdmissionConfig) Option {
+	return func(c *serverConfig) { c.admission = cfg }
+}
+
+// WithOverloadClock substitutes the clock driving X-IVR-Deadline
+// budget expiry (chaostest injects a manual clock; nil = real time).
+func WithOverloadClock(clk overload.Clock) Option {
+	return func(c *serverConfig) { c.clock = clk }
+}
+
 // WithTopologyAdmin wires the /api/v1/admin/topology endpoint to a
 // distributed merge tier's topology: GET serves the live replica
 // layout, POST validates and atomically applies a new descriptor
@@ -186,10 +229,17 @@ func NewServer(sys *core.System, opts ...Option) (*Server, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	s := &Server{sys: sys, mgr: cfg.mgr, log: cfg.logger, metrics: metrics.NewRegistry(), replicaID: cfg.replicaID, topo: cfg.topo}
+	s := &Server{sys: sys, mgr: cfg.mgr, log: cfg.logger, metrics: metrics.NewRegistry(), replicaID: cfg.replicaID, topo: cfg.topo, clock: cfg.clock}
 	if s.log == nil {
 		s.log = slog.New(slog.DiscardHandler)
 	}
+	acfg := cfg.admission
+	if acfg.InitialLimit <= 0 {
+		// Transparent by default: the gate exists (telemetry families
+		// always present) but does not bind until configured.
+		acfg.InitialLimit = 4096
+	}
+	s.gate = metrics.NewAdmission(acfg)
 	if s.mgr == nil {
 		m, err := core.NewSessionManager(sys, core.ManagerOptions{
 			TTL:         cfg.sessionTTL,
@@ -525,6 +575,12 @@ type metricsResponse struct {
 	Draining bool               `json:"draining,omitempty"`
 	Sessions sessionCounters    `json:"sessions"`
 	Search   retrieval.Snapshot `json:"search"`
+	// Admission is the serve tier's search admission gate; the overload
+	// counters tally typed deadline_exceeded answers and degraded
+	// (partial) pages served.
+	Admission        metrics.AdmissionStats `json:"admission"`
+	DeadlineExceeded int64                  `json:"deadline_exceeded,omitempty"`
+	PartialResults   int64                  `json:"partial_results,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -541,7 +597,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Live: st.Live, Created: st.Created, Evicted: st.Evicted,
 			Restored: st.Restored, Persisted: st.Persisted, PersistErrors: st.PersistErrors,
 		},
-		Search: s.sys.RetrievalSnapshot(),
+		Search:           s.sys.RetrievalSnapshot(),
+		Admission:        s.gate.Stats(),
+		DeadlineExceeded: s.deadline.Load(),
+		PartialResults:   s.partial.Load(),
 	})
 }
 
@@ -596,6 +655,40 @@ func (s *Server) handlePrometheus(w http.ResponseWriter, _ *http.Request) {
 		for _, b := range snap.Backends {
 			pw.Sample("ivr_probe_failures_total", float64(b.ProbeFailures), "backend", b.Addr)
 		}
+		pw.Family("ivr_breaker_state", "gauge")
+		for _, b := range snap.Backends {
+			pw.Sample("ivr_breaker_state", breakerStateCode(b.Breaker), "backend", b.Addr)
+		}
+		pw.Family("ivr_breaker_trips_total", "counter")
+		for _, b := range snap.Backends {
+			pw.Sample("ivr_breaker_trips_total", float64(b.BreakerTrips), "backend", b.Addr)
+		}
+	}
+	if rb := snap.RetryBudget; rb != nil {
+		pw.Family("ivr_retry_budget_tokens", "gauge")
+		pw.Sample("ivr_retry_budget_tokens", rb.Tokens)
+		pw.Family("ivr_retry_budget_taken_total", "counter")
+		pw.Sample("ivr_retry_budget_taken_total", float64(rb.Taken))
+		pw.Family("ivr_retry_budget_denied_total", "counter")
+		pw.Sample("ivr_retry_budget_denied_total", float64(rb.Denied))
+	}
+	metrics.WriteAdmissionPrometheus(pw, s.gate.Stats())
+	pw.Family("ivr_deadline_exceeded_total", "counter")
+	pw.Sample("ivr_deadline_exceeded_total", float64(s.deadline.Load()))
+	pw.Family("ivr_partial_results_total", "counter")
+	pw.Sample("ivr_partial_results_total", float64(s.partial.Load()))
+}
+
+// breakerStateCode maps a breaker state string to its stable gauge
+// value: 0 closed (or breakers disabled), 1 open, 2 half-open.
+func breakerStateCode(state string) float64 {
+	switch state {
+	case "open":
+		return 1
+	case "half_open":
+		return 2
+	default:
+		return 0
 	}
 }
 
@@ -666,10 +759,15 @@ type searchPage struct {
 	Candidates int `json:"candidates"`
 	// Total counts ranked hits available for paging (bounded by the
 	// system's configured ranking depth).
-	Total  int         `json:"total"`
-	Offset int         `json:"offset"`
-	Limit  int         `json:"limit"`
-	Hits   []searchHit `json:"hits"`
+	Total  int `json:"total"`
+	Offset int `json:"offset"`
+	Limit  int `json:"limit"`
+	// Partial marks a degraded-mode page: one or more segments did not
+	// answer and the ranking covers only the segments that did. Never
+	// torn — every hit listed is a complete, correctly merged result
+	// from an answering segment.
+	Partial bool        `json:"partial,omitempty"`
+	Hits    []searchHit `json:"hits"`
 }
 
 // searchParams carries the parsed, validated query of both search
@@ -761,6 +859,10 @@ func (s *Server) runSearch(ctx context.Context, p searchParams) (searchPage, err
 		page.Step = sess.Step()
 		page.Candidates = res.Candidates
 		page.Total = len(res.Hits)
+		if res.Partial {
+			page.Partial = true
+			s.partial.Add(1)
+		}
 		if p.offset >= len(res.Hits) {
 			return nil
 		}
@@ -787,6 +889,61 @@ func (s *Server) runSearch(ctx context.Context, p searchParams) (searchPage, err
 	return page, err
 }
 
+// overloadGate applies the serve tier's overload protocol to a search
+// request: it parses the X-IVR-Deadline budget header (malformed → 400,
+// already spent → 504), binds the remaining budget into the request
+// context, and claims an admission ticket (limit reached with a full
+// queue → typed 429 + Retry-After; budget spent while queued → 504).
+// On success the caller owns the returned release func.
+func (s *Server) overloadGate(w http.ResponseWriter, r *http.Request) (context.Context, func(), bool) {
+	budget, err := overload.ParseDeadline(r.Header.Get(overload.DeadlineHeader))
+	if err != nil {
+		if errors.Is(err, overload.ErrDeadlineExpired) {
+			s.deadline.Add(1)
+			writeCode(w, http.StatusGatewayTimeout, codeDeadline, "deadline budget spent before arrival")
+		} else {
+			writeCode(w, http.StatusBadRequest, codeInvalid, "bad %s header: %v", overload.DeadlineHeader, err)
+		}
+		return nil, nil, false
+	}
+	ctx := r.Context()
+	cancel := func() {}
+	if budget > 0 {
+		ctx, cancel = overload.WithBudget(ctx, budget, s.clock)
+	}
+	ticket, err := s.gate.Acquire(ctx)
+	if err != nil {
+		cancel()
+		if errors.Is(err, metrics.ErrShed) {
+			w.Header().Set("Retry-After", "1")
+			writeCode(w, http.StatusTooManyRequests, codeOverloaded, "serve tier at concurrency limit")
+			return nil, nil, false
+		}
+		s.deadline.Add(1)
+		writeCode(w, http.StatusGatewayTimeout, codeDeadline, "deadline budget spent in admission queue")
+		return nil, nil, false
+	}
+	release := func() { ticket.Release(); cancel() }
+	return ctx, release, true
+}
+
+// writeSearchErr maps a search failure onto the envelope: a spent
+// deadline budget — detected locally or reported by a lower tier — is
+// the typed 504, everything else defers to the session-manager
+// mapping.
+func (s *Server) writeSearchErr(w http.ResponseWriter, err error, sessionID string) {
+	if errors.Is(err, overload.ErrDeadlineExceeded) || errors.Is(err, context.DeadlineExceeded) {
+		s.deadline.Add(1)
+		writeCode(w, http.StatusGatewayTimeout, codeDeadline, "deadline budget exhausted during retrieval")
+		return
+	}
+	if errors.Is(err, context.Canceled) {
+		writeCode(w, statusClientClosed, codeCanceled, "request cancelled by caller")
+		return
+	}
+	writeManagerErr(w, err, sessionID)
+}
+
 // handleSearch serves one paginated adapted-search iteration. Every
 // call advances the session's adaptation step, so page fetches after
 // new evidence may legitimately reorder.
@@ -795,9 +952,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	page, err := s.runSearch(r.Context(), p)
+	ctx, release, ok := s.overloadGate(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	page, err := s.runSearch(ctx, p)
 	if err != nil {
-		writeManagerErr(w, err, p.sessionID)
+		s.writeSearchErr(w, err, p.sessionID)
 		return
 	}
 	_, enc := trace.StartSpan(r.Context(), "encode")
@@ -817,6 +979,7 @@ type streamLine struct {
 	Step       int    `json:"step,omitempty"`
 	Candidates int    `json:"candidates,omitempty"`
 	Total      int    `json:"total,omitempty"`
+	Partial    bool   `json:"partial,omitempty"`
 }
 
 // handleSearchStream serves the same ranking as handleSearch but as
@@ -827,9 +990,14 @@ func (s *Server) handleSearchStream(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	page, err := s.runSearch(r.Context(), p)
+	ctx, release, ok := s.overloadGate(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	page, err := s.runSearch(ctx, p)
 	if err != nil {
-		writeManagerErr(w, err, p.sessionID)
+		s.writeSearchErr(w, err, p.sessionID)
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -851,6 +1019,7 @@ func (s *Server) handleSearchStream(w http.ResponseWriter, r *http.Request) {
 		Step:       page.Step,
 		Candidates: page.Candidates,
 		Total:      page.Total,
+		Partial:    page.Partial,
 	})
 	if flusher != nil {
 		flusher.Flush()
